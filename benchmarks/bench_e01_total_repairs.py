@@ -1,0 +1,32 @@
+"""E1 — total repair counting is polynomial (FP).
+
+Claim exercised: computing ``|rep(D, Σ)|`` is easy — a single pass building
+the block decomposition and a product of block sizes — so the time grows
+linearly with the database, even though the *value* grows astronomically.
+"""
+
+import pytest
+
+from repro.db import BlockDecomposition
+from repro.repairs import count_total_repairs
+
+from conftest import make_database
+
+SIZES = [100, 400, 1600]
+
+
+@pytest.mark.parametrize("blocks", SIZES)
+def test_total_repair_counting_scales_linearly(benchmark, blocks):
+    database, keys = make_database(blocks=blocks, seed=1)
+    result = benchmark(count_total_repairs, database, keys)
+    benchmark.extra_info["facts"] = len(database)
+    benchmark.extra_info["repairs_digits"] = len(str(result))
+    assert result >= 1
+
+
+@pytest.mark.parametrize("blocks", SIZES)
+def test_block_decomposition_construction(benchmark, blocks):
+    database, keys = make_database(blocks=blocks, seed=2)
+    decomposition = benchmark(BlockDecomposition, database, keys)
+    benchmark.extra_info["blocks"] = len(decomposition)
+    assert len(decomposition) == 2 * blocks

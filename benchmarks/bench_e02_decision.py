@@ -1,0 +1,26 @@
+"""E2 — the decision problem #CQA>0(∃FO+) is easy (Theorem 3.4).
+
+Claim exercised: deciding whether *some* repair entails the query needs only
+a certificate search (Lemma 3.5) — no repairs are ever materialised — so it
+stays fast as the database (and the number of repairs) grows, for any
+keywidth.
+"""
+
+import pytest
+
+from repro.db import PrimaryKeySet
+from repro.repairs import has_entailing_repair
+from conftest import join_query, make_database
+
+SIZES = [100, 400, 800]
+
+
+@pytest.mark.parametrize("blocks", SIZES)
+@pytest.mark.parametrize("target_keywidth", [1, 2, 3])
+def test_decision_never_enumerates_repairs(benchmark, blocks, target_keywidth):
+    database, keys = make_database(blocks=blocks, seed=3)
+    query = join_query(target_keywidth)
+    answer = benchmark(has_entailing_repair, database, keys, query)
+    benchmark.extra_info["keywidth"] = target_keywidth
+    benchmark.extra_info["facts"] = len(database)
+    assert answer in (True, False)

@@ -1,0 +1,59 @@
+"""E3 — exact counting: certificate expansion vs naive repair enumeration.
+
+Claim exercised: the naive counter's cost is the total number of repairs
+(exponential in the number of conflicting blocks), while the
+certificate-based union-of-boxes counter only pays for the blocks the
+query's certificates actually touch.  The expected shape is a crossover at
+tiny databases followed by an exponential blow-up of the naive method —
+which is why it is benchmarked only on the small configuration.
+"""
+
+import pytest
+
+from repro.repairs import (
+    count_repairs_satisfying_certificates,
+    count_repairs_satisfying_naive,
+)
+from conftest import join_query, make_database
+
+#: Small instances (few conflicting blocks) where the naive method is feasible.
+SMALL = [3, 4, 5]
+#: Larger instances where only the certificate method is run.
+LARGE = [50, 200, 600]
+
+
+def _query(keys, seed=11):
+    return join_query(2)
+
+
+@pytest.mark.parametrize("blocks", SMALL)
+def test_naive_enumeration_small(benchmark, blocks):
+    database, keys = make_database(blocks=blocks, conflict_rate=0.7, max_block=3, seed=4)
+    query = _query(keys)
+    count = benchmark(count_repairs_satisfying_naive, database, keys, query)
+    benchmark.extra_info["blocks"] = 2 * blocks
+    benchmark.extra_info["count"] = count
+
+
+@pytest.mark.parametrize("blocks", SMALL)
+def test_certificate_counter_small(benchmark, blocks):
+    database, keys = make_database(blocks=blocks, conflict_rate=0.7, max_block=3, seed=4)
+    query = _query(keys)
+    count, certificates = benchmark(
+        count_repairs_satisfying_certificates, database, keys, query
+    )
+    benchmark.extra_info["certificates"] = certificates
+    # Cross-validate against the naive oracle on the small configurations.
+    assert count == count_repairs_satisfying_naive(database, keys, query)
+
+
+@pytest.mark.parametrize("blocks", LARGE)
+def test_certificate_counter_large(benchmark, blocks):
+    database, keys = make_database(blocks=blocks, conflict_rate=0.4, max_block=4, seed=5)
+    query = _query(keys)
+    count, certificates = benchmark(
+        count_repairs_satisfying_certificates, database, keys, query
+    )
+    benchmark.extra_info["facts"] = len(database)
+    benchmark.extra_info["certificates"] = certificates
+    assert count >= 0

@@ -1,0 +1,49 @@
+"""E5 — the Theorem 6.2 FPRAS: accuracy and the m^k sample-size effect.
+
+Claims exercised:
+
+* the measured relative error stays within ε with frequency at least 1−δ
+  (checked on instances whose exact count is known), and
+* the prescribed sample size grows as ``m^k`` with the keywidth ``k``, which
+  is the price of sampling from the natural sample space.
+"""
+
+import pytest
+
+from repro.approx import CQAFpras, sample_size
+from repro.repairs import count_repairs_satisfying
+from conftest import join_query, make_database
+
+EPSILONS = [0.5, 0.2, 0.1]
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fpras_accuracy_vs_epsilon(benchmark, epsilon):
+    database, keys = make_database(blocks=60, conflict_rate=0.5, max_block=3, seed=8)
+    query = join_query(2)
+    exact = count_repairs_satisfying(database, keys, query).satisfying
+    scheme = CQAFpras(query, keys)
+
+    result = benchmark(scheme.estimate, database, epsilon, 0.05, rng=epsilon and 17)
+    benchmark.extra_info["exact"] = exact
+    benchmark.extra_info["samples"] = result.samples
+    if exact:
+        error = abs(result.estimate - exact) / exact
+        benchmark.extra_info["relative_error"] = round(error, 4)
+        # A single run can exceed epsilon with probability <= delta; allow slack.
+        assert error <= 3 * epsilon
+
+
+@pytest.mark.parametrize("keywidth", [1, 2, 3])
+def test_sample_size_grows_as_m_to_the_k(benchmark, keywidth):
+    database, keys = make_database(blocks=60, conflict_rate=0.5, max_block=4, seed=9)
+    query = join_query(keywidth)
+    scheme = CQAFpras(query, keys, max_samples=20_000)
+    result = benchmark(scheme.estimate, database, 0.2, 0.05, rng=3)
+    prescribed = sample_size(0.2, 0.05, result.max_block_size, result.keywidth)
+    benchmark.extra_info["keywidth"] = result.keywidth
+    benchmark.extra_info["prescribed_samples"] = prescribed
+    # The m^k effect: one more unit of keywidth multiplies the bound by m.
+    if result.keywidth >= 1 and result.max_block_size > 1:
+        smaller = sample_size(0.2, 0.05, result.max_block_size, result.keywidth - 1)
+        assert prescribed == pytest.approx(smaller * result.max_block_size, rel=0.01)

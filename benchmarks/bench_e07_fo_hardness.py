@@ -1,0 +1,41 @@
+"""E7 — Theorems 3.2/3.3: the 3SAT reduction and the cost of FO counting.
+
+Claims exercised:
+
+* the reduction is parsimonious — #CQA on the reduced database equals
+  #3SAT of the source formula (asserted on every run), and
+* counting for arbitrary FO queries has no certificate shortcut: the only
+  exact route is repair enumeration, whose cost doubles with every added
+  variable (the 2^n repair space).
+"""
+
+import pytest
+
+from repro.problems import count_satisfying_assignments
+from repro.reductions import sat_to_cqa
+from repro.repairs import count_repairs_satisfying_naive
+from repro.workloads import random_cnf
+
+VARIABLE_COUNTS = [4, 6, 8]
+
+
+@pytest.mark.parametrize("variables", VARIABLE_COUNTS)
+def test_fo_counting_via_the_sat_reduction(benchmark, variables):
+    formula = random_cnf(variables=variables, clauses=variables + 2, clause_width=3, seed=variables)
+    reduction = sat_to_cqa(formula)
+    expected = count_satisfying_assignments(formula)
+
+    counted = benchmark(
+        count_repairs_satisfying_naive, reduction.database, reduction.keys, reduction.query
+    )
+    benchmark.extra_info["variables"] = variables
+    benchmark.extra_info["assignments"] = 2 ** variables
+    benchmark.extra_info["count"] = counted
+    assert counted == expected
+
+
+@pytest.mark.parametrize("variables", VARIABLE_COUNTS)
+def test_reduction_construction_is_cheap(benchmark, variables):
+    formula = random_cnf(variables=variables, clauses=variables + 2, clause_width=3, seed=variables)
+    reduction = benchmark(sat_to_cqa, formula)
+    benchmark.extra_info["facts"] = len(reduction.database)

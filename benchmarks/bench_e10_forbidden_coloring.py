@@ -1,0 +1,53 @@
+"""E10 — Theorem 7.2: #kForbColoring exact, brute force, FPRAS and reduction.
+
+Claims exercised: the compactor-based exact counter matches the brute-force
+oracle, the Λ[k] FPRAS tracks it, and the parsimonious reduction to
+#DisjPoskDNF preserves the count (asserted on every run).
+"""
+
+import pytest
+
+from repro.approx import LambdaFPRAS
+from repro.problems import (
+    ForbiddenColoringCompactor,
+    count_disjoint_positive_dnf,
+    count_forbidden_colorings,
+)
+from repro.reductions import coloring_to_disjoint_dnf
+from repro.workloads import random_forbidden_coloring
+
+SMALL = [(7, 6, 2)]
+LARGE = [(40, 10, 2), (40, 9, 3)]
+
+
+@pytest.mark.parametrize("nodes,edges,uniformity", SMALL)
+def test_bruteforce_oracle_small(benchmark, nodes, edges, uniformity):
+    instance = random_forbidden_coloring(nodes, edges, uniformity, 3, 2, seed=1)
+    count = benchmark(instance.count_bruteforce)
+    assert count == count_forbidden_colorings(instance)
+
+
+@pytest.mark.parametrize("nodes,edges,uniformity", SMALL + LARGE)
+def test_exact_union_of_boxes(benchmark, nodes, edges, uniformity):
+    instance = random_forbidden_coloring(nodes, edges, uniformity, 3, 2, seed=2)
+    count = benchmark(count_forbidden_colorings, instance)
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["count"] = count
+
+
+@pytest.mark.parametrize("nodes,edges,uniformity", LARGE)
+def test_reduction_to_disjoint_dnf(benchmark, nodes, edges, uniformity):
+    instance = random_forbidden_coloring(nodes, edges, uniformity, 3, 2, seed=3)
+    formula = benchmark(coloring_to_disjoint_dnf, instance)
+    assert count_disjoint_positive_dnf(formula) == count_forbidden_colorings(instance)
+
+
+@pytest.mark.parametrize("nodes,edges,uniformity", LARGE)
+def test_fpras_estimate(benchmark, nodes, edges, uniformity):
+    instance = random_forbidden_coloring(nodes, edges, uniformity, 3, 2, seed=4)
+    exact = count_forbidden_colorings(instance)
+    scheme = LambdaFPRAS(ForbiddenColoringCompactor(k=uniformity), max_samples=50_000)
+    result = benchmark(scheme.estimate, instance, 0.2, 0.1, rng=5)
+    benchmark.extra_info["exact"] = exact
+    if exact and not result.capped:
+        assert abs(result.estimate - exact) <= 0.6 * exact

@@ -1,0 +1,57 @@
+"""E11 — Section 7.2: the unbounded (SpanLL) regime.
+
+Claim exercised: when the clause width is unbounded, the natural-sample-
+space FPRAS of Theorem 6.2 stops being polynomial — its prescribed sample
+count grows as ``m^k`` with the clause width — while the Karp–Luby-style
+complex-sample-space estimator's sample count only depends on the number of
+clauses.  The benchmark runs both with a hard sample cap and reports the
+prescribed sample sizes, whose divergence is the measured shape.
+"""
+
+import pytest
+
+from repro.approx import (
+    KarpLubyEstimator,
+    LambdaFPRAS,
+    karp_luby_sample_size,
+    sample_size,
+)
+from repro.problems import DisjointPositiveDNFCompactor, count_disjoint_positive_dnf
+from repro.workloads import random_disjoint_positive_dnf
+
+WIDTHS = [2, 4, 6]
+PARTS, PART_SIZE, CLAUSES = 30, 4, 12
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_natural_sample_space_degrades_with_width(benchmark, width):
+    formula = random_disjoint_positive_dnf(PARTS, PART_SIZE, CLAUSES, width, seed=width)
+    exact = count_disjoint_positive_dnf(formula)
+    prescribed = sample_size(0.2, 0.1, PART_SIZE, formula.width)
+    scheme = LambdaFPRAS(DisjointPositiveDNFCompactor(k=formula.width), max_samples=30_000)
+    result = benchmark(scheme.estimate, formula, 0.2, 0.1, rng=1)
+    benchmark.extra_info["clause_width"] = formula.width
+    benchmark.extra_info["prescribed_samples"] = prescribed
+    benchmark.extra_info["capped"] = result.capped
+    benchmark.extra_info["exact"] = exact
+    # The m^k blow-up: the prescription is exponential in the clause width.
+    assert prescribed >= sample_size(0.2, 0.1, PART_SIZE, 2) * (
+        PART_SIZE ** (formula.width - 2)
+    ) * 0.99
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_complex_sample_space_is_insensitive_to_width(benchmark, width):
+    formula = random_disjoint_positive_dnf(PARTS, PART_SIZE, CLAUSES, width, seed=width)
+    exact = count_disjoint_positive_dnf(formula)
+    compactor = DisjointPositiveDNFCompactor(k=None)
+    estimator = KarpLubyEstimator(compactor, max_samples=30_000)
+    result = benchmark(estimator.estimate, formula, 0.2, 0.1, rng=2)
+    prescribed = karp_luby_sample_size(0.2, 0.1, result.boxes)
+    benchmark.extra_info["clause_width"] = formula.width
+    benchmark.extra_info["prescribed_samples"] = prescribed
+    benchmark.extra_info["exact"] = exact
+    # Sample prescription depends on the number of clauses, not the width.
+    assert prescribed <= karp_luby_sample_size(0.2, 0.1, CLAUSES)
+    if exact:
+        assert abs(result.estimate - exact) <= 0.6 * exact

@@ -1,0 +1,44 @@
+"""E12 — end-to-end relative-frequency CQA on realistic scenarios.
+
+Claim exercised: the motivating use case of Section 1.1 — ranking candidate
+answers by how often they hold across repairs — runs end to end (blocks →
+certificates → exact counts → ranking) at interactive speed on scenario-
+sized inconsistent databases, and the FPRAS provides the same ranking
+signal when exactness is not required.
+"""
+
+import pytest
+
+from repro.core import CQASolver
+
+
+def test_employee_example_frequency(benchmark, employee_scenario):
+    solver = CQASolver(employee_scenario.database, employee_scenario.keys, rng=0)
+    query = employee_scenario.queries["same-department"]
+    result = benchmark(solver.count, query)
+    assert result.satisfying == 2 and result.total == 4
+
+
+def test_hr_answer_ranking(benchmark, hr_scenario):
+    solver = CQASolver(hr_scenario.database, hr_scenario.keys, rng=0)
+    query = hr_scenario.queries["department-of-emp1"]
+    ranking = benchmark(solver.answer_ranking, query)
+    benchmark.extra_info["answers"] = len(ranking)
+    assert ranking
+    assert all(0 <= float(entry.frequency) <= 1 for entry in ranking)
+
+
+def test_sensor_alarm_frequency_exact(benchmark, sensor_scenario):
+    solver = CQASolver(sensor_scenario.database, sensor_scenario.keys, rng=0)
+    query = sensor_scenario.queries["any-critical"]
+    result = benchmark(solver.count, query)
+    benchmark.extra_info["frequency"] = round(float(result.frequency), 4)
+
+
+def test_sensor_alarm_frequency_fpras(benchmark, sensor_scenario):
+    solver = CQASolver(sensor_scenario.database, sensor_scenario.keys, rng=0)
+    query = sensor_scenario.queries["any-critical"]
+    exact = solver.count(query)
+    result = benchmark(solver.count, query, method="fpras", epsilon=0.15, delta=0.1)
+    if exact.satisfying:
+        assert abs(result.frequency - float(exact.frequency)) <= 0.3

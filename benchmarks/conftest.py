@@ -1,0 +1,71 @@
+"""Shared workloads for the benchmark suite (experiments E1-E12).
+
+Each benchmark module corresponds to one experiment of DESIGN.md's
+experiment index.  Workload sizes are chosen so the whole suite runs in a
+few minutes on a laptop while still exhibiting the asymptotic shapes the
+experiments are about (exponential vs polynomial, m^k scaling, etc.).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    employee_example,
+    hr_analytics,
+    random_inconsistent_database,
+    sensor_fusion,
+)
+
+
+def make_database(blocks: int, conflict_rate: float = 0.4, max_block: int = 4, seed: int = 0):
+    """A two-relation synthetic inconsistent database with ``blocks`` blocks per relation."""
+    spec = InconsistentDatabaseSpec(
+        relations={"R": 3, "S": 3},
+        blocks_per_relation=blocks,
+        conflict_rate=conflict_rate,
+        max_block_size=max_block,
+        domain_size=max(20, blocks // 2),
+    )
+    return random_inconsistent_database(spec, seed=seed)
+
+
+def join_query(target_keywidth: int, anchor: str = "v3"):
+    """A fixed Boolean join query with the requested keywidth over the R/S schema.
+
+    The atoms are anchored on the constant ``anchor`` (a domain value the
+    generators use), so the number of certificates — and therefore the
+    support of the union-of-boxes computation — stays small and predictable
+    while the repair space stays astronomically large.  This is the regime
+    the paper's bounded-keywidth results are about; un-anchored joins over a
+    small domain connect every block transitively and make *exact* counting
+    (which is #P-hard in general) infeasible, which is precisely what E3
+    demonstrates with the naive counter.
+    """
+    from repro.query import Atom, Variable, conjunctive_query
+
+    extra = Variable("extra")
+    atoms = [Atom("R", (Variable("a1"), anchor, extra))]
+    if target_keywidth >= 2:
+        atoms.append(Atom("S", (Variable("a2"), anchor, Variable("b2"))))
+    if target_keywidth >= 3:
+        atoms.append(Atom("R", (Variable("a3"), extra, Variable("b3"))))
+    if target_keywidth >= 4:
+        atoms.append(Atom("S", (Variable("a4"), extra, Variable("b4"))))
+    return conjunctive_query(atoms[:target_keywidth], name=f"join-kw{target_keywidth}")
+
+
+@pytest.fixture(scope="session")
+def employee_scenario():
+    return employee_example()
+
+
+@pytest.fixture(scope="session")
+def hr_scenario():
+    return hr_analytics(employees=30)
+
+
+@pytest.fixture(scope="session")
+def sensor_scenario():
+    return sensor_fusion(sensors=25)

@@ -1,0 +1,86 @@
+"""repro: counting database repairs under primary keys.
+
+A faithful, production-quality Python implementation of
+
+    Marco Calautti, Marco Console and Andreas Pieris.
+    *Counting Database Repairs under Primary Keys Revisited.*
+    PODS 2019.  doi:10.1145/3294052.3319703
+
+The package provides the relational substrate (databases, primary keys,
+blocks, repairs), a first-order query language, exact counters for
+``#CQA(Q, Σ)``, the Λ-hierarchy machinery (compactors, guess–check–expand
+transducers, union-of-boxes counting), the FPRAS of Theorem 6.2 and the
+Karp–Luby baseline, the companion problems of Section 7, and the
+parsimonious reductions used in the paper's hardness proofs.
+
+Most users only need the façade in :mod:`repro.core`::
+
+    from repro import CQASolver, Database, PrimaryKeySet, fact, parse_query
+
+    db = Database([fact("Employee", 1, "Bob", "HR"), ...])
+    keys = PrimaryKeySet.from_dict({"Employee": [1]})
+    solver = CQASolver(db, keys)
+    result = solver.count(parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)"))
+"""
+
+from .db import (
+    Block,
+    BlockDecomposition,
+    Database,
+    Fact,
+    KeyConstraint,
+    PrimaryKeySet,
+    RelationSchema,
+    Schema,
+    fact,
+)
+from .query import (
+    Query,
+    UCQ,
+    atom,
+    conjunctive_query,
+    keywidth,
+    parse_query,
+    to_ucq,
+    union_query,
+    var,
+    vars_,
+)
+from .repairs import (
+    count_repairs_satisfying,
+    count_total_repairs,
+    enumerate_repairs,
+    relative_frequency,
+)
+from .core import CQAResult, CQASolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BlockDecomposition",
+    "CQAResult",
+    "CQASolver",
+    "Database",
+    "Fact",
+    "KeyConstraint",
+    "PrimaryKeySet",
+    "Query",
+    "RelationSchema",
+    "Schema",
+    "UCQ",
+    "atom",
+    "conjunctive_query",
+    "count_repairs_satisfying",
+    "count_total_repairs",
+    "enumerate_repairs",
+    "fact",
+    "keywidth",
+    "parse_query",
+    "relative_frequency",
+    "to_ucq",
+    "union_query",
+    "var",
+    "vars_",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Approximation schemes: the Λ[k] FPRAS and the Karp–Luby baseline.
+
+Implements Section 6 of the paper: Algorithm 3 (``Sample``), the FPRAS of
+Theorem 6.2 for every function in Λ[k], its specialisation to #CQA
+(Corollary 6.4), and the Karp–Luby-style estimator over the complex sample
+space that the paper inherits from Dalvi–Suciu and compares against.
+"""
+
+from .cqa_fpras import CQAFpras, CQAFprasResult
+from .fpras import FPRASResult, LambdaFPRAS, sample_size
+from .karp_luby import (
+    KarpLubyEstimator,
+    KarpLubyResult,
+    estimate_union_karp_luby,
+    karp_luby_sample_size,
+)
+from .sample import Sampler, draw_point, point_in_union
+from .statistics import TrialSummary, empirical_error_rate, summarise_trials, wilson_interval
+
+__all__ = [
+    "CQAFpras",
+    "CQAFprasResult",
+    "FPRASResult",
+    "KarpLubyEstimator",
+    "KarpLubyResult",
+    "LambdaFPRAS",
+    "Sampler",
+    "TrialSummary",
+    "draw_point",
+    "empirical_error_rate",
+    "estimate_union_karp_luby",
+    "karp_luby_sample_size",
+    "point_in_union",
+    "sample_size",
+    "summarise_trials",
+    "wilson_interval",
+]

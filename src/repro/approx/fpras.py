@@ -1,0 +1,176 @@
+"""The FPRAS of Theorem 6.2 for functions in Λ[k].
+
+The estimator ``Apx_f`` runs ``Sample`` (Algorithm 3) ``t`` times with
+
+    ``t = ⌈ (2+ε) · m^k / ε² · ln(2/δ) ⌉``,   ``m = max_i |S_i|``
+
+and returns ``|U| / t · Σ X_i`` where ``X_i`` are the Bernoulli outcomes.
+Chernoff's inequality, together with the structural lower bound
+``f(x)/|U| ≥ 1/m^k`` that holds for every non-zero function in Λ[k]
+(each valid certificate's box leaves at most ``k`` domains pinned, so it
+alone covers a ``1/m^k`` fraction of ``U``), gives the FPRAS guarantee
+
+    ``Pr[ |Apx_f(x, ε, δ) − f(x)| ≤ ε·f(x) ] ≥ 1 − δ``.
+
+The simplicity the paper emphasises is visible in the code: the sample
+space is the *natural* one (the product of the solution domains — for #CQA,
+the repairs themselves) and one sample is just "pick one element per domain
+uniformly, check membership".  The price is the ``m^k`` factor in the
+sample size, which is why the scheme is only an FPRAS for *bounded*
+keywidth / bounded clause width; the unbounded (SpanLL) problems need the
+Karp–Luby-style estimator in :mod:`repro.approx.karp_luby`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..errors import ApproximationError
+from ..lams.compactor import Compactor
+from .sample import Sampler
+
+__all__ = ["FPRASResult", "sample_size", "LambdaFPRAS"]
+
+
+@dataclass(frozen=True)
+class FPRASResult:
+    """Outcome of one FPRAS invocation, with its provenance.
+
+    Attributes
+    ----------
+    estimate:
+        The randomised estimate of ``f(x)``.
+    samples:
+        Number of ``Sample`` runs actually performed.
+    requested_samples:
+        The ``t`` prescribed by the theorem (equal to ``samples`` unless a
+        cap was applied).
+    successes:
+        Number of samples that landed in the union of boxes.
+    sample_space_size:
+        ``|U| = Π_i |S_i|``.
+    epsilon, delta:
+        The accuracy and confidence parameters the run was configured with.
+    capped:
+        True when ``max_samples`` truncated the prescribed sample size — the
+        theoretical guarantee then no longer applies and the caller is
+        expected to surface that.
+    """
+
+    estimate: float
+    samples: int
+    requested_samples: int
+    successes: int
+    sample_space_size: int
+    epsilon: float
+    delta: float
+    capped: bool
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of samples that hit the union (estimates ``f(x)/|U|``)."""
+        if self.samples == 0:
+            return 0.0
+        return self.successes / self.samples
+
+
+def sample_size(epsilon: float, delta: float, max_domain_size: int, k: int) -> int:
+    """The sample bound ``t = ⌈(2+ε) m^k / ε² · ln(2/δ)⌉`` of Theorem 6.2."""
+    if epsilon <= 0:
+        raise ApproximationError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ApproximationError(f"delta must lie in (0, 1), got {delta}")
+    if max_domain_size <= 0:
+        # An instance with no solution domains (n = 0) has |U| = 1 and the
+        # function value is 0 or 1; one sample suffices.
+        return 1
+    if k < 0:
+        raise ApproximationError(f"k must be non-negative, got {k}")
+    bound = (2 + epsilon) * (max_domain_size ** k) / (epsilon ** 2) * math.log(2 / delta)
+    return max(1, math.ceil(bound))
+
+
+class LambdaFPRAS:
+    """The estimator ``Apx_f`` for a function given by a compactor.
+
+    Parameters
+    ----------
+    compactor:
+        The k-compactor defining ``f``.  It must be bounded (``k`` finite);
+        for unbounded compactors the natural-sample-space scheme is not an
+        FPRAS (its sample size is exponential) — use
+        :class:`repro.approx.karp_luby.KarpLubyEstimator` instead.
+    k_override:
+        Optional tighter bound on the selector length to use in the sample
+        size formula.  Useful when the compactor's syntactic ``k`` is larger
+        than the maximum number of domains any certificate actually pins
+        (e.g. #CQA uses the per-disjunct keywidth).
+    max_samples:
+        Optional safety cap on the number of samples; when it truncates the
+        prescribed ``t`` the result is flagged ``capped=True``.
+    """
+
+    def __init__(
+        self,
+        compactor: Compactor,
+        k_override: Optional[int] = None,
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if compactor.k is None and k_override is None:
+            raise ApproximationError(
+                "the natural-sample-space FPRAS requires a bounded compactor; "
+                "provide k_override or use the Karp-Luby estimator"
+            )
+        self._compactor = compactor
+        self._k = k_override if k_override is not None else int(compactor.k)
+        self._max_samples = max_samples
+
+    @property
+    def k(self) -> int:
+        """The selector bound used in the sample-size formula."""
+        return self._k
+
+    def estimate(
+        self,
+        instance,
+        epsilon: float,
+        delta: float,
+        rng: Optional[Union[random.Random, int]] = None,
+        membership: Optional[Callable] = None,
+    ) -> FPRASResult:
+        """Run ``Apx_f(instance, ε, δ)`` and return the full result record."""
+        sampler = Sampler(self._compactor, instance, rng=rng, membership=membership)
+        domain_sizes = sampler.domain_sizes
+        max_domain = max(domain_sizes) if domain_sizes else 0
+        requested = sample_size(epsilon, delta, max_domain, self._k)
+        samples = requested
+        capped = False
+        if self._max_samples is not None and requested > self._max_samples:
+            samples = self._max_samples
+            capped = True
+        successes = sampler.sample_many(samples)
+        space = sampler.sample_space_size
+        estimate = space * successes / samples if samples else 0.0
+        return FPRASResult(
+            estimate=estimate,
+            samples=samples,
+            requested_samples=requested,
+            successes=successes,
+            sample_space_size=space,
+            epsilon=epsilon,
+            delta=delta,
+            capped=capped,
+        )
+
+    def __call__(
+        self,
+        instance,
+        epsilon: float,
+        delta: float,
+        rng: Optional[Union[random.Random, int]] = None,
+    ) -> float:
+        """Convenience: return only the numeric estimate."""
+        return self.estimate(instance, epsilon, delta, rng=rng).estimate

@@ -1,0 +1,206 @@
+"""Karp–Luby-style estimator over the "complex" sample space.
+
+The FPRAS the paper inherits from Dalvi and Suciu [5] for query probability
+over disjoint-independent probabilistic databases does *not* sample from the
+natural space of possible worlds: that would need exponentially many samples
+when the target probability is tiny.  Instead it samples from the space of
+pairs ``(certificate, world-inside-the-certificate's-box)`` — the classical
+Karp–Luby union-of-sets estimator.  The paper's discussion at the end of
+Section 6 and in Section 7.2 contrasts its own natural-sample-space scheme
+(simple, but with an ``m^k`` sample factor) against this one (slightly more
+involved, but polynomial even for unbounded selector length).  Benchmarks
+E6 and E11 measure exactly that trade-off.
+
+The estimator implemented here works for any finite union of boxes, so it
+covers #CQA, #DisjPoskDNF/#DisjPosDNF and #kForbColoring/#ForbColoring
+uniformly:
+
+1. compute the box sizes ``|box_1|, ..., |box_N|`` and their sum ``T``,
+2. per sample: pick a box ``j`` with probability ``|box_j| / T``, pick a
+   point uniformly inside ``box_j``, and output the indicator that ``j`` is
+   the *first* (lowest-index) box containing that point,
+3. the estimate is ``T`` times the sample mean.
+
+The mean of the indicator is ``|union| / T ≥ 1/N``, so ``O(N/ε² · ln(1/δ))``
+samples give an (ε, δ) guarantee — with ``N`` the number of certificates,
+never ``m^k``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ApproximationError
+from ..lams.compactor import Compactor
+from ..lams.selectors import Selector
+
+__all__ = ["KarpLubyResult", "karp_luby_sample_size", "KarpLubyEstimator", "estimate_union_karp_luby"]
+
+
+@dataclass(frozen=True)
+class KarpLubyResult:
+    """Outcome of a Karp–Luby estimation run."""
+
+    estimate: float
+    samples: int
+    successes: int
+    total_box_mass: int
+    boxes: int
+    epsilon: float
+    delta: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of samples whose box was the first containing the point."""
+        if self.samples == 0:
+            return 0.0
+        return self.successes / self.samples
+
+
+def karp_luby_sample_size(epsilon: float, delta: float, boxes: int) -> int:
+    """Sample bound ``t = ⌈(2+ε) · N / ε² · ln(2/δ)⌉`` for ``N`` boxes.
+
+    Mirrors the Chernoff argument of Theorem 6.2 with the lower bound
+    ``|union| / T ≥ 1/N`` replacing ``f(x)/|U| ≥ 1/m^k``.
+    """
+    if epsilon <= 0:
+        raise ApproximationError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ApproximationError(f"delta must lie in (0, 1), got {delta}")
+    if boxes <= 0:
+        return 1
+    bound = (2 + epsilon) * boxes / (epsilon ** 2) * math.log(2 / delta)
+    return max(1, math.ceil(bound))
+
+
+def _box_size(domain_sizes: Sequence[int], selector: Selector) -> int:
+    pinned = set(selector.pinned_indices())
+    size = 1
+    for index, domain_size in enumerate(domain_sizes):
+        if index not in pinned:
+            size *= domain_size
+    return size
+
+
+def estimate_union_karp_luby(
+    domain_sizes: Sequence[int],
+    selectors: Sequence[Selector],
+    epsilon: float,
+    delta: float,
+    rng: Optional[Union[random.Random, int]] = None,
+    max_samples: Optional[int] = None,
+) -> KarpLubyResult:
+    """Estimate ``|⋃ boxes|`` with the Karp–Luby estimator.
+
+    ``domain_sizes`` and ``selectors`` describe the boxes exactly as in
+    :mod:`repro.lams.union_of_boxes`; the answer approximates the same
+    quantity that :func:`~repro.lams.union_of_boxes.count_union_of_boxes`
+    computes exactly.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    elif rng is None:
+        rng = random.Random()
+
+    sizes = tuple(domain_sizes)
+    boxes = list(selectors)
+    if not boxes:
+        return KarpLubyResult(0.0, 0, 0, 0, 0, epsilon, delta)
+
+    box_sizes = [_box_size(sizes, selector) for selector in boxes]
+    total_mass = sum(box_sizes)
+    samples = karp_luby_sample_size(epsilon, delta, len(boxes))
+    if max_samples is not None:
+        samples = min(samples, max_samples)
+
+    # Cumulative distribution for box selection proportional to box size.
+    cumulative: List[int] = []
+    running = 0
+    for size in box_sizes:
+        running += size
+        cumulative.append(running)
+
+    successes = 0
+    for _ in range(samples):
+        # Pick the box.
+        target = rng.randrange(total_mass)
+        box_index = _bisect(cumulative, target)
+        selector = boxes[box_index]
+        pinned = selector.as_dict()
+        # Pick a uniform point inside the box.
+        point = tuple(
+            pinned[index] if index in pinned else rng.randrange(size)
+            for index, size in enumerate(sizes)
+        )
+        # Indicator: is the chosen box the first one containing the point?
+        first = _first_containing(boxes, point)
+        if first == box_index:
+            successes += 1
+
+    estimate = total_mass * successes / samples if samples else 0.0
+    return KarpLubyResult(
+        estimate=estimate,
+        samples=samples,
+        successes=successes,
+        total_box_mass=total_mass,
+        boxes=len(boxes),
+        epsilon=epsilon,
+        delta=delta,
+    )
+
+
+def _bisect(cumulative: Sequence[int], target: int) -> int:
+    """Index of the first cumulative value strictly greater than ``target``."""
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        middle = (low + high) // 2
+        if cumulative[middle] > target:
+            high = middle
+        else:
+            low = middle + 1
+    return low
+
+
+def _first_containing(boxes: Sequence[Selector], point: Sequence[int]) -> int:
+    for index, selector in enumerate(boxes):
+        if all(point[coordinate] == element for coordinate, element in selector.pins):
+            return index
+    raise AssertionError("the sampled point must lie in its own box")
+
+
+class KarpLubyEstimator:
+    """Karp–Luby estimator bound to a compactor (the baseline of E6/E11)."""
+
+    def __init__(self, compactor: Compactor, max_samples: Optional[int] = None) -> None:
+        self._compactor = compactor
+        self._max_samples = max_samples
+
+    def estimate(
+        self,
+        instance,
+        epsilon: float,
+        delta: float,
+        rng: Optional[Union[random.Random, int]] = None,
+    ) -> KarpLubyResult:
+        """Estimate ``unfold_M(instance)`` from the compactor's boxes."""
+        return estimate_union_karp_luby(
+            self._compactor.domain_sizes(instance),
+            self._compactor.selectors(instance),
+            epsilon,
+            delta,
+            rng=rng,
+            max_samples=self._max_samples,
+        )
+
+    def __call__(
+        self,
+        instance,
+        epsilon: float,
+        delta: float,
+        rng: Optional[Union[random.Random, int]] = None,
+    ) -> float:
+        """Convenience: return only the numeric estimate."""
+        return self.estimate(instance, epsilon, delta, rng=rng).estimate

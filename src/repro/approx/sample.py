@@ -1,0 +1,107 @@
+"""Algorithm 3: the ``Sample`` primitive of the Λ[k] FPRAS.
+
+Given a compactor ``M`` with solution domains ``S1, ..., Sn`` on input
+``x``, ``Sample(x)`` draws one element uniformly and independently from
+each domain and returns 1 iff the drawn point belongs to the unfolding of
+``M(x, c)`` for some valid certificate ``c`` — i.e. iff the point lies in
+the union of boxes whose size is the function value ``f(x)``.  Therefore
+
+    ``Pr[Sample(x) = 1] = f(x) / |U|``     with ``U = S1 × ... × Sn``
+
+(Lemma 6.3), which is the Bernoulli probability the FPRAS of Theorem 6.2
+amplifies.
+
+The implementation works with element *indices* (one integer per domain) so
+it never materialises strings, and the membership test is a scan over the
+certificate selectors.  A caller with a cheaper membership oracle (e.g. the
+#CQA sampler, which can evaluate the query on the sampled repair) can pass
+it in explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..lams.compactor import Compactor
+from ..lams.selectors import Selector
+
+__all__ = ["draw_point", "point_in_union", "Sampler"]
+
+#: A sampled point: one element index per solution domain.
+Point = Tuple[int, ...]
+
+
+def draw_point(domain_sizes: Sequence[int], rng: random.Random) -> Point:
+    """Draw one element index uniformly from each domain (the ``choose`` step)."""
+    return tuple(rng.randrange(size) for size in domain_sizes)
+
+
+def point_in_union(point: Sequence[int], selectors: Sequence[Selector]) -> bool:
+    """True iff the point lies in the box of at least one selector."""
+    for selector in selectors:
+        if all(point[index] == element for index, element in selector.pins):
+            return True
+    return False
+
+
+class Sampler:
+    """The ``Sample`` routine bound to a compactor and an input instance.
+
+    Parameters
+    ----------
+    compactor:
+        The compactor defining the function to approximate.
+    instance:
+        The input ``x``.
+    rng:
+        Random generator (or integer seed) for reproducibility.
+    membership:
+        Optional override for the membership test.  It receives the sampled
+        point (element indices) and must return True iff the point lies in
+        the union of boxes.  By default the certificate selectors are
+        materialised once and scanned per sample.
+    """
+
+    def __init__(
+        self,
+        compactor: Compactor,
+        instance,
+        rng: Optional[random.Random | int] = None,
+        membership: Optional[Callable[[Point], bool]] = None,
+    ) -> None:
+        self._compactor = compactor
+        self._instance = instance
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        self._rng = rng if rng is not None else random.Random()
+        self._domain_sizes = compactor.domain_sizes(instance)
+        if membership is None:
+            selectors = compactor.selectors(instance)
+            membership = lambda point: point_in_union(point, selectors)  # noqa: E731
+        self._membership = membership
+
+    @property
+    def domain_sizes(self) -> Tuple[int, ...]:
+        """Sizes of the solution domains of the bound instance."""
+        return tuple(self._domain_sizes)
+
+    @property
+    def sample_space_size(self) -> int:
+        """``|U| = Π_i |S_i|``."""
+        size = 1
+        for domain_size in self._domain_sizes:
+            size *= domain_size
+        return size
+
+    def sample_point(self) -> Point:
+        """Draw a uniform point of ``U`` (exposed for the #CQA sampler and tests)."""
+        return draw_point(self._domain_sizes, self._rng)
+
+    def sample(self) -> int:
+        """One run of Algorithm 3: returns 1 or 0."""
+        return 1 if self._membership(self.sample_point()) else 0
+
+    def sample_many(self, count: int) -> int:
+        """Number of successes over ``count`` independent runs."""
+        return sum(self.sample() for _ in range(count))

@@ -1,0 +1,117 @@
+"""Small statistics helpers for the approximation schemes and benchmarks.
+
+Nothing here is specific to the paper; these are the standard utilities an
+FPRAS implementation and its experimental evaluation need: summarising
+repeated trials, empirical error rates against a known exact value, and
+binomial confidence intervals for "was the error within ε" indicator
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["TrialSummary", "summarise_trials", "empirical_error_rate", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of repeated estimator runs against an exact value."""
+
+    exact: float
+    estimates: Tuple[float, ...]
+    epsilon: float
+
+    @property
+    def trials(self) -> int:
+        return len(self.estimates)
+
+    @property
+    def mean(self) -> float:
+        if not self.estimates:
+            return 0.0
+        return sum(self.estimates) / len(self.estimates)
+
+    @property
+    def max_relative_error(self) -> float:
+        """Largest |estimate - exact| / exact over the trials (0 if exact is 0)."""
+        if not self.estimates:
+            return 0.0
+        if self.exact == 0:
+            return max(abs(estimate) for estimate in self.estimates)
+        return max(abs(estimate - self.exact) / self.exact for estimate in self.estimates)
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Mean relative error over the trials."""
+        if not self.estimates:
+            return 0.0
+        if self.exact == 0:
+            return sum(abs(estimate) for estimate in self.estimates) / len(self.estimates)
+        return sum(
+            abs(estimate - self.exact) / self.exact for estimate in self.estimates
+        ) / len(self.estimates)
+
+    @property
+    def within_epsilon_rate(self) -> float:
+        """Fraction of trials with relative error at most ε.
+
+        The FPRAS guarantee of Theorem 6.2 says this should be at least
+        ``1 - δ``; benchmark E5 reports it per configuration.
+        """
+        if not self.estimates:
+            return 0.0
+        if self.exact == 0:
+            hits = sum(1 for estimate in self.estimates if estimate == 0)
+        else:
+            hits = sum(
+                1
+                for estimate in self.estimates
+                if abs(estimate - self.exact) <= self.epsilon * self.exact
+            )
+        return hits / len(self.estimates)
+
+
+def summarise_trials(
+    exact: float, estimates: Sequence[float], epsilon: float
+) -> TrialSummary:
+    """Package repeated estimates of a known exact value into a summary."""
+    return TrialSummary(exact, tuple(estimates), epsilon)
+
+
+def empirical_error_rate(
+    run_estimator: Callable[[], float],
+    exact: float,
+    epsilon: float,
+    trials: int,
+) -> TrialSummary:
+    """Run ``run_estimator`` ``trials`` times and summarise against ``exact``."""
+    estimates = [run_estimator() for _ in range(trials)]
+    return summarise_trials(exact, estimates, epsilon)
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used when reporting "fraction of runs within ε" so the benchmark tables
+    carry an honest uncertainty estimate rather than a bare point estimate.
+    """
+    if trials == 0:
+        return (0.0, 1.0)
+    # Normal quantile for the given two-sided confidence level.
+    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(round(confidence, 2))
+    if z is None:
+        # Fallback: Beasley-Springer-Moro style approximation is overkill here;
+        # default to the 95% quantile for unusual confidence levels.
+        z = 1.9600
+    proportion = successes / trials
+    denominator = 1 + z * z / trials
+    centre = (proportion + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(proportion * (1 - proportion) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))

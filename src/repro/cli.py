@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+The CLI wraps the :class:`~repro.core.CQASolver` façade so the library can
+be used from the shell on databases stored as JSON (see
+:func:`repro.db.io.save_json`) or as a directory of CSV files::
+
+    python -m repro inspect  --json employees.json
+    python -m repro repairs  --json employees.json
+    python -m repro decide   --json employees.json --query "Employee(1, x, 'HR')"
+    python -m repro count    --json employees.json \
+        --query "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)" \
+        --method fpras --epsilon 0.1 --delta 0.05
+    python -m repro rank     --json employees.json \
+        --query "Employee(1, x, y)" --answer-vars x,y
+
+Every command prints a small, line-oriented report to stdout and exits with
+status 0 on success; malformed input exits with status 2 and a message on
+stderr (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .core import CQASolver
+from .db import Database, PrimaryKeySet, load_csv_directory, load_json
+from .query import parse_query
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_instance(arguments: argparse.Namespace) -> tuple:
+    """Load (database, keys) from the --json or --csv-dir arguments."""
+    if arguments.json:
+        database, keys = load_json(arguments.json)
+    else:
+        key_spec = {}
+        for item in arguments.key or []:
+            relation, _, positions = item.partition("=")
+            if not positions:
+                raise SystemExit(
+                    f"--key expects RELATION=pos1,pos2 (got {item!r})"
+                )
+            key_spec[relation] = [int(position) for position in positions.split(",")]
+        database, keys = load_csv_directory(arguments.csv_dir, keys=key_spec)
+    if arguments.key and arguments.json:
+        raise SystemExit("--key is only meaningful together with --csv-dir")
+    return database, keys
+
+
+def _parse_cli_query(arguments: argparse.Namespace):
+    answer_variables = []
+    if getattr(arguments, "answer_vars", None):
+        answer_variables = [name.strip() for name in arguments.answer_vars.split(",") if name.strip()]
+    return parse_query(arguments.query, answer_variables=answer_variables)
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--json", help="database JSON file (schema, keys, facts)")
+    source.add_argument("--csv-dir", help="directory with one CSV file per relation")
+    parser.add_argument(
+        "--key",
+        action="append",
+        metavar="RELATION=POS1,POS2",
+        help="primary key for a relation when loading from CSV (repeatable)",
+    )
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--query", required=True, help="query in the textual syntax")
+    parser.add_argument(
+        "--answer-vars",
+        help="comma-separated answer variables (omit for a Boolean query)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Counting database repairs under primary keys (PODS 2019 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    inspect = subparsers.add_parser("inspect", help="summarise the database and its conflicts")
+    _add_instance_arguments(inspect)
+
+    repairs = subparsers.add_parser("repairs", help="count (and optionally list) the repairs")
+    _add_instance_arguments(repairs)
+    repairs.add_argument("--list", type=int, default=0, metavar="N", help="print up to N repairs")
+
+    decide = subparsers.add_parser("decide", help="is the query entailed by some repair?")
+    _add_instance_arguments(decide)
+    _add_query_arguments(decide)
+    decide.add_argument("--answer", help="comma-separated answer tuple for non-Boolean queries")
+
+    count = subparsers.add_parser("count", help="count the repairs entailing the query")
+    _add_instance_arguments(count)
+    _add_query_arguments(count)
+    count.add_argument("--answer", help="comma-separated answer tuple for non-Boolean queries")
+    count.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "naive", "certificate", "inclusion-exclusion", "enumeration", "fpras", "karp-luby"],
+    )
+    count.add_argument("--epsilon", type=float, default=0.1)
+    count.add_argument("--delta", type=float, default=0.05)
+    count.add_argument("--seed", type=int, default=None, help="seed for the randomised methods")
+
+    rank = subparsers.add_parser("rank", help="rank candidate answers by relative frequency")
+    _add_instance_arguments(rank)
+    _add_query_arguments(rank)
+    rank.add_argument("--top", type=int, default=0, metavar="N", help="print only the top N answers")
+
+    return parser
+
+
+def _parse_answer(text: Optional[str]) -> tuple:
+    if not text:
+        return ()
+    values: List[object] = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        try:
+            values.append(int(piece))
+        except ValueError:
+            values.append(piece)
+    return tuple(values)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    database, keys = _load_instance(arguments)
+    solver = CQASolver(database, keys, rng=getattr(arguments, "seed", None))
+
+    if arguments.command == "inspect":
+        decomposition = solver.decomposition
+        print(f"facts: {len(database)}")
+        print(f"relations: {', '.join(database.relation_names())}")
+        print(f"keys: {', '.join(str(constraint) for constraint in keys) or '<none>'}")
+        print(f"blocks: {len(decomposition)}")
+        print(f"conflicting blocks: {len(decomposition.conflicting_blocks())}")
+        print(f"consistent: {decomposition.is_consistent()}")
+        print(f"total repairs: {decomposition.total_repairs()}")
+        return 0
+
+    if arguments.command == "repairs":
+        print(f"total repairs: {solver.total_repairs()}")
+        for index, repair in enumerate(solver.repairs(limit=arguments.list)):
+            print(f"--- repair {index}")
+            for item in repair.sorted_facts():
+                print(f"  {item}")
+        return 0
+
+    query = _parse_cli_query(arguments)
+
+    if arguments.command == "decide":
+        entailed = solver.entails_some_repair(query, _parse_answer(arguments.answer))
+        print("entailed by some repair" if entailed else "entailed by no repair")
+        return 0
+
+    if arguments.command == "count":
+        result = solver.count(
+            query,
+            answer=_parse_answer(arguments.answer),
+            method=arguments.method,
+            epsilon=arguments.epsilon,
+            delta=arguments.delta,
+        )
+        print(result)
+        return 0
+
+    if arguments.command == "rank":
+        ranking = solver.answer_ranking(query)
+        if arguments.top:
+            ranking = ranking[: arguments.top]
+        for entry in ranking:
+            print(entry)
+        return 0
+
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

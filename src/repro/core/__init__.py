@@ -1,0 +1,5 @@
+"""Public façade: the :class:`CQASolver` high-level API."""
+
+from .solver import CQAResult, CQASolver, QueryDiagnostics
+
+__all__ = ["CQAResult", "CQASolver", "QueryDiagnostics"]

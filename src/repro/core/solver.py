@@ -1,0 +1,347 @@
+"""The public façade: :class:`CQASolver`.
+
+A solver is bound to one inconsistent database and one set of primary keys
+and exposes, behind a single object, every operation the paper discusses:
+
+* total repair counting and repair enumeration/sampling,
+* the decision problem #CQA>0,
+* exact #CQA counting (naive / certificate-based),
+* the FPRAS of Corollary 6.4 and the Karp–Luby baseline,
+* relative frequencies and answer rankings,
+* query diagnostics (fragment, keywidth, the Λ-level the instance lives in).
+
+The block decomposition is computed once and shared by every call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Constant
+from ..errors import FragmentError
+from ..query.ast import Query
+from ..query.classify import QueryClass, classify, is_existential_positive
+from ..query.keywidth import keywidth, max_disjunct_keywidth
+from ..query.parser import parse_query
+from ..query.rewriting import UCQ, to_ucq
+from ..query.substitution import bind_answer
+from ..approx.cqa_fpras import CQAFpras, CQAFprasResult
+from ..approx.karp_luby import estimate_union_karp_luby
+from ..repairs.certificates import certificate_selectors, iter_certificates
+from ..repairs.counting import CountReport, count_repairs_satisfying
+from ..repairs.decision import decide
+from ..repairs.enumeration import count_total_repairs, enumerate_repairs, sample_repair
+from ..repairs.frequency import AnswerFrequency, answer_frequencies
+
+__all__ = ["CQAResult", "QueryDiagnostics", "CQASolver"]
+
+
+@dataclass(frozen=True)
+class QueryDiagnostics:
+    """Static facts about a query w.r.t. the solver's key set."""
+
+    query_class: QueryClass
+    keywidth: int
+    max_disjunct_keywidth: Optional[int]
+    disjuncts: Optional[int]
+    admits_fpras: bool
+    lambda_level: Optional[int]
+
+    def __str__(self) -> str:
+        level = f"Λ[{self.lambda_level}]" if self.lambda_level is not None else "#P (no Λ level)"
+        return (
+            f"{self.query_class}; kw={self.keywidth}; "
+            f"level={level}; FPRAS={'yes' if self.admits_fpras else 'no (unless RP=NP)'}"
+        )
+
+
+@dataclass(frozen=True)
+class CQAResult:
+    """The answer to a #CQA request, with provenance.
+
+    ``satisfying`` is exact when ``method`` is an exact strategy and an
+    estimate when the FPRAS or the Karp–Luby baseline produced it (the
+    ``is_estimate`` flag records which).
+    """
+
+    satisfying: float
+    total: int
+    method: str
+    is_estimate: bool
+    answer: Tuple[Constant, ...]
+    details: object = None
+
+    @property
+    def frequency(self) -> float:
+        """Relative frequency of the answer (estimated iff the count is)."""
+        if self.total == 0:
+            return 0.0
+        return self.satisfying / self.total
+
+    @property
+    def exact_frequency(self) -> Fraction:
+        """Exact frequency as a fraction; only valid for exact methods."""
+        if self.is_estimate:
+            raise ValueError("exact_frequency is undefined for estimated results")
+        if self.total == 0:
+            return Fraction(0)
+        return Fraction(int(self.satisfying), self.total)
+
+    def __str__(self) -> str:
+        kind = "≈" if self.is_estimate else "="
+        return (
+            f"#CQA {kind} {self.satisfying:g} of {self.total} repairs "
+            f"(frequency {kind} {self.frequency:.4f}, method={self.method})"
+        )
+
+
+class CQASolver:
+    """Counting-based consistent query answering over one database.
+
+    Parameters
+    ----------
+    database:
+        The (possibly inconsistent) database ``D``.
+    keys:
+        The set ``Σ`` of primary keys.
+    rng:
+        Random generator or seed shared by the randomised methods; pass a
+        seed for reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        keys: PrimaryKeySet,
+        rng: Optional[Union[random.Random, int]] = None,
+    ) -> None:
+        self._database = database
+        self._keys = keys
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        self._rng = rng if rng is not None else random.Random()
+        self._decomposition = BlockDecomposition(database, keys)
+
+    # ------------------------------------------------------------------ #
+    # static structure
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> Database:
+        """The database the solver is bound to."""
+        return self._database
+
+    @property
+    def keys(self) -> PrimaryKeySet:
+        """The primary keys the solver is bound to."""
+        return self._keys
+
+    @property
+    def decomposition(self) -> BlockDecomposition:
+        """The (cached) block decomposition ``B1 ≺ ... ≺ Bn``."""
+        return self._decomposition
+
+    def is_consistent(self) -> bool:
+        """True iff the database satisfies every key (a single repair: itself)."""
+        return self._decomposition.is_consistent()
+
+    def total_repairs(self) -> int:
+        """``|rep(D, Σ)|`` — polynomial-time, the denominator of frequencies."""
+        return self._decomposition.total_repairs()
+
+    def repairs(self, limit: Optional[int] = None):
+        """Enumerate repairs (optionally limited); exponential in general."""
+        return enumerate_repairs(
+            self._database, self._keys, decomposition=self._decomposition, limit=limit
+        )
+
+    def sample_repair(self) -> Database:
+        """Draw one repair uniformly at random."""
+        return sample_repair(
+            self._database, self._keys, rng=self._rng, decomposition=self._decomposition
+        )
+
+    # ------------------------------------------------------------------ #
+    # query handling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_query(query: Union[Query, str]) -> Query:
+        if isinstance(query, str):
+            return parse_query(query)
+        return query
+
+    def diagnostics(self, query: Union[Query, str]) -> QueryDiagnostics:
+        """Fragment, keywidth and complexity placement of a query."""
+        parsed = self._as_query(query)
+        fragment = classify(parsed)
+        width = keywidth(parsed, self._keys)
+        positive = is_existential_positive(parsed)
+        if positive:
+            try:
+                ucq = to_ucq(parsed)
+                disjuncts = len(ucq.disjuncts)
+                per_disjunct = max_disjunct_keywidth(ucq, self._keys)
+            except FragmentError:
+                disjuncts = None
+                per_disjunct = None
+        else:
+            disjuncts = None
+            per_disjunct = None
+        return QueryDiagnostics(
+            query_class=fragment,
+            keywidth=width,
+            max_disjunct_keywidth=per_disjunct,
+            disjuncts=disjuncts,
+            admits_fpras=positive,
+            lambda_level=width if positive else None,
+        )
+
+    def entails_some_repair(
+        self, query: Union[Query, str], answer: Sequence[Constant] = ()
+    ) -> bool:
+        """The decision problem #CQA>0 for the given query/answer."""
+        parsed = self._as_query(query)
+        if parsed.arity:
+            parsed = bind_answer(parsed, answer)
+        elif answer:
+            raise FragmentError("a Boolean query takes no answer tuple")
+        return decide(self._database, self._keys, parsed)
+
+    # ------------------------------------------------------------------ #
+    # counting
+    # ------------------------------------------------------------------ #
+    def count(
+        self,
+        query: Union[Query, str],
+        answer: Sequence[Constant] = (),
+        method: str = "auto",
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+        max_samples: Optional[int] = None,
+    ) -> CQAResult:
+        """Count (or estimate) the repairs entailing the query.
+
+        ``method`` is one of the exact strategies of
+        :func:`repro.repairs.counting.count_repairs_satisfying` (``auto``,
+        ``naive``, ``certificate``, ``inclusion-exclusion``,
+        ``enumeration``) or one of the randomised ones: ``fpras`` (the
+        paper's natural-sample-space scheme) and ``karp-luby`` (the
+        complex-sample-space baseline).  ``epsilon``/``delta`` only apply to
+        the randomised methods.
+        """
+        parsed = self._as_query(query)
+        answer = tuple(answer)
+
+        if method in ("fpras", "karp-luby"):
+            return self._count_randomised(
+                parsed, answer, method, epsilon, delta, max_samples
+            )
+
+        report: CountReport = count_repairs_satisfying(
+            self._database,
+            self._keys,
+            parsed,
+            answer,
+            method=method,
+            decomposition=self._decomposition,
+        )
+        return CQAResult(
+            satisfying=report.satisfying,
+            total=report.total,
+            method=report.method,
+            is_estimate=False,
+            answer=answer,
+            details=report,
+        )
+
+    def _count_randomised(
+        self,
+        query: Query,
+        answer: Tuple[Constant, ...],
+        method: str,
+        epsilon: float,
+        delta: float,
+        max_samples: Optional[int],
+    ) -> CQAResult:
+        if method == "fpras":
+            scheme = CQAFpras(query, self._keys, max_samples=max_samples)
+            result: CQAFprasResult = scheme.estimate(
+                self._database,
+                epsilon,
+                delta,
+                answer=answer,
+                rng=self._rng,
+                decomposition=self._decomposition,
+            )
+            return CQAResult(
+                satisfying=result.estimate,
+                total=result.total_repairs,
+                method="fpras",
+                is_estimate=True,
+                answer=answer,
+                details=result,
+            )
+        # Karp-Luby over the certificate boxes.
+        bound = bind_answer(query, answer) if query.arity else query
+        if not is_existential_positive(bound):
+            raise FragmentError(
+                "randomised estimation requires an existential positive query"
+            )
+        ucq = to_ucq(bound)
+        certificates = list(iter_certificates(self._database, self._keys, ucq))
+        selectors = certificate_selectors(certificates, self._decomposition, self._keys)
+        result = estimate_union_karp_luby(
+            self._decomposition.block_sizes(),
+            selectors,
+            epsilon,
+            delta,
+            rng=self._rng,
+            max_samples=max_samples,
+        )
+        return CQAResult(
+            satisfying=result.estimate,
+            total=self._decomposition.total_repairs(),
+            method="karp-luby",
+            is_estimate=True,
+            answer=answer,
+            details=result,
+        )
+
+    # ------------------------------------------------------------------ #
+    # frequencies and classical CQA notions
+    # ------------------------------------------------------------------ #
+    def frequency(
+        self,
+        query: Union[Query, str],
+        answer: Sequence[Constant] = (),
+        method: str = "auto",
+    ) -> Fraction:
+        """Exact relative frequency of ``answer`` for ``query``."""
+        result = self.count(query, answer, method=method)
+        return result.exact_frequency
+
+    def answer_ranking(
+        self, query: Union[Query, str], method: str = "auto"
+    ) -> List[AnswerFrequency]:
+        """All candidate answers ranked by exact relative frequency."""
+        parsed = self._as_query(query)
+        return answer_frequencies(
+            self._database,
+            self._keys,
+            parsed,
+            method=method,
+            decomposition=self._decomposition,
+        )
+
+    def certain_answers(self, query: Union[Query, str]) -> List[Tuple[Constant, ...]]:
+        """Classical certain answers (frequency 1)."""
+        return [item.answer for item in self.answer_ranking(query) if item.is_certain]
+
+    def possible_answers(self, query: Union[Query, str]) -> List[Tuple[Constant, ...]]:
+        """Possible answers (frequency > 0)."""
+        return [item.answer for item in self.answer_ranking(query) if item.is_possible]

@@ -1,0 +1,41 @@
+"""Relational database substrate: schemas, facts, databases, keys, blocks.
+
+This subpackage implements the data model of Section 2.1 of the paper:
+databases as finite sets of facts, primary-key constraints, the key value
+``key_Σ(α)`` of a fact, and the canonical block decomposition
+``B1 ≺ ... ≺ Bn`` that repairs are built from.
+"""
+
+from .blocks import Block, BlockDecomposition
+from .constraints import KeyConstraint, KeyValue, PrimaryKeySet
+from .database import Database
+from .facts import Constant, Fact, fact
+from .io import (
+    database_from_json,
+    database_to_json,
+    load_csv_directory,
+    load_json,
+    save_csv_directory,
+    save_json,
+)
+from .schema import RelationSchema, Schema
+
+__all__ = [
+    "Block",
+    "BlockDecomposition",
+    "Constant",
+    "Database",
+    "Fact",
+    "KeyConstraint",
+    "KeyValue",
+    "PrimaryKeySet",
+    "RelationSchema",
+    "Schema",
+    "fact",
+    "database_from_json",
+    "database_to_json",
+    "load_csv_directory",
+    "load_json",
+    "save_csv_directory",
+    "save_json",
+]

@@ -1,0 +1,242 @@
+"""Block decomposition of an inconsistent database.
+
+Under primary keys, the facts of a database partition into *blocks*: maximal
+sets of facts sharing the same key value ``key_Σ(α)``.  A repair keeps
+exactly one fact from each block, so the set of repairs is (isomorphic to)
+the cartesian product of the blocks.  The paper fixes a canonical ordering
+``≺_{D,Σ}`` of the blocks (lexicographic on key values), which this module
+reproduces: :class:`BlockDecomposition` exposes the blocks as an ordered
+sequence ``B1, ..., Bn`` and is the backbone of repair enumeration,
+counting, the guess–check–expand transducer and the compactor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from .constraints import KeyValue, PrimaryKeySet
+from .database import Database
+from .facts import Fact
+
+__all__ = ["Block", "BlockDecomposition"]
+
+
+def _key_sort_token(value: KeyValue) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """A total-order token for a key value.
+
+    Key values may mix constant types (ints, strings); we order constants by
+    ``(type name, string rendering)`` so the lexicographic ordering
+    ``≺_{D,Σ}`` is total, deterministic and independent of insertion order.
+    """
+    relation, constants = value
+    return (relation, tuple((type(c).__name__, str(c)) for c in constants))
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block ``B_i``: all facts of ``D`` with a given key value.
+
+    Attributes
+    ----------
+    key_value:
+        The shared key value of the facts in the block.
+    facts:
+        The facts of the block, sorted canonically so that position ``j``
+        within the block is well defined (used by samplers and compactors).
+    """
+
+    key_value: KeyValue
+    facts: Tuple[Fact, ...]
+
+    def __post_init__(self) -> None:
+        if not self.facts:
+            raise ValueError("a block must contain at least one fact")
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.facts
+
+    @property
+    def relation(self) -> str:
+        """The relation all facts of the block belong to."""
+        return self.key_value[0]
+
+    def is_conflicting(self) -> bool:
+        """True iff the block holds more than one fact (an actual conflict)."""
+        return len(self.facts) > 1
+
+    def index_of(self, item: Fact) -> int:
+        """Return the 0-based position of ``item`` within the block."""
+        return self.facts.index(item)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(item) for item in self.facts)
+        return f"Block[{self.relation}{self.key_value[1]}]{{{rendered}}}"
+
+
+class BlockDecomposition:
+    """The ordered block sequence ``B1 ≺ B2 ≺ ... ≺ Bn`` of ``(D, Σ)``.
+
+    The ordering is the lexicographic ordering of key values used throughout
+    the paper (``≺_{D,Σ}``).  The decomposition is computed once and reused
+    by every algorithm that needs it (enumeration, counting, sampling,
+    transducers, compactors).
+    """
+
+    def __init__(self, database: Database, keys: PrimaryKeySet) -> None:
+        self._database = database
+        self._keys = keys
+        grouped: Dict[KeyValue, List[Fact]] = defaultdict(list)
+        for item in database:
+            grouped[keys.key_value(item)].append(item)
+        ordered_values = sorted(grouped, key=_key_sort_token)
+        self._blocks: Tuple[Block, ...] = tuple(
+            Block(value, tuple(sorted(grouped[value]))) for value in ordered_values
+        )
+        self._index_by_key: Dict[KeyValue, int] = {
+            block.key_value: index for index, block in enumerate(self._blocks)
+        }
+        self._index_by_fact: Dict[Fact, int] = {}
+        for index, block in enumerate(self._blocks):
+            for item in block:
+                self._index_by_fact[item] = index
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> Database:
+        """The database that was decomposed."""
+        return self._database
+
+    @property
+    def keys(self) -> PrimaryKeySet:
+        """The primary keys used for the decomposition."""
+        return self._keys
+
+    @property
+    def blocks(self) -> Tuple[Block, ...]:
+        """The blocks in ``≺_{D,Σ}`` order."""
+        return self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __getitem__(self, index: int) -> Block:
+        return self._blocks[index]
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def block_of(self, item: Fact) -> Block:
+        """Return the block containing ``item`` (the paper's ``block_Σ(α, D)``)."""
+        return self._blocks[self.block_index_of(item)]
+
+    def block_index_of(self, item: Fact) -> int:
+        """Return the 0-based index of the block containing ``item``."""
+        try:
+            return self._index_by_fact[item]
+        except KeyError as exc:
+            raise KeyError(f"fact {item} does not belong to the database") from exc
+
+    def block_for_key(self, key_value: KeyValue) -> Block:
+        """Return the block with the given key value."""
+        return self._blocks[self._index_by_key[key_value]]
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def block_sizes(self) -> Tuple[int, ...]:
+        """Sizes ``|B1|, ..., |Bn|`` in block order."""
+        return tuple(len(block) for block in self._blocks)
+
+    def conflicting_blocks(self) -> Tuple[Block, ...]:
+        """Blocks with at least two facts (actual conflicts)."""
+        return tuple(block for block in self._blocks if block.is_conflicting())
+
+    def max_block_size(self) -> int:
+        """``max_i |B_i|`` — the quantity ``m`` in the FPRAS sample bound."""
+        if not self._blocks:
+            return 0
+        return max(len(block) for block in self._blocks)
+
+    def total_repairs(self) -> int:
+        """``|rep(D, Σ)| = Π_i |B_i|`` (1 for the empty database).
+
+        This is the "easy" counting problem the paper notes is in FP.
+        """
+        total = 1
+        for block in self._blocks:
+            total *= len(block)
+        return total
+
+    def is_consistent(self) -> bool:
+        """True iff the database has no conflicting block."""
+        return all(not block.is_conflicting() for block in self._blocks)
+
+    # ------------------------------------------------------------------ #
+    # repair assembly
+    # ------------------------------------------------------------------ #
+    def repair_from_choices(self, choices: Sequence[int]) -> Database:
+        """Build the repair selecting fact ``choices[i]`` from block ``B_i``.
+
+        ``choices`` must have one 0-based index per block.  Because every
+        repair keeps exactly one fact per block, this gives a bijection
+        between index vectors and repairs — it is the library counterpart of
+        the tuple ``⟨α1, ..., αn⟩ ∈ Π_{D,Σ}`` in the paper.
+        """
+        if len(choices) != len(self._blocks):
+            raise ValueError(
+                f"expected {len(self._blocks)} choices (one per block), "
+                f"got {len(choices)}"
+            )
+        selected = [
+            block.facts[choice] for block, choice in zip(self._blocks, choices)
+        ]
+        return Database(selected, schema=self._database.schema)
+
+    def choices_from_repair(self, repair: Database) -> Tuple[int, ...]:
+        """Inverse of :meth:`repair_from_choices` for a valid repair."""
+        choices: List[int] = []
+        facts_by_block: Dict[int, Fact] = {}
+        for item in repair:
+            index = self.block_index_of(item)
+            if index in facts_by_block:
+                raise ValueError(
+                    f"not a repair: block {index} contributes both "
+                    f"{facts_by_block[index]} and {item}"
+                )
+            facts_by_block[index] = item
+        for index, block in enumerate(self._blocks):
+            if index not in facts_by_block:
+                raise ValueError(f"not a repair: block {index} ({block}) is missing")
+            choices.append(block.index_of(facts_by_block[index]))
+        return tuple(choices)
+
+    def is_repair(self, candidate: Database) -> bool:
+        """True iff ``candidate`` is a repair of ``(D, Σ)``.
+
+        A repair is a maximal consistent subset of ``D``, equivalently a set
+        keeping exactly one fact from each block.
+        """
+        try:
+            self.choices_from_repair(candidate)
+        except (ValueError, KeyError):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockDecomposition(blocks={len(self._blocks)}, "
+            f"repairs={self.total_repairs()})"
+        )

@@ -1,0 +1,250 @@
+"""Key constraints and sets of primary keys.
+
+A key constraint (Section 2.1 of the paper) is an expression
+``key(R) = A`` where ``A`` is a set of attribute positions of ``R``.  A
+database ``D`` satisfies it if any two facts of ``D`` over ``R`` that agree
+on the positions in ``A`` are equal.  A set of *primary* keys has at most
+one key per relation.
+
+Following the paper, we normalise keys so that the key positions are always
+a prefix ``{1, ..., m}`` of the attribute positions.  The library does not
+force users into that normal form: :class:`KeyConstraint` accepts arbitrary
+position sets and :meth:`PrimaryKeySet.normalised` produces the prefix form
+together with the column permutation that realises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConstraintError
+from .database import Database
+from .facts import Constant, Fact
+from .schema import Schema
+
+__all__ = ["KeyConstraint", "PrimaryKeySet", "KeyValue"]
+
+#: The "key value" of a fact: the relation name together with the projection
+#: of the fact on its key positions (or on all positions when the relation
+#: has no key).  Two facts conflict exactly when their key values coincide
+#: but the facts differ.
+KeyValue = Tuple[str, Tuple[Constant, ...]]
+
+
+@dataclass(frozen=True)
+class KeyConstraint:
+    """A single key constraint ``key(R) = positions`` (1-based positions)."""
+
+    relation: str
+    positions: FrozenSet[int]
+
+    def __init__(self, relation: str, positions: Iterable[int]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "positions", frozenset(positions))
+        if not self.relation:
+            raise ConstraintError("a key constraint must name a relation")
+        if any(position < 1 for position in self.positions):
+            raise ConstraintError(
+                f"key positions must be >= 1, got {sorted(self.positions)} "
+                f"for relation {self.relation!r}"
+            )
+
+    @property
+    def sorted_positions(self) -> Tuple[int, ...]:
+        """Key positions in increasing order."""
+        return tuple(sorted(self.positions))
+
+    def is_prefix_key(self) -> bool:
+        """True if the key positions are exactly ``{1, ..., m}``.
+
+        The paper assumes this normal form w.l.o.g.; see
+        :meth:`PrimaryKeySet.normalised` for converting arbitrary keys.
+        """
+        return self.positions == frozenset(range(1, len(self.positions) + 1))
+
+    def key_of(self, fact_: Fact) -> Tuple[Constant, ...]:
+        """Project ``fact_`` onto the key positions."""
+        if fact_.relation != self.relation:
+            raise ConstraintError(
+                f"key for {self.relation!r} applied to a fact over "
+                f"{fact_.relation!r}"
+            )
+        if self.positions and max(self.positions) > fact_.arity:
+            raise ConstraintError(
+                f"key positions {self.sorted_positions} exceed the arity "
+                f"{fact_.arity} of fact {fact_}"
+            )
+        return fact_.project(self.sorted_positions)
+
+    def __str__(self) -> str:
+        positions = ", ".join(str(position) for position in self.sorted_positions)
+        return f"key({self.relation}) = {{{positions}}}"
+
+
+class PrimaryKeySet:
+    """A set of key constraints with at most one key per relation.
+
+    This is the object the paper calls ``Σ``.  It provides:
+
+    * conflict detection between facts (:meth:`in_conflict`),
+    * the key value ``key_Σ(α)`` of a fact (:meth:`key_value`),
+    * consistency checking of databases and fact sets (:meth:`is_consistent`),
+    * enumeration of violated constraints for diagnostics
+      (:meth:`violations`).
+    """
+
+    def __init__(self, constraints: Iterable[KeyConstraint] = ()) -> None:
+        self._by_relation: Dict[str, KeyConstraint] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Iterable[int]]) -> "PrimaryKeySet":
+        """Build from ``{"R": [1, 2], "S": [1]}``-style mappings."""
+        return cls(KeyConstraint(name, positions) for name, positions in mapping.items())
+
+    @classmethod
+    def primary_key(cls, relation: str, *positions: int) -> "PrimaryKeySet":
+        """Build a singleton set ``{key(relation) = positions}``."""
+        return cls([KeyConstraint(relation, positions)])
+
+    def add(self, constraint: KeyConstraint) -> None:
+        """Add a constraint, rejecting a second key for the same relation."""
+        existing = self._by_relation.get(constraint.relation)
+        if existing is not None and existing != constraint:
+            raise ConstraintError(
+                f"relation {constraint.relation!r} already has the key "
+                f"{existing}; a set of primary keys allows at most one key "
+                f"per relation"
+            )
+        self._by_relation[constraint.relation] = constraint
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[KeyConstraint]:
+        return iter(self._by_relation.values())
+
+    def __len__(self) -> int:
+        return len(self._by_relation)
+
+    def __contains__(self, relation: object) -> bool:
+        return relation in self._by_relation
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrimaryKeySet):
+            return NotImplemented
+        return self._by_relation == other._by_relation
+
+    def key_for(self, relation: str) -> Optional[KeyConstraint]:
+        """Return the key of ``relation`` or ``None`` if it has no key."""
+        return self._by_relation.get(relation)
+
+    def has_key(self, relation: str) -> bool:
+        """True if ``Σ`` declares a key for ``relation``.
+
+        This is the test the keywidth function ``kw(Q, Σ)`` and Algorithm 1/2
+        perform for every atom of the query.
+        """
+        return relation in self._by_relation
+
+    def relations_with_keys(self) -> Tuple[str, ...]:
+        """Relations that have a declared key, sorted by name."""
+        return tuple(sorted(self._by_relation))
+
+    # ------------------------------------------------------------------ #
+    # the key value key_Σ(α)
+    # ------------------------------------------------------------------ #
+    def key_value(self, fact_: Fact) -> KeyValue:
+        """The key value ``key_Σ(α)`` of a fact ``α``.
+
+        If ``Σ`` has a key for the fact's relation this is the projection of
+        the fact on the key positions, paired with the relation name;
+        otherwise it is the whole fact (so an unkeyed fact is only in
+        conflict with itself, i.e. never in conflict).
+        """
+        constraint = self._by_relation.get(fact_.relation)
+        if constraint is None:
+            return (fact_.relation, fact_.arguments)
+        return (fact_.relation, constraint.key_of(fact_))
+
+    def in_conflict(self, first: Fact, second: Fact) -> bool:
+        """True iff the two distinct facts share the same key value."""
+        if first == second:
+            return False
+        return self.key_value(first) == self.key_value(second)
+
+    # ------------------------------------------------------------------ #
+    # consistency
+    # ------------------------------------------------------------------ #
+    def is_consistent(self, facts: Iterable[Fact]) -> bool:
+        """True iff the given set of facts satisfies every key in ``Σ``.
+
+        This is the paper's ``D |= Σ``.  The check is a single pass with a
+        hash map from key values to the (unique) fact claimed for that key.
+        """
+        seen: Dict[KeyValue, Fact] = {}
+        for fact_ in facts:
+            value = self.key_value(fact_)
+            other = seen.get(value)
+            if other is not None and other != fact_:
+                return False
+            seen[value] = fact_
+        return True
+
+    def violations(self, database: Database) -> List[Tuple[Fact, Fact]]:
+        """Return one representative conflicting pair per violated key value.
+
+        Useful for diagnostics and for tests; an empty list means the
+        database is consistent.
+        """
+        seen: Dict[KeyValue, Fact] = {}
+        conflicts: List[Tuple[Fact, Fact]] = []
+        for fact_ in database.sorted_facts():
+            value = self.key_value(fact_)
+            other = seen.get(value)
+            if other is not None and other != fact_:
+                conflicts.append((other, fact_))
+            else:
+                seen[value] = fact_
+        return conflicts
+
+    # ------------------------------------------------------------------ #
+    # normal form
+    # ------------------------------------------------------------------ #
+    def normalised(self, schema: Schema) -> Tuple["PrimaryKeySet", Dict[str, Tuple[int, ...]]]:
+        """Return an equivalent key set in the paper's prefix normal form.
+
+        The paper assumes w.l.o.g. that every key is ``{1, ..., m}``.  For a
+        relation whose key positions are not a prefix, this method computes
+        the column permutation that moves the key columns to the front and
+        returns (a) the rewritten key set and (b) the permutation applied to
+        each relation as a tuple of source positions (1-based).  Relations
+        that do not need reordering map to the identity permutation.
+        """
+        permutations: Dict[str, Tuple[int, ...]] = {}
+        rewritten: List[KeyConstraint] = []
+        for relation_schema in schema:
+            name = relation_schema.name
+            constraint = self._by_relation.get(name)
+            if constraint is None:
+                permutations[name] = tuple(range(1, relation_schema.arity + 1))
+                continue
+            key_positions = list(constraint.sorted_positions)
+            non_key_positions = [
+                position
+                for position in range(1, relation_schema.arity + 1)
+                if position not in constraint.positions
+            ]
+            permutation = tuple(key_positions + non_key_positions)
+            permutations[name] = permutation
+            rewritten.append(KeyConstraint(name, range(1, len(key_positions) + 1)))
+        return PrimaryKeySet(rewritten), permutations
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(constraint) for constraint in self)
+        return f"PrimaryKeySet({{{body}}})"

@@ -1,0 +1,196 @@
+"""Databases: finite sets of facts.
+
+The :class:`Database` class is the central data container of the library.
+It behaves like an immutable-by-convention set of :class:`~repro.db.facts.Fact`
+objects, indexed by relation name for fast access, and carries an optional
+:class:`~repro.db.schema.Schema` against which facts are validated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import SchemaError
+from .facts import Constant, Fact
+from .schema import RelationSchema, Schema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A finite set of facts over a schema.
+
+    Parameters
+    ----------
+    facts:
+        The facts of the database.  Duplicates are silently collapsed (a
+        database is a set).
+    schema:
+        Optional schema.  When provided, every fact is validated against it
+        (declared relation, correct arity).  When omitted, a schema is
+        inferred from the facts themselves: each relation gets the arity of
+        its first fact, and facts with a conflicting arity are rejected.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        schema: Optional[Schema] = None,
+    ) -> None:
+        self._facts: Set[Fact] = set()
+        self._by_relation: Dict[str, Set[Fact]] = defaultdict(set)
+        self._schema = schema if schema is not None else Schema()
+        self._schema_was_given = schema is not None
+        for item in facts:
+            self.add(item)
+
+    # ------------------------------------------------------------------ #
+    # construction / mutation
+    # ------------------------------------------------------------------ #
+    def add(self, new_fact: Fact) -> None:
+        """Add a fact, validating or extending the schema as appropriate."""
+        if not isinstance(new_fact, Fact):
+            raise TypeError(f"expected a Fact, got {type(new_fact).__name__}")
+        if new_fact.relation in self._schema:
+            self._schema.check_terms(new_fact.relation, new_fact.arguments)
+        elif self._schema_was_given:
+            raise SchemaError(
+                f"fact {new_fact} uses relation {new_fact.relation!r} which is "
+                f"not declared in the provided schema"
+            )
+        else:
+            self._schema.add_relation(
+                RelationSchema(new_fact.relation, new_fact.arity)
+            )
+        self._facts.add(new_fact)
+        self._by_relation[new_fact.relation].add(new_fact)
+
+    def update(self, facts: Iterable[Fact]) -> None:
+        """Add every fact from ``facts``."""
+        for item in facts:
+            self.add(item)
+
+    def discard(self, old_fact: Fact) -> None:
+        """Remove ``old_fact`` if present (no error if absent)."""
+        if old_fact in self._facts:
+            self._facts.discard(old_fact)
+            self._by_relation[old_fact.relation].discard(old_fact)
+
+    # ------------------------------------------------------------------ #
+    # set-like protocol
+    # ------------------------------------------------------------------ #
+    def __contains__(self, item: object) -> bool:
+        return item in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used, but handy
+        return hash(frozenset(self._facts))
+
+    def facts(self) -> FrozenSet[Fact]:
+        """Return the facts as a frozen set."""
+        return frozenset(self._facts)
+
+    def sorted_facts(self) -> List[Fact]:
+        """Return the facts in the canonical (lexicographic) order."""
+        return sorted(self._facts)
+
+    # ------------------------------------------------------------------ #
+    # schema and relation access
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        """The schema the database conforms to (given or inferred)."""
+        return self._schema
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        """Return all facts of relation ``name`` (empty set if none)."""
+        return frozenset(self._by_relation.get(name, frozenset()))
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Return the names of relations that have at least one fact."""
+        return tuple(sorted(name for name, facts in self._by_relation.items() if facts))
+
+    # ------------------------------------------------------------------ #
+    # domain
+    # ------------------------------------------------------------------ #
+    def active_domain(self) -> FrozenSet[Constant]:
+        """The active domain ``dom(D)``: all constants occurring in ``D``."""
+        domain: Set[Constant] = set()
+        for item in self._facts:
+            domain.update(item.arguments)
+        return frozenset(domain)
+
+    def active_domain_sorted(self) -> List[Constant]:
+        """The active domain as a deterministically ordered list.
+
+        Constants of mixed types (ints and strings) are ordered by
+        ``(type name, value as string)`` so the order is total and stable,
+        which matters for reproducible enumeration in tests and benchmarks.
+        """
+        return sorted(self.active_domain(), key=lambda c: (type(c).__name__, str(c)))
+
+    # ------------------------------------------------------------------ #
+    # derived databases
+    # ------------------------------------------------------------------ #
+    def restrict(self, facts: Iterable[Fact]) -> "Database":
+        """Return a new database containing only the given facts of ``self``."""
+        kept = [item for item in facts if item in self._facts]
+        return Database(kept, schema=self._schema)
+
+    def union(self, other: "Database") -> "Database":
+        """Return a new database with the facts of both databases."""
+        combined = Database(self._facts)
+        combined.update(other)
+        return combined
+
+    def copy(self) -> "Database":
+        """Return a shallow copy (facts are immutable, so this is safe)."""
+        return Database(self._facts, schema=self._schema if self._schema_was_given else None)
+
+    # ------------------------------------------------------------------ #
+    # display
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        if len(self._facts) <= 8:
+            rendered = ", ".join(str(item) for item in self.sorted_facts())
+            return f"Database({{{rendered}}})"
+        return f"Database(<{len(self._facts)} facts over {len(self.relation_names())} relations>)"
+
+    def pretty(self, max_facts_per_relation: Optional[int] = None) -> str:
+        """Return a human-readable multi-line rendering of the database."""
+        lines: List[str] = []
+        for name in self.relation_names():
+            facts = sorted(self._by_relation[name])
+            shown: Sequence[Fact] = facts
+            suffix = ""
+            if max_facts_per_relation is not None and len(facts) > max_facts_per_relation:
+                shown = facts[:max_facts_per_relation]
+                suffix = f"  ... ({len(facts) - max_facts_per_relation} more)"
+            lines.append(f"{name} ({len(facts)} facts):")
+            lines.extend(f"  {item}" for item in shown)
+            if suffix:
+                lines.append(suffix)
+        return "\n".join(lines) if lines else "<empty database>"

@@ -1,0 +1,69 @@
+"""Facts: ground atoms stored in a database.
+
+A fact over a schema ``S`` is an expression ``R(c1, ..., cn)`` where ``R/n``
+is a relation of ``S`` and each ``ci`` is a constant.  Facts are immutable
+and hashable so they can live in Python sets, which is exactly how
+databases are represented (a database is a finite set of facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+from ..errors import SchemaError
+
+__all__ = ["Constant", "Fact", "fact"]
+
+#: The constants the paper draws from a countably infinite set ``C``.  In the
+#: library a constant is any hashable scalar; strings and integers cover all
+#: practical uses and keep facts printable.
+Constant = Union[str, int, float, bool]
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """An immutable ground atom ``R(c1, ..., cn)``.
+
+    Facts are ordered lexicographically by ``(relation, arguments)``; this
+    total order is what the block ordering ``≺_{D,Σ}`` of the paper is built
+    on (see :mod:`repro.db.blocks`).
+    """
+
+    relation: str
+    arguments: Tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise SchemaError("a fact must name a non-empty relation symbol")
+        if not isinstance(self.arguments, tuple):
+            # Accept any iterable at construction time for ergonomic reasons,
+            # but store a tuple so the fact is hashable.
+            object.__setattr__(self, "arguments", tuple(self.arguments))
+        if len(self.arguments) == 0:
+            raise SchemaError(
+                f"fact over {self.relation!r} must have at least one argument"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments of the fact."""
+        return len(self.arguments)
+
+    def project(self, positions: Iterable[int]) -> Tuple[Constant, ...]:
+        """Return the arguments at the given 1-based ``positions``.
+
+        This mirrors the paper's ``t[A]`` notation for the projection of a
+        tuple on a set of attribute positions, used to define key
+        satisfaction.
+        """
+        return tuple(self.arguments[position - 1] for position in positions)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(argument) for argument in self.arguments)
+        return f"{self.relation}({rendered})"
+
+
+def fact(relation: str, *arguments: Constant) -> Fact:
+    """Convenience constructor: ``fact("R", 1, "a")`` == ``Fact("R", (1, "a"))``."""
+    return Fact(relation, tuple(arguments))

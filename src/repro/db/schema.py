@@ -1,0 +1,184 @@
+"""Relational schemas.
+
+A schema, in the sense of Section 2.1 of the paper, is a finite set of
+relation symbols with associated arities.  This module adds the small amount
+of extra structure a practical library needs on top of that: optional
+attribute names (so databases can be loaded from CSV headers and query
+results can be displayed meaningfully) and helpers for validating facts and
+atoms against the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ArityError, SchemaError
+
+__all__ = ["RelationSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A single relation symbol ``R/n`` with optional attribute names.
+
+    Parameters
+    ----------
+    name:
+        The relation symbol, e.g. ``"Employee"``.
+    arity:
+        The number of attributes ``n``; must be positive (the paper assumes
+        ``n > 0`` for facts).
+    attributes:
+        Optional attribute names.  When omitted, positional names
+        ``("a1", ..., "an")`` are generated so every relation always has a
+        usable header.
+    """
+
+    name: str
+    arity: int
+    attributes: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be a non-empty string")
+        if self.arity <= 0:
+            raise SchemaError(
+                f"relation {self.name!r} must have positive arity, got {self.arity}"
+            )
+        if not self.attributes:
+            object.__setattr__(
+                self, "attributes", tuple(f"a{i + 1}" for i in range(self.arity))
+            )
+        if len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} declares {self.arity} attributes but "
+                f"names {len(self.attributes)} of them"
+            )
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attribute names: "
+                f"{self.attributes}"
+            )
+
+    def position_of(self, attribute: str) -> int:
+        """Return the 1-based position of ``attribute``.
+
+        The paper indexes key positions starting from 1 (``key(R) = {1}``
+        refers to the first attribute), so every positional API in this
+        library is 1-based as well.
+        """
+        try:
+            return self.attributes.index(attribute) + 1
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"known attributes: {self.attributes}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class Schema:
+    """A finite collection of :class:`RelationSchema` objects.
+
+    The schema is the static part of a database instance: it fixes which
+    relation symbols exist and with which arity.  Facts, atoms and key
+    constraints are validated against it.
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "Schema":
+        """Build a schema from a ``{relation_name: arity}`` mapping."""
+        return cls(RelationSchema(name, arity) for name, arity in arities.items())
+
+    @classmethod
+    def from_attributes(
+        cls, attributes: Mapping[str, Sequence[str]]
+    ) -> "Schema":
+        """Build a schema from a ``{relation_name: [attribute, ...]}`` mapping."""
+        return cls(
+            RelationSchema(name, len(attrs), tuple(attrs))
+            for name, attrs in attributes.items()
+        )
+
+    def add_relation(self, relation: RelationSchema) -> None:
+        """Add a relation, rejecting redeclarations with a different shape."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise SchemaError(
+                f"relation {relation.name!r} is already declared as {existing} "
+                f"and cannot be redeclared as {relation}"
+            )
+        self._relations[relation.name] = relation
+
+    def declare(
+        self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
+    ) -> RelationSchema:
+        """Declare (or fetch an identical existing) relation and return it."""
+        relation = RelationSchema(name, arity, tuple(attributes or ()))
+        self.add_relation(relation)
+        return self._relations[name]
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> RelationSchema:
+        """Return the declared relation ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"relation {name!r} is not declared in the schema; "
+                f"known relations: {sorted(self._relations)}"
+            ) from exc
+
+    def arity(self, name: str) -> int:
+        """Return the arity of relation ``name``."""
+        return self.relation(name).arity
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Return the declared relation names in declaration order."""
+        return tuple(self._relations)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def check_terms(self, relation_name: str, terms: Sequence[object]) -> None:
+        """Validate that ``terms`` matches the arity of ``relation_name``."""
+        relation = self.relation(relation_name)
+        if len(terms) != relation.arity:
+            raise ArityError(
+                f"relation {relation_name!r} has arity {relation.arity} but "
+                f"received {len(terms)} terms: {tuple(terms)!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # dunder conveniences
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(rel) for rel in self)
+        return f"Schema({body})"

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating in this package with a single ``except``
+clause while still being able to distinguish precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or used inconsistently.
+
+    Raised, for instance, when a fact mentions a relation that is not part
+    of the schema, or when a relation is declared twice with different
+    arities.
+    """
+
+
+class ArityError(SchemaError):
+    """A fact or atom has the wrong number of arguments for its relation."""
+
+
+class ConstraintError(ReproError):
+    """A key constraint is malformed.
+
+    Examples include key positions outside the relation's arity, or a set of
+    constraints declaring two different keys for the same relation (which
+    would violate the *primary* key assumption the paper works under).
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed or does not belong to the expected fragment."""
+
+
+class QueryParseError(QueryError):
+    """The textual representation of a query could not be parsed."""
+
+
+class FragmentError(QueryError):
+    """A query does not belong to the syntactic fragment an algorithm needs.
+
+    For example, the certificate-based exact counter and the FPRAS of
+    Theorem 6.2 require existential positive queries; feeding them a query
+    with negation raises this error.
+    """
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed (e.g. free variables left unbound)."""
+
+
+class ReductionError(ReproError):
+    """A many-one reduction received an input outside its domain."""
+
+
+class ApproximationError(ReproError):
+    """An approximation scheme was configured with invalid parameters.
+
+    For example ``epsilon <= 0`` or ``delta`` outside ``(0, 1)``.
+    """
+
+
+class CompactorError(ReproError):
+    """A compactor produced or was asked to parse a malformed compact string."""

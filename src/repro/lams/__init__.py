@@ -1,0 +1,60 @@
+"""The Λ-hierarchy machinery: selectors, boxes, compactors and transducers.
+
+This subpackage is the operational counterpart of Sections 4 and 5 of the
+paper: compact representations ``[[S1, ..., Sn]]_k`` with their unfolding,
+the abstract logspace k-compactor (Definition 4.1), the #CQA compactor of
+Algorithm 2, the guess–check–expand transducer of Algorithm 1, exact
+union-of-boxes counting (the engine behind every exact counter in the
+library), and the unbounded SpanLL variant of Section 7.2.
+"""
+
+from .compact import (
+    CompactString,
+    compact_from_selector,
+    parse_compact,
+    render_compact,
+    unfolding,
+    unfolding_size,
+)
+from .compactor import Compactor, encode_token
+from .cqa_compactor import CQACertificate, CQACompactor, encode_fact
+from .hierarchy import STRUCTURAL_FACTS, StructuralFact, TabularCompactor, level_of
+from .selectors import Box, Selector
+from .spanll import UnboundedCompactor, forget_bound, is_spanll_compactor
+from .transducer import GuessCheckExpandTransducer
+from .union_of_boxes import (
+    connected_components,
+    count_union_by_enumeration,
+    count_union_decomposed,
+    count_union_inclusion_exclusion,
+    count_union_of_boxes,
+)
+
+__all__ = [
+    "Box",
+    "CQACertificate",
+    "CQACompactor",
+    "CompactString",
+    "Compactor",
+    "GuessCheckExpandTransducer",
+    "STRUCTURAL_FACTS",
+    "Selector",
+    "StructuralFact",
+    "TabularCompactor",
+    "UnboundedCompactor",
+    "compact_from_selector",
+    "connected_components",
+    "count_union_by_enumeration",
+    "count_union_decomposed",
+    "count_union_inclusion_exclusion",
+    "count_union_of_boxes",
+    "encode_fact",
+    "encode_token",
+    "forget_bound",
+    "is_spanll_compactor",
+    "level_of",
+    "parse_compact",
+    "render_compact",
+    "unfolding",
+    "unfolding_size",
+]

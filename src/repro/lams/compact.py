@@ -1,0 +1,246 @@
+"""Compact representations ``[[S1, ..., Sn]]_k`` and their unfolding.
+
+Section 4.3 of the paper fixes a concrete string syntax for the outputs of
+logspace compactors.  Given non-empty sets of strings ``S1, ..., Sn``, the
+set ``[[S1, ..., Sn]]_k`` consists of the empty string ε together with all
+strings ``s1$s2$...$sn`` where each ``si`` is either
+
+* an element of ``Si`` (the domain is *pinned* to that element), or
+* the full enumeration ``#s¹i$...$sℓii#`` of ``Si`` (the domain is left
+  *free*),
+
+and at most ``k`` positions are pinned.  The *unfolding* of such a string
+is ``unf(s1) × ... × unf(sn)`` where a pinned position unfolds to the
+singleton and a free position unfolds to the whole set; ε unfolds to ∅.
+
+This module implements the syntax faithfully — rendering, parsing and
+unfolding — so the compactor abstraction can be tested at the string level
+exactly as the paper defines it, and provides the conversion between
+compact strings and the :class:`~repro.lams.selectors.Selector`/box view
+used by the counting engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CompactorError
+from .selectors import Selector
+
+__all__ = [
+    "CompactString",
+    "render_compact",
+    "parse_compact",
+    "unfolding",
+    "unfolding_size",
+    "compact_from_selector",
+]
+
+#: Separator between positions, as in the paper.
+_SEPARATOR = "$"
+#: Delimiter around a full domain enumeration, as in the paper.
+_DELIMITER = "#"
+
+
+@dataclass(frozen=True)
+class CompactString:
+    """A parsed element of ``[[S1, ..., Sn]]_k``.
+
+    ``entries[i]`` is either the pinned element (a single string) or ``None``
+    when position ``i`` is free (the whole domain ``S_{i+1}``).
+    ``domains[i]`` is the domain itself; it is carried along because the
+    free positions need it for unfolding and because the paper's string
+    embeds the enumeration of free domains verbatim.
+    The empty compact string (ε) is represented by ``entries is None``.
+    """
+
+    domains: Tuple[Tuple[str, ...], ...]
+    entries: Optional[Tuple[Optional[str], ...]]
+
+    @property
+    def is_empty(self) -> bool:
+        """True for ε, the output of the compactor on an invalid certificate."""
+        return self.entries is None
+
+    def pinned_count(self) -> int:
+        """Number of pinned positions (the ℓ of the underlying selector)."""
+        if self.entries is None:
+            return 0
+        return sum(1 for entry in self.entries if entry is not None)
+
+    def selector(self) -> Selector:
+        """The selector view of the compact string (element indices per domain)."""
+        if self.entries is None:
+            raise CompactorError("the empty compact string has no selector")
+        pins = {}
+        for index, entry in enumerate(self.entries):
+            if entry is not None:
+                try:
+                    pins[index] = self.domains[index].index(entry)
+                except ValueError as exc:
+                    raise CompactorError(
+                        f"pinned element {entry!r} is not a member of domain "
+                        f"{index}: {self.domains[index]}"
+                    ) from exc
+        return Selector(pins)
+
+
+def _validate_domains(domains: Sequence[Sequence[str]]) -> Tuple[Tuple[str, ...], ...]:
+    normalised: List[Tuple[str, ...]] = []
+    for position, domain in enumerate(domains):
+        domain_tuple = tuple(domain)
+        if not domain_tuple:
+            raise CompactorError(f"domain {position} is empty; domains must be non-empty")
+        for element in domain_tuple:
+            if _SEPARATOR in element or _DELIMITER in element:
+                raise CompactorError(
+                    f"domain element {element!r} contains a reserved character "
+                    f"({_SEPARATOR!r} or {_DELIMITER!r}); encode elements first"
+                )
+        normalised.append(domain_tuple)
+    return tuple(normalised)
+
+
+def render_compact(
+    domains: Sequence[Sequence[str]],
+    pinned: Optional[Sequence[Optional[str]]],
+    k: Optional[int] = None,
+) -> str:
+    """Render a compact string of ``[[S1, ..., Sn]]_k``.
+
+    ``pinned`` gives, for each position, either the pinned element or
+    ``None`` for a free position; passing ``pinned=None`` renders ε.
+    When ``k`` is given, the number of pinned positions is checked against
+    it (this is the membership condition of ``[[...]]_k``).
+    """
+    if pinned is None:
+        return ""
+    validated = _validate_domains(domains)
+    if len(pinned) != len(validated):
+        raise CompactorError(
+            f"{len(pinned)} entries provided for {len(validated)} domains"
+        )
+    pinned_count = sum(1 for entry in pinned if entry is not None)
+    if k is not None and pinned_count > k:
+        raise CompactorError(
+            f"{pinned_count} positions are pinned but the compactor bound is k={k}"
+        )
+    pieces: List[str] = []
+    for position, (domain, entry) in enumerate(zip(validated, pinned)):
+        if entry is None:
+            pieces.append(_DELIMITER + _SEPARATOR.join(domain) + _DELIMITER)
+        else:
+            if entry not in domain:
+                raise CompactorError(
+                    f"pinned element {entry!r} is not in domain {position}: {domain}"
+                )
+            pieces.append(entry)
+    return _SEPARATOR.join(pieces)
+
+
+def parse_compact(
+    text: str, domains: Sequence[Sequence[str]], k: Optional[int] = None
+) -> CompactString:
+    """Parse a string of ``[[S1, ..., Sn]]_k`` back into a :class:`CompactString`.
+
+    The parser is strict: every free position must spell out its domain
+    exactly (same elements, same order), pinned elements must belong to
+    their domain, and the number of pinned positions must respect ``k``
+    when given.  This is what lets tests verify that a compactor's outputs
+    are syntactically members of ``[[S1, ..., Sn]]_k`` as Definition 4.1
+    requires.
+    """
+    validated = _validate_domains(domains)
+    if text == "":
+        return CompactString(validated, None)
+
+    pieces = _split_top_level(text)
+    if len(pieces) != len(validated):
+        raise CompactorError(
+            f"compact string has {len(pieces)} positions but {len(validated)} "
+            f"domains were provided"
+        )
+    entries: List[Optional[str]] = []
+    for position, (piece, domain) in enumerate(zip(pieces, validated)):
+        if piece.startswith(_DELIMITER) and piece.endswith(_DELIMITER) and len(piece) >= 2:
+            enumeration = piece[1:-1].split(_SEPARATOR) if len(piece) > 2 else [""]
+            if tuple(enumeration) != domain:
+                raise CompactorError(
+                    f"free position {position} enumerates {enumeration} but the "
+                    f"domain is {list(domain)}"
+                )
+            entries.append(None)
+        else:
+            if piece not in domain:
+                raise CompactorError(
+                    f"pinned element {piece!r} at position {position} is not in "
+                    f"the domain {list(domain)}"
+                )
+            entries.append(piece)
+    pinned_count = sum(1 for entry in entries if entry is not None)
+    if k is not None and pinned_count > k:
+        raise CompactorError(
+            f"compact string pins {pinned_count} positions, exceeding k={k}"
+        )
+    return CompactString(validated, tuple(entries))
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on ``$`` separators that are not inside a ``#...#`` enumeration."""
+    pieces: List[str] = []
+    current: List[str] = []
+    inside = False
+    for character in text:
+        if character == _DELIMITER:
+            inside = not inside
+            current.append(character)
+        elif character == _SEPARATOR and not inside:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    pieces.append("".join(current))
+    return pieces
+
+
+def unfolding(compact: CompactString) -> Iterator[Tuple[str, ...]]:
+    """Enumerate the unfolding of a compact string.
+
+    The unfolding of ε is empty; otherwise it is the cartesian product of
+    the singletons (pinned positions) and full domains (free positions).
+    """
+    if compact.entries is None:
+        return
+    import itertools
+
+    factors = [
+        (entry,) if entry is not None else domain
+        for entry, domain in zip(compact.entries, compact.domains)
+    ]
+    yield from itertools.product(*factors)
+
+
+def unfolding_size(compact: CompactString) -> int:
+    """|unfolding(s)| without materialising it."""
+    if compact.entries is None:
+        return 0
+    size = 1
+    for entry, domain in zip(compact.entries, compact.domains):
+        size *= 1 if entry is not None else len(domain)
+    return size
+
+
+def compact_from_selector(
+    domains: Sequence[Sequence[str]], selector: Selector
+) -> CompactString:
+    """Build the compact string that pins exactly the selector's coordinates."""
+    validated = _validate_domains(domains)
+    pins = selector.as_dict()
+    entries: List[Optional[str]] = []
+    for index, domain in enumerate(validated):
+        if index in pins:
+            entries.append(domain[pins[index]])
+        else:
+            entries.append(None)
+    return CompactString(validated, tuple(entries))

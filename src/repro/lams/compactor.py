@@ -1,0 +1,222 @@
+"""The logspace k-compactor abstraction (Definition 4.1).
+
+A *k-compactor* is a deterministic transducer ``M`` that receives an input
+instance ``x`` and a candidate certificate ``c`` and outputs either ε (when
+``c`` is not a valid certificate) or a compact representation of the box
+``[S1, ..., Sn]_{σ_c}`` — a string of ``[[S1, ..., Sn]]_k`` that pins at
+most ``k`` of the solution domains.  The counting function it defines is
+
+    ``unfold_M(x) = | ⋃_c unfolding(M(x, c)) |``
+
+and the class ``Λ[k]`` collects exactly the functions of this form.
+
+This module provides :class:`Compactor`, the abstract Python counterpart of
+that definition.  Concrete compactors implement four hooks —
+:meth:`~Compactor.solution_domains`, :meth:`~Compactor.certificates`,
+:meth:`~Compactor.is_valid_certificate` and :meth:`~Compactor.selector` —
+and inherit:
+
+* rendering of the paper's compact strings (:meth:`~Compactor.output_string`),
+* exact evaluation of ``unfold_M`` via the union-of-boxes engine
+  (:meth:`~Compactor.unfold_count`),
+* brute-force unfolding enumeration for small instances
+  (:meth:`~Compactor.unfold_enumerate`),
+* a structural verifier (:meth:`~Compactor.verify`) that checks, on a given
+  instance, the conditions of Definition 4.1 (non-empty domains, at most
+  ``k`` pinned positions, invalid certificates mapped to ε).
+
+The resource bound of the definition (logarithmic space) is an asymptotic
+statement about Turing machines and cannot be checked on a Python object;
+what the library preserves is the *counting semantics* — which is what all
+of the paper's reductions, completeness proofs and the FPRAS rely on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Generic, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, TypeVar
+
+from ..errors import CompactorError
+from .compact import CompactString, compact_from_selector, render_compact, unfolding
+from .selectors import Selector
+from .union_of_boxes import count_union_of_boxes
+
+__all__ = ["Compactor", "encode_token"]
+
+InstanceT = TypeVar("InstanceT")
+CertificateT = TypeVar("CertificateT")
+
+
+def encode_token(token: str) -> str:
+    """Escape the reserved characters of the compact-string syntax.
+
+    Domain elements are embedded verbatim in compact strings, so ``$`` and
+    ``#`` must not appear in them; they are percent-encoded here.
+    """
+    return token.replace("%", "%25").replace("$", "%24").replace("#", "%23")
+
+
+class Compactor(ABC, Generic[InstanceT, CertificateT]):
+    """Abstract logspace k-compactor.
+
+    Parameters
+    ----------
+    k:
+        The bound on the number of pinned positions.  ``None`` means
+        *unbounded* — the compactor then defines a function in SpanLL
+        (Section 7.2) rather than in a fixed level of the Λ-hierarchy.
+    """
+
+    def __init__(self, k: Optional[int]) -> None:
+        if k is not None and k < 0:
+            raise CompactorError(f"k must be non-negative, got {k}")
+        self._k = k
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> Optional[int]:
+        """The level of the Λ-hierarchy this compactor lives in (None = SpanLL)."""
+        return self._k
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when the compactor has a finite selector bound ``k``."""
+        return self._k is not None
+
+    # ------------------------------------------------------------------ #
+    # hooks to implement
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def solution_domains(self, instance: InstanceT) -> Tuple[Tuple[str, ...], ...]:
+        """The string-encoded solution domains ``S1, ..., Sn`` for ``instance``.
+
+        Every domain must be non-empty and its elements must not contain the
+        reserved characters ``$`` and ``#`` (use :func:`encode_token`).
+        """
+
+    @abstractmethod
+    def certificates(self, instance: InstanceT) -> Iterator[CertificateT]:
+        """Iterate over the *valid* certificates of ``instance``.
+
+        A concrete compactor is free to enumerate these lazily and
+        efficiently (e.g. by homomorphism search); validity of every yielded
+        certificate is assumed and double-checked by :meth:`verify`.
+        """
+
+    @abstractmethod
+    def is_valid_certificate(self, instance: InstanceT, certificate: CertificateT) -> bool:
+        """The *check* step: decide whether ``certificate`` is valid for ``instance``."""
+
+    @abstractmethod
+    def selector(self, instance: InstanceT, certificate: CertificateT) -> Selector:
+        """The ℓ-selector ``σ_c`` determined by a valid certificate."""
+
+    def candidate_certificates(self, instance: InstanceT) -> Iterator[CertificateT]:
+        """Iterate over *candidate* certificates (valid or not).
+
+        The default implementation returns only the valid ones; compactors
+        modelling the machine faithfully (for tests on small inputs) can
+        override this with the full candidate space.
+        """
+        return self.certificates(instance)
+
+    # ------------------------------------------------------------------ #
+    # derived behaviour (the compactor's output and counting semantics)
+    # ------------------------------------------------------------------ #
+    def output(self, instance: InstanceT, certificate: CertificateT) -> CompactString:
+        """The compactor's output ``M(x, c)``: ε for invalid ``c``, a box otherwise."""
+        domains = self.solution_domains(instance)
+        if not self.is_valid_certificate(instance, certificate):
+            return CompactString(tuple(tuple(domain) for domain in domains), None)
+        selector = self.selector(instance, certificate)
+        if self._k is not None and selector.length > self._k:
+            raise CompactorError(
+                f"certificate {certificate!r} yields a selector of length "
+                f"{selector.length}, exceeding the compactor bound k={self._k}"
+            )
+        return compact_from_selector(domains, selector)
+
+    def output_string(self, instance: InstanceT, certificate: CertificateT) -> str:
+        """The output as the literal string of ``[[S1, ..., Sn]]_k``."""
+        compact = self.output(instance, certificate)
+        if compact.is_empty:
+            return ""
+        return render_compact(compact.domains, compact.entries, self._k)
+
+    def selectors(self, instance: InstanceT) -> List[Selector]:
+        """Selectors of all valid certificates (the boxes to be united)."""
+        return [self.selector(instance, certificate) for certificate in self.certificates(instance)]
+
+    def domain_sizes(self, instance: InstanceT) -> Tuple[int, ...]:
+        """Sizes of the solution domains ``|S1|, ..., |Sn|``."""
+        return tuple(len(domain) for domain in self.solution_domains(instance))
+
+    def unfold_count(self, instance: InstanceT, method: str = "decomposed") -> int:
+        """Evaluate ``unfold_M(x)`` exactly.
+
+        This is the Λ[k] function the compactor defines; it is computed with
+        the union-of-boxes engine (see :mod:`repro.lams.union_of_boxes`).
+        """
+        return count_union_of_boxes(
+            self.domain_sizes(instance), self.selectors(instance), method=method
+        )
+
+    def unfold_enumerate(self, instance: InstanceT) -> Set[Tuple[str, ...]]:
+        """Materialise ``⋃_c unfolding(M(x, c))`` (small instances only).
+
+        Used by tests and by the guess–check–expand transducer to
+        cross-validate :meth:`unfold_count`.
+        """
+        union: Set[Tuple[str, ...]] = set()
+        for certificate in self.certificates(instance):
+            union.update(unfolding(self.output(instance, certificate)))
+        return union
+
+    # ------------------------------------------------------------------ #
+    # structural verification of Definition 4.1 on a concrete instance
+    # ------------------------------------------------------------------ #
+    def verify(self, instance: InstanceT, max_certificates: Optional[int] = None) -> None:
+        """Check the structural conditions of Definition 4.1 on ``instance``.
+
+        Raises :class:`~repro.errors.CompactorError` when a condition fails:
+        empty solution domains, reserved characters in domain elements,
+        selectors longer than ``k``, selectors pinning elements outside
+        their domain, or certificates claimed valid by :meth:`certificates`
+        that :meth:`is_valid_certificate` rejects.
+        """
+        domains = self.solution_domains(instance)
+        for index, domain in enumerate(domains):
+            if not domain:
+                raise CompactorError(f"solution domain {index} is empty")
+            for element in domain:
+                if "$" in element or "#" in element:
+                    raise CompactorError(
+                        f"domain element {element!r} contains a reserved character"
+                    )
+        checked = 0
+        for certificate in self.certificates(instance):
+            if max_certificates is not None and checked >= max_certificates:
+                break
+            checked += 1
+            if not self.is_valid_certificate(instance, certificate):
+                raise CompactorError(
+                    f"certificates() yielded {certificate!r} but "
+                    f"is_valid_certificate rejects it"
+                )
+            selector = self.selector(instance, certificate)
+            if self._k is not None and selector.length > self._k:
+                raise CompactorError(
+                    f"selector {selector} has length {selector.length} > k={self._k}"
+                )
+            for coordinate, element in selector.pins:
+                if coordinate < 0 or coordinate >= len(domains):
+                    raise CompactorError(
+                        f"selector {selector} pins non-existent domain {coordinate}"
+                    )
+                if element < 0 or element >= len(domains[coordinate]):
+                    raise CompactorError(
+                        f"selector {selector} pins element {element} outside "
+                        f"domain {coordinate} of size {len(domains[coordinate])}"
+                    )

@@ -1,0 +1,192 @@
+"""The k-compactor ``M_{Q,Σ}`` for #CQA (Algorithm 2 of the paper).
+
+Fix a UCQ ``Q = Q1 ∨ ... ∨ Qm`` and a set ``Σ`` of primary keys with
+``kw(Q, Σ) = k``.  On input a database ``D`` the solution domains are the
+blocks ``B1, ..., Bn`` of ``D`` in the canonical order ``≺_{D,Σ}``.  A
+candidate certificate is a pair ``(Q', h)`` where ``Q'`` is a disjunct of
+``Q`` and ``h : var(Q') → dom(D)``; it is valid when ``h(Q') ⊆ D`` and
+``h(Q') |= Σ``.  The selector determined by a valid certificate pins the
+block ``B_i`` to the fact ``R(t̄)`` exactly when ``B_i ∩ h(Q') = {R(t̄)}``
+and ``Σ`` has an ``R``-key.
+
+The unfolding count of this compactor is precisely ``#CQA(Q, Σ)(D)`` — the
+number of repairs of ``D`` that entail ``Q`` — which is how Theorem 5.1's
+membership direction ( #CQA^kw_k(∃FO+) ∈ Λ[k] ) is established.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact
+from ..errors import FragmentError
+from ..query.ast import Query, Variable
+from ..query.evaluation import Assignment
+from ..query.homomorphism import find_homomorphisms, homomorphism_image
+from ..query.keywidth import keywidth
+from ..query.rewriting import UCQ, CQDisjunct, to_ucq
+from .compactor import Compactor, encode_token
+from .selectors import Selector
+
+__all__ = ["CQACertificate", "CQACompactor", "encode_fact"]
+
+#: A certificate for #CQA: the index of the disjunct and the homomorphism.
+CQACertificate = Tuple[int, Tuple[Tuple[Variable, object], ...]]
+
+
+def encode_fact(fact_: Fact) -> str:
+    """Encode a fact as a compact-string token (reserved characters escaped)."""
+    return encode_token(str(fact_))
+
+
+class CQACompactor(Compactor[Database, CQACertificate]):
+    """The compactor of Algorithm 2, parameterised by ``(Q, Σ)``.
+
+    Parameters
+    ----------
+    query:
+        An existential positive query (or an already-rewritten
+        :class:`~repro.query.rewriting.UCQ`).  Non-Boolean queries are
+        accepted; the certificate machinery then treats the answer
+        variables as additional existential variables, which corresponds to
+        counting the repairs entailing *some* answer.  For counting the
+        repairs entailing a *specific* tuple, substitute the tuple first
+        (see :func:`repro.repairs.counting.bind_answer`).
+    keys:
+        The set ``Σ`` of primary keys.
+    """
+
+    def __init__(self, query: Union[Query, UCQ], keys: PrimaryKeySet) -> None:
+        self._ucq = query if isinstance(query, UCQ) else to_ucq(query)
+        self._keys = keys
+        super().__init__(k=keywidth(self._ucq, keys))
+        self._decompositions: Dict[int, BlockDecomposition] = {}
+
+    # ------------------------------------------------------------------ #
+    # configuration accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def ucq(self) -> UCQ:
+        """The UCQ the compactor was built for."""
+        return self._ucq
+
+    @property
+    def keys(self) -> PrimaryKeySet:
+        """The primary keys ``Σ``."""
+        return self._keys
+
+    def decomposition(self, database: Database) -> BlockDecomposition:
+        """The block decomposition of ``database`` (cached per database object)."""
+        cache_key = id(database)
+        decomposition = self._decompositions.get(cache_key)
+        if decomposition is None or decomposition.database is not database:
+            decomposition = BlockDecomposition(database, self._keys)
+            self._decompositions[cache_key] = decomposition
+        return decomposition
+
+    # ------------------------------------------------------------------ #
+    # Compactor hooks
+    # ------------------------------------------------------------------ #
+    def solution_domains(self, instance: Database) -> Tuple[Tuple[str, ...], ...]:
+        decomposition = self.decomposition(instance)
+        return tuple(
+            tuple(encode_fact(fact_) for fact_ in block.facts)
+            for block in decomposition.blocks
+        )
+
+    def certificates(self, instance: Database) -> Iterator[CQACertificate]:
+        """Enumerate the valid certificates ``(Q', h)`` by homomorphism search.
+
+        Only homomorphisms whose image is ``Σ``-consistent are yielded — the
+        "check" step of the guess–check–expand paradigm.
+        """
+        for disjunct_index, disjunct in enumerate(self._ucq.disjuncts):
+            if disjunct.answer_bindings:
+                # A disjunct that forces an answer binding cannot witness a
+                # Boolean entailment unless the query was bound first.
+                raise FragmentError(
+                    "the compactor requires a Boolean (or pre-bound) query; "
+                    "bind the answer tuple before counting"
+                )
+            for assignment in find_homomorphisms(disjunct.atoms, instance):
+                image = homomorphism_image(disjunct.atoms, assignment)
+                if self._keys.is_consistent(image):
+                    yield (disjunct_index, tuple(sorted(assignment.items(), key=lambda item: item[0].name)))
+
+    def candidate_certificates(self, instance: Database) -> Iterator[CQACertificate]:
+        """All candidate certificates: every mapping ``var(Q') → dom(D)``.
+
+        Exponential in the number of query variables; intended for
+        machine-faithful validation on small inputs (the "guess" step of
+        Algorithm 1 enumerated exhaustively).
+        """
+        domain = instance.active_domain_sorted()
+        for disjunct_index, disjunct in enumerate(self._ucq.disjuncts):
+            variables = sorted(disjunct.variables(), key=lambda variable: variable.name)
+            for values in itertools.product(domain, repeat=len(variables)):
+                yield (disjunct_index, tuple(zip(variables, values)))
+
+    def is_valid_certificate(self, instance: Database, certificate: CQACertificate) -> bool:
+        disjunct_index, assignment_items = certificate
+        if disjunct_index < 0 or disjunct_index >= len(self._ucq.disjuncts):
+            return False
+        disjunct = self._ucq.disjuncts[disjunct_index]
+        assignment: Assignment = dict(assignment_items)
+        if set(assignment) != set(disjunct.variables()):
+            return False
+        try:
+            image = homomorphism_image(disjunct.atoms, assignment)
+        except KeyError:
+            return False
+        if not all(fact_ in instance for fact_ in image):
+            return False
+        return self._keys.is_consistent(image)
+
+    def selector(self, instance: Database, certificate: CQACertificate) -> Selector:
+        disjunct_index, assignment_items = certificate
+        disjunct = self._ucq.disjuncts[disjunct_index]
+        assignment: Assignment = dict(assignment_items)
+        image = homomorphism_image(disjunct.atoms, assignment)
+        decomposition = self.decomposition(instance)
+        pins: Dict[int, int] = {}
+        for fact_ in image:
+            if not self._keys.has_key(fact_.relation):
+                # Un-keyed facts live in singleton blocks; Algorithm 2 leaves
+                # them to the free branch (which offers a single choice), so
+                # pinning them is unnecessary and would inflate the selector
+                # length beyond kw(Q, Σ).
+                continue
+            block_index = decomposition.block_index_of(fact_)
+            block = decomposition[block_index]
+            pins[block_index] = block.index_of(fact_)
+        return Selector(pins)
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def count(self, database: Database, method: str = "decomposed") -> int:
+        """``#CQA(Q, Σ)(D)``: the number of repairs of ``D`` entailing ``Q``."""
+        return self.unfold_count(database, method=method)
+
+    def repairs_entailing(self, database: Database) -> Iterator[Database]:
+        """Enumerate (without duplicates) the repairs entailing the query.
+
+        Materialising repairs is exponential; this is meant for small
+        databases, tests and examples.
+        """
+        decomposition = self.decomposition(database)
+        seen: Set[Tuple[int, ...]] = set()
+        selectors = self.selectors(database)
+        sizes = decomposition.block_sizes()
+        for choices in itertools.product(*(range(size) for size in sizes)):
+            if choices in seen:
+                continue
+            for selector in selectors:
+                if all(choices[index] == element for index, element in selector.pins):
+                    seen.add(choices)
+                    yield decomposition.repair_from_choices(choices)
+                    break

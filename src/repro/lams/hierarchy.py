@@ -1,0 +1,191 @@
+"""The Λ-hierarchy: levels, a tabular compactor, and structural facts.
+
+The class ``Λ[k]`` consists of the functions ``unfold_M`` for logspace
+k-compactors ``M``; the hierarchy is ``Λ = ⋃_k Λ[k]`` and it sits inside
+SpanL (Theorem 4.3).  This module provides:
+
+* :class:`TabularCompactor` — a concrete, fully explicit compactor given by
+  a table mapping certificates to selectors.  It is the workhorse for
+  tests, for synthetic Λ[k] functions, and for exercising the hardness
+  reduction of Theorem 5.1 (which must work for *every* function in Λ[k],
+  i.e. for every compactor, so an arbitrary-table compactor is exactly the
+  right generator of test cases).
+* :func:`level_of` — the syntactic level of a compactor (its ``k``).
+* :data:`STRUCTURAL_FACTS` — the paper's structural results about the
+  hierarchy, as machine-readable statements used by documentation and by
+  the reporting layer of the benchmarks.  These are *recorded*, not
+  re-proved: the separations are conditional on standard conjectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CompactorError
+from .compactor import Compactor, encode_token
+from .selectors import Selector
+
+__all__ = ["TabularCompactor", "level_of", "StructuralFact", "STRUCTURAL_FACTS"]
+
+
+class TabularCompactor(Compactor[str, str]):
+    """A compactor defined by explicit tables, keyed by instance name.
+
+    Parameters
+    ----------
+    k:
+        The selector-length bound (``None`` for an unbounded / SpanLL
+        compactor).
+    domains_by_instance:
+        For each instance name, the solution domains (sequences of strings;
+        reserved characters are escaped automatically).
+    selectors_by_instance:
+        For each instance name, a mapping from certificate name to the
+        selector that certificate determines.  Certificates absent from the
+        mapping are invalid (the compactor outputs ε for them).
+
+    The instance space is the set of keys of ``domains_by_instance``; the
+    candidate certificate space of an instance is the union of its valid
+    certificates plus any extra names supplied via ``invalid_certificates``.
+    """
+
+    def __init__(
+        self,
+        k: Optional[int],
+        domains_by_instance: Mapping[str, Sequence[Sequence[str]]],
+        selectors_by_instance: Mapping[str, Mapping[str, Selector]],
+        invalid_certificates: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        super().__init__(k)
+        self._domains: Dict[str, Tuple[Tuple[str, ...], ...]] = {
+            instance: tuple(
+                tuple(encode_token(element) for element in domain) for domain in domains
+            )
+            for instance, domains in domains_by_instance.items()
+        }
+        self._selectors: Dict[str, Dict[str, Selector]] = {
+            instance: dict(table) for instance, table in selectors_by_instance.items()
+        }
+        self._invalid: Dict[str, Tuple[str, ...]] = {
+            instance: tuple(names)
+            for instance, names in (invalid_certificates or {}).items()
+        }
+        for instance in self._selectors:
+            if instance not in self._domains:
+                raise CompactorError(
+                    f"selectors given for unknown instance {instance!r}"
+                )
+            for certificate, selector in self._selectors[instance].items():
+                if k is not None and selector.length > k:
+                    raise CompactorError(
+                        f"certificate {certificate!r} of instance {instance!r} "
+                        f"has selector length {selector.length} > k={k}"
+                    )
+
+    def instances(self) -> Tuple[str, ...]:
+        """All instance names the compactor is defined on."""
+        return tuple(self._domains)
+
+    # ------------------------------------------------------------------ #
+    # Compactor hooks
+    # ------------------------------------------------------------------ #
+    def solution_domains(self, instance: str) -> Tuple[Tuple[str, ...], ...]:
+        try:
+            return self._domains[instance]
+        except KeyError as exc:
+            raise CompactorError(f"unknown instance {instance!r}") from exc
+
+    def certificates(self, instance: str) -> Iterator[str]:
+        return iter(self._selectors.get(instance, {}))
+
+    def candidate_certificates(self, instance: str) -> Iterator[str]:
+        yield from self._selectors.get(instance, {})
+        yield from self._invalid.get(instance, ())
+
+    def is_valid_certificate(self, instance: str, certificate: str) -> bool:
+        return certificate in self._selectors.get(instance, {})
+
+    def selector(self, instance: str, certificate: str) -> Selector:
+        try:
+            return self._selectors[instance][certificate]
+        except KeyError as exc:
+            raise CompactorError(
+                f"certificate {certificate!r} is not valid for instance {instance!r}"
+            ) from exc
+
+
+def level_of(compactor: Compactor) -> Optional[int]:
+    """The syntactic Λ-hierarchy level of a compactor (``None`` = SpanLL).
+
+    This is an upper bound on the level of the function the compactor
+    computes: the function may also belong to lower levels (e.g. a
+    2-compactor that never pins more than one domain computes a Λ[1]
+    function).
+    """
+    return compactor.k
+
+
+@dataclass(frozen=True)
+class StructuralFact:
+    """A structural statement about the Λ-hierarchy recorded from the paper."""
+
+    statement: str
+    condition: str
+    reference: str
+
+
+#: The paper's structural results, used by reports and documentation.  The
+#: separations are conditional; the inclusions are unconditional.
+STRUCTURAL_FACTS: Tuple[StructuralFact, ...] = (
+    StructuralFact(
+        "Λ[0] ⊆ Λ[1] ⊆ Λ[2] ⊆ ... ⊆ Λ ⊆ SpanL",
+        "unconditional",
+        "Theorem 4.3",
+    ),
+    StructuralFact(
+        "Λ ⊊ SpanL",
+        "unless L = NL",
+        "Theorem 4.3",
+    ),
+    StructuralFact(
+        "Λ[1] ⊆ #L, and Λ[1] ⊊ #L unless L = NL",
+        "unless L = NL",
+        "Theorem 4.4(1)",
+    ),
+    StructuralFact(
+        "FP^{Λ[2]} = FP^{#P}",
+        "unconditional",
+        "Theorem 4.4(2)",
+    ),
+    StructuralFact(
+        "Λ[2] ⊆ FP implies P = NP",
+        "conditional consequence",
+        "Corollary 4.5(1)",
+    ),
+    StructuralFact(
+        "Λ[1] ⊊ Λ[2]",
+        "unless P = NP",
+        "Proposition 4.6(1)",
+    ),
+    StructuralFact(
+        "Λ[0] ⊊ Λ[1]",
+        "unless the Lenstra-Pomerance-Wagstaff conjecture fails",
+        "Proposition 4.6(2)",
+    ),
+    StructuralFact(
+        "every function in Λ[k] admits an FPRAS",
+        "unconditional",
+        "Theorem 6.2",
+    ),
+    StructuralFact(
+        "#CQA^kw_k(∃FO+) is ≤log_m-complete for Λ[k]",
+        "unconditional",
+        "Theorem 5.1",
+    ),
+    StructuralFact(
+        "Λ ⊆ SpanLL ⊆ SpanL, and SpanLL ⊊ SpanL unless L = NL",
+        "partly conditional",
+        "Theorem 7.3",
+    ),
+)

@@ -1,0 +1,127 @@
+"""ℓ-selectors and boxes.
+
+Section 4.1 of the paper introduces *ℓ-selectors*: given a sequence of
+solution domains ``S1, ..., Sn``, an ℓ-selector is a sequence of pairs
+``(i1, e1), ..., (iℓ, eℓ)`` with strictly increasing indices that "pins"
+the element ``ej`` in the domain ``S_{ij}``.  The cartesian product of the
+domains *w.r.t.* a selector — written ``[S1, ..., Sn]_σ`` in the paper and
+called a **box** here — replaces each pinned domain by the corresponding
+singleton and leaves the other domains untouched.
+
+The counting problems the paper places in the Λ-hierarchy all have the form
+"count the union of boxes determined by the valid certificates".  This
+module provides the selector/box data structures; the counting itself lives
+in :mod:`repro.lams.union_of_boxes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+__all__ = ["Selector", "Box"]
+
+
+@dataclass(frozen=True)
+class Selector:
+    """An ℓ-selector: an immutable mapping from domain index to pinned element.
+
+    Indices are 0-based positions into the sequence of solution domains;
+    elements are represented by their 0-based position inside the domain
+    (this keeps the engine agnostic of what the domain elements actually
+    are — facts, colours, DNF variables — and makes boxes cheap to hash).
+    """
+
+    pins: Tuple[Tuple[int, int], ...]
+
+    def __init__(self, pins: Mapping[int, int] | Iterable[Tuple[int, int]]) -> None:
+        if isinstance(pins, Mapping):
+            items = tuple(sorted(pins.items()))
+        else:
+            items = tuple(sorted(pins))
+        indices = [index for index, _ in items]
+        if len(indices) != len(set(indices)):
+            raise ValueError(f"selector pins the same domain twice: {items}")
+        object.__setattr__(self, "pins", items)
+
+    @property
+    def length(self) -> int:
+        """The ℓ of the ℓ-selector: how many domains are pinned."""
+        return len(self.pins)
+
+    def as_dict(self) -> Dict[int, int]:
+        """The pins as a ``{domain_index: element_index}`` dictionary."""
+        return dict(self.pins)
+
+    def pinned_indices(self) -> Tuple[int, ...]:
+        """The pinned domain indices, in increasing order."""
+        return tuple(index for index, _ in self.pins)
+
+    def is_consistent_with(self, other: "Selector") -> bool:
+        """True iff the two selectors agree on every commonly pinned domain.
+
+        Intersections of boxes are non-empty exactly when their selectors
+        are consistent; this is the test inclusion–exclusion relies on.
+        """
+        mine = self.as_dict()
+        for index, element in other.pins:
+            if index in mine and mine[index] != element:
+                return False
+        return True
+
+    def merge(self, other: "Selector") -> "Selector":
+        """The selector pinning the union of both selectors' pins.
+
+        Raises ``ValueError`` when the selectors are inconsistent.
+        """
+        if not self.is_consistent_with(other):
+            raise ValueError(f"selectors {self} and {other} are inconsistent")
+        merged = self.as_dict()
+        merged.update(other.as_dict())
+        return Selector(merged)
+
+    def __str__(self) -> str:
+        body = ", ".join(f"({index}, {element})" for index, element in self.pins)
+        return f"σ[{body}]"
+
+
+@dataclass(frozen=True)
+class Box:
+    """A box ``[S1, ..., Sn]_σ``: the product of the domains with some pinned.
+
+    The box stores only the selector and the domain sizes it lives over;
+    the actual elements are irrelevant for counting.
+    """
+
+    selector: Selector
+    domain_sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for index, element in self.selector.pins:
+            if index < 0 or index >= len(self.domain_sizes):
+                raise ValueError(
+                    f"selector pins domain {index} but only "
+                    f"{len(self.domain_sizes)} domains exist"
+                )
+            if element < 0 or element >= self.domain_sizes[index]:
+                raise ValueError(
+                    f"selector pins element {element} of domain {index} "
+                    f"which has only {self.domain_sizes[index]} elements"
+                )
+
+    def size(self) -> int:
+        """``|[S1, ..., Sn]_σ|``: the product of the un-pinned domain sizes."""
+        pinned = set(self.selector.pinned_indices())
+        size = 1
+        for index, domain_size in enumerate(self.domain_sizes):
+            if index not in pinned:
+                size *= domain_size
+        return size
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True iff ``point`` (one element index per domain) lies in the box."""
+        if len(point) != len(self.domain_sizes):
+            raise ValueError(
+                f"point has {len(point)} coordinates, expected {len(self.domain_sizes)}"
+            )
+        return all(point[index] == element for index, element in self.selector.pins)

@@ -1,0 +1,86 @@
+"""SpanLL: the class of unbounded-compactor counting functions (Section 7.2).
+
+SpanLL is defined exactly like the levels of the Λ-hierarchy except that the
+compactor may pin an *unbounded* number of solution domains — its outputs
+live in ``[[S1, ..., Sn]]`` rather than ``[[S1, ..., Sn]]_k``.  The paper
+shows Λ ⊆ SpanLL ⊆ SpanL (Theorem 7.3), that every SpanLL function still
+admits an FPRAS (Theorem 7.4) — but only via the "complex" sample space,
+because the natural-sample-space FPRAS of Theorem 6.2 has sample complexity
+``m^k`` and therefore degrades exponentially when ``k`` is unbounded — and
+that #DisjPosDNF and #ForbColoring are SpanLL-complete (Theorem 7.5).
+
+In the library an unbounded compactor is simply a
+:class:`~repro.lams.compactor.Compactor` constructed with ``k=None``.  This
+module adds the small utilities that make the distinction explicit and
+convenient: a dedicated base class, a predicate, and a wrapper that
+forgets a bounded compactor's bound (the executable content of Λ ⊆ SpanLL).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, TypeVar
+
+from .compactor import Compactor
+from .selectors import Selector
+
+__all__ = ["UnboundedCompactor", "is_spanll_compactor", "forget_bound"]
+
+InstanceT = TypeVar("InstanceT")
+CertificateT = TypeVar("CertificateT")
+
+
+class UnboundedCompactor(Compactor[InstanceT, CertificateT]):
+    """Base class for compactors that may pin arbitrarily many domains.
+
+    Subclasses implement the same four hooks as a bounded compactor; the
+    constructor simply fixes ``k = None`` so the selector-length check is
+    disabled, matching the definition of SpanLL.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(k=None)
+
+
+def is_spanll_compactor(compactor: Compactor) -> bool:
+    """True iff the compactor is unbounded (defines a SpanLL function).
+
+    Note that every bounded compactor also defines a SpanLL function — the
+    inclusion Λ ⊆ SpanLL — so this predicate is about the *syntactic* form,
+    not about class membership of the function computed.
+    """
+    return compactor.k is None
+
+
+class _ForgetfulCompactor(Compactor):
+    """A view of a bounded compactor with the bound erased (Λ[k] ⊆ SpanLL)."""
+
+    def __init__(self, inner: Compactor) -> None:
+        super().__init__(k=None)
+        self._inner = inner
+
+    def solution_domains(self, instance) -> Tuple[Tuple[str, ...], ...]:
+        return self._inner.solution_domains(instance)
+
+    def certificates(self, instance) -> Iterator:
+        return self._inner.certificates(instance)
+
+    def candidate_certificates(self, instance) -> Iterator:
+        return self._inner.candidate_certificates(instance)
+
+    def is_valid_certificate(self, instance, certificate) -> bool:
+        return self._inner.is_valid_certificate(instance, certificate)
+
+    def selector(self, instance, certificate) -> Selector:
+        return self._inner.selector(instance, certificate)
+
+
+def forget_bound(compactor: Compactor) -> Compactor:
+    """Return an unbounded view of ``compactor`` computing the same function.
+
+    This is the executable content of the inclusion Λ ⊆ SpanLL: a
+    k-compactor is in particular an (unbounded) compactor, and the counting
+    function is unchanged.
+    """
+    if compactor.k is None:
+        return compactor
+    return _ForgetfulCompactor(compactor)

@@ -1,0 +1,128 @@
+"""The guess–check–expand nondeterministic transducer (Algorithm 1).
+
+Section 3.2 places ``#CQA(∃FO+)`` in SpanL by exhibiting, for every UCQ
+``Q`` and set ``Σ`` of primary keys, a logspace nondeterministic transducer
+``M_{Q,Σ}`` whose number of *distinct valid outputs* on input ``D`` equals
+the number of repairs of ``D`` entailing ``Q``.  Section 4.1 generalises
+the idea into the guess–check–expand paradigm; Section 4.2 observes that
+the deterministic part of such an algorithm is exactly a compactor, while
+the nondeterministic part is the unfolding of the compactor's outputs.
+
+This module implements that correspondence operationally:
+:class:`GuessCheckExpandTransducer` wraps any
+:class:`~repro.lams.compactor.Compactor` and simulates the transducer —
+guessing a certificate, checking it, and expanding it into an output string
+one position at a time.  Its :meth:`span` (the number of distinct accepted
+outputs) equals the compactor's ``unfold_count`` by construction, and the
+test suite checks this equality on randomised instances, which is the
+executable content of Theorem 4.3's ``Λ ⊆ SpanL`` direction.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Sequence, Set, Tuple, TypeVar
+
+from .compact import unfolding
+from .compactor import Compactor
+
+__all__ = ["GuessCheckExpandTransducer"]
+
+InstanceT = TypeVar("InstanceT")
+CertificateT = TypeVar("CertificateT")
+
+
+class GuessCheckExpandTransducer(Generic[InstanceT, CertificateT]):
+    """Simulation of the guess–check–expand NTT induced by a compactor.
+
+    Parameters
+    ----------
+    compactor:
+        The compactor ``M`` providing the deterministic part (check +
+        compact); the transducer contributes the nondeterministic guesses.
+    use_candidate_space:
+        When True the *guess* step ranges over
+        :meth:`~repro.lams.compactor.Compactor.candidate_certificates`
+        (faithful to the machine, exponential); when False (default) it
+        ranges over the valid certificates only, which produces the same
+        set of outputs because invalid guesses reject.
+    """
+
+    def __init__(
+        self,
+        compactor: Compactor[InstanceT, CertificateT],
+        use_candidate_space: bool = False,
+    ) -> None:
+        self._compactor = compactor
+        self._use_candidate_space = use_candidate_space
+
+    @property
+    def compactor(self) -> Compactor[InstanceT, CertificateT]:
+        """The underlying compactor."""
+        return self._compactor
+
+    # ------------------------------------------------------------------ #
+    # the three phases
+    # ------------------------------------------------------------------ #
+    def guesses(self, instance: InstanceT) -> Iterator[CertificateT]:
+        """Phase 1 (*guess*): candidate certificates."""
+        if self._use_candidate_space:
+            return self._compactor.candidate_certificates(instance)
+        return self._compactor.certificates(instance)
+
+    def check(self, instance: InstanceT, certificate: CertificateT) -> bool:
+        """Phase 2 (*check*): accept or reject the guessed certificate."""
+        return self._compactor.is_valid_certificate(instance, certificate)
+
+    def expand(
+        self, instance: InstanceT, certificate: CertificateT
+    ) -> Iterator[Tuple[str, ...]]:
+        """Phase 3 (*expand*): all output strings reachable from the certificate.
+
+        For positions pinned by the certificate's selector the transducer
+        outputs the pinned element; for free positions it guesses an element
+        of the corresponding solution domain.  The set of reachable outputs
+        is therefore exactly the unfolding of the compactor's output.
+        """
+        yield from unfolding(self._compactor.output(instance, certificate))
+
+    # ------------------------------------------------------------------ #
+    # whole-machine semantics
+    # ------------------------------------------------------------------ #
+    def accepted_outputs(self, instance: InstanceT) -> Set[Tuple[str, ...]]:
+        """The set of distinct valid outputs of the transducer on ``instance``.
+
+        Each output is a tuple with one element (string-encoded) per
+        solution domain — for #CQA, one fact per block, i.e. a repair.
+        Materialises the set, so only suitable for small instances; use
+        :meth:`span_via_compactor` for the count at scale.
+        """
+        outputs: Set[Tuple[str, ...]] = set()
+        for certificate in self.guesses(instance):
+            if not self.check(instance, certificate):
+                continue
+            outputs.update(self.expand(instance, certificate))
+        return outputs
+
+    def span(self, instance: InstanceT) -> int:
+        """``span_M(x)``: the number of distinct valid outputs (materialised)."""
+        return len(self.accepted_outputs(instance))
+
+    def span_via_compactor(self, instance: InstanceT, method: str = "decomposed") -> int:
+        """``span_M(x)`` computed without materialising outputs.
+
+        Uses the union-of-boxes engine through the compactor; equal to
+        :meth:`span` by the compactor/transducer correspondence.
+        """
+        return self._compactor.unfold_count(instance, method=method)
+
+    def accepts(self, instance: InstanceT) -> bool:
+        """Decision version: does the transducer accept at least one output?
+
+        For #CQA this is ``#CQA>0``, which Theorem 3.4 places in L — the
+        point being that it only requires finding one valid certificate,
+        never expanding it.
+        """
+        for certificate in self.guesses(instance):
+            if self.check(instance, certificate):
+                return True
+        return False

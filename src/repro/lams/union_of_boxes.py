@@ -1,0 +1,311 @@
+"""Exact counting of unions of boxes.
+
+Every problem the paper places in the Λ-hierarchy reduces, after the
+guess–check phase, to the same combinatorial question:
+
+    given solution domains ``S1, ..., Sn`` and a finite set of boxes
+    ``[S1, ..., Sn]_σ1, ..., [S1, ..., Sn]_σN`` (each pinning at most ``k``
+    domains), how large is their union?
+
+For ``#CQA(Q, Σ)`` the domains are the blocks of the database and the boxes
+come from the certificates ``(Q', h)``; for ``#DisjPoskDNF`` the domains are
+the parts of the variable partition and the boxes come from the clauses;
+for ``#kForbColoring`` the domains are the colour lists and the boxes come
+from the forbidden assignments.
+
+The problem is #P-hard in general already for ``k = 2`` (it subsumes
+#Pos2DNF), so no polynomial exact algorithm exists unless FP = #P.  This
+module provides exact algorithms that are fast on the instances that occur
+in practice:
+
+* :func:`count_union_inclusion_exclusion` — inclusion–exclusion over the
+  boxes with consistency pruning; exponential in the number of boxes.
+* :func:`count_union_by_enumeration` — enumerate assignments of the pinned
+  ("support") coordinates only; exponential in the support size but
+  independent of the number of boxes.
+* :func:`count_union_decomposed` — the default: split the boxes into
+  connected components (two boxes are connected when they pin a common
+  coordinate), count the *complement* independently per component and
+  multiply.  Within a component the cheaper of the two strategies above is
+  chosen.  This is exact and typically orders of magnitude faster than
+  either strategy alone because real queries touch few blocks at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .selectors import Selector
+
+__all__ = [
+    "count_union_of_boxes",
+    "count_union_inclusion_exclusion",
+    "count_union_by_enumeration",
+    "count_union_decomposed",
+    "connected_components",
+]
+
+
+def _product(values: Iterable[int]) -> int:
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+def _deduplicate(selectors: Sequence[Selector]) -> List[Selector]:
+    """Drop duplicate selectors and selectors subsumed by a weaker one.
+
+    A selector whose pins are a superset of another selector's pins denotes
+    a sub-box and contributes nothing to the union; removing it keeps the
+    union unchanged while shrinking the instance.  The empty selector
+    denotes the whole product space and subsumes everything.
+    """
+    unique: List[Selector] = []
+    seen: Set[Tuple[Tuple[int, int], ...]] = set()
+    for selector in selectors:
+        if selector.pins not in seen:
+            seen.add(selector.pins)
+            unique.append(selector)
+    # Subsumption: keep only minimal pin-sets.
+    kept: List[Selector] = []
+    pin_sets = [frozenset(selector.pins) for selector in unique]
+    for index, pins in enumerate(pin_sets):
+        subsumed = any(
+            other_index != index and other_pins < pins
+            or (other_pins == pins and other_index < index)
+            for other_index, other_pins in enumerate(pin_sets)
+        )
+        if not subsumed:
+            kept.append(unique[index])
+    return kept
+
+
+def count_union_inclusion_exclusion(
+    domain_sizes: Sequence[int], selectors: Sequence[Selector]
+) -> int:
+    """|⋃ boxes| by inclusion–exclusion over the boxes.
+
+    The intersection of a set of boxes is itself a box whose selector is the
+    merge of the selectors — empty when any two of them disagree on a pinned
+    coordinate.  Intersections are built incrementally (depth-first over the
+    box list) so inconsistent branches are pruned early.
+    """
+    sizes = tuple(domain_sizes)
+    boxes = _deduplicate(selectors)
+
+    total = 0
+
+    def recurse(start: int, merged: Dict[int, int], depth: int) -> None:
+        nonlocal total
+        for index in range(start, len(boxes)):
+            candidate = boxes[index]
+            conflict = False
+            added: List[int] = []
+            for coordinate, element in candidate.pins:
+                existing = merged.get(coordinate)
+                if existing is None:
+                    merged[coordinate] = element
+                    added.append(coordinate)
+                elif existing != element:
+                    conflict = True
+                    break
+            if not conflict:
+                intersection_size = _product(
+                    size
+                    for coordinate, size in enumerate(sizes)
+                    if coordinate not in merged
+                )
+                sign = 1 if depth % 2 == 0 else -1
+                total += sign * intersection_size
+                recurse(index + 1, merged, depth + 1)
+            for coordinate in added:
+                del merged[coordinate]
+
+    recurse(0, {}, 0)
+    return total
+
+
+def count_union_by_enumeration(
+    domain_sizes: Sequence[int], selectors: Sequence[Selector]
+) -> int:
+    """|⋃ boxes| by enumerating assignments of the support coordinates.
+
+    The support is the set of coordinates pinned by at least one box.
+    Coordinates outside the support are free in every box, so they factor
+    out as a product.  For each assignment of the support coordinates we
+    check whether some box accepts it.
+    """
+    sizes = tuple(domain_sizes)
+    boxes = _deduplicate(selectors)
+    if not boxes:
+        return 0
+    if any(selector.length == 0 for selector in boxes):
+        # The empty selector denotes the full space.
+        return _product(sizes)
+
+    support = sorted({coordinate for selector in boxes for coordinate, _ in selector.pins})
+    support_index = {coordinate: position for position, coordinate in enumerate(support)}
+    outside_factor = _product(
+        size for coordinate, size in enumerate(sizes) if coordinate not in support_index
+    )
+
+    compiled = [
+        tuple((support_index[coordinate], element) for coordinate, element in selector.pins)
+        for selector in boxes
+    ]
+
+    hit = 0
+    for assignment in itertools.product(*(range(sizes[coordinate]) for coordinate in support)):
+        for pins in compiled:
+            if all(assignment[position] == element for position, element in pins):
+                hit += 1
+                break
+    return hit * outside_factor
+
+
+def connected_components(selectors: Sequence[Selector]) -> List[List[Selector]]:
+    """Group boxes into connected components of the coordinate-sharing graph.
+
+    Two boxes are in the same component when they pin a common coordinate
+    (directly or transitively).  Because components pin disjoint coordinate
+    sets, a uniformly random point avoids the boxes of different components
+    independently — which is what :func:`count_union_decomposed` exploits.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(node: int) -> int:
+        parent.setdefault(node, node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(left: int, right: int) -> None:
+        parent[find(left)] = find(right)
+
+    coordinate_owner: Dict[int, int] = {}
+    for box_index, selector in enumerate(selectors):
+        anchor = None
+        for coordinate, _ in selector.pins:
+            if coordinate in coordinate_owner:
+                if anchor is None:
+                    anchor = coordinate_owner[coordinate]
+                else:
+                    union(anchor, coordinate_owner[coordinate])
+            else:
+                coordinate_owner[coordinate] = box_index
+        # Make sure every coordinate of this box ends up in the same group.
+        for coordinate, _ in selector.pins:
+            union(box_index, coordinate_owner[coordinate])
+        find(box_index)
+
+    groups: Dict[int, List[Selector]] = {}
+    for box_index, selector in enumerate(selectors):
+        groups.setdefault(find(box_index), []).append(selector)
+    return list(groups.values())
+
+
+def count_union_decomposed(
+    domain_sizes: Sequence[int],
+    selectors: Sequence[Selector],
+    enumeration_limit: int = 2_000_000,
+    inclusion_exclusion_limit: int = 22,
+) -> int:
+    """|⋃ boxes| via complement counting over connected components.
+
+    Let ``S_g`` be the support of component ``g``.  A point avoids the union
+    iff it avoids every component's boxes, and because the supports are
+    disjoint those events involve disjoint coordinates, so::
+
+        #avoiding = (Π_{i ∉ ⋃S_g} |S_i|) · Π_g  #avoiding_g
+
+    where ``#avoiding_g`` counts assignments of the coordinates in ``S_g``
+    that avoid the boxes of ``g``.  Within a component the avoid count is
+    ``Π_{i∈S_g}|S_i|`` minus the union counted with whichever of the two
+    base strategies is cheaper for that component (bounded by
+    ``enumeration_limit`` assignments or ``inclusion_exclusion_limit``
+    boxes; if both bounds are exceeded the enumeration strategy is used
+    regardless, since it is the one with predictable memory behaviour).
+
+    The answer returned is ``Π_i |S_i| − #avoiding``.
+    """
+    sizes = tuple(domain_sizes)
+    boxes = _deduplicate(selectors)
+    if not boxes:
+        return 0
+    if any(selector.length == 0 for selector in boxes):
+        return _product(sizes)
+
+    total_space = _product(sizes)
+    avoiding = 1
+    support_union: Set[int] = set()
+
+    for component in connected_components(boxes):
+        component_support = sorted(
+            {coordinate for selector in component for coordinate, _ in selector.pins}
+        )
+        support_union.update(component_support)
+        component_space = _product(sizes[coordinate] for coordinate in component_support)
+        component_union = _count_component_union(
+            sizes, component, component_support, enumeration_limit, inclusion_exclusion_limit
+        )
+        avoiding *= component_space - component_union
+
+    outside_factor = _product(
+        size for coordinate, size in enumerate(sizes) if coordinate not in support_union
+    )
+    return total_space - avoiding * outside_factor
+
+
+def _count_component_union(
+    sizes: Tuple[int, ...],
+    component: Sequence[Selector],
+    support: Sequence[int],
+    enumeration_limit: int,
+    inclusion_exclusion_limit: int,
+) -> int:
+    """Union size of one component, restricted to its support coordinates."""
+    support_space = _product(sizes[coordinate] for coordinate in support)
+    # Restrict the domain-size vector to the support so the base strategies
+    # work on a compact instance.
+    remap = {coordinate: position for position, coordinate in enumerate(support)}
+    restricted_sizes = tuple(sizes[coordinate] for coordinate in support)
+    restricted = [
+        Selector({remap[coordinate]: element for coordinate, element in selector.pins})
+        for selector in component
+    ]
+    if len(restricted) <= inclusion_exclusion_limit and (
+        support_space > enumeration_limit or len(restricted) <= 12
+    ):
+        return count_union_inclusion_exclusion(restricted_sizes, restricted)
+    if support_space <= enumeration_limit:
+        return count_union_by_enumeration(restricted_sizes, restricted)
+    if len(restricted) <= inclusion_exclusion_limit:
+        return count_union_inclusion_exclusion(restricted_sizes, restricted)
+    # Both limits exceeded: fall back to enumeration (exact but slow); the
+    # caller opted into an exact count, so we do the work rather than guess.
+    return count_union_by_enumeration(restricted_sizes, restricted)
+
+
+def count_union_of_boxes(
+    domain_sizes: Sequence[int],
+    selectors: Sequence[Selector],
+    method: str = "decomposed",
+) -> int:
+    """Front door for union-of-boxes counting.
+
+    ``method`` is one of ``"decomposed"`` (default), ``"inclusion-exclusion"``
+    or ``"enumeration"``.
+    """
+    if method == "decomposed":
+        return count_union_decomposed(domain_sizes, selectors)
+    if method == "inclusion-exclusion":
+        return count_union_inclusion_exclusion(domain_sizes, selectors)
+    if method == "enumeration":
+        return count_union_by_enumeration(domain_sizes, selectors)
+    raise ValueError(
+        f"unknown method {method!r}; expected 'decomposed', "
+        f"'inclusion-exclusion' or 'enumeration'"
+    )

@@ -1,0 +1,19 @@
+"""Machine models giving operational meaning to the paper's counting classes.
+
+``accept_M`` (the #P/#L semantics) is realised by
+:class:`~repro.machines.ntm.NondeterministicTuringMachine` and ``span_M``
+(the SpanL semantics) by
+:class:`~repro.machines.transducer.BranchingTransducer`; tests use them to
+validate the machine constructions sketched in the proofs of Theorems 3.3
+and 3.7 on small inputs.
+"""
+
+from .ntm import NondeterministicTuringMachine, Transition
+from .transducer import BranchingTransducer, Verdict
+
+__all__ = [
+    "BranchingTransducer",
+    "NondeterministicTuringMachine",
+    "Transition",
+    "Verdict",
+]

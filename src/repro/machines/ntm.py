@@ -1,0 +1,135 @@
+"""A small nondeterministic Turing machine simulator.
+
+The counting classes of Section 2.2 are defined through machines:
+``#P``/``#L`` count the accepting computations of a nondeterministic Turing
+machine (``accept_M``), and ``SpanL`` counts the distinct outputs of a
+nondeterministic transducer (``span_M``, see
+:mod:`repro.machines.transducer`).  This simulator gives those definitions
+an executable meaning on small inputs so tests can check, for example, that
+the machine sketched in the proof of Theorem 3.3 really has one accepting
+run per repair entailing the query.
+
+The model is a single-tape NTM over a finite alphabet with a transition
+*relation*; the simulator explores the computation tree breadth-first up to
+a configurable step bound and counts accepting leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["Transition", "NondeterministicTuringMachine"]
+
+#: Tape movement directions.
+_MOVES = {"L": -1, "R": 1, "S": 0}
+
+#: The blank symbol.
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One nondeterministic transition option."""
+
+    next_state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in _MOVES:
+            raise ReproError(f"move must be one of {sorted(_MOVES)}, got {self.move!r}")
+
+
+@dataclass(frozen=True)
+class _Configuration:
+    state: str
+    tape: Tuple[str, ...]
+    head: int
+
+    def key(self) -> Tuple[str, Tuple[str, ...], int]:
+        return (self.state, self.tape, self.head)
+
+
+class NondeterministicTuringMachine:
+    """A single-tape NTM with counting semantics.
+
+    Parameters
+    ----------
+    transitions:
+        Mapping ``(state, symbol) -> [Transition, ...]``; missing keys mean
+        the machine halts (rejecting unless the state is accepting).
+    initial_state, accept_states:
+        The usual distinguished states.
+    """
+
+    def __init__(
+        self,
+        transitions: Mapping[Tuple[str, str], Sequence[Transition]],
+        initial_state: str,
+        accept_states: Iterable[str],
+    ) -> None:
+        self._transitions: Dict[Tuple[str, str], Tuple[Transition, ...]] = {
+            key: tuple(options) for key, options in transitions.items()
+        }
+        self._initial_state = initial_state
+        self._accept_states = frozenset(accept_states)
+
+    def _initial_configuration(self, word: str) -> _Configuration:
+        tape = tuple(word) if word else (BLANK,)
+        return _Configuration(self._initial_state, tape, 0)
+
+    def _step(self, configuration: _Configuration) -> List[_Configuration]:
+        symbol = (
+            configuration.tape[configuration.head]
+            if 0 <= configuration.head < len(configuration.tape)
+            else BLANK
+        )
+        options = self._transitions.get((configuration.state, symbol), ())
+        successors: List[_Configuration] = []
+        for option in options:
+            tape = list(configuration.tape)
+            head = configuration.head
+            # Extend the tape if the head has wandered past either end.
+            while head >= len(tape):
+                tape.append(BLANK)
+            while head < 0:
+                tape.insert(0, BLANK)
+                head += 1
+            tape[head] = option.write
+            head += _MOVES[option.move]
+            if head < 0:
+                tape.insert(0, BLANK)
+                head = 0
+            successors.append(_Configuration(option.next_state, tuple(tape), head))
+        return successors
+
+    def count_accepting_paths(self, word: str, max_steps: int = 10_000) -> int:
+        """``accept_M(word)``: the number of accepting computation paths.
+
+        Explores the computation tree; paths longer than ``max_steps`` raise
+        so silent undercounting cannot happen.
+        """
+        count = 0
+        stack: List[Tuple[_Configuration, int]] = [(self._initial_configuration(word), 0)]
+        while stack:
+            configuration, steps = stack.pop()
+            if steps > max_steps:
+                raise ReproError(
+                    f"computation exceeded {max_steps} steps; the machine may "
+                    f"not halt on input {word!r}"
+                )
+            successors = self._step(configuration)
+            if not successors:
+                if configuration.state in self._accept_states:
+                    count += 1
+                continue
+            for successor in successors:
+                stack.append((successor, steps + 1))
+        return count
+
+    def accepts(self, word: str, max_steps: int = 10_000) -> bool:
+        """True iff at least one computation path accepts."""
+        return self.count_accepting_paths(word, max_steps=max_steps) > 0

@@ -1,0 +1,104 @@
+"""Nondeterministic transducers and the ``span`` counting semantics.
+
+``SpanL`` (Section 2.2) counts the *distinct valid outputs* of a
+logarithmic-space nondeterministic transducer.  This module provides a
+lightweight, executable transducer model: rather than a full two-tape
+Turing machine it models a nondeterministic program as a branching process
+over explicit states — sufficient to give the ``span`` semantics an
+operational meaning on small inputs and to express Algorithm 1 as a machine
+in tests.
+
+A :class:`BranchingTransducer` is defined by a ``branch`` function mapping a
+state to either a terminal verdict (accept/reject) or a list of
+(output-fragment, next-state) options.  ``span`` runs all branches and
+counts the distinct concatenated outputs of accepting runs, and
+``accepting_outputs`` returns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar, Union
+
+from ..errors import ReproError
+
+__all__ = ["Verdict", "BranchingTransducer"]
+
+StateT = TypeVar("StateT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Terminal outcome of a branch: accept or reject."""
+
+    accept: bool
+
+
+#: The branch function's return type: a verdict, or nondeterministic options
+#: of the form (output fragment, next state).
+BranchResult = Union[Verdict, Sequence[Tuple[str, StateT]]]
+
+
+class BranchingTransducer(Generic[StateT]):
+    """A nondeterministic transducer given by an explicit branching function.
+
+    Parameters
+    ----------
+    branch:
+        Function from a state to either a :class:`Verdict` or a sequence of
+        ``(output_fragment, next_state)`` options (the nondeterministic
+        choices available in that state).
+    max_depth:
+        Safety bound on the number of branching steps per run.
+    """
+
+    def __init__(
+        self,
+        branch: Callable[[StateT], BranchResult],
+        max_depth: int = 100_000,
+    ) -> None:
+        self._branch = branch
+        self._max_depth = max_depth
+
+    def accepting_outputs(self, initial_state: StateT) -> Set[str]:
+        """The set of distinct outputs over all accepting runs."""
+        outputs: Set[str] = set()
+        stack: List[Tuple[StateT, Tuple[str, ...], int]] = [(initial_state, (), 0)]
+        while stack:
+            state, written, depth = stack.pop()
+            if depth > self._max_depth:
+                raise ReproError(
+                    f"transducer exceeded the depth bound {self._max_depth}; "
+                    f"the branching function may not terminate"
+                )
+            result = self._branch(state)
+            if isinstance(result, Verdict):
+                if result.accept:
+                    outputs.add("".join(written))
+                continue
+            for fragment, next_state in result:
+                stack.append((next_state, written + (fragment,), depth + 1))
+        return outputs
+
+    def span(self, initial_state: StateT) -> int:
+        """``span_M``: the number of distinct outputs of accepting runs."""
+        return len(self.accepting_outputs(initial_state))
+
+    def accepts(self, initial_state: StateT) -> bool:
+        """True iff some run accepts."""
+        # Early-exit variant of the traversal above.
+        stack: List[Tuple[StateT, int]] = [(initial_state, 0)]
+        while stack:
+            state, depth = stack.pop()
+            if depth > self._max_depth:
+                raise ReproError(
+                    f"transducer exceeded the depth bound {self._max_depth}"
+                )
+            result = self._branch(state)
+            if isinstance(result, Verdict):
+                if result.accept:
+                    return True
+                continue
+            for _, next_state in result:
+                stack.append((next_state, depth + 1))
+        return False

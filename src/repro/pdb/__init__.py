@@ -1,0 +1,22 @@
+"""Disjoint-independent probabilistic databases (the substrate of [5]).
+
+Used as the baseline the paper's FPRAS is compared against and to exercise
+the correspondence ``P(Q) = #CQA(Q, Σ)(D) / |rep(D, Σ)|`` for uniform
+block probabilities.
+"""
+
+from .model import DisjointIndependentPDB, ProbabilisticBlock, pdb_from_inconsistent_database
+from .probability import (
+    query_probability_bruteforce,
+    query_probability_exact,
+    query_probability_monte_carlo,
+)
+
+__all__ = [
+    "DisjointIndependentPDB",
+    "ProbabilisticBlock",
+    "pdb_from_inconsistent_database",
+    "query_probability_bruteforce",
+    "query_probability_exact",
+    "query_probability_monte_carlo",
+]

@@ -1,0 +1,136 @@
+"""Disjoint-independent probabilistic databases.
+
+The paper's FPRAS discussion (Section 6) compares against the scheme of
+Dalvi and Suciu for query probability over *disjoint-independent*
+probabilistic databases: the facts are partitioned into blocks, at most one
+fact of each block is present in a possible world, facts of the same block
+are mutually exclusive (disjoint) and facts of different blocks are
+independent.  #CQA under primary keys is the special case where every block
+has total probability 1 and its facts are equiprobable — then every
+possible world is a repair and
+
+    ``P(Q) = #CQA(Q, Σ)(D) / |rep(D, Σ)|``.
+
+This module provides the PDB model and that correspondence; exact and
+approximate query-probability computation live in
+:mod:`repro.pdb.probability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact
+from ..errors import ReproError
+
+__all__ = ["ProbabilisticBlock", "DisjointIndependentPDB", "pdb_from_inconsistent_database"]
+
+
+@dataclass(frozen=True)
+class ProbabilisticBlock:
+    """One block: mutually exclusive facts with their probabilities.
+
+    The probabilities must be positive and sum to at most 1; the residual
+    mass is the probability that *no* fact of the block is present.
+    """
+
+    facts: Tuple[Fact, ...]
+    probabilities: Tuple[Fraction, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.facts) != len(self.probabilities):
+            raise ReproError("each fact of a block needs exactly one probability")
+        if not self.facts:
+            raise ReproError("a probabilistic block must contain at least one fact")
+        if any(probability <= 0 for probability in self.probabilities):
+            raise ReproError("fact probabilities must be positive")
+        if sum(self.probabilities, Fraction(0)) > 1:
+            raise ReproError(
+                f"block probabilities sum to {sum(self.probabilities, Fraction(0))} > 1"
+            )
+
+    @property
+    def absence_probability(self) -> Fraction:
+        """Probability that no fact of the block is present."""
+        return Fraction(1) - sum(self.probabilities, Fraction(0))
+
+    @property
+    def is_total(self) -> bool:
+        """True iff some fact of the block is present in every world."""
+        return self.absence_probability == 0
+
+    def outcomes(self) -> Iterator[Tuple[Optional[Fact], Fraction]]:
+        """All outcomes of the block: each fact, plus absence when possible."""
+        for fact_, probability in zip(self.facts, self.probabilities):
+            yield fact_, probability
+        if not self.is_total:
+            yield None, self.absence_probability
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+
+class DisjointIndependentPDB:
+    """A disjoint-independent probabilistic database: independent blocks."""
+
+    def __init__(self, blocks: Sequence[ProbabilisticBlock]) -> None:
+        self._blocks = tuple(blocks)
+
+    @property
+    def blocks(self) -> Tuple[ProbabilisticBlock, ...]:
+        """The blocks, in a fixed order."""
+        return self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def all_facts(self) -> Tuple[Fact, ...]:
+        """Every fact that can occur in some possible world."""
+        return tuple(fact_ for block in self._blocks for fact_ in block.facts)
+
+    def world_count(self) -> int:
+        """Number of possible worlds (product of per-block outcome counts)."""
+        total = 1
+        for block in self._blocks:
+            total *= len(block) + (0 if block.is_total else 1)
+        return total
+
+    def possible_worlds(self) -> Iterator[Tuple[Database, Fraction]]:
+        """Enumerate (world, probability) pairs — exponential, small PDBs only."""
+        import itertools
+
+        outcome_lists = [list(block.outcomes()) for block in self._blocks]
+        for combination in itertools.product(*outcome_lists):
+            probability = Fraction(1)
+            facts: List[Fact] = []
+            for outcome, outcome_probability in combination:
+                probability *= outcome_probability
+                if outcome is not None:
+                    facts.append(outcome)
+            yield Database(facts), probability
+
+
+def pdb_from_inconsistent_database(
+    database: Database, keys: PrimaryKeySet
+) -> Tuple[DisjointIndependentPDB, BlockDecomposition]:
+    """The uniform-block PDB whose worlds are exactly the repairs of ``(D, Σ)``.
+
+    Every block of the decomposition becomes a probabilistic block whose
+    facts are equiprobable and whose probabilities sum to 1; the possible
+    worlds are then precisely the repairs, each with probability
+    ``1/|rep(D, Σ)|`` — the correspondence used by the reduction of #CQA to
+    DisjPDB query probability discussed after Corollary 6.4.
+    """
+    decomposition = BlockDecomposition(database, keys)
+    blocks = []
+    for block in decomposition.blocks:
+        share = Fraction(1, len(block))
+        blocks.append(
+            ProbabilisticBlock(tuple(block.facts), tuple(share for _ in block.facts))
+        )
+    return DisjointIndependentPDB(blocks), decomposition

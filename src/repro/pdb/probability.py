@@ -1,0 +1,175 @@
+"""Query probability over disjoint-independent probabilistic databases.
+
+Three evaluation strategies, mirroring the counting side of the library:
+
+* :func:`query_probability_bruteforce` — enumerate possible worlds; the
+  oracle for tests (exponential).
+* :func:`query_probability_exact` — inclusion–exclusion over the query's
+  certificates (homomorphisms with block-consistent images), each of which
+  is an independent "box event" over the blocks; exact and feasible
+  whenever the number of certificates is moderate.
+* :func:`query_probability_monte_carlo` — naive world sampling; included
+  because it is exactly the estimator whose sample complexity blows up when
+  the probability is small, i.e. the reason Dalvi–Suciu (and the paper) use
+  the complex sample space instead.
+
+For the uniform PDB arising from an inconsistent database the exact
+probability times the number of repairs equals #CQA — the correspondence
+exercised by the test suite and benchmark E6.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db.database import Database
+from ..db.facts import Fact
+from ..errors import FragmentError
+from ..query.ast import Query
+from ..query.classify import is_existential_positive
+from ..query.evaluation import holds
+from ..query.homomorphism import find_homomorphisms, homomorphism_image
+from ..query.rewriting import UCQ, to_ucq
+from .model import DisjointIndependentPDB
+
+__all__ = [
+    "query_probability_bruteforce",
+    "query_probability_exact",
+    "query_probability_monte_carlo",
+]
+
+#: An event "these blocks take exactly these facts": block index -> fact.
+_BoxEvent = Tuple[Tuple[int, Fact], ...]
+
+
+def query_probability_bruteforce(pdb: DisjointIndependentPDB, query: Query) -> Fraction:
+    """Exact probability by enumerating every possible world (oracle)."""
+    probability = Fraction(0)
+    for world, world_probability in pdb.possible_worlds():
+        if holds(query, world):
+            probability += world_probability
+    return probability
+
+
+def _certificate_events(
+    pdb: DisjointIndependentPDB, ucq: UCQ
+) -> List[_BoxEvent]:
+    """The box events of the query's certificates over the PDB's blocks."""
+    all_facts = Database(pdb.all_facts())
+    block_of_fact: Dict[Fact, int] = {}
+    for block_index, block in enumerate(pdb.blocks):
+        for fact_ in block.facts:
+            block_of_fact[fact_] = block_index
+
+    events: List[_BoxEvent] = []
+    seen = set()
+    for disjunct in ucq.disjuncts:
+        if disjunct.answer_bindings:
+            raise FragmentError("query probability requires a Boolean query")
+        for assignment in find_homomorphisms(disjunct.atoms, all_facts):
+            image = homomorphism_image(disjunct.atoms, assignment)
+            event: Dict[int, Fact] = {}
+            consistent = True
+            for fact_ in image:
+                block_index = block_of_fact[fact_]
+                if block_index in event and event[block_index] != fact_:
+                    consistent = False
+                    break
+                event[block_index] = fact_
+            if not consistent:
+                continue
+            key = tuple(sorted(event.items()))
+            if key not in seen:
+                seen.add(key)
+                events.append(key)
+    return events
+
+
+def _fact_probability(pdb: DisjointIndependentPDB, block_index: int, fact_: Fact) -> Fraction:
+    block = pdb.blocks[block_index]
+    return block.probabilities[block.facts.index(fact_)]
+
+
+def query_probability_exact(
+    pdb: DisjointIndependentPDB, query: Union[Query, UCQ]
+) -> Fraction:
+    """Exact probability by inclusion–exclusion over certificate events.
+
+    Requires an existential positive query.  Two events intersect
+    consistently when they agree on every commonly constrained block; the
+    probability of a (consistent) intersection is the product of the
+    probabilities of the pinned facts, by block independence.
+    """
+    if isinstance(query, Query):
+        if not is_existential_positive(query):
+            raise FragmentError(
+                "exact certificate-based probability requires an existential "
+                "positive query; use query_probability_bruteforce for FO"
+            )
+        ucq = to_ucq(query)
+    else:
+        ucq = query
+    events = _certificate_events(pdb, ucq)
+    total = Fraction(0)
+
+    def recurse(start: int, merged: Dict[int, Fact], depth: int) -> None:
+        nonlocal total
+        for index in range(start, len(events)):
+            event = events[index]
+            conflict = False
+            added: List[int] = []
+            for block_index, fact_ in event:
+                existing = merged.get(block_index)
+                if existing is None:
+                    merged[block_index] = fact_
+                    added.append(block_index)
+                elif existing != fact_:
+                    conflict = True
+                    break
+            if not conflict:
+                probability = Fraction(1)
+                for block_index, fact_ in merged.items():
+                    probability *= _fact_probability(pdb, block_index, fact_)
+                total += probability if depth % 2 == 0 else -probability
+                recurse(index + 1, merged, depth + 1)
+            for block_index in added:
+                del merged[block_index]
+
+    recurse(0, {}, 0)
+    return total
+
+
+def query_probability_monte_carlo(
+    pdb: DisjointIndependentPDB,
+    query: Query,
+    samples: int,
+    rng: Optional[Union[random.Random, int]] = None,
+) -> float:
+    """Naive Monte-Carlo estimate: sample worlds, evaluate the query.
+
+    Unbiased, but needs on the order of ``1/P(Q)`` samples to see a single
+    positive world — the problem the complex-sample-space FPRAS avoids.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    elif rng is None:
+        rng = random.Random()
+    hits = 0
+    for _ in range(samples):
+        facts: List[Fact] = []
+        for block in pdb.blocks:
+            draw = rng.random()
+            cumulative = 0.0
+            chosen: Optional[Fact] = None
+            for fact_, probability in zip(block.facts, block.probabilities):
+                cumulative += float(probability)
+                if draw < cumulative:
+                    chosen = fact_
+                    break
+            if chosen is not None:
+                facts.append(chosen)
+        if holds(query, Database(facts)):
+            hits += 1
+    return hits / samples if samples else 0.0

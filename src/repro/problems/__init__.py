@@ -1,0 +1,56 @@
+"""Companion counting problems of Sections 4.1, 4.4 and 7.
+
+Each problem comes with a brute-force oracle, a compactor witnessing its
+membership in the Λ-hierarchy (or SpanLL), and an exact counter built on
+the union-of-boxes engine — so the paper's completeness statements have an
+executable counterpart that the tests and benchmarks exercise.
+"""
+
+from .coloring import (
+    ForbiddenColoringCompactor,
+    ForbiddenColoringInstance,
+    count_forbidden_colorings,
+    non_proper_coloring_instance,
+)
+from .dnf import (
+    DisjointPositiveDNF,
+    DisjointPositiveDNFCompactor,
+    PositiveDNF,
+    PositiveDNFCompactor,
+    count_disjoint_positive_dnf,
+    count_positive_dnf,
+)
+from .graphs import (
+    Graph,
+    NonColoringCompactor,
+    NonIndependentSetCompactor,
+    NonVertexCoverCompactor,
+    count_non_colorings,
+    count_non_independent_sets,
+    count_non_vertex_covers,
+)
+from .sat import CNFFormula, Literal, count_satisfying_assignments, is_satisfiable
+
+__all__ = [
+    "CNFFormula",
+    "DisjointPositiveDNF",
+    "DisjointPositiveDNFCompactor",
+    "ForbiddenColoringCompactor",
+    "ForbiddenColoringInstance",
+    "Graph",
+    "Literal",
+    "NonColoringCompactor",
+    "NonIndependentSetCompactor",
+    "NonVertexCoverCompactor",
+    "PositiveDNF",
+    "PositiveDNFCompactor",
+    "count_disjoint_positive_dnf",
+    "count_forbidden_colorings",
+    "count_non_colorings",
+    "count_non_independent_sets",
+    "count_non_vertex_covers",
+    "count_positive_dnf",
+    "count_satisfying_assignments",
+    "is_satisfiable",
+    "non_proper_coloring_instance",
+]

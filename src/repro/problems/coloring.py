@@ -1,0 +1,229 @@
+"""#kForbColoring: counting forbidden colourings of k-uniform hypergraphs.
+
+Section 7.1 of the paper introduces the problem: given a k-uniform
+hypergraph ``H = (V, E)``, colour lists ``C_v`` per node and, per edge, a
+set ``F_e`` of *forbidden* assignments of the edge's nodes, count the
+colourings ``μ`` (one colour per node, from its list) that agree with some
+forbidden assignment on some edge.  The problem generalises counting
+non-list-colourings and is Λ[k]-complete (Theorem 7.2); the unbounded
+version #ForbColoring is SpanLL-complete (Theorem 7.5).
+
+Structure-wise it is the cleanest member of the union-of-boxes family: the
+solution domains are the colour lists and every pair (edge, forbidden
+assignment) contributes one box pinning exactly the edge's k nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..lams.compactor import Compactor, encode_token
+from ..lams.selectors import Selector
+
+__all__ = [
+    "ForbiddenColoringInstance",
+    "ForbiddenColoringCompactor",
+    "count_forbidden_colorings",
+    "non_proper_coloring_instance",
+]
+
+#: A colouring assignment for an edge: node -> colour.
+EdgeAssignment = Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class ForbiddenColoringInstance:
+    """An instance of #kForbColoring.
+
+    Attributes
+    ----------
+    colors:
+        ``{node: (colour, ...)}`` — the colour list of every node; its keys
+        define the node set ``V``.
+    edges:
+        The hyperedges, each a tuple of node names.  For #kForbColoring all
+        edges have the same size ``k``; mixed sizes are allowed by the
+        library (the instance then lives in the unbounded problem
+        #ForbColoring).
+    forbidden:
+        For each edge index, the forbidden assignments ``F_e``: tuples of
+        (node, colour) pairs covering exactly the edge's nodes.
+    """
+
+    colors: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    edges: Tuple[Tuple[str, ...], ...]
+    forbidden: Tuple[Tuple[EdgeAssignment, ...], ...]
+
+    def __init__(
+        self,
+        colors: Mapping[str, Sequence[str]],
+        edges: Sequence[Sequence[str]],
+        forbidden: Sequence[Sequence[Mapping[str, str]]],
+    ) -> None:
+        color_items = tuple((node, tuple(palette)) for node, palette in colors.items())
+        object.__setattr__(self, "colors", color_items)
+        object.__setattr__(self, "edges", tuple(tuple(edge) for edge in edges))
+        normalised: List[Tuple[EdgeAssignment, ...]] = []
+        for assignments in forbidden:
+            normalised.append(
+                tuple(tuple(sorted(dict(assignment).items())) for assignment in assignments)
+            )
+        object.__setattr__(self, "forbidden", tuple(normalised))
+        self._validate()
+
+    def _validate(self) -> None:
+        palette = dict(self.colors)
+        for node, colors in self.colors:
+            if not colors:
+                raise ReproError(f"node {node!r} has an empty colour list")
+        if len(self.forbidden) != len(self.edges):
+            raise ReproError(
+                f"{len(self.edges)} edges but {len(self.forbidden)} forbidden sets"
+            )
+        for edge, assignments in zip(self.edges, self.forbidden):
+            edge_nodes = set(edge)
+            unknown = edge_nodes - set(palette)
+            if unknown:
+                raise ReproError(f"edge {edge} mentions unknown nodes {unknown}")
+            for assignment in assignments:
+                assigned_nodes = {node for node, _ in assignment}
+                if assigned_nodes != edge_nodes:
+                    raise ReproError(
+                        f"forbidden assignment {assignment} does not cover edge {edge}"
+                    )
+                for node, color in assignment:
+                    if color not in palette[node]:
+                        raise ReproError(
+                            f"forbidden assignment colours {node!r} with {color!r} "
+                            f"which is not in its list {palette[node]}"
+                        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The node set ``V`` in declaration order."""
+        return tuple(node for node, _ in self.colors)
+
+    def palette(self, node: str) -> Tuple[str, ...]:
+        """The colour list of ``node``."""
+        return dict(self.colors)[node]
+
+    @property
+    def uniformity(self) -> int:
+        """The k of the k-uniform hypergraph (max edge size; 0 for no edges)."""
+        return max((len(edge) for edge in self.edges), default=0)
+
+    def is_uniform(self) -> bool:
+        """True iff all edges have the same size."""
+        sizes = {len(edge) for edge in self.edges}
+        return len(sizes) <= 1
+
+    def total_colorings(self) -> int:
+        """Number of all list colourings (product of the list sizes)."""
+        total = 1
+        for _, palette in self.colors:
+            total *= len(palette)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # brute force oracle
+    # ------------------------------------------------------------------ #
+    def colorings(self) -> Iterator[Dict[str, str]]:
+        """Enumerate all list colourings of the nodes."""
+        nodes = self.nodes
+        palettes = [self.palette(node) for node in nodes]
+        for combination in itertools.product(*palettes):
+            yield dict(zip(nodes, combination))
+
+    def is_forbidden(self, coloring: Mapping[str, str]) -> bool:
+        """True iff the colouring agrees with some forbidden assignment."""
+        for edge, assignments in zip(self.edges, self.forbidden):
+            for assignment in assignments:
+                if all(coloring[node] == color for node, color in assignment):
+                    return True
+        return False
+
+    def count_bruteforce(self) -> int:
+        """#forbidden colourings by exhaustive enumeration (oracle)."""
+        return sum(1 for coloring in self.colorings() if self.is_forbidden(coloring))
+
+
+class ForbiddenColoringCompactor(Compactor[ForbiddenColoringInstance, Tuple[int, int]]):
+    """The k-compactor placing #kForbColoring in Λ[k] (Theorem 7.2, membership).
+
+    Solution domains: the colour lists, in node order.  Certificates: pairs
+    ``(edge index, forbidden-assignment index)``; all are valid.  Selector:
+    pin each node of the edge to the forbidden colour.
+    """
+
+    def __init__(self, k: Optional[int] = None) -> None:
+        super().__init__(k)
+
+    def solution_domains(
+        self, instance: ForbiddenColoringInstance
+    ) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(
+            tuple(encode_token(color) for color in palette)
+            for _, palette in instance.colors
+        )
+
+    def certificates(self, instance: ForbiddenColoringInstance) -> Iterator[Tuple[int, int]]:
+        for edge_index, assignments in enumerate(instance.forbidden):
+            if self.k is not None and len(instance.edges[edge_index]) > self.k:
+                continue
+            for assignment_index in range(len(assignments)):
+                yield (edge_index, assignment_index)
+
+    def is_valid_certificate(
+        self, instance: ForbiddenColoringInstance, certificate: Tuple[int, int]
+    ) -> bool:
+        edge_index, assignment_index = certificate
+        if not 0 <= edge_index < len(instance.edges):
+            return False
+        if self.k is not None and len(instance.edges[edge_index]) > self.k:
+            return False
+        return 0 <= assignment_index < len(instance.forbidden[edge_index])
+
+    def selector(
+        self, instance: ForbiddenColoringInstance, certificate: Tuple[int, int]
+    ) -> Selector:
+        edge_index, assignment_index = certificate
+        assignment = instance.forbidden[edge_index][assignment_index]
+        node_position = {node: index for index, node in enumerate(instance.nodes)}
+        pins: Dict[int, int] = {}
+        for node, color in assignment:
+            pins[node_position[node]] = instance.palette(node).index(color)
+        return Selector(pins)
+
+
+def count_forbidden_colorings(
+    instance: ForbiddenColoringInstance, method: str = "decomposed"
+) -> int:
+    """Exact #kForbColoring via the union-of-boxes engine."""
+    compactor = ForbiddenColoringCompactor(k=instance.uniformity)
+    return compactor.unfold_count(instance, method=method)
+
+
+def non_proper_coloring_instance(
+    vertices: Sequence[str],
+    edges: Sequence[Tuple[str, str]],
+    colors: Sequence[str] = ("red", "green", "blue"),
+) -> ForbiddenColoringInstance:
+    """The non-proper-colouring special case as a forbidden-colouring instance.
+
+    A colouring of a graph is *not proper* iff some edge is monochromatic;
+    forbidding, for every edge and colour ``c``, the assignment giving both
+    endpoints colour ``c`` makes "forbidden" coincide with "not proper".
+    Counting non-3-colourings (one of the §4.1 guess–check–expand examples)
+    is this instance with the default 3-colour palette.
+    """
+    palette = {vertex: tuple(colors) for vertex in vertices}
+    forbidden = [
+        [{left: color, right: color} for color in colors] for left, right in edges
+    ]
+    return ForbiddenColoringInstance(palette, [tuple(edge) for edge in edges], forbidden)

@@ -1,0 +1,266 @@
+"""Positive DNF counting problems (Sections 4.4 and 7.1).
+
+Two families are implemented, both of which the paper places in the
+Λ-hierarchy (or, unbounded, in SpanLL):
+
+* **#PoskDNF** — counting the satisfying assignments of a positive kDNF
+  formula over ``{0, 1}``-valued variables.  Listed in §4.1 as a
+  guess–check–expand problem; #Pos2DNF is the #P-hard (under Turing
+  reductions) member of Λ[2] used in Theorem 4.4(2).
+* **#DisjPoskDNF** — the "disjoint" generalisation of Theorem 7.1: the
+  variables are partitioned and an admissible assignment (a *P-assignment*)
+  sets exactly one variable per part to 1.  This problem is
+  Λ[k]-complete for every k and its unbounded version #DisjPosDNF is
+  SpanLL-complete (Theorem 7.5).
+
+Both reduce to a union of boxes: a clause contributes the box that pins the
+variables it mentions to 1 (for #PoskDNF) or pins each mentioned variable's
+part to that variable (for #DisjPoskDNF).  Exact counters, brute-force
+oracles and compactors (for the Λ-hierarchy view and the FPRAS) are
+provided for each.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..lams.compactor import Compactor, encode_token
+from ..lams.selectors import Selector
+from ..lams.union_of_boxes import count_union_of_boxes
+
+__all__ = [
+    "PositiveDNF",
+    "DisjointPositiveDNF",
+    "PositiveDNFCompactor",
+    "DisjointPositiveDNFCompactor",
+    "count_positive_dnf",
+    "count_disjoint_positive_dnf",
+]
+
+
+# --------------------------------------------------------------------------- #
+# positive kDNF over {0,1} assignments
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PositiveDNF:
+    """A positive DNF formula: a disjunction of conjunctions of variables.
+
+    ``variables`` fixes the variable universe (and the assignment space
+    ``{0,1}^n``); every clause may only mention declared variables.
+    """
+
+    variables: Tuple[str, ...]
+    clauses: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+        if not isinstance(self.clauses, tuple):
+            object.__setattr__(
+                self, "clauses", tuple(tuple(clause) for clause in self.clauses)
+            )
+        if len(set(self.variables)) != len(self.variables):
+            raise ReproError("duplicate variable names in PositiveDNF")
+        universe = set(self.variables)
+        for clause in self.clauses:
+            unknown = set(clause) - universe
+            if unknown:
+                raise ReproError(f"clause {clause} mentions unknown variables {unknown}")
+
+    @property
+    def width(self) -> int:
+        """The k of the kDNF: the largest clause size (0 for no clauses)."""
+        return max((len(set(clause)) for clause in self.clauses), default=0)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """True iff some clause has all its variables set to 1."""
+        return any(
+            all(assignment[variable] for variable in clause) for clause in self.clauses
+        )
+
+    def count_bruteforce(self) -> int:
+        """#satisfying assignments by exhaustive enumeration (oracle)."""
+        count = 0
+        for values in itertools.product((False, True), repeat=len(self.variables)):
+            assignment = dict(zip(self.variables, values))
+            if self.evaluate(assignment):
+                count += 1
+        return count
+
+
+class PositiveDNFCompactor(Compactor[PositiveDNF, int]):
+    """The k-compactor placing #PoskDNF in Λ[k].
+
+    Solution domains: one ``{0, 1}`` domain per variable (index 0 encodes
+    ``0``, index 1 encodes ``1``).  Certificates: clause indices; a clause
+    is always a valid certificate (positive clauses are individually
+    satisfiable).  Selector: pin every variable of the clause to 1.
+    """
+
+    def __init__(self, k: Optional[int] = None) -> None:
+        super().__init__(k)
+
+    def solution_domains(self, instance: PositiveDNF) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(("0", "1") for _ in instance.variables)
+
+    def certificates(self, instance: PositiveDNF) -> Iterator[int]:
+        limit = self.k
+        for index, clause in enumerate(instance.clauses):
+            if limit is None or len(set(clause)) <= limit:
+                yield index
+
+    def is_valid_certificate(self, instance: PositiveDNF, certificate: int) -> bool:
+        if not 0 <= certificate < len(instance.clauses):
+            return False
+        if self.k is not None and len(set(instance.clauses[certificate])) > self.k:
+            return False
+        return True
+
+    def selector(self, instance: PositiveDNF, certificate: int) -> Selector:
+        clause = instance.clauses[certificate]
+        position = {variable: index for index, variable in enumerate(instance.variables)}
+        return Selector({position[variable]: 1 for variable in set(clause)})
+
+
+def count_positive_dnf(formula: PositiveDNF, method: str = "decomposed") -> int:
+    """Exact #PoskDNF via the union-of-boxes engine."""
+    compactor = PositiveDNFCompactor(k=formula.width)
+    return compactor.unfold_count(formula, method=method)
+
+
+# --------------------------------------------------------------------------- #
+# #DisjPoskDNF: P-assignments of a partitioned variable set
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DisjointPositiveDNF:
+    """An instance of #DisjPoskDNF: a partition of the variables and a
+    positive DNF formula over them.
+
+    A *P-assignment* sets exactly one variable of each part to 1 and all
+    other variables to 0; the problem asks how many P-assignments satisfy
+    the formula.
+    """
+
+    partition: Tuple[Tuple[str, ...], ...]
+    clauses: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.partition, tuple):
+            object.__setattr__(
+                self, "partition", tuple(tuple(part) for part in self.partition)
+            )
+        if not isinstance(self.clauses, tuple):
+            object.__setattr__(
+                self, "clauses", tuple(tuple(clause) for clause in self.clauses)
+            )
+        seen: Set[str] = set()
+        for part in self.partition:
+            if not part:
+                raise ReproError("partition parts must be non-empty")
+            for variable in part:
+                if variable in seen:
+                    raise ReproError(f"variable {variable!r} appears in two parts")
+                seen.add(variable)
+        for clause in self.clauses:
+            unknown = set(clause) - seen
+            if unknown:
+                raise ReproError(f"clause {clause} mentions unknown variables {unknown}")
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """All variables, in partition order."""
+        return tuple(variable for part in self.partition for variable in part)
+
+    @property
+    def width(self) -> int:
+        """The k of the kDNF: the largest clause size."""
+        return max((len(set(clause)) for clause in self.clauses), default=0)
+
+    def part_of(self, variable: str) -> int:
+        """Index of the part containing ``variable``."""
+        for index, part in enumerate(self.partition):
+            if variable in part:
+                return index
+        raise KeyError(variable)
+
+    def p_assignments(self) -> Iterator[Dict[str, bool]]:
+        """Enumerate all P-assignments (product over parts)."""
+        for chosen in itertools.product(*self.partition):
+            assignment = {variable: False for variable in self.variables}
+            for variable in chosen:
+                assignment[variable] = True
+            yield assignment
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """True iff some clause has all its variables set to 1."""
+        return any(
+            all(assignment[variable] for variable in clause) for clause in self.clauses
+        )
+
+    def count_bruteforce(self) -> int:
+        """#satisfying P-assignments by exhaustive enumeration (oracle)."""
+        return sum(1 for assignment in self.p_assignments() if self.evaluate(assignment))
+
+    def total_p_assignments(self) -> int:
+        """Number of P-assignments (the product of the part sizes)."""
+        total = 1
+        for part in self.partition:
+            total *= len(part)
+        return total
+
+
+class DisjointPositiveDNFCompactor(Compactor[DisjointPositiveDNF, int]):
+    """The k-compactor placing #DisjPoskDNF in Λ[k] (Theorem 7.1, membership).
+
+    Solution domains: the parts of the partition (choosing which variable of
+    the part is set to 1).  Certificates: clause indices; a clause is valid
+    iff it never mentions two different variables of the same part (such a
+    clause can never be satisfied by a P-assignment).  Selector: pin the
+    part of each mentioned variable to that variable.
+    """
+
+    def __init__(self, k: Optional[int] = None) -> None:
+        super().__init__(k)
+
+    def solution_domains(self, instance: DisjointPositiveDNF) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(
+            tuple(encode_token(variable) for variable in part) for part in instance.partition
+        )
+
+    def certificates(self, instance: DisjointPositiveDNF) -> Iterator[int]:
+        for index in range(len(instance.clauses)):
+            if self.is_valid_certificate(instance, index):
+                yield index
+
+    def is_valid_certificate(self, instance: DisjointPositiveDNF, certificate: int) -> bool:
+        if not 0 <= certificate < len(instance.clauses):
+            return False
+        clause = set(instance.clauses[certificate])
+        if self.k is not None and len(clause) > self.k:
+            return False
+        parts_used: Set[int] = set()
+        for variable in clause:
+            part_index = instance.part_of(variable)
+            if part_index in parts_used:
+                return False
+            parts_used.add(part_index)
+        return True
+
+    def selector(self, instance: DisjointPositiveDNF, certificate: int) -> Selector:
+        clause = set(instance.clauses[certificate])
+        pins: Dict[int, int] = {}
+        for variable in clause:
+            part_index = instance.part_of(variable)
+            pins[part_index] = instance.partition[part_index].index(variable)
+        return Selector(pins)
+
+
+def count_disjoint_positive_dnf(
+    formula: DisjointPositiveDNF, method: str = "decomposed"
+) -> int:
+    """Exact #DisjPoskDNF via the union-of-boxes engine."""
+    compactor = DisjointPositiveDNFCompactor(k=formula.width)
+    return compactor.unfold_count(formula, method=method)

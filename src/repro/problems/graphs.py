@@ -1,0 +1,211 @@
+"""The guess–check–expand graph problems of Section 4.1.
+
+The paper lists several natural problems that live in SpanL via the
+guess–check–expand paradigm (and in fact in Λ[2], since their certificates
+pin two vertices):
+
+* counting the **non-independent sets** of an undirected graph,
+* counting the **non-3-colourings** of an undirected graph,
+* counting the **non-vertex-covers** of an undirected graph.
+
+All three are "union of boxes over per-vertex domains with one box per
+edge (or per edge/colour pair)", so each gets a small compactor plus a
+brute-force oracle.  They serve three purposes in the library: extra
+Λ[2] instances for tests, extra workloads for the FPRAS benchmarks, and a
+demonstration that the paradigm extends beyond databases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..lams.compactor import Compactor
+from ..lams.selectors import Selector
+
+__all__ = [
+    "Graph",
+    "NonIndependentSetCompactor",
+    "NonVertexCoverCompactor",
+    "NonColoringCompactor",
+    "count_non_independent_sets",
+    "count_non_vertex_covers",
+    "count_non_colorings",
+]
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A simple undirected graph given by vertex and edge lists."""
+
+    vertices: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+
+    def __init__(self, vertices: Sequence[str], edges: Sequence[Tuple[str, str]]) -> None:
+        object.__setattr__(self, "vertices", tuple(vertices))
+        normalised = []
+        vertex_set = set(self.vertices)
+        if len(vertex_set) != len(self.vertices):
+            raise ReproError("duplicate vertices in graph")
+        for left, right in edges:
+            if left not in vertex_set or right not in vertex_set:
+                raise ReproError(f"edge ({left}, {right}) mentions unknown vertices")
+            if left == right:
+                raise ReproError(f"self-loop ({left}, {right}) is not allowed")
+            normalised.append((left, right) if left <= right else (right, left))
+        object.__setattr__(self, "edges", tuple(sorted(set(normalised))))
+
+    @classmethod
+    def from_networkx(cls, graph) -> "Graph":
+        """Build from a ``networkx.Graph`` (kept optional; no hard dependency)."""
+        return cls([str(node) for node in graph.nodes], [(str(u), str(v)) for u, v in graph.edges])
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def vertex_index(self, vertex: str) -> int:
+        """Position of a vertex in the canonical vertex order."""
+        return self.vertices.index(vertex)
+
+    # ------------------------------------------------------------------ #
+    # brute-force oracles
+    # ------------------------------------------------------------------ #
+    def subsets(self) -> Iterator[FrozenSet[str]]:
+        """Enumerate all vertex subsets."""
+        for mask in itertools.product((False, True), repeat=len(self.vertices)):
+            yield frozenset(
+                vertex for vertex, chosen in zip(self.vertices, mask) if chosen
+            )
+
+    def is_independent(self, subset: FrozenSet[str]) -> bool:
+        """True iff no edge has both endpoints in ``subset``."""
+        return all(not (left in subset and right in subset) for left, right in self.edges)
+
+    def is_vertex_cover(self, subset: FrozenSet[str]) -> bool:
+        """True iff every edge has at least one endpoint in ``subset``."""
+        return all(left in subset or right in subset for left, right in self.edges)
+
+    def is_proper_coloring(self, coloring: Dict[str, int]) -> bool:
+        """True iff no edge is monochromatic."""
+        return all(coloring[left] != coloring[right] for left, right in self.edges)
+
+
+# --------------------------------------------------------------------------- #
+# non-independent sets
+# --------------------------------------------------------------------------- #
+class NonIndependentSetCompactor(Compactor[Graph, int]):
+    """Counts subsets that are *not* independent.
+
+    Domains: ``{out, in}`` per vertex.  Certificates: edge indices (always
+    valid).  Selector: pin both endpoints of the edge to ``in`` — a subset
+    is non-independent iff it contains both endpoints of some edge.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(k=2)
+
+    def solution_domains(self, instance: Graph) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(("out", "in") for _ in instance.vertices)
+
+    def certificates(self, instance: Graph) -> Iterator[int]:
+        return iter(range(len(instance.edges)))
+
+    def is_valid_certificate(self, instance: Graph, certificate: int) -> bool:
+        return 0 <= certificate < len(instance.edges)
+
+    def selector(self, instance: Graph, certificate: int) -> Selector:
+        left, right = instance.edges[certificate]
+        return Selector({instance.vertex_index(left): 1, instance.vertex_index(right): 1})
+
+
+def count_non_independent_sets(graph: Graph, method: str = "decomposed") -> int:
+    """Exact count of non-independent vertex subsets."""
+    return NonIndependentSetCompactor().unfold_count(graph, method=method)
+
+
+# --------------------------------------------------------------------------- #
+# non-vertex-covers
+# --------------------------------------------------------------------------- #
+class NonVertexCoverCompactor(Compactor[Graph, int]):
+    """Counts subsets that are *not* vertex covers.
+
+    Same domains as above; the selector pins both endpoints of an edge to
+    ``out`` — a subset fails to cover iff some edge has both endpoints
+    outside it.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(k=2)
+
+    def solution_domains(self, instance: Graph) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(("out", "in") for _ in instance.vertices)
+
+    def certificates(self, instance: Graph) -> Iterator[int]:
+        return iter(range(len(instance.edges)))
+
+    def is_valid_certificate(self, instance: Graph, certificate: int) -> bool:
+        return 0 <= certificate < len(instance.edges)
+
+    def selector(self, instance: Graph, certificate: int) -> Selector:
+        left, right = instance.edges[certificate]
+        return Selector({instance.vertex_index(left): 0, instance.vertex_index(right): 0})
+
+
+def count_non_vertex_covers(graph: Graph, method: str = "decomposed") -> int:
+    """Exact count of vertex subsets that are not vertex covers."""
+    return NonVertexCoverCompactor().unfold_count(graph, method=method)
+
+
+# --------------------------------------------------------------------------- #
+# non-c-colourings
+# --------------------------------------------------------------------------- #
+class NonColoringCompactor(Compactor[Graph, Tuple[int, int]]):
+    """Counts colourings (with ``color_count`` colours) that are *not* proper.
+
+    Domains: the colour set per vertex.  Certificates: pairs
+    ``(edge index, colour)``; the selector pins both endpoints of the edge
+    to that colour (a colouring is improper iff some edge is monochromatic).
+    The paper's example is ``color_count = 3`` (non-3-colourings).
+    """
+
+    def __init__(self, color_count: int = 3) -> None:
+        if color_count < 1:
+            raise ReproError("at least one colour is required")
+        super().__init__(k=2)
+        self._color_count = color_count
+
+    @property
+    def color_count(self) -> int:
+        return self._color_count
+
+    def solution_domains(self, instance: Graph) -> Tuple[Tuple[str, ...], ...]:
+        palette = tuple(f"c{index}" for index in range(self._color_count))
+        return tuple(palette for _ in instance.vertices)
+
+    def certificates(self, instance: Graph) -> Iterator[Tuple[int, int]]:
+        for edge_index in range(len(instance.edges)):
+            for color in range(self._color_count):
+                yield (edge_index, color)
+
+    def is_valid_certificate(self, instance: Graph, certificate: Tuple[int, int]) -> bool:
+        edge_index, color = certificate
+        return 0 <= edge_index < len(instance.edges) and 0 <= color < self._color_count
+
+    def selector(self, instance: Graph, certificate: Tuple[int, int]) -> Selector:
+        edge_index, color = certificate
+        left, right = instance.edges[edge_index]
+        return Selector(
+            {instance.vertex_index(left): color, instance.vertex_index(right): color}
+        )
+
+
+def count_non_colorings(graph: Graph, colors: int = 3, method: str = "decomposed") -> int:
+    """Exact count of improper colourings with the given number of colours."""
+    return NonColoringCompactor(colors).unfold_count(graph, method=method)

@@ -1,0 +1,116 @@
+"""Propositional satisfiability problems used in the paper's hardness proofs.
+
+Two roles:
+
+* 3SAT / #3SAT are the sources of the reductions behind Theorems 3.2 and
+  3.3 (NP-hardness of #CQA>0(FO) and #P-hardness of #CQA(FO) under
+  parsimonious reductions).  Brute-force solvers are provided as oracles so
+  the executable reduction in :mod:`repro.reductions.sat_to_cqa` can be
+  validated end to end.
+* #Pos2DNF — counting satisfying assignments of a positive 2DNF formula —
+  is the function the paper uses to show that Λ[2] is already #P-hard under
+  Turing reductions (Theorem 4.4(2)).  Its exact counter goes through the
+  union-of-boxes engine, and membership in Λ[2] is witnessed by the
+  compactor in :mod:`repro.problems.dnf`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["Literal", "CNFFormula", "count_satisfying_assignments", "is_satisfiable"]
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A propositional literal: a variable name with a polarity."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> bool:
+        """True iff the literal evaluates to true under ``assignment``."""
+        return assignment[self.variable] == self.positive
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A CNF formula: a conjunction of clauses, each a disjunction of literals.
+
+    ``width`` (e.g. 3 for 3CNF) is not enforced structurally; use
+    :meth:`is_kcnf` to check.
+    """
+
+    clauses: Tuple[Tuple[Literal, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clauses, tuple):
+            object.__setattr__(
+                self, "clauses", tuple(tuple(clause) for clause in self.clauses)
+            )
+        for clause in self.clauses:
+            if not clause:
+                raise ReproError("CNF clauses must be non-empty")
+
+    @classmethod
+    def from_ints(cls, clauses: Iterable[Iterable[int]]) -> "CNFFormula":
+        """DIMACS-style construction: positive/negative integers per clause."""
+        built = []
+        for clause in clauses:
+            literals = []
+            for code in clause:
+                if code == 0:
+                    raise ReproError("0 is not a valid DIMACS literal")
+                literals.append(Literal(f"x{abs(code)}", code > 0))
+            built.append(tuple(literals))
+        return cls(tuple(built))
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variable names, sorted."""
+        names = {literal.variable for clause in self.clauses for literal in clause}
+        return tuple(sorted(names))
+
+    def is_kcnf(self, k: int) -> bool:
+        """True iff every clause has at most ``k`` literals."""
+        return all(len(clause) <= k for clause in self.clauses)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """True iff every clause has a satisfied literal."""
+        return all(
+            any(literal.satisfied_by(assignment) for literal in clause)
+            for clause in self.clauses
+        )
+
+    def __str__(self) -> str:
+        return " AND ".join(
+            "(" + " OR ".join(str(literal) for literal in clause) + ")"
+            for clause in self.clauses
+        )
+
+
+def _assignments(variables: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    for values in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def count_satisfying_assignments(formula: CNFFormula) -> int:
+    """#SAT by exhaustive enumeration (oracle for reduction tests)."""
+    variables = formula.variables()
+    return sum(1 for assignment in _assignments(variables) if formula.evaluate(assignment))
+
+
+def is_satisfiable(formula: CNFFormula) -> bool:
+    """SAT by exhaustive enumeration with early exit."""
+    variables = formula.variables()
+    return any(formula.evaluate(assignment) for assignment in _assignments(variables))

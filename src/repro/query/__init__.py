@@ -1,0 +1,99 @@
+"""First-order query language: AST, parser, fragments, evaluation, rewriting.
+
+The query side of the paper's problem statement.  The central objects are
+:class:`~repro.query.ast.Query` (an FO query ``{x̄ | φ}``) and
+:class:`~repro.query.rewriting.UCQ` (the normalised union-of-conjunctive-
+queries form every certificate-based algorithm consumes).
+"""
+
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    Term,
+    Top,
+    Variable,
+)
+from .builders import (
+    atom,
+    boolean_query,
+    conjunctive_query,
+    exists_close,
+    union_query,
+    var,
+    vars_,
+)
+from .classify import (
+    QueryClass,
+    classify,
+    is_conjunctive_query,
+    is_existential_positive,
+    is_first_order,
+    is_self_join_free,
+    is_union_of_conjunctive_queries,
+)
+from .evaluation import answers, evaluate_formula, holds
+from .homomorphism import (
+    count_homomorphisms,
+    exists_homomorphism,
+    find_homomorphisms,
+    homomorphism_image,
+)
+from .keywidth import keywidth, max_disjunct_keywidth
+from .parser import parse_formula, parse_query
+from .rewriting import CQDisjunct, UCQ, to_ucq, ucq_to_query
+from .substitution import bind_answer, substitute_formula
+
+__all__ = [
+    "And",
+    "Atom",
+    "Bottom",
+    "CQDisjunct",
+    "Equality",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "Not",
+    "Or",
+    "Query",
+    "QueryClass",
+    "Term",
+    "Top",
+    "UCQ",
+    "Variable",
+    "answers",
+    "atom",
+    "bind_answer",
+    "boolean_query",
+    "classify",
+    "conjunctive_query",
+    "count_homomorphisms",
+    "evaluate_formula",
+    "exists_close",
+    "exists_homomorphism",
+    "find_homomorphisms",
+    "holds",
+    "homomorphism_image",
+    "is_conjunctive_query",
+    "is_existential_positive",
+    "is_first_order",
+    "is_self_join_free",
+    "is_union_of_conjunctive_queries",
+    "keywidth",
+    "max_disjunct_keywidth",
+    "parse_formula",
+    "parse_query",
+    "substitute_formula",
+    "to_ucq",
+    "ucq_to_query",
+    "union_query",
+    "var",
+    "vars_",
+]

@@ -1,0 +1,384 @@
+"""Abstract syntax for first-order queries.
+
+The paper works with first-order queries ``Q(x̄) = {x̄ | φ}`` over a
+relational schema, and with the fragments ∃FO+ (existential positive),
+UCQ (unions of conjunctive queries) and CQ (conjunctive queries).  This
+module defines an immutable AST covering full FO:
+
+* :class:`Atom` — a relational atom ``R(t1, ..., tn)`` over variables and
+  constants,
+* :class:`Equality` — ``t1 = t2`` (useful for queries produced by rewriting),
+* :class:`And`, :class:`Or`, :class:`Not` — Boolean connectives,
+* :class:`Exists`, :class:`ForAll` — quantifiers,
+* :class:`Top`, :class:`Bottom` — the trivially true/false formulas.
+
+A *query* (:class:`Query`) pairs a formula with a tuple of free variables
+(the answer variables).  Boolean queries have an empty tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple, Union
+
+from ..db.facts import Constant
+from ..errors import QueryError
+
+__all__ = [
+    "Variable",
+    "Term",
+    "Formula",
+    "Atom",
+    "Equality",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "ForAll",
+    "Top",
+    "Bottom",
+    "Query",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, e.g. ``Variable("x")``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("a variable must have a non-empty name")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A term is a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def _render_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, str):
+        return repr(term)
+    return str(term)
+
+
+class Formula:
+    """Base class for all formula nodes.
+
+    Subclasses are frozen dataclasses; formulas are therefore immutable,
+    hashable and safely shareable between queries.
+    """
+
+    # -------------------------------------------------------------- #
+    # structural accessors implemented per node type
+    # -------------------------------------------------------------- #
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas."""
+        return ()
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables with a free occurrence in the formula."""
+        raise NotImplementedError
+
+    def all_variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the formula, bound or free."""
+        variables = set(self.free_variables())
+        for child in self.children():
+            variables |= child.all_variables()
+        return frozenset(variables)
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        """All relational atoms in the formula, in syntactic order."""
+        collected: list[Atom] = []
+        self._collect_atoms(collected)
+        return tuple(collected)
+
+    def _collect_atoms(self, accumulator: list) -> None:
+        for child in self.children():
+            child._collect_atoms(accumulator)
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation symbols mentioned in the formula."""
+        return frozenset(atom.relation for atom in self.atoms())
+
+    # -------------------------------------------------------------- #
+    # convenient connective constructors
+    # -------------------------------------------------------------- #
+    def __and__(self, other: "Formula") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tn)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise QueryError("an atom must name a relation")
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+        if len(self.terms) == 0:
+            raise QueryError(f"atom over {self.relation!r} must have arguments")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables among the atom's terms, in order, with duplicates."""
+        return tuple(term for term in self.terms if isinstance(term, Variable))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """The constants among the atom's terms, in order."""
+        return tuple(term for term in self.terms if not isinstance(term, Variable))
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.variables())
+
+    def _collect_atoms(self, accumulator: list) -> None:
+        accumulator.append(self)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(_render_term(term) for term in self.terms)
+        return f"{self.relation}({rendered})"
+
+
+@dataclass(frozen=True)
+class Equality(Formula):
+    """An equality atom ``left = right`` between terms."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        variables = set()
+        if isinstance(self.left, Variable):
+            variables.add(self.left)
+        if isinstance(self.right, Variable):
+            variables.add(self.right)
+        return frozenset(variables)
+
+    def __str__(self) -> str:
+        return f"{_render_term(self.left)} = {_render_term(self.right)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of one or more formulas."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operands, tuple):
+            object.__setattr__(self, "operands", tuple(self.operands))
+        if len(self.operands) == 0:
+            raise QueryError("And requires at least one operand; use Top() instead")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        variables: FrozenSet[Variable] = frozenset()
+        for operand in self.operands:
+            variables |= operand.free_variables()
+        return variables
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(operand) for operand in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of one or more formulas."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operands, tuple):
+            object.__setattr__(self, "operands", tuple(self.operands))
+        if len(self.operands) == 0:
+            raise QueryError("Or requires at least one operand; use Bottom() instead")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        variables: FrozenSet[Variable] = frozenset()
+        for operand in self.operands:
+            variables |= operand.free_variables()
+        return variables
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(operand) for operand in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"NOT {self.operand}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables: Tuple[Variable, ...]
+    operand: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+        if len(self.variables) == 0:
+            raise QueryError("Exists must bind at least one variable")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def __str__(self) -> str:
+        bound = ", ".join(variable.name for variable in self.variables)
+        return f"EXISTS {bound}. {self.operand}"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """Universal quantification over one or more variables."""
+
+    variables: Tuple[Variable, ...]
+    operand: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+        if len(self.variables) == 0:
+            raise QueryError("ForAll must bind at least one variable")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def __str__(self) -> str:
+        bound = ", ".join(variable.name for variable in self.variables)
+        return f"FORALL {bound}. {self.operand}"
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The formula that is always true."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The formula that is always false."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A first-order query ``{x̄ | φ}``.
+
+    Parameters
+    ----------
+    formula:
+        The body ``φ``.
+    answer_variables:
+        The tuple of free variables ``x̄``.  Every answer variable must be
+        free in ``φ`` and, conversely, every free variable of ``φ`` must be
+        an answer variable (otherwise the query has dangling free variables
+        and its semantics would be ambiguous).
+    name:
+        Optional human-readable label used in reports and benchmarks.
+    """
+
+    formula: Formula
+    answer_variables: Tuple[Variable, ...] = field(default=())
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.answer_variables, tuple):
+            object.__setattr__(
+                self, "answer_variables", tuple(self.answer_variables)
+            )
+        free = self.formula.free_variables()
+        declared = frozenset(self.answer_variables)
+        if len(self.answer_variables) != len(declared):
+            raise QueryError(
+                f"duplicate answer variables: {self.answer_variables}"
+            )
+        missing = declared - free
+        dangling = free - declared
+        if missing:
+            raise QueryError(
+                f"answer variables {sorted(v.name for v in missing)} do not "
+                f"occur free in the query body"
+            )
+        if dangling:
+            raise QueryError(
+                f"free variables {sorted(v.name for v in dangling)} are not "
+                f"declared as answer variables; bind them with EXISTS/FORALL "
+                f"or add them to the answer tuple"
+            )
+
+    @property
+    def is_boolean(self) -> bool:
+        """True iff the query has no answer variables."""
+        return len(self.answer_variables) == 0
+
+    @property
+    def arity(self) -> int:
+        """Number of answer variables."""
+        return len(self.answer_variables)
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        """Relational atoms of the body."""
+        return self.formula.atoms()
+
+    def relations(self) -> FrozenSet[str]:
+        """Relations mentioned in the body."""
+        return self.formula.relations()
+
+    def __str__(self) -> str:
+        head = ", ".join(variable.name for variable in self.answer_variables)
+        label = f"{self.name}: " if self.name else ""
+        if self.is_boolean:
+            return f"{label}{{ () | {self.formula} }}"
+        return f"{label}{{ ({head}) | {self.formula} }}"

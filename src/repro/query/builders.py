@@ -1,0 +1,134 @@
+"""Convenience constructors for queries.
+
+The AST in :mod:`repro.query.ast` is deliberately minimal; this module adds
+the ergonomic layer a user actually writes queries with:
+
+* :func:`var` / :func:`vars_` for variables,
+* :func:`atom` for relational atoms,
+* :func:`conjunctive_query` for Boolean or non-Boolean CQs (existentially
+  closing all non-answer variables automatically),
+* :func:`union_query` for UCQs,
+* :func:`boolean_query` for wrapping an arbitrary formula as a Boolean query
+  with automatic existential closure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from ..errors import QueryError
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Exists,
+    Formula,
+    Or,
+    Query,
+    Term,
+    Top,
+    Variable,
+)
+
+__all__ = [
+    "var",
+    "vars_",
+    "atom",
+    "exists_close",
+    "conjunctive_query",
+    "union_query",
+    "boolean_query",
+]
+
+
+def var(name: str) -> Variable:
+    """Shorthand for :class:`Variable`."""
+    return Variable(name)
+
+
+def vars_(*names: str) -> Tuple[Variable, ...]:
+    """Create several variables at once: ``x, y = vars_("x", "y")``."""
+    return tuple(Variable(name) for name in names)
+
+
+def atom(relation: str, *terms: Union[Term, str, int, float, bool]) -> Atom:
+    """Create an atom.
+
+    Strings are treated as *constants*; to refer to a variable pass a
+    :class:`Variable` (e.g. created with :func:`var`).  This keeps the
+    distinction between constants and variables explicit, as the guides
+    recommend, instead of guessing from capitalisation.
+    """
+    return Atom(relation, tuple(terms))
+
+
+def exists_close(formula: Formula, keep_free: Sequence[Variable] = ()) -> Formula:
+    """Existentially close all free variables of ``formula`` except ``keep_free``."""
+    to_bind = tuple(
+        sorted(formula.free_variables() - frozenset(keep_free), key=lambda v: v.name)
+    )
+    if not to_bind:
+        return formula
+    return Exists(to_bind, formula)
+
+
+def conjunctive_query(
+    atoms: Iterable[Atom],
+    answer_variables: Sequence[Variable] = (),
+    name: Optional[str] = None,
+) -> Query:
+    """Build a conjunctive query from its atoms.
+
+    All variables not listed in ``answer_variables`` are existentially
+    quantified.  With no atoms the query body is ``TRUE`` (entailed by every
+    repair), which is occasionally useful as a neutral element in tests.
+    """
+    atom_tuple = tuple(atoms)
+    if not atom_tuple:
+        body: Formula = Top()
+    elif len(atom_tuple) == 1:
+        body = atom_tuple[0]
+    else:
+        body = And(atom_tuple)
+    closed = exists_close(body, keep_free=answer_variables)
+    return Query(closed, tuple(answer_variables), name=name)
+
+
+def union_query(
+    disjunct_atom_lists: Iterable[Iterable[Atom]],
+    answer_variables: Sequence[Variable] = (),
+    name: Optional[str] = None,
+) -> Query:
+    """Build a union of conjunctive queries.
+
+    Each element of ``disjunct_atom_lists`` is the atom list of one disjunct;
+    every disjunct is existentially closed independently (so the same
+    variable name in two disjuncts denotes two different bound variables,
+    matching standard UCQ semantics).
+    """
+    disjuncts = []
+    for atom_list in disjunct_atom_lists:
+        atom_tuple = tuple(atom_list)
+        if not atom_tuple:
+            body: Formula = Top()
+        elif len(atom_tuple) == 1:
+            body = atom_tuple[0]
+        else:
+            body = And(atom_tuple)
+        disjuncts.append(exists_close(body, keep_free=answer_variables))
+    if not disjuncts:
+        return Query(Bottom(), tuple(answer_variables), name=name)
+    if len(disjuncts) == 1:
+        return Query(disjuncts[0], tuple(answer_variables), name=name)
+    return Query(Or(tuple(disjuncts)), tuple(answer_variables), name=name)
+
+
+def boolean_query(formula: Formula, name: Optional[str] = None) -> Query:
+    """Wrap ``formula`` as a Boolean query, existentially closing free variables."""
+    closed = exists_close(formula)
+    if closed.free_variables():
+        raise QueryError(
+            "boolean_query could not close all free variables; this should "
+            "not happen and indicates a malformed formula"
+        )
+    return Query(closed, (), name=name)

@@ -1,0 +1,153 @@
+"""Classification of queries into the fragments the paper studies.
+
+The complexity landscape of the paper depends on the query fragment:
+
+* **FO** — arbitrary first-order queries: #CQA is #P-complete under
+  many-one logspace reductions (Theorem 3.3) and has no FPRAS unless
+  RP = NP (Theorem 6.1).
+* **∃FO+** — existential positive queries: #CQA is "hard-to-count-easy-to-
+  decide"; it sits in SpanL (Theorem 3.7), its keywidth-k fragment is
+  Λ[k]-complete (Theorem 5.1) and it always admits an FPRAS (Corollary 6.4).
+* **UCQ / CQ** — unions of conjunctive queries / conjunctive queries, the
+  fragments the certificate machinery is phrased in.
+
+The functions in this module decide membership of a query in each fragment
+syntactically and expose a summary :class:`QueryClass`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Counter as CounterType
+from collections import Counter
+
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    Top,
+)
+
+__all__ = [
+    "QueryClass",
+    "classify",
+    "is_first_order",
+    "is_existential_positive",
+    "is_union_of_conjunctive_queries",
+    "is_conjunctive_query",
+    "is_self_join_free",
+]
+
+
+class QueryClass(Enum):
+    """The most specific fragment a query belongs to."""
+
+    CQ = "conjunctive query"
+    UCQ = "union of conjunctive queries"
+    EXISTENTIAL_POSITIVE = "existential positive query"
+    FIRST_ORDER = "first-order query"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def is_first_order(query: Query) -> bool:
+    """Every query expressible in the AST is first order; always True.
+
+    Provided for symmetry with the other predicates so callers can iterate
+    over the fragments uniformly.
+    """
+    return isinstance(query, Query)
+
+
+def _is_positive(formula: Formula, inside_negation: bool = False) -> bool:
+    """True iff the formula contains no negation and no universal quantifier."""
+    if isinstance(formula, (Atom, Equality, Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return False
+    if isinstance(formula, ForAll):
+        return False
+    if isinstance(formula, (And, Or)):
+        return all(_is_positive(child) for child in formula.children())
+    if isinstance(formula, Exists):
+        return _is_positive(formula.operand)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def is_existential_positive(query: Query) -> bool:
+    """True iff the query uses only ∃, ∧, ∨ over atoms (and TRUE/FALSE/=)."""
+    return _is_positive(query.formula)
+
+
+def _strip_exists(formula: Formula) -> Formula:
+    """Remove leading existential quantifiers."""
+    while isinstance(formula, Exists):
+        formula = formula.operand
+    return formula
+
+
+def _is_conjunction_of_atoms(formula: Formula) -> bool:
+    """True iff the formula is an atom, TRUE, or a conjunction of such.
+
+    Equalities are allowed as conjuncts: they arise from rewriting and can
+    always be eliminated by substitution, so they do not push the query out
+    of the CQ fragment.
+    """
+    formula = _strip_exists(formula)
+    if isinstance(formula, (Atom, Equality, Top)):
+        return True
+    if isinstance(formula, And):
+        return all(_is_conjunction_of_atoms(child) for child in formula.operands)
+    return False
+
+
+def is_conjunctive_query(query: Query) -> bool:
+    """True iff the query is a CQ: ∃-prefix over a conjunction of atoms."""
+    return _is_conjunction_of_atoms(query.formula)
+
+
+def is_union_of_conjunctive_queries(query: Query) -> bool:
+    """True iff the query is a UCQ: a disjunction of CQ bodies.
+
+    The disjunction may appear below a shared existential prefix (the
+    rewriting in :mod:`repro.query.rewriting` produces the prefix-free
+    form, but hand-written queries often share the prefix).
+    """
+    formula = _strip_exists(query.formula)
+    if isinstance(formula, Or):
+        return all(_is_conjunction_of_atoms(child) for child in formula.operands)
+    return _is_conjunction_of_atoms(formula)
+
+
+def is_self_join_free(query: Query) -> bool:
+    """True iff no relation symbol occurs in two different atoms.
+
+    Self-join-freeness is the restriction under which Maslowski and Wijsen
+    first proved their FP / #P-hard dichotomy [8]; the property is exposed
+    here because workload generators and benchmarks use it to stratify
+    query populations.
+    """
+    relation_counts: CounterType[str] = Counter(
+        atom.relation for atom in query.atoms()
+    )
+    return all(count <= 1 for count in relation_counts.values())
+
+
+def classify(query: Query) -> QueryClass:
+    """Return the most specific fragment ``query`` belongs to."""
+    if is_conjunctive_query(query):
+        return QueryClass.CQ
+    if is_union_of_conjunctive_queries(query):
+        return QueryClass.UCQ
+    if is_existential_positive(query):
+        return QueryClass.EXISTENTIAL_POSITIVE
+    return QueryClass.FIRST_ORDER

@@ -1,0 +1,334 @@
+"""First-order query evaluation (model checking) over a database.
+
+This is the substrate every counter ultimately rests on: deciding
+``D' |= Q`` for a candidate repair ``D'``.  Evaluation follows the active
+domain semantics of the paper — quantifiers range over ``dom(D)`` — and is
+implemented as a straightforward recursive evaluator with one significant
+optimisation: existential quantification over the variables of a positive
+conjunctive block is answered by homomorphism search (backtracking over
+atoms, most-constrained-atom first) rather than by blind enumeration of the
+active domain, which makes evaluating CQs over realistic databases cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from ..db.facts import Constant, Fact
+from ..errors import EvaluationError
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    Term,
+    Top,
+    Variable,
+)
+
+__all__ = ["Assignment", "evaluate_formula", "holds", "answers", "substitute_atom"]
+
+#: A (partial) assignment of query variables to constants.
+Assignment = Dict[Variable, Constant]
+
+
+def substitute_atom(atom: Atom, assignment: Assignment) -> Atom:
+    """Apply ``assignment`` to an atom, leaving unassigned variables in place."""
+    new_terms: List[Term] = []
+    for term in atom.terms:
+        if isinstance(term, Variable) and term in assignment:
+            new_terms.append(assignment[term])
+        else:
+            new_terms.append(term)
+    return Atom(atom.relation, tuple(new_terms))
+
+
+def _ground_atom(atom: Atom, assignment: Assignment) -> Fact:
+    """Turn a fully assigned atom into a fact, raising if a variable is left."""
+    arguments: List[Constant] = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            if term not in assignment:
+                raise EvaluationError(
+                    f"variable {term.name!r} of atom {atom} is unbound"
+                )
+            arguments.append(assignment[term])
+        else:
+            arguments.append(term)
+    return Fact(atom.relation, tuple(arguments))
+
+
+def _resolve(term: Term, assignment: Assignment) -> Constant:
+    if isinstance(term, Variable):
+        if term not in assignment:
+            raise EvaluationError(f"variable {term.name!r} is unbound")
+        return assignment[term]
+    return term
+
+
+def evaluate_formula(
+    formula: Formula,
+    database: Database,
+    assignment: Optional[Assignment] = None,
+    domain: Optional[Sequence[Constant]] = None,
+) -> bool:
+    """Decide whether ``database, assignment |= formula``.
+
+    Parameters
+    ----------
+    formula:
+        The formula to evaluate.
+    database:
+        The database providing both the facts and (by default) the active
+        domain the quantifiers range over.
+    assignment:
+        Values for the free variables of ``formula``; must cover all of them.
+    domain:
+        Optional explicit quantification domain; defaults to
+        ``database.active_domain_sorted()``.
+    """
+    if assignment is None:
+        assignment = {}
+    if domain is None:
+        domain = database.active_domain_sorted()
+    return _evaluate(formula, database, dict(assignment), list(domain))
+
+
+def _evaluate(
+    formula: Formula,
+    database: Database,
+    assignment: Assignment,
+    domain: List[Constant],
+) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        return _ground_atom(formula, assignment) in database
+    if isinstance(formula, Equality):
+        return _resolve(formula.left, assignment) == _resolve(formula.right, assignment)
+    if isinstance(formula, Not):
+        return not _evaluate(formula.operand, database, assignment, domain)
+    if isinstance(formula, And):
+        return all(
+            _evaluate(child, database, assignment, domain) for child in formula.operands
+        )
+    if isinstance(formula, Or):
+        return any(
+            _evaluate(child, database, assignment, domain) for child in formula.operands
+        )
+    if isinstance(formula, Exists):
+        return _evaluate_exists(formula, database, assignment, domain)
+    if isinstance(formula, ForAll):
+        return _evaluate_forall(formula, database, assignment, domain)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def _evaluate_forall(
+    formula: ForAll,
+    database: Database,
+    assignment: Assignment,
+    domain: List[Constant],
+) -> bool:
+    variables = formula.variables
+
+    def recurse(index: int) -> bool:
+        if index == len(variables):
+            return _evaluate(formula.operand, database, assignment, domain)
+        variable = variables[index]
+        for value in domain:
+            assignment[variable] = value
+            if not recurse(index + 1):
+                del assignment[variable]
+                return False
+        if variables[index] in assignment:
+            del assignment[variable]
+        return True
+
+    return recurse(0)
+
+
+def _evaluate_exists(
+    formula: Exists,
+    database: Database,
+    assignment: Assignment,
+    domain: List[Constant],
+) -> bool:
+    # Fast path: if the body is a positive conjunction of atoms (possibly
+    # with equalities), answer by homomorphism search instead of enumerating
+    # the domain for each bound variable.
+    conjuncts = _positive_conjuncts(formula.operand)
+    if conjuncts is not None:
+        atoms, equalities = conjuncts
+        return _exists_homomorphism(
+            atoms, equalities, database, assignment, set(formula.variables), domain
+        )
+
+    variables = formula.variables
+
+    def recurse(index: int) -> bool:
+        if index == len(variables):
+            return _evaluate(formula.operand, database, assignment, domain)
+        variable = variables[index]
+        for value in domain:
+            assignment[variable] = value
+            if recurse(index + 1):
+                del assignment[variable]
+                return True
+        if variable in assignment:
+            del assignment[variable]
+        return False
+
+    return recurse(0)
+
+
+def _positive_conjuncts(
+    formula: Formula,
+) -> Optional[Tuple[List[Atom], List[Equality]]]:
+    """If ``formula`` is a conjunction of atoms/equalities, return them.
+
+    Returns ``None`` when the formula contains any other connective, in
+    which case the generic evaluator is used.
+    """
+    atoms: List[Atom] = []
+    equalities: List[Equality] = []
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            atoms.append(node)
+        elif isinstance(node, Equality):
+            equalities.append(node)
+        elif isinstance(node, Top):
+            continue
+        elif isinstance(node, And):
+            stack.extend(node.operands)
+        else:
+            return None
+    return atoms, equalities
+
+
+def _exists_homomorphism(
+    atoms: Sequence[Atom],
+    equalities: Sequence[Equality],
+    database: Database,
+    assignment: Assignment,
+    bound_variables: Set[Variable],
+    domain: List[Constant],
+) -> bool:
+    """Search for an extension of ``assignment`` satisfying all conjuncts."""
+    from .homomorphism import find_homomorphisms  # local import to avoid a cycle
+
+    for extension in find_homomorphisms(
+        atoms, database, base_assignment=assignment, limit=None
+    ):
+        if _equalities_hold(equalities, extension):
+            # Variables of equalities that are not covered by any atom must be
+            # enumerated over the domain; this is rare (e.g. EXISTS x . x = x).
+            leftover = {
+                variable
+                for equality in equalities
+                for variable in equality.free_variables()
+                if variable not in extension
+            }
+            if not leftover:
+                return True
+            if _satisfy_leftover_equalities(equalities, extension, leftover, domain):
+                return True
+    if not atoms:
+        # Pure equality body, e.g. EXISTS x . x = 1 — enumerate the domain.
+        leftover = {
+            variable
+            for equality in equalities
+            for variable in equality.free_variables()
+            if variable not in assignment
+        } & bound_variables
+        return _satisfy_leftover_equalities(equalities, dict(assignment), leftover, domain)
+    return False
+
+
+def _equalities_hold(equalities: Sequence[Equality], assignment: Assignment) -> bool:
+    for equality in equalities:
+        try:
+            if _resolve(equality.left, assignment) != _resolve(equality.right, assignment):
+                return False
+        except EvaluationError:
+            # Unbound variable: defer to leftover handling.
+            continue
+    return True
+
+
+def _satisfy_leftover_equalities(
+    equalities: Sequence[Equality],
+    assignment: Assignment,
+    leftover: Set[Variable],
+    domain: List[Constant],
+) -> bool:
+    leftover_list = sorted(leftover, key=lambda variable: variable.name)
+
+    def recurse(index: int, current: Assignment) -> bool:
+        if index == len(leftover_list):
+            for equality in equalities:
+                try:
+                    if _resolve(equality.left, current) != _resolve(equality.right, current):
+                        return False
+                except EvaluationError:
+                    return False
+            return True
+        variable = leftover_list[index]
+        for value in domain:
+            current[variable] = value
+            if recurse(index + 1, current):
+                return True
+        current.pop(leftover_list[index], None)
+        return False
+
+    return recurse(0, dict(assignment))
+
+
+def holds(query: Query, database: Database, answer: Sequence[Constant] = ()) -> bool:
+    """Decide whether the tuple ``answer`` belongs to ``Q(D)``.
+
+    For Boolean queries pass the empty tuple (the default).
+    """
+    if len(answer) != query.arity:
+        raise EvaluationError(
+            f"query has arity {query.arity} but the candidate answer has "
+            f"{len(answer)} components"
+        )
+    assignment: Assignment = dict(zip(query.answer_variables, answer))
+    return evaluate_formula(query.formula, database, assignment)
+
+
+def answers(query: Query, database: Database) -> FrozenSet[Tuple[Constant, ...]]:
+    """Compute ``Q(D)``: all answer tuples over the active domain.
+
+    For Boolean queries the result is ``{()}`` when the query holds and
+    ``frozenset()`` otherwise, mirroring the standard convention.
+    """
+    domain = database.active_domain_sorted()
+    results: Set[Tuple[Constant, ...]] = set()
+
+    def recurse(index: int, assignment: Assignment) -> None:
+        if index == len(query.answer_variables):
+            if evaluate_formula(query.formula, database, assignment, domain):
+                results.add(
+                    tuple(assignment[variable] for variable in query.answer_variables)
+                )
+            return
+        variable = query.answer_variables[index]
+        for value in domain:
+            assignment[variable] = value
+            recurse(index + 1, assignment)
+        assignment.pop(variable, None)
+
+    recurse(0, {})
+    return frozenset(results)

@@ -1,0 +1,64 @@
+"""The keywidth covering function ``kw(Q, Σ)``.
+
+Section 5.1 of the paper defines the keywidth of a query ``Q`` w.r.t. a set
+``Σ`` of primary keys as the number of atoms occurring in ``Q`` whose
+relation has a key in ``Σ``.  Keywidth is the covering function that
+stratifies ``#CQA(∃FO+)``: Theorem 5.1 shows that the keywidth-``k``
+fragment is ``Λ[k]``-complete under many-one logspace reductions.
+
+Two flavours are exposed:
+
+* :func:`keywidth` — the paper's definition: count *all* keyed atoms of the
+  query (over all disjuncts for a UCQ).  This is the covering function used
+  in the completeness theorem.
+* :func:`max_disjunct_keywidth` — the per-disjunct maximum, which is the
+  quantity that actually bounds the selector length ℓ in Algorithm 2 and
+  the exponent ``m^k`` in the FPRAS sample bound; it is never larger than
+  :func:`keywidth` and is the number the approximation code uses.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..db.constraints import PrimaryKeySet
+from .ast import Query
+from .rewriting import UCQ, to_ucq
+
+__all__ = ["keywidth", "max_disjunct_keywidth", "disjunct_keywidth"]
+
+
+def keywidth(query: Union[Query, UCQ], keys: PrimaryKeySet) -> int:
+    """The paper's keywidth ``kw(Q, Σ)``.
+
+    For a :class:`~repro.query.ast.Query` this counts the keyed atoms of the
+    original formula; for a :class:`~repro.query.rewriting.UCQ` it counts
+    keyed atoms across all disjuncts.
+    """
+    if isinstance(query, UCQ):
+        return sum(
+            1
+            for disjunct in query.disjuncts
+            for atom in disjunct.atoms
+            if keys.has_key(atom.relation)
+        )
+    return sum(1 for atom in query.atoms() if keys.has_key(atom.relation))
+
+
+def disjunct_keywidth(disjunct_atoms, keys: PrimaryKeySet) -> int:
+    """Number of keyed atoms in a single disjunct's atom list."""
+    return sum(1 for atom in disjunct_atoms if keys.has_key(atom.relation))
+
+
+def max_disjunct_keywidth(query: Union[Query, UCQ], keys: PrimaryKeySet) -> int:
+    """The maximum number of keyed atoms over the disjuncts of the UCQ form.
+
+    This bounds the length ℓ of the selectors produced by the compactor
+    (Algorithm 2) and therefore the exponent in the FPRAS sample-size bound
+    ``t = (2+ε) m^k / ε² · ln(2/δ)`` of Theorem 6.2.  For a conjunctive
+    query it coincides with :func:`keywidth`.
+    """
+    ucq = query if isinstance(query, UCQ) else to_ucq(query)
+    if not ucq.disjuncts:
+        return 0
+    return max(disjunct_keywidth(disjunct.atoms, keys) for disjunct in ucq.disjuncts)

@@ -1,0 +1,281 @@
+"""A small text parser for first-order queries.
+
+The syntax is deliberately close to the paper's notation::
+
+    EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)
+
+Grammar (precedence low to high):
+
+.. code-block:: text
+
+    formula    := or_expr
+    or_expr    := and_expr ( "OR" and_expr )*
+    and_expr   := unary ( "AND" unary )*
+    unary      := "NOT" unary | quantifier | primary
+    quantifier := ("EXISTS" | "FORALL") var ("," var)* "." formula
+    primary    := "(" formula ")" | "TRUE" | "FALSE" | atom | term "=" term
+    atom       := NAME "(" term ("," term)* ")"
+    term       := variable | constant
+
+Term conventions:
+
+* an identifier starting with a lowercase letter is a **variable**
+  (``x``, ``dept``),
+* an identifier starting with an uppercase letter, a quoted string
+  (``'HR'`` or ``"HR"``) or a number is a **constant**,
+* keywords (``AND``, ``OR``, ``NOT``, ``EXISTS``, ``FORALL``, ``TRUE``,
+  ``FALSE``) are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryParseError
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    Term,
+    Top,
+    Variable,
+)
+from .builders import exists_close
+
+__all__ = ["parse_formula", "parse_query", "tokenize"]
+
+_KEYWORDS = {"AND", "OR", "NOT", "EXISTS", "FORALL", "TRUE", "FALSE"}
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[(),.=])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[_Token]:
+    """Split ``text`` into tokens, raising on unexpected characters."""
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_PATTERN.match(text, index)
+        if match is None:
+            raise QueryParseError(
+                f"unexpected character {text[index]!r} at position {index} in {text!r}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value.upper() in _KEYWORDS:
+                tokens.append(_Token("keyword", value.upper(), index))
+            else:
+                tokens.append(_Token(kind, value, index))
+        index = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: Sequence[_Token], source: str) -> None:
+        self._tokens = list(tokens)
+        self._source = source
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self._advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise QueryParseError(
+                f"expected {expected!r} but found {token.value!r} at position "
+                f"{token.position} in {self._source!r}"
+            )
+        return token
+
+    def _match(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return False
+        if value is not None and token.value != value:
+            return False
+        self._index += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # grammar
+    # ------------------------------------------------------------------ #
+    def parse(self) -> Formula:
+        formula = self._or_expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise QueryParseError(
+                f"unexpected trailing input {leftover.value!r} at position "
+                f"{leftover.position} in {self._source!r}"
+            )
+        return formula
+
+    def _or_expr(self) -> Formula:
+        operands = [self._and_expr()]
+        while self._match("keyword", "OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _and_expr(self) -> Formula:
+        operands = [self._unary()]
+        while self._match("keyword", "AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _unary(self) -> Formula:
+        if self._match("keyword", "NOT"):
+            return Not(self._unary())
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value in ("EXISTS", "FORALL"):
+            return self._quantifier()
+        return self._primary()
+
+    def _quantifier(self) -> Formula:
+        token = self._advance()
+        variables = [self._variable()]
+        while self._match("punct", ","):
+            variables.append(self._variable())
+        self._expect("punct", ".")
+        body = self._or_expr()
+        if token.value == "EXISTS":
+            return Exists(tuple(variables), body)
+        return ForAll(tuple(variables), body)
+
+    def _variable(self) -> Variable:
+        token = self._expect("name")
+        if not token.value[0].islower():
+            raise QueryParseError(
+                f"quantified variable {token.value!r} must start with a "
+                f"lowercase letter (position {token.position})"
+            )
+        return Variable(token.value)
+
+    def _primary(self) -> Formula:
+        if self._match("punct", "("):
+            inner = self._or_expr()
+            self._expect("punct", ")")
+            return inner
+        if self._match("keyword", "TRUE"):
+            return Top()
+        if self._match("keyword", "FALSE"):
+            return Bottom()
+        token = self._peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query in {self._source!r}")
+        if token.kind == "name" and self._is_atom_start():
+            return self._atom()
+        # otherwise: term = term
+        left = self._term()
+        self._expect("punct", "=")
+        right = self._term()
+        return Equality(left, right)
+
+    def _is_atom_start(self) -> bool:
+        """True if the upcoming tokens are ``NAME (`` (a relational atom)."""
+        if self._index + 1 >= len(self._tokens):
+            return False
+        nxt = self._tokens[self._index + 1]
+        return nxt.kind == "punct" and nxt.value == "("
+
+    def _atom(self) -> Atom:
+        name = self._expect("name")
+        self._expect("punct", "(")
+        terms = [self._term()]
+        while self._match("punct", ","):
+            terms.append(self._term())
+        self._expect("punct", ")")
+        return Atom(name.value, tuple(terms))
+
+    def _term(self) -> Term:
+        token = self._advance()
+        if token.kind == "number":
+            if "." in token.value:
+                return float(token.value)
+            return int(token.value)
+        if token.kind == "string":
+            return token.value[1:-1]
+        if token.kind == "name":
+            if token.value[0].islower():
+                return Variable(token.value)
+            return token.value
+        raise QueryParseError(
+            f"expected a term but found {token.value!r} at position "
+            f"{token.position} in {self._source!r}"
+        )
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse ``text`` into a :class:`~repro.query.ast.Formula`."""
+    return _Parser(tokenize(text), text).parse()
+
+
+def parse_query(
+    text: str,
+    answer_variables: Sequence[str] = (),
+    name: Optional[str] = None,
+    auto_close: bool = True,
+) -> Query:
+    """Parse ``text`` into a :class:`~repro.query.ast.Query`.
+
+    Parameters
+    ----------
+    text:
+        The formula in the textual syntax described in the module docstring.
+    answer_variables:
+        Names of the free (answer) variables, in answer-tuple order.
+    name:
+        Optional label for the query.
+    auto_close:
+        When True (default), any free variable that is not an answer
+        variable is existentially closed, so ``parse_query("R(x, y)")`` is
+        the Boolean query ``EXISTS x, y . R(x, y)``.
+    """
+    formula = parse_formula(text)
+    answers = tuple(Variable(variable) for variable in answer_variables)
+    if auto_close:
+        formula = exists_close(formula, keep_free=answers)
+    return Query(formula, answers, name=name)

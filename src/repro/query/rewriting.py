@@ -1,0 +1,389 @@
+"""Rewriting existential positive queries into unions of conjunctive queries.
+
+The paper repeatedly uses the fact that every query in ∃FO+ can be rewritten
+(in constant time w.r.t. the data, since the query is fixed) into an
+equivalent UCQ ``Q1 ∨ ... ∨ Qm`` where each ``Qi`` is a conjunctive query.
+All certificate-based machinery — the decision procedure of Lemma 3.5, the
+guess–check–expand transducer of Algorithm 1, the compactor of Algorithm 2,
+the exact union-of-boxes counter and the FPRAS — operates on that UCQ form.
+
+The rewriting performed here:
+
+1. recursively renames bound variables apart (so distinct quantifiers never
+   clash),
+2. drops the quantifiers (all non-answer variables are implicitly
+   existential in a UCQ disjunct),
+3. distributes conjunction over disjunction to reach a DNF of atoms and
+   equalities,
+4. eliminates equalities by substitution/unification, discarding disjuncts
+   whose equalities are unsatisfiable,
+5. removes duplicate and subsumed-by-``TRUE`` disjuncts.
+
+The result is a :class:`UCQ` — an explicit, normalised object that the rest
+of the library consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..db.facts import Constant
+from ..errors import FragmentError
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Equality,
+    Exists,
+    Formula,
+    Not,
+    Or,
+    Query,
+    Term,
+    Top,
+    Variable,
+)
+from .classify import is_existential_positive
+
+__all__ = ["CQDisjunct", "UCQ", "to_ucq", "ucq_to_query"]
+
+
+@dataclass(frozen=True)
+class CQDisjunct:
+    """One conjunctive disjunct of a UCQ.
+
+    Attributes
+    ----------
+    atoms:
+        The relational atoms of the disjunct.  All variables occurring in
+        them that are not answer variables are implicitly existentially
+        quantified.
+    answer_bindings:
+        Bindings forced on answer variables by equality elimination (e.g.
+        the disjunct ``x = 1 AND R(x, y)`` binds the answer variable ``x``
+        to ``1``).  Disjuncts of Boolean queries always have an empty
+        mapping.
+    always_true:
+        True for the degenerate disjunct equivalent to ``TRUE`` (no atoms,
+        no bindings); such a disjunct is entailed by every repair.
+    """
+
+    atoms: Tuple[Atom, ...]
+    answer_bindings: Tuple[Tuple[Variable, Constant], ...] = field(default=())
+
+    @property
+    def always_true(self) -> bool:
+        return not self.atoms and not self.answer_bindings
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the disjunct's atoms (``var(Qi)``)."""
+        collected: Set[Variable] = set()
+        for atom in self.atoms:
+            collected.update(atom.variables())
+        return frozenset(collected)
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms]
+        parts.extend(f"{variable} = {value!r}" for variable, value in self.answer_bindings)
+        return " AND ".join(parts) if parts else "TRUE"
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A normalised union of conjunctive queries.
+
+    ``disjuncts`` is the tuple of :class:`CQDisjunct` objects;
+    ``answer_variables`` is shared by all disjuncts.  An empty ``disjuncts``
+    tuple denotes the unsatisfiable query (equivalent to ``FALSE``).
+    """
+
+    disjuncts: Tuple[CQDisjunct, ...]
+    answer_variables: Tuple[Variable, ...] = field(default=())
+    name: Optional[str] = None
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.answer_variables
+
+    @property
+    def is_unsatisfiable(self) -> bool:
+        return not self.disjuncts
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return any(disjunct.always_true for disjunct in self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self):
+        return iter(self.disjuncts)
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return "FALSE"
+        return " OR ".join(f"({disjunct})" for disjunct in self.disjuncts)
+
+
+# --------------------------------------------------------------------------- #
+# variable renaming
+# --------------------------------------------------------------------------- #
+class _Renamer:
+    """Generates fresh variables, avoiding a given set of reserved names."""
+
+    def __init__(self, reserved: Iterable[Variable]) -> None:
+        self._reserved = {variable.name for variable in reserved}
+        self._counter = itertools.count()
+
+    def fresh(self, base: Variable) -> Variable:
+        while True:
+            candidate = f"{base.name}_{next(self._counter)}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return Variable(candidate)
+
+
+def _rename_apart(
+    formula: Formula, renamer: _Renamer, mapping: Dict[Variable, Variable]
+) -> Formula:
+    """Rename bound variables so that every quantifier binds a fresh name."""
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.relation,
+            tuple(
+                mapping.get(term, term) if isinstance(term, Variable) else term
+                for term in formula.terms
+            ),
+        )
+    if isinstance(formula, Equality):
+        left = mapping.get(formula.left, formula.left) if isinstance(formula.left, Variable) else formula.left
+        right = mapping.get(formula.right, formula.right) if isinstance(formula.right, Variable) else formula.right
+        return Equality(left, right)
+    if isinstance(formula, And):
+        return And(tuple(_rename_apart(child, renamer, mapping) for child in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_rename_apart(child, renamer, mapping) for child in formula.operands))
+    if isinstance(formula, Exists):
+        new_mapping = dict(mapping)
+        fresh_variables = []
+        for variable in formula.variables:
+            fresh = renamer.fresh(variable)
+            new_mapping[variable] = fresh
+            fresh_variables.append(fresh)
+        return Exists(tuple(fresh_variables), _rename_apart(formula.operand, renamer, new_mapping))
+    if isinstance(formula, Not):
+        raise FragmentError("negation is not allowed in existential positive queries")
+    raise FragmentError(
+        f"formula node {type(formula).__name__} is outside the ∃FO+ fragment"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# DNF expansion
+# --------------------------------------------------------------------------- #
+_Literal = Tuple[str, object]  # ("atom", Atom) | ("eq", Equality) | ("true", None)
+
+
+def _dnf(formula: Formula) -> List[List[_Literal]]:
+    """Expand a positive, quantifier-stripped formula into DNF.
+
+    Each returned inner list is a conjunction of literals; the outer list is
+    the disjunction.  ``Bottom`` contributes no disjunct; ``Top`` contributes
+    an empty conjunction.
+    """
+    if isinstance(formula, Bottom):
+        return []
+    if isinstance(formula, Top):
+        return [[]]
+    if isinstance(formula, Atom):
+        return [[("atom", formula)]]
+    if isinstance(formula, Equality):
+        return [[("eq", formula)]]
+    if isinstance(formula, Exists):
+        # Quantifiers have been renamed apart; dropping them is sound because
+        # every non-answer variable of a UCQ disjunct is implicitly existential.
+        return _dnf(formula.operand)
+    if isinstance(formula, Or):
+        result: List[List[_Literal]] = []
+        for child in formula.operands:
+            result.extend(_dnf(child))
+        return result
+    if isinstance(formula, And):
+        result = [[]]
+        for child in formula.operands:
+            child_disjuncts = _dnf(child)
+            result = [
+                existing + addition
+                for existing in result
+                for addition in child_disjuncts
+            ]
+        return result
+    raise FragmentError(
+        f"formula node {type(formula).__name__} is outside the ∃FO+ fragment"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# equality elimination (union-find over terms)
+# --------------------------------------------------------------------------- #
+def _eliminate_equalities(
+    atoms: List[Atom],
+    equalities: List[Equality],
+    answer_variables: Sequence[Variable],
+) -> Optional[Tuple[Tuple[Atom, ...], Tuple[Tuple[Variable, Constant], ...]]]:
+    """Substitute equalities away.
+
+    Returns ``None`` when the conjunction is unsatisfiable (two distinct
+    constants equated).  Otherwise returns the rewritten atoms and the
+    bindings forced on answer variables.
+    """
+    parent: Dict[Term, Term] = {}
+
+    def find(term: Term) -> Term:
+        parent.setdefault(term, term)
+        while parent[term] != term:
+            parent[term] = parent[parent[term]]
+            term = parent[term]
+        return term
+
+    def union(left: Term, right: Term) -> bool:
+        root_left, root_right = find(left), find(right)
+        if root_left == root_right:
+            return True
+        left_is_constant = not isinstance(root_left, Variable)
+        right_is_constant = not isinstance(root_right, Variable)
+        if left_is_constant and right_is_constant:
+            return root_left == root_right
+        # Keep constants as representatives so substitution grounds variables.
+        if left_is_constant:
+            parent[root_right] = root_left
+        else:
+            parent[root_left] = root_right
+        return True
+
+    for equality in equalities:
+        if not union(equality.left, equality.right):
+            return None
+
+    def resolve(term: Term) -> Term:
+        return find(term)
+
+    rewritten_atoms = tuple(
+        Atom(atom.relation, tuple(resolve(term) for term in atom.terms))
+        for atom in atoms
+    )
+    bindings: List[Tuple[Variable, Constant]] = []
+    for variable in answer_variables:
+        representative = find(variable)
+        if not isinstance(representative, Variable):
+            bindings.append((variable, representative))
+    return rewritten_atoms, tuple(bindings)
+
+
+# --------------------------------------------------------------------------- #
+# public entry points
+# --------------------------------------------------------------------------- #
+def to_ucq(query: Query) -> UCQ:
+    """Rewrite an existential positive query into an equivalent UCQ.
+
+    Raises
+    ------
+    FragmentError
+        If the query is not existential positive (contains ¬ or ∀).
+    """
+    if not is_existential_positive(query):
+        raise FragmentError(
+            f"query {query} is not existential positive; the UCQ rewriting "
+            f"(and every algorithm built on it) only applies to ∃FO+"
+        )
+    renamer = _Renamer(query.formula.all_variables() | set(query.answer_variables))
+    renamed = _rename_apart(query.formula, renamer, {})
+    raw_disjuncts = _dnf(renamed)
+
+    disjuncts: List[CQDisjunct] = []
+    seen: Set[Tuple[Tuple[Atom, ...], Tuple[Tuple[Variable, Constant], ...]]] = set()
+    for literals in raw_disjuncts:
+        atoms = [literal for kind, literal in literals if kind == "atom"]
+        equalities = [literal for kind, literal in literals if kind == "eq"]
+        eliminated = _eliminate_equalities(atoms, equalities, query.answer_variables)
+        if eliminated is None:
+            continue
+        rewritten_atoms, bindings = eliminated
+        canonical = _canonicalise_disjunct(rewritten_atoms, bindings, query.answer_variables)
+        if canonical in seen:
+            continue
+        seen.add(canonical)
+        disjuncts.append(CQDisjunct(rewritten_atoms, bindings))
+
+    # A trivially-true disjunct subsumes everything else.
+    if any(disjunct.always_true for disjunct in disjuncts):
+        disjuncts = [disjunct for disjunct in disjuncts if disjunct.always_true][:1]
+    return UCQ(tuple(disjuncts), tuple(query.answer_variables), name=query.name)
+
+
+def _canonicalise_disjunct(
+    atoms: Tuple[Atom, ...],
+    bindings: Tuple[Tuple[Variable, Constant], ...],
+    answer_variables: Sequence[Variable],
+) -> Tuple[Tuple[Atom, ...], Tuple[Tuple[Variable, Constant], ...]]:
+    """Canonical form used for duplicate elimination.
+
+    Non-answer variables are renamed to positional names in order of first
+    occurrence, so two alpha-equivalent disjuncts collapse.
+    """
+    mapping: Dict[Variable, Variable] = {}
+    counter = itertools.count()
+    protected = set(answer_variables)
+
+    def canonical_term(term: Term) -> Term:
+        if isinstance(term, Variable) and term not in protected:
+            if term not in mapping:
+                mapping[term] = Variable(f"_v{next(counter)}")
+            return mapping[term]
+        return term
+
+    canonical_atoms = tuple(
+        sorted(
+            (
+                Atom(atom.relation, tuple(canonical_term(term) for term in atom.terms))
+                for atom in atoms
+            ),
+            key=str,
+        )
+    )
+    canonical_bindings = tuple(sorted(bindings, key=lambda pair: pair[0].name))
+    return canonical_atoms, canonical_bindings
+
+
+def ucq_to_query(ucq: UCQ) -> Query:
+    """Convert a :class:`UCQ` back into a :class:`~repro.query.ast.Query`.
+
+    Useful for round-trip testing and for feeding rewritten queries to the
+    generic FO evaluator.
+    """
+    from .builders import exists_close
+
+    disjunct_formulas: List[Formula] = []
+    for disjunct in ucq.disjuncts:
+        conjuncts: List[Formula] = list(disjunct.atoms)
+        conjuncts.extend(
+            Equality(variable, value) for variable, value in disjunct.answer_bindings
+        )
+        if not conjuncts:
+            body: Formula = Top()
+        elif len(conjuncts) == 1:
+            body = conjuncts[0]
+        else:
+            body = And(tuple(conjuncts))
+        disjunct_formulas.append(exists_close(body, keep_free=ucq.answer_variables))
+    if not disjunct_formulas:
+        formula: Formula = Bottom()
+    elif len(disjunct_formulas) == 1:
+        formula = disjunct_formulas[0]
+    else:
+        formula = Or(tuple(disjunct_formulas))
+    return Query(formula, ucq.answer_variables, name=ucq.name)

@@ -1,0 +1,101 @@
+"""Substitution of constants for variables in formulas and queries.
+
+Counting the repairs that entail a *specific* answer tuple ``t̄`` reduces to
+the Boolean case by substituting ``t̄`` for the answer variables — this is
+the standard convention the paper adopts ("henceforth, we focus on Boolean
+queries, but all the results extend to non-Boolean queries").  This module
+implements that substitution over the full FO AST.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..db.facts import Constant
+from ..errors import EvaluationError, QueryError
+from .ast import (
+    And,
+    Atom,
+    Bottom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    Query,
+    Term,
+    Top,
+    Variable,
+)
+
+__all__ = ["substitute_formula", "bind_answer"]
+
+
+def _substitute_term(term: Term, mapping: Mapping[Variable, Constant]) -> Term:
+    if isinstance(term, Variable) and term in mapping:
+        return mapping[term]
+    return term
+
+
+def substitute_formula(
+    formula: Formula, mapping: Mapping[Variable, Constant]
+) -> Formula:
+    """Replace free occurrences of the mapped variables by constants.
+
+    Bound variables shadow the mapping, exactly as in the usual definition
+    of capture-free substitution (constants cannot be captured, so no
+    renaming is ever needed).
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.relation,
+            tuple(_substitute_term(term, mapping) for term in formula.terms),
+        )
+    if isinstance(formula, Equality):
+        return Equality(
+            _substitute_term(formula.left, mapping),
+            _substitute_term(formula.right, mapping),
+        )
+    if isinstance(formula, Not):
+        return Not(substitute_formula(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(
+            tuple(substitute_formula(child, mapping) for child in formula.operands)
+        )
+    if isinstance(formula, Or):
+        return Or(
+            tuple(substitute_formula(child, mapping) for child in formula.operands)
+        )
+    if isinstance(formula, (Exists, ForAll)):
+        shadowed = {
+            variable: value
+            for variable, value in mapping.items()
+            if variable not in formula.variables
+        }
+        rebuilt = substitute_formula(formula.operand, shadowed)
+        if isinstance(formula, Exists):
+            return Exists(formula.variables, rebuilt)
+        return ForAll(formula.variables, rebuilt)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def bind_answer(query: Query, answer: Sequence[Constant]) -> Query:
+    """Bind the answer variables of ``query`` to the tuple ``answer``.
+
+    The result is a Boolean query; counting the repairs that entail it is
+    exactly ``#CQA`` for the pair ``(query, answer)``.
+    """
+    if len(answer) != query.arity:
+        raise EvaluationError(
+            f"query has arity {query.arity} but the answer tuple has "
+            f"{len(answer)} components"
+        )
+    mapping = dict(zip(query.answer_variables, answer))
+    bound = substitute_formula(query.formula, mapping)
+    name = query.name
+    if name is not None and answer:
+        name = f"{name}[{', '.join(map(repr, answer))}]"
+    return Query(bound, (), name=name)

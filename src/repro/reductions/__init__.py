@@ -1,0 +1,30 @@
+"""Executable many-one reductions from the paper's hardness proofs.
+
+Every reduction here is parsimonious (count-preserving) and validated by
+tests that compare source-problem and target-problem counts on randomised
+instances.
+"""
+
+from .between_problems import (
+    coloring_to_disjoint_dnf,
+    cqa_to_disjoint_dnf,
+    disjoint_dnf_to_cqa,
+)
+from .cqa_to_pdb import PDBReduction, count_via_pdb, cqa_to_pdb
+from .lambda_to_cqa import LambdaReduction, lambda_to_cqa, target_keys, target_query
+from .sat_to_cqa import SatReduction, sat_to_cqa
+
+__all__ = [
+    "LambdaReduction",
+    "PDBReduction",
+    "SatReduction",
+    "coloring_to_disjoint_dnf",
+    "count_via_pdb",
+    "cqa_to_disjoint_dnf",
+    "cqa_to_pdb",
+    "disjoint_dnf_to_cqa",
+    "lambda_to_cqa",
+    "sat_to_cqa",
+    "target_keys",
+    "target_query",
+]

@@ -1,0 +1,113 @@
+"""Parsimonious reductions between the paper's counting problems.
+
+Theorems 5.1, 7.1 and 7.2 establish that #CQA^kw_k(∃FO+), #DisjPoskDNF and
+#kForbColoring are all Λ[k]-complete, hence pairwise inter-reducible under
+many-one logspace reductions.  This module makes three of those arrows
+executable (the remaining ones are compositions):
+
+* :func:`cqa_to_disjoint_dnf` — from a #CQA instance to #DisjPoskDNF: the
+  parts are the blocks of the database (one Boolean variable per fact) and
+  every certificate becomes a clause conjoining the facts it pins.
+* :func:`coloring_to_disjoint_dnf` — from #kForbColoring to #DisjPoskDNF:
+  one part per node (a variable per available colour) and one clause per
+  (edge, forbidden assignment) pair.
+* :func:`disjoint_dnf_to_cqa` — from #DisjPoskDNF to #CQA with the fixed
+  query ``Q_k`` of Theorem 5.1, obtained by composing the problem's
+  compactor with the generic Λ[k] → #CQA reduction.
+
+Each reduction preserves the count exactly (parsimonious), which is what
+the round-trip tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..errors import ReductionError
+from ..problems.coloring import ForbiddenColoringInstance
+from ..problems.dnf import DisjointPositiveDNF, DisjointPositiveDNFCompactor
+from ..query.ast import Query
+from ..query.rewriting import UCQ
+from ..repairs.certificates import certificate_selectors, iter_certificates
+from .lambda_to_cqa import LambdaReduction, lambda_to_cqa
+
+__all__ = [
+    "cqa_to_disjoint_dnf",
+    "coloring_to_disjoint_dnf",
+    "disjoint_dnf_to_cqa",
+]
+
+
+def _fact_variable(block_index: int, fact_index: int) -> str:
+    """The Boolean variable standing for "fact j of block i is kept"."""
+    return f"b{block_index}_f{fact_index}"
+
+
+def cqa_to_disjoint_dnf(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, UCQ],
+) -> DisjointPositiveDNF:
+    """Reduce a #CQA instance to #DisjPoskDNF with the same count.
+
+    P-assignments of the produced formula correspond one-to-one to repairs
+    (choose one fact per block), and a P-assignment satisfies the formula
+    iff the corresponding repair entails the query, because every clause is
+    the conjunction of the facts pinned by one certificate.
+    """
+    decomposition = BlockDecomposition(database, keys)
+    partition = tuple(
+        tuple(_fact_variable(block_index, fact_index) for fact_index in range(len(block)))
+        for block_index, block in enumerate(decomposition.blocks)
+    )
+    certificates = list(iter_certificates(database, keys, query))
+    selectors = certificate_selectors(certificates, decomposition, keys)
+    clauses: List[Tuple[str, ...]] = []
+    for selector in selectors:
+        clauses.append(
+            tuple(
+                _fact_variable(block_index, fact_index)
+                for block_index, fact_index in selector.pins
+            )
+        )
+    return DisjointPositiveDNF(partition, tuple(clauses))
+
+
+def _color_variable(node: str, color: str) -> str:
+    """The Boolean variable standing for "node gets colour"."""
+    return f"{node}::{color}"
+
+
+def coloring_to_disjoint_dnf(instance: ForbiddenColoringInstance) -> DisjointPositiveDNF:
+    """Reduce #kForbColoring to #DisjPoskDNF with the same count.
+
+    One part per node (its available colours), one clause per
+    (edge, forbidden assignment) pair conjoining the corresponding
+    node-colour variables.  Colourings correspond to P-assignments and
+    "forbidden" corresponds to "satisfies the formula".
+    """
+    partition = tuple(
+        tuple(_color_variable(node, color) for color in palette)
+        for node, palette in instance.colors
+    )
+    clauses: List[Tuple[str, ...]] = []
+    for assignments in instance.forbidden:
+        for assignment in assignments:
+            clauses.append(tuple(_color_variable(node, color) for node, color in assignment))
+    return DisjointPositiveDNF(partition, tuple(clauses))
+
+
+def disjoint_dnf_to_cqa(formula: DisjointPositiveDNF) -> LambdaReduction:
+    """Reduce #DisjPoskDNF to #CQA(Q_k, Σ_k) (composition through Λ[k]).
+
+    The formula's compactor witnesses membership in Λ[k] (k = clause width)
+    and the generic Theorem 5.1 reduction turns any Λ[k] function into a
+    #CQA instance over the fixed query ``Q_k``; their composition is the
+    parsimonious reduction promised by Λ[k]-completeness.
+    """
+    width = formula.width
+    compactor = DisjointPositiveDNFCompactor(k=width)
+    return lambda_to_cqa(compactor, formula)

@@ -1,0 +1,142 @@
+"""The hardness reduction of Theorem 5.1: from Λ[k] functions to #CQA.
+
+The paper shows that for every ``k ≥ 0`` there is a *fixed* conjunctive
+query ``Q_k`` and key set ``Σ_k`` with ``kw(Q_k, Σ_k) = k`` such that every
+function ``unfold_M ∈ Λ[k]`` reduces to ``#CQA(Q_k, Σ_k)`` by a many-one
+logspace reduction.  The query is
+
+    ``Q_k = ∃z, x1, y1, ..., xk, yk ( Selector(z, x1, y1, ..., xk, yk)
+                                      ∧ ⋀_{i=1..k} Element(xi, yi) )``
+
+with the single key ``key(Element) = {1}``, and the reduction maps an input
+``x`` of the compactor ``M`` to the database ``D_x`` whose
+
+* ``Element`` facts list, per solution domain, the domain elements the
+  compactor's outputs mention (plus the padding fact ``Element(⋆, ⋆)``), and
+* ``Selector`` facts encode, one per valid certificate ``c``, the
+  ℓ-selector ``single(M(x, c))`` padded with ``⋆`` up to length ``k``.
+
+Repairs of ``D_x`` pick one ``Element`` fact per block (i.e. one mentioned
+element per domain), and a repair entails ``Q_k`` iff it extends the pins
+of some certificate's selector — so the number of entailing repairs equals
+``|⋃_c unfolding(M(x, c))| = unfold_M(x)``.
+
+This module builds ``Q_k``, ``Σ_k`` and ``D_x`` from any
+:class:`~repro.lams.compactor.Compactor` and input instance, making the
+hardness direction of Theorem 5.1 executable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact
+from ..errors import ReductionError
+from ..lams.compactor import Compactor
+from ..query.ast import Atom, Query, Variable
+from ..query.builders import conjunctive_query
+
+__all__ = ["LambdaReduction", "target_query", "target_keys", "lambda_to_cqa"]
+
+#: The padding constant the paper writes as ⋆.
+_STAR = "*"
+_SELECTOR, _ELEMENT = "Selector", "Element"
+
+
+def target_query(k: int) -> Query:
+    """The fixed conjunctive query ``Q_k`` (keywidth ``k`` w.r.t. ``Σ_k``)."""
+    if k < 0:
+        raise ReductionError(f"k must be non-negative, got {k}")
+    z = Variable("z")
+    selector_terms: List[object] = [z]
+    element_atoms: List[Atom] = []
+    for index in range(1, k + 1):
+        x = Variable(f"x{index}")
+        y = Variable(f"y{index}")
+        selector_terms.extend([x, y])
+        element_atoms.append(Atom(_ELEMENT, (x, y)))
+    atoms = [Atom(_SELECTOR, tuple(selector_terms))] + element_atoms
+    return conjunctive_query(atoms, name=f"Q_{k}")
+
+
+def target_keys() -> PrimaryKeySet:
+    """The fixed key set ``Σ_k = { key(Element) = {1} }``."""
+    return PrimaryKeySet.from_dict({_ELEMENT: [1]})
+
+
+@dataclass(frozen=True)
+class LambdaReduction:
+    """The image ``(D_x, Q_k, Σ_k)`` of a compactor input under the reduction."""
+
+    database: Database
+    query: Query
+    keys: PrimaryKeySet
+    k: int
+    certificate_count: int
+
+
+def _domain_tag(index: int) -> str:
+    """The constant naming the ``index``-th solution domain in ``D_x``."""
+    return f"d{index}"
+
+
+def lambda_to_cqa(compactor: Compactor, instance) -> LambdaReduction:
+    """Map ``(M, x)`` to the #CQA instance ``(D_x, Q_k, Σ_k)``.
+
+    ``compactor`` must be bounded (``k`` finite) — the construction pads
+    selectors to exactly ``k`` pairs, which is only possible with a known
+    bound.  The guarantee, checked by the test suite, is::
+
+        count_repairs_satisfying(D_x, Σ_k, Q_k) == compactor.unfold_count(x)
+    """
+    if compactor.k is None:
+        raise ReductionError(
+            "the Theorem 5.1 reduction requires a bounded compactor; "
+            "unbounded (SpanLL) functions reduce to #CQA only through the "
+            "unbounded-selector encoding, which is not a fixed query"
+        )
+    k = int(compactor.k)
+    domains = compactor.solution_domains(instance)
+    facts: List[Fact] = [Fact(_ELEMENT, (_STAR, _STAR))]
+    mentioned: Set[Tuple[str, str]] = set()
+    certificate_count = 0
+
+    for certificate in compactor.certificates(instance):
+        certificate_count += 1
+        selector = compactor.selector(instance, certificate)
+        pins = selector.as_dict()
+        if len(pins) > k:
+            raise ReductionError(
+                f"certificate {certificate!r} pins {len(pins)} domains, "
+                f"exceeding the compactor's bound k={k}"
+            )
+        # Selector fact: the certificate id, then (domain, element) pairs,
+        # padded with ⋆ to exactly k pairs.
+        selector_arguments: List[object] = [f"cert{certificate_count - 1}"]
+        for domain_index in sorted(pins):
+            element = domains[domain_index][pins[domain_index]]
+            selector_arguments.extend([_domain_tag(domain_index), element])
+            mentioned.add((_domain_tag(domain_index), element))
+        padding_needed = k - len(pins)
+        selector_arguments.extend([_STAR, _STAR] * padding_needed)
+        facts.append(Fact(_SELECTOR, tuple(selector_arguments)))
+        # Element facts: the paper adds, for every free position of this
+        # certificate's output, the full enumeration of that domain.
+        for domain_index, domain in enumerate(domains):
+            if domain_index in pins:
+                continue
+            for element in domain:
+                mentioned.add((_domain_tag(domain_index), element))
+
+    facts.extend(Fact(_ELEMENT, pair) for pair in sorted(mentioned))
+    database = Database(facts)
+    return LambdaReduction(
+        database=database,
+        query=target_query(k),
+        keys=target_keys(),
+        k=k,
+        certificate_count=certificate_count,
+    )

@@ -1,0 +1,121 @@
+"""The reduction behind Theorems 3.2 and 3.3: 3SAT / #3SAT to #CQA(FO).
+
+The paper proves that for a *fixed* first-order query ``Q`` and a *fixed*
+set ``Σ`` of primary keys, ``#CQA>0(Q, Σ)`` is NP-hard and ``#CQA(Q, Σ)``
+is #P-hard, both under many-one logspace reductions, by reducing from 3SAT
+(and its counting version).  The proof is not spelled out in the paper;
+the construction implemented here is the standard one and is *parsimonious*
+— satisfying assignments of the CNF formula correspond one-to-one to
+repairs entailing the query — which is what the #P-hardness via #3SAT
+needs.
+
+Construction (for a CNF formula φ with variables ``x1..xn`` and clauses
+``c1..cm``):
+
+* schema: ``Var(name, value)`` with ``key(Var) = {name}``;
+  ``Lit(clause, position, name, value)`` and ``ClauseId(clause)`` without
+  keys.
+* database ``D_φ``: for every variable the two facts ``Var(x, 0)`` and
+  ``Var(x, 1)`` (one conflicting block per variable, so repairs ↔ truth
+  assignments, ``|rep| = 2^n``); for every clause ``c`` and literal at
+  position ``p`` over variable ``x`` the fact ``Lit(c, p, x, v)`` where
+  ``v`` is the truth value that satisfies the literal; and ``ClauseId(c)``.
+* fixed query (genuinely first order — it uses ∀ and ¬, as it must, since
+  ∃FO+ queries have an easy decision problem)::
+
+      Q  =  ∀c ( ¬ClauseId(c)  ∨  ∃p, x, v ( Lit(c, p, x, v) ∧ Var(x, v) ) )
+
+A repair picks one ``Var`` fact per variable — a truth assignment — and
+entails ``Q`` iff every clause has a satisfied literal.  Hence
+``#CQA(Q, Σ)(D_φ) = #3SAT(φ)`` and ``#CQA>0(Q, Σ)(D_φ) = SAT(φ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact
+from ..problems.sat import CNFFormula
+from ..query.ast import And, Atom, Exists, ForAll, Not, Or, Query, Variable
+
+__all__ = ["SatReduction", "sat_to_cqa"]
+
+#: Relation names used by the (fixed) target schema.
+_VAR, _LIT, _CLAUSE_ID = "Var", "Lit", "ClauseId"
+
+
+def _fixed_query() -> Query:
+    """The fixed FO query of the reduction (independent of the formula)."""
+    clause = Variable("c")
+    position = Variable("p")
+    name = Variable("x")
+    value = Variable("v")
+    some_literal_holds = Exists(
+        (position, name, value),
+        And(
+            (
+                Atom(_LIT, (clause, position, name, value)),
+                Atom(_VAR, (name, value)),
+            )
+        ),
+    )
+    body = ForAll(
+        (clause,),
+        Or((Not(Atom(_CLAUSE_ID, (clause,))), some_literal_holds)),
+    )
+    return Query(body, (), name="all-clauses-satisfied")
+
+
+def _fixed_keys() -> PrimaryKeySet:
+    """The fixed key set of the reduction: only ``Var`` is keyed."""
+    return PrimaryKeySet.from_dict({_VAR: [1]})
+
+
+@dataclass(frozen=True)
+class SatReduction:
+    """The image of a CNF formula under the reduction.
+
+    ``database`` together with the fixed ``query`` and ``keys`` is the
+    #CQA instance; ``variable_count`` is kept so callers can check the
+    repair-space size ``2^n``.
+    """
+
+    database: Database
+    query: Query
+    keys: PrimaryKeySet
+    variable_count: int
+
+    def total_assignments(self) -> int:
+        """``2^n``: the number of truth assignments (= total repairs)."""
+        return 2 ** self.variable_count
+
+
+def sat_to_cqa(formula: CNFFormula) -> SatReduction:
+    """Map a CNF formula to the equivalent #CQA(FO) instance.
+
+    The reduction is parsimonious: the number of repairs of the produced
+    database entailing the produced (fixed) query equals the number of
+    satisfying assignments of ``formula``.
+    """
+    facts: List[Fact] = []
+    for variable in formula.variables():
+        facts.append(Fact(_VAR, (variable, 0)))
+        facts.append(Fact(_VAR, (variable, 1)))
+    for clause_index, clause in enumerate(formula.clauses):
+        clause_name = f"c{clause_index}"
+        facts.append(Fact(_CLAUSE_ID, (clause_name,)))
+        for position, literal in enumerate(clause):
+            satisfying_value = 1 if literal.positive else 0
+            facts.append(
+                Fact(_LIT, (clause_name, position, literal.variable, satisfying_value))
+            )
+    database = Database(facts)
+    return SatReduction(
+        database=database,
+        query=_fixed_query(),
+        keys=_fixed_keys(),
+        variable_count=len(formula.variables()),
+    )

@@ -1,0 +1,55 @@
+"""Repair machinery: enumeration, certificates, decision, exact counting.
+
+The operational core of the paper's problem ``#CQA(Q, Σ)``: everything
+needed to enumerate, count and sample the repairs of an inconsistent
+database under primary keys and to count the repairs entailing a query.
+"""
+
+from .certificates import Certificate, certificate_selectors, ensure_boolean_ucq, iter_certificates
+from .counting import (
+    CountReport,
+    bind_answer,
+    count_repairs_satisfying,
+    count_repairs_satisfying_certificates,
+    count_repairs_satisfying_naive,
+)
+from .decision import decide, has_entailing_repair, has_entailing_repair_bruteforce
+from .enumeration import (
+    count_total_repairs,
+    enumerate_repairs,
+    is_repair,
+    sample_repair,
+    sample_repair_choices,
+)
+from .frequency import (
+    AnswerFrequency,
+    answer_frequencies,
+    certain_answers,
+    possible_answers,
+    relative_frequency,
+)
+
+__all__ = [
+    "AnswerFrequency",
+    "Certificate",
+    "CountReport",
+    "answer_frequencies",
+    "bind_answer",
+    "certain_answers",
+    "certificate_selectors",
+    "count_repairs_satisfying",
+    "count_repairs_satisfying_certificates",
+    "count_repairs_satisfying_naive",
+    "count_total_repairs",
+    "decide",
+    "ensure_boolean_ucq",
+    "enumerate_repairs",
+    "has_entailing_repair",
+    "has_entailing_repair_bruteforce",
+    "is_repair",
+    "iter_certificates",
+    "possible_answers",
+    "relative_frequency",
+    "sample_repair",
+    "sample_repair_choices",
+]

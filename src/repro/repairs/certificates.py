@@ -1,0 +1,127 @@
+"""Certificates for #CQA: the small witnesses of the guess–check–expand view.
+
+A certificate for "some repair of ``(D, Σ)`` entails the UCQ ``Q``" is a
+pair ``(Q', h)`` where ``Q'`` is a disjunct of ``Q`` and ``h`` maps the
+variables of ``Q'`` into ``dom(D)`` such that ``h(Q') ⊆ D`` and
+``h(Q') |= Σ`` (Lemma 3.5 / Section 4.1).  Certificates are "small" — their
+size depends only on the fixed query — which is what makes the decision
+problem easy and what the Λ-hierarchy machinery is built around.
+
+This module computes certificates and their induced selectors over the
+block decomposition, in a form directly consumable by the exact counters
+and by the FPRAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact
+from ..errors import FragmentError
+from ..query.ast import Query, Variable
+from ..query.evaluation import Assignment
+from ..query.homomorphism import find_homomorphisms, homomorphism_image
+from ..query.rewriting import UCQ, to_ucq
+from ..lams.selectors import Selector
+
+__all__ = ["Certificate", "iter_certificates", "certificate_selectors", "ensure_boolean_ucq"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A valid certificate ``(Q', h)`` together with its image ``h(Q')``.
+
+    Attributes
+    ----------
+    disjunct_index:
+        Index of the disjunct ``Q'`` within the UCQ.
+    assignment:
+        The homomorphism ``h`` as a sorted tuple of (variable, constant)
+        pairs (tuples keep the certificate hashable).
+    image:
+        The set of facts ``h(Q')`` — always a Σ-consistent subset of ``D``.
+    """
+
+    disjunct_index: int
+    assignment: Tuple[Tuple[Variable, object], ...]
+    image: FrozenSet[Fact]
+
+    def assignment_dict(self) -> Assignment:
+        """The homomorphism as a dictionary."""
+        return dict(self.assignment)
+
+    def __str__(self) -> str:
+        bindings = ", ".join(f"{variable}={value!r}" for variable, value in self.assignment)
+        return f"cert(disjunct={self.disjunct_index}, {{{bindings}}})"
+
+
+def ensure_boolean_ucq(query: Union[Query, UCQ]) -> UCQ:
+    """Rewrite ``query`` to UCQ form and insist that it is Boolean.
+
+    The counting machinery works on Boolean queries; non-Boolean queries
+    are handled by binding an answer tuple first (see
+    :func:`repro.repairs.counting.bind_answer`).
+    """
+    ucq = query if isinstance(query, UCQ) else to_ucq(query)
+    if not ucq.is_boolean:
+        raise FragmentError(
+            "a Boolean query is required here; bind the candidate answer "
+            "tuple first (repro.repairs.counting.bind_answer) or use the "
+            "top-level CQASolver which does this for you"
+        )
+    return ucq
+
+
+def iter_certificates(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, UCQ],
+) -> Iterator[Certificate]:
+    """Enumerate all valid certificates of ``(D, Σ, Q)``.
+
+    The enumeration searches homomorphisms disjunct by disjunct and filters
+    out those whose image violates ``Σ`` (two image facts in the same block).
+    """
+    ucq = ensure_boolean_ucq(query)
+    for disjunct_index, disjunct in enumerate(ucq.disjuncts):
+        if disjunct.always_true:
+            # The TRUE disjunct is witnessed by the empty homomorphism.
+            yield Certificate(disjunct_index, (), frozenset())
+            continue
+        for assignment in find_homomorphisms(disjunct.atoms, database):
+            image = homomorphism_image(disjunct.atoms, assignment)
+            if keys.is_consistent(image):
+                yield Certificate(
+                    disjunct_index,
+                    tuple(sorted(assignment.items(), key=lambda item: item[0].name)),
+                    frozenset(image),
+                )
+
+
+def certificate_selectors(
+    certificates: Sequence[Certificate],
+    decomposition: BlockDecomposition,
+    keys: PrimaryKeySet,
+) -> List[Selector]:
+    """Convert certificates to selectors over the block decomposition.
+
+    A certificate's selector pins block ``B_i`` to the fact ``R(t̄)`` iff
+    the certificate's image intersects ``B_i`` in exactly that fact and the
+    relation ``R`` has a key in ``Σ`` — the rule of Algorithm 2.  Facts of
+    un-keyed relations sit in singleton blocks, so leaving them un-pinned
+    does not change the unfolding (the "free" choice has a single option).
+    """
+    selectors: List[Selector] = []
+    for certificate in certificates:
+        pins: Dict[int, int] = {}
+        for fact_ in certificate.image:
+            if not keys.has_key(fact_.relation):
+                continue
+            block_index = decomposition.block_index_of(fact_)
+            pins[block_index] = decomposition[block_index].index_of(fact_)
+        selectors.append(Selector(pins))
+    return selectors

@@ -1,0 +1,81 @@
+"""The decision problem #CQA>0: is the query entailed by at least one repair?
+
+The complexity of the decision version is what separates the two regimes of
+the paper:
+
+* for existential positive queries it is in **L** (Theorem 3.4): by
+  Lemma 3.5, some repair entails ``Q`` iff some disjunct ``Q_i`` has a
+  homomorphism ``h`` with ``h(Q_i) ⊆ D`` and ``h(Q_i) |= Σ`` — i.e. iff a
+  valid certificate exists.  Crucially this never looks at repairs at all.
+* for arbitrary first-order queries it is **NP-complete** (Theorem 3.2):
+  the natural algorithm guesses a repair and checks it, and no certificate
+  shortcut exists (under standard assumptions).
+
+Both procedures are implemented here; the ∃FO+ one is the workhorse, and
+the FO one doubles as a brute-force oracle for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..query.ast import Query
+from ..query.classify import is_existential_positive
+from ..query.evaluation import holds
+from ..query.rewriting import UCQ
+from .certificates import iter_certificates
+from .enumeration import enumerate_repairs
+
+__all__ = ["has_entailing_repair", "has_entailing_repair_bruteforce", "decide"]
+
+
+def has_entailing_repair(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, UCQ],
+) -> bool:
+    """Decide #CQA>0 for an existential positive query via Lemma 3.5.
+
+    Returns True iff a valid certificate exists.  Only certificate search
+    is performed — no repair is ever materialised — which is what makes the
+    problem "easy to decide" and the whole Λ-hierarchy analysis meaningful.
+    """
+    for _certificate in iter_certificates(database, keys, query):
+        return True
+    return False
+
+
+def has_entailing_repair_bruteforce(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Query,
+    decomposition: Optional[BlockDecomposition] = None,
+) -> bool:
+    """Decide #CQA>0 for an arbitrary FO query by enumerating repairs.
+
+    This is the guess-and-check procedure behind the NP upper bound of
+    Theorem 3.2, realised deterministically; exponential in the number of
+    conflicting blocks, so use only on small databases (tests, oracles).
+    """
+    for repair in enumerate_repairs(database, keys, decomposition=decomposition):
+        if holds(query, repair):
+            return True
+    return False
+
+
+def decide(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, UCQ],
+) -> bool:
+    """Decide #CQA>0 choosing the right procedure for the query fragment.
+
+    ∃FO+ queries (and pre-rewritten UCQs) use the certificate procedure;
+    anything else falls back to repair enumeration.
+    """
+    if isinstance(query, UCQ) or is_existential_positive(query):
+        return has_entailing_repair(database, keys, query)
+    return has_entailing_repair_bruteforce(database, keys, query)

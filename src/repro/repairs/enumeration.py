@@ -1,0 +1,114 @@
+"""Repair enumeration, counting and sampling.
+
+Under primary keys, a repair of ``(D, Σ)`` keeps exactly one fact from each
+block of the block decomposition, so:
+
+* the total number of repairs is the product of the block sizes — the
+  "easy" counting problem the paper notes is in FP,
+* repairs can be enumerated as the cartesian product of the blocks,
+* a uniformly random repair can be drawn by picking one fact uniformly and
+  independently per block — which is exactly the sampling primitive the
+  FPRAS of Theorem 6.2 builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional, Sequence, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+
+__all__ = [
+    "count_total_repairs",
+    "enumerate_repairs",
+    "sample_repair",
+    "sample_repair_choices",
+    "is_repair",
+]
+
+
+def _decomposition(
+    database: Database, keys: PrimaryKeySet, decomposition: Optional[BlockDecomposition]
+) -> BlockDecomposition:
+    if decomposition is not None:
+        return decomposition
+    return BlockDecomposition(database, keys)
+
+
+def count_total_repairs(
+    database: Database,
+    keys: PrimaryKeySet,
+    decomposition: Optional[BlockDecomposition] = None,
+) -> int:
+    """``|rep(D, Σ)|``: the total number of repairs (product of block sizes).
+
+    Runs in time linear in the database; this is the denominator of the
+    relative-frequency semantics of Section 1.1.
+    """
+    return _decomposition(database, keys, decomposition).total_repairs()
+
+
+def enumerate_repairs(
+    database: Database,
+    keys: PrimaryKeySet,
+    decomposition: Optional[BlockDecomposition] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Database]:
+    """Enumerate the repairs of ``(D, Σ)`` in the canonical block order.
+
+    The number of repairs is exponential in the number of conflicting
+    blocks; ``limit`` caps the enumeration for exploratory use.  The
+    enumeration order is deterministic: choices advance lexicographically
+    over the block sequence ``B1 ≺ ... ≺ Bn``.
+    """
+    blocks = _decomposition(database, keys, decomposition)
+    produced = 0
+    for choices in itertools.product(*(range(len(block)) for block in blocks)):
+        if limit is not None and produced >= limit:
+            return
+        produced += 1
+        yield blocks.repair_from_choices(choices)
+
+
+def sample_repair_choices(
+    decomposition: BlockDecomposition, rng: random.Random
+) -> Sequence[int]:
+    """Draw the choice vector of a uniformly random repair."""
+    return [rng.randrange(len(block)) for block in decomposition.blocks]
+
+
+def sample_repair(
+    database: Database,
+    keys: PrimaryKeySet,
+    rng: Optional[Union[random.Random, int]] = None,
+    decomposition: Optional[BlockDecomposition] = None,
+) -> Database:
+    """Draw one repair uniformly at random.
+
+    ``rng`` may be a :class:`random.Random` instance or an integer seed; by
+    default a fresh unseeded generator is used.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    elif rng is None:
+        rng = random.Random()
+    blocks = _decomposition(database, keys, decomposition)
+    return blocks.repair_from_choices(sample_repair_choices(blocks, rng))
+
+
+def is_repair(
+    candidate: Database,
+    database: Database,
+    keys: PrimaryKeySet,
+    decomposition: Optional[BlockDecomposition] = None,
+) -> bool:
+    """True iff ``candidate`` is a repair of ``(D, Σ)``.
+
+    Checks the characterisation "exactly one fact per block", which is
+    equivalent to being a maximal consistent subset of ``D``.
+    """
+    blocks = _decomposition(database, keys, decomposition)
+    return blocks.is_repair(candidate)

@@ -1,0 +1,148 @@
+"""Relative frequency of answers over repairs.
+
+Section 1.1 motivates the whole paper: the certain-answer semantics of CQA
+is too coarse ("in all repairs" vs "in some repair"), and what one really
+wants is *how often* a tuple is an answer — its relative frequency, the
+number of repairs entailing it divided by the total number of repairs.  In
+the Employee example the query "do employees 1 and 2 work in the same
+department?" has relative frequency 1/2.
+
+This module computes relative frequencies — exactly (via the counters of
+:mod:`repro.repairs.counting`) for single tuples and for the full answer
+ranking of a non-Boolean query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Constant
+from ..query.ast import Query
+from ..query.evaluation import answers as evaluate_answers
+from .counting import CountReport, count_repairs_satisfying
+
+__all__ = ["AnswerFrequency", "relative_frequency", "answer_frequencies", "certain_answers", "possible_answers"]
+
+
+@dataclass(frozen=True)
+class AnswerFrequency:
+    """One candidate answer with its exact frequency over the repairs."""
+
+    answer: Tuple[Constant, ...]
+    satisfying: int
+    total: int
+
+    @property
+    def frequency(self) -> Fraction:
+        """The exact relative frequency as a fraction."""
+        if self.total == 0:
+            return Fraction(0)
+        return Fraction(self.satisfying, self.total)
+
+    @property
+    def is_certain(self) -> bool:
+        """True iff every repair entails the answer (classical certain answer)."""
+        return self.total > 0 and self.satisfying == self.total
+
+    @property
+    def is_possible(self) -> bool:
+        """True iff at least one repair entails the answer."""
+        return self.satisfying > 0
+
+    def __str__(self) -> str:
+        rendered = ", ".join(map(repr, self.answer)) if self.answer else "()"
+        return f"{rendered}: {self.satisfying}/{self.total} = {float(self.frequency):.4f}"
+
+
+def relative_frequency(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Query,
+    answer: Sequence[Constant] = (),
+    method: str = "auto",
+) -> Fraction:
+    """Exact relative frequency of ``answer`` for ``query`` over the repairs."""
+    report = count_repairs_satisfying(database, keys, query, answer, method=method)
+    if report.total == 0:
+        return Fraction(0)
+    return Fraction(report.satisfying, report.total)
+
+
+def _candidate_answers(
+    database: Database, query: Query
+) -> List[Tuple[Constant, ...]]:
+    """Candidate answers: tuples in ``Q(D)`` (answers over the whole database).
+
+    For monotone (existential positive) queries every answer of every repair
+    is an answer over ``D``, so restricting candidates to ``Q(D)`` is
+    complete; for non-monotone queries we fall back to the full domain
+    product, which is exact but only feasible for small arities/domains.
+    """
+    from ..query.classify import is_existential_positive
+
+    if query.arity == 0:
+        return [()]
+    if is_existential_positive(query):
+        return sorted(evaluate_answers(query, database), key=lambda item: tuple(map(str, item)))
+    import itertools
+
+    domain = database.active_domain_sorted()
+    return list(itertools.product(domain, repeat=query.arity))
+
+
+def answer_frequencies(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Query,
+    method: str = "auto",
+    decomposition: Optional[BlockDecomposition] = None,
+) -> List[AnswerFrequency]:
+    """Exact frequency of every candidate answer, sorted by decreasing frequency.
+
+    This realises the "relative frequency of a tuple" semantics of
+    Section 1.1 as a ranking, which is what the HR-analytics example and
+    benchmark E12 exercise end-to-end.
+    """
+    if decomposition is None:
+        decomposition = BlockDecomposition(database, keys)
+    results: List[AnswerFrequency] = []
+    for answer in _candidate_answers(database, query):
+        report = count_repairs_satisfying(
+            database, keys, query, answer, method=method, decomposition=decomposition
+        )
+        results.append(AnswerFrequency(tuple(answer), report.satisfying, report.total))
+    results.sort(key=lambda item: (-item.frequency, tuple(map(str, item.answer))))
+    return results
+
+
+def certain_answers(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Query,
+    method: str = "auto",
+) -> List[Tuple[Constant, ...]]:
+    """The classical certain answers: tuples entailed by every repair."""
+    return [
+        item.answer
+        for item in answer_frequencies(database, keys, query, method=method)
+        if item.is_certain
+    ]
+
+
+def possible_answers(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Query,
+    method: str = "auto",
+) -> List[Tuple[Constant, ...]]:
+    """The possible answers: tuples entailed by at least one repair."""
+    return [
+        item.answer
+        for item in answer_frequencies(database, keys, query, method=method)
+        if item.is_possible
+    ]

@@ -1,0 +1,43 @@
+"""Synthetic workloads: database/query generators and named scenarios."""
+
+from .generators import (
+    InconsistentDatabaseSpec,
+    random_cnf,
+    random_disjoint_positive_dnf,
+    random_forbidden_coloring,
+    random_graph,
+    random_inconsistent_database,
+    random_positive_dnf,
+)
+from .queries import (
+    employee_same_department_query,
+    random_conjunctive_query,
+    random_ucq,
+    star_join_query,
+)
+from .scenarios import (
+    Scenario,
+    election_registry,
+    employee_example,
+    hr_analytics,
+    sensor_fusion,
+)
+
+__all__ = [
+    "InconsistentDatabaseSpec",
+    "Scenario",
+    "election_registry",
+    "employee_example",
+    "employee_same_department_query",
+    "hr_analytics",
+    "random_cnf",
+    "random_conjunctive_query",
+    "random_disjoint_positive_dnf",
+    "random_forbidden_coloring",
+    "random_graph",
+    "random_inconsistent_database",
+    "random_positive_dnf",
+    "random_ucq",
+    "sensor_fusion",
+    "star_join_query",
+]

@@ -1,0 +1,207 @@
+"""Synthetic workload generators.
+
+The paper has no published datasets (it is a theory paper), so the
+experiment suite runs on controlled synthetic workloads.  The generators
+here produce inconsistent databases with tunable conflict structure — the
+parameters that drive every algorithm's cost are the number of blocks, the
+block-size distribution and the fraction of conflicting blocks — plus
+random instances of the companion problems (CNF formulas, positive DNFs,
+hypergraph colouring instances, graphs).
+
+All generators take an explicit seed (or :class:`random.Random`) so every
+experiment in EXPERIMENTS.md is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact
+from ..problems.coloring import ForbiddenColoringInstance
+from ..problems.dnf import DisjointPositiveDNF, PositiveDNF
+from ..problems.graphs import Graph
+from ..problems.sat import CNFFormula, Literal
+
+__all__ = [
+    "InconsistentDatabaseSpec",
+    "random_inconsistent_database",
+    "random_cnf",
+    "random_positive_dnf",
+    "random_disjoint_positive_dnf",
+    "random_forbidden_coloring",
+    "random_graph",
+]
+
+
+def _rng(seed: Optional[Union[int, random.Random]]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class InconsistentDatabaseSpec:
+    """Parameters of a synthetic inconsistent database.
+
+    Attributes
+    ----------
+    relations:
+        ``{relation name: arity}``; the first attribute of each relation is
+        its key.
+    blocks_per_relation:
+        Number of blocks (distinct key values) per relation.
+    conflict_rate:
+        Fraction of blocks that are conflicting (size ≥ 2).
+    max_block_size:
+        Largest block size; conflicting blocks draw their size uniformly
+        from ``{2, ..., max_block_size}``.
+    domain_size:
+        Number of distinct non-key constants to draw values from.
+    """
+
+    relations: Dict[str, int]
+    blocks_per_relation: int = 50
+    conflict_rate: float = 0.3
+    max_block_size: int = 4
+    domain_size: int = 40
+
+
+def random_inconsistent_database(
+    spec: InconsistentDatabaseSpec,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> Tuple[Database, PrimaryKeySet]:
+    """Generate an inconsistent database matching ``spec``.
+
+    Each relation ``R/n`` gets ``blocks_per_relation`` key values; a block
+    is conflicting with probability ``conflict_rate`` and then holds between
+    2 and ``max_block_size`` facts that agree on the key but differ in at
+    least one non-key position.
+    """
+    rng = _rng(seed)
+    facts: List[Fact] = []
+    for relation, arity in spec.relations.items():
+        if arity < 2:
+            raise ValueError(
+                f"relation {relation!r} needs arity >= 2 so conflicting facts "
+                f"can differ outside the key"
+            )
+        for block_index in range(spec.blocks_per_relation):
+            key_value = f"{relation.lower()}_{block_index}"
+            if rng.random() < spec.conflict_rate and spec.max_block_size >= 2:
+                block_size = rng.randint(2, spec.max_block_size)
+            else:
+                block_size = 1
+            seen_payloads = set()
+            for _ in range(block_size):
+                while True:
+                    payload = tuple(
+                        f"v{rng.randrange(spec.domain_size)}" for _ in range(arity - 1)
+                    )
+                    if payload not in seen_payloads:
+                        seen_payloads.add(payload)
+                        break
+                facts.append(Fact(relation, (key_value,) + payload))
+    keys = PrimaryKeySet.from_dict({relation: [1] for relation in spec.relations})
+    return Database(facts), keys
+
+
+def random_cnf(
+    variables: int,
+    clauses: int,
+    clause_width: int = 3,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> CNFFormula:
+    """A random CNF formula with the given shape (variables named ``x1..``)."""
+    rng = _rng(seed)
+    names = [f"x{index + 1}" for index in range(variables)]
+    built = []
+    for _ in range(clauses):
+        chosen = rng.sample(names, min(clause_width, variables))
+        built.append(tuple(Literal(name, rng.random() < 0.5) for name in chosen))
+    return CNFFormula(tuple(built))
+
+
+def random_positive_dnf(
+    variables: int,
+    clauses: int,
+    clause_width: int = 2,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> PositiveDNF:
+    """A random positive kDNF formula over ``{0,1}`` variables."""
+    rng = _rng(seed)
+    names = tuple(f"x{index + 1}" for index in range(variables))
+    built = []
+    for _ in range(clauses):
+        width = rng.randint(1, min(clause_width, variables))
+        built.append(tuple(rng.sample(names, width)))
+    return PositiveDNF(names, tuple(built))
+
+
+def random_disjoint_positive_dnf(
+    parts: int,
+    part_size: int,
+    clauses: int,
+    clause_width: int = 2,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> DisjointPositiveDNF:
+    """A random #DisjPoskDNF instance with uniformly sized parts.
+
+    Clauses pick distinct parts and one variable from each, so every clause
+    is a valid certificate (satisfiable by some P-assignment).
+    """
+    rng = _rng(seed)
+    partition = tuple(
+        tuple(f"p{part_index}_v{variable_index}" for variable_index in range(part_size))
+        for part_index in range(parts)
+    )
+    built = []
+    for _ in range(clauses):
+        width = rng.randint(1, min(clause_width, parts))
+        chosen_parts = rng.sample(range(parts), width)
+        built.append(tuple(rng.choice(partition[part_index]) for part_index in chosen_parts))
+    return DisjointPositiveDNF(partition, tuple(built))
+
+
+def random_forbidden_coloring(
+    nodes: int,
+    edges: int,
+    uniformity: int = 2,
+    colors: int = 3,
+    forbidden_per_edge: int = 2,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> ForbiddenColoringInstance:
+    """A random #kForbColoring instance on ``nodes`` nodes."""
+    rng = _rng(seed)
+    node_names = [f"n{index}" for index in range(nodes)]
+    palette = {node: tuple(f"c{index}" for index in range(colors)) for node in node_names}
+    edge_list: List[Tuple[str, ...]] = []
+    forbidden: List[List[Dict[str, str]]] = []
+    for _ in range(edges):
+        edge = tuple(rng.sample(node_names, min(uniformity, nodes)))
+        edge_list.append(edge)
+        edge_forbidden = []
+        for _ in range(forbidden_per_edge):
+            edge_forbidden.append({node: rng.choice(palette[node]) for node in edge})
+        forbidden.append(edge_forbidden)
+    return ForbiddenColoringInstance(palette, edge_list, forbidden)
+
+
+def random_graph(
+    vertices: int,
+    edge_probability: float = 0.3,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> Graph:
+    """An Erdős–Rényi style random graph on ``vertices`` vertices."""
+    rng = _rng(seed)
+    names = [f"v{index}" for index in range(vertices)]
+    edges = [
+        (names[i], names[j])
+        for i in range(vertices)
+        for j in range(i + 1, vertices)
+        if rng.random() < edge_probability
+    ]
+    return Graph(names, edges)

@@ -1,0 +1,135 @@
+"""Query workloads: canonical queries and random query generation.
+
+The cost profile of every algorithm in the library is governed by the
+keywidth of the query, so the generator here produces conjunctive queries
+and UCQs with a *prescribed* keywidth over the synthetic schemas of
+:mod:`repro.workloads.generators`.  A handful of canonical queries (the
+paper's Example 1.1 among them) are also provided by name for tests,
+examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..query.ast import Atom, Query, Variable
+from ..query.builders import conjunctive_query, union_query, var
+from ..query.keywidth import keywidth
+
+__all__ = [
+    "employee_same_department_query",
+    "star_join_query",
+    "random_conjunctive_query",
+    "random_ucq",
+]
+
+
+def employee_same_department_query() -> Query:
+    """The Boolean query of Example 1.1: employees 1 and 2 share a department."""
+    x, y, z = var("x"), var("y"), var("z")
+    return conjunctive_query(
+        [Atom("Employee", (1, x, y)), Atom("Employee", (2, z, y))],
+        name="same-department",
+    )
+
+
+def star_join_query(
+    relations: Sequence[str], shared_position: int = 2, name: Optional[str] = None
+) -> Query:
+    """A star join: one atom per relation, all sharing one non-key variable.
+
+    With every relation keyed on its first attribute this query has keywidth
+    ``len(relations)``, making it a convenient family for scaling keywidth
+    in benchmarks (E5's ``m^k`` effect).
+    """
+    shared = var("shared")
+    atoms = []
+    for index, relation in enumerate(relations):
+        key_variable = var(f"k{index}")
+        terms: List[object] = [key_variable, shared]
+        atoms.append(Atom(relation, tuple(terms)))
+    return conjunctive_query(atoms, name=name or f"star-{len(relations)}")
+
+
+def random_conjunctive_query(
+    relations: Dict[str, int],
+    keys: PrimaryKeySet,
+    target_keywidth: int,
+    extra_unkeyed_atoms: int = 0,
+    join_probability: float = 0.5,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> Query:
+    """A random Boolean CQ with exactly ``target_keywidth`` keyed atoms.
+
+    Parameters
+    ----------
+    relations:
+        ``{relation: arity}`` of the schema the query ranges over.
+    keys:
+        The primary keys; atoms over keyed relations count towards the
+        keywidth.
+    target_keywidth:
+        Number of atoms over keyed relations the query must contain.
+    extra_unkeyed_atoms:
+        Additional atoms over unkeyed relations (0 if the schema has none).
+    join_probability:
+        Probability that a new atom reuses an existing variable in one of
+        its positions (controls how connected the query is).
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    keyed_relations = [name for name in relations if keys.has_key(name)]
+    unkeyed_relations = [name for name in relations if not keys.has_key(name)]
+    if target_keywidth > 0 and not keyed_relations:
+        raise ValueError("no keyed relations available to reach the target keywidth")
+    if extra_unkeyed_atoms > 0 and not unkeyed_relations:
+        raise ValueError("no unkeyed relations available for extra atoms")
+
+    atoms: List[Atom] = []
+    variable_pool: List[Variable] = []
+    variable_counter = 0
+
+    def fresh_variable() -> Variable:
+        nonlocal variable_counter
+        variable_counter += 1
+        variable = Variable(f"q{variable_counter}")
+        variable_pool.append(variable)
+        return variable
+
+    def make_atom(relation: str) -> Atom:
+        arity = relations[relation]
+        terms: List[object] = []
+        for _ in range(arity):
+            if variable_pool and rng.random() < join_probability:
+                terms.append(rng.choice(variable_pool))
+            else:
+                terms.append(fresh_variable())
+        return Atom(relation, tuple(terms))
+
+    for _ in range(target_keywidth):
+        atoms.append(make_atom(rng.choice(keyed_relations)))
+    for _ in range(extra_unkeyed_atoms):
+        atoms.append(make_atom(rng.choice(unkeyed_relations)))
+    rng.shuffle(atoms)
+    query = conjunctive_query(atoms, name=f"random-cq-kw{target_keywidth}")
+    assert keywidth(query, keys) == target_keywidth
+    return query
+
+
+def random_ucq(
+    relations: Dict[str, int],
+    keys: PrimaryKeySet,
+    disjuncts: int,
+    keywidth_per_disjunct: int,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> Query:
+    """A random Boolean UCQ: a disjunction of independent random CQs."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    atom_lists = []
+    for _ in range(disjuncts):
+        disjunct = random_conjunctive_query(
+            relations, keys, keywidth_per_disjunct, seed=rng
+        )
+        atom_lists.append(disjunct.atoms())
+    return union_query(atom_lists, name=f"random-ucq-{disjuncts}x{keywidth_per_disjunct}")

@@ -1,0 +1,201 @@
+"""Named scenarios: small, realistic inconsistent databases.
+
+These are the workloads the examples and the end-to-end benchmark (E12)
+run on.  Each scenario returns the database, its primary keys and a
+dictionary of named queries, so examples, tests and benchmarks all speak
+about the same instances.
+
+* :func:`employee_example` — Example 1.1 of the paper, verbatim.
+* :func:`hr_analytics` — an HR database integrated from two conflicting
+  sources (payroll vs directory): salaries, departments and managers
+  disagree; queries ask for frequency-ranked analytics.
+* :func:`sensor_fusion` — readings of the same sensors reported by
+  different gateways; queries ask which alarms are likely real.
+* :func:`election_registry` — a voter registry merged across counties with
+  duplicate registrations; queries ask how often a candidate wins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.facts import Fact, fact
+from ..query.ast import Atom, Query
+from ..query.builders import conjunctive_query, union_query, var
+from .queries import employee_same_department_query
+
+__all__ = ["Scenario", "employee_example", "hr_analytics", "sensor_fusion", "election_registry"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload: database, primary keys and a set of named queries."""
+
+    name: str
+    database: Database
+    keys: PrimaryKeySet
+    queries: Dict[str, Query]
+
+    def __str__(self) -> str:
+        return (
+            f"Scenario {self.name!r}: {len(self.database)} facts, "
+            f"{len(self.queries)} queries"
+        )
+
+
+def employee_example() -> Scenario:
+    """Example 1.1 of the paper: the four Employee facts and the key on id."""
+    database = Database(
+        [
+            fact("Employee", 1, "Bob", "HR"),
+            fact("Employee", 1, "Bob", "IT"),
+            fact("Employee", 2, "Alice", "IT"),
+            fact("Employee", 2, "Tim", "IT"),
+        ]
+    )
+    keys = PrimaryKeySet.from_dict({"Employee": [1]})
+    x, y = var("x"), var("y")
+    queries = {
+        "same-department": employee_same_department_query(),
+        "employee-1-details": conjunctive_query(
+            [Atom("Employee", (1, x, y))], answer_variables=(x, y), name="employee-1-details"
+        ),
+        "works-in-it": conjunctive_query(
+            [Atom("Employee", (x, y, "IT"))], answer_variables=(x,), name="works-in-it"
+        ),
+    }
+    return Scenario("employee-example", database, keys, queries)
+
+
+def hr_analytics(seed: int = 7, employees: int = 40) -> Scenario:
+    """An HR database merged from payroll and directory extracts.
+
+    Relations (first attribute is always the primary key):
+
+    * ``Employee(id, name, dept)`` — department assignments disagree for a
+      third of the staff.
+    * ``Salary(id, band)`` — salary bands disagree for a quarter of the staff.
+    * ``Dept(name, floor)`` — consistent reference data (no conflicts).
+    """
+    rng = random.Random(seed)
+    departments = ["HR", "IT", "Sales", "Legal", "Ops"]
+    bands = ["B1", "B2", "B3", "B4"]
+    floors = {"HR": 1, "IT": 2, "Sales": 3, "Legal": 4, "Ops": 2}
+    facts = [fact("Dept", name, floor) for name, floor in floors.items()]
+    for employee_id in range(1, employees + 1):
+        name = f"emp{employee_id}"
+        department = rng.choice(departments)
+        facts.append(fact("Employee", employee_id, name, department))
+        if rng.random() < 0.33:
+            other = rng.choice([item for item in departments if item != department])
+            facts.append(fact("Employee", employee_id, name, other))
+        band = rng.choice(bands)
+        facts.append(fact("Salary", employee_id, band))
+        if rng.random() < 0.25:
+            other_band = rng.choice([item for item in bands if item != band])
+            facts.append(fact("Salary", employee_id, other_band))
+    database = Database(facts)
+    keys = PrimaryKeySet.from_dict({"Employee": [1], "Salary": [1], "Dept": [1]})
+
+    e, n, d, b, f = var("e"), var("n"), var("d"), var("b"), var("f")
+    queries = {
+        "department-of-emp1": conjunctive_query(
+            [Atom("Employee", (1, n, d))], answer_variables=(d,), name="department-of-emp1"
+        ),
+        "top-band-in-it": conjunctive_query(
+            [Atom("Employee", (e, n, "IT")), Atom("Salary", (e, "B4"))],
+            name="top-band-in-it",
+        ),
+        "same-floor-1-2": conjunctive_query(
+            [
+                Atom("Employee", (1, var("n1"), var("d1"))),
+                Atom("Employee", (2, var("n2"), var("d2"))),
+                Atom("Dept", (var("d1"), f)),
+                Atom("Dept", (var("d2"), f)),
+            ],
+            name="same-floor-1-2",
+        ),
+    }
+    return Scenario("hr-analytics", database, keys, queries)
+
+
+def sensor_fusion(seed: int = 11, sensors: int = 30) -> Scenario:
+    """Sensor readings reported (inconsistently) by redundant gateways.
+
+    ``Reading(sensor, level)`` is keyed on the sensor: gateways disagree on
+    the level for roughly 40% of the sensors.  ``Location(sensor, room)`` is
+    reference data.  Queries ask whether some room has a critical alarm and
+    which rooms are likely affected.
+    """
+    rng = random.Random(seed)
+    levels = ["ok", "warning", "critical"]
+    rooms = [f"room{index}" for index in range(1, 7)]
+    facts = []
+    for sensor_index in range(1, sensors + 1):
+        sensor = f"s{sensor_index}"
+        facts.append(fact("Location", sensor, rng.choice(rooms)))
+        level = rng.choices(levels, weights=[0.6, 0.25, 0.15])[0]
+        facts.append(fact("Reading", sensor, level))
+        if rng.random() < 0.4:
+            other = rng.choice([item for item in levels if item != level])
+            facts.append(fact("Reading", sensor, other))
+    database = Database(facts)
+    keys = PrimaryKeySet.from_dict({"Reading": [1], "Location": [1]})
+
+    s, r = var("s"), var("r")
+    queries = {
+        "any-critical": conjunctive_query(
+            [Atom("Reading", (s, "critical"))], name="any-critical"
+        ),
+        "critical-rooms": conjunctive_query(
+            [Atom("Reading", (s, "critical")), Atom("Location", (s, r))],
+            answer_variables=(r,),
+            name="critical-rooms",
+        ),
+        "warning-or-critical": union_query(
+            [
+                [Atom("Reading", (s, "critical"))],
+                [Atom("Reading", (s, "warning"))],
+            ],
+            name="warning-or-critical",
+        ),
+    }
+    return Scenario("sensor-fusion", database, keys, queries)
+
+
+def election_registry(seed: int = 3, voters: int = 24) -> Scenario:
+    """A voter registry merged across counties, with duplicate registrations.
+
+    ``Vote(voter, candidate)`` is keyed on the voter; duplicated voters have
+    conflicting candidate records.  The query of interest is "does candidate
+    X reach at least one vote" and, per candidate, the frequency with which
+    they receive a vote from a specific contested voter — a small stand-in
+    for frequency-based win analysis.
+    """
+    rng = random.Random(seed)
+    candidates = ["alice", "bob", "carol"]
+    facts = []
+    for voter_index in range(1, voters + 1):
+        voter = f"voter{voter_index}"
+        choice = rng.choice(candidates)
+        facts.append(fact("Vote", voter, choice))
+        if rng.random() < 0.5:
+            other = rng.choice([item for item in candidates if item != choice])
+            facts.append(fact("Vote", voter, other))
+    database = Database(facts)
+    keys = PrimaryKeySet.from_dict({"Vote": [1]})
+
+    v, c = var("v"), var("c")
+    queries = {
+        "candidate-of-voter1": conjunctive_query(
+            [Atom("Vote", ("voter1", c))], answer_variables=(c,), name="candidate-of-voter1"
+        ),
+        "alice-gets-a-vote": conjunctive_query(
+            [Atom("Vote", (v, "alice"))], name="alice-gets-a-vote"
+        ),
+    }
+    return Scenario("election-registry", database, keys, queries)

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's running example and small random instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import Database, PrimaryKeySet, fact
+from repro.query import parse_query
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    employee_example,
+    random_inconsistent_database,
+)
+
+
+@pytest.fixture
+def employee_db():
+    """The database of Example 1.1."""
+    return Database(
+        [
+            fact("Employee", 1, "Bob", "HR"),
+            fact("Employee", 1, "Bob", "IT"),
+            fact("Employee", 2, "Alice", "IT"),
+            fact("Employee", 2, "Tim", "IT"),
+        ]
+    )
+
+
+@pytest.fixture
+def employee_keys():
+    """The key constraint of Example 1.1: key(Employee) = {1}."""
+    return PrimaryKeySet.from_dict({"Employee": [1]})
+
+
+@pytest.fixture
+def same_department_query():
+    """The Boolean query of Example 1.1."""
+    return parse_query(
+        "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+        name="same-department",
+    )
+
+
+@pytest.fixture
+def employee_scenario():
+    """The full named scenario (database, keys and queries)."""
+    return employee_example()
+
+
+def small_random_instance(seed: int, blocks: int = 6, max_block: int = 3):
+    """A small random inconsistent database for exhaustive cross-checks."""
+    spec = InconsistentDatabaseSpec(
+        relations={"R": 2, "S": 2},
+        blocks_per_relation=blocks,
+        conflict_rate=0.6,
+        max_block_size=max_block,
+        domain_size=6,
+    )
+    return random_inconsistent_database(spec, seed=seed)
+
+
+@pytest.fixture
+def small_instance():
+    """One fixed small random instance (deterministic)."""
+    return small_random_instance(seed=0)

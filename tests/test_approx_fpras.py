@@ -1,0 +1,167 @@
+"""Tests for the Theorem 6.2 FPRAS, the CQA FPRAS and the Karp-Luby baseline."""
+
+import random
+
+import pytest
+
+from repro.approx import (
+    CQAFpras,
+    KarpLubyEstimator,
+    LambdaFPRAS,
+    Sampler,
+    estimate_union_karp_luby,
+    karp_luby_sample_size,
+    sample_size,
+    summarise_trials,
+    wilson_interval,
+)
+from repro.errors import ApproximationError, FragmentError
+from repro.lams import CQACompactor, Selector
+from repro.problems import DisjointPositiveDNFCompactor, count_disjoint_positive_dnf
+from repro.query import parse_query
+from repro.workloads import random_disjoint_positive_dnf
+
+
+class TestSampleSize:
+    def test_formula_of_theorem_6_2(self):
+        # t = ceil((2+eps) * m^k / eps^2 * ln(2/delta))
+        import math
+
+        expected_k1 = math.ceil((2 + 0.5) * 2 / 0.25 * math.log(4))
+        expected_k2 = math.ceil((2 + 0.5) * 4 / 0.25 * math.log(4))
+        assert sample_size(0.5, 0.5, 2, 1) == expected_k1
+        assert sample_size(0.5, 0.5, 2, 2) == expected_k2
+
+    def test_grows_with_keywidth(self):
+        assert sample_size(0.1, 0.05, 4, 3) > sample_size(0.1, 0.05, 4, 2) > sample_size(0.1, 0.05, 4, 1)
+
+    def test_degenerate_instances(self):
+        assert sample_size(0.1, 0.1, 0, 2) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ApproximationError):
+            sample_size(0, 0.1, 2, 1)
+        with pytest.raises(ApproximationError):
+            sample_size(0.1, 1.5, 2, 1)
+        with pytest.raises(ApproximationError):
+            sample_size(0.1, 0.1, 2, -1)
+
+
+class TestSamplerAndLambdaFPRAS:
+    def test_sampler_hit_probability_is_f_over_u(self, employee_db, employee_keys, same_department_query):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        sampler = Sampler(compactor, employee_db, rng=3)
+        assert sampler.sample_space_size == 4
+        hits = sampler.sample_many(4000)
+        assert 0.42 < hits / 4000 < 0.58  # true probability is 1/2
+
+    def test_fpras_is_accurate_on_dnf_instances(self):
+        formula = random_disjoint_positive_dnf(6, 3, 8, 2, seed=9)
+        exact = count_disjoint_positive_dnf(formula)
+        scheme = LambdaFPRAS(DisjointPositiveDNFCompactor(k=formula.width))
+        result = scheme.estimate(formula, epsilon=0.1, delta=0.05, rng=1)
+        assert result.samples == result.requested_samples
+        assert not result.capped
+        assert abs(result.estimate - exact) <= 0.1 * exact
+
+    def test_guarantee_holds_empirically(self):
+        formula = random_disjoint_positive_dnf(5, 3, 6, 2, seed=2)
+        exact = count_disjoint_positive_dnf(formula)
+        scheme = LambdaFPRAS(DisjointPositiveDNFCompactor(k=formula.width))
+        rng = random.Random(0)
+        estimates = [scheme(formula, 0.25, 0.2, rng=rng) for _ in range(30)]
+        summary = summarise_trials(exact, estimates, epsilon=0.25)
+        # The theorem promises >= 1 - delta = 0.8; leave slack for test noise.
+        assert summary.within_epsilon_rate >= 0.8
+
+    def test_zero_functions_are_estimated_as_zero(self, employee_db, employee_keys):
+        query = parse_query("Employee(3, x, y)")
+        compactor = CQACompactor(query, employee_keys)
+        scheme = LambdaFPRAS(compactor)
+        assert scheme(employee_db, 0.3, 0.2, rng=0) == 0.0
+
+    def test_unbounded_compactor_requires_override(self):
+        compactor = DisjointPositiveDNFCompactor(k=None)
+        with pytest.raises(ApproximationError):
+            LambdaFPRAS(compactor)
+        # With an explicit override the scheme works.
+        formula = random_disjoint_positive_dnf(4, 2, 4, 2, seed=3)
+        scheme = LambdaFPRAS(compactor, k_override=formula.width)
+        assert scheme(formula, 0.3, 0.2, rng=0) >= 0
+
+    def test_max_samples_cap_is_flagged(self):
+        formula = random_disjoint_positive_dnf(5, 3, 6, 2, seed=4)
+        scheme = LambdaFPRAS(DisjointPositiveDNFCompactor(k=formula.width), max_samples=10)
+        result = scheme.estimate(formula, epsilon=0.05, delta=0.05, rng=0)
+        assert result.capped and result.samples == 10
+
+
+class TestCQAFpras:
+    def test_estimates_the_paper_example(self, employee_db, employee_keys, same_department_query):
+        scheme = CQAFpras(same_department_query, employee_keys)
+        result = scheme.estimate(employee_db, epsilon=0.1, delta=0.05, rng=7)
+        assert result.total_repairs == 4
+        assert abs(result.estimate - 2) <= 0.1 * 2
+        assert abs(result.frequency_estimate - 0.5) <= 0.05
+        assert result.keywidth == 2 and result.max_block_size == 2
+
+    def test_membership_modes_agree(self, employee_db, employee_keys, same_department_query):
+        by_selectors = CQAFpras(same_department_query, employee_keys, membership="selectors")
+        by_evaluation = CQAFpras(same_department_query, employee_keys, membership="evaluate")
+        first = by_selectors.estimate(employee_db, 0.1, 0.05, rng=11)
+        second = by_evaluation.estimate(employee_db, 0.1, 0.05, rng=11)
+        assert first.successes == second.successes  # same rng, same samples
+
+    def test_non_boolean_query_with_answer(self, employee_db, employee_keys):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        scheme = CQAFpras(query, employee_keys)
+        estimate = scheme.estimate_count(employee_db, 0.1, 0.05, answer=("Bob", "HR"), rng=5)
+        assert abs(estimate - 2) <= 0.3
+
+    def test_fo_query_is_rejected(self, employee_keys):
+        with pytest.raises(FragmentError):
+            CQAFpras(parse_query("NOT Employee(1, x, y)"), employee_keys)
+
+    def test_invalid_membership_mode(self, employee_keys, same_department_query):
+        with pytest.raises(ApproximationError):
+            CQAFpras(same_department_query, employee_keys, membership="bogus")
+
+
+class TestKarpLuby:
+    def test_sample_size_scales_with_boxes_not_domains(self):
+        assert karp_luby_sample_size(0.1, 0.05, 10) < karp_luby_sample_size(0.1, 0.05, 100)
+        with pytest.raises(ApproximationError):
+            karp_luby_sample_size(-1, 0.5, 3)
+
+    def test_estimates_a_union_accurately(self):
+        sizes = (3, 3, 3, 3)
+        selectors = [Selector({0: 0}), Selector({1: 1, 2: 2}), Selector({3: 0})]
+        from repro.lams import count_union_of_boxes
+
+        exact = count_union_of_boxes(sizes, selectors)
+        result = estimate_union_karp_luby(sizes, selectors, epsilon=0.1, delta=0.05, rng=2)
+        assert abs(result.estimate - exact) <= 0.1 * exact
+
+    def test_no_boxes_gives_zero(self):
+        result = estimate_union_karp_luby((2, 2), [], epsilon=0.2, delta=0.1, rng=0)
+        assert result.estimate == 0.0 and result.samples == 0
+
+    def test_estimator_bound_to_compactor(self, employee_db, employee_keys, same_department_query):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        estimator = KarpLubyEstimator(compactor)
+        estimate = estimator(employee_db, 0.1, 0.05, rng=4)
+        assert abs(estimate - 2) <= 0.2
+
+
+class TestStatistics:
+    def test_trial_summary_metrics(self):
+        summary = summarise_trials(10.0, [9.0, 10.5, 12.5], epsilon=0.1)
+        assert summary.trials == 3
+        assert summary.mean == pytest.approx(32.0 / 3)
+        assert summary.max_relative_error == pytest.approx(0.25)
+        assert summary.within_epsilon_rate == pytest.approx(2 / 3)
+
+    def test_wilson_interval_brackets_the_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+        assert wilson_interval(0, 0) == (0.0, 1.0)

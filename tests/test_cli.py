@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.db import database_to_json, save_csv_directory
+
+
+@pytest.fixture
+def employee_json(tmp_path, employee_db, employee_keys):
+    path = tmp_path / "employee.json"
+    path.write_text(json.dumps(database_to_json(employee_db, employee_keys)))
+    return str(path)
+
+
+_EMPLOYEE_QUERY = "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)"
+
+
+class TestInspectAndRepairs:
+    def test_inspect(self, employee_json, capsys):
+        assert main(["inspect", "--json", employee_json]) == 0
+        output = capsys.readouterr().out
+        assert "facts: 4" in output
+        assert "total repairs: 4" in output
+        assert "consistent: False" in output
+
+    def test_repairs_listing(self, employee_json, capsys):
+        assert main(["repairs", "--json", employee_json, "--list", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "total repairs: 4" in output
+        assert output.count("--- repair") == 2
+
+
+class TestDecideAndCount:
+    def test_decide(self, employee_json, capsys):
+        assert main(["decide", "--json", employee_json, "--query", _EMPLOYEE_QUERY]) == 0
+        assert "entailed by some repair" in capsys.readouterr().out
+
+    def test_count_exact(self, employee_json, capsys):
+        assert main(["count", "--json", employee_json, "--query", _EMPLOYEE_QUERY]) == 0
+        output = capsys.readouterr().out
+        assert "2 of 4 repairs" in output
+
+    def test_count_fpras(self, employee_json, capsys):
+        code = main(
+            [
+                "count",
+                "--json",
+                employee_json,
+                "--query",
+                _EMPLOYEE_QUERY,
+                "--method",
+                "fpras",
+                "--epsilon",
+                "0.2",
+                "--delta",
+                "0.1",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "≈" in capsys.readouterr().out
+
+    def test_count_with_answer(self, employee_json, capsys):
+        code = main(
+            [
+                "count",
+                "--json",
+                employee_json,
+                "--query",
+                "Employee(1, x, y)",
+                "--answer-vars",
+                "x,y",
+                "--answer",
+                "Bob,HR",
+            ]
+        )
+        assert code == 0
+        assert "2 of 4 repairs" in capsys.readouterr().out
+
+
+class TestRankAndCsv:
+    def test_rank(self, employee_json, capsys):
+        code = main(
+            [
+                "rank",
+                "--json",
+                employee_json,
+                "--query",
+                "Employee(1, x, y)",
+                "--answer-vars",
+                "x,y",
+                "--top",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 1 and "2/4" in output[0]
+
+    def test_csv_loading_with_keys(self, tmp_path, employee_db, capsys):
+        directory = tmp_path / "csv"
+        save_csv_directory(employee_db, directory)
+        code = main(
+            [
+                "inspect",
+                "--csv-dir",
+                str(directory),
+                "--key",
+                "Employee=1",
+            ]
+        )
+        assert code == 0
+        assert "total repairs: 4" in capsys.readouterr().out
+
+    def test_bad_key_argument(self, tmp_path, employee_db):
+        directory = tmp_path / "csv"
+        save_csv_directory(employee_db, directory)
+        with pytest.raises(SystemExit):
+            main(["inspect", "--csv-dir", str(directory), "--key", "Employee"])
+
+    def test_missing_source_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["inspect"])

@@ -1,0 +1,115 @@
+"""Tests for the public façade (CQASolver)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import CQASolver
+from repro.db import Database, fact
+from repro.errors import FragmentError
+from repro.query import QueryClass, parse_query
+
+
+@pytest.fixture
+def solver(employee_db, employee_keys):
+    return CQASolver(employee_db, employee_keys, rng=0)
+
+
+class TestStructure:
+    def test_total_repairs_and_consistency(self, solver):
+        assert solver.total_repairs() == 4
+        assert not solver.is_consistent()
+
+    def test_repair_enumeration_and_sampling(self, solver):
+        repairs = list(solver.repairs())
+        assert len(repairs) == 4
+        sampled = solver.sample_repair()
+        assert solver.decomposition.is_repair(sampled)
+
+    def test_consistent_database(self, employee_keys):
+        database = Database([fact("Employee", 1, "Bob", "HR")])
+        solver = CQASolver(database, employee_keys)
+        assert solver.is_consistent()
+        assert solver.total_repairs() == 1
+
+
+class TestCounting:
+    def test_count_accepts_strings_and_queries(self, solver, same_department_query):
+        from_string = solver.count("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)")
+        from_query = solver.count(same_department_query)
+        assert from_string.satisfying == from_query.satisfying == 2
+        assert from_query.exact_frequency == Fraction(1, 2)
+        assert not from_query.is_estimate
+
+    def test_count_with_answer_tuple(self, solver):
+        result = solver.count(
+            parse_query("Employee(1, x, y)", answer_variables=["x", "y"]),
+            answer=("Bob", "HR"),
+        )
+        assert result.satisfying == 2 and result.answer == ("Bob", "HR")
+
+    def test_every_method_is_available(self, solver, same_department_query):
+        for method in ("auto", "naive", "certificate", "inclusion-exclusion", "enumeration"):
+            assert solver.count(same_department_query, method=method).satisfying == 2
+        for method in ("fpras", "karp-luby"):
+            result = solver.count(same_department_query, method=method, epsilon=0.1, delta=0.05)
+            assert result.is_estimate
+            assert abs(result.satisfying - 2) <= 0.4
+            with pytest.raises(ValueError):
+                result.exact_frequency  # noqa: B018 - property access must raise
+
+    def test_fo_query_falls_back_to_naive(self, solver):
+        result = solver.count("NOT Employee(1, 'Bob', 'HR')")
+        assert result.method == "naive" and result.satisfying == 2
+
+    def test_randomised_methods_reject_fo_queries(self, solver):
+        with pytest.raises(FragmentError):
+            solver.count("NOT Employee(1, 'Bob', 'HR')", method="fpras")
+        with pytest.raises(FragmentError):
+            solver.count("NOT Employee(1, 'Bob', 'HR')", method="karp-luby")
+
+    def test_unknown_method(self, solver, same_department_query):
+        with pytest.raises(ValueError):
+            solver.count(same_department_query, method="wrong")
+
+
+class TestFrequenciesAndAnswers:
+    def test_frequency(self, solver, same_department_query):
+        assert solver.frequency(same_department_query) == Fraction(1, 2)
+
+    def test_answer_ranking_certain_and_possible(self, solver):
+        query = "Employee(x, y, 'IT')"
+        parsed = parse_query(query, answer_variables=["x"])
+        ranking = solver.answer_ranking(parsed)
+        assert [entry.answer for entry in ranking][0] == (2,)
+        assert solver.certain_answers(parsed) == [(2,)]
+        assert set(solver.possible_answers(parsed)) == {(1,), (2,)}
+
+    def test_entails_some_repair(self, solver):
+        assert solver.entails_some_repair("Employee(1, x, 'HR')")
+        assert not solver.entails_some_repair("Employee(3, x, y)")
+        assert solver.entails_some_repair(
+            parse_query("Employee(1, x, y)", answer_variables=["x", "y"]), ("Bob", "HR")
+        )
+
+
+class TestDiagnostics:
+    def test_positive_query_diagnostics(self, solver, same_department_query):
+        diagnostics = solver.diagnostics(same_department_query)
+        assert diagnostics.query_class is QueryClass.CQ
+        assert diagnostics.keywidth == 2
+        assert diagnostics.lambda_level == 2
+        assert diagnostics.admits_fpras
+        assert diagnostics.disjuncts == 1
+        assert "Λ[2]" in str(diagnostics)
+
+    def test_fo_query_diagnostics(self, solver):
+        diagnostics = solver.diagnostics("NOT Employee(1, x, y)")
+        assert diagnostics.query_class is QueryClass.FIRST_ORDER
+        assert diagnostics.lambda_level is None
+        assert not diagnostics.admits_fpras
+
+    def test_result_string_rendering(self, solver, same_department_query):
+        exact = solver.count(same_department_query)
+        estimate = solver.count(same_department_query, method="fpras")
+        assert "=" in str(exact) and "≈" in str(estimate)

@@ -1,0 +1,94 @@
+"""Unit tests for key constraints and primary key sets."""
+
+import pytest
+
+from repro.db import Database, KeyConstraint, PrimaryKeySet, Schema, fact
+from repro.errors import ConstraintError
+
+
+class TestKeyConstraint:
+    def test_prefix_key_detection(self):
+        assert KeyConstraint("R", [1, 2]).is_prefix_key()
+        assert not KeyConstraint("R", [2]).is_prefix_key()
+
+    def test_key_of_projects_on_key_positions(self):
+        constraint = KeyConstraint("R", [1, 3])
+        assert constraint.key_of(fact("R", "a", "b", "c")) == ("a", "c")
+
+    def test_key_of_wrong_relation(self):
+        with pytest.raises(ConstraintError):
+            KeyConstraint("R", [1]).key_of(fact("S", 1))
+
+    def test_key_positions_must_be_positive(self):
+        with pytest.raises(ConstraintError):
+            KeyConstraint("R", [0])
+
+    def test_key_positions_beyond_arity(self):
+        with pytest.raises(ConstraintError):
+            KeyConstraint("R", [5]).key_of(fact("R", 1, 2))
+
+    def test_str(self):
+        assert str(KeyConstraint("R", [2, 1])) == "key(R) = {1, 2}"
+
+
+class TestPrimaryKeySet:
+    def test_at_most_one_key_per_relation(self):
+        keys = PrimaryKeySet([KeyConstraint("R", [1])])
+        with pytest.raises(ConstraintError):
+            keys.add(KeyConstraint("R", [2]))
+
+    def test_identical_redeclaration_is_fine(self):
+        keys = PrimaryKeySet([KeyConstraint("R", [1])])
+        keys.add(KeyConstraint("R", [1]))
+        assert len(keys) == 1
+
+    def test_key_value_with_and_without_key(self, employee_keys):
+        keyed = employee_keys.key_value(fact("Employee", 1, "Bob", "HR"))
+        assert keyed == ("Employee", (1,))
+        unkeyed = employee_keys.key_value(fact("Dept", "HR", 1))
+        assert unkeyed == ("Dept", ("HR", 1))
+
+    def test_in_conflict(self, employee_keys):
+        first = fact("Employee", 1, "Bob", "HR")
+        second = fact("Employee", 1, "Bob", "IT")
+        third = fact("Employee", 2, "Alice", "IT")
+        assert employee_keys.in_conflict(first, second)
+        assert not employee_keys.in_conflict(first, third)
+        assert not employee_keys.in_conflict(first, first)
+
+    def test_is_consistent(self, employee_db, employee_keys):
+        assert not employee_keys.is_consistent(employee_db)
+        repair = [fact("Employee", 1, "Bob", "HR"), fact("Employee", 2, "Tim", "IT")]
+        assert employee_keys.is_consistent(repair)
+
+    def test_violations_reports_conflicting_pairs(self, employee_db, employee_keys):
+        violations = employee_keys.violations(employee_db)
+        assert len(violations) == 2
+        for first, second in violations:
+            assert employee_keys.key_value(first) == employee_keys.key_value(second)
+
+    def test_unkeyed_relations_never_conflict(self):
+        keys = PrimaryKeySet()
+        assert keys.is_consistent([fact("R", 1, "a"), fact("R", 1, "b")])
+
+    def test_has_key_and_relations_with_keys(self, employee_keys):
+        assert employee_keys.has_key("Employee")
+        assert not employee_keys.has_key("Dept")
+        assert employee_keys.relations_with_keys() == ("Employee",)
+
+    def test_from_dict_and_primary_key_constructors(self):
+        keys = PrimaryKeySet.from_dict({"R": [1, 2]})
+        assert keys.key_for("R").sorted_positions == (1, 2)
+        single = PrimaryKeySet.primary_key("S", 1)
+        assert single.has_key("S")
+
+    def test_normalised_moves_key_columns_to_prefix(self):
+        schema = Schema.from_arities({"R": 3})
+        keys = PrimaryKeySet([KeyConstraint("R", [3])])
+        normalised, permutations = keys.normalised(schema)
+        assert normalised.key_for("R").sorted_positions == (1,)
+        assert permutations["R"] == (3, 1, 2)
+
+    def test_equality(self):
+        assert PrimaryKeySet.from_dict({"R": [1]}) == PrimaryKeySet.from_dict({"R": [1]})
+        assert PrimaryKeySet.from_dict({"R": [1]}) != PrimaryKeySet.from_dict({"R": [2]})

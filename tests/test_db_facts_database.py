@@ -1,0 +1,93 @@
+"""Unit tests for facts and databases."""
+
+import pytest
+
+from repro.db import Database, Fact, RelationSchema, Schema, fact
+from repro.errors import SchemaError
+
+
+class TestFact:
+    def test_construction_and_str(self):
+        item = fact("Employee", 1, "Bob", "HR")
+        assert item.relation == "Employee"
+        assert item.arguments == (1, "Bob", "HR")
+        assert item.arity == 3
+        assert str(item) == "Employee(1, Bob, HR)"
+
+    def test_facts_are_hashable_and_comparable(self):
+        first = fact("R", 1, 2)
+        second = Fact("R", (1, 2))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert fact("R", 1) < fact("S", 1)
+
+    def test_project_is_one_based(self):
+        item = fact("R", "a", "b", "c")
+        assert item.project([1, 3]) == ("a", "c")
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact("R", ())
+
+    def test_list_arguments_are_normalised_to_tuple(self):
+        item = Fact("R", [1, 2])  # type: ignore[arg-type]
+        assert item.arguments == (1, 2)
+        assert hash(item) == hash(Fact("R", (1, 2)))
+
+
+class TestDatabase:
+    def test_duplicates_collapse(self):
+        database = Database([fact("R", 1), fact("R", 1)])
+        assert len(database) == 1
+
+    def test_schema_is_inferred(self):
+        database = Database([fact("R", 1, 2)])
+        assert database.schema.arity("R") == 2
+
+    def test_inferred_schema_rejects_conflicting_arity(self):
+        database = Database([fact("R", 1, 2)])
+        with pytest.raises(Exception):
+            database.add(fact("R", 1, 2, 3))
+
+    def test_explicit_schema_rejects_undeclared_relation(self):
+        schema = Schema([RelationSchema("R", 2)])
+        database = Database(schema=schema)
+        with pytest.raises(SchemaError):
+            database.add(fact("S", 1))
+
+    def test_active_domain(self, employee_db):
+        domain = employee_db.active_domain()
+        assert {"Bob", "Alice", "Tim", "HR", "IT", 1, 2} == set(domain)
+
+    def test_relation_access(self, employee_db):
+        assert len(employee_db.relation("Employee")) == 4
+        assert employee_db.relation("Missing") == frozenset()
+
+    def test_contains_and_discard(self):
+        item = fact("R", 1)
+        database = Database([item])
+        assert item in database
+        database.discard(item)
+        assert item not in database
+        database.discard(item)  # no error when absent
+
+    def test_restrict_and_union(self):
+        first, second = fact("R", 1), fact("R", 2)
+        database = Database([first, second])
+        restricted = database.restrict([first, fact("R", 3)])
+        assert restricted.facts() == frozenset([first])
+        merged = restricted.union(Database([second]))
+        assert merged.facts() == frozenset([first, second])
+
+    def test_sorted_facts_is_deterministic(self):
+        database = Database([fact("B", 2), fact("A", 1), fact("B", 1)])
+        assert database.sorted_facts() == [fact("A", 1), fact("B", 1), fact("B", 2)]
+
+    def test_pretty_renders_all_relations(self, employee_db):
+        rendering = employee_db.pretty()
+        assert "Employee" in rendering
+        assert "Bob" in rendering
+
+    def test_equality_with_set(self):
+        database = Database([fact("R", 1)])
+        assert database == {fact("R", 1)}

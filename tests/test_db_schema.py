@@ -1,0 +1,86 @@
+"""Unit tests for schemas and relation declarations."""
+
+import pytest
+
+from repro.db import RelationSchema, Schema
+from repro.errors import ArityError, SchemaError
+
+
+class TestRelationSchema:
+    def test_generates_positional_attribute_names(self):
+        relation = RelationSchema("R", 3)
+        assert relation.attributes == ("a1", "a2", "a3")
+
+    def test_explicit_attribute_names(self):
+        relation = RelationSchema("Employee", 3, ("id", "name", "dept"))
+        assert relation.attributes == ("id", "name", "dept")
+        assert str(relation) == "Employee(id, name, dept)"
+
+    def test_position_of_is_one_based(self):
+        relation = RelationSchema("Employee", 3, ("id", "name", "dept"))
+        assert relation.position_of("id") == 1
+        assert relation.position_of("dept") == 3
+
+    def test_position_of_unknown_attribute(self):
+        relation = RelationSchema("R", 2)
+        with pytest.raises(SchemaError):
+            relation.position_of("missing")
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 0)
+
+    def test_rejects_wrong_attribute_count(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 2, ("only_one",))
+
+    def test_rejects_duplicate_attribute_names(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 2, ("x", "x"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", 1)
+
+
+class TestSchema:
+    def test_from_arities(self):
+        schema = Schema.from_arities({"R": 2, "S": 3})
+        assert schema.arity("R") == 2
+        assert schema.arity("S") == 3
+        assert len(schema) == 2
+
+    def test_from_attributes(self):
+        schema = Schema.from_attributes({"Employee": ["id", "name", "dept"]})
+        assert schema.relation("Employee").attributes == ("id", "name", "dept")
+
+    def test_contains_and_iteration(self):
+        schema = Schema.from_arities({"R": 1})
+        assert "R" in schema
+        assert "S" not in schema
+        assert [relation.name for relation in schema] == ["R"]
+
+    def test_redeclaration_with_same_shape_is_allowed(self):
+        schema = Schema.from_arities({"R": 2})
+        schema.declare("R", 2)
+        assert len(schema) == 1
+
+    def test_redeclaration_with_different_arity_is_rejected(self):
+        schema = Schema.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            schema.declare("R", 3)
+
+    def test_unknown_relation_lookup(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.relation("R")
+
+    def test_check_terms_enforces_arity(self):
+        schema = Schema.from_arities({"R": 2})
+        schema.check_terms("R", (1, 2))
+        with pytest.raises(ArityError):
+            schema.check_terms("R", (1, 2, 3))
+
+    def test_equality(self):
+        assert Schema.from_arities({"R": 2}) == Schema.from_arities({"R": 2})
+        assert Schema.from_arities({"R": 2}) != Schema.from_arities({"R": 3})

@@ -1,0 +1,136 @@
+"""Unit tests for compact-representation strings and the compactor abstraction."""
+
+import pytest
+
+from repro.errors import CompactorError
+from repro.lams import (
+    Selector,
+    TabularCompactor,
+    compact_from_selector,
+    forget_bound,
+    is_spanll_compactor,
+    level_of,
+    parse_compact,
+    render_compact,
+    unfolding,
+    unfolding_size,
+)
+
+
+_DOMAINS = (("a", "b"), ("c",), ("d", "e", "f"))
+
+
+class TestCompactStrings:
+    def test_render_and_parse_round_trip(self):
+        text = render_compact(_DOMAINS, ("a", None, "f"), k=2)
+        assert text == "a$#c#$f"
+        parsed = parse_compact(text, _DOMAINS, k=2)
+        assert parsed.entries == ("a", None, "f")
+        assert parsed.pinned_count() == 2
+        assert parsed.selector().as_dict() == {0: 0, 2: 2}
+
+    def test_free_positions_enumerate_their_domain(self):
+        text = render_compact(_DOMAINS, (None, None, None))
+        assert text == "#a$b#$#c#$#d$e$f#"
+        parsed = parse_compact(text, _DOMAINS)
+        assert parsed.entries == (None, None, None)
+
+    def test_epsilon(self):
+        assert render_compact(_DOMAINS, None) == ""
+        parsed = parse_compact("", _DOMAINS)
+        assert parsed.is_empty
+        assert unfolding_size(parsed) == 0
+        assert list(unfolding(parsed)) == []
+
+    def test_unfolding_matches_definition(self):
+        parsed = parse_compact("a$#c#$#d$e$f#", _DOMAINS)
+        expanded = set(unfolding(parsed))
+        assert expanded == {("a", "c", "d"), ("a", "c", "e"), ("a", "c", "f")}
+        assert unfolding_size(parsed) == 3
+
+    def test_k_bound_is_enforced(self):
+        with pytest.raises(CompactorError):
+            render_compact(_DOMAINS, ("a", "c", "f"), k=2)
+        with pytest.raises(CompactorError):
+            parse_compact("a$c$f", _DOMAINS, k=2)
+
+    def test_malformed_strings_are_rejected(self):
+        with pytest.raises(CompactorError):
+            parse_compact("z$#c#$f", _DOMAINS)  # z is not in domain 0
+        with pytest.raises(CompactorError):
+            parse_compact("a$#c#", _DOMAINS)  # wrong number of positions
+        with pytest.raises(CompactorError):
+            parse_compact("a$#x#$f", _DOMAINS)  # wrong enumeration of domain 1
+
+    def test_reserved_characters_in_domains_rejected(self):
+        with pytest.raises(CompactorError):
+            render_compact((("a$b",),), (None,))
+        with pytest.raises(CompactorError):
+            render_compact(((),), (None,))  # empty domain
+
+    def test_compact_from_selector(self):
+        compact = compact_from_selector(_DOMAINS, Selector({2: 1}))
+        assert compact.entries == (None, None, "e")
+
+
+def _tabular():
+    """A tiny 2-compactor over two named instances."""
+    return TabularCompactor(
+        k=2,
+        domains_by_instance={
+            "x": (("a", "b"), ("c", "d"), ("e", "f", "g")),
+            "y": (("0", "1"),),
+        },
+        selectors_by_instance={
+            "x": {
+                "c1": Selector({0: 0, 1: 1}),
+                "c2": Selector({2: 2}),
+            },
+            "y": {},
+        },
+        invalid_certificates={"x": ("bad",)},
+    )
+
+
+class TestTabularCompactor:
+    def test_level_and_domains(self):
+        compactor = _tabular()
+        assert level_of(compactor) == 2
+        assert compactor.domain_sizes("x") == (2, 2, 3)
+        assert compactor.instances() == ("x", "y")
+
+    def test_unfold_count_equals_enumeration(self):
+        compactor = _tabular()
+        assert compactor.unfold_count("x") == len(compactor.unfold_enumerate("x"))
+        assert compactor.unfold_count("x") == 3 + 4 - 1  # overlap at (a, d, g)
+        assert compactor.unfold_count("y") == 0
+
+    def test_outputs_are_valid_compact_strings(self):
+        compactor = _tabular()
+        assert compactor.output_string("x", "c1") == "a$d$#e$f$g#"
+        assert compactor.output_string("x", "bad") == ""
+        assert compactor.output("x", "bad").is_empty
+
+    def test_verify_accepts_well_formed_compactor(self):
+        _tabular().verify("x")
+
+    def test_verify_rejects_selectors_exceeding_k(self):
+        with pytest.raises(CompactorError):
+            TabularCompactor(
+                k=1,
+                domains_by_instance={"x": (("a", "b"), ("c", "d"))},
+                selectors_by_instance={"x": {"c1": Selector({0: 0, 1: 1})}},
+            )
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(CompactorError):
+            _tabular().solution_domains("zzz")
+
+    def test_spanll_view(self):
+        compactor = _tabular()
+        assert not is_spanll_compactor(compactor)
+        unbounded = forget_bound(compactor)
+        assert is_spanll_compactor(unbounded)
+        assert unbounded.unfold_count("x") == compactor.unfold_count("x")
+        # An already-unbounded compactor is returned unchanged.
+        assert forget_bound(unbounded) is unbounded

@@ -1,0 +1,106 @@
+"""Tests for Algorithm 1 (transducer) and Algorithm 2 (compactor) on #CQA."""
+
+import pytest
+
+from repro.db import Database, PrimaryKeySet, fact
+from repro.lams import CQACompactor, GuessCheckExpandTransducer
+from repro.query import parse_query
+from repro.repairs import count_repairs_satisfying_naive
+from repro.workloads import random_conjunctive_query
+from tests.conftest import small_random_instance
+
+
+class TestCQACompactor:
+    def test_k_equals_keywidth(self, employee_keys, same_department_query):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        assert compactor.k == 2
+
+    def test_count_matches_paper_example(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        assert compactor.count(employee_db) == 2
+
+    def test_solution_domains_are_the_blocks(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        domains = compactor.solution_domains(employee_db)
+        assert len(domains) == 2
+        assert all(len(domain) == 2 for domain in domains)
+
+    def test_verify_definition_4_1(self, employee_db, employee_keys, same_department_query):
+        CQACompactor(same_department_query, employee_keys).verify(employee_db)
+
+    def test_candidate_space_contains_valid_certificates(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        candidates = list(compactor.candidate_certificates(employee_db))
+        valid = list(compactor.certificates(employee_db))
+        assert set(valid) <= set(candidates)
+        assert all(compactor.is_valid_certificate(employee_db, cert) for cert in valid)
+        invalid = [c for c in candidates if c not in set(valid)]
+        assert invalid, "the exhaustive candidate space must contain invalid guesses"
+        assert not any(
+            compactor.is_valid_certificate(employee_db, cert) for cert in invalid
+        )
+
+    def test_unkeyed_atoms_do_not_count_towards_selectors(self):
+        database = Database(
+            [
+                fact("R", 1, "a"),
+                fact("R", 1, "b"),
+                fact("Ref", "a"),
+            ]
+        )
+        keys = PrimaryKeySet.from_dict({"R": [1]})
+        query = parse_query("R(x, y) AND Ref(y)")
+        compactor = CQACompactor(query, keys)
+        assert compactor.k == 1  # only the R atom is keyed
+        selectors = compactor.selectors(database)
+        assert all(selector.length <= 1 for selector in selectors)
+        assert compactor.count(database) == 1
+
+    def test_repairs_entailing_enumeration(self, employee_db, employee_keys, same_department_query):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        repairs = list(compactor.repairs_entailing(employee_db))
+        assert len(repairs) == 2
+        for repair in repairs:
+            assert fact("Employee", 1, "Bob", "IT") in repair
+
+
+class TestGuessCheckExpandTransducer:
+    def test_span_equals_unfold_on_the_example(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        transducer = GuessCheckExpandTransducer(compactor)
+        assert transducer.span(employee_db) == 2
+        assert transducer.span_via_compactor(employee_db) == 2
+        assert transducer.accepts(employee_db)
+
+    def test_outputs_have_one_fact_per_block(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        transducer = GuessCheckExpandTransducer(compactor)
+        for output in transducer.accepted_outputs(employee_db):
+            assert len(output) == 2  # one entry per block
+
+    def test_candidate_space_yields_the_same_span(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        compactor = CQACompactor(same_department_query, employee_keys)
+        faithful = GuessCheckExpandTransducer(compactor, use_candidate_space=True)
+        assert faithful.span(employee_db) == 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_span_equals_naive_count_on_random_instances(self, seed):
+        database, keys = small_random_instance(seed=seed + 200, blocks=4, max_block=3)
+        query = random_conjunctive_query({"R": 2, "S": 2}, keys, target_keywidth=2, seed=seed)
+        compactor = CQACompactor(query, keys)
+        transducer = GuessCheckExpandTransducer(compactor)
+        naive = count_repairs_satisfying_naive(database, keys, query)
+        assert transducer.span(database) == naive
+        assert transducer.span_via_compactor(database) == naive

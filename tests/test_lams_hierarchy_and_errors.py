@@ -1,0 +1,65 @@
+"""Tests for the recorded hierarchy facts, error types and small utilities."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.lams import STRUCTURAL_FACTS, StructuralFact, TabularCompactor, Selector, level_of
+
+
+class TestStructuralFacts:
+    def test_facts_are_well_formed(self):
+        assert len(STRUCTURAL_FACTS) >= 8
+        for fact_ in STRUCTURAL_FACTS:
+            assert isinstance(fact_, StructuralFact)
+            assert fact_.statement and fact_.reference
+
+    def test_key_statements_are_recorded(self):
+        statements = " | ".join(fact_.statement for fact_ in STRUCTURAL_FACTS)
+        assert "SpanL" in statements
+        assert "FPRAS" in statements
+        assert "Λ[k]" in statements or "Lambda" in statements
+
+    def test_level_of_reports_the_syntactic_bound(self):
+        compactor = TabularCompactor(
+            k=3,
+            domains_by_instance={"x": (("a",),)},
+            selectors_by_instance={"x": {"c": Selector({})}},
+        )
+        assert level_of(compactor) == 3
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for name in (
+            "SchemaError",
+            "ArityError",
+            "ConstraintError",
+            "QueryError",
+            "QueryParseError",
+            "FragmentError",
+            "EvaluationError",
+            "ReductionError",
+            "ApproximationError",
+            "CompactorError",
+        ):
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_arity_error_is_a_schema_error(self):
+        assert issubclass(errors.ArityError, errors.SchemaError)
+
+    def test_fragment_and_parse_errors_are_query_errors(self):
+        assert issubclass(errors.FragmentError, errors.QueryError)
+        assert issubclass(errors.QueryParseError, errors.QueryError)
+
+
+class TestPackageSurface:
+    def test_version_and_top_level_exports(self):
+        assert repro.__version__
+        for name in ("CQASolver", "Database", "PrimaryKeySet", "parse_query", "fact"):
+            assert hasattr(repro, name)
+
+    def test_top_level_all_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,132 @@
+"""Tests for the machine models (accept_M and span_M semantics)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lams import CQACompactor
+from repro.machines import (
+    BranchingTransducer,
+    NondeterministicTuringMachine,
+    Transition,
+    Verdict,
+)
+from repro.workloads import employee_example
+
+
+class TestNondeterministicTuringMachine:
+    def _coin_flipper(self, flips: int) -> NondeterministicTuringMachine:
+        """A machine that makes ``flips`` binary guesses and always accepts."""
+        transitions = {}
+        for index in range(flips):
+            transitions[(f"q{index}", "_")] = [
+                Transition(f"q{index + 1}", "0", "R"),
+                Transition(f"q{index + 1}", "1", "R"),
+            ]
+        return NondeterministicTuringMachine(transitions, "q0", {f"q{flips}"})
+
+    def test_accepting_path_count_is_exponential_in_guesses(self):
+        assert self._coin_flipper(1).count_accepting_paths("") == 2
+        assert self._coin_flipper(3).count_accepting_paths("") == 8
+
+    def test_rejecting_machine(self):
+        machine = NondeterministicTuringMachine(
+            {("q0", "_"): [Transition("dead", "_", "S")]}, "q0", {"accept"}
+        )
+        assert machine.count_accepting_paths("") == 0
+        assert not machine.accepts("")
+
+    def test_input_dependent_acceptance(self):
+        # Accept iff the first symbol is '1'.
+        machine = NondeterministicTuringMachine(
+            {("q0", "1"): [Transition("accept", "1", "S")]}, "q0", {"accept"}
+        )
+        assert machine.accepts("1")
+        assert not machine.accepts("0")
+
+    def test_step_bound_guards_against_nontermination(self):
+        machine = NondeterministicTuringMachine(
+            {("q0", "_"): [Transition("q0", "_", "S")]}, "q0", {"accept"}
+        )
+        with pytest.raises(ReproError):
+            machine.count_accepting_paths("", max_steps=50)
+
+    def test_invalid_move_rejected(self):
+        with pytest.raises(ReproError):
+            Transition("q", "a", "X")
+
+
+class TestBranchingTransducer:
+    def test_span_counts_distinct_outputs(self):
+        # Two guesses produce the same output "ab" through different paths,
+        # plus one distinct output "ac": span must be 2, not 3.
+        def branch(state):
+            if state == "start":
+                return [("a", "mid1"), ("a", "mid2"), ("a", "mid3")]
+            if state == "mid1":
+                return [("b", "end")]
+            if state == "mid2":
+                return [("b", "end")]
+            if state == "mid3":
+                return [("c", "end")]
+            return Verdict(accept=True)
+
+        transducer = BranchingTransducer(branch)
+        assert transducer.accepting_outputs("start") == {"ab", "ac"}
+        assert transducer.span("start") == 2
+        assert transducer.accepts("start")
+
+    def test_rejecting_branches_contribute_nothing(self):
+        def branch(state):
+            if state == "start":
+                return [("x", "good"), ("y", "bad")]
+            return Verdict(accept=(state == "good"))
+
+        transducer = BranchingTransducer(branch)
+        assert transducer.accepting_outputs("start") == {"x"}
+        assert transducer.span("start") == 1
+
+    def test_depth_bound(self):
+        transducer = BranchingTransducer(lambda state: [("a", state)], max_depth=20)
+        with pytest.raises(ReproError):
+            transducer.span("loop")
+
+    def test_algorithm_1_as_a_machine(self):
+        """Express Algorithm 1 for the Employee example as a branching transducer.
+
+        The machine guesses a certificate, rejects invalid ones, then expands
+        block by block; its span must equal #CQA = 2 (the content of
+        Theorem 3.7 on this instance).
+        """
+        scenario = employee_example()
+        compactor = CQACompactor(scenario.queries["same-department"], scenario.keys)
+        database = scenario.database
+        domains = compactor.solution_domains(database)
+        certificates = list(compactor.candidate_certificates(database))
+
+        def branch(state):
+            kind = state[0]
+            if kind == "start":
+                return [("", ("check", index)) for index in range(len(certificates))]
+            if kind == "check":
+                certificate = certificates[state[1]]
+                if not compactor.is_valid_certificate(database, certificate):
+                    return Verdict(accept=False)
+                pins = compactor.selector(database, certificate).as_dict()
+                return [("", ("expand", state[1], 0, tuple(), tuple(sorted(pins.items()))))]
+            if kind == "expand":
+                _, cert_index, position, written, pins = state
+                if position == len(domains):
+                    return Verdict(accept=True)
+                pins_dict = dict(pins)
+                if position in pins_dict:
+                    choices = [domains[position][pins_dict[position]]]
+                else:
+                    choices = list(domains[position])
+                return [
+                    (choice + "|", ("expand", cert_index, position + 1, written, pins))
+                    for choice in choices
+                ]
+            raise AssertionError(f"unknown state {state!r}")
+
+        transducer = BranchingTransducer(branch)
+        assert transducer.span(("start",)) == 2

@@ -1,0 +1,94 @@
+"""Tests for the disjoint-independent probabilistic database substrate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db import Database, fact
+from repro.errors import FragmentError, ReproError
+from repro.pdb import (
+    DisjointIndependentPDB,
+    ProbabilisticBlock,
+    pdb_from_inconsistent_database,
+    query_probability_bruteforce,
+    query_probability_exact,
+    query_probability_monte_carlo,
+)
+from repro.query import parse_query
+from repro.repairs import count_repairs_satisfying
+
+
+class TestProbabilisticBlock:
+    def test_total_and_partial_blocks(self):
+        total = ProbabilisticBlock((fact("R", 1, "a"),), (Fraction(1),))
+        partial = ProbabilisticBlock((fact("R", 2, "a"),), (Fraction(1, 3),))
+        assert total.is_total and total.absence_probability == 0
+        assert not partial.is_total and partial.absence_probability == Fraction(2, 3)
+        assert len(list(partial.outcomes())) == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ProbabilisticBlock((), ())
+        with pytest.raises(ReproError):
+            ProbabilisticBlock((fact("R", 1),), (Fraction(0),))
+        with pytest.raises(ReproError):
+            ProbabilisticBlock((fact("R", 1), fact("R", 2)), (Fraction(2, 3), Fraction(2, 3)))
+
+
+class TestPdbModel:
+    def test_from_inconsistent_database(self, employee_db, employee_keys):
+        pdb, decomposition = pdb_from_inconsistent_database(employee_db, employee_keys)
+        assert len(pdb) == 2
+        assert pdb.world_count() == 4 == decomposition.total_repairs()
+        worlds = list(pdb.possible_worlds())
+        assert len(worlds) == 4
+        assert sum(probability for _, probability in worlds) == 1
+
+    def test_world_count_with_partial_blocks(self):
+        pdb = DisjointIndependentPDB(
+            [
+                ProbabilisticBlock((fact("R", 1, "a"),), (Fraction(1, 2),)),
+                ProbabilisticBlock(
+                    (fact("R", 2, "a"), fact("R", 2, "b")), (Fraction(1, 2), Fraction(1, 2))
+                ),
+            ]
+        )
+        assert pdb.world_count() == 4  # (present/absent) x (a/b)
+
+
+class TestQueryProbability:
+    def test_employee_example_probability_is_one_half(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        pdb, _ = pdb_from_inconsistent_database(employee_db, employee_keys)
+        exact = query_probability_exact(pdb, same_department_query)
+        brute = query_probability_bruteforce(pdb, same_department_query)
+        assert exact == brute == Fraction(1, 2)
+
+    def test_probability_times_repairs_equals_cqa(self, employee_db, employee_keys):
+        pdb, decomposition = pdb_from_inconsistent_database(employee_db, employee_keys)
+        for text in ("Employee(1, x, 'HR')", "Employee(x, y, 'IT')", "Employee(3, x, y)"):
+            query = parse_query(text)
+            probability = query_probability_exact(pdb, query)
+            count = count_repairs_satisfying(employee_db, employee_keys, query).satisfying
+            assert probability * decomposition.total_repairs() == count
+
+    def test_partial_block_probability(self):
+        pdb = DisjointIndependentPDB(
+            [ProbabilisticBlock((fact("R", 1, "a"),), (Fraction(1, 4),))]
+        )
+        query = parse_query("R(1, 'a')", auto_close=False)
+        assert query_probability_exact(pdb, query) == Fraction(1, 4)
+        assert query_probability_bruteforce(pdb, query) == Fraction(1, 4)
+
+    def test_fo_query_requires_bruteforce(self, employee_db, employee_keys):
+        pdb, _ = pdb_from_inconsistent_database(employee_db, employee_keys)
+        with pytest.raises(FragmentError):
+            query_probability_exact(pdb, parse_query("NOT Employee(1, 'Bob', 'HR')"))
+
+    def test_monte_carlo_is_in_the_right_ballpark(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        pdb, _ = pdb_from_inconsistent_database(employee_db, employee_keys)
+        estimate = query_probability_monte_carlo(pdb, same_department_query, samples=3000, rng=1)
+        assert abs(estimate - 0.5) < 0.06

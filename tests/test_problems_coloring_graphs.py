@@ -1,0 +1,130 @@
+"""Tests for forbidden colourings and the guess-check-expand graph problems."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.problems import (
+    ForbiddenColoringCompactor,
+    ForbiddenColoringInstance,
+    Graph,
+    count_forbidden_colorings,
+    count_non_colorings,
+    count_non_independent_sets,
+    count_non_vertex_covers,
+    non_proper_coloring_instance,
+)
+from repro.workloads import random_forbidden_coloring, random_graph
+
+
+class TestForbiddenColoring:
+    def test_simple_instance(self):
+        instance = ForbiddenColoringInstance(
+            colors={"u": ["r", "g"], "v": ["r", "g"]},
+            edges=[("u", "v")],
+            forbidden=[[{"u": "r", "v": "r"}]],
+        )
+        assert instance.total_colorings() == 4
+        assert count_forbidden_colorings(instance) == 1
+        assert instance.count_bruteforce() == 1
+
+    def test_non_proper_colorings_of_a_triangle(self):
+        instance = non_proper_coloring_instance(
+            ["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        # 3^3 = 27 colourings, 6 proper 3-colourings of a triangle -> 21 improper.
+        assert count_forbidden_colorings(instance) == 21
+        assert instance.count_bruteforce() == 21
+
+    def test_validation_errors(self):
+        with pytest.raises(ReproError):
+            ForbiddenColoringInstance(
+                colors={"u": []}, edges=[], forbidden=[]
+            )
+        with pytest.raises(ReproError):
+            ForbiddenColoringInstance(
+                colors={"u": ["r"]},
+                edges=[("u",)],
+                forbidden=[[{"u": "blue"}]],  # colour not in the list
+            )
+        with pytest.raises(ReproError):
+            ForbiddenColoringInstance(
+                colors={"u": ["r"], "v": ["r"]},
+                edges=[("u", "v")],
+                forbidden=[[{"u": "r"}]],  # does not cover the edge
+            )
+
+    def test_uniformity_and_compactor_verify(self):
+        instance = random_forbidden_coloring(6, 5, 3, 3, 2, seed=4)
+        assert instance.uniformity == 3
+        assert instance.is_uniform()
+        ForbiddenColoringCompactor(k=instance.uniformity).verify(instance)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_matches_bruteforce_random(self, seed):
+        instance = random_forbidden_coloring(6, 5, 2, 3, 2, seed=seed)
+        assert count_forbidden_colorings(instance) == instance.count_bruteforce()
+
+
+class TestGraphProblems:
+    def _path(self):
+        return Graph(["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d")])
+
+    def test_graph_validation(self):
+        with pytest.raises(ReproError):
+            Graph(["a"], [("a", "a")])
+        with pytest.raises(ReproError):
+            Graph(["a"], [("a", "b")])
+        with pytest.raises(ReproError):
+            Graph(["a", "a"], [])
+
+    def test_edges_are_normalised(self):
+        graph = Graph(["a", "b"], [("b", "a"), ("a", "b")])
+        assert graph.edges == (("a", "b"),)
+
+    def test_non_independent_sets_on_a_path(self):
+        graph = self._path()
+        expected = sum(1 for subset in graph.subsets() if not graph.is_independent(subset))
+        assert count_non_independent_sets(graph) == expected == 8
+
+    def test_non_vertex_covers_on_a_path(self):
+        graph = self._path()
+        expected = sum(1 for subset in graph.subsets() if not graph.is_vertex_cover(subset))
+        assert count_non_vertex_covers(graph) == expected
+
+    def test_non_3_colorings_of_a_triangle(self):
+        triangle = Graph(["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        assert count_non_colorings(triangle, colors=3) == 21
+
+    def test_graph_without_edges_has_no_bad_objects(self):
+        graph = Graph(["a", "b"], [])
+        assert count_non_independent_sets(graph) == 0
+        assert count_non_vertex_covers(graph) == 0
+        assert count_non_colorings(graph) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_match_bruteforce(self, seed):
+        graph = random_graph(6, 0.4, seed=seed)
+        import itertools
+
+        expected_non_independent = sum(
+            1 for subset in graph.subsets() if not graph.is_independent(subset)
+        )
+        expected_non_cover = sum(
+            1 for subset in graph.subsets() if not graph.is_vertex_cover(subset)
+        )
+        colorings = itertools.product(range(3), repeat=len(graph.vertices))
+        expected_non_coloring = sum(
+            1
+            for combination in colorings
+            if not graph.is_proper_coloring(dict(zip(graph.vertices, combination)))
+        )
+        assert count_non_independent_sets(graph) == expected_non_independent
+        assert count_non_vertex_covers(graph) == expected_non_cover
+        assert count_non_colorings(graph, 3) == expected_non_coloring
+
+    def test_complement_identity(self):
+        """#non-independent + #independent = 2^n (a sanity identity)."""
+        graph = random_graph(7, 0.35, seed=9)
+        independent = sum(1 for subset in graph.subsets() if graph.is_independent(subset))
+        assert count_non_independent_sets(graph) + independent == 2 ** graph.vertex_count

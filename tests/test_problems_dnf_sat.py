@@ -1,0 +1,130 @@
+"""Tests for the DNF counting problems and the SAT substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.problems import (
+    CNFFormula,
+    DisjointPositiveDNF,
+    DisjointPositiveDNFCompactor,
+    Literal,
+    PositiveDNF,
+    PositiveDNFCompactor,
+    count_disjoint_positive_dnf,
+    count_positive_dnf,
+    count_satisfying_assignments,
+    is_satisfiable,
+)
+from repro.workloads import random_disjoint_positive_dnf, random_positive_dnf
+
+
+class TestCNF:
+    def test_from_ints_and_counting(self):
+        formula = CNFFormula.from_ints([[1, 2], [-1, 2]])
+        assert formula.variables() == ("x1", "x2")
+        # Satisfying assignments: x2=1 (two of them) plus x1=0,x2=0? no: clause1 fails.
+        assert count_satisfying_assignments(formula) == 2
+        assert is_satisfiable(formula)
+
+    def test_unsatisfiable_formula(self):
+        formula = CNFFormula.from_ints([[1], [-1]])
+        assert count_satisfying_assignments(formula) == 0
+        assert not is_satisfiable(formula)
+
+    def test_literal_negation(self):
+        literal = Literal("x", True)
+        assert literal.negate() == Literal("x", False)
+        assert str(literal.negate()) == "¬x"
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReproError):
+            CNFFormula(((),))
+
+    def test_is_kcnf(self):
+        formula = CNFFormula.from_ints([[1, 2, 3], [1]])
+        assert formula.is_kcnf(3) and not formula.is_kcnf(2)
+
+
+class TestPositiveDNF:
+    def test_simple_counts(self):
+        formula = PositiveDNF(("x", "y", "z"), (("x", "y"),))
+        # x=y=1, z free -> 2 assignments.
+        assert count_positive_dnf(formula) == 2
+        assert formula.count_bruteforce() == 2
+
+    def test_pos2dnf_union(self):
+        formula = PositiveDNF(("x", "y", "z"), (("x", "y"), ("y", "z")))
+        assert count_positive_dnf(formula) == formula.count_bruteforce() == 3
+
+    def test_empty_formula_counts_zero(self):
+        formula = PositiveDNF(("x",), ())
+        assert count_positive_dnf(formula) == 0
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ReproError):
+            PositiveDNF(("x",), (("y",),))
+
+    def test_compactor_verifies_and_matches_bruteforce(self):
+        formula = random_positive_dnf(6, 5, 2, seed=1)
+        compactor = PositiveDNFCompactor(k=formula.width)
+        compactor.verify(formula)
+        assert compactor.unfold_count(formula) == formula.count_bruteforce()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_matches_bruteforce_random(self, seed):
+        formula = random_positive_dnf(7, 6, 3, seed=seed)
+        assert count_positive_dnf(formula) == formula.count_bruteforce()
+
+
+class TestDisjointPositiveDNF:
+    def test_total_p_assignments(self):
+        formula = DisjointPositiveDNF((("a", "b"), ("c", "d", "e")), ())
+        assert formula.total_p_assignments() == 6
+        assert count_disjoint_positive_dnf(formula) == 0
+
+    def test_single_clause(self):
+        formula = DisjointPositiveDNF((("a", "b"), ("c", "d")), (("a", "c"),))
+        assert count_disjoint_positive_dnf(formula) == 1
+        assert formula.count_bruteforce() == 1
+
+    def test_clause_with_two_variables_of_the_same_part_is_invalid(self):
+        formula = DisjointPositiveDNF((("a", "b"),), (("a", "b"),))
+        compactor = DisjointPositiveDNFCompactor(k=2)
+        assert not compactor.is_valid_certificate(formula, 0)
+        assert count_disjoint_positive_dnf(formula) == 0
+        assert formula.count_bruteforce() == 0
+
+    def test_variable_in_two_parts_rejected(self):
+        with pytest.raises(ReproError):
+            DisjointPositiveDNF((("a",), ("a",)), ())
+
+    def test_part_of_lookup(self):
+        formula = DisjointPositiveDNF((("a", "b"), ("c",)), ())
+        assert formula.part_of("c") == 1
+        with pytest.raises(KeyError):
+            formula.part_of("zzz")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_matches_bruteforce_random(self, seed):
+        formula = random_disjoint_positive_dnf(5, 3, 7, 3, seed=seed)
+        assert count_disjoint_positive_dnf(formula) == formula.count_bruteforce()
+
+    def test_compactor_verify(self):
+        formula = random_disjoint_positive_dnf(4, 2, 5, 2, seed=10)
+        DisjointPositiveDNFCompactor(k=formula.width).verify(formula)
+
+
+# --------------------------------------------------------------------------- #
+# property: the compactor count equals brute force on random instances
+# --------------------------------------------------------------------------- #
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_disjoint_dnf_exact_equals_bruteforce(parts, part_size, clauses, seed):
+    formula = random_disjoint_positive_dnf(parts, part_size, clauses, 2, seed=seed)
+    assert count_disjoint_positive_dnf(formula) == formula.count_bruteforce()

@@ -1,0 +1,146 @@
+"""Unit tests for the query AST, builders and parser."""
+
+import pytest
+
+from repro.errors import QueryError, QueryParseError
+from repro.query import (
+    And,
+    Atom,
+    Equality,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    Query,
+    Top,
+    Variable,
+    atom,
+    conjunctive_query,
+    parse_formula,
+    parse_query,
+    union_query,
+    var,
+    vars_,
+)
+
+
+class TestAst:
+    def test_atom_free_variables_and_str(self):
+        x, y = vars_("x", "y")
+        a = Atom("R", (x, 1, y))
+        assert a.free_variables() == {x, y}
+        assert a.variables() == (x, y)
+        assert a.constants() == (1,)
+        assert str(a) == "R(x, 1, y)"
+
+    def test_quantifier_binds_variables(self):
+        x, y = vars_("x", "y")
+        formula = Exists((x,), Atom("R", (x, y)))
+        assert formula.free_variables() == {y}
+        assert formula.all_variables() == {x, y}
+
+    def test_connective_operators(self):
+        x = var("x")
+        left, right = Atom("R", (x,)), Atom("S", (x,))
+        assert isinstance(left & right, And)
+        assert isinstance(left | right, Or)
+        assert isinstance(~left, Not)
+
+    def test_atoms_are_collected_in_order(self):
+        x = var("x")
+        formula = And((Atom("R", (x,)), Or((Atom("S", (x,)), Atom("T", (x,))))))
+        assert [a.relation for a in formula.atoms()] == ["R", "S", "T"]
+        assert formula.relations() == {"R", "S", "T"}
+
+    def test_query_validates_answer_variables(self):
+        x, y = vars_("x", "y")
+        # y is free but not declared -> rejected
+        with pytest.raises(QueryError):
+            Query(Atom("R", (x, y)), (x,))
+        # declared but not free -> rejected
+        with pytest.raises(QueryError):
+            Query(Exists((x, y), Atom("R", (x, y))), (x,))
+        # correct
+        query = Query(Exists((y,), Atom("R", (x, y))), (x,))
+        assert query.arity == 1 and not query.is_boolean
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(QueryError):
+            And(())
+        with pytest.raises(QueryError):
+            Or(())
+        with pytest.raises(QueryError):
+            Exists((), Top())
+
+
+class TestBuilders:
+    def test_conjunctive_query_closes_non_answer_variables(self):
+        x, y = vars_("x", "y")
+        query = conjunctive_query([atom("R", x, y)], answer_variables=(x,))
+        assert query.answer_variables == (x,)
+        assert query.formula.free_variables() == {x}
+
+    def test_union_query_and_empty_union(self):
+        x = var("x")
+        query = union_query([[atom("R", x)], [atom("S", x)]])
+        assert query.is_boolean
+        empty = union_query([])
+        assert str(empty.formula) == "FALSE"
+
+    def test_atom_builder_treats_strings_as_constants(self):
+        a = atom("R", "HR", var("x"))
+        assert a.constants() == ("HR",)
+        assert len(a.variables()) == 1
+
+
+class TestParser:
+    def test_parses_the_employee_query(self, same_department_query):
+        atoms = same_department_query.atoms()
+        assert len(atoms) == 2
+        assert all(a.relation == "Employee" for a in atoms)
+        assert same_department_query.is_boolean
+
+    def test_lowercase_is_variable_uppercase_is_constant(self):
+        formula = parse_formula("R(x, Bob, 'IT', 3)")
+        a = formula.atoms()[0]
+        assert a.terms[0] == Variable("x")
+        assert a.terms[1] == "Bob"
+        assert a.terms[2] == "IT"
+        assert a.terms[3] == 3
+
+    def test_operator_precedence_and_parentheses(self):
+        formula = parse_formula("R(x) AND S(x) OR T(x)")
+        assert isinstance(formula, Or)
+        grouped = parse_formula("R(x) AND (S(x) OR T(x))")
+        assert isinstance(grouped, And)
+
+    def test_quantifiers_not_and_equality(self):
+        formula = parse_formula("FORALL x . NOT R(x) OR x = 1")
+        assert isinstance(formula, ForAll)
+        exists = parse_formula("EXISTS x, y . R(x, y)")
+        assert isinstance(exists, Exists)
+        assert len(exists.variables) == 2
+
+    def test_true_false_literals(self):
+        assert str(parse_formula("TRUE")) == "TRUE"
+        assert str(parse_formula("FALSE")) == "FALSE"
+
+    def test_auto_close_and_answer_variables(self):
+        boolean = parse_query("R(x, y)")
+        assert boolean.is_boolean
+        non_boolean = parse_query("R(x, y)", answer_variables=["x"])
+        assert non_boolean.arity == 1
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_query("R(x")
+        with pytest.raises(QueryParseError):
+            parse_query("R(x) AND")
+        with pytest.raises(QueryParseError):
+            parse_query("EXISTS X . R(X)")  # uppercase bound variable
+        with pytest.raises(QueryParseError):
+            parse_query("R(x) ???")
+
+    def test_floats_and_negative_numbers(self):
+        a = parse_formula("R(-3, 2.5)").atoms()[0]
+        assert a.terms == (-3, 2.5)

@@ -1,0 +1,77 @@
+"""Unit tests for query classification and the keywidth covering function."""
+
+import pytest
+
+from repro.db import PrimaryKeySet
+from repro.query import (
+    QueryClass,
+    classify,
+    is_conjunctive_query,
+    is_existential_positive,
+    is_self_join_free,
+    is_union_of_conjunctive_queries,
+    keywidth,
+    max_disjunct_keywidth,
+    parse_query,
+    to_ucq,
+)
+
+
+class TestClassification:
+    def test_conjunctive_query(self):
+        query = parse_query("EXISTS x, y . R(x, y) AND S(y)")
+        assert classify(query) is QueryClass.CQ
+        assert is_conjunctive_query(query)
+        assert is_union_of_conjunctive_queries(query)
+        assert is_existential_positive(query)
+
+    def test_union_of_conjunctive_queries(self):
+        query = parse_query("R(x) OR (S(x) AND T(x))")
+        assert classify(query) is QueryClass.UCQ
+        assert not is_conjunctive_query(query)
+        assert is_union_of_conjunctive_queries(query)
+
+    def test_existential_positive_but_not_ucq_shape(self):
+        query = parse_query("R(x) AND (S(x) OR T(x))")
+        assert classify(query) is QueryClass.EXISTENTIAL_POSITIVE
+        assert is_existential_positive(query)
+        assert not is_union_of_conjunctive_queries(query)
+
+    def test_first_order_with_negation_or_forall(self):
+        negated = parse_query("NOT R(x)")
+        universal = parse_query("FORALL x . R(x)", auto_close=False)
+        assert classify(negated) is QueryClass.FIRST_ORDER
+        assert classify(universal) is QueryClass.FIRST_ORDER
+        assert not is_existential_positive(negated)
+        assert not is_existential_positive(universal)
+
+    def test_self_join_freeness(self):
+        assert is_self_join_free(parse_query("R(x) AND S(x)"))
+        assert not is_self_join_free(parse_query("R(x) AND R(y)"))
+
+
+class TestKeywidth:
+    def test_keywidth_counts_only_keyed_atoms(self):
+        keys = PrimaryKeySet.from_dict({"R": [1]})
+        query = parse_query("R(x, y) AND S(y, z) AND R(z, w)")
+        assert keywidth(query, keys) == 2
+
+    def test_keywidth_zero_without_keys(self):
+        keys = PrimaryKeySet()
+        query = parse_query("R(x, y) AND S(y, z)")
+        assert keywidth(query, keys) == 0
+
+    def test_employee_query_has_keywidth_two(self, same_department_query, employee_keys):
+        assert keywidth(same_department_query, employee_keys) == 2
+
+    def test_ucq_keywidth_sums_disjuncts_but_max_is_per_disjunct(self):
+        keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+        query = parse_query("(R(x, y) AND S(y, z)) OR R(u, v)")
+        ucq = to_ucq(query)
+        assert keywidth(ucq, keys) == 3
+        assert max_disjunct_keywidth(query, keys) == 2
+
+    def test_max_disjunct_keywidth_of_unsatisfiable_query(self):
+        keys = PrimaryKeySet.from_dict({"R": [1]})
+        query = parse_query("FALSE")
+        assert max_disjunct_keywidth(query, keys) == 0

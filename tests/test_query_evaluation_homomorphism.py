@@ -1,0 +1,109 @@
+"""Unit tests for FO evaluation and homomorphism search."""
+
+import pytest
+
+from repro.db import Database, fact
+from repro.errors import EvaluationError
+from repro.query import (
+    answers,
+    atom,
+    count_homomorphisms,
+    exists_homomorphism,
+    find_homomorphisms,
+    holds,
+    homomorphism_image,
+    parse_query,
+    var,
+)
+
+
+@pytest.fixture
+def path_db():
+    """A small directed graph stored as edge facts."""
+    return Database(
+        [
+            fact("E", "a", "b"),
+            fact("E", "b", "c"),
+            fact("E", "c", "a"),
+            fact("E", "a", "a"),
+            fact("N", "a"),
+            fact("N", "b"),
+            fact("N", "c"),
+        ]
+    )
+
+
+class TestEvaluation:
+    def test_atoms_and_connectives(self, path_db):
+        assert holds(parse_query("E('a', 'b')", auto_close=False), path_db)
+        assert not holds(parse_query("E('b', 'a')", auto_close=False), path_db)
+        assert holds(parse_query("E('a', 'b') AND E('b', 'c')"), path_db)
+        assert holds(parse_query("E('b', 'a') OR E('a', 'b')"), path_db)
+        assert holds(parse_query("NOT E('b', 'a')"), path_db)
+
+    def test_existential_queries(self, path_db):
+        assert holds(parse_query("EXISTS x . E(x, x)"), path_db)
+        assert holds(parse_query("EXISTS x, y, z . E(x, y) AND E(y, z) AND E(z, x)"), path_db)
+        assert not holds(parse_query("EXISTS x . E(x, 'd')"), path_db)
+
+    def test_universal_queries(self, path_db):
+        # Every node has an outgoing edge.
+        q = parse_query("FORALL x . NOT N(x) OR EXISTS y . E(x, y)", auto_close=False)
+        assert holds(q, path_db)
+        # Not every node has a self loop.
+        q2 = parse_query("FORALL x . NOT N(x) OR E(x, x)", auto_close=False)
+        assert not holds(q2, path_db)
+
+    def test_equality_and_constants(self, path_db):
+        assert holds(parse_query("EXISTS x . E(x, x) AND x = 'a'"), path_db)
+        assert not holds(parse_query("EXISTS x . E(x, x) AND x = 'b'"), path_db)
+
+    def test_non_boolean_answers(self, path_db):
+        query = parse_query("E('a', x)", answer_variables=["x"])
+        assert answers(query, path_db) == {("b",), ("a",)}
+        assert holds(query, path_db, ("b",))
+        assert not holds(query, path_db, ("c",))
+
+    def test_wrong_answer_arity(self, path_db):
+        query = parse_query("E('a', x)", answer_variables=["x"])
+        with pytest.raises(EvaluationError):
+            holds(query, path_db, ("b", "c"))
+
+    def test_true_false(self, path_db):
+        assert holds(parse_query("TRUE"), path_db)
+        assert not holds(parse_query("FALSE"), path_db)
+
+
+class TestHomomorphisms:
+    def test_all_homomorphisms_are_found(self, path_db):
+        x, y = var("x"), var("y")
+        atoms = [atom("E", x, y)]
+        found = list(find_homomorphisms(atoms, path_db))
+        assert len(found) == 4
+        assert count_homomorphisms(atoms, path_db) == 4
+
+    def test_join_and_repeated_variables(self, path_db):
+        x, y, z = var("x"), var("y"), var("z")
+        triangle = [atom("E", x, y), atom("E", y, z), atom("E", z, x)]
+        found = list(find_homomorphisms(triangle, path_db))
+        assert len(found) >= 1
+        for assignment in found:
+            image = homomorphism_image(triangle, assignment)
+            assert all(item in path_db for item in image)
+        loop = [atom("E", x, x)]
+        assert count_homomorphisms(loop, path_db) == 1
+
+    def test_base_assignment_restricts_search(self, path_db):
+        x, y = var("x"), var("y")
+        found = list(find_homomorphisms([atom("E", x, y)], path_db, base_assignment={x: "a"}))
+        assert {assignment[y] for assignment in found} == {"a", "b"}
+
+    def test_limit_and_exists(self, path_db):
+        x, y = var("x"), var("y")
+        atoms = [atom("E", x, y)]
+        assert len(list(find_homomorphisms(atoms, path_db, limit=2))) == 2
+        assert exists_homomorphism(atoms, path_db)
+        assert not exists_homomorphism([atom("Missing", x)], path_db)
+
+    def test_empty_atom_list_yields_empty_homomorphism(self, path_db):
+        assert list(find_homomorphisms([], path_db)) == [{}]

@@ -1,0 +1,74 @@
+"""Property tests: parser/printer round trips and evaluator consistency."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database, PrimaryKeySet, fact
+from repro.query import holds, parse_formula, parse_query
+from repro.repairs import count_repairs_satisfying, count_total_repairs
+
+
+# A tiny pool of well-formed formula texts, combined randomly with AND/OR.
+_ATOMIC = st.sampled_from(
+    [
+        "R(x, y)",
+        "R(x, x)",
+        "S(y)",
+        "R(1, x)",
+        "S(2)",
+        "TRUE",
+    ]
+)
+
+
+@st.composite
+def _formula_text(draw):
+    depth = draw(st.integers(min_value=0, max_value=2))
+    text = draw(_ATOMIC)
+    for _ in range(depth):
+        connective = draw(st.sampled_from([" AND ", " OR "]))
+        text = f"({text}{connective}{draw(_ATOMIC)})"
+    return text
+
+
+@given(_formula_text())
+@settings(max_examples=80, deadline=None)
+def test_parsing_the_rendered_formula_gives_the_same_ast(text):
+    """str() of a parsed formula parses back to an equivalent formula."""
+    first = parse_formula(text)
+    second = parse_formula(str(first))
+    assert str(first) == str(second)
+    assert first.atoms() == second.atoms()
+
+
+_db_facts = st.lists(
+    st.one_of(
+        st.builds(lambda a, b: fact("R", a, b), st.integers(0, 2), st.integers(0, 2)),
+        st.builds(lambda a: fact("S", a), st.integers(0, 2)),
+    ),
+    max_size=8,
+)
+
+
+@given(_db_facts, _formula_text())
+@settings(max_examples=60, deadline=None)
+def test_boolean_query_evaluation_is_stable_under_reparsing(facts, text):
+    database = Database(facts)
+    if not len(database):
+        return
+    query = parse_query(text)
+    reparsed = parse_query(str(query.formula))
+    assert holds(query, database) == holds(reparsed, database)
+
+
+@given(_db_facts, _formula_text())
+@settings(max_examples=40, deadline=None)
+def test_counts_are_monotone_in_the_query_for_disjunction(facts, text):
+    """#CQA(Q) <= #CQA(Q OR Q') — monotonicity of unions of certificates."""
+    database = Database(facts)
+    keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+    total = count_total_repairs(database, keys)
+    base = count_repairs_satisfying(database, keys, parse_query(text)).satisfying
+    widened = count_repairs_satisfying(
+        database, keys, parse_query(f"({text}) OR R(x, y)")
+    ).satisfying
+    assert 0 <= base <= widened <= total

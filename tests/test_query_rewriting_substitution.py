@@ -1,0 +1,123 @@
+"""Unit and property tests for UCQ rewriting and answer substitution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database, fact
+from repro.errors import FragmentError
+from repro.query import (
+    bind_answer,
+    holds,
+    parse_query,
+    to_ucq,
+    ucq_to_query,
+)
+
+
+class TestUcqRewriting:
+    def test_cq_is_single_disjunct(self):
+        ucq = to_ucq(parse_query("R(x, y) AND S(y)"))
+        assert len(ucq) == 1
+        assert len(ucq.disjuncts[0].atoms) == 2
+
+    def test_disjunction_splits(self):
+        ucq = to_ucq(parse_query("R(x) OR S(x)"))
+        assert len(ucq) == 2
+
+    def test_distribution_of_and_over_or(self):
+        ucq = to_ucq(parse_query("R(x) AND (S(x) OR T(x))"))
+        assert len(ucq) == 2
+        for disjunct in ucq:
+            relations = {a.relation for a in disjunct.atoms}
+            assert "R" in relations
+
+    def test_duplicate_disjuncts_collapse(self):
+        ucq = to_ucq(parse_query("R(x) OR R(y)"))
+        assert len(ucq) == 1
+
+    def test_equality_elimination_grounds_variables(self):
+        ucq = to_ucq(parse_query("EXISTS x . R(x) AND x = 1"))
+        assert len(ucq) == 1
+        assert ucq.disjuncts[0].atoms[0].terms == (1,)
+
+    def test_contradictory_equalities_drop_the_disjunct(self):
+        ucq = to_ucq(parse_query("(R(x) AND 1 = 2) OR S(x)"))
+        assert len(ucq) == 1
+        assert ucq.disjuncts[0].atoms[0].relation == "S"
+
+    def test_true_disjunct_subsumes_everything(self):
+        ucq = to_ucq(parse_query("TRUE OR R(x)"))
+        assert ucq.is_trivially_true
+        assert len(ucq) == 1
+
+    def test_false_query_is_unsatisfiable(self):
+        ucq = to_ucq(parse_query("FALSE"))
+        assert ucq.is_unsatisfiable
+
+    def test_negation_is_rejected(self):
+        with pytest.raises(FragmentError):
+            to_ucq(parse_query("NOT R(x)"))
+
+    def test_round_trip_preserves_semantics(self):
+        database = Database(
+            [fact("R", 1, 2), fact("S", 2), fact("T", 3), fact("R", 3, 3)]
+        )
+        texts = [
+            "R(x, y) AND S(y)",
+            "R(x, y) AND (S(y) OR T(x))",
+            "R(x, x) OR S(x)",
+            "EXISTS x . R(x, x) AND (S(x) OR T(x))",
+        ]
+        for text in texts:
+            query = parse_query(text)
+            rewritten = ucq_to_query(to_ucq(query))
+            assert holds(query, database) == holds(rewritten, database)
+
+    def test_answer_bindings_on_non_boolean_disjunct(self):
+        query = parse_query("R(x) AND x = 1", answer_variables=["x"])
+        ucq = to_ucq(query)
+        assert ucq.disjuncts[0].answer_bindings == ((query.answer_variables[0], 1),)
+
+
+class TestBindAnswer:
+    def test_binding_makes_the_query_boolean(self):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        bound = bind_answer(query, ("Bob", "HR"))
+        assert bound.is_boolean
+        assert bound.atoms()[0].terms == (1, "Bob", "HR")
+
+    def test_binding_respects_arity(self):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        with pytest.raises(Exception):
+            bind_answer(query, ("Bob",))
+
+    def test_bound_query_evaluates_like_membership(self, employee_db):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        assert holds(bind_answer(query, ("Bob", "HR")), employee_db)
+        assert not holds(bind_answer(query, ("Bob", "Sales")), employee_db)
+
+    def test_shadowed_variables_are_not_substituted(self):
+        query = parse_query("EXISTS x . R(x) AND S(y)", answer_variables=["y"], auto_close=False)
+        bound = bind_answer(query, (7,))
+        # The bound variable x must remain a variable.
+        atoms = {a.relation: a for a in bound.atoms()}
+        assert atoms["S"].terms == (7,)
+        assert atoms["R"].variables()
+
+
+# --------------------------------------------------------------------------- #
+# property: rewriting preserves truth on random small databases
+# --------------------------------------------------------------------------- #
+_r_fact = st.builds(lambda a, b: fact("R", a, b), st.integers(0, 3), st.integers(0, 3))
+_s_fact = st.builds(lambda a: fact("S", a), st.integers(0, 3))
+
+
+@given(st.lists(_r_fact, max_size=8), st.lists(_s_fact, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_rewriting_preserves_truth(r_facts, s_facts):
+    database = Database(r_facts + s_facts)
+    if not len(database):
+        return
+    for text in ("R(x, y) AND S(y)", "R(x, x) OR S(x)", "R(x, y) AND (S(x) OR S(y))"):
+        query = parse_query(text)
+        assert holds(query, database) == holds(ucq_to_query(to_ucq(query)), database)

@@ -1,0 +1,159 @@
+"""Tests for the executable reductions: they must preserve counts exactly."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.lams import TabularCompactor, Selector
+from repro.problems import (
+    count_disjoint_positive_dnf,
+    count_forbidden_colorings,
+    count_satisfying_assignments,
+    DisjointPositiveDNFCompactor,
+)
+from repro.query import keywidth
+from repro.reductions import (
+    coloring_to_disjoint_dnf,
+    count_via_pdb,
+    cqa_to_disjoint_dnf,
+    cqa_to_pdb,
+    disjoint_dnf_to_cqa,
+    lambda_to_cqa,
+    sat_to_cqa,
+    target_keys,
+    target_query,
+)
+from repro.repairs import (
+    count_repairs_satisfying,
+    count_repairs_satisfying_naive,
+    count_total_repairs,
+)
+from repro.workloads import (
+    random_cnf,
+    random_disjoint_positive_dnf,
+    random_forbidden_coloring,
+)
+
+
+class TestSatToCqa:
+    """Theorems 3.2 / 3.3: the reduction is parsimonious."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counts_match_hash_3sat(self, seed):
+        formula = random_cnf(variables=5, clauses=5, clause_width=3, seed=seed)
+        reduction = sat_to_cqa(formula)
+        expected = count_satisfying_assignments(formula)
+        counted = count_repairs_satisfying_naive(
+            reduction.database, reduction.keys, reduction.query
+        )
+        assert counted == expected
+        assert (
+            count_total_repairs(reduction.database, reduction.keys)
+            == reduction.total_assignments()
+        )
+
+    def test_unsatisfiable_formula_has_no_entailing_repair(self):
+        from repro.problems import CNFFormula
+
+        formula = CNFFormula.from_ints([[1], [-1]])
+        reduction = sat_to_cqa(formula)
+        assert (
+            count_repairs_satisfying_naive(reduction.database, reduction.keys, reduction.query)
+            == 0
+        )
+
+    def test_query_and_keys_are_fixed(self):
+        first = sat_to_cqa(random_cnf(3, 3, 3, seed=0))
+        second = sat_to_cqa(random_cnf(6, 8, 3, seed=1))
+        assert first.query == second.query
+        assert first.keys == second.keys
+
+
+class TestLambdaToCqa:
+    """Theorem 5.1 hardness: unfold_M(x) = #CQA(Q_k, Σ_k)(D_x)."""
+
+    def test_target_query_has_the_right_keywidth(self):
+        for k in range(4):
+            assert keywidth(target_query(k), target_keys()) == k
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ReductionError):
+            target_query(-1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reduction_preserves_the_count_for_dnf_compactors(self, seed):
+        formula = random_disjoint_positive_dnf(4, 3, 6, 2, seed=seed)
+        compactor = DisjointPositiveDNFCompactor(k=formula.width)
+        reduction = lambda_to_cqa(compactor, formula)
+        expected = compactor.unfold_count(formula)
+        counted = count_repairs_satisfying(
+            reduction.database, reduction.keys, reduction.query
+        ).satisfying
+        assert counted == expected
+
+    def test_reduction_on_a_tabular_compactor(self):
+        compactor = TabularCompactor(
+            k=2,
+            domains_by_instance={"x": (("a", "b"), ("c", "d"), ("e", "f", "g"))},
+            selectors_by_instance={
+                "x": {"c1": Selector({0: 0, 1: 1}), "c2": Selector({2: 2})}
+            },
+        )
+        reduction = lambda_to_cqa(compactor, "x")
+        counted = count_repairs_satisfying(
+            reduction.database, reduction.keys, reduction.query
+        ).satisfying
+        assert counted == compactor.unfold_count("x") == 6
+
+    def test_compactor_with_no_certificates_maps_to_zero(self):
+        compactor = TabularCompactor(
+            k=1,
+            domains_by_instance={"x": (("a", "b"),)},
+            selectors_by_instance={"x": {}},
+        )
+        reduction = lambda_to_cqa(compactor, "x")
+        assert (
+            count_repairs_satisfying(reduction.database, reduction.keys, reduction.query).satisfying
+            == 0
+        )
+
+    def test_unbounded_compactor_rejected(self):
+        compactor = DisjointPositiveDNFCompactor(k=None)
+        with pytest.raises(ReductionError):
+            lambda_to_cqa(compactor, random_disjoint_positive_dnf(2, 2, 2, 2, seed=0))
+
+
+class TestBetweenProblems:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cqa_to_disjoint_dnf(self, seed, employee_db, employee_keys, same_department_query):
+        formula = cqa_to_disjoint_dnf(employee_db, employee_keys, same_department_query)
+        assert count_disjoint_positive_dnf(formula) == 2
+        assert formula.total_p_assignments() == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_coloring_to_disjoint_dnf(self, seed):
+        instance = random_forbidden_coloring(5, 4, 2, 3, 2, seed=seed)
+        formula = coloring_to_disjoint_dnf(instance)
+        assert count_disjoint_positive_dnf(formula) == count_forbidden_colorings(instance)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_disjoint_dnf_to_cqa(self, seed):
+        formula = random_disjoint_positive_dnf(4, 2, 5, 2, seed=seed)
+        reduction = disjoint_dnf_to_cqa(formula)
+        counted = count_repairs_satisfying(
+            reduction.database, reduction.keys, reduction.query
+        ).satisfying
+        assert counted == count_disjoint_positive_dnf(formula)
+
+
+class TestCqaToPdb:
+    def test_uniform_pdb_has_repairs_as_worlds(self, employee_db, employee_keys):
+        reduction = cqa_to_pdb(employee_db, employee_keys)
+        assert reduction.total_repairs == 4
+        assert reduction.pdb.world_count() == 4
+        for block in reduction.pdb.blocks:
+            assert block.is_total
+
+    def test_count_via_pdb_matches_direct_count(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        assert count_via_pdb(employee_db, employee_keys, same_department_query) == 2

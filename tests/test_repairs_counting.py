@@ -1,0 +1,144 @@
+"""Unit and property tests for exact #CQA counting.
+
+The load-bearing invariant: every exact strategy (naive enumeration,
+certificate/union-of-boxes with all three box methods, the PDB route, the
+#DisjPoskDNF route) computes the same number on the same instance.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database, PrimaryKeySet, fact
+from repro.errors import FragmentError
+from repro.problems import count_disjoint_positive_dnf
+from repro.query import parse_query, to_ucq
+from repro.reductions import count_via_pdb, cqa_to_disjoint_dnf
+from repro.repairs import (
+    count_repairs_satisfying,
+    count_repairs_satisfying_certificates,
+    count_repairs_satisfying_naive,
+    iter_certificates,
+)
+from repro.workloads import random_conjunctive_query
+from tests.conftest import small_random_instance
+
+
+class TestEmployeeExample:
+    def test_paper_value(self, employee_db, employee_keys, same_department_query):
+        report = count_repairs_satisfying(
+            employee_db, employee_keys, same_department_query
+        )
+        assert report.satisfying == 2
+        assert report.total == 4
+        assert report.relative_frequency == pytest.approx(0.5)
+        assert report.certificates == 2
+
+    def test_all_methods_agree(self, employee_db, employee_keys, same_department_query):
+        values = {
+            method: count_repairs_satisfying(
+                employee_db, employee_keys, same_department_query, method=method
+            ).satisfying
+            for method in ("auto", "naive", "certificate", "inclusion-exclusion", "enumeration")
+        }
+        assert set(values.values()) == {2}
+
+    def test_non_boolean_query_with_answer(self, employee_db, employee_keys):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        hr = count_repairs_satisfying(employee_db, employee_keys, query, ("Bob", "HR"))
+        it = count_repairs_satisfying(employee_db, employee_keys, query, ("Bob", "IT"))
+        nothing = count_repairs_satisfying(employee_db, employee_keys, query, ("Bob", "X"))
+        assert (hr.satisfying, it.satisfying, nothing.satisfying) == (2, 2, 0)
+
+    def test_trivially_true_and_false_queries(self, employee_db, employee_keys):
+        assert (
+            count_repairs_satisfying(employee_db, employee_keys, parse_query("TRUE")).satisfying
+            == 4
+        )
+        assert (
+            count_repairs_satisfying(employee_db, employee_keys, parse_query("FALSE")).satisfying
+            == 0
+        )
+
+    def test_fo_query_requires_naive(self, employee_db, employee_keys):
+        query = parse_query("NOT Employee(1, 'Bob', 'HR')")
+        report = count_repairs_satisfying(employee_db, employee_keys, query)
+        assert report.method == "naive"
+        assert report.satisfying == 2  # the two repairs with Employee(1, Bob, IT)
+        with pytest.raises(FragmentError):
+            count_repairs_satisfying_certificates(employee_db, employee_keys, query)
+
+    def test_certificates_of_the_employee_query(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        certificates = list(
+            iter_certificates(employee_db, employee_keys, to_ucq(same_department_query))
+        )
+        assert len(certificates) == 2
+        for certificate in certificates:
+            assert employee_keys.is_consistent(certificate.image)
+
+
+class TestCrossValidationOnRandomInstances:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_certificate_equals_naive(self, seed):
+        database, keys = small_random_instance(seed=seed, blocks=5, max_block=3)
+        query = random_conjunctive_query({"R": 2, "S": 2}, keys, target_keywidth=2, seed=seed)
+        naive = count_repairs_satisfying_naive(database, keys, query)
+        certificate, _ = count_repairs_satisfying_certificates(database, keys, query)
+        assert certificate == naive
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_exact_routes_agree(self, seed):
+        database, keys = small_random_instance(seed=seed + 100, blocks=5, max_block=3)
+        query = random_conjunctive_query({"R": 2, "S": 2}, keys, target_keywidth=2, seed=seed)
+        reference = count_repairs_satisfying_naive(database, keys, query)
+        for method in ("certificate", "inclusion-exclusion", "enumeration"):
+            report = count_repairs_satisfying(database, keys, query, method=method)
+            assert report.satisfying == reference
+        assert count_via_pdb(database, keys, query) == reference
+        assert count_disjoint_positive_dnf(cqa_to_disjoint_dnf(database, keys, query)) == reference
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_union_query_counting(self, seed):
+        database, keys = small_random_instance(seed=seed + 50, blocks=4, max_block=3)
+        query = parse_query("R(x, y) OR S(x, y)")
+        naive = count_repairs_satisfying_naive(database, keys, query)
+        certificate, _ = count_repairs_satisfying_certificates(database, keys, query)
+        assert certificate == naive
+
+
+# --------------------------------------------------------------------------- #
+# property-based: counts agree on tiny random databases and queries
+# --------------------------------------------------------------------------- #
+_r_fact = st.builds(lambda k, v: fact("R", k, v), st.integers(0, 2), st.integers(0, 2))
+_s_fact = st.builds(lambda k, v: fact("S", k, v), st.integers(0, 2), st.integers(0, 2))
+_query_text = st.sampled_from(
+    [
+        "R(x, y) AND S(y, z)",
+        "R(x, y) AND S(x, y)",
+        "R(x, x)",
+        "R(x, y) OR S(x, y)",
+        "R(x, y) AND (S(y, z) OR S(z, y))",
+        "R(1, x) AND S(x, y)",
+    ]
+)
+
+
+@given(st.lists(_r_fact, max_size=7), st.lists(_s_fact, max_size=7), _query_text)
+@settings(max_examples=60, deadline=None)
+def test_certificate_counter_matches_naive_enumeration(r_facts, s_facts, text):
+    database = Database(r_facts + s_facts)
+    keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+    query = parse_query(text)
+    naive = count_repairs_satisfying_naive(database, keys, query)
+    certificate, _ = count_repairs_satisfying_certificates(database, keys, query)
+    assert certificate == naive
+
+
+@given(st.lists(_r_fact, max_size=6), _query_text)
+@settings(max_examples=40, deadline=None)
+def test_satisfying_count_never_exceeds_total(r_facts, text):
+    database = Database(r_facts)
+    keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+    report = count_repairs_satisfying(database, keys, parse_query(text))
+    assert 0 <= report.satisfying <= report.total

@@ -1,0 +1,105 @@
+"""Unit tests for repair enumeration, sampling and the decision problem."""
+
+import random
+
+import pytest
+
+from repro.db import BlockDecomposition, Database, PrimaryKeySet, fact
+from repro.query import parse_query
+from repro.repairs import (
+    count_total_repairs,
+    decide,
+    enumerate_repairs,
+    has_entailing_repair,
+    has_entailing_repair_bruteforce,
+    is_repair,
+    sample_repair,
+)
+
+
+class TestEnumeration:
+    def test_employee_repairs(self, employee_db, employee_keys):
+        repairs = list(enumerate_repairs(employee_db, employee_keys))
+        assert len(repairs) == 4
+        assert count_total_repairs(employee_db, employee_keys) == 4
+        # Repairs are pairwise distinct and each is a genuine repair.
+        assert len({frozenset(repair.facts()) for repair in repairs}) == 4
+        for repair in repairs:
+            assert is_repair(repair, employee_db, employee_keys)
+            assert employee_keys.is_consistent(repair)
+
+    def test_limit(self, employee_db, employee_keys):
+        assert len(list(enumerate_repairs(employee_db, employee_keys, limit=2))) == 2
+
+    def test_consistent_database_has_one_repair(self, employee_keys):
+        database = Database([fact("Employee", 1, "Bob", "HR")])
+        repairs = list(enumerate_repairs(database, employee_keys))
+        assert len(repairs) == 1
+        assert repairs[0] == database
+
+    def test_empty_database_has_one_empty_repair(self, employee_keys):
+        repairs = list(enumerate_repairs(Database(), employee_keys))
+        assert len(repairs) == 1
+        assert len(repairs[0]) == 0
+
+    def test_sampled_repairs_are_repairs(self, employee_db, employee_keys):
+        rng = random.Random(5)
+        for _ in range(20):
+            repair = sample_repair(employee_db, employee_keys, rng=rng)
+            assert is_repair(repair, employee_db, employee_keys)
+
+    def test_sampling_is_roughly_uniform(self, employee_db, employee_keys):
+        rng = random.Random(11)
+        decomposition = BlockDecomposition(employee_db, employee_keys)
+        counts = {}
+        for _ in range(2000):
+            repair = sample_repair(
+                employee_db, employee_keys, rng=rng, decomposition=decomposition
+            )
+            counts[frozenset(repair.facts())] = counts.get(frozenset(repair.facts()), 0) + 1
+        assert len(counts) == 4
+        for value in counts.values():
+            assert 350 < value < 650  # expectation 500, generous tolerance
+
+
+class TestDecision:
+    def test_lemma_3_5_on_the_employee_example(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        assert has_entailing_repair(employee_db, employee_keys, same_department_query)
+        assert has_entailing_repair_bruteforce(
+            employee_db, employee_keys, same_department_query
+        )
+
+    def test_unsatisfiable_query(self, employee_db, employee_keys):
+        query = parse_query("Employee(3, x, y)")
+        assert not has_entailing_repair(employee_db, employee_keys, query)
+        assert not has_entailing_repair_bruteforce(employee_db, employee_keys, query)
+
+    def test_certificate_requires_consistent_image(self, employee_keys):
+        # The query needs two facts from the same block: no repair can hold both.
+        database = Database(
+            [fact("Employee", 1, "Bob", "HR"), fact("Employee", 1, "Bob", "IT")]
+        )
+        query = parse_query(
+            "EXISTS x, y . Employee(1, x, 'HR') AND Employee(1, y, 'IT')"
+        )
+        assert not has_entailing_repair(database, employee_keys, query)
+        assert not has_entailing_repair_bruteforce(database, employee_keys, query)
+
+    def test_decide_dispatches_on_fragment(self, employee_db, employee_keys):
+        positive = parse_query("Employee(1, x, y)")
+        negative = parse_query("NOT Employee(1, 'Bob', 'HR')")
+        assert decide(employee_db, employee_keys, positive)
+        assert decide(employee_db, employee_keys, negative)  # some repair drops HR
+
+    def test_decision_agreement_on_random_instances(self, employee_keys):
+        from tests.conftest import small_random_instance
+        from repro.workloads import random_conjunctive_query
+
+        for seed in range(5):
+            database, keys = small_random_instance(seed=seed, blocks=5)
+            query = random_conjunctive_query({"R": 2, "S": 2}, keys, 2, seed=seed)
+            fast = has_entailing_repair(database, keys, query)
+            slow = has_entailing_repair_bruteforce(database, keys, query)
+            assert fast == slow

@@ -1,0 +1,72 @@
+"""Unit tests for relative frequencies, certain and possible answers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db import Database, fact
+from repro.query import parse_query
+from repro.repairs import (
+    answer_frequencies,
+    certain_answers,
+    possible_answers,
+    relative_frequency,
+)
+
+
+class TestRelativeFrequency:
+    def test_example_1_1_frequency_is_one_half(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        frequency = relative_frequency(employee_db, employee_keys, same_department_query)
+        assert frequency == Fraction(1, 2)
+
+    def test_certain_query_has_frequency_one(self, employee_db, employee_keys):
+        query = parse_query("Employee(2, x, 'IT')")
+        assert relative_frequency(employee_db, employee_keys, query) == Fraction(1)
+
+    def test_impossible_query_has_frequency_zero(self, employee_db, employee_keys):
+        query = parse_query("Employee(3, x, y)")
+        assert relative_frequency(employee_db, employee_keys, query) == Fraction(0)
+
+    def test_empty_database(self, employee_keys):
+        query = parse_query("Employee(1, x, y)")
+        assert relative_frequency(Database(), employee_keys, query) == Fraction(0)
+
+
+class TestAnswerRanking:
+    def test_ranking_of_employee_1_details(self, employee_db, employee_keys):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        ranking = answer_frequencies(employee_db, employee_keys, query)
+        assert len(ranking) == 2
+        assert {entry.answer for entry in ranking} == {("Bob", "HR"), ("Bob", "IT")}
+        assert all(entry.frequency == Fraction(1, 2) for entry in ranking)
+
+    def test_ranking_is_sorted_by_frequency(self, employee_db, employee_keys):
+        query = parse_query("Employee(x, y, 'IT')", answer_variables=["x"])
+        ranking = answer_frequencies(employee_db, employee_keys, query)
+        frequencies = [entry.frequency for entry in ranking]
+        assert frequencies == sorted(frequencies, reverse=True)
+        by_answer = {entry.answer: entry.frequency for entry in ranking}
+        # Employee 2 is in IT in every repair; employee 1 only in half of them.
+        assert by_answer[(2,)] == Fraction(1)
+        assert by_answer[(1,)] == Fraction(1, 2)
+
+    def test_certain_and_possible_answers(self, employee_db, employee_keys):
+        query = parse_query("Employee(x, y, 'IT')", answer_variables=["x"])
+        assert certain_answers(employee_db, employee_keys, query) == [(2,)]
+        assert set(possible_answers(employee_db, employee_keys, query)) == {(1,), (2,)}
+
+    def test_boolean_query_ranking_has_single_entry(
+        self, employee_db, employee_keys, same_department_query
+    ):
+        ranking = answer_frequencies(employee_db, employee_keys, same_department_query)
+        assert len(ranking) == 1
+        assert ranking[0].answer == ()
+        assert ranking[0].frequency == Fraction(1, 2)
+        assert ranking[0].is_possible and not ranking[0].is_certain
+
+    def test_frequency_string_rendering(self, employee_db, employee_keys):
+        query = parse_query("Employee(1, x, y)", answer_variables=["x", "y"])
+        entry = answer_frequencies(employee_db, employee_keys, query)[0]
+        assert "/" in str(entry) and "0.5" in str(entry)

@@ -1,0 +1,94 @@
+"""Tests for the workload generators and named scenarios."""
+
+import pytest
+
+from repro.db import BlockDecomposition
+from repro.query import classify, is_existential_positive, keywidth, QueryClass
+from repro.repairs import count_total_repairs
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    election_registry,
+    employee_example,
+    hr_analytics,
+    random_conjunctive_query,
+    random_inconsistent_database,
+    random_ucq,
+    sensor_fusion,
+    star_join_query,
+)
+
+
+class TestGenerators:
+    def test_random_database_is_reproducible(self):
+        spec = InconsistentDatabaseSpec(relations={"R": 3}, blocks_per_relation=20)
+        first, _ = random_inconsistent_database(spec, seed=5)
+        second, _ = random_inconsistent_database(spec, seed=5)
+        third, _ = random_inconsistent_database(spec, seed=6)
+        assert first.facts() == second.facts()
+        assert first.facts() != third.facts()
+
+    def test_block_structure_matches_the_spec(self):
+        spec = InconsistentDatabaseSpec(
+            relations={"R": 2, "S": 3},
+            blocks_per_relation=30,
+            conflict_rate=0.5,
+            max_block_size=4,
+        )
+        database, keys = random_inconsistent_database(spec, seed=1)
+        decomposition = BlockDecomposition(database, keys)
+        assert len(decomposition) == 60
+        assert decomposition.max_block_size() <= 4
+        assert keys.has_key("R") and keys.has_key("S")
+        # With conflict_rate 0.5 over 60 blocks, some but not all conflict.
+        conflicting = len(decomposition.conflicting_blocks())
+        assert 5 < conflicting < 55
+
+    def test_arity_one_relations_are_rejected(self):
+        spec = InconsistentDatabaseSpec(relations={"R": 1})
+        with pytest.raises(ValueError):
+            random_inconsistent_database(spec, seed=0)
+
+    def test_random_cq_has_the_requested_keywidth(self):
+        spec = InconsistentDatabaseSpec(relations={"R": 2, "S": 2})
+        _, keys = random_inconsistent_database(spec, seed=0)
+        for target in range(4):
+            query = random_conjunctive_query({"R": 2, "S": 2}, keys, target, seed=target)
+            assert keywidth(query, keys) == target
+            assert classify(query) is QueryClass.CQ
+
+    def test_random_ucq_is_positive(self):
+        spec = InconsistentDatabaseSpec(relations={"R": 2, "S": 2})
+        _, keys = random_inconsistent_database(spec, seed=0)
+        query = random_ucq({"R": 2, "S": 2}, keys, disjuncts=3, keywidth_per_disjunct=2, seed=1)
+        assert is_existential_positive(query)
+
+    def test_star_join_query_keywidth(self):
+        from repro.db import PrimaryKeySet
+
+        keys = PrimaryKeySet.from_dict({"R0": [1], "R1": [1], "R2": [1]})
+        query = star_join_query(["R0", "R1", "R2"])
+        assert keywidth(query, keys) == 3
+
+
+class TestScenarios:
+    def test_employee_example_matches_the_paper(self):
+        scenario = employee_example()
+        assert len(scenario.database) == 4
+        assert count_total_repairs(scenario.database, scenario.keys) == 4
+        assert "same-department" in scenario.queries
+
+    @pytest.mark.parametrize(
+        "factory", [hr_analytics, sensor_fusion, election_registry]
+    )
+    def test_scenarios_are_inconsistent_and_queryable(self, factory):
+        scenario = factory()
+        decomposition = BlockDecomposition(scenario.database, scenario.keys)
+        assert not decomposition.is_consistent()
+        assert decomposition.total_repairs() > 1
+        assert scenario.queries
+        for query in scenario.queries.values():
+            assert is_existential_positive(query)
+
+    def test_scenarios_are_reproducible(self):
+        assert hr_analytics(seed=3).database.facts() == hr_analytics(seed=3).database.facts()
+        assert str(employee_example())  # __str__ smoke check
