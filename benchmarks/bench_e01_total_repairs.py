@@ -15,6 +15,7 @@ from conftest import make_database
 SIZES = [100, 400, 1600]
 
 
+@pytest.mark.smoke
 @pytest.mark.parametrize("blocks", SIZES)
 def test_total_repair_counting_scales_linearly(benchmark, blocks):
     database, keys = make_database(blocks=blocks, seed=1)

@@ -12,6 +12,7 @@ import pytest
 from repro.core import CQASolver
 
 
+@pytest.mark.smoke
 def test_employee_example_frequency(benchmark, employee_scenario):
     solver = CQASolver(employee_scenario.database, employee_scenario.keys, rng=0)
     query = employee_scenario.queries["same-department"]

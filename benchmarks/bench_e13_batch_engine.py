@@ -1,0 +1,217 @@
+"""E13 — batch engine: shared caches and process-pool throughput.
+
+Claims exercised:
+
+* **Cache amortisation** — a :class:`repro.engine.SolverPool` serving a
+  mixed stream of repeated (database, query) jobs beats a fresh
+  :class:`repro.core.CQASolver` per job, because the block decomposition
+  and the certificate selectors are computed once per distinct key instead
+  of once per job.  Target: ≥1.5× throughput on the repeated-query exact
+  workload (asserted with margin at 1.3× to absorb timer noise).
+* **Process-pool scaling** — with ≥2 CPU cores, fanning a compute-heavy
+  mixed batch out to 2 workers yields ≥1.5× the sequential throughput
+  while staying bit-identical.  The assertion is skipped on single-core
+  machines, where no parallel speedup is physically possible; the
+  measurement itself still runs and is recorded in ``extra_info``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import CQASolver
+from repro.engine import CountJob, SolverPool
+from repro.query import parse_query
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    batch_workload,
+    random_inconsistent_database,
+)
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def make_large_database(seed, blocks=400):
+    """A database large enough that preparation dominates one exact count."""
+    spec = InconsistentDatabaseSpec(
+        relations=_RELATIONS,
+        blocks_per_relation=blocks,
+        conflict_rate=0.4,
+        max_block_size=4,
+        domain_size=200,
+    )
+    return random_inconsistent_database(spec, seed=seed)
+
+
+def repeated_query_jobs(jobs=40, databases=2, distinct_queries=4):
+    """The cache-amortisation workload: few hot (db, query) pairs, many jobs."""
+    stream = []
+    for index in range(jobs):
+        anchor = f"v{index % distinct_queries}"
+        stream.append(
+            CountJob(
+                database=f"db-{index % databases}",
+                query=(
+                    f"EXISTS x, y, z, w. "
+                    f"(R(x, '{anchor}', y) AND S(z, '{anchor}', w))"
+                ),
+                method="certificate",
+            )
+        )
+    return stream
+
+
+def sampling_heavy_jobs(jobs=16):
+    """The scaling workload: estimator jobs whose sampling loops dominate."""
+    stream = []
+    for index in range(jobs):
+        anchor = f"v{index % 10}"
+        stream.append(
+            CountJob(
+                database=f"db-{index % 2}",
+                query=(
+                    f"EXISTS x, y, z, w. "
+                    f"(R(x, '{anchor}', y) AND S(z, '{anchor}', w))"
+                ),
+                method=("fpras", "karp-luby")[index % 2],
+                epsilon=0.05,
+                delta=0.05,
+                seed=index,
+            )
+        )
+    return stream
+
+
+def fresh_pool(databases=2, blocks=400):
+    pool = SolverPool()
+    for index in range(databases):
+        database, keys = make_large_database(index, blocks=blocks)
+        pool.register(f"db-{index}", database, keys)
+    return pool
+
+
+# --------------------------------------------------------------------- #
+# cache amortisation (runs meaningfully on any hardware)
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_fresh_solver_baseline(benchmark):
+    """One CQASolver per job: every job pays decomposition + certificates."""
+    databases = {f"db-{index}": make_large_database(index, blocks=200) for index in range(2)}
+    jobs = repeated_query_jobs(jobs=20)
+    parsed = {job.query: parse_query(job.query) for job in jobs}
+
+    def run():
+        results = []
+        for job in jobs:
+            database, keys = databases[job.database]
+            solver = CQASolver(database, keys)
+            results.append(solver.count(parsed[job.query], method=job.method).satisfying)
+        return results
+
+    results = benchmark(run)
+    benchmark.extra_info["jobs"] = len(jobs)
+    assert len(results) == len(jobs)
+
+
+@pytest.mark.smoke
+def test_cached_batch_throughput(benchmark):
+    """The same workload through a warm SolverPool."""
+    pool = fresh_pool(blocks=200)
+    jobs = repeated_query_jobs(jobs=20)
+    pool.run(jobs)  # warm the caches; the steady state is what serving sees
+
+    report = benchmark(pool.run, jobs)
+    benchmark.extra_info["jobs"] = len(jobs)
+    benchmark.extra_info["jobs_per_second"] = round(report.jobs_per_second, 1)
+    assert all(result.cache_misses == () for result in report.results)
+
+
+@pytest.mark.smoke
+def test_cache_amortisation_speedup():
+    """SolverPool ≥ 1.3× over fresh per-job solvers on repeated queries."""
+    databases = {f"db-{index}": make_large_database(index) for index in range(2)}
+    jobs = repeated_query_jobs(jobs=40)
+
+    started = time.perf_counter()
+    baseline = []
+    for job in jobs:
+        database, keys = databases[job.database]
+        solver = CQASolver(database, keys)
+        baseline.append(solver.count(parse_query(job.query), method=job.method).satisfying)
+    fresh_elapsed = time.perf_counter() - started
+
+    pool = SolverPool()
+    for name, (database, keys) in databases.items():
+        pool.register(name, database, keys)
+    started = time.perf_counter()
+    report = pool.run(jobs)
+    pooled_elapsed = time.perf_counter() - started
+
+    assert [result.satisfying for result in report.results] == baseline
+    speedup = fresh_elapsed / pooled_elapsed
+    assert speedup >= 1.3, (
+        f"expected the shared caches to amortise preparation, got {speedup:.2f}x "
+        f"(fresh {fresh_elapsed:.2f}s vs pooled {pooled_elapsed:.2f}s)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# process-pool scaling (needs real cores to show a speedup)
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_pooled_run_matches_sequential_on_mixed_workload():
+    """batch_workload through 2 workers is bit-identical to sequential."""
+    databases, jobs = batch_workload(jobs=20, seed=13)
+    pool = SolverPool()
+    for name, (database, keys) in databases.items():
+        pool.register(name, database, keys)
+    sequential = pool.run(jobs)
+    pooled = pool.run(jobs, workers=2)
+    assert pooled.counts() == sequential.counts()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_estimator_batch_throughput(benchmark, workers):
+    """Throughput of the sampling-heavy batch at 1 and 2 workers."""
+    pool = fresh_pool(blocks=12)
+    jobs = sampling_heavy_jobs(jobs=16)
+    report = benchmark.pedantic(pool.run, args=(jobs,), kwargs={"workers": workers}, rounds=2)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cores"] = _available_cores()
+    benchmark.extra_info["jobs_per_second"] = round(report.jobs_per_second, 1)
+
+
+@pytest.mark.smoke
+def test_pooled_speedup_with_two_workers():
+    """≥1.5× throughput over sequential with 2 workers (needs ≥2 cores)."""
+    cores = _available_cores()
+    pool = fresh_pool(blocks=12)
+    jobs = sampling_heavy_jobs(jobs=16)
+
+    started = time.perf_counter()
+    sequential = pool.run(jobs)
+    sequential_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = pool.run(jobs, workers=2)
+    pooled_elapsed = time.perf_counter() - started
+
+    assert pooled.counts() == sequential.counts()
+    speedup = sequential_elapsed / pooled_elapsed
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} core(s) available; parallel speedup is not "
+            f"measurable (observed {speedup:.2f}x)"
+        )
+    assert speedup >= 1.5, (
+        f"expected >=1.5x with 2 workers on {cores} cores, got {speedup:.2f}x "
+        f"(sequential {sequential_elapsed:.2f}s vs pooled {pooled_elapsed:.2f}s)"
+    )

@@ -40,6 +40,7 @@ from ..query.keywidth import max_disjunct_keywidth
 from ..query.rewriting import UCQ, to_ucq, ucq_to_query
 from ..query.substitution import bind_answer
 from ..repairs.certificates import certificate_selectors, iter_certificates
+from ..repairs.counting import PreparedCertificates
 from .fpras import FPRASResult, sample_size
 from .sample import point_in_union
 
@@ -124,14 +125,30 @@ class CQAFpras:
         answer: Sequence[Constant] = (),
         rng: Optional[Union[random.Random, int]] = None,
         decomposition: Optional[BlockDecomposition] = None,
+        prepared: Optional[PreparedCertificates] = None,
     ) -> CQAFprasResult:
-        """Run the FPRAS and return the full result record."""
+        """Run the FPRAS and return the full result record.
+
+        ``prepared`` optionally supplies a cached
+        :class:`~repro.repairs.counting.PreparedCertificates` for the
+        (answer-bound) query: its UCQ and selectors are then reused instead
+        of being recomputed, which is how the batch engine amortises the
+        certificate computation across repeated estimates.
+        """
         if isinstance(rng, int):
             rng = random.Random(rng)
         elif rng is None:
             rng = random.Random()
 
-        ucq = self._boolean_ucq(answer)
+        if prepared is not None:
+            if answer:
+                raise FragmentError(
+                    "prepared certificates are already answer-bound; pass "
+                    "answer=() when supplying them"
+                )
+            ucq = prepared.ucq
+        else:
+            ucq = self._boolean_ucq(answer)
         if decomposition is None:
             decomposition = BlockDecomposition(database, self._keys)
         block_sizes = decomposition.block_sizes()
@@ -147,8 +164,11 @@ class CQAFpras:
             capped = True
 
         if self._membership == "selectors":
-            certificates = list(iter_certificates(database, self._keys, ucq))
-            selectors = certificate_selectors(certificates, decomposition, self._keys)
+            if prepared is not None:
+                selectors = prepared.selectors
+            else:
+                certificates = list(iter_certificates(database, self._keys, ucq))
+                selectors = certificate_selectors(certificates, decomposition, self._keys)
 
             def hit(choices) -> bool:
                 return point_in_union(choices, selectors)

@@ -12,21 +12,24 @@ be used from the shell on databases stored as JSON (see
         --method fpras --epsilon 0.1 --delta 0.05
     python -m repro rank     --json employees.json \
         --query "Employee(1, x, y)" --answer-vars x,y
+    python -m repro batch    --jobs jobs.json --workers 4
 
-Every command prints a small, line-oriented report to stdout and exits with
-status 0 on success; malformed input exits with status 2 and a message on
-stderr (argparse's convention).
+Every command prints a small, line-oriented report to stdout (``batch``
+prints a JSON report) and exits with status 0 on success; malformed input
+exits with status 2 and a message on stderr (argparse's convention).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from . import __version__
 from .core import CQASolver
 from .db import Database, PrimaryKeySet, load_csv_directory, load_json
+from .errors import ReproError
 from .query import parse_query
 
 __all__ = ["build_parser", "main"]
@@ -117,6 +120,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_arguments(rank)
     rank.add_argument("--top", type=int, default=0, metavar="N", help="print only the top N answers")
 
+    batch = subparsers.add_parser(
+        "batch", help="run a batch of counting jobs through the SolverPool engine"
+    )
+    batch.add_argument(
+        "--jobs",
+        required=True,
+        metavar="FILE",
+        help="JSON job file: {'databases': {...}, 'jobs': [...]} "
+        "(see repro.engine.jobfile)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; 1 runs sequentially (default)",
+    )
+    batch.add_argument(
+        "--indent", type=int, default=None, help="indent the JSON report for humans"
+    )
+
     return parser
 
 
@@ -133,10 +156,33 @@ def _parse_answer(text: Optional[str]) -> tuple:
     return tuple(values)
 
 
+def _run_batch(arguments: argparse.Namespace) -> int:
+    """The ``batch`` command: load a job file, run it, print a JSON report."""
+    # Imported lazily: the engine pulls in the process-pool machinery, which
+    # the single-query commands never need.
+    from .engine import SolverPool, load_job_file
+
+    try:
+        databases, jobs = load_job_file(arguments.jobs)
+        pool = SolverPool()
+        for name, (database, keys) in databases.items():
+            pool.register(name, database, keys)
+        report = pool.run(jobs, workers=arguments.workers)
+    except ReproError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(report.to_json(), indent=arguments.indent))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+
+    if arguments.command == "batch":
+        return _run_batch(arguments)
+
     database, keys = _load_instance(arguments)
     solver = CQASolver(database, keys, rng=getattr(arguments, "seed", None))
 

@@ -1,5 +1,9 @@
-"""Public façade: the :class:`CQASolver` high-level API."""
+"""Public façade: the :class:`CQASolver` high-level API.
 
-from .solver import CQAResult, CQASolver, QueryDiagnostics
+:func:`count_query` is the solver-free counting kernel the façade (and the
+batch engine in :mod:`repro.engine`) delegates to.
+"""
 
-__all__ = ["CQAResult", "CQASolver", "QueryDiagnostics"]
+from .solver import CQAResult, CQASolver, QueryDiagnostics, count_query
+
+__all__ = ["CQAResult", "CQASolver", "QueryDiagnostics", "count_query"]

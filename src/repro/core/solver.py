@@ -33,13 +33,20 @@ from ..query.rewriting import UCQ, to_ucq
 from ..query.substitution import bind_answer
 from ..approx.cqa_fpras import CQAFpras, CQAFprasResult
 from ..approx.karp_luby import estimate_union_karp_luby
-from ..repairs.certificates import certificate_selectors, iter_certificates
-from ..repairs.counting import CountReport, count_repairs_satisfying
+from ..repairs.counting import (
+    CountReport,
+    PreparedCertificates,
+    count_repairs_satisfying,
+    prepare_certificates,
+)
 from ..repairs.decision import decide
 from ..repairs.enumeration import count_total_repairs, enumerate_repairs, sample_repair
 from ..repairs.frequency import AnswerFrequency, answer_frequencies
 
-__all__ = ["CQAResult", "QueryDiagnostics", "CQASolver"]
+__all__ = ["CQAResult", "QueryDiagnostics", "CQASolver", "count_query"]
+
+#: Methods handled by the randomised estimators rather than the exact counters.
+RANDOMISED_METHODS = ("fpras", "karp-luby")
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,131 @@ class CQAResult:
             f"#CQA {kind} {self.satisfying:g} of {self.total} repairs "
             f"(frequency {kind} {self.frequency:.4f}, method={self.method})"
         )
+
+
+def count_query(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, str],
+    answer: Sequence[Constant] = (),
+    method: str = "auto",
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    max_samples: Optional[int] = None,
+    rng: Optional[Union[random.Random, int]] = None,
+    decomposition: Optional[BlockDecomposition] = None,
+    prepared: Optional[PreparedCertificates] = None,
+    map_fn=None,
+) -> CQAResult:
+    """The solver-free counting kernel behind :meth:`CQASolver.count`.
+
+    A module-level function taking only picklable inputs, so worker
+    processes (and anything else that does not want to build a
+    :class:`CQASolver`) can run every counting strategy directly.  All
+    provenance-preserving state can be supplied from caches:
+
+    ``decomposition``
+        A precomputed block decomposition of ``(database, keys)``.
+    ``prepared``
+        A precomputed :class:`~repro.repairs.counting.PreparedCertificates`
+        for the *answer-bound* query (certificate-family exact methods, the
+        FPRAS selector membership and the Karp–Luby estimator all reuse it).
+    ``map_fn``
+        Optional parallel map applied across connected components of the
+        union-of-boxes computation (decomposed exact counts only).
+
+    ``rng`` may be a seed or a generator; it is only consulted by the
+    randomised methods, which makes seeded calls fully deterministic.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    answer = tuple(answer)
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    elif rng is None:
+        rng = random.Random()
+    if decomposition is None:
+        decomposition = BlockDecomposition(database, keys)
+
+    if method not in RANDOMISED_METHODS:
+        report: CountReport = count_repairs_satisfying(
+            database,
+            keys,
+            query,
+            answer,
+            method=method,
+            decomposition=decomposition,
+            prepared=prepared,
+            map_fn=map_fn,
+        )
+        return CQAResult(
+            satisfying=report.satisfying,
+            total=report.total,
+            method=report.method,
+            is_estimate=False,
+            answer=answer,
+            details=report,
+        )
+
+    if method == "fpras":
+        if prepared is not None:
+            scheme = CQAFpras(prepared.ucq, keys, max_samples=max_samples)
+            result: CQAFprasResult = scheme.estimate(
+                database,
+                epsilon,
+                delta,
+                answer=(),
+                rng=rng,
+                decomposition=decomposition,
+                prepared=prepared,
+            )
+        else:
+            scheme = CQAFpras(query, keys, max_samples=max_samples)
+            result = scheme.estimate(
+                database,
+                epsilon,
+                delta,
+                answer=answer,
+                rng=rng,
+                decomposition=decomposition,
+            )
+        return CQAResult(
+            satisfying=result.estimate,
+            total=result.total_repairs,
+            method="fpras",
+            is_estimate=True,
+            answer=answer,
+            details=result,
+        )
+
+    # Karp-Luby over the certificate boxes.
+    if prepared is None:
+        bound = bind_answer(query, answer) if query.arity else query
+        if answer and not query.arity:
+            raise FragmentError("a Boolean query takes no answer tuple")
+        if not is_existential_positive(bound):
+            raise FragmentError(
+                "randomised estimation requires an existential positive query"
+            )
+        prepared = prepare_certificates(
+            database, keys, bound, decomposition=decomposition
+        )
+    result = estimate_union_karp_luby(
+        decomposition.block_sizes(),
+        prepared.selectors,
+        epsilon,
+        delta,
+        rng=rng,
+        max_samples=max_samples,
+    )
+    return CQAResult(
+        satisfying=result.estimate,
+        total=decomposition.total_repairs(),
+        method="karp-luby",
+        is_estimate=True,
+        answer=answer,
+        details=result,
+    )
 
 
 class CQASolver:
@@ -233,83 +365,22 @@ class CQASolver:
         paper's natural-sample-space scheme) and ``karp-luby`` (the
         complex-sample-space baseline).  ``epsilon``/``delta`` only apply to
         the randomised methods.
+
+        The computation itself is :func:`count_query`, the solver-free
+        kernel; the solver contributes its cached decomposition and its
+        shared random generator.
         """
-        parsed = self._as_query(query)
-        answer = tuple(answer)
-
-        if method in ("fpras", "karp-luby"):
-            return self._count_randomised(
-                parsed, answer, method, epsilon, delta, max_samples
-            )
-
-        report: CountReport = count_repairs_satisfying(
+        return count_query(
             self._database,
             self._keys,
-            parsed,
-            answer,
+            self._as_query(query),
+            answer=answer,
             method=method,
-            decomposition=self._decomposition,
-        )
-        return CQAResult(
-            satisfying=report.satisfying,
-            total=report.total,
-            method=report.method,
-            is_estimate=False,
-            answer=answer,
-            details=report,
-        )
-
-    def _count_randomised(
-        self,
-        query: Query,
-        answer: Tuple[Constant, ...],
-        method: str,
-        epsilon: float,
-        delta: float,
-        max_samples: Optional[int],
-    ) -> CQAResult:
-        if method == "fpras":
-            scheme = CQAFpras(query, self._keys, max_samples=max_samples)
-            result: CQAFprasResult = scheme.estimate(
-                self._database,
-                epsilon,
-                delta,
-                answer=answer,
-                rng=self._rng,
-                decomposition=self._decomposition,
-            )
-            return CQAResult(
-                satisfying=result.estimate,
-                total=result.total_repairs,
-                method="fpras",
-                is_estimate=True,
-                answer=answer,
-                details=result,
-            )
-        # Karp-Luby over the certificate boxes.
-        bound = bind_answer(query, answer) if query.arity else query
-        if not is_existential_positive(bound):
-            raise FragmentError(
-                "randomised estimation requires an existential positive query"
-            )
-        ucq = to_ucq(bound)
-        certificates = list(iter_certificates(self._database, self._keys, ucq))
-        selectors = certificate_selectors(certificates, self._decomposition, self._keys)
-        result = estimate_union_karp_luby(
-            self._decomposition.block_sizes(),
-            selectors,
-            epsilon,
-            delta,
-            rng=self._rng,
+            epsilon=epsilon,
+            delta=delta,
             max_samples=max_samples,
-        )
-        return CQAResult(
-            satisfying=result.estimate,
-            total=self._decomposition.total_repairs(),
-            method="karp-luby",
-            is_estimate=True,
-            answer=answer,
-            details=result,
+            rng=self._rng,
+            decomposition=self._decomposition,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,78 @@
+"""The batch counting engine: many queries, many databases, shared caches.
+
+:class:`~repro.core.CQASolver` is a single-database façade: every solver
+instance recomputes the block decomposition, and every ``count`` call
+recomputes the UCQ rewriting and the certificate selectors of its query.
+That is the right shape for one-off use and the wrong shape for serving —
+a workload of J jobs over D databases and Q distinct queries pays
+``O(J)`` preparations where ``O(D + D·Q)`` suffice.  This package provides
+the serving shape.
+
+Caching model
+-------------
+:class:`SolverPool` keeps three bounded LRU layers, each memoising a pure
+function of immutable inputs:
+
+================  ===============================================  ==========================
+layer             caches                                           keyed by
+================  ===============================================  ==========================
+``query``         parsed :class:`~repro.query.ast.Query` ASTs      (formula text, answer vars)
+``decomposition``  :class:`~repro.db.blocks.BlockDecomposition`    database name
+``selectors``     :class:`~repro.repairs.counting.\
+PreparedCertificates` (UCQ rewriting, valid
+                  certificates, block selectors)                   (db name, formula, answer
+                                                                   vars, answer tuple)
+================  ===============================================  ==========================
+
+The ``selectors`` layer is the expensive one and is shared by *four*
+consumers: the certificate/inclusion-exclusion/enumeration exact counters,
+the FPRAS membership test and the Karp–Luby estimator.
+
+Invalidation rules
+------------------
+* Registered databases are immutable snapshots.  Every cache key is rooted
+  in the registration name; :meth:`SolverPool.register` on an existing name
+  and :meth:`SolverPool.invalidate` drop the name's decomposition and every
+  prepared-certificate entry rooted in it.
+* Parsed queries are never invalidated (text is content-addressed), only
+  LRU-evicted.
+* Mutating a :class:`~repro.db.database.Database` in place after
+  registering it is undefined behaviour — same contract as mutating one
+  behind a ``CQASolver``.
+
+Determinism contract
+--------------------
+A pooled run is bit-identical to a sequential run of the same job list:
+exact counts are deterministic; randomised jobs draw their generator from
+:meth:`CountJob.effective_seed` (explicit seed, else an unsalted CRC of the
+job content and position) rather than from shared generator state; and all
+certificate/selector enumeration orders are deterministic (sorted) so even
+order-sensitive estimators like Karp–Luby reproduce exactly across
+processes.  The cross-method equivalence harness
+(``tests/test_engine_equivalence.py``) pins this contract.
+"""
+
+from .cache import LRUCache
+from .jobfile import load_job_file, parse_job_document
+from .jobs import (
+    BATCH_METHODS,
+    CACHE_LAYERS,
+    BatchReport,
+    CountJob,
+    JobResult,
+    aggregate_cache_stats,
+)
+from .pool import SolverPool
+
+__all__ = [
+    "BATCH_METHODS",
+    "CACHE_LAYERS",
+    "BatchReport",
+    "CountJob",
+    "JobResult",
+    "LRUCache",
+    "SolverPool",
+    "aggregate_cache_stats",
+    "load_job_file",
+    "parse_job_document",
+]

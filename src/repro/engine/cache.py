@@ -1,0 +1,108 @@
+"""Bounded LRU caches with hit/miss accounting.
+
+The batch engine memoises three kinds of derived state (parsed queries,
+block decompositions, certificate selectors), all of which are pure
+functions of immutable inputs.  A small ordered-dict LRU is all that is
+needed; the cache additionally keeps hit/miss/eviction counters so batch
+reports can expose cache provenance (which is both an observability feature
+and what the equivalence test harness uses to prove the cached paths were
+actually exercised).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Generic, Hashable, Tuple, TypeVar
+
+__all__ = ["LRUCache"]
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    ``maxsize <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored), which gives callers a uniform way to switch the
+    memoisation off without branching.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self._maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """The bound on the number of cached entries."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not touch recency or the counters."""
+        return key in self._data
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], V]) -> Tuple[V, bool]:
+        """Return ``(value, was_hit)``, computing and caching on a miss."""
+        if key in self._data:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key], True
+        self.misses += 1
+        value = factory()
+        if self._maxsize > 0:
+            self._data[key] = value
+            if len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return value, False
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert (or refresh) an entry, evicting the oldest if needed."""
+        if self._maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, key: Hashable) -> None:
+        """Drop an entry if present (cache invalidation hook)."""
+        self._data.pop(key, None)
+
+    def discard_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count.
+
+        Used for prefix invalidation: dropping all derived state of one
+        database means dropping every key rooted in its name.
+        """
+        doomed = [key for key in self._data if predicate(key)]
+        for key in doomed:
+            del self._data[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus the current size, as a JSON-able dict."""
+        return {
+            "size": len(self._data),
+            "maxsize": self._maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self._data)}/{self._maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

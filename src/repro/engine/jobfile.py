@@ -1,0 +1,97 @@
+"""Batch job files: the on-disk format of ``repro batch``.
+
+A job file is one JSON document::
+
+    {
+      "databases": {
+        "hr":      {"path": "hr.json"},
+        "sensors": {"relations": {...}, "facts": [...], "keys": {...}}
+      },
+      "jobs": [
+        {"database": "hr", "query": "EXISTS x. Employee(1, x, 'HR')"},
+        {"database": "hr", "query": "Employee(1, x, y)",
+         "answer_variables": ["x", "y"], "answer": ["Bob", "HR"],
+         "method": "fpras", "epsilon": 0.1, "delta": 0.05, "seed": 7}
+      ]
+    }
+
+Each database is either a ``{"path": ...}`` reference to a database JSON
+file (as written by :func:`repro.db.io.save_json`; relative paths resolve
+against the job file's directory) or an inline payload in the same format.
+Every malformed shape raises :class:`~repro.errors.BatchSpecError`, which
+the CLI maps to a nonzero exit status.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.io import database_from_json, load_json
+from ..errors import BatchSpecError, ReproError
+from .jobs import CountJob
+
+__all__ = ["load_job_file", "parse_job_document"]
+
+
+def parse_job_document(
+    payload: object, base_directory: Union[str, Path, None] = None
+) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[CountJob]]:
+    """Validate a job document and materialise its databases and jobs."""
+    if not isinstance(payload, Mapping):
+        raise BatchSpecError(
+            f"a job file must hold a JSON object, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - {"databases", "jobs"}
+    if unknown:
+        raise BatchSpecError(f"unknown job-file sections: {sorted(unknown)}")
+    databases_section = payload.get("databases")
+    jobs_section = payload.get("jobs")
+    if not isinstance(databases_section, Mapping) or not databases_section:
+        raise BatchSpecError("'databases' must be a non-empty object")
+    if not isinstance(jobs_section, list) or not jobs_section:
+        raise BatchSpecError("'jobs' must be a non-empty array")
+
+    base = Path(base_directory) if base_directory is not None else Path.cwd()
+    databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+    for name, entry in databases_section.items():
+        if not isinstance(entry, Mapping):
+            raise BatchSpecError(f"database {name!r} must be a JSON object")
+        try:
+            if "path" in entry:
+                path = Path(str(entry["path"]))
+                if not path.is_absolute():
+                    path = base / path
+                databases[name] = load_json(path)
+            else:
+                databases[name] = database_from_json(entry)
+        except (ReproError, OSError, ValueError, KeyError, TypeError) as exc:
+            raise BatchSpecError(f"database {name!r} could not be loaded: {exc}") from exc
+
+    jobs = [CountJob.from_json(entry) for entry in jobs_section]
+    for job in jobs:
+        if job.database not in databases:
+            raise BatchSpecError(
+                f"job references unknown database {job.database!r}; "
+                f"declared: {sorted(databases)}"
+            )
+    return databases, jobs
+
+
+def load_job_file(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[CountJob]]:
+    """Load and validate a job file from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise BatchSpecError(f"cannot read job file {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BatchSpecError(f"job file {path} is not valid JSON: {exc}") from exc
+    return parse_job_document(payload, base_directory=path.parent)

@@ -1,0 +1,298 @@
+"""Batch job descriptions and reports.
+
+A :class:`CountJob` is one (database, query, method) request expressed in
+primitive, JSON-able data: the database is referenced by the name it was
+registered under in the :class:`~repro.engine.pool.SolverPool` and the
+query is carried as text in the CLI's formula syntax (formula plus
+answer-variable names).  Keeping jobs textual makes them trivially
+picklable for worker processes, diffable in job files and stable across
+processes — the engine guarantees that a pooled run is bit-identical to a
+sequential one precisely because a job fully determines its computation
+(including the random seed of the randomised estimators).
+
+A :class:`JobResult` pairs the job with its count and with execution
+provenance (timing, which cache layers were hit, which worker ran it); a
+:class:`BatchReport` aggregates the results of one ``SolverPool.run`` call.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..db.facts import Constant
+from ..errors import BatchSpecError
+
+__all__ = [
+    "BATCH_METHODS",
+    "CACHE_LAYERS",
+    "CountJob",
+    "JobResult",
+    "BatchReport",
+    "aggregate_cache_stats",
+]
+
+#: Every method a job may request (exact strategies plus the randomised ones).
+BATCH_METHODS = (
+    "auto",
+    "naive",
+    "certificate",
+    "inclusion-exclusion",
+    "enumeration",
+    "fpras",
+    "karp-luby",
+)
+
+#: The cache layers a job may hit, in report order.
+CACHE_LAYERS = ("query", "decomposition", "selectors")
+
+
+@dataclass(frozen=True)
+class CountJob:
+    """One #CQA request against a registered database.
+
+    Attributes
+    ----------
+    database:
+        Name the target database was registered under in the pool.
+    query:
+        The query formula in the textual syntax of
+        :func:`repro.query.parser.parse_query`.
+    answer_variables:
+        Names of the answer variables (empty for a Boolean query).
+    answer:
+        Candidate answer tuple for non-Boolean queries.
+    method:
+        One of :data:`BATCH_METHODS`.
+    epsilon, delta:
+        Accuracy/confidence of the randomised methods (ignored by exact ones).
+    seed:
+        Seed of the randomised methods.  ``None`` derives a deterministic
+        per-job seed from the job's content and position, so batches are
+        reproducible (and pooled runs bit-identical to sequential ones)
+        even when no seed is given.
+    label:
+        Free-form tag carried through to the result (e.g. a scenario name).
+    """
+
+    database: str
+    query: str
+    answer_variables: Tuple[str, ...] = ()
+    answer: Tuple[Constant, ...] = ()
+    method: str = "auto"
+    epsilon: float = 0.1
+    delta: float = 0.05
+    seed: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.database or not isinstance(self.database, str):
+            raise BatchSpecError("a job must name a registered database")
+        if not self.query or not isinstance(self.query, str):
+            raise BatchSpecError("a job must carry a textual query")
+        if self.method not in BATCH_METHODS:
+            raise BatchSpecError(
+                f"unknown method {self.method!r}; expected one of {BATCH_METHODS}"
+            )
+        object.__setattr__(self, "answer_variables", tuple(self.answer_variables))
+        object.__setattr__(self, "answer", tuple(self.answer))
+
+    @property
+    def is_randomised(self) -> bool:
+        """True iff the job runs an estimator rather than an exact counter."""
+        return self.method in ("fpras", "karp-luby")
+
+    def effective_seed(self, index: int) -> int:
+        """The seed actually used for this job at position ``index``.
+
+        Explicit seeds win; otherwise the seed is a CRC of the job's
+        content plus its batch position — stable across processes (CRC32,
+        unlike :func:`hash`, is not salted) so sequential and pooled runs
+        draw identical sample sequences.
+        """
+        if self.seed is not None:
+            return self.seed
+        token = "\x1f".join(
+            [
+                self.database,
+                self.query,
+                ",".join(self.answer_variables),
+                repr(self.answer),
+                self.method,
+                repr(self.epsilon),
+                repr(self.delta),
+                str(index),
+            ]
+        )
+        return zlib.crc32(token.encode("utf-8"))
+
+    def to_json(self) -> Dict[str, object]:
+        """The job as a JSON-able dict (inverse of :meth:`from_json`)."""
+        payload: Dict[str, object] = {
+            "database": self.database,
+            "query": self.query,
+            "method": self.method,
+        }
+        if self.answer_variables:
+            payload["answer_variables"] = list(self.answer_variables)
+        if self.answer:
+            payload["answer"] = list(self.answer)
+        if self.is_randomised:
+            payload["epsilon"] = self.epsilon
+            payload["delta"] = self.delta
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "CountJob":
+        """Build a job from a JSON mapping, validating types and fields."""
+        if not isinstance(payload, Mapping):
+            raise BatchSpecError(f"a job must be a JSON object, got {type(payload).__name__}")
+        known = {
+            "database",
+            "query",
+            "answer_variables",
+            "answer",
+            "method",
+            "epsilon",
+            "delta",
+            "seed",
+            "label",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise BatchSpecError(f"unknown job fields: {sorted(unknown)}")
+        missing = {"database", "query"} - set(payload)
+        if missing:
+            raise BatchSpecError(f"a job requires fields: {sorted(missing)}")
+        answer_variables = payload.get("answer_variables", ())
+        answer = payload.get("answer", ())
+        if isinstance(answer_variables, str) or not isinstance(answer_variables, Sequence):
+            raise BatchSpecError("answer_variables must be a list of names")
+        if isinstance(answer, str) or not isinstance(answer, Sequence):
+            raise BatchSpecError("answer must be a list of constants")
+        try:
+            epsilon = float(payload.get("epsilon", 0.1))
+            delta = float(payload.get("delta", 0.05))
+        except (TypeError, ValueError) as exc:
+            raise BatchSpecError(f"epsilon/delta must be numbers: {exc}") from exc
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise BatchSpecError(f"seed must be an integer, got {seed!r}")
+        return cls(
+            database=payload["database"],  # type: ignore[arg-type]
+            query=payload["query"],  # type: ignore[arg-type]
+            answer_variables=tuple(str(name) for name in answer_variables),
+            answer=tuple(answer),
+            method=str(payload.get("method", "auto")),
+            epsilon=epsilon,
+            delta=delta,
+            seed=seed,
+            label=payload.get("label"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The outcome of one job, with execution provenance.
+
+    ``count_fields`` is the deterministic payload (what must be
+    bit-identical between sequential and pooled runs); ``elapsed``,
+    ``cache_hits``/``cache_misses`` and ``worker`` are provenance and may
+    legitimately differ between runs.
+    """
+
+    index: int
+    job: CountJob
+    satisfying: float
+    total: int
+    method: str
+    is_estimate: bool
+    elapsed: float
+    cache_hits: Tuple[str, ...] = ()
+    cache_misses: Tuple[str, ...] = ()
+    worker: str = "sequential"
+
+    def count_fields(self) -> Tuple[int, float, int, str, bool]:
+        """The deterministic part of the result, for equivalence checks."""
+        return (self.index, self.satisfying, self.total, self.method, self.is_estimate)
+
+    @property
+    def frequency(self) -> float:
+        """Relative frequency of the answer (estimated iff the count is)."""
+        if self.total == 0:
+            return 0.0
+        return self.satisfying / self.total
+
+    def to_json(self) -> Dict[str, object]:
+        """The result as a JSON-able dict (counts, provenance and the job)."""
+        return {
+            "index": self.index,
+            "job": self.job.to_json(),
+            "satisfying": self.satisfying,
+            "total": self.total,
+            "method": self.method,
+            "is_estimate": self.is_estimate,
+            "frequency": self.frequency,
+            "elapsed": self.elapsed,
+            "cache_hits": list(self.cache_hits),
+            "cache_misses": list(self.cache_misses),
+            "worker": self.worker,
+        }
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregate outcome of one ``SolverPool.run`` call."""
+
+    results: Tuple[JobResult, ...]
+    elapsed: float
+    workers: int
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Throughput of the run (0 when the batch was empty or instant)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.results) / self.elapsed
+
+    def counts(self) -> List[Tuple[int, float, int, str, bool]]:
+        """Deterministic per-job payloads, for cross-run comparison."""
+        return [result.count_fields() for result in self.results]
+
+    def to_json(self) -> Dict[str, object]:
+        """The report as a JSON-able dict (the CLI's output format)."""
+        return {
+            "jobs": [result.to_json() for result in self.results],
+            "summary": {
+                "jobs": len(self.results),
+                "elapsed": self.elapsed,
+                "jobs_per_second": self.jobs_per_second,
+                "workers": self.workers,
+                "cache": self.cache_stats,
+            },
+        }
+
+
+def aggregate_cache_stats(results: Sequence[JobResult]) -> Dict[str, Dict[str, int]]:
+    """Per-layer hit/miss totals across a result set.
+
+    Derived from the per-job provenance rather than from the caches
+    themselves so the aggregation works identically for sequential runs
+    (one shared cache) and pooled runs (one cache per worker process).
+    """
+    stats = {layer: {"hits": 0, "misses": 0} for layer in CACHE_LAYERS}
+    for result in results:
+        for layer in result.cache_hits:
+            stats[layer]["hits"] += 1
+        for layer in result.cache_misses:
+            stats[layer]["misses"] += 1
+    return stats

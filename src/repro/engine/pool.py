@@ -1,0 +1,284 @@
+"""The batch counting engine: :class:`SolverPool`.
+
+A :class:`SolverPool` answers streams of :class:`~repro.engine.jobs.CountJob`
+requests over one or more registered databases, amortising the state that a
+fresh :class:`~repro.core.CQASolver` would recompute per call:
+
+``query`` layer
+    parsed ASTs of the textual queries (keyed by formula text and answer
+    variables);
+``decomposition`` layer
+    the block decomposition ``B1 ≺ ... ≺ Bn`` of each database (keyed by
+    registration name);
+``selectors`` layer
+    the :class:`~repro.repairs.counting.PreparedCertificates` of each
+    (database, query, answer) triple — the UCQ rewriting, the valid
+    certificates and their selectors, shared by the certificate-family
+    exact counters, the FPRAS membership test and the Karp–Luby estimator.
+
+Cache invalidation model: registered databases are treated as immutable
+snapshots — every cache key is rooted in the registration name, so
+re-registering a name (or calling :meth:`SolverPool.invalidate`) drops all
+derived state for that name.  There is deliberately no mtime/content
+tracking: mutating a :class:`~repro.db.database.Database` in place behind
+the pool's back is undefined behaviour, exactly like mutating it behind a
+``CQASolver``'s cached decomposition.
+
+Parallelism: :meth:`SolverPool.run` optionally fans jobs out to a process
+pool.  Workers are primed once with the registered databases (via the pool
+initializer, so databases are pickled once per worker, not once per job)
+and build their own caches.  Results are **bit-identical** to a sequential
+run: exact counts are deterministic, and randomised jobs derive their seed
+from the job itself (:meth:`CountJob.effective_seed`), never from shared
+mutable generator state.  Independent connected components inside one
+union-of-boxes count can likewise be mapped over an executor
+(``component_executor``), which helps single huge jobs rather than large
+batches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.solver import count_query
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..errors import EngineError
+from ..query.ast import Query
+from ..query.classify import is_existential_positive
+from ..query.parser import parse_query
+from ..repairs.counting import PreparedCertificates, prepare_certificates
+from .cache import LRUCache
+from .jobs import BatchReport, CountJob, JobResult, aggregate_cache_stats
+
+__all__ = ["SolverPool"]
+
+
+class SolverPool:
+    """A multi-database, multi-query counting engine with shared caches.
+
+    Parameters
+    ----------
+    max_databases:
+        Bound on cached block decompositions (one per registered database).
+    max_queries:
+        Bound on cached parsed queries.
+    max_prepared:
+        Bound on cached certificate/selector preparations (one per
+        (database, query, answer) triple).
+    workers:
+        Default process count for :meth:`run`; ``None`` or ``1`` runs
+        sequentially in-process.
+    """
+
+    def __init__(
+        self,
+        max_databases: int = 32,
+        max_queries: int = 256,
+        max_prepared: int = 1024,
+        workers: Optional[int] = None,
+    ) -> None:
+        self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+        self._decompositions: LRUCache[BlockDecomposition] = LRUCache(max_databases)
+        self._queries: LRUCache[Query] = LRUCache(max_queries)
+        self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
+        self._workers = workers
+
+    # ------------------------------------------------------------------ #
+    # database registry
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, database: Database, keys: PrimaryKeySet) -> None:
+        """Register (or replace) a database snapshot under ``name``.
+
+        Re-registering a name invalidates every cache entry derived from
+        the previous snapshot.
+        """
+        if not name:
+            raise EngineError("a database registration needs a non-empty name")
+        if name in self._databases:
+            self.invalidate(name)
+        self._databases[name] = (database, keys)
+
+    def register_scenario(self, scenario) -> None:
+        """Register a named :class:`~repro.workloads.scenarios.Scenario`."""
+        self.register(scenario.name, scenario.database, scenario.keys)
+
+    def invalidate(self, name: str) -> None:
+        """Drop all cached state derived from the database ``name``."""
+        self._decompositions.discard(name)
+        self._prepared.discard_where(lambda key: key[0] == name)
+
+    def database_names(self) -> Tuple[str, ...]:
+        """The registered database names, in registration order."""
+        return tuple(self._databases)
+
+    def lookup(self, name: str) -> Tuple[Database, PrimaryKeySet]:
+        """The registered (database, keys) pair for ``name``."""
+        try:
+            return self._databases[name]
+        except KeyError as exc:
+            raise EngineError(
+                f"unknown database {name!r}; registered: {sorted(self._databases)}"
+            ) from exc
+
+    def decomposition(self, name: str) -> BlockDecomposition:
+        """The (cached) block decomposition of the database ``name``."""
+        database, keys = self.lookup(name)
+        value, _ = self._decompositions.get_or_compute(
+            name, lambda: BlockDecomposition(database, keys)
+        )
+        return value
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Lifetime statistics of the pool's own cache layers."""
+        return {
+            "query": self._queries.stats(),
+            "decomposition": self._decompositions.stats(),
+            "selectors": self._prepared.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # single-job execution
+    # ------------------------------------------------------------------ #
+    def run_job(
+        self,
+        job: CountJob,
+        index: int = 0,
+        component_executor: Optional[Executor] = None,
+        worker_label: str = "sequential",
+    ) -> JobResult:
+        """Run one job against the pool's caches and return its result.
+
+        ``component_executor`` optionally parallelises the decomposed
+        union-of-boxes count across connected components (useful for one
+        huge exact job; batches parallelise across jobs instead).
+        """
+        started = time.perf_counter()
+        database, keys = self.lookup(job.database)
+        hits: List[str] = []
+        misses: List[str] = []
+
+        query, query_hit = self._queries.get_or_compute(
+            (job.query, job.answer_variables),
+            lambda: parse_query(job.query, answer_variables=list(job.answer_variables)),
+        )
+        (hits if query_hit else misses).append("query")
+
+        decomposition, decomposition_hit = self._decompositions.get_or_compute(
+            job.database, lambda: BlockDecomposition(database, keys)
+        )
+        (hits if decomposition_hit else misses).append("decomposition")
+
+        prepared: Optional[PreparedCertificates] = None
+        if job.method != "naive" and is_existential_positive(query):
+            prepared, prepared_hit = self._prepared.get_or_compute(
+                (job.database, job.query, job.answer_variables, job.answer),
+                lambda: prepare_certificates(
+                    database, keys, query, job.answer, decomposition=decomposition
+                ),
+            )
+            (hits if prepared_hit else misses).append("selectors")
+
+        map_fn = component_executor.map if component_executor is not None else None
+        result = count_query(
+            database,
+            keys,
+            query,
+            answer=job.answer,
+            method=job.method,
+            epsilon=job.epsilon,
+            delta=job.delta,
+            rng=job.effective_seed(index) if job.is_randomised else None,
+            decomposition=decomposition,
+            prepared=prepared,
+            map_fn=map_fn,
+        )
+        return JobResult(
+            index=index,
+            job=job,
+            satisfying=result.satisfying,
+            total=result.total,
+            method=result.method,
+            is_estimate=result.is_estimate,
+            elapsed=time.perf_counter() - started,
+            cache_hits=tuple(hits),
+            cache_misses=tuple(misses),
+            worker=worker_label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # batch execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        jobs: Iterable[CountJob],
+        workers: Optional[int] = None,
+    ) -> BatchReport:
+        """Run a batch of jobs and return the aggregated report.
+
+        ``workers`` > 1 fans the jobs out to a process pool primed with the
+        registered databases; otherwise the batch runs sequentially against
+        this pool's caches.  Either way the per-job counts are
+        bit-identical (see the module docstring).
+        """
+        job_list = list(jobs)
+        if workers is None:
+            workers = self._workers or 1
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        started = time.perf_counter()
+
+        if workers == 1 or len(job_list) <= 1:
+            results = [self.run_job(job, index) for index, job in enumerate(job_list)]
+            workers = 1
+        else:
+            chunksize = max(1, len(job_list) // (workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_initialise_worker,
+                initargs=(dict(self._databases),),
+            ) as executor:
+                results = list(
+                    executor.map(
+                        _run_job_in_worker,
+                        enumerate(job_list),
+                        chunksize=chunksize,
+                    )
+                )
+
+        elapsed = time.perf_counter() - started
+        return BatchReport(
+            results=tuple(results),
+            elapsed=elapsed,
+            workers=workers,
+            cache_stats=aggregate_cache_stats(results),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# worker-process plumbing
+# ---------------------------------------------------------------------- #
+#: The per-process pool a worker builds from the databases it was primed
+#: with.  Module-level so `executor.map` only ships (index, job) pairs.
+_WORKER_POOL: Optional[SolverPool] = None
+
+
+def _initialise_worker(databases: Dict[str, Tuple[Database, PrimaryKeySet]]) -> None:
+    """Prime a worker process: register every database once, build caches."""
+    global _WORKER_POOL
+    pool = SolverPool()
+    for name, (database, keys) in databases.items():
+        pool.register(name, database, keys)
+    _WORKER_POOL = pool
+
+
+def _run_job_in_worker(item: Tuple[int, CountJob]) -> JobResult:
+    """Run one job inside a primed worker process."""
+    index, job = item
+    if _WORKER_POOL is None:  # pragma: no cover - initializer always runs first
+        raise EngineError("worker used before initialisation")
+    return _WORKER_POOL.run_job(index=index, job=job, worker_label=f"pid-{os.getpid()}")

@@ -68,3 +68,11 @@ class ApproximationError(ReproError):
 
 class CompactorError(ReproError):
     """A compactor produced or was asked to parse a malformed compact string."""
+
+
+class EngineError(ReproError):
+    """The batch engine was misused (unknown database, bad worker count)."""
+
+
+class BatchSpecError(EngineError):
+    """A batch job specification (job file or job payload) is malformed."""

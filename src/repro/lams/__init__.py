@@ -23,7 +23,10 @@ from .selectors import Box, Selector
 from .spanll import UnboundedCompactor, forget_bound, is_spanll_compactor
 from .transducer import GuessCheckExpandTransducer
 from .union_of_boxes import (
+    ComponentTask,
+    component_union_tasks,
     connected_components,
+    count_component_union,
     count_union_by_enumeration,
     count_union_decomposed,
     count_union_inclusion_exclusion,
@@ -35,6 +38,7 @@ __all__ = [
     "CQACertificate",
     "CQACompactor",
     "CompactString",
+    "ComponentTask",
     "Compactor",
     "GuessCheckExpandTransducer",
     "STRUCTURAL_FACTS",
@@ -43,7 +47,9 @@ __all__ = [
     "TabularCompactor",
     "UnboundedCompactor",
     "compact_from_selector",
+    "component_union_tasks",
     "connected_components",
+    "count_component_union",
     "count_union_by_enumeration",
     "count_union_decomposed",
     "count_union_inclusion_exclusion",

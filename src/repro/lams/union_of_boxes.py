@@ -34,11 +34,16 @@ in practice:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .selectors import Selector
 
 __all__ = [
+    "ComponentTask",
+    "component_union_tasks",
+    "count_component_union",
     "count_union_of_boxes",
     "count_union_inclusion_exclusion",
     "count_union_by_enumeration",
@@ -207,11 +212,105 @@ def connected_components(selectors: Sequence[Selector]) -> List[List[Selector]]:
     return list(groups.values())
 
 
+@dataclass(frozen=True)
+class ComponentTask:
+    """One connected component of the union, restricted to its support.
+
+    The task is self-contained (domain sizes and selectors are re-indexed to
+    the support coordinates), which makes it a pure, picklable unit of work:
+    process pools can count components in parallel and multiply the results
+    back together.
+
+    Attributes
+    ----------
+    sizes:
+        Domain sizes of the support coordinates, in support order.
+    selectors:
+        The component's boxes, re-indexed to positions within ``sizes``.
+    space:
+        ``Π sizes`` — the product space of the component's support.
+    """
+
+    sizes: Tuple[int, ...]
+    selectors: Tuple[Selector, ...]
+    space: int
+
+
+def component_union_tasks(
+    domain_sizes: Sequence[int], selectors: Sequence[Selector]
+) -> Tuple[Tuple[ComponentTask, ...], int]:
+    """Split the boxes into independent per-component counting tasks.
+
+    Returns ``(tasks, outside_factor)`` where ``outside_factor`` is the
+    product of the domain sizes not touched by any box.  The caller combines
+    them as in :func:`count_union_decomposed`::
+
+        union = Π|S_i| − outside_factor · Π_g (task_g.space − union_g)
+    """
+    return _component_tasks_from_deduped(tuple(domain_sizes), _deduplicate(selectors))
+
+
+def _component_tasks_from_deduped(
+    sizes: Tuple[int, ...], boxes: List[Selector]
+) -> Tuple[Tuple[ComponentTask, ...], int]:
+    """The task split proper, for callers that already deduplicated."""
+    tasks: List[ComponentTask] = []
+    support_union: Set[int] = set()
+    for component in connected_components(boxes):
+        support = sorted(
+            {coordinate for selector in component for coordinate, _ in selector.pins}
+        )
+        support_union.update(support)
+        remap = {coordinate: position for position, coordinate in enumerate(support)}
+        restricted_sizes = tuple(sizes[coordinate] for coordinate in support)
+        restricted = tuple(
+            Selector({remap[coordinate]: element for coordinate, element in selector.pins})
+            for selector in component
+        )
+        tasks.append(
+            ComponentTask(restricted_sizes, restricted, _product(restricted_sizes))
+        )
+    outside_factor = _product(
+        size for coordinate, size in enumerate(sizes) if coordinate not in support_union
+    )
+    return tuple(tasks), outside_factor
+
+
+def count_component_union(
+    task: ComponentTask,
+    enumeration_limit: int = 2_000_000,
+    inclusion_exclusion_limit: int = 22,
+) -> int:
+    """Union size of one component task (restricted to its support).
+
+    Chooses the cheaper of the two base strategies for the component
+    (bounded by ``enumeration_limit`` assignments or
+    ``inclusion_exclusion_limit`` boxes; if both bounds are exceeded the
+    enumeration strategy is used regardless, since it is the one with
+    predictable memory behaviour).  A module-level function so process-pool
+    workers can execute tasks shipped from another process.
+    """
+    restricted = list(task.selectors)
+    support_space = task.space
+    if len(restricted) <= inclusion_exclusion_limit and (
+        support_space > enumeration_limit or len(restricted) <= 12
+    ):
+        return count_union_inclusion_exclusion(task.sizes, restricted)
+    if support_space <= enumeration_limit:
+        return count_union_by_enumeration(task.sizes, restricted)
+    if len(restricted) <= inclusion_exclusion_limit:
+        return count_union_inclusion_exclusion(task.sizes, restricted)
+    # Both limits exceeded: fall back to enumeration (exact but slow); the
+    # caller opted into an exact count, so we do the work rather than guess.
+    return count_union_by_enumeration(task.sizes, restricted)
+
+
 def count_union_decomposed(
     domain_sizes: Sequence[int],
     selectors: Sequence[Selector],
     enumeration_limit: int = 2_000_000,
     inclusion_exclusion_limit: int = 22,
+    map_fn: Optional[Callable[..., Iterable[int]]] = None,
 ) -> int:
     """|⋃ boxes| via complement counting over connected components.
 
@@ -223,11 +322,13 @@ def count_union_decomposed(
 
     where ``#avoiding_g`` counts assignments of the coordinates in ``S_g``
     that avoid the boxes of ``g``.  Within a component the avoid count is
-    ``Π_{i∈S_g}|S_i|`` minus the union counted with whichever of the two
-    base strategies is cheaper for that component (bounded by
-    ``enumeration_limit`` assignments or ``inclusion_exclusion_limit``
-    boxes; if both bounds are exceeded the enumeration strategy is used
-    regardless, since it is the one with predictable memory behaviour).
+    ``Π_{i∈S_g}|S_i|`` minus the union counted by
+    :func:`count_component_union`.
+
+    ``map_fn`` optionally replaces the builtin :func:`map` over component
+    tasks (e.g. ``ProcessPoolExecutor.map``) so independent components can
+    be counted in parallel; the mapped function is a module-level partial of
+    :func:`count_component_union` and therefore picklable.
 
     The answer returned is ``Π_i |S_i| − #avoiding``.
     """
@@ -238,69 +339,36 @@ def count_union_decomposed(
     if any(selector.length == 0 for selector in boxes):
         return _product(sizes)
 
-    total_space = _product(sizes)
-    avoiding = 1
-    support_union: Set[int] = set()
-
-    for component in connected_components(boxes):
-        component_support = sorted(
-            {coordinate for selector in component for coordinate, _ in selector.pins}
-        )
-        support_union.update(component_support)
-        component_space = _product(sizes[coordinate] for coordinate in component_support)
-        component_union = _count_component_union(
-            sizes, component, component_support, enumeration_limit, inclusion_exclusion_limit
-        )
-        avoiding *= component_space - component_union
-
-    outside_factor = _product(
-        size for coordinate, size in enumerate(sizes) if coordinate not in support_union
+    tasks, outside_factor = _component_tasks_from_deduped(sizes, boxes)
+    counter = partial(
+        count_component_union,
+        enumeration_limit=enumeration_limit,
+        inclusion_exclusion_limit=inclusion_exclusion_limit,
     )
+    mapper = map if map_fn is None else map_fn
+    avoiding = 1
+    for task, component_union in zip(tasks, mapper(counter, tasks)):
+        avoiding *= task.space - component_union
+
+    total_space = _product(sizes)
     return total_space - avoiding * outside_factor
-
-
-def _count_component_union(
-    sizes: Tuple[int, ...],
-    component: Sequence[Selector],
-    support: Sequence[int],
-    enumeration_limit: int,
-    inclusion_exclusion_limit: int,
-) -> int:
-    """Union size of one component, restricted to its support coordinates."""
-    support_space = _product(sizes[coordinate] for coordinate in support)
-    # Restrict the domain-size vector to the support so the base strategies
-    # work on a compact instance.
-    remap = {coordinate: position for position, coordinate in enumerate(support)}
-    restricted_sizes = tuple(sizes[coordinate] for coordinate in support)
-    restricted = [
-        Selector({remap[coordinate]: element for coordinate, element in selector.pins})
-        for selector in component
-    ]
-    if len(restricted) <= inclusion_exclusion_limit and (
-        support_space > enumeration_limit or len(restricted) <= 12
-    ):
-        return count_union_inclusion_exclusion(restricted_sizes, restricted)
-    if support_space <= enumeration_limit:
-        return count_union_by_enumeration(restricted_sizes, restricted)
-    if len(restricted) <= inclusion_exclusion_limit:
-        return count_union_inclusion_exclusion(restricted_sizes, restricted)
-    # Both limits exceeded: fall back to enumeration (exact but slow); the
-    # caller opted into an exact count, so we do the work rather than guess.
-    return count_union_by_enumeration(restricted_sizes, restricted)
 
 
 def count_union_of_boxes(
     domain_sizes: Sequence[int],
     selectors: Sequence[Selector],
     method: str = "decomposed",
+    map_fn: Optional[Callable[..., Iterable[int]]] = None,
 ) -> int:
     """Front door for union-of-boxes counting.
 
     ``method`` is one of ``"decomposed"`` (default), ``"inclusion-exclusion"``
-    or ``"enumeration"``.
+    or ``"enumeration"``.  ``map_fn`` is forwarded to the decomposed engine
+    to parallelise across connected components (ignored by the two base
+    strategies, which have no independent sub-problems).
     """
     if method == "decomposed":
-        return count_union_decomposed(domain_sizes, selectors)
+        return count_union_decomposed(domain_sizes, selectors, map_fn=map_fn)
     if method == "inclusion-exclusion":
         return count_union_inclusion_exclusion(domain_sizes, selectors)
     if method == "enumeration":

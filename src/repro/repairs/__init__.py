@@ -8,10 +8,13 @@ database under primary keys and to count the repairs entailing a query.
 from .certificates import Certificate, certificate_selectors, ensure_boolean_ucq, iter_certificates
 from .counting import (
     CountReport,
+    PreparedCertificates,
     bind_answer,
+    count_from_selectors,
     count_repairs_satisfying,
     count_repairs_satisfying_certificates,
     count_repairs_satisfying_naive,
+    prepare_certificates,
 )
 from .decision import decide, has_entailing_repair, has_entailing_repair_bruteforce
 from .enumeration import (
@@ -33,10 +36,12 @@ __all__ = [
     "AnswerFrequency",
     "Certificate",
     "CountReport",
+    "PreparedCertificates",
     "answer_frequencies",
     "bind_answer",
     "certain_answers",
     "certificate_selectors",
+    "count_from_selectors",
     "count_repairs_satisfying",
     "count_repairs_satisfying_certificates",
     "count_repairs_satisfying_naive",
@@ -49,6 +54,7 @@ __all__ = [
     "is_repair",
     "iter_certificates",
     "possible_answers",
+    "prepare_certificates",
     "relative_frequency",
     "sample_repair",
     "sample_repair_choices",

@@ -30,7 +30,7 @@ The front door is :func:`count_repairs_satisfying`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 from ..db.blocks import BlockDecomposition
 from ..db.constraints import PrimaryKeySet
@@ -42,12 +42,16 @@ from ..query.classify import is_existential_positive
 from ..query.evaluation import holds
 from ..query.rewriting import UCQ, to_ucq
 from ..query.substitution import bind_answer
+from ..lams.selectors import Selector
 from ..lams.union_of_boxes import count_union_of_boxes
 from .certificates import certificate_selectors, iter_certificates
 from .enumeration import count_total_repairs, enumerate_repairs
 
 __all__ = [
     "CountReport",
+    "PreparedCertificates",
+    "prepare_certificates",
+    "count_from_selectors",
     "count_repairs_satisfying",
     "count_repairs_satisfying_naive",
     "count_repairs_satisfying_certificates",
@@ -129,18 +133,46 @@ def count_repairs_satisfying_naive(
     return count
 
 
-def count_repairs_satisfying_certificates(
+@dataclass(frozen=True)
+class PreparedCertificates:
+    """The query-dependent, repair-independent half of a certificate count.
+
+    Computing an exact certificate-based count factors into two stages: a
+    *preparation* stage (rewrite the bound query to a UCQ, enumerate its
+    valid certificates and convert them to selectors over the block
+    decomposition) and a pure *counting kernel* over ``(block sizes,
+    selectors)``.  The preparation depends only on ``(D, Σ, Q, answer)`` and
+    is therefore cacheable and shareable across repeated counts — the batch
+    engine (:mod:`repro.engine`) memoises exactly this object.  It is
+    immutable and picklable, so it can also be shipped to worker processes.
+
+    Attributes
+    ----------
+    ucq:
+        The Boolean UCQ rewriting of the (answer-bound) query.
+    selectors:
+        The certificate selectors over the block decomposition.
+    certificate_count:
+        The number of valid certificates found.
+    """
+
+    ucq: UCQ
+    selectors: Tuple[Selector, ...]
+    certificate_count: int
+
+
+def prepare_certificates(
     database: Database,
     keys: PrimaryKeySet,
     query: Union[Query, UCQ],
     answer: Sequence[Constant] = (),
     decomposition: Optional[BlockDecomposition] = None,
-    box_method: str = "decomposed",
-) -> Tuple[int, int]:
-    """Exact #CQA via certificates and union-of-boxes counting.
+) -> PreparedCertificates:
+    """Compute the cacheable certificate/selector state for ``(D, Σ, Q, ā)``.
 
-    Returns the pair ``(satisfying, number_of_certificates)``.  Only valid
-    for existential positive queries.
+    Only valid for existential positive queries (the certificate machinery
+    is what makes the fragment tractable); raises :class:`FragmentError`
+    otherwise.
     """
     bound = _prepare_boolean_query(query, answer)
     if isinstance(bound, Query):
@@ -155,13 +187,54 @@ def count_repairs_satisfying_certificates(
     if decomposition is None:
         decomposition = BlockDecomposition(database, keys)
     certificates = list(iter_certificates(database, keys, ucq))
-    if not certificates:
+    selectors = tuple(certificate_selectors(certificates, decomposition, keys))
+    return PreparedCertificates(ucq, selectors, len(certificates))
+
+
+def count_from_selectors(
+    block_sizes: Sequence[int],
+    selectors: Sequence[Selector],
+    box_method: str = "decomposed",
+    map_fn: Optional[Callable[..., Iterable[int]]] = None,
+) -> int:
+    """The pure counting kernel: |⋃ boxes| over the block decomposition.
+
+    Takes only primitive, picklable data (sizes and selectors), so worker
+    processes can run it without a database, a solver or a query in scope.
+    """
+    return count_union_of_boxes(block_sizes, selectors, method=box_method, map_fn=map_fn)
+
+
+def count_repairs_satisfying_certificates(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, UCQ],
+    answer: Sequence[Constant] = (),
+    decomposition: Optional[BlockDecomposition] = None,
+    box_method: str = "decomposed",
+    prepared: Optional[PreparedCertificates] = None,
+    map_fn: Optional[Callable[..., Iterable[int]]] = None,
+) -> Tuple[int, int]:
+    """Exact #CQA via certificates and union-of-boxes counting.
+
+    Returns the pair ``(satisfying, number_of_certificates)``.  Only valid
+    for existential positive queries.  ``prepared`` short-circuits the
+    certificate/selector computation with a cached
+    :class:`PreparedCertificates`; ``map_fn`` parallelises the decomposed
+    union count across connected components.
+    """
+    if decomposition is None:
+        decomposition = BlockDecomposition(database, keys)
+    if prepared is None:
+        prepared = prepare_certificates(
+            database, keys, query, answer, decomposition=decomposition
+        )
+    if prepared.certificate_count == 0:
         return 0, 0
-    selectors = certificate_selectors(certificates, decomposition, keys)
-    satisfying = count_union_of_boxes(
-        decomposition.block_sizes(), selectors, method=box_method
+    satisfying = count_from_selectors(
+        decomposition.block_sizes(), prepared.selectors, box_method, map_fn=map_fn
     )
-    return satisfying, len(certificates)
+    return satisfying, prepared.certificate_count
 
 
 def count_repairs_satisfying(
@@ -171,6 +244,8 @@ def count_repairs_satisfying(
     answer: Sequence[Constant] = (),
     method: str = "auto",
     decomposition: Optional[BlockDecomposition] = None,
+    prepared: Optional[PreparedCertificates] = None,
+    map_fn: Optional[Callable[..., Iterable[int]]] = None,
 ) -> CountReport:
     """Exact #CQA with method selection; the module's front door.
 
@@ -189,6 +264,11 @@ def count_repairs_satisfying(
         ``"inclusion-exclusion"``, ``"enumeration"``.
     decomposition:
         An existing block decomposition to reuse (optional).
+    prepared:
+        Cached :class:`PreparedCertificates` to reuse (certificate-family
+        methods only; the naive counter ignores it).
+    map_fn:
+        Optional parallel map over connected components (decomposed counts).
     """
     if method not in _EXACT_METHODS:
         raise ValueError(
@@ -223,6 +303,8 @@ def count_repairs_satisfying(
         answer,
         decomposition=decomposition,
         box_method=box_method,
+        prepared=prepared,
+        map_fn=map_fn,
     )
     label = "certificate" if method == "auto" else method
     return CountReport(satisfying, total, label, certificate_count, len(decomposition))

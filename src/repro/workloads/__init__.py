@@ -1,5 +1,6 @@
 """Synthetic workloads: database/query generators and named scenarios."""
 
+from .batches import batch_workload
 from .generators import (
     InconsistentDatabaseSpec,
     random_cnf,
@@ -26,6 +27,7 @@ from .scenarios import (
 __all__ = [
     "InconsistentDatabaseSpec",
     "Scenario",
+    "batch_workload",
     "election_registry",
     "employee_example",
     "employee_same_department_query",

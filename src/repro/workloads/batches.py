@@ -1,0 +1,173 @@
+"""Batch workloads: mixed-scenario job streams for the counting engine.
+
+The batch engine (:mod:`repro.engine`) is exercised by streams of jobs that
+interleave databases, queries and methods the way a serving workload would:
+repeated queries over a few hot databases (cache hits), occasional cold
+databases (cache misses), and a mix of exact and randomised methods.
+:func:`batch_workload` generates exactly that, deterministically from a
+seed, over the named scenarios plus synthetic random instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..engine.jobs import CountJob
+from ..query.ast import Query
+from ..query.classify import is_existential_positive
+from ..query.evaluation import answers as evaluate_answers
+from ..repairs.counting import PreparedCertificates, prepare_certificates
+from .generators import InconsistentDatabaseSpec, random_inconsistent_database
+from .queries import random_conjunctive_query
+from .scenarios import election_registry, employee_example, hr_analytics, sensor_fusion
+
+__all__ = ["batch_workload"]
+
+#: Above this many repairs the naive counter is excluded from generated jobs.
+_NAIVE_REPAIR_LIMIT = 50_000
+#: Forced inclusion-exclusion is exponential in the box count; cap it.
+_INCLUSION_EXCLUSION_BOX_LIMIT = 16
+#: Forced enumeration is bounded by the support space; cap it.
+_ENUMERATION_SPACE_LIMIT = 200_000
+
+
+def _job_text(query: Query) -> Tuple[str, Tuple[str, ...]]:
+    """Serialise a query AST to the job format (formula text, answer vars)."""
+    return str(query.formula), tuple(variable.name for variable in query.answer_variables)
+
+
+def batch_workload(
+    jobs: int = 40,
+    seed: int = 0,
+    synthetic_databases: int = 2,
+    methods: Sequence[str] = ("auto", "certificate", "inclusion-exclusion", "fpras", "karp-luby"),
+    epsilon: float = 0.25,
+    delta: float = 0.2,
+) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[CountJob]]:
+    """Generate a mixed-scenario batch: databases plus a job stream.
+
+    Returns ``(databases, jobs)`` ready to feed a
+    :class:`~repro.engine.SolverPool`: register every database, then run the
+    jobs.  The stream mixes the four named scenarios with
+    ``synthetic_databases`` random inconsistent databases, drawing queries
+    from each scenario's catalogue (plus random conjunctive queries for the
+    synthetic databases) and methods from ``methods`` — with ``naive`` only
+    ever emitted on databases whose repair count stays below a feasibility
+    bound.  Non-Boolean queries are answer-bound by sampling a tuple from
+    the query's answers over the full (inconsistent) database, so every job
+    is a well-formed counting request.
+
+    Everything is derived from ``seed``; the same arguments always produce
+    the same stream (jobs carry no explicit seed — the engine derives
+    deterministic per-job seeds, see :meth:`CountJob.effective_seed`).
+    """
+    rng = random.Random(seed)
+
+    databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+    catalogue: Dict[str, List[Query]] = {}
+
+    for scenario in (
+        employee_example(),
+        hr_analytics(seed=rng.randrange(2**16)),
+        sensor_fusion(seed=rng.randrange(2**16)),
+        election_registry(seed=rng.randrange(2**16)),
+    ):
+        databases[scenario.name] = (scenario.database, scenario.keys)
+        catalogue[scenario.name] = list(scenario.queries.values())
+
+    synthetic_relations = {"R": 3, "S": 3}
+    for index in range(synthetic_databases):
+        spec = InconsistentDatabaseSpec(
+            relations=synthetic_relations,
+            blocks_per_relation=rng.randint(6, 12),
+            conflict_rate=0.5,
+            max_block_size=3,
+            domain_size=8,
+        )
+        name = f"synthetic-{index}"
+        database, keys = random_inconsistent_database(spec, seed=rng.randrange(2**16))
+        databases[name] = (database, keys)
+        catalogue[name] = [
+            random_conjunctive_query(
+                synthetic_relations, keys, target_keywidth=rng.randint(1, 2), seed=rng.randrange(2**16)
+            )
+            for _ in range(3)
+        ]
+
+    decompositions = {
+        name: BlockDecomposition(database, keys)
+        for name, (database, keys) in databases.items()
+    }
+    naive_allowed = {
+        name: decomposition.total_repairs() <= _NAIVE_REPAIR_LIMIT
+        for name, decomposition in decompositions.items()
+    }
+
+    prepared_cache: Dict[Tuple[str, str, Tuple], PreparedCertificates] = {}
+
+    def prepared_for(name: str, query: Query, answer: Tuple) -> PreparedCertificates:
+        key = (name, str(query.formula), answer)
+        if key not in prepared_cache:
+            database, keys = databases[name]
+            prepared_cache[key] = prepare_certificates(
+                database, keys, query, answer, decomposition=decompositions[name]
+            )
+        return prepared_cache[key]
+
+    def feasible_method(name: str, query: Query, answer: Tuple, method: str) -> str:
+        """Demote forced strategies that would blow up on this instance.
+
+        Mirrors the feasibility analysis of the exact methods: naive is
+        exponential in the repair count, forced inclusion-exclusion in the
+        box count, forced enumeration in the support space.  ``auto`` (the
+        decomposed engine) is the safe fallback for all three.
+        """
+        if method == "naive" and not naive_allowed[name]:
+            return "auto"
+        if method == "inclusion-exclusion":
+            if prepared_for(name, query, answer).certificate_count > _INCLUSION_EXCLUSION_BOX_LIMIT:
+                return "auto"
+        elif method == "enumeration":
+            prepared = prepared_for(name, query, answer)
+            sizes = decompositions[name].block_sizes()
+            support = {coordinate for selector in prepared.selectors for coordinate, _ in selector.pins}
+            space = 1
+            for coordinate in support:
+                space *= sizes[coordinate]
+            if space > _ENUMERATION_SPACE_LIMIT:
+                return "auto"
+        return method
+
+    stream: List[CountJob] = []
+    names = sorted(databases)
+    while len(stream) < jobs:
+        name = rng.choice(names)
+        query = rng.choice(catalogue[name])
+        method = rng.choice(list(methods))
+        if method != "naive" and not is_existential_positive(query):
+            continue
+        answer: Tuple = ()
+        if query.arity:
+            candidates = sorted(evaluate_answers(query, databases[name][0]))
+            if not candidates:
+                continue
+            answer = rng.choice(candidates)
+        method = feasible_method(name, query, answer, method)
+        formula_text, answer_variables = _job_text(query)
+        stream.append(
+            CountJob(
+                database=name,
+                query=formula_text,
+                answer_variables=answer_variables,
+                answer=answer,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                label=query.name,
+            )
+        )
+    return databases, stream

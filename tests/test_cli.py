@@ -125,3 +125,116 @@ class TestRankAndCsv:
     def test_missing_source_is_an_error(self):
         with pytest.raises(SystemExit):
             main(["inspect"])
+
+
+@pytest.fixture
+def batch_jobs_file(tmp_path, employee_db, employee_keys):
+    """A well-formed job file: one path database, exact + seeded fpras jobs."""
+    db_path = tmp_path / "employee.json"
+    db_path.write_text(json.dumps(database_to_json(employee_db, employee_keys)))
+    jobs_path = tmp_path / "jobs.json"
+    jobs_path.write_text(
+        json.dumps(
+            {
+                "databases": {"emp": {"path": "employee.json"}},
+                "jobs": [
+                    {"database": "emp", "query": _EMPLOYEE_QUERY},
+                    {"database": "emp", "query": _EMPLOYEE_QUERY, "method": "naive"},
+                    {
+                        "database": "emp",
+                        "query": _EMPLOYEE_QUERY,
+                        "method": "fpras",
+                        "epsilon": 0.3,
+                        "delta": 0.2,
+                        "seed": 7,
+                    },
+                ],
+            }
+        )
+    )
+    return str(jobs_path)
+
+
+class TestBatch:
+    def test_batch_json_report_shape(self, batch_jobs_file, capsys):
+        assert main(["batch", "--jobs", batch_jobs_file]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"jobs", "summary"}
+        summary = report["summary"]
+        assert summary["jobs"] == 3
+        assert summary["workers"] == 1
+        assert set(summary["cache"]) == {"query", "decomposition", "selectors"}
+        first, second, estimate = report["jobs"]
+        assert (first["satisfying"], first["total"]) == (2, 4)
+        assert first["method"] == "certificate"
+        assert second["method"] == "naive" and second["satisfying"] == 2
+        assert estimate["is_estimate"] is True
+        assert estimate["job"]["seed"] == 7
+        # The repeated query must have hit the cold caches of job 0.
+        assert "query" in second["cache_hits"]
+        assert "decomposition" in second["cache_hits"]
+
+    def test_batch_is_deterministic_across_invocations(self, batch_jobs_file, capsys):
+        assert main(["batch", "--jobs", batch_jobs_file]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["batch", "--jobs", batch_jobs_file]) == 0
+        second = json.loads(capsys.readouterr().out)
+        extract = lambda report: [
+            (job["satisfying"], job["total"], job["method"]) for job in report["jobs"]
+        ]
+        assert extract(first) == extract(second)
+
+    def test_batch_with_workers_matches_sequential(self, batch_jobs_file, capsys):
+        assert main(["batch", "--jobs", batch_jobs_file]) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert main(["batch", "--jobs", batch_jobs_file, "--workers", "2"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        assert pooled["summary"]["workers"] == 2
+        assert [job["satisfying"] for job in pooled["jobs"]] == [
+            job["satisfying"] for job in sequential["jobs"]
+        ]
+
+    def test_batch_missing_file_fails(self, tmp_path, capsys):
+        code = main(["batch", "--jobs", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "batch:" in capsys.readouterr().err
+
+    def test_batch_invalid_json_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["batch", "--jobs", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_batch_malformed_document_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"databases": {}}))
+        assert main(["batch", "--jobs", str(path)]) == 2
+        assert "databases" in capsys.readouterr().err
+
+    def test_batch_unknown_method_fails(self, tmp_path, employee_db, employee_keys, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "databases": {"emp": database_to_json(employee_db, employee_keys)},
+                    "jobs": [{"database": "emp", "query": _EMPLOYEE_QUERY, "method": "magic"}],
+                }
+            )
+        )
+        assert main(["batch", "--jobs", str(path)]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_batch_job_referencing_missing_database_fails(
+        self, tmp_path, employee_db, employee_keys, capsys
+    ):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "databases": {"emp": database_to_json(employee_db, employee_keys)},
+                    "jobs": [{"database": "ghost", "query": _EMPLOYEE_QUERY}],
+                }
+            )
+        )
+        assert main(["batch", "--jobs", str(path)]) == 2
+        assert "ghost" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""Determinism regressions: same seed ⇒ same sequence, same estimate.
+
+The engine's bit-identical guarantee (sequential vs pooled batches) rests
+on three determinism properties pinned here:
+
+* seeded samplers draw identical repair sequences,
+* seeded estimators (FPRAS, Karp–Luby) produce identical estimates,
+* the canonical block ordering ``≺_{D,Σ}`` is a total order independent of
+  fact insertion order, including for key values that mix constant types
+  (regression pin for ``_key_sort_token`` in :mod:`repro.db.blocks`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CQASolver
+from repro.core.solver import count_query
+from repro.db import Database, PrimaryKeySet, fact
+from repro.db.blocks import BlockDecomposition, _key_sort_token
+from repro.query import parse_query
+from repro.repairs import enumerate_repairs, sample_repair_choices
+from repro.workloads import InconsistentDatabaseSpec, random_inconsistent_database
+
+SPEC = InconsistentDatabaseSpec(
+    relations={"R": 2, "S": 3},
+    blocks_per_relation=6,
+    conflict_rate=0.5,
+    max_block_size=3,
+    domain_size=6,
+)
+QUERY_TEXT = "EXISTS x. R(x, 'v1')"
+
+
+@pytest.fixture
+def instance():
+    return random_inconsistent_database(SPEC, seed=5)
+
+
+class TestSeededSampling:
+    def test_sample_repair_sequences_are_identical(self, instance):
+        database, keys = instance
+        first = CQASolver(database, keys, rng=42)
+        second = CQASolver(database, keys, rng=42)
+        for _ in range(8):
+            assert first.sample_repair().sorted_facts() == second.sample_repair().sorted_facts()
+
+    def test_sample_repair_choice_vectors_are_identical(self, instance):
+        database, keys = instance
+        decomposition = BlockDecomposition(database, keys)
+        draws_a = [
+            tuple(sample_repair_choices(decomposition, random.Random(seed)))
+            for seed in range(10)
+        ]
+        draws_b = [
+            tuple(sample_repair_choices(decomposition, random.Random(seed)))
+            for seed in range(10)
+        ]
+        assert draws_a == draws_b
+
+    def test_different_seeds_eventually_differ(self, instance):
+        database, keys = instance
+        decomposition = BlockDecomposition(database, keys)
+        assert decomposition.total_repairs() > 1
+        draws = {
+            tuple(
+                tuple(sample_repair_choices(decomposition, rng))
+                for _ in range(4)
+            )
+            for rng in (random.Random(seed) for seed in range(5))
+        }
+        assert len(draws) > 1
+
+
+class TestSeededEstimators:
+    @pytest.mark.parametrize("method", ("fpras", "karp-luby"))
+    def test_same_seed_same_estimate(self, instance, method):
+        database, keys = instance
+        query = parse_query(QUERY_TEXT)
+        runs = [
+            count_query(
+                database, keys, query, method=method, epsilon=0.3, delta=0.2, rng=11
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].satisfying == runs[1].satisfying
+        assert runs[0].is_estimate
+
+    @pytest.mark.parametrize("method", ("fpras", "karp-luby"))
+    def test_solver_facade_matches_kernel_with_same_seed(self, instance, method):
+        """CQASolver(rng=seed) and the kernel draw the same sample stream."""
+        database, keys = instance
+        solver = CQASolver(database, keys, rng=11)
+        facade = solver.count(QUERY_TEXT, method=method, epsilon=0.3, delta=0.2)
+        kernel = count_query(
+            database,
+            keys,
+            parse_query(QUERY_TEXT),
+            method=method,
+            epsilon=0.3,
+            delta=0.2,
+            rng=11,
+        )
+        assert facade.satisfying == kernel.satisfying
+
+
+class TestCanonicalBlockOrdering:
+    def test_key_sort_token_orders_by_type_name_then_rendering(self):
+        tokens = [
+            _key_sort_token(("R", (value,)))
+            for value in (10, "10", 2, "2", 2.5, True)
+        ]
+        assert tokens == [
+            ("R", (("int", "10"),)),
+            ("R", (("str", "10"),)),
+            ("R", (("int", "2"),)),
+            ("R", (("str", "2"),)),
+            ("R", (("float", "2.5"),)),
+            ("R", (("bool", "True"),)),
+        ]
+
+    def test_mixed_type_keys_get_a_pinned_total_order(self):
+        """Regression pin: (type name, str) lexicographic, so bool < float <
+        int < str, and ints order as strings ('10' < '2')."""
+        facts = [
+            fact("R", 10, "a"),
+            fact("R", "10", "b"),
+            fact("R", 2, "c"),
+            fact("R", "2", "d"),
+            fact("R", 2.5, "e"),
+            fact("R", True, "f"),
+        ]
+        keys = PrimaryKeySet.from_dict({"R": [1]})
+        decomposition = BlockDecomposition(Database(facts), keys)
+        ordered_keys = [block.key_value[1] for block in decomposition]
+        assert ordered_keys == [(True,), (2.5,), (10,), (2,), ("10",), ("2",)]
+
+    def test_block_order_is_insertion_order_independent(self, instance):
+        database, keys = instance
+        facts = database.sorted_facts()
+        shuffled = list(facts)
+        random.Random(3).shuffle(shuffled)
+        forward = BlockDecomposition(Database(facts), keys)
+        scrambled = BlockDecomposition(Database(shuffled), keys)
+        assert [block.key_value for block in forward] == [
+            block.key_value for block in scrambled
+        ]
+        assert [tuple(block.facts) for block in forward] == [
+            tuple(block.facts) for block in scrambled
+        ]
+
+    def test_enumeration_order_is_canonical(self, instance):
+        database, keys = instance
+        first = [
+            repair.sorted_facts()
+            for repair in enumerate_repairs(database, keys, limit=6)
+        ]
+        second = [
+            repair.sorted_facts()
+            for repair in enumerate_repairs(database, keys, limit=6)
+        ]
+        assert first == second

@@ -1,0 +1,168 @@
+"""Cross-method equivalence harness for the counting engine.
+
+The library implements the same quantity — #CQA(Q, Σ) — four exact ways
+(naive repair enumeration, certificate/union-of-boxes with the decomposed,
+inclusion-exclusion and enumeration strategies) and two randomised ways
+(the paper's FPRAS and the Karp–Luby baseline).  That redundancy is a free
+metamorphic oracle: on random instances all exact methods must agree
+exactly, the randomised ones must land in their (ε, δ) band, and the batch
+engine must reproduce the sequential results bit for bit, cached or pooled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import count_query
+from repro.engine import CountJob, SolverPool
+from repro.query import parse_query
+from repro.workloads import InconsistentDatabaseSpec, random_inconsistent_database
+
+EXACT_METHODS = ("naive", "certificate", "inclusion-exclusion", "enumeration")
+INSTANCE_SEEDS = tuple(range(30))
+EPSILON = 0.3
+DELTA = 0.1
+
+_RELATIONS = {"R": 2, "S": 3}
+
+
+def make_instance(seed: int):
+    """One seeded random inconsistent database, small enough for ``naive``."""
+    spec = InconsistentDatabaseSpec(
+        relations=_RELATIONS,
+        blocks_per_relation=5,
+        conflict_rate=0.5,
+        max_block_size=3,
+        domain_size=5,
+    )
+    return random_inconsistent_database(spec, seed=seed)
+
+
+def make_query(seed: int):
+    """A constant-anchored ∃FO+ query (anchoring keeps certificates sparse)."""
+    anchor = f"v{seed % 5}"
+    other = f"v{(seed + 2) % 5}"
+    texts = (
+        f"EXISTS x. R(x, '{anchor}')",
+        f"EXISTS x, y, z. (R(x, '{anchor}') AND S(y, '{other}', z))",
+        f"(EXISTS x. R(x, '{anchor}') OR EXISTS y, z. S(y, z, '{other}'))",
+    )
+    return texts[seed % len(texts)]
+
+
+def exact_counts(seed: int):
+    """The per-method CQAResults of instance ``seed`` (exact methods only)."""
+    database, keys = make_instance(seed)
+    query = parse_query(make_query(seed))
+    return {
+        method: count_query(database, keys, query, method=method)
+        for method in EXACT_METHODS
+    }
+
+
+@pytest.mark.parametrize("seed", INSTANCE_SEEDS)
+def test_exact_methods_agree(seed):
+    """naive == certificate == inclusion-exclusion == enumeration, exactly."""
+    results = exact_counts(seed)
+    counts = {method: result.satisfying for method, result in results.items()}
+    assert len(set(counts.values())) == 1, f"seed {seed}: methods disagree: {counts}"
+    totals = {result.total for result in results.values()}
+    assert len(totals) == 1
+
+
+@pytest.mark.parametrize("seed", INSTANCE_SEEDS)
+@pytest.mark.parametrize("method", ("fpras", "karp-luby"))
+def test_randomised_methods_land_in_band(seed, method):
+    """Seeded estimates respect |est − exact| ≤ ε·exact (0 stays 0 exactly).
+
+    Each single run fails its band with probability at most δ; the seeds
+    here are pinned, so these are deterministic regression checks that the
+    estimators keep drawing the samples that (verifiably) satisfy the
+    guarantee.
+    """
+    database, keys = make_instance(seed)
+    query = parse_query(make_query(seed))
+    truth = count_query(database, keys, query, method="naive").satisfying
+    estimate = count_query(
+        database, keys, query, method=method, epsilon=EPSILON, delta=DELTA, rng=seed
+    )
+    assert estimate.is_estimate
+    if truth == 0:
+        assert estimate.satisfying == 0
+    else:
+        assert abs(estimate.satisfying - truth) <= EPSILON * truth, (
+            f"seed {seed} {method}: {estimate.satisfying} vs exact {truth}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# the same suite through the batch engine
+# --------------------------------------------------------------------- #
+def _suite_jobs():
+    """Every (instance, method) pair of the suite as engine jobs."""
+    jobs = []
+    for seed in INSTANCE_SEEDS:
+        for method in EXACT_METHODS + ("fpras", "karp-luby"):
+            jobs.append(
+                CountJob(
+                    database=f"inst-{seed}",
+                    query=make_query(seed),
+                    method=method,
+                    epsilon=EPSILON,
+                    delta=DELTA,
+                    seed=seed,
+                )
+            )
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def suite_pool():
+    pool = SolverPool()
+    for seed in INSTANCE_SEEDS:
+        database, keys = make_instance(seed)
+        pool.register(f"inst-{seed}", database, keys)
+    return pool
+
+
+def test_pool_matches_direct_calls(suite_pool):
+    """Batch results are bit-identical to direct count_query calls."""
+    jobs = _suite_jobs()
+    report = suite_pool.run(jobs)
+    assert len(report) == len(jobs)
+    for index, (job, result) in enumerate(zip(jobs, report.results)):
+        database, keys = make_instance(int(job.database.split("-")[1]))
+        direct = count_query(
+            database,
+            keys,
+            parse_query(job.query),
+            method=job.method,
+            epsilon=job.epsilon,
+            delta=job.delta,
+            rng=job.effective_seed(index),
+        )
+        assert result.satisfying == direct.satisfying, (index, job)
+        assert result.total == direct.total
+        assert result.method == direct.method
+        assert result.is_estimate == direct.is_estimate
+
+
+def test_pooled_run_bit_identical_to_sequential(suite_pool):
+    """workers=2 produces exactly the sequential counts, in order."""
+    jobs = _suite_jobs()
+    sequential = suite_pool.run(jobs)
+    pooled = suite_pool.run(jobs, workers=2)
+    assert pooled.workers == 2
+    assert {result.worker for result in pooled.results} != {"sequential"}
+    assert pooled.counts() == sequential.counts()
+
+
+def test_cached_rerun_bit_identical(suite_pool):
+    """A warm-cache rerun changes provenance, never counts."""
+    jobs = _suite_jobs()[:40]
+    first = suite_pool.run(jobs)
+    second = suite_pool.run(jobs)
+    assert second.counts() == first.counts()
+    # The second pass must be fully warm: every layer hit on every job.
+    for result in second.results:
+        assert result.cache_misses == ()

@@ -1,0 +1,258 @@
+"""Unit tests for the batch engine: caches, jobs, job files, SolverPool."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db import Database, PrimaryKeySet, database_to_json, fact
+from repro.engine import (
+    BatchReport,
+    CountJob,
+    LRUCache,
+    SolverPool,
+    aggregate_cache_stats,
+    load_job_file,
+    parse_job_document,
+)
+from repro.errors import BatchSpecError, EngineError
+from repro.workloads import batch_workload, employee_example
+
+_SAME_DEPARTMENT = "EXISTS x, y, z. (Employee(1, x, y) AND Employee(2, z, y))"
+
+
+class TestLRUCache:
+    def test_get_or_compute_hits_and_misses(self):
+        cache = LRUCache(4)
+        value, hit = cache.get_or_compute("a", lambda: 1)
+        assert (value, hit) == (1, False)
+        value, hit = cache.get_or_compute("a", lambda: 2)
+        assert (value, hit) == (1, True)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get_or_compute("a", lambda: -1)  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_maxsize_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert "a" not in cache
+        _, hit = cache.get_or_compute("a", lambda: 1)
+        assert not hit
+        assert len(cache) == 0
+
+    def test_discard_where_drops_matching_prefix(self):
+        cache = LRUCache(8)
+        cache.put(("db1", "q1"), 1)
+        cache.put(("db1", "q2"), 2)
+        cache.put(("db2", "q1"), 3)
+        dropped = cache.discard_where(lambda key: key[0] == "db1")
+        assert dropped == 2
+        assert ("db2", "q1") in cache and len(cache) == 1
+
+
+class TestCountJob:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(BatchSpecError):
+            CountJob(database="d", query="R(x)", method="magic")
+
+    def test_rejects_empty_database_and_query(self):
+        with pytest.raises(BatchSpecError):
+            CountJob(database="", query="R(x)")
+        with pytest.raises(BatchSpecError):
+            CountJob(database="d", query="")
+
+    def test_from_json_rejects_unknown_and_missing_fields(self):
+        with pytest.raises(BatchSpecError):
+            CountJob.from_json({"database": "d", "query": "R(x)", "surprise": 1})
+        with pytest.raises(BatchSpecError):
+            CountJob.from_json({"database": "d"})
+        with pytest.raises(BatchSpecError):
+            CountJob.from_json({"database": "d", "query": "R(x)", "seed": "yes"})
+        with pytest.raises(BatchSpecError):
+            CountJob.from_json([1, 2])
+
+    def test_json_round_trip(self):
+        job = CountJob(
+            database="hr",
+            query="Employee(1, x, y)",
+            answer_variables=("x", "y"),
+            answer=("Bob", "HR"),
+            method="fpras",
+            epsilon=0.2,
+            delta=0.1,
+            seed=9,
+            label="demo",
+        )
+        assert CountJob.from_json(job.to_json()) == job
+
+    def test_effective_seed_explicit_wins_and_derived_is_stable(self):
+        explicit = CountJob(database="d", query="R(x)", seed=5)
+        assert explicit.effective_seed(0) == explicit.effective_seed(99) == 5
+        derived = CountJob(database="d", query="R(x)", method="fpras")
+        assert derived.effective_seed(3) == derived.effective_seed(3)
+        assert derived.effective_seed(3) != derived.effective_seed(4)
+
+
+class TestSolverPool:
+    @pytest.fixture
+    def pool(self):
+        pool = SolverPool()
+        pool.register_scenario(employee_example())
+        return pool
+
+    def test_unknown_database_raises(self, pool):
+        with pytest.raises(EngineError, match="unknown database"):
+            pool.run_job(CountJob(database="nope", query="R(x)"))
+
+    def test_invalid_worker_count_raises(self, pool):
+        with pytest.raises(EngineError):
+            pool.run(
+                [CountJob(database="employee-example", query=_SAME_DEPARTMENT)],
+                workers=0,
+            )
+
+    def test_cache_provenance_cold_then_warm(self, pool):
+        job = CountJob(database="employee-example", query=_SAME_DEPARTMENT)
+        cold = pool.run_job(job)
+        assert set(cold.cache_misses) == {"query", "decomposition", "selectors"}
+        assert cold.cache_hits == ()
+        warm = pool.run_job(job)
+        assert set(warm.cache_hits) == {"query", "decomposition", "selectors"}
+        assert warm.cache_misses == ()
+        assert (cold.satisfying, cold.total) == (warm.satisfying, warm.total) == (2, 4)
+
+    def test_naive_jobs_skip_the_selector_layer(self, pool):
+        job = CountJob(database="employee-example", query=_SAME_DEPARTMENT, method="naive")
+        result = pool.run_job(job)
+        assert "selectors" not in result.cache_hits + result.cache_misses
+        assert result.satisfying == 2
+
+    def test_reregistering_a_name_invalidates_its_state(self, pool):
+        job = CountJob(database="employee-example", query=_SAME_DEPARTMENT)
+        assert pool.run_job(job).satisfying == 2
+        # Replace the snapshot with a consistent single-fact database.
+        pool.register(
+            "employee-example",
+            Database([fact("Employee", 1, "Bob", "HR")]),
+            PrimaryKeySet.from_dict({"Employee": [1]}),
+        )
+        fresh = pool.run_job(job)
+        assert fresh.total == 1
+        assert fresh.satisfying == 0
+        assert "decomposition" in fresh.cache_misses
+        assert "selectors" in fresh.cache_misses
+
+    def test_answer_bound_jobs(self, pool):
+        job = CountJob(
+            database="employee-example",
+            query="Employee(1, x, y)",
+            answer_variables=("x", "y"),
+            answer=("Bob", "HR"),
+        )
+        result = pool.run_job(job)
+        assert (result.satisfying, result.total) == (2, 4)
+
+    def test_report_shape_and_stats(self, pool):
+        jobs = [
+            CountJob(database="employee-example", query=_SAME_DEPARTMENT),
+            CountJob(
+                database="employee-example",
+                query=_SAME_DEPARTMENT,
+                method="fpras",
+                epsilon=0.3,
+                delta=0.2,
+            ),
+        ]
+        report = pool.run(jobs)
+        assert isinstance(report, BatchReport)
+        assert len(report) == 2 and report.workers == 1
+        assert report.jobs_per_second > 0
+        payload = report.to_json()
+        assert set(payload) == {"jobs", "summary"}
+        assert payload["summary"]["jobs"] == 2
+        assert set(payload["summary"]["cache"]) == {"query", "decomposition", "selectors"}
+        json.dumps(payload)  # must be JSON-serialisable as-is
+        stats = aggregate_cache_stats(report.results)
+        assert stats["query"]["hits"] == 1  # second job reuses the parsed query
+
+
+class TestJobFiles:
+    def test_parse_rejects_non_object_documents(self):
+        for document in ([], "x", 3, {"jobs": []}, {"databases": {}}):
+            with pytest.raises(BatchSpecError):
+                parse_job_document(document)
+
+    def test_parse_rejects_unknown_sections_and_bad_databases(self):
+        with pytest.raises(BatchSpecError, match="unknown job-file sections"):
+            parse_job_document({"databases": {"d": {}}, "jobs": [{}], "extra": 1})
+        with pytest.raises(BatchSpecError, match="could not be loaded"):
+            parse_job_document(
+                {"databases": {"d": {"path": "/nonexistent/db.json"}}, "jobs": [{"database": "d", "query": "R(x)"}]}
+            )
+
+    def test_parse_rejects_jobs_referencing_unknown_databases(self):
+        scenario = employee_example()
+        document = {
+            "databases": {"emp": database_to_json(scenario.database, scenario.keys)},
+            "jobs": [{"database": "ghost", "query": _SAME_DEPARTMENT}],
+        }
+        with pytest.raises(BatchSpecError, match="unknown database"):
+            parse_job_document(document)
+
+    def test_load_job_file_with_path_reference(self, tmp_path):
+        scenario = employee_example()
+        db_path = tmp_path / "emp.json"
+        db_path.write_text(
+            json.dumps(database_to_json(scenario.database, scenario.keys))
+        )
+        job_path = tmp_path / "jobs.json"
+        job_path.write_text(
+            json.dumps(
+                {
+                    "databases": {"emp": {"path": "emp.json"}},
+                    "jobs": [{"database": "emp", "query": _SAME_DEPARTMENT}],
+                }
+            )
+        )
+        databases, jobs = load_job_file(job_path)
+        assert sorted(databases) == ["emp"]
+        assert len(databases["emp"][0]) == 4
+        assert jobs[0].method == "auto"
+
+    def test_load_job_file_missing_or_invalid(self, tmp_path):
+        with pytest.raises(BatchSpecError, match="cannot read"):
+            load_job_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(BatchSpecError, match="not valid JSON"):
+            load_job_file(bad)
+
+
+class TestBatchWorkload:
+    def test_generator_is_deterministic_and_runnable(self):
+        databases_a, jobs_a = batch_workload(jobs=10, seed=4)
+        databases_b, jobs_b = batch_workload(jobs=10, seed=4)
+        assert jobs_a == jobs_b
+        assert sorted(databases_a) == sorted(databases_b)
+        pool = SolverPool()
+        for name, (database, keys) in databases_a.items():
+            pool.register(name, database, keys)
+        report = pool.run(jobs_a)
+        assert len(report) == 10
+        rerun = pool.run(jobs_a)
+        assert rerun.counts() == report.counts()
+
+    def test_different_seeds_differ(self):
+        _, jobs_a = batch_workload(jobs=10, seed=1)
+        _, jobs_b = batch_workload(jobs=10, seed=2)
+        assert jobs_a != jobs_b
