@@ -13,6 +13,8 @@ be used from the shell on databases stored as JSON (see
     python -m repro rank     --json employees.json \
         --query "Employee(1, x, y)" --answer-vars x,y
     python -m repro batch    --jobs jobs.json --workers 4
+    python -m repro update   --json employees.json --delta delta.json \
+        --output employees-v2.json
 
 Every command prints a small, line-oriented report to stdout (``batch``
 prints a JSON report) and exits with status 0 on success; malformed input
@@ -24,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from . import __version__
@@ -139,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--indent", type=int, default=None, help="indent the JSON report for humans"
     )
+    batch.add_argument(
+        "--persist-cache",
+        metavar="DIR",
+        default=None,
+        help="directory for the persistent selector cache; re-running an "
+        "unchanged job file against the same directory recomputes nothing",
+    )
+
+    update = subparsers.add_parser(
+        "update",
+        help="apply a delta (inserted/deleted facts) to a stored database",
+    )
+    _add_instance_arguments(update)
+    update.add_argument(
+        "--delta",
+        required=True,
+        metavar="FILE",
+        help="delta JSON file: {'insert': [facts...], 'delete': [facts...]}",
+    )
+    update.add_argument(
+        "--output",
+        required=True,
+        metavar="FILE",
+        help="where to write the updated database JSON snapshot",
+    )
 
     return parser
 
@@ -164,14 +192,53 @@ def _run_batch(arguments: argparse.Namespace) -> int:
 
     try:
         databases, jobs = load_job_file(arguments.jobs)
-        pool = SolverPool()
+        pool = SolverPool(persist_dir=arguments.persist_cache)
         for name, (database, keys) in databases.items():
             pool.register(name, database, keys)
-        report = pool.run(jobs, workers=arguments.workers)
+        report = pool.run_stream(jobs, workers=arguments.workers)
     except ReproError as exc:
         print(f"batch: {exc}", file=sys.stderr)
         return 2
     print(json.dumps(report.to_json(), indent=arguments.indent))
+    return 0
+
+
+def _run_update(arguments: argparse.Namespace) -> int:
+    """The ``update`` command: database + delta -> next snapshot on disk."""
+    from .db import Delta, save_json
+
+    database, keys = _load_instance(arguments)
+    try:
+        payload = json.loads(Path(arguments.delta).read_text())
+    except OSError as exc:
+        print(f"update: cannot read delta file: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"update: delta file is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        delta = Delta.from_json(payload)
+        really_inserted, really_deleted = delta.effective_against(database)
+        touched_blocks = len(
+            {keys.key_value(item) for item in really_inserted + really_deleted}
+        )
+        snapshot = database.freeze()
+        updated = snapshot.apply_delta(delta)
+    except ReproError as exc:
+        print(f"update: {exc}", file=sys.stderr)
+        return 2
+    try:
+        save_json(updated, arguments.output, keys)
+    except OSError as exc:
+        print(f"update: cannot write {arguments.output}: {exc}", file=sys.stderr)
+        return 2
+    print(f"facts: {len(snapshot)} -> {len(updated)}")
+    print(f"inserted: {len(really_inserted)} (of {len(delta.inserted)} requested)")
+    print(f"deleted: {len(really_deleted)} (of {len(delta.deleted)} requested)")
+    print(f"touched blocks: {touched_blocks}")
+    print(f"old digest: {snapshot.content_digest()}")
+    print(f"new digest: {updated.content_digest()}")
+    print(f"wrote: {arguments.output}")
     return 0
 
 
@@ -182,6 +249,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "batch":
         return _run_batch(arguments)
+
+    if arguments.command == "update":
+        return _run_update(arguments)
 
     database, keys = _load_instance(arguments)
     solver = CQASolver(database, keys, rng=getattr(arguments, "seed", None))

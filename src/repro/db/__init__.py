@@ -9,6 +9,7 @@ databases as finite sets of facts, primary-key constraints, the key value
 from .blocks import Block, BlockDecomposition
 from .constraints import KeyConstraint, KeyValue, PrimaryKeySet
 from .database import Database
+from .delta import Delta
 from .facts import Constant, Fact, fact
 from .io import (
     database_from_json,
@@ -25,6 +26,7 @@ __all__ = [
     "BlockDecomposition",
     "Constant",
     "Database",
+    "Delta",
     "Fact",
     "KeyConstraint",
     "KeyValue",

@@ -12,12 +12,14 @@ counting, the guess–check–expand transducer and the compactor.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .constraints import KeyValue, PrimaryKeySet
 from .database import Database
+from .delta import Delta
 from .facts import Fact
 
 __all__ = ["Block", "BlockDecomposition"]
@@ -91,15 +93,22 @@ class BlockDecomposition:
     """
 
     def __init__(self, database: Database, keys: PrimaryKeySet) -> None:
-        self._database = database
-        self._keys = keys
         grouped: Dict[KeyValue, List[Fact]] = defaultdict(list)
         for item in database:
             grouped[keys.key_value(item)].append(item)
         ordered_values = sorted(grouped, key=_key_sort_token)
-        self._blocks: Tuple[Block, ...] = tuple(
+        blocks = tuple(
             Block(value, tuple(sorted(grouped[value]))) for value in ordered_values
         )
+        self._install(database, keys, blocks)
+
+    def _install(
+        self, database: Database, keys: PrimaryKeySet, blocks: Tuple[Block, ...]
+    ) -> None:
+        """Set every field from an already-ordered block sequence."""
+        self._database = database
+        self._keys = keys
+        self._blocks: Tuple[Block, ...] = blocks
         self._index_by_key: Dict[KeyValue, int] = {
             block.key_value: index for index, block in enumerate(self._blocks)
         }
@@ -107,6 +116,72 @@ class BlockDecomposition:
         for index, block in enumerate(self._blocks):
             for item in block:
                 self._index_by_fact[item] = index
+
+    @classmethod
+    def _from_blocks(
+        cls, database: Database, keys: PrimaryKeySet, blocks: Tuple[Block, ...]
+    ) -> "BlockDecomposition":
+        """Build a decomposition from blocks already in ``≺_{D,Σ}`` order."""
+        decomposition = cls.__new__(cls)
+        decomposition._install(database, keys, blocks)
+        return decomposition
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self, delta: Delta, database: Optional[Database] = None
+    ) -> "BlockDecomposition":
+        """The decomposition of ``self.database.apply_delta(delta)``.
+
+        Only the blocks whose key value is touched by the delta are
+        regrouped and re-sorted; every untouched :class:`Block` object is
+        reused as-is and the merged ordering is produced by splicing the
+        touched keys into the existing ``≺_{D,Σ}`` sequence.  The result is
+        guaranteed equal (block for block) to a full
+        ``BlockDecomposition(new_database, keys)`` rebuild — the randomized
+        property suite pins this equivalence.
+
+        ``database`` optionally passes the already-derived new snapshot so
+        callers that need both do not apply the delta twice.
+        """
+        if database is None:
+            database = self._database.apply_delta(delta)
+        really_inserted, really_deleted = delta.effective_against(self._database)
+
+        changes: Dict[KeyValue, Tuple[Set[Fact], Set[Fact]]] = {}
+        for item in really_inserted:
+            changes.setdefault(self._keys.key_value(item), (set(), set()))[0].add(item)
+        for item in really_deleted:
+            changes.setdefault(self._keys.key_value(item), (set(), set()))[1].add(item)
+        if not changes:
+            return BlockDecomposition._from_blocks(database, self._keys, self._blocks)
+
+        replaced: Dict[KeyValue, Optional[Block]] = {}  # None marks a vanished block
+        brand_new: List[Block] = []
+        for key_value, (added, removed) in changes.items():
+            index = self._index_by_key.get(key_value)
+            if index is None:
+                brand_new.append(Block(key_value, tuple(sorted(added))))
+                continue
+            facts = set(self._blocks[index].facts)
+            facts.difference_update(removed)
+            facts.update(added)
+            replaced[key_value] = (
+                Block(key_value, tuple(sorted(facts))) if facts else None
+            )
+
+        merged: List[Block] = []
+        for block in self._blocks:
+            if block.key_value in replaced:
+                replacement = replaced[block.key_value]
+                if replacement is not None:
+                    merged.append(replacement)
+            else:
+                merged.append(block)
+        for block in brand_new:
+            insort(merged, block, key=lambda b: _key_sort_token(b.key_value))
+        return BlockDecomposition._from_blocks(database, self._keys, tuple(merged))
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -152,6 +227,14 @@ class BlockDecomposition:
     def block_for_key(self, key_value: KeyValue) -> Block:
         """Return the block with the given key value."""
         return self._blocks[self._index_by_key[key_value]]
+
+    def index_for_key(self, key_value: KeyValue) -> Optional[int]:
+        """The 0-based index of the block with ``key_value`` (None if absent).
+
+        The engine's delta-migration path uses this to remap selector
+        coordinates from one snapshot's decomposition to the next.
+        """
+        return self._index_by_key.get(key_value)
 
     # ------------------------------------------------------------------ #
     # derived quantities

@@ -15,6 +15,7 @@ together with the column permutation that realises it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -139,6 +140,22 @@ class PrimaryKeySet:
         if not isinstance(other, PrimaryKeySet):
             return NotImplemented
         return self._by_relation == other._by_relation
+
+    def content_digest(self) -> str:
+        """A stable SHA-256 hex digest of the constraint set.
+
+        Complements :meth:`repro.db.database.Database.content_digest`: a
+        block decomposition (and everything derived from it) is a pure
+        function of the *pair* of digests, which is what the batch engine
+        keys its caches by.
+        """
+        hasher = hashlib.sha256()
+        for relation in sorted(self._by_relation):
+            positions = self._by_relation[relation].sorted_positions
+            token = f"{relation}\x1f{','.join(map(str, positions))}"
+            hasher.update(token.encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
 
     def key_for(self, relation: str) -> Optional[KeyConstraint]:
         """Return the key of ``relation`` or ``None`` if it has no key."""

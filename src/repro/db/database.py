@@ -4,10 +4,20 @@ The :class:`Database` class is the central data container of the library.
 It behaves like an immutable-by-convention set of :class:`~repro.db.facts.Fact`
 objects, indexed by relation name for fast access, and carries an optional
 :class:`~repro.db.schema.Schema` against which facts are validated.
+
+Databases additionally support an explicit *snapshot* lifecycle: calling
+:meth:`Database.freeze` pins the content (further mutation raises
+:class:`~repro.errors.FrozenDatabaseError`), makes the stable
+:meth:`Database.content_digest` the identity used by ``__hash__``/``__eq__``,
+and enables :meth:`Database.apply_delta`, which derives the *next* frozen
+snapshot from a :class:`~repro.db.delta.Delta` while sharing the per-relation
+index sets of every relation the delta does not touch.  Content-addressed
+snapshots are what the batch engine keys its caches by.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from typing import (
     Dict,
@@ -21,11 +31,27 @@ from typing import (
     Tuple,
 )
 
-from ..errors import SchemaError
+from ..errors import FrozenDatabaseError, SchemaError
+from .delta import Delta
 from .facts import Constant, Fact
 from .schema import RelationSchema, Schema
 
 __all__ = ["Database"]
+
+
+def _fact_token(item: Fact) -> str:
+    """A canonical, type-tagged rendering of a fact.
+
+    ``repr`` alone would conflate ``1`` and ``"1"`` across type changes in
+    future constant kinds; tagging each argument with its type name makes
+    the token (and hence the content digest) injective on facts for all
+    practical constant types, and stable across processes and Python
+    versions (unlike salted ``hash``).
+    """
+    arguments = "\x1e".join(
+        f"{type(argument).__name__}:{argument!r}" for argument in item.arguments
+    )
+    return f"{item.relation}\x1f{arguments}"
 
 
 class Database:
@@ -52,6 +78,9 @@ class Database:
         self._by_relation: Dict[str, Set[Fact]] = defaultdict(set)
         self._schema = schema if schema is not None else Schema()
         self._schema_was_given = schema is not None
+        self._frozen = False
+        self._digest: Optional[str] = None
+        self._hash: Optional[int] = None
         for item in facts:
             self.add(item)
 
@@ -60,6 +89,11 @@ class Database:
     # ------------------------------------------------------------------ #
     def add(self, new_fact: Fact) -> None:
         """Add a fact, validating or extending the schema as appropriate."""
+        if self._frozen:
+            raise FrozenDatabaseError(
+                f"cannot add {new_fact} to a frozen database snapshot; "
+                f"derive a new snapshot with apply_delta() instead"
+            )
         if not isinstance(new_fact, Fact):
             raise TypeError(f"expected a Fact, got {type(new_fact).__name__}")
         if new_fact.relation in self._schema:
@@ -75,6 +109,7 @@ class Database:
             )
         self._facts.add(new_fact)
         self._by_relation[new_fact.relation].add(new_fact)
+        self._digest = None
 
     def update(self, facts: Iterable[Fact]) -> None:
         """Add every fact from ``facts``."""
@@ -83,9 +118,120 @@ class Database:
 
     def discard(self, old_fact: Fact) -> None:
         """Remove ``old_fact`` if present (no error if absent)."""
+        if self._frozen:
+            raise FrozenDatabaseError(
+                f"cannot discard {old_fact} from a frozen database snapshot; "
+                f"derive a new snapshot with apply_delta() instead"
+            )
         if old_fact in self._facts:
             self._facts.discard(old_fact)
             self._by_relation[old_fact.relation].discard(old_fact)
+            self._digest = None
+
+    # ------------------------------------------------------------------ #
+    # snapshots: freezing, content addressing, deltas
+    # ------------------------------------------------------------------ #
+    @property
+    def is_frozen(self) -> bool:
+        """True once :meth:`freeze` has pinned the content."""
+        return self._frozen
+
+    def freeze(self) -> "Database":
+        """Pin the database as an immutable snapshot and return ``self``.
+
+        Freezing is idempotent.  A frozen database rejects ``add``/
+        ``discard``/``update`` with :class:`~repro.errors.FrozenDatabaseError`
+        and switches ``__hash__``/``__eq__`` to the digest fast path, which
+        is what makes snapshots cheap dictionary keys for engine caches.
+        """
+        if not self._frozen:
+            self._frozen = True
+            self.content_digest()  # pin the digest eagerly
+            # Cache the set hash too: hashing stays consistent with equal
+            # unfrozen databases while costing O(1) per lookup once frozen.
+            self._hash = hash(frozenset(self._facts))
+        return self
+
+    def content_digest(self) -> str:
+        """A stable SHA-256 hex digest of the fact set.
+
+        The digest is computed from a canonical (sorted, type-tagged)
+        serialisation of the facts, so it is identical across processes,
+        machines and Python versions for equal databases — the property the
+        persistent selector cache relies on.  It is cached until the next
+        mutation (and forever once frozen).
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for item in sorted(self._facts):
+                hasher.update(_fact_token(item).encode("utf-8"))
+                hasher.update(b"\x00")
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+    def apply_delta(self, delta: Delta) -> "Database":
+        """Derive the next frozen snapshot ``(self - deleted) + inserted``.
+
+        Unchanged relations *share* their per-relation index sets with
+        ``self`` (safe because both snapshots are frozen), so the cost of an
+        update is proportional to the facts of the touched relations plus
+        one ``O(n)`` fact-set copy — not a full re-validation of every fact.
+        Inserted facts are validated against the schema exactly like
+        :meth:`add` would; deleting a fact that is absent and inserting a
+        fact that is present are no-ops (deltas are declarative).
+
+        ``self`` need not be frozen, but the result always is.
+        """
+        really_inserted, really_deleted = delta.effective_against(self)
+        touched = {item.relation for item in really_inserted + really_deleted}
+
+        schema = self._schema
+        schema_was_given = self._schema_was_given
+        new_relations = [
+            item
+            for item in really_inserted
+            if item.relation not in schema
+        ]
+        for item in really_inserted:
+            if item.relation in schema:
+                schema.check_terms(item.relation, item.arguments)
+            elif schema_was_given:
+                raise SchemaError(
+                    f"delta inserts {item} over relation {item.relation!r} "
+                    f"which is not declared in the database's schema"
+                )
+        # The snapshot must not share mutable structure with a mutable
+        # source: an unfrozen source could later extend the shared schema
+        # (or edit shared index sets) behind the frozen snapshot's back,
+        # making equal-digest snapshots behave differently.
+        share_untouched = self._frozen
+        if new_relations or not self._frozen:
+            schema = Schema(iter(schema))
+        for item in new_relations:
+            if item.relation not in schema:
+                schema.add_relation(RelationSchema(item.relation, item.arity))
+            else:
+                schema.check_terms(item.relation, item.arguments)
+        clone = Database.__new__(Database)
+        clone._schema = schema
+        clone._schema_was_given = schema_was_given
+        clone._facts = set(self._facts)
+        clone._facts.difference_update(really_deleted)
+        clone._facts.update(really_inserted)
+        clone._by_relation = defaultdict(set)
+        for name, facts in self._by_relation.items():
+            if name in touched:
+                clone._by_relation[name] = set(facts)
+            elif facts:
+                clone._by_relation[name] = facts if share_untouched else set(facts)
+        for item in really_deleted:
+            clone._by_relation[item.relation].discard(item)
+        for item in really_inserted:
+            clone._by_relation[item.relation].add(item)
+        clone._frozen = False
+        clone._digest = None
+        clone._hash = None
+        return clone.freeze()
 
     # ------------------------------------------------------------------ #
     # set-like protocol
@@ -101,13 +247,30 @@ class Database:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Database):
+            if self._frozen and other._frozen:
+                return self.content_digest() == other.content_digest()
             return self._facts == other._facts
         if isinstance(other, (set, frozenset)):
             return self._facts == other
         return NotImplemented
 
-    def __hash__(self) -> int:  # pragma: no cover - rarely used, but handy
+    def __hash__(self) -> int:
+        if self._hash is not None:
+            return self._hash
         return hash(frozenset(self._facts))
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The cached set hash is salted per-process (PYTHONHASHSEED), so it
+        # must not travel to worker processes; the content digest is stable
+        # and may.
+        state = self.__dict__.copy()
+        state["_hash"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if self._frozen:
+            self._hash = hash(frozenset(self._facts))
 
     def facts(self) -> FrozenSet[Fact]:
         """Return the facts as a frozen set."""

@@ -17,28 +17,35 @@ function of immutable inputs:
 layer             caches                                           keyed by
 ================  ===============================================  ==========================
 ``query``         parsed :class:`~repro.query.ast.Query` ASTs      (formula text, answer vars)
-``decomposition``  :class:`~repro.db.blocks.BlockDecomposition`    database name
+``decomposition``  :class:`~repro.db.blocks.BlockDecomposition`    snapshot token: (database
+                                                                   content digest, keys digest)
 ``selectors``     :class:`~repro.repairs.counting.\
 PreparedCertificates` (UCQ rewriting, valid
-                  certificates, block selectors)                   (db name, formula, answer
-                                                                   vars, answer tuple)
+                  certificates, block selectors)                   (snapshot token, formula,
+                                                                   answer vars, answer tuple)
 ================  ===============================================  ==========================
 
 The ``selectors`` layer is the expensive one and is shared by *four*
 consumers: the certificate/inclusion-exclusion/enumeration exact counters,
-the FPRAS membership test and the Karp–Luby estimator.
+the FPRAS membership test and the Karp–Luby estimator.  It can additionally
+be mirrored to a persistent, content-addressed on-disk cache
+(``persist_dir``; see :mod:`repro.engine.persist`) so process restarts
+serve an unchanged workload with zero selector recomputations.
 
 Invalidation rules
 ------------------
-* Registered databases are immutable snapshots.  Every cache key is rooted
-  in the registration name; :meth:`SolverPool.register` on an existing name
-  and :meth:`SolverPool.invalidate` drop the name's decomposition and every
-  prepared-certificate entry rooted in it.
+* Registered databases are immutable, **content-addressed** snapshots:
+  :meth:`SolverPool.register` freezes the database, and every non-query
+  cache key is rooted in the snapshot token ``(content digest, keys
+  digest)`` rather than the registration name.  Mutating a registered
+  database in place raises :class:`~repro.errors.FrozenDatabaseError`.
+* Updates are first-class: :meth:`SolverPool.apply_delta` (and
+  :class:`UpdateJob` entries inside :meth:`SolverPool.run_stream` batches)
+  derive the next snapshot incrementally and *migrate* every selector
+  entry the delta provably cannot affect, dropping only entries whose
+  blocks were touched — not the whole name.
 * Parsed queries are never invalidated (text is content-addressed), only
   LRU-evicted.
-* Mutating a :class:`~repro.db.database.Database` in place after
-  registering it is undefined behaviour — same contract as mutating one
-  behind a ``CQASolver``.
 
 Determinism contract
 --------------------
@@ -60,8 +67,11 @@ from .jobs import (
     BatchReport,
     CountJob,
     JobResult,
+    UpdateJob,
+    UpdateReport,
     aggregate_cache_stats,
 )
+from .persist import SelectorDiskCache
 from .pool import SolverPool
 
 __all__ = [
@@ -71,7 +81,10 @@ __all__ = [
     "CountJob",
     "JobResult",
     "LRUCache",
+    "SelectorDiskCache",
     "SolverPool",
+    "UpdateJob",
+    "UpdateReport",
     "aggregate_cache_stats",
     "load_job_file",
     "parse_job_document",

@@ -76,6 +76,15 @@ class LRUCache(Generic[V]):
         """Drop an entry if present (cache invalidation hook)."""
         self._data.pop(key, None)
 
+    def items(self) -> Tuple[Tuple[Hashable, V], ...]:
+        """A snapshot of ``(key, value)`` pairs, oldest first.
+
+        Returned as a tuple (not a view) so callers may mutate the cache
+        while iterating — the delta-migration path discards and re-inserts
+        entries mid-walk.  Does not touch recency or the counters.
+        """
+        return tuple(self._data.items())
+
     def discard_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; return count.
 

@@ -9,6 +9,9 @@ A job file is one JSON document::
       },
       "jobs": [
         {"database": "hr", "query": "EXISTS x. Employee(1, x, 'HR')"},
+        {"update": "hr",
+         "insert": [{"relation": "Employee", "arguments": [3, "Eve", "IT"]}],
+         "delete": [{"relation": "Employee", "arguments": [1, "Ann", "HR"]}]},
         {"database": "hr", "query": "Employee(1, x, y)",
          "answer_variables": ["x", "y"], "answer": ["Bob", "HR"],
          "method": "fpras", "epsilon": 0.1, "delta": 0.05, "seed": 7}
@@ -18,8 +21,12 @@ A job file is one JSON document::
 Each database is either a ``{"path": ...}`` reference to a database JSON
 file (as written by :func:`repro.db.io.save_json`; relative paths resolve
 against the job file's directory) or an inline payload in the same format.
-Every malformed shape raises :class:`~repro.errors.BatchSpecError`, which
-the CLI maps to a nonzero exit status.
+Entries of the ``jobs`` array carrying an ``"update"`` field are *delta*
+entries (:class:`~repro.engine.jobs.UpdateJob`): they mutate the named
+snapshot in stream order, so later jobs count against the updated
+database.  Every malformed shape raises
+:class:`~repro.errors.BatchSpecError`, which the CLI maps to a nonzero
+exit status.
 """
 
 from __future__ import annotations
@@ -32,14 +39,17 @@ from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.io import database_from_json, load_json
 from ..errors import BatchSpecError, ReproError
-from .jobs import CountJob
+from .jobs import CountJob, UpdateJob
 
 __all__ = ["load_job_file", "parse_job_document"]
+
+#: A stream element of a job file: a counting job or a delta update.
+StreamItem = Union[CountJob, UpdateJob]
 
 
 def parse_job_document(
     payload: object, base_directory: Union[str, Path, None] = None
-) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[CountJob]]:
+) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[StreamItem]]:
     """Validate a job document and materialise its databases and jobs."""
     if not isinstance(payload, Mapping):
         raise BatchSpecError(
@@ -71,7 +81,12 @@ def parse_job_document(
         except (ReproError, OSError, ValueError, KeyError, TypeError) as exc:
             raise BatchSpecError(f"database {name!r} could not be loaded: {exc}") from exc
 
-    jobs = [CountJob.from_json(entry) for entry in jobs_section]
+    jobs: List[StreamItem] = [
+        UpdateJob.from_json(entry)
+        if isinstance(entry, Mapping) and "update" in entry
+        else CountJob.from_json(entry)
+        for entry in jobs_section
+    ]
     for job in jobs:
         if job.database not in databases:
             raise BatchSpecError(
@@ -83,7 +98,7 @@ def parse_job_document(
 
 def load_job_file(
     path: Union[str, Path]
-) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[CountJob]]:
+) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[StreamItem]]:
     """Load and validate a job file from disk."""
     path = Path(path)
     try:

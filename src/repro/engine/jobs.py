@@ -21,6 +21,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..db.delta import Delta
 from ..db.facts import Constant
 from ..errors import BatchSpecError
 
@@ -28,6 +29,8 @@ __all__ = [
     "BATCH_METHODS",
     "CACHE_LAYERS",
     "CountJob",
+    "UpdateJob",
+    "UpdateReport",
     "JobResult",
     "BatchReport",
     "aggregate_cache_stats",
@@ -44,8 +47,10 @@ BATCH_METHODS = (
     "karp-luby",
 )
 
-#: The cache layers a job may hit, in report order.
-CACHE_LAYERS = ("query", "decomposition", "selectors")
+#: The cache layers a job may hit, in report order.  ``selectors-disk``
+#: records a hit served from the persistent on-disk cache (no in-memory
+#: entry, but no recomputation either).
+CACHE_LAYERS = ("query", "decomposition", "selectors", "selectors-disk")
 
 
 @dataclass(frozen=True)
@@ -197,6 +202,111 @@ class CountJob:
 
 
 @dataclass(frozen=True)
+class UpdateJob:
+    """One delta applied to a registered database, as a stream element.
+
+    Update jobs interleave with :class:`CountJob` entries in batch streams
+    (and in ``repro batch`` job files): all counts before the update see the
+    old snapshot, all counts after it see the new one.  The JSON shape is
+    ``{"update": "<name>", "insert": [...], "delete": [...]}`` with facts in
+    the database JSON format.
+    """
+
+    database: str
+    delta: Delta
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.database or not isinstance(self.database, str):
+            raise BatchSpecError("an update must name a registered database")
+        if not isinstance(self.delta, Delta):
+            raise BatchSpecError(
+                f"an update needs a Delta, got {type(self.delta).__name__}"
+            )
+
+    def to_json(self) -> Dict[str, object]:
+        """The update as a JSON-able dict (inverse of :meth:`from_json`)."""
+        payload: Dict[str, object] = {"update": self.database}
+        payload.update(self.delta.to_json())
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "UpdateJob":
+        """Build an update job from its JSON mapping."""
+        if not isinstance(payload, Mapping) or "update" not in payload:
+            raise BatchSpecError("an update entry must carry an 'update' field")
+        unknown = set(payload) - {"update", "insert", "delete", "label"}
+        if unknown:
+            raise BatchSpecError(f"unknown update fields: {sorted(unknown)}")
+        delta = Delta.from_json(
+            {
+                key: payload[key]
+                for key in ("insert", "delete")
+                if key in payload
+            }
+        )
+        return cls(
+            database=str(payload["update"]),
+            delta=delta,
+            label=payload.get("label"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`~repro.engine.SolverPool.apply_delta` call did.
+
+    The selector counters are the provenance of delta invalidation: of the
+    entries cached for the pre-delta snapshot, ``selectors_dropped`` had to
+    be recomputed (the delta touched their blocks or could create new
+    certificates), ``selectors_migrated`` were remapped to the new snapshot
+    without recomputation, and ``selectors_kept`` belonged to other
+    snapshots and were left alone.
+    """
+
+    database: str
+    old_digest: str
+    new_digest: str
+    inserted: int
+    deleted: int
+    touched_blocks: int
+    blocks_before: int
+    blocks_after: int
+    selectors_kept: int
+    selectors_migrated: int
+    selectors_dropped: int
+    elapsed: float
+    index: Optional[int] = None
+    label: Optional[str] = None
+
+    def to_json(self) -> Dict[str, object]:
+        """The report as a JSON-able dict (part of the batch CLI output)."""
+        payload: Dict[str, object] = {
+            "database": self.database,
+            "old_digest": self.old_digest,
+            "new_digest": self.new_digest,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "touched_blocks": self.touched_blocks,
+            "blocks_before": self.blocks_before,
+            "blocks_after": self.blocks_after,
+            "selectors": {
+                "kept": self.selectors_kept,
+                "migrated": self.selectors_migrated,
+                "dropped": self.selectors_dropped,
+            },
+            "elapsed": self.elapsed,
+        }
+        if self.index is not None:
+            payload["index"] = self.index
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+
+@dataclass(frozen=True)
 class JobResult:
     """The outcome of one job, with execution provenance.
 
@@ -247,12 +357,17 @@ class JobResult:
 
 @dataclass(frozen=True)
 class BatchReport:
-    """Aggregate outcome of one ``SolverPool.run`` call."""
+    """Aggregate outcome of one ``SolverPool.run``/``run_stream`` call.
+
+    ``updates`` holds the :class:`UpdateReport` of every delta that was
+    interleaved with the counting jobs (empty for plain ``run`` batches).
+    """
 
     results: Tuple[JobResult, ...]
     elapsed: float
     workers: int
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    updates: Tuple[UpdateReport, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -270,7 +385,7 @@ class BatchReport:
 
     def to_json(self) -> Dict[str, object]:
         """The report as a JSON-able dict (the CLI's output format)."""
-        return {
+        payload: Dict[str, object] = {
             "jobs": [result.to_json() for result in self.results],
             "summary": {
                 "jobs": len(self.results),
@@ -280,6 +395,10 @@ class BatchReport:
                 "cache": self.cache_stats,
             },
         }
+        if self.updates:
+            payload["updates"] = [update.to_json() for update in self.updates]
+            payload["summary"]["updates"] = len(self.updates)  # type: ignore[index]
+        return payload
 
 
 def aggregate_cache_stats(results: Sequence[JobResult]) -> Dict[str, Dict[str, int]]:

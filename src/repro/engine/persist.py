@@ -1,0 +1,217 @@
+"""The persistent selector cache: content-addressed, versioned, crash-safe.
+
+The selector layer is the expensive cache of the engine, and it is a pure
+function of ``(database digest, keys digest, query text, answer)`` — all
+stable, content-addressed inputs.  That makes it safe to persist across
+process restarts: a pool pointed at the same cache directory answers an
+unchanged workload with **zero** selector recomputations.
+
+Design notes
+------------
+* **Keying** — the file name is the SHA-256 of the full key material
+  (format version, snapshot digests, query text, answer variables, answer
+  tuple with type tags).  Nothing is trusted from the file name at load
+  time beyond locating the entry; content hashes do the addressing.
+* **Versioning** — every entry embeds a format version.  Entries written
+  by an incompatible version of the library are treated as misses, never
+  as errors.
+* **Corruption tolerance** — entries carry a checksum over the pickled
+  payload.  Truncated, bit-flipped or otherwise unreadable entries are
+  counted, deleted best-effort and reported as misses; a damaged cache
+  directory can never make a count wrong, only cold.
+* **Crash safety** — entries are written to a temporary file and published
+  with an atomic :func:`os.replace`, so a crash mid-write leaves either the
+  old entry or none, never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..db.facts import Constant
+from ..repairs.counting import PreparedCertificates
+
+__all__ = ["SelectorDiskCache"]
+
+#: Bump when the entry layout or the pickled payload types change shape.
+FORMAT_VERSION = 1
+
+_MAGIC = b"RSEL"
+_HEADER_LENGTH = len(_MAGIC) + 4 + 32  # magic + version + payload checksum
+
+
+def _type_tagged(values: Sequence[Constant]) -> str:
+    return "\x1e".join(f"{type(value).__name__}:{value!r}" for value in values)
+
+
+class SelectorDiskCache:
+    """A directory of :class:`PreparedCertificates` entries keyed by content.
+
+    Thread-unsafe by design (the pool is single-threaded per process);
+    multi-process safe in the usual "last atomic write wins" sense, which
+    is correct here because every writer computes the same pure function.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self.loads = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    @property
+    def directory(self) -> Path:
+        """The directory holding the cache entries."""
+        return self._directory
+
+    # ------------------------------------------------------------------ #
+    # keying
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def entry_name(
+        snapshot_token: Tuple[str, str],
+        query: str,
+        answer_variables: Sequence[str],
+        answer: Sequence[Constant],
+    ) -> str:
+        """The content-hash file name of one selector entry."""
+        database_digest, keys_digest = snapshot_token
+        material = "\x1f".join(
+            [
+                f"v{FORMAT_VERSION}",
+                database_digest,
+                keys_digest,
+                query,
+                ",".join(answer_variables),
+                _type_tagged(answer),
+            ]
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest() + ".sel"
+
+    def _path_for(
+        self,
+        snapshot_token: Tuple[str, str],
+        query: str,
+        answer_variables: Sequence[str],
+        answer: Sequence[Constant],
+    ) -> Path:
+        return self._directory / self.entry_name(
+            snapshot_token, query, answer_variables, answer
+        )
+
+    # ------------------------------------------------------------------ #
+    # load / store
+    # ------------------------------------------------------------------ #
+    def load(
+        self,
+        snapshot_token: Tuple[str, str],
+        query: str,
+        answer_variables: Sequence[str],
+        answer: Sequence[Constant],
+    ) -> Optional[PreparedCertificates]:
+        """Return the cached preparation, or ``None`` on miss/corruption."""
+        path = self._path_for(snapshot_token, query, answer_variables, answer)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        value = self._decode(blob)
+        if value is None:
+            self.corrupt += 1
+            self.misses += 1
+            try:  # a corrupt entry is dead weight; removal is best-effort
+                path.unlink()
+            except OSError:  # pragma: no cover - unlink race / readonly dir
+                pass
+            return None
+        self.loads += 1
+        return value
+
+    def store(
+        self,
+        snapshot_token: Tuple[str, str],
+        query: str,
+        answer_variables: Sequence[str],
+        answer: Sequence[Constant],
+        prepared: PreparedCertificates,
+    ) -> bool:
+        """Persist one preparation atomically; returns False on I/O failure.
+
+        Persistence failures are deliberately non-fatal: the cache is an
+        accelerator, and a full disk must not fail a counting job.
+        """
+        path = self._path_for(snapshot_token, query, answer_variables, answer)
+        try:
+            payload = pickle.dumps(prepared, protocol=pickle.HIGHEST_PROTOCOL)
+            blob = (
+                _MAGIC
+                + FORMAT_VERSION.to_bytes(4, "big")
+                + hashlib.sha256(payload).digest()
+                + payload
+            )
+            handle = tempfile.NamedTemporaryFile(
+                dir=self._directory, prefix=".tmp-", delete=False
+            )
+            try:
+                with handle:
+                    handle.write(blob)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            return False
+        self.stores += 1
+        return True
+
+    @staticmethod
+    def _decode(blob: bytes) -> Optional[PreparedCertificates]:
+        """Validate and unpickle an entry; ``None`` for anything unsound."""
+        if len(blob) < _HEADER_LENGTH or not blob.startswith(_MAGIC):
+            return None
+        version = int.from_bytes(blob[4:8], "big")
+        if version != FORMAT_VERSION:
+            return None
+        checksum, payload = blob[8:40], blob[40:]
+        if hashlib.sha256(payload).digest() != checksum:
+            return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any unpickling failure is corruption
+            return None
+        if not isinstance(value, PreparedCertificates):
+            return None
+        return value
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self._directory.glob("*.sel"))
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus the current on-disk entry count."""
+        return {
+            "entries": self.entry_count(),
+            "loads": self.loads,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectorDiskCache({str(self._directory)!r}, "
+            f"loads={self.loads}, stores={self.stores})"
+        )

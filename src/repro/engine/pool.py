@@ -8,21 +8,28 @@ fresh :class:`~repro.core.CQASolver` would recompute per call:
     parsed ASTs of the textual queries (keyed by formula text and answer
     variables);
 ``decomposition`` layer
-    the block decomposition ``B1 ≺ ... ≺ Bn`` of each database (keyed by
-    registration name);
+    the block decomposition ``B1 ≺ ... ≺ Bn`` of each database, keyed by
+    the snapshot token — the pair ``(database content digest, keys
+    digest)`` — so equal snapshots share one decomposition regardless of
+    the names they are registered under;
 ``selectors`` layer
     the :class:`~repro.repairs.counting.PreparedCertificates` of each
-    (database, query, answer) triple — the UCQ rewriting, the valid
+    (snapshot, query, answer) triple — the UCQ rewriting, the valid
     certificates and their selectors, shared by the certificate-family
     exact counters, the FPRAS membership test and the Karp–Luby estimator.
+    Optionally mirrored to a persistent on-disk cache
+    (:class:`~repro.engine.persist.SelectorDiskCache`) so restarts stay
+    warm.
 
-Cache invalidation model: registered databases are treated as immutable
-snapshots — every cache key is rooted in the registration name, so
-re-registering a name (or calling :meth:`SolverPool.invalidate`) drops all
-derived state for that name.  There is deliberately no mtime/content
-tracking: mutating a :class:`~repro.db.database.Database` in place behind
-the pool's back is undefined behaviour, exactly like mutating it behind a
-``CQASolver``'s cached decomposition.
+Snapshot model: :meth:`SolverPool.register` freezes the database (further
+in-place mutation raises :class:`~repro.errors.FrozenDatabaseError`) and
+every cache key is rooted in the snapshot token, so a registered name can
+be *updated* without losing unrelated work: :meth:`SolverPool.apply_delta`
+derives the next snapshot, updates the block decomposition incrementally,
+and walks the selector cache — entries whose certificates cannot be
+affected by the delta are *migrated* (their selector coordinates remapped
+to the new decomposition), and only entries the delta actually touches are
+dropped for recomputation.
 
 Parallelism: :meth:`SolverPool.run` optionally fans jobs out to a process
 pool.  Workers are primed once with the registered databases (via the pool
@@ -33,7 +40,10 @@ from the job itself (:meth:`CountJob.effective_seed`), never from shared
 mutable generator state.  Independent connected components inside one
 union-of-boxes count can likewise be mapped over an executor
 (``component_executor``), which helps single huge jobs rather than large
-batches.
+batches.  :meth:`SolverPool.run_stream` extends batches with interleaved
+:class:`~repro.engine.jobs.UpdateJob` deltas; jobs between two updates form
+a segment that may fan out, while the updates themselves run in the parent
+process in stream order.
 """
 
 from __future__ import annotations
@@ -41,21 +51,44 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.solver import count_query
 from ..db.blocks import BlockDecomposition
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
+from ..db.delta import Delta
 from ..errors import EngineError
+from ..lams.selectors import Selector
 from ..query.ast import Query
 from ..query.classify import is_existential_positive
 from ..query.parser import parse_query
+from ..query.rewriting import UCQ
 from ..repairs.counting import PreparedCertificates, prepare_certificates
 from .cache import LRUCache
-from .jobs import BatchReport, CountJob, JobResult, aggregate_cache_stats
+from .jobs import (
+    BatchReport,
+    CountJob,
+    JobResult,
+    UpdateJob,
+    UpdateReport,
+    aggregate_cache_stats,
+)
+from .persist import SelectorDiskCache
 
 __all__ = ["SolverPool"]
+
+#: The snapshot token every non-query cache key is rooted in.
+SnapshotToken = Tuple[str, str]
+
+
+def _ucq_relations(ucq: UCQ) -> Set[str]:
+    """Every relation an atom of the UCQ may map into."""
+    return {
+        atom.relation for disjunct in ucq.disjuncts for atom in disjunct.atoms
+    }
 
 
 class SolverPool:
@@ -64,15 +97,20 @@ class SolverPool:
     Parameters
     ----------
     max_databases:
-        Bound on cached block decompositions (one per registered database).
+        Bound on cached block decompositions (one per distinct snapshot).
     max_queries:
         Bound on cached parsed queries.
     max_prepared:
         Bound on cached certificate/selector preparations (one per
-        (database, query, answer) triple).
+        (snapshot, query, answer) triple).
     workers:
         Default process count for :meth:`run`; ``None`` or ``1`` runs
         sequentially in-process.
+    persist_dir:
+        Optional directory for the persistent selector cache.  When given,
+        selector preparations are mirrored to disk (content-hash keyed) and
+        a freshly constructed pool pointed at the same directory serves an
+        unchanged workload without recomputing a single selector.
     """
 
     def __init__(
@@ -81,12 +119,18 @@ class SolverPool:
         max_queries: int = 256,
         max_prepared: int = 1024,
         workers: Optional[int] = None,
+        persist_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+        self._tokens: Dict[str, SnapshotToken] = {}
         self._decompositions: LRUCache[BlockDecomposition] = LRUCache(max_databases)
         self._queries: LRUCache[Query] = LRUCache(max_queries)
         self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
         self._workers = workers
+        self._persist = (
+            SelectorDiskCache(persist_dir) if persist_dir is not None else None
+        )
+        self._selector_recomputations = 0
 
     # ------------------------------------------------------------------ #
     # database registry
@@ -94,23 +138,39 @@ class SolverPool:
     def register(self, name: str, database: Database, keys: PrimaryKeySet) -> None:
         """Register (or replace) a database snapshot under ``name``.
 
-        Re-registering a name invalidates every cache entry derived from
-        the previous snapshot.
+        The database is frozen in place: snapshots are immutable, and any
+        later in-place mutation attempt raises
+        :class:`~repro.errors.FrozenDatabaseError` instead of silently
+        corrupting content-addressed cache entries.  Re-registering a name
+        with different content drops the previous snapshot's cached state.
         """
         if not name:
             raise EngineError("a database registration needs a non-empty name")
-        if name in self._databases:
+        database.freeze()
+        token = (database.content_digest(), keys.content_digest())
+        if name in self._databases and self._tokens.get(name) != token:
             self.invalidate(name)
         self._databases[name] = (database, keys)
+        self._tokens[name] = token
 
     def register_scenario(self, scenario) -> None:
         """Register a named :class:`~repro.workloads.scenarios.Scenario`."""
         self.register(scenario.name, scenario.database, scenario.keys)
 
     def invalidate(self, name: str) -> None:
-        """Drop all cached state derived from the database ``name``."""
-        self._decompositions.discard(name)
-        self._prepared.discard_where(lambda key: key[0] == name)
+        """Drop all cached in-memory state derived from the snapshot of ``name``.
+
+        When two names are registered to byte-identical snapshots they share
+        cache entries; invalidating either one drops the shared entries (a
+        perf-only effect — entries are pure and recomputable).  The
+        persistent disk cache is never invalidated: its entries are keyed by
+        content and can only ever be cold, not wrong.
+        """
+        token = self._tokens.get(name)
+        if token is None:
+            return
+        self._decompositions.discard(token)
+        self._prepared.discard_where(lambda key: key[0] == token)
 
     def database_names(self) -> Tuple[str, ...]:
         """The registered database names, in registration order."""
@@ -125,21 +185,181 @@ class SolverPool:
                 f"unknown database {name!r}; registered: {sorted(self._databases)}"
             ) from exc
 
+    def snapshot_token(self, name: str) -> SnapshotToken:
+        """The content-addressed (database digest, keys digest) of ``name``."""
+        self.lookup(name)
+        return self._tokens[name]
+
     def decomposition(self, name: str) -> BlockDecomposition:
         """The (cached) block decomposition of the database ``name``."""
         database, keys = self.lookup(name)
         value, _ = self._decompositions.get_or_compute(
-            name, lambda: BlockDecomposition(database, keys)
+            self._tokens[name], lambda: BlockDecomposition(database, keys)
         )
         return value
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Lifetime statistics of the pool's own cache layers."""
-        return {
+        stats = {
             "query": self._queries.stats(),
             "decomposition": self._decompositions.stats(),
             "selectors": self._prepared.stats(),
         }
+        if self._persist is not None:
+            stats["selectors-disk"] = self._persist.stats()
+        return stats
+
+    @property
+    def selector_recomputations(self) -> int:
+        """How many selector preparations this pool actually computed.
+
+        Memory hits, disk hits and delta migrations all leave this counter
+        untouched — it counts real ``prepare_certificates`` work, which is
+        what the warm-restart guarantee of the persistent cache is stated
+        in terms of.
+        """
+        return self._selector_recomputations
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, name: str, delta: Delta) -> UpdateReport:
+        """Update the snapshot of ``name`` in place of a re-registration.
+
+        The database and its block decomposition are updated incrementally
+        (cost proportional to the touched blocks, not the database), and the
+        selector cache is *walked, not dropped*: an entry for the old
+        snapshot survives — remapped to the new decomposition's coordinates
+        — unless the delta could actually change its certificates, i.e.
+
+        * a fact was inserted into a relation the entry's UCQ mentions
+          (inserts can create certificates anywhere in those relations), or
+        * a fact was deleted from a block one of the entry's selectors pins,
+          or from an un-keyed relation the UCQ mentions (either can destroy
+          a certificate).
+
+        Everything else — including deletes in blocks the entry never
+        looked at, and any change to relations outside the query — keeps
+        the entry warm.  Counts against the new snapshot remain
+        bit-identical to a cold rebuild; the randomized delta property
+        suite pins that equivalence.
+        """
+        started = time.perf_counter()
+        database, keys = self.lookup(name)
+        old_token = self._tokens[name]
+        old_decomposition = self.decomposition(name)
+
+        new_database = database.apply_delta(delta)
+        new_decomposition = old_decomposition.apply_delta(delta, database=new_database)
+        new_token: SnapshotToken = (
+            new_database.content_digest(),
+            keys.content_digest(),
+        )
+
+        really_inserted, really_deleted = delta.effective_against(database)
+        inserted_relations = {item.relation for item in really_inserted}
+        deleted_unkeyed_relations = {
+            item.relation for item in really_deleted if not keys.has_key(item.relation)
+        }
+        deleted_keys = {keys.key_value(item) for item in really_deleted}
+        touched_keys = {
+            keys.key_value(item) for item in really_inserted + really_deleted
+        }
+
+        kept = migrated = dropped = 0
+        for key, prepared in self._prepared.items():
+            if key[0] != old_token:
+                kept += 1
+                continue
+            remapped = self._migrate_prepared(
+                prepared,
+                old_decomposition,
+                new_decomposition,
+                inserted_relations,
+                deleted_unkeyed_relations,
+                deleted_keys,
+            )
+            self._prepared.discard(key)
+            if remapped is None:
+                dropped += 1
+                continue
+            migrated += 1
+            new_key = (new_token,) + key[1:]
+            self._prepared.put(new_key, remapped)
+            if self._persist is not None:
+                query_text, answer_variables, answer = key[1:]
+                self._persist.store(
+                    new_token, query_text, answer_variables, answer, remapped
+                )
+
+        self._decompositions.discard(old_token)
+        self._decompositions.put(new_token, new_decomposition)
+        self._databases[name] = (new_database, keys)
+        self._tokens[name] = new_token
+
+        return UpdateReport(
+            database=name,
+            old_digest=old_token[0],
+            new_digest=new_token[0],
+            inserted=len(really_inserted),
+            deleted=len(really_deleted),
+            touched_blocks=len(touched_keys),
+            blocks_before=len(old_decomposition),
+            blocks_after=len(new_decomposition),
+            selectors_kept=kept,
+            selectors_migrated=migrated,
+            selectors_dropped=dropped,
+            elapsed=time.perf_counter() - started,
+        )
+
+    @staticmethod
+    def _migrate_prepared(
+        prepared: PreparedCertificates,
+        old_decomposition: BlockDecomposition,
+        new_decomposition: BlockDecomposition,
+        inserted_relations: Set[str],
+        deleted_unkeyed_relations: Set[str],
+        deleted_keys: Set,
+    ) -> Optional[PreparedCertificates]:
+        """Remap one selector entry to the new snapshot, or None to drop it.
+
+        Soundness argument: certificates are homomorphisms into facts of the
+        UCQ's relations whose image is key-consistent, and their selectors
+        pin exactly the image facts of *keyed* relations.  If the delta
+        inserts nothing into the UCQ's relations, no new certificate can
+        appear; if it deletes nothing from a pinned block nor from an
+        un-keyed UCQ relation, no existing certificate can disappear and no
+        pinned fact can change its position inside its block.  The only
+        thing left to fix up is that block *indices* shift globally when
+        blocks are inserted or removed — hence the coordinate remap.
+        """
+        relations = _ucq_relations(prepared.ucq)
+        if inserted_relations & relations:
+            return None
+        if deleted_unkeyed_relations & relations:
+            return None
+        pinned_keys = {
+            old_decomposition[coordinate].key_value
+            for selector in prepared.selectors
+            for coordinate, _ in selector.pins
+        }
+        if pinned_keys & deleted_keys:
+            return None
+
+        remap: Dict[int, int] = {}
+        for key_value in pinned_keys:
+            old_index = old_decomposition.index_for_key(key_value)
+            new_index = new_decomposition.index_for_key(key_value)
+            if old_index is None or new_index is None:  # pragma: no cover
+                return None  # defensive: pinned block vanished unexpectedly
+            remap[old_index] = new_index
+        remapped_selectors = tuple(
+            Selector({remap[index]: element for index, element in selector.pins})
+            for selector in prepared.selectors
+        )
+        return PreparedCertificates(
+            prepared.ucq, remapped_selectors, prepared.certificate_count
+        )
 
     # ------------------------------------------------------------------ #
     # single-job execution
@@ -159,6 +379,7 @@ class SolverPool:
         """
         started = time.perf_counter()
         database, keys = self.lookup(job.database)
+        token = self._tokens[job.database]
         hits: List[str] = []
         misses: List[str] = []
 
@@ -169,19 +390,43 @@ class SolverPool:
         (hits if query_hit else misses).append("query")
 
         decomposition, decomposition_hit = self._decompositions.get_or_compute(
-            job.database, lambda: BlockDecomposition(database, keys)
+            token, lambda: BlockDecomposition(database, keys)
         )
         (hits if decomposition_hit else misses).append("decomposition")
 
         prepared: Optional[PreparedCertificates] = None
         if job.method != "naive" and is_existential_positive(query):
-            prepared, prepared_hit = self._prepared.get_or_compute(
-                (job.database, job.query, job.answer_variables, job.answer),
-                lambda: prepare_certificates(
+            origin: Dict[str, str] = {}
+
+            def prepare_with_provenance() -> PreparedCertificates:
+                if self._persist is not None:
+                    loaded = self._persist.load(
+                        token, job.query, job.answer_variables, job.answer
+                    )
+                    if loaded is not None:
+                        origin["source"] = "disk"
+                        return loaded
+                origin["source"] = "computed"
+                self._selector_recomputations += 1
+                value = prepare_certificates(
                     database, keys, query, job.answer, decomposition=decomposition
-                ),
+                )
+                if self._persist is not None:
+                    self._persist.store(
+                        token, job.query, job.answer_variables, job.answer, value
+                    )
+                return value
+
+            prepared, prepared_hit = self._prepared.get_or_compute(
+                (token, job.query, job.answer_variables, job.answer),
+                prepare_with_provenance,
             )
-            (hits if prepared_hit else misses).append("selectors")
+            if prepared_hit:
+                hits.append("selectors")
+            elif origin.get("source") == "disk":
+                hits.append("selectors-disk")
+            else:
+                misses.append("selectors")
 
         map_fn = component_executor.map if component_executor is not None else None
         result = count_query(
@@ -226,30 +471,9 @@ class SolverPool:
         bit-identical (see the module docstring).
         """
         job_list = list(jobs)
-        if workers is None:
-            workers = self._workers or 1
-        if workers < 1:
-            raise EngineError(f"workers must be >= 1, got {workers}")
+        workers = self._resolve_workers(workers)
         started = time.perf_counter()
-
-        if workers == 1 or len(job_list) <= 1:
-            results = [self.run_job(job, index) for index, job in enumerate(job_list)]
-            workers = 1
-        else:
-            chunksize = max(1, len(job_list) // (workers * 4))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_initialise_worker,
-                initargs=(dict(self._databases),),
-            ) as executor:
-                results = list(
-                    executor.map(
-                        _run_job_in_worker,
-                        enumerate(job_list),
-                        chunksize=chunksize,
-                    )
-                )
-
+        results, workers = self._run_segment(job_list, workers, first_index=0)
         elapsed = time.perf_counter() - started
         return BatchReport(
             results=tuple(results),
@@ -257,6 +481,106 @@ class SolverPool:
             workers=workers,
             cache_stats=aggregate_cache_stats(results),
         )
+
+    def run_stream(
+        self,
+        items: Iterable[Union[CountJob, UpdateJob]],
+        workers: Optional[int] = None,
+    ) -> BatchReport:
+        """Run a stream that interleaves count jobs with delta updates.
+
+        Stream order is the semantics: every count job observes exactly the
+        snapshots produced by the updates before it.  Contiguous runs of
+        count jobs form segments that may fan out to worker processes;
+        updates execute in the parent pool between segments via
+        :meth:`apply_delta`.  Indices in the returned report are positions
+        in the original stream (updates included), so results and update
+        reports interleave unambiguously.
+        """
+        item_list = list(items)
+        workers = self._resolve_workers(workers)
+        started = time.perf_counter()
+        results: List[JobResult] = []
+        updates: List[UpdateReport] = []
+        used_workers = 1
+
+        segment: List[Tuple[int, CountJob]] = []
+
+        def flush_segment() -> None:
+            nonlocal used_workers
+            if not segment:
+                return
+            jobs = [job for _, job in segment]
+            segment_results, segment_workers = self._run_segment(
+                jobs, workers, first_index=segment[0][0]
+            )
+            used_workers = max(used_workers, segment_workers)
+            results.extend(segment_results)
+            segment.clear()
+
+        for index, item in enumerate(item_list):
+            if isinstance(item, UpdateJob):
+                flush_segment()
+                report = self.apply_delta(item.database, item.delta)
+                updates.append(replace(report, index=index, label=item.label))
+            elif isinstance(item, CountJob):
+                segment.append((index, item))
+            else:
+                raise EngineError(
+                    f"stream items must be CountJob or UpdateJob, "
+                    f"got {type(item).__name__}"
+                )
+        flush_segment()
+
+        elapsed = time.perf_counter() - started
+        return BatchReport(
+            results=tuple(results),
+            elapsed=elapsed,
+            workers=used_workers,
+            cache_stats=aggregate_cache_stats(results),
+            updates=tuple(updates),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            workers = self._workers or 1
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def _run_segment(
+        self, job_list: Sequence[CountJob], workers: int, first_index: int
+    ) -> Tuple[List[JobResult], int]:
+        """Run one contiguous run of count jobs, sequentially or fanned out.
+
+        ``first_index`` offsets the job indices so stream positions (and
+        hence derived per-job seeds) are identical between ``run`` and
+        ``run_stream``, sequential and pooled.
+        """
+        indices = range(first_index, first_index + len(job_list))
+        if workers == 1 or len(job_list) <= 1:
+            return (
+                [self.run_job(job, index) for index, job in zip(indices, job_list)],
+                1,
+            )
+        chunksize = max(1, len(job_list) // (workers * 4))
+        persist_dir = self._persist.directory if self._persist is not None else None
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialise_worker,
+            initargs=(dict(self._databases), persist_dir),
+        ) as executor:
+            results = list(
+                executor.map(
+                    _run_job_in_worker,
+                    zip(indices, job_list),
+                    chunksize=chunksize,
+                )
+            )
+        return results, workers
 
 
 # ---------------------------------------------------------------------- #
@@ -267,10 +591,18 @@ class SolverPool:
 _WORKER_POOL: Optional[SolverPool] = None
 
 
-def _initialise_worker(databases: Dict[str, Tuple[Database, PrimaryKeySet]]) -> None:
-    """Prime a worker process: register every database once, build caches."""
+def _initialise_worker(
+    databases: Dict[str, Tuple[Database, PrimaryKeySet]],
+    persist_dir: Optional[Path] = None,
+) -> None:
+    """Prime a worker process: register every database once, build caches.
+
+    Workers share the parent's persistent selector cache directory (safe:
+    entries are pure functions of their content-hash key and writes are
+    atomic, so concurrent writers merely race to store the same bytes).
+    """
     global _WORKER_POOL
-    pool = SolverPool()
+    pool = SolverPool(persist_dir=persist_dir)
     for name, (database, keys) in databases.items():
         pool.register(name, database, keys)
     _WORKER_POOL = pool

@@ -25,6 +25,26 @@ class ArityError(SchemaError):
     """A fact or atom has the wrong number of arguments for its relation."""
 
 
+class FrozenDatabaseError(SchemaError):
+    """A frozen (immutable snapshot) database was asked to mutate itself.
+
+    Databases are frozen when they become engine snapshots (registration in
+    a :class:`~repro.engine.SolverPool`, or an explicit
+    :meth:`~repro.db.database.Database.freeze`); mutating a snapshot in
+    place would silently corrupt every cache keyed by its content digest,
+    so the attempt is rejected loudly instead.  Derive a new snapshot with
+    :meth:`~repro.db.database.Database.apply_delta`.
+    """
+
+
+class DeltaError(SchemaError):
+    """A delta (inserted/deleted fact sets) is malformed.
+
+    For example a fact listed both as inserted and as deleted, or an
+    inserted fact that does not fit the target database's schema.
+    """
+
+
 class ConstraintError(ReproError):
     """A key constraint is malformed.
 

@@ -23,6 +23,7 @@ from .scenarios import (
     hr_analytics,
     sensor_fusion,
 )
+from .updates import update_stream
 
 __all__ = [
     "InconsistentDatabaseSpec",
@@ -42,4 +43,5 @@ __all__ = [
     "random_ucq",
     "sensor_fusion",
     "star_join_query",
+    "update_stream",
 ]

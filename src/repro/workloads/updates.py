@@ -1,0 +1,160 @@
+"""Update workloads: job streams that interleave deltas with counts.
+
+The batch workload (:func:`~repro.workloads.batches.batch_workload`) models
+a read-only serving pattern; real deployments *update* their databases far
+more often than they replace them.  :func:`update_stream` generates the
+corresponding write-heavy pattern: a deterministic stream of
+:class:`~repro.engine.jobs.CountJob` entries punctuated by
+:class:`~repro.engine.jobs.UpdateJob` deltas — block-sized edits (grow a
+block, shrink a block, add a block, drop a block) against the registered
+databases.  Feeding the stream to :meth:`repro.engine.SolverPool.run_stream`
+exercises exactly the incremental path this engine optimises: every count
+observes the snapshots produced by the updates before it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.delta import Delta
+from ..db.facts import Fact
+from ..engine.jobs import CountJob, UpdateJob
+from ..query.ast import Query
+from .generators import InconsistentDatabaseSpec, random_inconsistent_database
+from .queries import random_conjunctive_query
+
+__all__ = ["update_stream"]
+
+
+def _random_delta(
+    rng: random.Random,
+    database: Database,
+    keys: PrimaryKeySet,
+    relation: str,
+    arity: int,
+    max_edits: int,
+) -> Delta:
+    """A small block-shaped delta over one relation of the database.
+
+    Edits mix fact insertions into fresh and existing blocks with fact
+    deletions, mirroring how feeds grow, shrink and retract conflicting
+    blocks.  The delta is derived only from ``rng`` and the (deterministic)
+    sorted fact list, so streams are reproducible.
+    """
+    existing = sorted(database.relation(relation))
+    inserted: List[Fact] = []
+    deleted: List[Fact] = []
+    for _ in range(rng.randint(1, max_edits)):
+        move = rng.random()
+        if move < 0.5 or not existing:
+            # Insert: half the time into a brand-new block, half into the
+            # block of an existing fact (growing a conflict).
+            if move < 0.25 or not existing:
+                key_token = f"{relation.lower()}_new_{rng.randrange(10_000)}"
+            else:
+                key_token = rng.choice(existing).arguments[0]
+            payload = tuple(
+                f"u{rng.randrange(1_000)}" for _ in range(arity - 1)
+            )
+            candidate = Fact(relation, (key_token,) + payload)
+            if candidate not in database and candidate not in deleted:
+                inserted.append(candidate)
+        else:
+            victim = rng.choice(existing)
+            if victim not in inserted:
+                deleted.append(victim)
+    deleted = [item for item in deleted if item not in inserted]
+    return Delta(inserted=inserted, deleted=deleted)
+
+
+def update_stream(
+    jobs: int = 40,
+    update_every: int = 5,
+    seed: int = 0,
+    databases: int = 2,
+    queries_per_database: int = 3,
+    max_edits: int = 4,
+    methods: Sequence[str] = ("auto", "certificate", "fpras"),
+    epsilon: float = 0.25,
+    delta: float = 0.2,
+) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[Union[CountJob, UpdateJob]]]:
+    """Generate databases plus a mixed count/update stream.
+
+    Returns ``(databases, stream)`` ready for
+    :meth:`~repro.engine.SolverPool.run_stream`: the stream holds ``jobs``
+    counting jobs with an :class:`UpdateJob` spliced in after every
+    ``update_every`` counts, alternating which database (and which
+    relation) is edited.  Everything derives from ``seed``; equal arguments
+    produce equal streams, and the per-count seeds come from
+    :meth:`CountJob.effective_seed` as usual, so a stream replays
+    bit-identically.
+
+    The deltas are *cumulative*: each one is generated against the database
+    state produced by the previous deltas, exactly as a long-lived service
+    would see them.
+    """
+    rng = random.Random(seed)
+    relations = {"R": 3, "S": 3}
+
+    registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+    live: Dict[str, Database] = {}
+    catalogue: Dict[str, List[Query]] = {}
+    for index in range(databases):
+        spec = InconsistentDatabaseSpec(
+            relations=relations,
+            blocks_per_relation=rng.randint(6, 12),
+            conflict_rate=0.5,
+            max_block_size=3,
+            domain_size=10,
+        )
+        name = f"updatable-{index}"
+        database, keys = random_inconsistent_database(spec, seed=rng.randrange(2**16))
+        registry[name] = (database, keys)
+        live[name] = database
+        catalogue[name] = [
+            random_conjunctive_query(
+                relations,
+                keys,
+                target_keywidth=rng.randint(1, 2),
+                seed=rng.randrange(2**16),
+            )
+            for _ in range(queries_per_database)
+        ]
+
+    names = sorted(registry)
+    stream: List[Union[CountJob, UpdateJob]] = []
+    emitted = 0
+    while emitted < jobs:
+        if emitted and emitted % update_every == 0 and not isinstance(
+            stream[-1], UpdateJob
+        ):
+            name = names[(emitted // update_every) % len(names)]
+            database, keys = registry[name]
+            relation = rng.choice(sorted(relations))
+            change = _random_delta(
+                rng, live[name], keys, relation, relations[relation], max_edits
+            )
+            if not change.is_empty():
+                stream.append(
+                    UpdateJob(database=name, delta=change, label=f"edit-{relation}")
+                )
+                live[name] = live[name].apply_delta(change)
+        name = rng.choice(names)
+        query = rng.choice(catalogue[name])
+        stream.append(
+            CountJob(
+                database=name,
+                query=str(query.formula),
+                answer_variables=tuple(v.name for v in query.answer_variables),
+                method=rng.choice(list(methods)),
+                epsilon=epsilon,
+                delta=delta,
+                label=query.name,
+            )
+        )
+        emitted += 1
+    return registry, stream

@@ -163,7 +163,12 @@ class TestBatch:
         summary = report["summary"]
         assert summary["jobs"] == 3
         assert summary["workers"] == 1
-        assert set(summary["cache"]) == {"query", "decomposition", "selectors"}
+        assert set(summary["cache"]) == {
+            "query",
+            "decomposition",
+            "selectors",
+            "selectors-disk",
+        }
         first, second, estimate = report["jobs"]
         assert (first["satisfying"], first["total"]) == (2, 4)
         assert first["method"] == "certificate"

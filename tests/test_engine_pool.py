@@ -59,6 +59,39 @@ class TestLRUCache:
         assert dropped == 2
         assert ("db2", "q1") in cache and len(cache) == 1
 
+    def test_clear_drops_entries_but_keeps_lifetime_counters(self):
+        cache = LRUCache(4)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache
+        stats = cache.stats()
+        assert stats == {
+            "size": 0,
+            "maxsize": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_items_does_not_touch_recency_or_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.items() == (("a", 1), ("b", 2))
+        cache.put("c", 3)  # "a" is still the LRU entry: items must not refresh
+        assert "a" not in cache and "b" in cache
+        assert cache.stats()["hits"] == 0
+
+    def test_pool_cache_stats_come_from_the_cache_layers(self):
+        pool = SolverPool()
+        pool.register_scenario(employee_example())
+        pool.run_job(CountJob(database="employee-example", query=_SAME_DEPARTMENT))
+        stats = pool.cache_stats()
+        assert set(stats) == {"query", "decomposition", "selectors"}
+        for layer in stats.values():
+            assert set(layer) == {"size", "maxsize", "hits", "misses", "evictions"}
+
 
 class TestCountJob:
     def test_rejects_unknown_method(self):
@@ -180,7 +213,12 @@ class TestSolverPool:
         payload = report.to_json()
         assert set(payload) == {"jobs", "summary"}
         assert payload["summary"]["jobs"] == 2
-        assert set(payload["summary"]["cache"]) == {"query", "decomposition", "selectors"}
+        assert set(payload["summary"]["cache"]) == {
+            "query",
+            "decomposition",
+            "selectors",
+            "selectors-disk",
+        }
         json.dumps(payload)  # must be JSON-serialisable as-is
         stats = aggregate_cache_stats(report.results)
         assert stats["query"]["hits"] == 1  # second job reuses the parsed query

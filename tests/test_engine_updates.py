@@ -1,0 +1,511 @@
+"""Tests for first-class updates in the engine and the persistent cache.
+
+Covers the acceptance criteria of the snapshot/delta refactor:
+
+* ``SolverPool.apply_delta`` on a delta touching k blocks invalidates only
+  the selector entries pinned to those blocks (asserted through cache-hit
+  provenance and the update report's kept/migrated/dropped counters);
+* results after a delta are bit-identical to a cold sequential solver;
+* a pool restarted against the persistent selector cache answers an
+  unchanged job file with zero selector recomputations;
+* the persistent cache shrugs off corruption and version skew;
+* update entries flow end to end through job files, ``run_stream`` and the
+  ``repro batch`` / ``repro update`` CLI commands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core import CQASolver
+from repro.db import Database, Delta, PrimaryKeySet, database_to_json, fact
+from repro.engine import (
+    CountJob,
+    SolverPool,
+    UpdateJob,
+    load_job_file,
+    parse_job_document,
+)
+from repro.engine.persist import FORMAT_VERSION, SelectorDiskCache
+from repro.errors import BatchSpecError, EngineError, FrozenDatabaseError
+from repro.query import parse_query
+from repro.workloads import update_stream
+
+_R_QUERY = "EXISTS x, y. R(x, 'p', y)"
+_S_QUERY = "EXISTS x, y. S(x, 'q', y)"
+
+
+def _two_relation_instance():
+    database = Database(
+        [
+            fact("R", 1, "p", "a"),
+            fact("R", 1, "p", "b"),
+            fact("R", 2, "p", "c"),
+            fact("S", 1, "q", "x"),
+            fact("S", 2, "q", "y"),
+            fact("S", 2, "q", "z"),
+        ]
+    )
+    keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+    return database, keys
+
+
+@pytest.fixture
+def warm_pool():
+    database, keys = _two_relation_instance()
+    pool = SolverPool()
+    pool.register("live", database, keys)
+    pool.run(
+        [
+            CountJob(database="live", query=_R_QUERY),
+            CountJob(database="live", query=_S_QUERY),
+        ]
+    )
+    return pool
+
+
+class TestRegisterFreezes:
+    def test_registered_databases_are_frozen(self):
+        database, keys = _two_relation_instance()
+        pool = SolverPool()
+        pool.register("live", database, keys)
+        assert database.is_frozen
+        with pytest.raises(FrozenDatabaseError):
+            database.add(fact("R", 9, "p", "zz"))
+
+    def test_equal_snapshots_share_cache_entries_across_names(self):
+        database, keys = _two_relation_instance()
+        twin = Database(database.facts())
+        pool = SolverPool()
+        pool.register("first", database, keys)
+        pool.register("second", twin, keys)
+        cold = pool.run_job(CountJob(database="first", query=_R_QUERY))
+        warm = pool.run_job(CountJob(database="second", query=_R_QUERY))
+        assert "selectors" in cold.cache_misses
+        assert "selectors" in warm.cache_hits
+        assert "decomposition" in warm.cache_hits
+
+
+class TestApplyDelta:
+    def test_unknown_name_raises(self):
+        with pytest.raises(EngineError, match="unknown database"):
+            SolverPool().apply_delta("ghost", Delta())
+
+    def test_delta_invalidates_only_touched_blocks_entries(self, warm_pool):
+        # The delta touches two S blocks; the R-query's selector entry pins
+        # only R blocks and must survive (migrated), while the S-query's
+        # entry must be dropped and recomputed.
+        delta = Delta(
+            inserted=[fact("S", 1, "q", "fresh")],
+            deleted=[fact("S", 2, "q", "z")],
+        )
+        report = warm_pool.apply_delta("live", delta)
+        assert report.touched_blocks == 2
+        assert report.selectors_migrated == 1  # the R entry
+        assert report.selectors_dropped == 1  # the S entry
+        assert report.selectors_kept == 0
+        assert report.blocks_before == report.blocks_after == 4
+
+        recomputed_before = warm_pool.selector_recomputations
+        r_result = warm_pool.run_job(CountJob(database="live", query=_R_QUERY))
+        s_result = warm_pool.run_job(CountJob(database="live", query=_S_QUERY))
+        assert "selectors" in r_result.cache_hits  # migrated, still warm
+        assert "selectors" in s_result.cache_misses  # dropped, recomputed
+        assert warm_pool.selector_recomputations == recomputed_before + 1
+
+    def test_insert_into_queried_relation_drops_that_entry(self, warm_pool):
+        # Inserts can create certificates anywhere in the relation, even in
+        # a brand-new block no selector pins yet.
+        delta = Delta(inserted=[fact("R", 99, "p", "new-block")])
+        report = warm_pool.apply_delta("live", delta)
+        assert report.selectors_dropped == 1  # the R entry
+        assert report.selectors_migrated == 1  # the S entry
+        r_result = warm_pool.run_job(CountJob(database="live", query=_R_QUERY))
+        assert "selectors" in r_result.cache_misses
+
+    def test_counts_after_delta_match_cold_sequential_solver(self, warm_pool):
+        delta = Delta(
+            inserted=[fact("R", 3, "p", "d"), fact("S", 7, "q", "w")],
+            deleted=[fact("R", 1, "p", "b")],
+        )
+        warm_pool.apply_delta("live", delta)
+        database, keys = warm_pool.lookup("live")
+        solver = CQASolver(Database(database.facts()), keys)
+        for query in (_R_QUERY, _S_QUERY):
+            pooled = warm_pool.run_job(CountJob(database="live", query=query))
+            expected = solver.count(parse_query(query))
+            assert (pooled.satisfying, pooled.total) == (
+                expected.satisfying,
+                expected.total,
+            )
+
+    def test_migrated_entries_survive_index_shifts(self, warm_pool):
+        # Deleting the whole first S block shifts every later block's index;
+        # the R entry must be remapped, not stale.
+        delta = Delta(deleted=[fact("S", 1, "q", "x")])
+        report = warm_pool.apply_delta("live", delta)
+        assert report.blocks_after == report.blocks_before - 1
+        assert report.selectors_migrated == 1
+        r_result = warm_pool.run_job(CountJob(database="live", query=_R_QUERY))
+        assert "selectors" in r_result.cache_hits
+        database, keys = warm_pool.lookup("live")
+        expected = CQASolver(Database(database.facts()), keys).count(
+            parse_query(_R_QUERY)
+        )
+        assert (r_result.satisfying, r_result.total) == (
+            expected.satisfying,
+            expected.total,
+        )
+
+    def test_noop_delta_migrates_everything(self, warm_pool):
+        report = warm_pool.apply_delta(
+            "live", Delta(deleted=[fact("R", 555, "p", "ghost")])
+        )
+        assert report.inserted == report.deleted == 0
+        assert report.selectors_dropped == 0
+        assert report.selectors_migrated == 2
+        assert report.old_digest == report.new_digest
+
+
+class TestPersistentSelectorCache:
+    def _jobs(self):
+        return [
+            CountJob(database="live", query=_R_QUERY),
+            CountJob(database="live", query=_S_QUERY),
+        ]
+
+    def test_restart_answers_with_zero_selector_recomputations(self, tmp_path):
+        database, keys = _two_relation_instance()
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("live", database, keys)
+        baseline = first.run(self._jobs())
+        assert first.selector_recomputations == 2
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("live", Database(database.facts()), keys)
+        replay = restarted.run(self._jobs())
+        assert restarted.selector_recomputations == 0
+        assert replay.counts() == baseline.counts()
+        assert all(
+            "selectors-disk" in result.cache_hits for result in replay.results
+        )
+        assert replay.cache_stats["selectors-disk"]["hits"] == 2
+
+    def test_disk_entries_are_content_addressed_not_name_addressed(self, tmp_path):
+        database, keys = _two_relation_instance()
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("some-name", database, keys)
+        first.run_job(CountJob(database="some-name", query=_R_QUERY))
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("other-name", Database(database.facts()), keys)
+        result = restarted.run_job(CountJob(database="other-name", query=_R_QUERY))
+        assert "selectors-disk" in result.cache_hits
+
+    def test_corrupt_entries_are_tolerated_and_cleaned(self, tmp_path):
+        database, keys = _two_relation_instance()
+        pool = SolverPool(persist_dir=tmp_path)
+        pool.register("live", database, keys)
+        pool.run(self._jobs())
+        entries = sorted(tmp_path.glob("*.sel"))
+        assert len(entries) == 2
+        entries[0].write_bytes(b"RSEL" + os.urandom(60))  # checksum breaks
+        entries[1].write_bytes(b"garbage")  # magic breaks
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("live", Database(database.facts()), keys)
+        replay = restarted.run(self._jobs())
+        assert restarted.selector_recomputations == 2  # recomputed, not crashed
+        assert replay.cache_stats["selectors"]["misses"] == 2
+        stats = restarted.cache_stats()["selectors-disk"]
+        assert stats["corrupt"] == 2
+        # ... and the rewritten entries serve the next restart again.
+        third = SolverPool(persist_dir=tmp_path)
+        third.register("live", Database(database.facts()), keys)
+        third.run(self._jobs())
+        assert third.selector_recomputations == 0
+
+    def test_version_skew_reads_as_a_miss(self, tmp_path):
+        cache = SelectorDiskCache(tmp_path)
+        database, keys = _two_relation_instance()
+        pool = SolverPool(persist_dir=tmp_path)
+        pool.register("live", database, keys)
+        pool.run_job(CountJob(database="live", query=_R_QUERY))
+        (entry,) = tmp_path.glob("*.sel")
+        blob = entry.read_bytes()
+        entry.write_bytes(
+            blob[:4] + (FORMAT_VERSION + 1).to_bytes(4, "big") + blob[8:]
+        )
+        token = pool.snapshot_token("live")
+        assert cache.load(token, _R_QUERY, (), ()) is None
+
+    def test_worker_processes_share_the_persistent_cache(self, tmp_path):
+        # Regression: persist_dir must reach the worker pools, or pooled
+        # runs silently never touch the disk cache.
+        database, keys = _two_relation_instance()
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("live", database, keys)
+        first.run(self._jobs(), workers=2)
+        assert SelectorDiskCache(tmp_path).entry_count() == 2
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("live", Database(database.facts()), keys)
+        replay = restarted.run(self._jobs(), workers=2)
+        assert all(
+            "selectors-disk" in result.cache_hits for result in replay.results
+        )
+
+    def test_store_failure_is_nonfatal(self, tmp_path, monkeypatch):
+        database, keys = _two_relation_instance()
+        pool = SolverPool(persist_dir=tmp_path)
+        pool.register("live", database, keys)
+        monkeypatch.setattr(os, "replace", _raise_oserror)
+        result = pool.run_job(CountJob(database="live", query=_R_QUERY))
+        assert result.satisfying >= 0  # the count itself must succeed
+
+
+def _raise_oserror(*_args, **_kwargs):
+    raise OSError("disk full")
+
+
+class TestUpdateJobsAndStreams:
+    def test_update_job_json_round_trip(self):
+        job = UpdateJob(
+            database="live",
+            delta=Delta(inserted=[fact("R", 1, "p", "a")]),
+            label="feed",
+        )
+        assert UpdateJob.from_json(job.to_json()) == job
+
+    def test_update_job_rejects_malformed_payloads(self):
+        with pytest.raises(BatchSpecError):
+            UpdateJob.from_json({"insert": []})
+        with pytest.raises(BatchSpecError):
+            UpdateJob.from_json({"update": "live", "surprise": 1})
+        with pytest.raises(BatchSpecError):
+            UpdateJob(database="", delta=Delta())
+        with pytest.raises(BatchSpecError):
+            UpdateJob(database="live", delta="not a delta")  # type: ignore[arg-type]
+
+    def test_run_stream_interleaves_updates_in_order(self):
+        database, keys = _two_relation_instance()
+        pool = SolverPool()
+        pool.register("live", database, keys)
+        job = CountJob(database="live", query=_R_QUERY)
+        update = UpdateJob(
+            database="live", delta=Delta(inserted=[fact("R", 1, "p", "zz")])
+        )
+        report = pool.run_stream([job, update, job])
+        assert len(report.results) == 2
+        assert len(report.updates) == 1
+        assert report.updates[0].index == 1
+        before, after = report.results
+        assert after.total > before.total  # the insert grew a block
+        json.dumps(report.to_json())  # report stays JSON-able
+
+    def test_run_stream_rejects_foreign_items(self):
+        pool = SolverPool()
+        with pytest.raises(EngineError, match="stream items"):
+            pool.run_stream(["not a job"])  # type: ignore[list-item]
+
+    def test_run_stream_pooled_segments_match_sequential(self):
+        databases, stream = update_stream(jobs=12, update_every=4, seed=9)
+        sequential = SolverPool()
+        pooled = SolverPool()
+        for name, (database, keys) in databases.items():
+            sequential.register(name, Database(database.facts()), keys)
+            pooled.register(name, Database(database.facts()), keys)
+        first = sequential.run_stream(stream)
+        second = pooled.run_stream(stream, workers=2)
+        assert first.counts() == second.counts()
+
+    def test_update_stream_is_deterministic(self):
+        _, first = update_stream(jobs=10, update_every=3, seed=21)
+        _, second = update_stream(jobs=10, update_every=3, seed=21)
+        assert first == second
+        assert any(isinstance(item, UpdateJob) for item in first)
+
+    def test_job_file_update_entries(self, tmp_path):
+        database, keys = _two_relation_instance()
+        document = {
+            "databases": {"live": database_to_json(database, keys)},
+            "jobs": [
+                {"database": "live", "query": _R_QUERY},
+                {
+                    "update": "live",
+                    "insert": [{"relation": "R", "arguments": [1, "p", "zz"]}],
+                },
+                {"database": "live", "query": _R_QUERY},
+            ],
+        }
+        databases, items = parse_job_document(document)
+        assert isinstance(items[1], UpdateJob)
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(document))
+        assert [type(item) for item in load_job_file(path)[1]] == [
+            CountJob,
+            UpdateJob,
+            CountJob,
+        ]
+
+    def test_job_file_update_referencing_unknown_database_fails(self):
+        database, keys = _two_relation_instance()
+        document = {
+            "databases": {"live": database_to_json(database, keys)},
+            "jobs": [{"update": "ghost", "insert": []}],
+        }
+        with pytest.raises(BatchSpecError, match="unknown database"):
+            parse_job_document(document)
+
+
+class TestUpdateCli:
+    @pytest.fixture
+    def instance_json(self, tmp_path):
+        database, keys = _two_relation_instance()
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(database_to_json(database, keys)))
+        return path
+
+    def test_update_command_writes_next_snapshot(self, tmp_path, instance_json, capsys):
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(
+            json.dumps(
+                {
+                    "insert": [{"relation": "R", "arguments": [5, "p", "new"]}],
+                    "delete": [{"relation": "S", "arguments": [1, "q", "x"]}],
+                }
+            )
+        )
+        output = tmp_path / "next.json"
+        code = main(
+            [
+                "update",
+                "--json",
+                str(instance_json),
+                "--delta",
+                str(delta_path),
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "facts: 6 -> 6" in printed
+        assert "inserted: 1" in printed and "deleted: 1" in printed
+        assert "touched blocks: 2" in printed
+        updated, keys = __import__("repro.db", fromlist=["load_json"]).load_json(output)
+        assert fact("R", 5, "p", "new") in updated
+        assert fact("S", 1, "q", "x") not in updated
+        assert keys.has_key("R") and keys.has_key("S")
+
+    def test_update_command_rejects_bad_delta_files(self, tmp_path, instance_json, capsys):
+        missing = main(
+            [
+                "update",
+                "--json",
+                str(instance_json),
+                "--delta",
+                str(tmp_path / "missing.json"),
+                "--output",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        assert missing == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert (
+            main(
+                [
+                    "update",
+                    "--json",
+                    str(instance_json),
+                    "--delta",
+                    str(bad),
+                    "--output",
+                    str(tmp_path / "out.json"),
+                ]
+            )
+            == 2
+        )
+        malformed = tmp_path / "malformed.json"
+        malformed.write_text(json.dumps({"surprise": []}))
+        assert (
+            main(
+                [
+                    "update",
+                    "--json",
+                    str(instance_json),
+                    "--delta",
+                    str(malformed),
+                    "--output",
+                    str(tmp_path / "out.json"),
+                ]
+            )
+            == 2
+        )
+        assert capsys.readouterr().err.count("update:") == 3
+
+    def test_batch_command_runs_update_entries(self, tmp_path, capsys):
+        database, keys = _two_relation_instance()
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(
+            json.dumps(
+                {
+                    "databases": {"live": database_to_json(database, keys)},
+                    "jobs": [
+                        {"database": "live", "query": _R_QUERY},
+                        {
+                            "update": "live",
+                            "insert": [
+                                {"relation": "R", "arguments": [1, "p", "zz"]}
+                            ],
+                            "label": "grow",
+                        },
+                        {"database": "live", "query": _R_QUERY},
+                    ],
+                }
+            )
+        )
+        assert main(["batch", "--jobs", str(jobs_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["jobs"] == 2
+        assert payload["summary"]["updates"] == 1
+        assert payload["updates"][0]["label"] == "grow"
+        first, second = payload["jobs"]
+        assert second["total"] > first["total"]
+
+    def test_batch_command_persist_cache_keeps_restarts_warm(self, tmp_path, capsys):
+        database, keys = _two_relation_instance()
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(
+            json.dumps(
+                {
+                    "databases": {"live": database_to_json(database, keys)},
+                    "jobs": [{"database": "live", "query": _R_QUERY}],
+                }
+            )
+        )
+        cache_dir = tmp_path / "cache"
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "batch",
+                        "--jobs",
+                        str(jobs_path),
+                        "--persist-cache",
+                        str(cache_dir),
+                    ]
+                )
+                == 0
+            )
+        first, second = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert "selectors" in first["jobs"][0]["cache_misses"]
+        assert "selectors-disk" in second["jobs"][0]["cache_hits"]
+        assert first["jobs"][0]["satisfying"] == second["jobs"][0]["satisfying"]
