@@ -1,0 +1,203 @@
+"""E15 — the async serving layer: sharded throughput and warm restarts.
+
+Claims exercised:
+
+* **Sharded async throughput** — a 2-shard
+  :class:`~repro.server.AsyncServer` (two warm worker processes, each
+  owning one of two databases) serves a compute-heavy job stream at
+  ≥1.5× the throughput of a single synchronous
+  :class:`~repro.engine.SolverPool` on the same stream, while staying
+  **bit-identical**.  The assertion needs real parallel hardware and is
+  skipped on single-core machines (the measurement still runs and is
+  recorded).
+* **Equivalence** — the sharded async report of a mixed count/update
+  stream equals a sequential ``run_stream`` of the same stream, count for
+  count and digest for digest.
+* **Cold restarts** — with a persistent cache directory, a restarted
+  server re-registers the benchmark databases and serves the unchanged
+  workload with **zero** selector *and* zero decomposition
+  recomputations (decompositions are persisted alongside selectors as of
+  this PR).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import CountJob, SolverPool
+from repro.server import serve_stream
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    random_inconsistent_database,
+    serve_workload,
+)
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def make_databases(count=2, blocks=12):
+    """Small databases + sampling-heavy jobs: per-job CPU work dominates."""
+    registry = {}
+    for index in range(count):
+        spec = InconsistentDatabaseSpec(
+            relations=_RELATIONS,
+            blocks_per_relation=blocks,
+            conflict_rate=0.4,
+            max_block_size=4,
+            domain_size=200,
+        )
+        registry[f"db-{index}"] = random_inconsistent_database(spec, seed=index)
+    return registry
+
+
+def sampling_heavy_jobs(jobs=16, databases=2):
+    """Estimator jobs alternating over the databases, one per shard."""
+    stream = []
+    for index in range(jobs):
+        anchor = f"v{index % 10}"
+        stream.append(
+            CountJob(
+                database=f"db-{index % databases}",
+                query=(
+                    f"EXISTS x, y, z, w. "
+                    f"(R(x, '{anchor}', y) AND S(z, '{anchor}', w))"
+                ),
+                method=("fpras", "karp-luby")[index % 2],
+                epsilon=0.05,
+                delta=0.05,
+                seed=index,
+            )
+        )
+    return stream
+
+
+# --------------------------------------------------------------------- #
+# equivalence (runs meaningfully on any hardware)
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_sharded_server_matches_sequential_stream():
+    """A mixed count/update stream through 2 shards is bit-identical."""
+    registry, stream = serve_workload(jobs=16, databases=2, update_every=4, seed=15)
+    pool = SolverPool()
+    for name, (database, keys) in registry.items():
+        pool.register(name, database, keys)
+    sequential = pool.run_stream(stream)
+    served = serve_stream(registry, stream, shards=2, queue_limit=8)
+    assert served.counts() == sequential.counts()
+    assert [update.new_digest for update in served.updates] == [
+        update.new_digest for update in sequential.updates
+    ]
+
+
+# --------------------------------------------------------------------- #
+# sharded throughput (needs real cores to show a speedup)
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_sharded_async_throughput_speedup():
+    """2 shards ≥1.5× over a single synchronous pool (needs ≥2 cores)."""
+    cores = _available_cores()
+    registry = make_databases(count=2)
+    jobs = sampling_heavy_jobs(jobs=16)
+
+    pool = SolverPool()
+    for name, (database, keys) in registry.items():
+        pool.register(name, database, keys)
+    pool.run(jobs)  # warm: steady-state caches, like a live service
+    started = time.perf_counter()
+    sequential = pool.run(jobs)
+    sequential_elapsed = time.perf_counter() - started
+
+    # serve_stream builds, warms (first pass) and times (second pass) a
+    # fresh 2-shard server; shard workers stay warm between the passes.
+    import asyncio
+
+    from repro.server import AsyncServer
+
+    async def timed_server_run():
+        server = AsyncServer(shards=2, queue_limit=32)
+        for name, (database, keys) in registry.items():
+            server.register(name, database, keys)
+        async with server:
+            await server.run_stream(jobs)  # warm the shard caches
+            begun = time.perf_counter()
+            report = await server.run_stream(jobs)
+            return report, time.perf_counter() - begun
+
+    served, served_elapsed = asyncio.run(timed_server_run())
+
+    assert served.counts() == sequential.counts()
+    speedup = sequential_elapsed / served_elapsed
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} core(s) available; parallel speedup is not "
+            f"measurable (observed {speedup:.2f}x)"
+        )
+    assert speedup >= 1.5, (
+        f"expected >=1.5x with 2 shards on {cores} cores, got {speedup:.2f}x "
+        f"(sequential {sequential_elapsed:.2f}s vs sharded {served_elapsed:.2f}s)"
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_server_throughput(benchmark, shards):
+    """Recorded throughput of the sharded server at 1 and 2 shards."""
+    registry = make_databases(count=2)
+    jobs = sampling_heavy_jobs(jobs=8)
+    report = benchmark.pedantic(
+        serve_stream, args=(registry, jobs), kwargs={"shards": shards}, rounds=2
+    )
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["cores"] = _available_cores()
+    benchmark.extra_info["jobs_per_second"] = round(report.jobs_per_second, 1)
+
+
+# --------------------------------------------------------------------- #
+# cold restarts against the persisted cache
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_cold_restart_recomputes_nothing(tmp_path):
+    """Restart + re-register: zero selector AND decomposition recomputes."""
+    registry = make_databases(count=2, blocks=60)
+    jobs = [
+        CountJob(
+            database=f"db-{index % 2}",
+            query=(
+                f"EXISTS x, y, z, w. "
+                f"(R(x, 'v{index % 4}', y) AND S(z, 'v{index % 4}', w))"
+            ),
+            method="certificate",
+        )
+        for index in range(12)
+    ]
+
+    first = SolverPool(persist_dir=tmp_path / "cache")
+    for name, (database, keys) in registry.items():
+        first.register(name, database, keys)
+    baseline = first.run(jobs)
+    assert first.decomposition_recomputations == len(registry)
+    assert first.selector_recomputations > 0
+
+    restarted = SolverPool(persist_dir=tmp_path / "cache")
+    for name, (database, keys) in registry.items():
+        restarted.register(name, database, keys)
+    replay = restarted.run(jobs)
+    assert restarted.decomposition_recomputations == 0
+    assert restarted.selector_recomputations == 0
+    assert replay.counts() == baseline.counts()
+
+    # The sharded server serves the same restarted state warm, too.
+    served = serve_stream(
+        registry, jobs, shards=2, persist_dir=tmp_path / "cache"
+    )
+    assert served.counts() == baseline.counts()
+    for result in served.results:
+        assert "selectors" not in result.cache_misses
+        assert "decomposition" not in result.cache_misses

@@ -15,10 +15,13 @@ be used from the shell on databases stored as JSON (see
     python -m repro batch    --jobs jobs.json --workers 4
     python -m repro update   --json employees.json --delta delta.json \
         --output employees-v2.json
+    python -m repro serve    --jobs jobs.json --shards 2 --queue-limit 16
+    python -m repro serve    --jobs databases.json --stdin < jobs.jsonl
 
 Every command prints a small, line-oriented report to stdout (``batch``
-prints a JSON report) and exits with status 0 on success; malformed input
-exits with status 2 and a message on stderr (argparse's convention).
+prints a JSON report, ``serve`` streams JSON-lines results) and exits with
+status 0 on success; malformed input exits with status 2 and a message on
+stderr (argparse's convention).
 """
 
 from __future__ import annotations
@@ -150,6 +153,67 @@ def build_parser() -> argparse.ArgumentParser:
         "unchanged job file against the same directory recomputes nothing",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a job stream through the sharded async server",
+    )
+    serve.add_argument(
+        "--jobs",
+        required=True,
+        metavar="FILE",
+        help="JSON job file: {'databases': {...}, 'jobs': [...]}; with "
+        "--stdin the 'jobs' array may be empty and jobs arrive as "
+        "JSON-lines on stdin",
+    )
+    serve.add_argument(
+        "--stdin",
+        action="store_true",
+        help="read jobs as JSON-lines from stdin (after the file's jobs)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker shards; each owns a disjoint set of databases (default 2)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bound on in-flight jobs before backpressure applies (default 64)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["wait", "reject"],
+        default="wait",
+        help="what a full queue does to the submitter (default: wait)",
+    )
+    serve.add_argument(
+        "--persist-cache",
+        metavar="DIR",
+        default=None,
+        help="directory for the persistent selector/decomposition caches",
+    )
+    serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="GC bound: keep at most N entries per on-disk cache layer",
+    )
+    serve.add_argument(
+        "--cache-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="GC bound: evict on-disk entries older than SECONDS",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's aggregated stats JSON to stderr at the end",
+    )
+
     update = subparsers.add_parser(
         "update",
         help="apply a delta (inserted/deleted facts) to a stored database",
@@ -203,6 +267,72 @@ def _run_batch(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(arguments: argparse.Namespace) -> int:
+    """The ``serve`` command: job stream in, JSON-lines results out.
+
+    Results are emitted in *completion* order, one JSON object per line,
+    each carrying its stream ``index`` (and ``"type": "update"`` for delta
+    reports) — the streaming shape a service client consumes.  With
+    ``--stdin``, jobs are read lazily line by line after the job file's own
+    jobs, so queue backpressure propagates to the input reader.
+    """
+    import asyncio
+
+    from .engine import UpdateReport, load_job_file, parse_stream_item
+    from .server import AsyncServer
+
+    try:
+        databases, file_jobs = load_job_file(
+            arguments.jobs, require_jobs=not arguments.stdin
+        )
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    def stream_items():
+        yield from file_jobs
+        if arguments.stdin:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                item = parse_stream_item(payload)
+                if item.database not in databases:
+                    raise ReproError(
+                        f"job references unknown database {item.database!r}; "
+                        f"declared: {sorted(databases)}"
+                    )
+                yield item
+
+    async def _serve() -> int:
+        server = AsyncServer(
+            shards=arguments.shards,
+            queue_limit=arguments.queue_limit,
+            policy=arguments.policy,
+            persist_dir=arguments.persist_cache,
+            persist_max_entries=arguments.cache_max_entries,
+            persist_max_age=arguments.cache_max_age,
+        )
+        for name, (database, keys) in databases.items():
+            server.register(name, database, keys)
+        async with server:
+            async for result in server.results(stream_items()):
+                payload = result.to_json()
+                if isinstance(result, UpdateReport):
+                    payload["type"] = "update"
+                print(json.dumps(payload), flush=True)
+            if arguments.stats:
+                print(json.dumps(await server.stats()), file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except (ReproError, json.JSONDecodeError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+
 def _run_update(arguments: argparse.Namespace) -> int:
     """The ``update`` command: database + delta -> next snapshot on disk."""
     from .db import Delta, save_json
@@ -249,6 +379,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "batch":
         return _run_batch(arguments)
+
+    if arguments.command == "serve":
+        return _run_serve(arguments)
 
     if arguments.command == "update":
         return _run_update(arguments)

@@ -126,6 +126,21 @@ class BlockDecomposition:
         decomposition._install(database, keys, blocks)
         return decomposition
 
+    @classmethod
+    def from_blocks(
+        cls, database: Database, keys: PrimaryKeySet, blocks: Sequence[Block]
+    ) -> "BlockDecomposition":
+        """Rehydrate a decomposition from an already-ordered block sequence.
+
+        This is the persistence hook: the on-disk decomposition cache
+        (:class:`~repro.engine.persist.DecompositionDiskCache`) stores only
+        the blocks and reattaches the caller's (database, keys) pair at
+        load time.  The blocks must be exactly the blocks of ``(database,
+        keys)`` in ``≺_{D,Σ}`` order — which content addressing guarantees
+        when the entry is keyed by the pair's snapshot token.
+        """
+        return cls._from_blocks(database, keys, tuple(blocks))
+
     # ------------------------------------------------------------------ #
     # incremental maintenance
     # ------------------------------------------------------------------ #

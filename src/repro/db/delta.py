@@ -52,6 +52,15 @@ class Delta:
     order.  A fact may not appear on both sides — "delete then re-insert"
     is a no-op that would make the applied order observable, so it is
     rejected outright.
+
+    >>> from repro.db import Delta, fact
+    >>> delta = Delta(inserted=[fact("R", 2, "b")], deleted=[fact("R", 1, "a")])
+    >>> len(delta)
+    2
+    >>> sorted(delta.relations())
+    ['R']
+    >>> Delta.from_json(delta.to_json()) == delta
+    True
     """
 
     inserted: Tuple[Fact, ...] = ()
@@ -78,7 +87,11 @@ class Delta:
         return len(self.inserted) + len(self.deleted)
 
     def is_empty(self) -> bool:
-        """True iff the delta changes nothing whatever it is applied to."""
+        """True iff the delta changes nothing whatever it is applied to.
+
+        >>> Delta().is_empty()
+        True
+        """
         return not self.inserted and not self.deleted
 
     def relations(self) -> FrozenSet[str]:
@@ -99,6 +112,16 @@ class Delta:
         incremental algorithms (block updates, cache invalidation) must work
         from the effective core or they would invalidate state that did not
         change.
+
+        >>> from repro.db import Database, Delta, fact
+        >>> database = Database([fact("R", 1, "a")])
+        >>> Delta(inserted=[fact("R", 1, "a")]).effective_against(database)
+        ((), ())
+        >>> inserted, deleted = Delta(
+        ...     inserted=[fact("R", 2, "b")], deleted=[fact("R", 1, "a")]
+        ... ).effective_against(database)
+        >>> (len(inserted), len(deleted))
+        (1, 1)
         """
         really_inserted = tuple(
             item for item in self.inserted if item not in database

@@ -60,7 +60,7 @@ processes.  The cross-method equivalence harness
 """
 
 from .cache import LRUCache
-from .jobfile import load_job_file, parse_job_document
+from .jobfile import load_job_file, parse_job_document, parse_stream_item
 from .jobs import (
     BATCH_METHODS,
     CACHE_LAYERS,
@@ -71,7 +71,7 @@ from .jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
-from .persist import SelectorDiskCache
+from .persist import DecompositionDiskCache, SelectorDiskCache
 from .pool import SolverPool
 
 __all__ = [
@@ -79,6 +79,7 @@ __all__ = [
     "CACHE_LAYERS",
     "BatchReport",
     "CountJob",
+    "DecompositionDiskCache",
     "JobResult",
     "LRUCache",
     "SelectorDiskCache",
@@ -88,4 +89,5 @@ __all__ = [
     "aggregate_cache_stats",
     "load_job_file",
     "parse_job_document",
+    "parse_stream_item",
 ]

@@ -25,6 +25,17 @@ class LRUCache(Generic[V]):
     ``maxsize <= 0`` disables caching entirely (every lookup misses and
     nothing is stored), which gives callers a uniform way to switch the
     memoisation off without branching.
+
+    >>> cache = LRUCache(maxsize=2)
+    >>> cache.get_or_compute("a", lambda: 1)
+    (1, False)
+    >>> cache.get_or_compute("a", lambda: 99)  # hit: the factory never runs
+    (1, True)
+    >>> cache.put("b", 2); cache.put("c", 3)
+    >>> "a" in cache  # the least recently used entry was evicted
+    False
+    >>> cache.stats()["evictions"]
+    1
     """
 
     def __init__(self, maxsize: int) -> None:

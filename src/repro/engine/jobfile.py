@@ -41,16 +41,51 @@ from ..db.io import database_from_json, load_json
 from ..errors import BatchSpecError, ReproError
 from .jobs import CountJob, UpdateJob
 
-__all__ = ["load_job_file", "parse_job_document"]
+__all__ = ["load_job_file", "parse_job_document", "parse_stream_item"]
 
 #: A stream element of a job file: a counting job or a delta update.
 StreamItem = Union[CountJob, UpdateJob]
 
 
+def parse_stream_item(payload: object) -> StreamItem:
+    """Parse one stream entry: an update if it carries ``"update"``, else a job.
+
+    This is the unit the ``jobs`` array of a job file is made of, and the
+    line format of ``repro serve``'s stdin mode (one JSON object per
+    line).  Malformed shapes raise
+    :class:`~repro.errors.BatchSpecError`.
+
+    >>> parse_stream_item({"database": "hr", "query": "EXISTS x. R(1, x)"}).method
+    'auto'
+    >>> parse_stream_item({"update": "hr",
+    ...     "insert": [{"relation": "R", "arguments": [2, "b"]}]}).database
+    'hr'
+    """
+    if isinstance(payload, Mapping) and "update" in payload:
+        return UpdateJob.from_json(payload)
+    return CountJob.from_json(payload)  # type: ignore[arg-type]
+
+
 def parse_job_document(
-    payload: object, base_directory: Union[str, Path, None] = None
+    payload: object,
+    base_directory: Union[str, Path, None] = None,
+    require_jobs: bool = True,
 ) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[StreamItem]]:
-    """Validate a job document and materialise its databases and jobs."""
+    """Validate a job document and materialise its databases and jobs.
+
+    ``require_jobs=False`` accepts a databases-only document (an absent or
+    empty ``jobs`` array) — the shape ``repro serve`` uses when the jobs
+    arrive over stdin instead of inside the file.
+
+    >>> databases, jobs = parse_job_document({
+    ...     "databases": {"r": {"relations": {"R": ["k", "v"]},
+    ...                         "keys": {"R": [1]},
+    ...                         "facts": [{"relation": "R", "arguments": [1, "a"]}]}},
+    ...     "jobs": [{"database": "r", "query": "EXISTS x. R(1, x)"}],
+    ... })
+    >>> (sorted(databases), len(jobs))
+    (['r'], 1)
+    """
     if not isinstance(payload, Mapping):
         raise BatchSpecError(
             f"a job file must hold a JSON object, got {type(payload).__name__}"
@@ -59,10 +94,10 @@ def parse_job_document(
     if unknown:
         raise BatchSpecError(f"unknown job-file sections: {sorted(unknown)}")
     databases_section = payload.get("databases")
-    jobs_section = payload.get("jobs")
+    jobs_section = payload.get("jobs", [])
     if not isinstance(databases_section, Mapping) or not databases_section:
         raise BatchSpecError("'databases' must be a non-empty object")
-    if not isinstance(jobs_section, list) or not jobs_section:
+    if not isinstance(jobs_section, list) or (require_jobs and not jobs_section):
         raise BatchSpecError("'jobs' must be a non-empty array")
 
     base = Path(base_directory) if base_directory is not None else Path.cwd()
@@ -81,12 +116,7 @@ def parse_job_document(
         except (ReproError, OSError, ValueError, KeyError, TypeError) as exc:
             raise BatchSpecError(f"database {name!r} could not be loaded: {exc}") from exc
 
-    jobs: List[StreamItem] = [
-        UpdateJob.from_json(entry)
-        if isinstance(entry, Mapping) and "update" in entry
-        else CountJob.from_json(entry)
-        for entry in jobs_section
-    ]
+    jobs: List[StreamItem] = [parse_stream_item(entry) for entry in jobs_section]
     for job in jobs:
         if job.database not in databases:
             raise BatchSpecError(
@@ -97,9 +127,13 @@ def parse_job_document(
 
 
 def load_job_file(
-    path: Union[str, Path]
+    path: Union[str, Path], require_jobs: bool = True
 ) -> Tuple[Dict[str, Tuple[Database, PrimaryKeySet]], List[StreamItem]]:
-    """Load and validate a job file from disk."""
+    """Load and validate a job file from disk.
+
+    ``require_jobs`` is forwarded to :func:`parse_job_document`:
+    ``False`` accepts a databases-only file (``repro serve --stdin``).
+    """
     path = Path(path)
     try:
         text = path.read_text()
@@ -109,4 +143,6 @@ def load_job_file(
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise BatchSpecError(f"job file {path} is not valid JSON: {exc}") from exc
-    return parse_job_document(payload, base_directory=path.parent)
+    return parse_job_document(
+        payload, base_directory=path.parent, require_jobs=require_jobs
+    )

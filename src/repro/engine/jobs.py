@@ -47,10 +47,16 @@ BATCH_METHODS = (
     "karp-luby",
 )
 
-#: The cache layers a job may hit, in report order.  ``selectors-disk``
-#: records a hit served from the persistent on-disk cache (no in-memory
-#: entry, but no recomputation either).
-CACHE_LAYERS = ("query", "decomposition", "selectors", "selectors-disk")
+#: The cache layers a job may hit, in report order.  ``selectors-disk`` and
+#: ``decomposition-disk`` record hits served from the persistent on-disk
+#: caches (no in-memory entry, but no recomputation either).
+CACHE_LAYERS = (
+    "query",
+    "decomposition",
+    "decomposition-disk",
+    "selectors",
+    "selectors-disk",
+)
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,14 @@ class CountJob:
         even when no seed is given.
     label:
         Free-form tag carried through to the result (e.g. a scenario name).
+
+    >>> job = CountJob(database="hr", query="EXISTS x. R(1, x)", method="fpras")
+    >>> job.is_randomised
+    True
+    >>> CountJob.from_json(job.to_json()) == job
+    True
+    >>> CountJob(database="hr", query="EXISTS x. R(1, x)", seed=7).effective_seed(3)
+    7
     """
 
     database: str
@@ -210,6 +224,11 @@ class UpdateJob:
     old snapshot, all counts after it see the new one.  The JSON shape is
     ``{"update": "<name>", "insert": [...], "delete": [...]}`` with facts in
     the database JSON format.
+
+    >>> from repro.db import Delta, fact
+    >>> update = UpdateJob(database="hr", delta=Delta(inserted=[fact("R", 1, "a")]))
+    >>> UpdateJob.from_json(update.to_json()) == update
+    True
     """
 
     database: str

@@ -76,7 +76,7 @@ from .jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
-from .persist import SelectorDiskCache
+from .persist import DecompositionDiskCache, SelectorDiskCache
 
 __all__ = ["SolverPool"]
 
@@ -107,10 +107,39 @@ class SolverPool:
         Default process count for :meth:`run`; ``None`` or ``1`` runs
         sequentially in-process.
     persist_dir:
-        Optional directory for the persistent selector cache.  When given,
-        selector preparations are mirrored to disk (content-hash keyed) and
-        a freshly constructed pool pointed at the same directory serves an
-        unchanged workload without recomputing a single selector.
+        Optional directory for the persistent caches.  When given, selector
+        preparations (``*.sel`` entries) and block decompositions (``*.dec``
+        entries) are mirrored to disk (content-hash keyed) and a freshly
+        constructed pool pointed at the same directory serves an unchanged
+        workload without recomputing a single selector or decomposition.
+    persist_max_entries, persist_max_age:
+        Optional garbage-collection bounds for each on-disk cache: keep at
+        most ``persist_max_entries`` entries per layer (least recently used
+        evicted first) and none older than ``persist_max_age`` seconds.
+        Bounds are enforced at construction, periodically during long runs,
+        and on explicit :meth:`collect_garbage` calls.
+
+    Example — the paper's running Employee instance, served twice so the
+    second job only touches warm caches:
+
+    >>> from repro.db import Database, PrimaryKeySet, fact
+    >>> pool = SolverPool()
+    >>> pool.register(
+    ...     "hr",
+    ...     Database([fact("Employee", 1, "Bob", "HR"),
+    ...               fact("Employee", 1, "Bob", "IT"),
+    ...               fact("Employee", 2, "Alice", "IT"),
+    ...               fact("Employee", 2, "Tim", "IT")]),
+    ...     PrimaryKeySet.from_dict({"Employee": [1]}),
+    ... )
+    >>> job = CountJob(
+    ...     database="hr",
+    ...     query="EXISTS x, y, z. (Employee(1, x, y) AND Employee(2, z, y))")
+    >>> report = pool.run([job, job])
+    >>> [(result.satisfying, result.total) for result in report.results]
+    [(2, 4), (2, 4)]
+    >>> report.results[1].cache_hits
+    ('query', 'decomposition', 'selectors')
     """
 
     def __init__(
@@ -120,6 +149,8 @@ class SolverPool:
         max_prepared: int = 1024,
         workers: Optional[int] = None,
         persist_dir: Optional[Union[str, Path]] = None,
+        persist_max_entries: Optional[int] = None,
+        persist_max_age: Optional[float] = None,
     ) -> None:
         self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
         self._tokens: Dict[str, SnapshotToken] = {}
@@ -127,10 +158,17 @@ class SolverPool:
         self._queries: LRUCache[Query] = LRUCache(max_queries)
         self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
         self._workers = workers
-        self._persist = (
-            SelectorDiskCache(persist_dir) if persist_dir is not None else None
-        )
+        self._persist: Optional[SelectorDiskCache] = None
+        self._persist_decompositions: Optional[DecompositionDiskCache] = None
+        if persist_dir is not None:
+            self._persist = SelectorDiskCache(
+                persist_dir, persist_max_entries, persist_max_age
+            )
+            self._persist_decompositions = DecompositionDiskCache(
+                persist_dir, persist_max_entries, persist_max_age
+            )
         self._selector_recomputations = 0
+        self._decomposition_recomputations = 0
 
     # ------------------------------------------------------------------ #
     # database registry
@@ -193,13 +231,49 @@ class SolverPool:
     def decomposition(self, name: str) -> BlockDecomposition:
         """The (cached) block decomposition of the database ``name``."""
         database, keys = self.lookup(name)
+        token = self._tokens[name]
         value, _ = self._decompositions.get_or_compute(
-            self._tokens[name], lambda: BlockDecomposition(database, keys)
+            token, lambda: self._build_decomposition(token, database, keys)
         )
         return value
 
+    def _build_decomposition(
+        self,
+        token: SnapshotToken,
+        database: Database,
+        keys: PrimaryKeySet,
+        origin: Optional[Dict[str, str]] = None,
+    ) -> BlockDecomposition:
+        """Load the snapshot's decomposition from disk, or compute and store it.
+
+        ``origin`` optionally receives ``{"source": "disk" | "computed"}``
+        so callers can report provenance (the ``decomposition-disk`` cache
+        layer in job results).
+        """
+        if self._persist_decompositions is not None:
+            loaded = self._persist_decompositions.load(token, database, keys)
+            if loaded is not None:
+                if origin is not None:
+                    origin["source"] = "disk"
+                return loaded
+        if origin is not None:
+            origin["source"] = "computed"
+        self._decomposition_recomputations += 1
+        value = BlockDecomposition(database, keys)
+        if self._persist_decompositions is not None:
+            self._persist_decompositions.store(token, value)
+        return value
+
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Lifetime statistics of the pool's own cache layers."""
+        """Lifetime statistics of the pool's own cache layers.
+
+        In-memory layers (``query``, ``decomposition``, ``selectors``)
+        report LRU counters; when a ``persist_dir`` is configured the
+        on-disk layers (``selectors-disk``, ``decomposition-disk``) report
+        their hit/miss/store/corruption counters *and* garbage-collection
+        evictions, so aggregators (the async server's ``stats()``) never
+        have to hand-roll persist-layer accounting.
+        """
         stats = {
             "query": self._queries.stats(),
             "decomposition": self._decompositions.stats(),
@@ -207,7 +281,32 @@ class SolverPool:
         }
         if self._persist is not None:
             stats["selectors-disk"] = self._persist.stats()
+        if self._persist_decompositions is not None:
+            stats["decomposition-disk"] = self._persist_decompositions.stats()
         return stats
+
+    def collect_garbage(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Run GC on the on-disk caches; return per-layer eviction counts.
+
+        Arguments override the bounds configured at construction (see
+        ``persist_max_entries`` / ``persist_max_age``).  A pool without a
+        ``persist_dir`` returns an empty mapping.  Evictions only make
+        future loads cold — they can never make a count wrong.
+        """
+        evicted: Dict[str, int] = {}
+        if self._persist is not None:
+            evicted["selectors-disk"] = self._persist.collect_garbage(
+                max_entries, max_age_seconds
+            )
+        if self._persist_decompositions is not None:
+            evicted["decomposition-disk"] = self._persist_decompositions.collect_garbage(
+                max_entries, max_age_seconds
+            )
+        return evicted
 
     @property
     def selector_recomputations(self) -> int:
@@ -219,6 +318,17 @@ class SolverPool:
         in terms of.
         """
         return self._selector_recomputations
+
+    @property
+    def decomposition_recomputations(self) -> int:
+        """How many block decompositions this pool actually computed.
+
+        The decomposition analogue of :attr:`selector_recomputations`:
+        memory hits, disk hits and incremental delta updates leave it
+        untouched, so a restarted pool with a warm ``persist_dir`` serving
+        an unchanged workload keeps it at zero.
+        """
+        return self._decomposition_recomputations
 
     # ------------------------------------------------------------------ #
     # incremental updates
@@ -294,6 +404,10 @@ class SolverPool:
 
         self._decompositions.discard(old_token)
         self._decompositions.put(new_token, new_decomposition)
+        if self._persist_decompositions is not None:
+            # Persist the incrementally-derived decomposition so a restart
+            # against the *new* snapshot is warm without ever rebuilding it.
+            self._persist_decompositions.store(new_token, new_decomposition)
         self._databases[name] = (new_database, keys)
         self._tokens[name] = new_token
 
@@ -389,10 +503,19 @@ class SolverPool:
         )
         (hits if query_hit else misses).append("query")
 
+        decomposition_origin: Dict[str, str] = {}
         decomposition, decomposition_hit = self._decompositions.get_or_compute(
-            token, lambda: BlockDecomposition(database, keys)
+            token,
+            lambda: self._build_decomposition(
+                token, database, keys, decomposition_origin
+            ),
         )
-        (hits if decomposition_hit else misses).append("decomposition")
+        if decomposition_hit:
+            hits.append("decomposition")
+        elif decomposition_origin.get("source") == "disk":
+            hits.append("decomposition-disk")
+        else:
+            misses.append("decomposition")
 
         prepared: Optional[PreparedCertificates] = None
         if job.method != "naive" and is_existential_positive(query):

@@ -96,3 +96,22 @@ class EngineError(ReproError):
 
 class BatchSpecError(EngineError):
     """A batch job specification (job file or job payload) is malformed."""
+
+
+class ServerError(EngineError):
+    """The async serving layer was misconfigured or misused.
+
+    Examples include a non-positive shard count or queue limit, an unknown
+    backpressure policy, or submitting work to a server that was never
+    started.
+    """
+
+
+class ServerOverloadedError(ServerError):
+    """A job was rejected because the bounded queue is full.
+
+    Only raised under the ``"reject"`` backpressure policy; the ``"wait"``
+    policy blocks the submitter instead.  Rejection is loud by design — a
+    job is either accepted (and will produce a result or an error) or the
+    caller is told immediately, never silently dropped.
+    """

@@ -1,0 +1,32 @@
+"""The async serving layer: sharded, backpressured serving over the engine.
+
+This package is the service-shaped front of the repository (see
+``docs/serving.md`` for the full design):
+
+:class:`AsyncServer`
+    An asyncio front-end over N :class:`~repro.server.shards.Shard`
+    workers.  Each shard is a warm, single-worker process hosting its own
+    :class:`~repro.engine.SolverPool`; registered snapshots are partitioned
+    across shards by snapshot token, jobs and deltas route to the owning
+    shard, and a bounded queue applies explicit backpressure
+    (``"wait"`` or ``"reject"``) instead of accumulating an unbounded
+    backlog.  Results are bit-identical to a sequential
+    :meth:`~repro.engine.SolverPool.run_stream` of the same stream.
+
+:func:`serve_stream`
+    The synchronous convenience wrapper: one call, one temporary server,
+    one report.
+
+The CLI surface is ``python -m repro serve`` (job files or stdin
+JSON-lines in, JSON-lines results out).
+"""
+
+from .async_server import BACKPRESSURE_POLICIES, AsyncServer, serve_stream
+from .shards import Shard
+
+__all__ = [
+    "AsyncServer",
+    "BACKPRESSURE_POLICIES",
+    "Shard",
+    "serve_stream",
+]

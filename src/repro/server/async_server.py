@@ -1,0 +1,442 @@
+"""The asyncio serving front-end: :class:`AsyncServer`.
+
+:class:`~repro.engine.SolverPool` is a library object: callers hand it a
+batch and wait.  A long-lived service needs the opposite shape — jobs
+arrive continuously, concurrency must be *bounded* (an unbounded backlog
+is an outage with extra steps), and the data set is sharded so independent
+databases are served by independent worker processes.  ``AsyncServer``
+provides that shape on top of the pool:
+
+**Sharding** — each registered snapshot is owned by exactly one
+:class:`~repro.server.shards.Shard` (a warm single-worker process hosting
+its own pool).  Ownership is assigned at registration time from the
+snapshot token: the token digest picks a preferred shard, demoted to the
+least-loaded shard when the preferred one is already above the minimum
+load, so shard assignment is deterministic for a given registration order
+and databases spread evenly.  Jobs and deltas route to the owning shard.
+
+**Ordering** — a shard executes its queue FIFO, so all counts and updates
+of one database are serialised in submission order; a count therefore
+observes exactly the snapshots produced by the deltas submitted before it.
+Across *different* databases there is no ordering (none is needed — a
+delta cannot affect another database's counts), which is precisely the
+parallelism the shards exploit.  Results remain **bit-identical** to a
+sequential :meth:`SolverPool.run_stream` of the same stream: per-job seeds
+derive from the job content and its stream position, both of which the
+server preserves.
+
+**Backpressure** — at most ``queue_limit`` jobs are in flight (accepted
+but not finished) at any moment.  When the queue is full, the ``"wait"``
+policy suspends the submitter until a slot frees and the ``"reject"``
+policy raises :class:`~repro.errors.ServerOverloadedError` immediately.
+Either way a job is never silently dropped: it is finished, or the caller
+holds an exception saying it was not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import (
+    AsyncIterator,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..engine.jobs import (
+    BatchReport,
+    CountJob,
+    JobResult,
+    UpdateJob,
+    UpdateReport,
+    aggregate_cache_stats,
+)
+from ..errors import EngineError, ServerError, ServerOverloadedError
+from .shards import Shard
+
+__all__ = ["AsyncServer", "BACKPRESSURE_POLICIES", "serve_stream"]
+
+#: The supported reactions to a full job queue.
+BACKPRESSURE_POLICIES = ("wait", "reject")
+
+#: A stream element: one counting job or one delta.
+StreamItem = Union[CountJob, UpdateJob]
+#: What one stream element resolves to.
+StreamResult = Union[JobResult, UpdateReport]
+
+
+class AsyncServer:
+    """A sharded, backpressured asyncio server over :class:`SolverPool`.
+
+    Parameters
+    ----------
+    shards:
+        Number of worker shards.  Each shard is one warm process owning a
+        disjoint subset of the registered snapshots.
+    queue_limit:
+        Bound on in-flight jobs (accepted, not yet finished) across the
+        whole server.
+    policy:
+        What a full queue does to a submitter: ``"wait"`` suspends it,
+        ``"reject"`` raises :class:`~repro.errors.ServerOverloadedError`.
+    persist_dir, persist_max_entries, persist_max_age:
+        Forwarded to every shard's pool (see :class:`SolverPool`); shards
+        share one persistent cache directory.
+
+    Example — three jobs through a one-shard server (the synchronous
+    :func:`serve_stream` wrapper drives exactly this API):
+
+    >>> import asyncio
+    >>> from repro.db import Database, PrimaryKeySet, fact
+    >>> from repro.engine import CountJob
+    >>> db = Database([fact("R", 1, "a"), fact("R", 1, "b")])
+    >>> keys = PrimaryKeySet.from_dict({"R": [1]})
+    >>> async def main():
+    ...     server = AsyncServer(shards=1, queue_limit=2)
+    ...     server.register("r", db, keys)
+    ...     async with server:
+    ...         return await server.run_stream(
+    ...             [CountJob(database="r", query="EXISTS x. R(1, x)")])
+    >>> report = asyncio.run(main())
+    >>> (report.results[0].satisfying, report.results[0].total)
+    (2, 2)
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        queue_limit: int = 64,
+        policy: str = "wait",
+        persist_dir: Optional[Union[str, Path]] = None,
+        persist_max_entries: Optional[int] = None,
+        persist_max_age: Optional[float] = None,
+    ) -> None:
+        if shards < 1:
+            raise ServerError(f"shards must be >= 1, got {shards}")
+        if queue_limit < 1:
+            raise ServerError(f"queue_limit must be >= 1, got {queue_limit}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ServerError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        self._shards = [
+            Shard(
+                shard_id,
+                persist_dir=persist_dir,
+                persist_max_entries=persist_max_entries,
+                persist_max_age=persist_max_age,
+            )
+            for shard_id in range(shards)
+        ]
+        self._owner: Dict[str, Shard] = {}
+        self._queue_limit = queue_limit
+        self._policy = policy
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._running = False
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    # ------------------------------------------------------------------ #
+    # registration and routing
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, database: Database, keys: PrimaryKeySet) -> None:
+        """Register a snapshot and assign it to its owning shard.
+
+        Re-registering a known name keeps it on its shard (the shard's
+        pool handles the content change); a new name is routed by its
+        snapshot token as described in the module docstring.  Registration
+        is allowed both before ``start`` (priming) and while running
+        (live registration, ordered with subsequent jobs on that shard).
+        """
+        if name in self._owner:
+            self._owner[name].own(name, database, keys)
+            return
+        database.freeze()
+        token = (database.content_digest(), keys.content_digest())
+        shard = self._assign_shard(token)
+        shard.own(name, database, keys)
+        self._owner[name] = shard
+
+    def _assign_shard(self, token: Tuple[str, str]) -> Shard:
+        """Token-preferred, load-balanced shard choice (deterministic)."""
+        preferred = int(token[0][:16], 16) % len(self._shards)
+        least_loaded = min(len(shard) for shard in self._shards)
+        for offset in range(len(self._shards)):
+            candidate = self._shards[(preferred + offset) % len(self._shards)]
+            if len(candidate) == least_loaded:
+                return candidate
+        raise AssertionError("unreachable: some shard has the minimum load")
+
+    def shard_of(self, name: str) -> int:
+        """The shard id owning the registration ``name``."""
+        return self._owner_of(name).shard_id
+
+    def database_names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._owner)
+
+    def _owner_of(self, name: str) -> Shard:
+        try:
+            return self._owner[name]
+        except KeyError as exc:
+            raise EngineError(
+                f"unknown database {name!r}; registered: {sorted(self._owner)}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start every shard worker.  Idempotent calls are an error."""
+        if self._running:
+            raise ServerError("the server is already running")
+        self._slots = asyncio.Semaphore(self._queue_limit)
+        for shard in self._shards:
+            shard.start()
+        self._running = True
+
+    async def stop(self) -> None:
+        """Drain and stop every shard (waits for in-flight jobs)."""
+        if not self._running:
+            return
+        self._running = False
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(loop.run_in_executor(None, shard.stop) for shard in self._shards)
+        )
+        self._slots = None
+
+    async def __aenter__(self) -> "AsyncServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    async def dispatch(
+        self, item: StreamItem, index: int = 0
+    ) -> "asyncio.Future[StreamResult]":
+        """Accept one stream element and return a future for its result.
+
+        Applies the backpressure policy *before* accepting: with a full
+        queue, ``"wait"`` suspends here and ``"reject"`` raises
+        :class:`ServerOverloadedError` (the job was never accepted).  The
+        returned future resolves to a :class:`JobResult` (count jobs) or
+        an :class:`UpdateReport` (updates); ``index`` is the position in
+        the caller's stream and fixes both result ordering and the derived
+        per-job seeds, exactly as in :meth:`SolverPool.run_stream`.
+        """
+        if not self._running or self._slots is None:
+            raise ServerError("the server is not running; use 'async with server'")
+        shard = self._owner_of(item.database)  # validate before taking a slot
+        if self._policy == "reject" and self._slots.locked():
+            self.rejected += 1
+            raise ServerOverloadedError(
+                f"queue full ({self._queue_limit} jobs in flight); "
+                f"job for {item.database!r} rejected"
+            )
+        await self._slots.acquire()
+        self.submitted += 1
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        try:
+            if isinstance(item, UpdateJob):
+                inner = shard.submit_update(index, item)
+            elif isinstance(item, CountJob):
+                inner = shard.submit_count(index, item)
+            else:
+                raise EngineError(
+                    f"stream items must be CountJob or UpdateJob, "
+                    f"got {type(item).__name__}"
+                )
+        except BaseException:
+            self.in_flight -= 1
+            self._slots.release()
+            raise
+        future = asyncio.wrap_future(inner)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future: "asyncio.Future[StreamResult]") -> None:
+        self.in_flight -= 1
+        if not future.cancelled() and future.exception() is None:
+            self.completed += 1
+        if self._slots is not None:
+            self._slots.release()
+
+    async def submit(self, item: StreamItem, index: int = 0) -> StreamResult:
+        """Accept one stream element and await its result."""
+        future = await self.dispatch(item, index)
+        return await future
+
+    async def run_stream(self, items: Iterable[StreamItem]) -> BatchReport:
+        """Serve a whole stream; return the aggregated report.
+
+        Elements are dispatched in stream order (so per-database ordering
+        holds) but execute concurrently across shards; the report's
+        ``results`` and ``updates`` are ordered by stream position and are
+        bit-identical to :meth:`SolverPool.run_stream` on the same stream.
+        Backpressure applies per element: the stream submitter itself
+        waits (or, under ``"reject"``, the overload error propagates out).
+        """
+        started = time.perf_counter()
+        futures: List["asyncio.Future[StreamResult]"] = []
+        for index, item in enumerate(items):
+            futures.append(await self.dispatch(item, index))
+        outcomes = await asyncio.gather(*futures)
+        elapsed = time.perf_counter() - started
+
+        results = sorted(
+            (outcome for outcome in outcomes if isinstance(outcome, JobResult)),
+            key=lambda result: result.index,
+        )
+        updates = sorted(
+            (outcome for outcome in outcomes if isinstance(outcome, UpdateReport)),
+            key=lambda report: report.index or 0,
+        )
+        return BatchReport(
+            results=tuple(results),
+            elapsed=elapsed,
+            workers=len(self._shards),
+            cache_stats=aggregate_cache_stats(results),
+            updates=tuple(updates),
+        )
+
+    async def results(
+        self, items: Iterable[StreamItem]
+    ) -> AsyncIterator[StreamResult]:
+        """Serve a stream, yielding each result as soon as it is ready.
+
+        Completion order, not stream order — every yielded result carries
+        its stream ``index`` so consumers can reorder if they need to.
+        This is the CLI's streaming mode; ``run_stream`` is the batch
+        shape of the same computation.
+        """
+        pending: set = set()
+        for index, item in enumerate(items):
+            pending.add(asyncio.ensure_future(await self.dispatch(item, index)))
+            # Drain whatever already finished so results flow while the
+            # submitter is still reading input.
+            while pending:
+                done, pending = await asyncio.wait(pending, timeout=0)
+                for future in done:
+                    yield future.result()
+                if not done:
+                    break
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for future in done:
+                yield future.result()
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    async def stats(self) -> Dict[str, object]:
+        """Aggregate live statistics: queue counters plus per-shard state.
+
+        Per-shard entries come straight from each worker pool's
+        :meth:`SolverPool.cache_stats` (including the persist layers and
+        their GC evictions) plus its recomputation counters; the ``queue``
+        section reports the backpressure configuration and lifetime
+        submission counters.  The probe is itself a queued job, so the
+        numbers reflect every job submitted before the call.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        probes = [
+            asyncio.wrap_future(shard.submit_stats()) for shard in self._shards
+        ]
+        shard_stats = await asyncio.gather(*probes)
+        return {
+            "queue": {
+                "limit": self._queue_limit,
+                "policy": self._policy,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+            },
+            "shards": {
+                # "databases" comes from the worker-side payload: it is the
+                # execution truth (what the shard's pool can actually
+                # serve), which parent-side ownership can only approximate.
+                str(shard.shard_id): {
+                    "jobs_submitted": shard.jobs_submitted,
+                    "updates_submitted": shard.updates_submitted,
+                    **stats,
+                }
+                for shard, stats in zip(self._shards, shard_stats)
+            },
+        }
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (
+            f"AsyncServer(shards={len(self._shards)}, "
+            f"queue_limit={self._queue_limit}, policy={self._policy!r}, "
+            f"databases={len(self._owner)}, {state})"
+        )
+
+
+def serve_stream(
+    databases: Dict[str, Tuple[Database, PrimaryKeySet]],
+    items: Iterable[StreamItem],
+    shards: int = 2,
+    queue_limit: int = 64,
+    policy: str = "wait",
+    persist_dir: Optional[Union[str, Path]] = None,
+    persist_max_entries: Optional[int] = None,
+    persist_max_age: Optional[float] = None,
+) -> BatchReport:
+    """Serve one stream through a temporary :class:`AsyncServer`.
+
+    The synchronous convenience wrapper (used by benchmarks and scripts
+    that do not run their own event loop): registers ``databases``,
+    starts the server, runs the stream, stops the server.  The report is
+    bit-identical to ``SolverPool.run_stream`` on the same stream.
+
+    >>> from repro.db import Database, PrimaryKeySet, fact
+    >>> from repro.engine import CountJob
+    >>> db = Database([fact("R", 1, "a"), fact("R", 1, "b")])
+    >>> keys = PrimaryKeySet.from_dict({"R": [1]})
+    >>> report = serve_stream(
+    ...     {"r": (db, keys)},
+    ...     [CountJob(database="r", query="EXISTS x. R(1, x)")],
+    ...     shards=1,
+    ... )
+    >>> report.results[0].satisfying
+    2
+    """
+
+    async def _run() -> BatchReport:
+        server = AsyncServer(
+            shards=shards,
+            queue_limit=queue_limit,
+            policy=policy,
+            persist_dir=persist_dir,
+            persist_max_entries=persist_max_entries,
+            persist_max_age=persist_max_age,
+        )
+        for name, (database, keys) in databases.items():
+            server.register(name, database, keys)
+        async with server:
+            return await server.run_stream(items)
+
+    return asyncio.run(_run())

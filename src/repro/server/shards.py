@@ -1,0 +1,258 @@
+"""Shard plumbing: single-worker pool processes behind the async server.
+
+A :class:`Shard` is one unit of serving capacity: a dedicated worker
+process hosting its own :class:`~repro.engine.SolverPool`, primed with the
+subset of registered snapshots the shard *owns*.  The worker is created
+once (``start``) and kept warm for the shard's lifetime, so — unlike the
+per-batch fan-out of :meth:`SolverPool.run` — its caches persist across
+every job the shard ever serves, which is the steady state a long-lived
+service runs in.
+
+Ordering is the load-bearing property: each shard's executor has exactly
+one worker, so jobs execute in submission order.  The async front-end
+routes every job of a database to the one shard owning it, hence all
+counts and deltas of a database are serialised per shard and every count
+observes exactly the snapshots produced by the deltas submitted before it
+— the same stream semantics as :meth:`SolverPool.run_stream`, without a
+global barrier between segments.
+
+All cross-process payloads are primitive job/report dataclasses (already
+picklable by design); databases are shipped once at worker start, not per
+job.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.delta import Delta
+from ..engine.jobs import CountJob, JobResult, UpdateJob, UpdateReport
+from ..engine.pool import SolverPool
+from ..errors import ServerError
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """One serving shard: an owned snapshot set plus a warm worker process.
+
+    Shards are created and owned by
+    :class:`~repro.server.async_server.AsyncServer`; they are not meant to
+    be driven directly.  ``submit_*`` methods return
+    :class:`concurrent.futures.Future` objects that the server awaits via
+    asyncio.
+
+    >>> shard = Shard(0)
+    >>> (shard.owned_names(), shard.is_running)
+    ((), False)
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        persist_dir: Optional[Union[str, Path]] = None,
+        persist_max_entries: Optional[int] = None,
+        persist_max_age: Optional[float] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self._persist_dir = persist_dir
+        self._persist_max_entries = persist_max_entries
+        self._persist_max_age = persist_max_age
+        self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pending_registrations: List["Future[None]"] = []
+        self.jobs_submitted = 0
+        self.updates_submitted = 0
+
+    # ------------------------------------------------------------------ #
+    # ownership
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._databases)
+
+    def owns(self, name: str) -> bool:
+        """True iff this shard owns the registration ``name``."""
+        return name in self._databases
+
+    def owned_names(self) -> Tuple[str, ...]:
+        """The registration names this shard owns, in registration order."""
+        return tuple(self._databases)
+
+    def own(self, name: str, database: Database, keys: PrimaryKeySet) -> None:
+        """Give this shard ownership of a registered snapshot.
+
+        Before ``start`` the snapshot simply joins the priming set; after
+        ``start`` it is additionally registered inside the live worker (in
+        submission order, so jobs submitted afterwards can use it).  A
+        failed in-worker registration is never swallowed: its exception is
+        re-raised, as :class:`ServerError`, by the next submission on this
+        shard (see :meth:`_raise_failed_registrations`).
+        """
+        self._databases[name] = (database, keys)
+        if self._executor is not None:
+            self._pending_registrations.append(
+                self._executor.submit(_shard_register, name, database, keys)
+            )
+
+    def _raise_failed_registrations(self) -> None:
+        """Surface any completed-and-failed late registration, loudly."""
+        while self._pending_registrations and self._pending_registrations[0].done():
+            future = self._pending_registrations.pop(0)
+            error = future.exception()
+            if error is not None:
+                raise ServerError(
+                    f"shard {self.shard_id} failed to register a database: {error}"
+                ) from error
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Create the worker process, primed with the owned snapshots."""
+        if self._executor is not None:
+            raise ServerError(f"shard {self.shard_id} is already started")
+        self._executor = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_initialise_shard,
+            initargs=(
+                self.shard_id,
+                dict(self._databases),
+                self._persist_dir,
+                self._persist_max_entries,
+                self._persist_max_age,
+            ),
+        )
+
+    def stop(self) -> None:
+        """Shut the worker down, waiting for in-flight jobs to finish.
+
+        A late registration that failed without a subsequent submission to
+        surface it is raised here — a failed registration must never exit
+        the server silently.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._raise_failed_registrations()
+        self._pending_registrations.clear()
+
+    @property
+    def is_running(self) -> bool:
+        """True between ``start`` and ``stop``."""
+        return self._executor is not None
+
+    # ------------------------------------------------------------------ #
+    # work submission (FIFO per shard — one worker, one queue)
+    # ------------------------------------------------------------------ #
+    def _require_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            raise ServerError(
+                f"shard {self.shard_id} is not running; start the server first"
+            )
+        return self._executor
+
+    def submit_count(self, index: int, job: CountJob) -> "Future[JobResult]":
+        """Queue one counting job on the shard's worker."""
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        self.jobs_submitted += 1
+        return executor.submit(_shard_count, index, job)
+
+    def submit_update(self, index: int, job: UpdateJob) -> "Future[UpdateReport]":
+        """Queue one delta on the shard's worker (FIFO after prior jobs)."""
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        self.updates_submitted += 1
+        return executor.submit(
+            _shard_update, index, job.database, job.delta, job.label
+        )
+
+    def submit_stats(self) -> "Future[Dict[str, object]]":
+        """Queue a stats probe; resolves after currently queued jobs."""
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_stats)
+
+    def __repr__(self) -> str:
+        state = "running" if self.is_running else "stopped"
+        return (
+            f"Shard(id={self.shard_id}, databases={list(self._databases)}, "
+            f"{state})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# worker-process side
+# ---------------------------------------------------------------------- #
+#: The per-process pool a shard worker serves from.  Module-level so job
+#: submissions only ship (index, job) pairs, never databases.
+_SHARD_POOL: Optional[SolverPool] = None
+_SHARD_ID: Optional[int] = None
+
+
+def _initialise_shard(
+    shard_id: int,
+    databases: Dict[str, Tuple[Database, PrimaryKeySet]],
+    persist_dir: Optional[Union[str, Path]],
+    persist_max_entries: Optional[int],
+    persist_max_age: Optional[float],
+) -> None:
+    """Prime the shard worker: build its pool, register its snapshots.
+
+    Shards share one persistent cache directory (safe: entries are pure
+    functions of their content-hash key and writes are atomic, so
+    concurrent writers merely race to store the same bytes).
+    """
+    global _SHARD_POOL, _SHARD_ID
+    pool = SolverPool(
+        persist_dir=persist_dir,
+        persist_max_entries=persist_max_entries,
+        persist_max_age=persist_max_age,
+    )
+    for name, (database, keys) in databases.items():
+        pool.register(name, database, keys)
+    _SHARD_POOL = pool
+    _SHARD_ID = shard_id
+
+
+def _require_pool() -> SolverPool:
+    if _SHARD_POOL is None:  # pragma: no cover - initializer always runs first
+        raise ServerError("shard worker used before initialisation")
+    return _SHARD_POOL
+
+
+def _shard_register(name: str, database: Database, keys: PrimaryKeySet) -> None:
+    """Late registration inside a live worker (post-start ``own`` calls)."""
+    _require_pool().register(name, database, keys)
+
+
+def _shard_count(index: int, job: CountJob) -> JobResult:
+    """Run one counting job; ``index`` is the position in the client stream."""
+    return _require_pool().run_job(
+        job, index=index, worker_label=f"shard-{_SHARD_ID}:pid-{os.getpid()}"
+    )
+
+
+def _shard_update(
+    index: int, name: str, delta: Delta, label: Optional[str]
+) -> UpdateReport:
+    """Apply one delta to the shard's snapshot of ``name``."""
+    report = _require_pool().apply_delta(name, delta)
+    return replace(report, index=index, label=label)
+
+
+def _shard_stats() -> Dict[str, object]:
+    """The worker pool's cache statistics and recomputation counters."""
+    pool = _require_pool()
+    return {
+        "cache": pool.cache_stats(),
+        "selector_recomputations": pool.selector_recomputations,
+        "decomposition_recomputations": pool.decomposition_recomputations,
+        "databases": list(pool.database_names()),
+    }

@@ -23,6 +23,7 @@ from .scenarios import (
     hr_analytics,
     sensor_fusion,
 )
+from .serving import serve_workload
 from .updates import update_stream
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "random_positive_dnf",
     "random_ucq",
     "sensor_fusion",
+    "serve_workload",
     "star_join_query",
     "update_stream",
 ]

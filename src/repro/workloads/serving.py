@@ -1,0 +1,145 @@
+"""Serving workloads: skewed multi-database streams for the async server.
+
+:func:`~repro.workloads.batches.batch_workload` models a read-only batch
+and :func:`~repro.workloads.updates.update_stream` a write-heavy stream
+over a couple of databases; a *sharded server* sees a third pattern —
+many independent databases with **skewed popularity** (a few hot names
+take most of the traffic, a long tail stays warm but quiet) and deltas
+trickling into every database.  :func:`serve_workload` generates exactly
+that, deterministically from a seed, which makes it the reference input
+for :class:`~repro.server.AsyncServer` benchmarks and equivalence tests:
+independent databases are what shards parallelise, and the skew is what
+stresses a routing policy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..engine.jobs import CountJob, UpdateJob
+from ..query.ast import Query
+from .generators import InconsistentDatabaseSpec, random_inconsistent_database
+from .queries import random_conjunctive_query
+from .updates import _random_delta
+
+__all__ = ["serve_workload"]
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def serve_workload(
+    jobs: int = 60,
+    databases: int = 4,
+    update_every: int = 8,
+    hot_fraction: float = 0.7,
+    seed: int = 0,
+    queries_per_database: int = 3,
+    blocks_per_relation: Tuple[int, int] = (6, 12),
+    max_edits: int = 4,
+    methods: Sequence[str] = ("auto", "certificate", "fpras"),
+    epsilon: float = 0.25,
+    delta: float = 0.2,
+) -> Tuple[
+    Dict[str, Tuple[Database, PrimaryKeySet]],
+    List[Union[CountJob, UpdateJob]],
+]:
+    """Generate databases plus a skewed count/update stream for serving.
+
+    Returns ``(databases, stream)`` ready for
+    :meth:`~repro.server.AsyncServer.run_stream` (or, equivalently, for a
+    sequential :meth:`~repro.engine.SolverPool.run_stream` — the two must
+    agree bit for bit).  ``databases`` synthetic inconsistent databases
+    are generated; the first two are "hot" and together receive
+    ``hot_fraction`` of the counting jobs, the rest share the tail.  After
+    every ``update_every`` counts an :class:`UpdateJob` edits a rotating
+    database; deltas are cumulative, generated against the state the
+    previous deltas produced, exactly as a live feed would emit them.
+
+    Everything derives from ``seed`` — equal arguments produce equal
+    streams, and per-count seeds come from
+    :meth:`~repro.engine.CountJob.effective_seed`, so replays are
+    bit-identical.
+
+    >>> registry, stream = serve_workload(jobs=6, databases=2, seed=1)
+    >>> sorted(registry)
+    ['served-0', 'served-1']
+    >>> len([item for item in stream if isinstance(item, CountJob)])
+    6
+    >>> stream == serve_workload(jobs=6, databases=2, seed=1)[1]
+    True
+    """
+    if databases < 1:
+        raise ValueError(f"need at least one database, got {databases}")
+    rng = random.Random(seed)
+
+    registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+    live: Dict[str, Database] = {}
+    catalogue: Dict[str, List[Query]] = {}
+    for index in range(databases):
+        spec = InconsistentDatabaseSpec(
+            relations=_RELATIONS,
+            blocks_per_relation=rng.randint(*blocks_per_relation),
+            conflict_rate=0.5,
+            max_block_size=3,
+            domain_size=10,
+        )
+        name = f"served-{index}"
+        database, keys = random_inconsistent_database(spec, seed=rng.randrange(2**16))
+        registry[name] = (database, keys)
+        live[name] = database
+        catalogue[name] = [
+            random_conjunctive_query(
+                _RELATIONS,
+                keys,
+                target_keywidth=rng.randint(1, 2),
+                seed=rng.randrange(2**16),
+            )
+            for _ in range(queries_per_database)
+        ]
+
+    names = sorted(registry)
+    hot = names[: max(1, min(2, len(names)))]
+    cold = names[len(hot):]
+
+    def pick_database() -> str:
+        if cold and rng.random() >= hot_fraction:
+            return rng.choice(cold)
+        return rng.choice(hot)
+
+    stream: List[Union[CountJob, UpdateJob]] = []
+    emitted = 0
+    update_round = 0
+    while emitted < jobs:
+        if emitted and emitted % update_every == 0 and not isinstance(
+            stream[-1], UpdateJob
+        ):
+            name = names[update_round % len(names)]
+            update_round += 1
+            _, keys = registry[name]
+            relation = rng.choice(sorted(_RELATIONS))
+            change = _random_delta(
+                rng, live[name], keys, relation, _RELATIONS[relation], max_edits
+            )
+            if not change.is_empty():
+                stream.append(
+                    UpdateJob(database=name, delta=change, label=f"edit-{relation}")
+                )
+                live[name] = live[name].apply_delta(change)
+        name = pick_database()
+        query = rng.choice(catalogue[name])
+        stream.append(
+            CountJob(
+                database=name,
+                query=str(query.formula),
+                answer_variables=tuple(v.name for v in query.answer_variables),
+                method=rng.choice(list(methods)),
+                epsilon=epsilon,
+                delta=delta,
+                label=query.name,
+            )
+        )
+        emitted += 1
+    return registry, stream

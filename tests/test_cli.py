@@ -166,6 +166,7 @@ class TestBatch:
         assert set(summary["cache"]) == {
             "query",
             "decomposition",
+            "decomposition-disk",
             "selectors",
             "selectors-disk",
         }
@@ -243,3 +244,131 @@ class TestBatch:
         )
         assert main(["batch", "--jobs", str(path)]) == 2
         assert "ghost" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_streams_one_json_line_per_stream_item(
+        self, batch_jobs_file, capsys
+    ):
+        assert main(["serve", "--jobs", batch_jobs_file, "--shards", "2"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(lines) == 3
+        assert sorted(line["index"] for line in lines) == [0, 1, 2]
+        by_index = {line["index"]: line for line in lines}
+        assert (by_index[0]["satisfying"], by_index[0]["total"]) == (2, 4)
+        assert by_index[0]["worker"].startswith("shard-")
+
+    def test_serve_matches_batch_counts(self, batch_jobs_file, capsys):
+        assert main(["batch", "--jobs", batch_jobs_file]) == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert main(["serve", "--jobs", batch_jobs_file]) == 0
+        served = {
+            line["index"]: line
+            for line in map(
+                json.loads, capsys.readouterr().out.strip().splitlines()
+            )
+        }
+        for job in batch["jobs"]:
+            assert served[job["index"]]["satisfying"] == job["satisfying"]
+            assert served[job["index"]]["total"] == job["total"]
+
+    def test_serve_marks_update_reports(
+        self, tmp_path, employee_db, employee_keys, capsys
+    ):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "databases": {
+                        "emp": database_to_json(employee_db, employee_keys)
+                    },
+                    "jobs": [
+                        {"database": "emp", "query": _EMPLOYEE_QUERY},
+                        {
+                            "update": "emp",
+                            "insert": [
+                                {
+                                    "relation": "Employee",
+                                    "arguments": [3, "Eve", "IT"],
+                                }
+                            ],
+                        },
+                    ],
+                }
+            )
+        )
+        assert main(["serve", "--jobs", str(path), "--shards", "1"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        updates = [line for line in lines if line.get("type") == "update"]
+        assert len(updates) == 1 and updates[0]["inserted"] == 1
+
+    def test_serve_stats_go_to_stderr(self, batch_jobs_file, capsys):
+        assert main(["serve", "--jobs", batch_jobs_file, "--stats"]) == 0
+        captured = capsys.readouterr()
+        stats = json.loads(captured.err)
+        assert stats["queue"]["submitted"] == 3
+        assert set(stats["shards"]) == {"0", "1"}
+
+    def test_serve_reads_jobs_from_stdin(
+        self, tmp_path, employee_db, employee_keys, capsys, monkeypatch
+    ):
+        import io
+
+        path = tmp_path / "databases.json"
+        path.write_text(
+            json.dumps(
+                {"databases": {"emp": database_to_json(employee_db, employee_keys)}}
+            )
+        )
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                json.dumps({"database": "emp", "query": _EMPLOYEE_QUERY}) + "\n\n"
+            ),
+        )
+        assert main(["serve", "--jobs", str(path), "--stdin"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["satisfying"] == 2
+
+    def test_serve_stdin_unknown_database_fails(
+        self, tmp_path, employee_db, employee_keys, capsys, monkeypatch
+    ):
+        import io
+
+        path = tmp_path / "databases.json"
+        path.write_text(
+            json.dumps(
+                {"databases": {"emp": database_to_json(employee_db, employee_keys)}}
+            )
+        )
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                json.dumps({"database": "ghost", "query": _EMPLOYEE_QUERY}) + "\n"
+            ),
+        )
+        assert main(["serve", "--jobs", str(path), "--stdin"]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_serve_missing_file_fails(self, tmp_path, capsys):
+        assert main(["serve", "--jobs", str(tmp_path / "missing.json")]) == 2
+        assert "serve:" in capsys.readouterr().err
+
+    def test_serve_empty_jobs_without_stdin_fails(
+        self, tmp_path, employee_db, employee_keys, capsys
+    ):
+        path = tmp_path / "databases.json"
+        path.write_text(
+            json.dumps(
+                {"databases": {"emp": database_to_json(employee_db, employee_keys)}}
+            )
+        )
+        assert main(["serve", "--jobs", str(path)]) == 2
+        assert "jobs" in capsys.readouterr().err

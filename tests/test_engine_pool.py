@@ -216,6 +216,7 @@ class TestSolverPool:
         assert set(payload["summary"]["cache"]) == {
             "query",
             "decomposition",
+            "decomposition-disk",
             "selectors",
             "selectors-disk",
         }

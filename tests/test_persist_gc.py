@@ -1,0 +1,197 @@
+"""Tests for on-disk cache GC and decomposition persistence.
+
+What is pinned here:
+
+* age- and count-bounded garbage collection evicts exactly the old/cold
+  entries, keeps the newest (and recently *loaded*) ones, and never
+  corrupts a surviving entry;
+* GC evictions surface in the cache's ``stats()`` and through
+  :meth:`SolverPool.cache_stats` / :meth:`SolverPool.collect_garbage`;
+* block decompositions persist alongside selectors: a cold restart
+  against a warm ``persist_dir`` re-registers databases with **zero**
+  decomposition recomputations, including snapshots produced by deltas.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.db import BlockDecomposition, Delta, Fact
+from repro.engine import (
+    CountJob,
+    DecompositionDiskCache,
+    SelectorDiskCache,
+    SolverPool,
+)
+from repro.query import parse_query
+from repro.repairs import prepare_certificates
+from repro.workloads import employee_example
+
+
+def _employee_state():
+    scenario = employee_example()
+    return scenario.database, scenario.keys
+
+
+def _queries(count):
+    return [f"EXISTS x. Employee({index + 1}, x, 'HR')" for index in range(count)]
+
+
+def _fill_selector_cache(directory, count):
+    """Store ``count`` entries with strictly increasing mtimes; return keys."""
+    database, keys = _employee_state()
+    token = (database.content_digest(), keys.content_digest())
+    cache = SelectorDiskCache(directory)
+    stored = []
+    for offset, query in enumerate(_queries(count)):
+        prepared = prepare_certificates(database, keys, parse_query(query), ())
+        assert cache.store(token, query, (), (), prepared)
+        path = directory / cache.entry_name(token, query, (), ())
+        stamp = time.time() - (count - offset) * 1000
+        os.utime(path, (stamp, stamp))
+        stored.append((token, query))
+    return cache, stored
+
+
+class TestGarbageCollection:
+    def test_count_bound_keeps_the_newest_entries(self, tmp_path):
+        cache, stored = _fill_selector_cache(tmp_path, count=5)
+        evicted = cache.collect_garbage(max_entries=2)
+        assert evicted == 3
+        assert cache.entry_count() == 2
+        assert cache.gc_evictions == 3
+        for token, query in stored[:3]:  # the three oldest are gone
+            assert cache.load(token, query, (), ()) is None
+        for token, query in stored[3:]:  # the two newest survive, intact
+            assert cache.load(token, query, (), ()) is not None
+
+    def test_age_bound_evicts_only_expired_entries(self, tmp_path):
+        cache, stored = _fill_selector_cache(tmp_path, count=4)
+        # Entries are 4000, 3000, 2000 and 1000 seconds old.
+        evicted = cache.collect_garbage(max_age_seconds=2500)
+        assert evicted == 2
+        assert cache.load(stored[0][0], stored[0][1], (), ()) is None
+        assert cache.load(stored[3][0], stored[3][1], (), ()) is not None
+        assert cache.stats()["gc_evictions"] == 2
+
+    def test_loads_refresh_recency(self, tmp_path):
+        cache, stored = _fill_selector_cache(tmp_path, count=3)
+        token, oldest_query = stored[0]
+        assert cache.load(token, oldest_query, (), ()) is not None  # touch
+        cache.collect_garbage(max_entries=1)
+        # The touched entry is now the most recently used and survives.
+        assert cache.load(token, oldest_query, (), ()) is not None
+        assert cache.entry_count() == 1
+
+    def test_gc_never_corrupts_survivors(self, tmp_path):
+        cache, stored = _fill_selector_cache(tmp_path, count=6)
+        cache.collect_garbage(max_entries=3)
+        survivors = [
+            cache.load(token, query, (), ()) for token, query in stored[3:]
+        ]
+        assert all(value is not None for value in survivors)
+        assert cache.corrupt == 0
+
+    def test_bounds_configured_at_construction_apply_on_restart(self, tmp_path):
+        _fill_selector_cache(tmp_path, count=5)
+        restarted = SelectorDiskCache(tmp_path, max_entries=2)
+        assert restarted.entry_count() == 2
+        assert restarted.gc_evictions == 3
+
+    def test_unbounded_collect_is_a_noop(self, tmp_path):
+        cache, _ = _fill_selector_cache(tmp_path, count=3)
+        assert cache.collect_garbage() == 0
+        assert cache.entry_count() == 3
+
+
+class TestPoolGarbageCollection:
+    def test_pool_collect_garbage_reports_per_layer_evictions(self, tmp_path):
+        database, keys = _employee_state()
+        pool = SolverPool(persist_dir=tmp_path)
+        pool.register("emp", database, keys)
+        pool.run([CountJob(database="emp", query=query) for query in _queries(3)])
+        assert pool.cache_stats()["selectors-disk"]["entries"] == 3
+        assert pool.cache_stats()["decomposition-disk"]["entries"] == 1
+
+        evicted = pool.collect_garbage(max_entries=0)
+        assert evicted == {"selectors-disk": 3, "decomposition-disk": 1}
+        stats = pool.cache_stats()
+        assert stats["selectors-disk"]["gc_evictions"] == 3
+        assert stats["decomposition-disk"]["gc_evictions"] == 1
+        assert stats["selectors-disk"]["entries"] == 0
+
+    def test_pool_without_persist_dir_has_nothing_to_collect(self):
+        assert SolverPool().collect_garbage(max_entries=0) == {}
+
+    def test_eviction_makes_restarts_cold_but_never_wrong(self, tmp_path):
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(2)]
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("emp", database, keys)
+        baseline = first.run(jobs)
+        first.collect_garbage(max_entries=0)
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("emp", database, keys)
+        replay = restarted.run(jobs)
+        assert replay.counts() == baseline.counts()  # cold, not wrong
+        assert restarted.selector_recomputations == len(jobs)
+
+
+class TestDecompositionPersistence:
+    def test_roundtrip_rebuilds_equal_blocks(self, tmp_path):
+        database, keys = _employee_state()
+        token = (database.content_digest(), keys.content_digest())
+        cache = DecompositionDiskCache(tmp_path)
+        original = BlockDecomposition(database, keys)
+        assert cache.store(token, original)
+        loaded = cache.load(token, database, keys)
+        assert loaded.blocks == original.blocks
+        assert loaded.total_repairs() == original.total_repairs()
+        assert loaded.database is database  # reattached, not unpickled
+
+    def test_corrupt_entries_are_misses_and_removed(self, tmp_path):
+        database, keys = _employee_state()
+        token = (database.content_digest(), keys.content_digest())
+        cache = DecompositionDiskCache(tmp_path)
+        cache.store(token, BlockDecomposition(database, keys))
+        path = tmp_path / cache.entry_name(token)
+        path.write_bytes(path.read_bytes()[:-7] + b"garbage")
+        assert cache.load(token, database, keys) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_cold_restart_recomputes_no_decompositions(self, tmp_path):
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(2)]
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("emp", database, keys)
+        baseline = first.run(jobs)
+        assert first.decomposition_recomputations == 1
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("emp", database, keys)
+        replay = restarted.run(jobs)
+        assert restarted.decomposition_recomputations == 0
+        assert restarted.selector_recomputations == 0
+        assert replay.counts() == baseline.counts()
+        assert "decomposition-disk" in replay.results[0].cache_hits
+
+    def test_delta_derived_snapshots_restart_warm_too(self, tmp_path):
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(2)]
+        delta = Delta(inserted=[Fact("Employee", (9, "Zoe", "HR"))])
+
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("emp", database, keys)
+        first.run(jobs)
+        first.apply_delta("emp", delta)
+        updated = first.run(jobs)
+        # The incrementally-derived decomposition was persisted, so a
+        # restart against the *updated* snapshot rebuilds nothing.
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("emp", database.apply_delta(delta), keys)
+        replay = restarted.run(jobs)
+        assert restarted.decomposition_recomputations == 0
+        assert replay.counts() == updated.counts()

@@ -1,0 +1,276 @@
+"""Tests for the async serving layer (``repro.server``).
+
+What is pinned here:
+
+* configuration and misuse are rejected loudly (:class:`ServerError`);
+* shard ownership is a disjoint, balanced, deterministic partition of the
+  registered snapshots;
+* a sharded async run of a mixed count/update stream is **bit-identical**
+  to a sequential :meth:`SolverPool.run_stream` of the same stream;
+* backpressure: the ``wait`` policy bounds in-flight jobs without losing
+  any, the ``reject`` policy raises instead of queueing, and in neither
+  case is a job silently dropped;
+* ``stats()`` aggregates per-shard cache/persist counters without
+  hand-rolling them.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import CountJob, SolverPool, UpdateJob
+from repro.errors import EngineError, ServerError, ServerOverloadedError
+from repro.server import AsyncServer, serve_stream
+from repro.workloads import employee_example, serve_workload
+
+_EMPLOYEE_QUERY = "EXISTS x, y, z . (Employee(1, x, y) AND Employee(2, z, y))"
+
+
+def _employee_server(**kwargs) -> AsyncServer:
+    scenario = employee_example()
+    server = AsyncServer(**kwargs)
+    server.register("emp", scenario.database, scenario.keys)
+    return server
+
+
+class TestConfiguration:
+    def test_rejects_bad_shard_and_queue_counts(self):
+        with pytest.raises(ServerError, match="shards"):
+            AsyncServer(shards=0)
+        with pytest.raises(ServerError, match="queue_limit"):
+            AsyncServer(queue_limit=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ServerError, match="policy"):
+            AsyncServer(policy="drop-silently")
+
+    def test_submission_requires_a_running_server(self):
+        server = _employee_server(shards=1)
+        job = CountJob(database="emp", query=_EMPLOYEE_QUERY)
+        with pytest.raises(ServerError, match="not running"):
+            asyncio.run(server.submit(job))
+
+    def test_unknown_database_is_rejected_before_queueing(self):
+        async def run():
+            async with _employee_server(shards=1) as server:
+                with pytest.raises(EngineError, match="unknown database"):
+                    await server.submit(CountJob(database="ghost", query="R(x)"))
+                assert server.submitted == 0
+
+        asyncio.run(run())
+
+
+class TestRouting:
+    def test_ownership_is_a_balanced_disjoint_partition(self):
+        registry, _ = serve_workload(jobs=1, databases=5, seed=3)
+        server = AsyncServer(shards=3)
+        for name, (database, keys) in registry.items():
+            server.register(name, database, keys)
+        owners = {name: server.shard_of(name) for name in registry}
+        assert set(owners) == set(registry)  # every name owned
+        loads = [list(owners.values()).count(shard) for shard in range(3)]
+        assert max(loads) - min(loads) <= 1  # balanced
+        assert server.database_names() == tuple(registry)
+
+    def test_assignment_is_deterministic(self):
+        registry, _ = serve_workload(jobs=1, databases=4, seed=3)
+
+        def assign():
+            server = AsyncServer(shards=2)
+            for name, (database, keys) in registry.items():
+                server.register(name, database, keys)
+            return {name: server.shard_of(name) for name in registry}
+
+        assert assign() == assign()
+
+    def test_reregistration_keeps_the_owning_shard(self):
+        scenario = employee_example()
+        server = AsyncServer(shards=2)
+        server.register("emp", scenario.database, scenario.keys)
+        before = server.shard_of("emp")
+        server.register("emp", scenario.database, scenario.keys)
+        assert server.shard_of("emp") == before
+
+    def test_updates_route_to_the_owning_shard(self):
+        registry, stream = serve_workload(jobs=10, databases=2, update_every=3, seed=11)
+        updated = {item.database for item in stream if isinstance(item, UpdateJob)}
+        assert updated  # the workload actually contains updates
+
+        async def run():
+            server = AsyncServer(shards=2)
+            for name, (database, keys) in registry.items():
+                server.register(name, database, keys)
+            async with server:
+                await server.run_stream(stream)
+                return await server.stats()
+
+        stats = asyncio.run(run())
+        for name in updated:
+            owner = None
+            for shard_id, shard in stats["shards"].items():
+                if name in shard["databases"]:
+                    owner = shard_id
+            assert owner is not None
+            assert stats["shards"][owner]["updates_submitted"] >= 1
+
+
+class TestEquivalence:
+    def test_sharded_stream_is_bit_identical_to_sequential(self):
+        registry, stream = serve_workload(jobs=24, databases=3, update_every=5, seed=7)
+        pool = SolverPool()
+        for name, (database, keys) in registry.items():
+            pool.register(name, database, keys)
+        sequential = pool.run_stream(stream)
+
+        report = serve_stream(registry, stream, shards=2, queue_limit=8)
+        assert report.counts() == sequential.counts()
+        assert [(update.index, update.old_digest, update.new_digest)
+                for update in report.updates] == [
+            (update.index, update.old_digest, update.new_digest)
+            for update in sequential.updates
+        ]
+        assert report.workers == 2
+
+    def test_streamed_results_cover_every_stream_position(self):
+        registry, stream = serve_workload(jobs=12, databases=2, update_every=4, seed=2)
+
+        async def run():
+            server = AsyncServer(shards=2, queue_limit=4)
+            for name, (database, keys) in registry.items():
+                server.register(name, database, keys)
+            indices = []
+            async with server:
+                async for result in server.results(stream):
+                    indices.append(result.index)
+            return indices
+
+        indices = asyncio.run(run())
+        assert sorted(indices) == list(range(len(stream)))
+
+
+class TestBackpressure:
+    def test_wait_policy_bounds_in_flight_without_losing_jobs(self):
+        jobs = [
+            CountJob(database="emp", query=_EMPLOYEE_QUERY) for _ in range(6)
+        ]
+
+        async def run():
+            async with _employee_server(shards=1, queue_limit=1) as server:
+                report = await server.run_stream(jobs)
+                return server, report
+
+        server, report = asyncio.run(run())
+        assert len(report) == len(jobs)  # nothing dropped
+        assert server.peak_in_flight == 1  # the bound actually bound
+        assert server.submitted == server.completed == len(jobs)
+        assert server.rejected == 0
+
+    def test_reject_policy_raises_instead_of_queueing(self):
+        job = CountJob(database="emp", query=_EMPLOYEE_QUERY)
+
+        async def run():
+            async with _employee_server(
+                shards=1, queue_limit=1, policy="reject"
+            ) as server:
+                first = await server.dispatch(job, 0)
+                # The queue slot is held until `first` completes, which a
+                # subprocess cannot have done yet — the next submission
+                # must be rejected, loudly.
+                with pytest.raises(ServerOverloadedError, match="queue full"):
+                    await server.dispatch(job, 1)
+                result = await first
+                return server, result
+
+        server, result = asyncio.run(run())
+        assert result.satisfying == 2  # the accepted job still finished
+        assert server.rejected == 1
+        assert server.submitted == server.completed == 1
+
+    def test_rejected_jobs_do_not_leak_queue_slots(self):
+        job = CountJob(database="emp", query=_EMPLOYEE_QUERY)
+
+        async def run():
+            async with _employee_server(
+                shards=1, queue_limit=1, policy="reject"
+            ) as server:
+                first = await server.dispatch(job, 0)
+                with pytest.raises(ServerOverloadedError):
+                    await server.dispatch(job, 1)
+                await first
+                # The slot freed by completion must be usable again.
+                return await server.submit(job, 2)
+
+        result = asyncio.run(run())
+        assert result.satisfying == 2
+
+
+class TestStatsAndLifecycle:
+    def test_stats_aggregate_shard_caches_and_persist_layers(self, tmp_path):
+        registry, stream = serve_workload(jobs=8, databases=2, seed=4)
+
+        async def run():
+            server = AsyncServer(shards=2, persist_dir=tmp_path / "cache")
+            for name, (database, keys) in registry.items():
+                server.register(name, database, keys)
+            async with server:
+                await server.run_stream(stream)
+                return await server.stats()
+
+        stats = asyncio.run(run())
+        assert stats["queue"]["policy"] == "wait"
+        assert stats["queue"]["submitted"] == len(stream)
+        assert stats["queue"]["completed"] == len(stream)
+        assert set(stats["shards"]) == {"0", "1"}
+        for shard in stats["shards"].values():
+            layers = shard["cache"]
+            assert {"query", "decomposition", "selectors"} <= set(layers)
+            assert "selectors-disk" in layers
+            assert "decomposition-disk" in layers
+            assert "gc_evictions" in layers["selectors-disk"]
+            assert "selector_recomputations" in shard
+            assert "decomposition_recomputations" in shard
+
+    def test_persist_restart_serves_without_recomputation(self, tmp_path):
+        registry, stream = serve_workload(jobs=8, databases=2, seed=6)
+        cold = serve_stream(
+            registry, stream, shards=2, persist_dir=tmp_path / "cache"
+        )
+        warm = serve_stream(
+            registry, stream, shards=2, persist_dir=tmp_path / "cache"
+        )
+        assert warm.counts() == cold.counts()
+        # Preparation state comes off disk on the restarted server: nothing
+        # is recomputed, so no result may record a selector or
+        # decomposition miss.
+        for result in warm.results:
+            assert "selectors" not in result.cache_misses
+            assert "decomposition" not in result.cache_misses
+
+    def test_late_registration_serves_new_databases(self):
+        scenario = employee_example()
+
+        async def run():
+            server = AsyncServer(shards=2)
+            server.register("emp", scenario.database, scenario.keys)
+            async with server:
+                await server.submit(
+                    CountJob(database="emp", query=_EMPLOYEE_QUERY)
+                )
+                server.register("late", scenario.database, scenario.keys)
+                return await server.submit(
+                    CountJob(database="late", query=_EMPLOYEE_QUERY)
+                )
+
+        result = asyncio.run(run())
+        assert (result.satisfying, result.total) == (2, 4)
+
+    def test_double_start_is_rejected_and_stop_is_idempotent(self):
+        async def run():
+            server = _employee_server(shards=1)
+            await server.start()
+            with pytest.raises(ServerError, match="already running"):
+                await server.start()
+            await server.stop()
+            await server.stop()  # idempotent
+
+        asyncio.run(run())

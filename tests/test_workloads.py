@@ -92,3 +92,53 @@ class TestScenarios:
     def test_scenarios_are_reproducible(self):
         assert hr_analytics(seed=3).database.facts() == hr_analytics(seed=3).database.facts()
         assert str(employee_example())  # __str__ smoke check
+
+
+class TestServeWorkload:
+    def test_shape_and_determinism(self):
+        from repro.engine import CountJob, UpdateJob
+        from repro.workloads import serve_workload
+
+        registry, stream = serve_workload(
+            jobs=20, databases=4, update_every=5, seed=8
+        )
+        assert sorted(registry) == [f"served-{index}" for index in range(4)]
+        counts = [item for item in stream if isinstance(item, CountJob)]
+        updates = [item for item in stream if isinstance(item, UpdateJob)]
+        assert len(counts) == 20
+        assert updates  # the stream actually interleaves deltas
+        assert all(item.database in registry for item in stream)
+        assert stream == serve_workload(
+            jobs=20, databases=4, update_every=5, seed=8
+        )[1]
+
+    def test_popularity_is_skewed_toward_hot_databases(self):
+        from repro.engine import CountJob
+        from repro.workloads import serve_workload
+
+        _, stream = serve_workload(
+            jobs=120, databases=5, update_every=1000, seed=0, hot_fraction=0.7
+        )
+        hot = sum(
+            1
+            for item in stream
+            if isinstance(item, CountJob)
+            and item.database in ("served-0", "served-1")
+        )
+        assert hot > 60  # the two hot names take well over half the counts
+
+    def test_stream_replays_identically_through_a_pool(self):
+        from repro.engine import SolverPool
+        from repro.workloads import serve_workload
+
+        registry, stream = serve_workload(jobs=10, databases=2, seed=5)
+        pool = SolverPool()
+        for name, (database, keys) in registry.items():
+            pool.register(name, database, keys)
+        first = pool.run_stream(stream)
+
+        replay_pool = SolverPool()
+        registry2, stream2 = serve_workload(jobs=10, databases=2, seed=5)
+        for name, (database, keys) in registry2.items():
+            replay_pool.register(name, database, keys)
+        assert replay_pool.run_stream(stream2).counts() == first.counts()
