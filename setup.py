@@ -3,8 +3,25 @@
 Kept alongside ``pyproject.toml`` so that editable installs work in offline
 environments whose setuptools lacks PEP 660 support (``pip install -e .
 --no-use-pep517`` falls back to this file).
+
+The version is single-sourced from ``repro.__version__`` — parsed out of
+the package's ``__init__.py`` rather than imported, so building a wheel
+never executes (or needs to resolve) the package itself.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(
+    r'^__version__ = "([^"]+)"', _INIT.read_text(), flags=re.MULTILINE
+).group(1)
+
+setup(
+    name="repro",
+    version=_VERSION,
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

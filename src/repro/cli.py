@@ -17,11 +17,15 @@ be used from the shell on databases stored as JSON (see
         --output employees-v2.json
     python -m repro serve    --jobs jobs.json --shards 2 --queue-limit 16
     python -m repro serve    --jobs databases.json --stdin < jobs.jsonl
+    python -m repro history  employees --persist-cache cache/
+    python -m repro rollback employees 1a2b3c4d5e6f --json employees.json \
+        --persist-cache cache/ --output employees-rolled-back.json
 
 Every command prints a small, line-oriented report to stdout (``batch``
-prints a JSON report, ``serve`` streams JSON-lines results) and exits with
-status 0 on success; malformed input exits with status 2 and a message on
-stderr (argparse's convention).
+prints a JSON report, ``serve`` streams JSON-lines results, ``history``
+one line per recorded snapshot) and exits with status 0 on success;
+malformed input exits with status 2 and a message on stderr (argparse's
+convention).
 """
 
 from __future__ import annotations
@@ -214,6 +218,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the server's aggregated stats JSON to stderr at the end",
     )
 
+    history = subparsers.add_parser(
+        "history",
+        help="show the recorded snapshot lineage of a database name",
+    )
+    history.add_argument("name", help="registration name the lineage belongs to")
+    history.add_argument(
+        "--persist-cache",
+        required=True,
+        metavar="DIR",
+        help="store directory whose snapshot catalog holds the lineage "
+        "(the same directory batch/serve persist into)",
+    )
+    history.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print only the N newest records",
+    )
+    history.add_argument(
+        "--json-lines",
+        action="store_true",
+        help="emit one JSON object per record instead of the table",
+    )
+
+    rollback = subparsers.add_parser(
+        "rollback",
+        help="re-register a recorded ancestor snapshot as the head",
+    )
+    rollback.add_argument("name", help="registration name to roll back")
+    rollback.add_argument(
+        "digest",
+        help="ancestor reference: a recorded content digest (or unique "
+        ">=8-character prefix), or a non-positive chain index like -2",
+    )
+    _add_instance_arguments(rollback)
+    rollback.add_argument(
+        "--persist-cache",
+        required=True,
+        metavar="DIR",
+        help="store directory holding the name's snapshot catalog; the "
+        "rollback is recorded there as a new lineage head",
+    )
+    rollback.add_argument(
+        "--output",
+        required=True,
+        metavar="FILE",
+        help="where to write the rolled-back database JSON snapshot",
+    )
+
     update = subparsers.add_parser(
         "update",
         help="apply a delta (inserted/deleted facts) to a stored database",
@@ -333,6 +387,115 @@ def _run_serve(arguments: argparse.Namespace) -> int:
         return 2
 
 
+def _run_history(arguments: argparse.Namespace) -> int:
+    """The ``history`` command: print a name's persisted snapshot lineage.
+
+    Reads the snapshot catalog straight from the store directory — no
+    databases are loaded and no engine is started, so history is
+    inspectable even while a server owns the data.
+    """
+    from datetime import datetime, timezone
+
+    from .store import SnapshotCatalog
+
+    lineage = SnapshotCatalog(arguments.persist_cache).lineage(arguments.name)
+    if not len(lineage):
+        print(
+            f"history: no recorded lineage for {arguments.name!r} in "
+            f"{arguments.persist_cache}",
+            file=sys.stderr,
+        )
+        return 2
+    records = list(lineage)
+    if arguments.limit:
+        records = records[-arguments.limit:]
+    for record in records:
+        if arguments.json_lines:
+            print(json.dumps(record.to_json()))
+            continue
+        stamp = datetime.fromtimestamp(record.wall_time, timezone.utc)
+        parent = record.parent_digest[:12] if record.parent_digest else "-"
+        change = (
+            f"+{len(record.delta.inserted)}/-{len(record.delta.deleted)}"
+            if record.delta is not None
+            else "-"
+        )
+        print(
+            f"#{record.sequence}  {record.kind:<8}  {record.digest[:12]}  "
+            f"parent {parent:<12}  {change:<8}  "
+            f"{stamp.strftime('%Y-%m-%dT%H:%M:%SZ')}"
+        )
+    head = lineage.head
+    print(f"head: {head.digest} ({len(lineage)} recorded version(s))")
+    return 0
+
+
+def _run_rollback(arguments: argparse.Namespace) -> int:
+    """The ``rollback`` command: make a recorded ancestor the head again.
+
+    The ancestor is materialised by replaying the catalog's effective
+    delta chain backwards from the provided head snapshot (digest-verified
+    along the way), written to ``--output``, and recorded in the catalog
+    as the new lineage head — so subsequent ``batch``/``serve`` runs that
+    register the output file adopt the full history, rollback included.
+
+    Everything is validated *before* the catalog is touched: the
+    reference must resolve, and the provided snapshot must be the
+    recorded head — a failed rollback (or a stale input file) must never
+    move the persisted lineage.
+    """
+    from .db import save_json
+    from .engine import SolverPool
+    from .store import SnapshotCatalog
+
+    database, keys = _load_instance(arguments)
+    reference: object = arguments.digest
+    try:
+        # Non-positive integers are chain indices ("-2" = two versions
+        # ago); anything else — including all-digit digest prefixes,
+        # which are necessarily positive — stays a digest string.
+        if int(arguments.digest) <= 0:
+            reference = int(arguments.digest)
+    except ValueError:
+        pass
+    try:
+        chain = SnapshotCatalog(arguments.persist_cache).lineage(arguments.name)
+        if not len(chain):
+            raise ReproError(
+                f"no recorded lineage for {arguments.name!r} in "
+                f"{arguments.persist_cache}"
+            )
+        chain.resolve(reference)  # unknown/ambiguous references fail here
+        head = chain.head
+        if (database.content_digest(), keys.content_digest()) != (
+            head.digest,
+            head.keys_digest,
+        ):
+            raise ReproError(
+                f"the provided snapshot ({database.content_digest()[:12]}) "
+                f"is not the recorded head of {arguments.name!r} "
+                f"({head.digest[:12]}); pass the current head database"
+            )
+        pool = SolverPool(persist_dir=arguments.persist_cache)
+        pool.register(arguments.name, database, keys)
+        old_digest = pool.snapshot_token(arguments.name)[0]
+        record = pool.rollback(arguments.name, reference)
+        rolled_back, _ = pool.lookup(arguments.name)
+    except ReproError as exc:
+        print(f"rollback: {exc}", file=sys.stderr)
+        return 2
+    try:
+        save_json(rolled_back, arguments.output, keys)
+    except OSError as exc:
+        print(f"rollback: cannot write {arguments.output}: {exc}", file=sys.stderr)
+        return 2
+    print(f"old head: {old_digest}")
+    print(f"new head: {record.digest}")
+    print(f"recorded: #{record.sequence} ({record.kind})")
+    print(f"wrote: {arguments.output}")
+    return 0
+
+
 def _run_update(arguments: argparse.Namespace) -> int:
     """The ``update`` command: database + delta -> next snapshot on disk."""
     from .db import Delta, save_json
@@ -382,6 +545,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "serve":
         return _run_serve(arguments)
+
+    if arguments.command == "history":
+        return _run_history(arguments)
+
+    if arguments.command == "rollback":
+        return _run_rollback(arguments)
 
     if arguments.command == "update":
         return _run_update(arguments)

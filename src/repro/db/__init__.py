@@ -11,6 +11,7 @@ from .constraints import KeyConstraint, KeyValue, PrimaryKeySet
 from .database import Database
 from .delta import Delta
 from .facts import Constant, Fact, fact
+from .lineage import LINEAGE_KINDS, Lineage, LineageRecord
 from .io import (
     database_from_json,
     database_to_json,
@@ -30,6 +31,9 @@ __all__ = [
     "Fact",
     "KeyConstraint",
     "KeyValue",
+    "LINEAGE_KINDS",
+    "Lineage",
+    "LineageRecord",
     "PrimaryKeySet",
     "RelationSchema",
     "Schema",

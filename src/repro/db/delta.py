@@ -129,6 +129,24 @@ class Delta:
         really_deleted = tuple(item for item in self.deleted if item in database)
         return really_inserted, really_deleted
 
+    def inverse(self) -> "Delta":
+        """The delta that undoes this one: inserts deleted, deletes inserted.
+
+        Exact *only* for effective deltas (every inserted fact was absent,
+        every deleted fact was present — see :meth:`effective_against`):
+        then applying the delta and its inverse in either order is the
+        identity.  Snapshot lineages record effective deltas precisely so
+        that history can be replayed in both directions
+        (:meth:`repro.db.lineage.Lineage.materialise`).
+
+        >>> from repro.db import Database, Delta, fact
+        >>> database = Database([fact("R", 1, "a")]).freeze()
+        >>> delta = Delta(inserted=[fact("R", 2, "b")], deleted=[fact("R", 1, "a")])
+        >>> database.apply_delta(delta).apply_delta(delta.inverse()) == database
+        True
+        """
+        return Delta(inserted=self.deleted, deleted=self.inserted)
+
     def touched_key_values(
         self, keys: "PrimaryKeySet", database: "Database"
     ) -> FrozenSet["KeyValue"]:

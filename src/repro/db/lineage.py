@@ -1,0 +1,319 @@
+"""Snapshot lineage: the recorded history of a registered database name.
+
+Content-addressed snapshots (PR 2) made every database state a digest and
+every update a :class:`~repro.db.delta.Delta` between two digests — but
+the engine only ever kept the *head*.  A :class:`Lineage` keeps the whole
+chain: an append-only sequence of :class:`LineageRecord` entries, one per
+registration, delta or rollback of a name, each carrying the digest it
+produced, the digest it came from and (for deltas) the **effective** delta
+connecting the two.
+
+Effective deltas are exactly invertible (``Delta.inverse``), so a lineage
+is a bidirectional replay log: given *any* materialised snapshot on the
+chain — in practice the head, which the engine always holds —
+:meth:`Lineage.materialise` reconstructs the database of *any other*
+recorded digest by walking the delta chain forwards and/or backwards, and
+**verifies** the result against the recorded content digest.  That
+verification is what makes time travel safe on top of a merely
+corruption-*tolerant* store: a damaged history can refuse to replay, but
+it can never fabricate a snapshot.
+
+The engine records lineage on ``register``/``apply_delta``
+(:class:`~repro.engine.SolverPool`), persists it through the snapshot
+catalog (:class:`~repro.store.catalog.SnapshotCatalog`) and serves
+historical counts through ``CountJob.as_of``; ``repro history`` prints it.
+"""
+
+from __future__ import annotations
+
+import string
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import LineageError
+from .database import Database
+from .delta import Delta
+
+__all__ = ["LineageRecord", "Lineage", "LINEAGE_KINDS"]
+
+#: How a record entered the chain: a (re-)registration, an incremental
+#: delta, or a rollback re-registering an ancestor as the head.
+LINEAGE_KINDS = ("register", "delta", "rollback")
+
+#: A reference to a recorded snapshot: a digest (or ≥8-character unique
+#: digest prefix), or a non-positive chain index (``0`` is the head,
+#: ``-2`` is two versions ago).
+SnapshotRef = Union[str, int]
+
+_HEX = set(string.hexdigits.lower())
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """One step of a name's history: the snapshot it produced and its origin.
+
+    Attributes
+    ----------
+    name:
+        The registration name whose chain this record extends.
+    sequence:
+        Position in the chain (0 for the first record of the name).
+    digest:
+        Content digest of the database *after* this step.
+    keys_digest:
+        Content digest of the primary-key set at this step.
+    parent_digest:
+        Digest the step started from (``None`` for a fresh root).
+    kind:
+        One of :data:`LINEAGE_KINDS`.  Only ``"delta"`` records connect
+        two digests replayably; ``"register"`` and ``"rollback"`` records
+        mark head movements whose states are reached through *other*
+        records' deltas (or not at all, for unrelated re-registrations).
+    delta:
+        For ``"delta"`` records, the **effective** delta from parent to
+        child (exactly invertible); ``None`` otherwise.
+    wall_time:
+        Seconds since the epoch when the step was recorded (provenance
+        only — replay never consults it).
+    """
+
+    name: str
+    sequence: int
+    digest: str
+    keys_digest: str
+    parent_digest: Optional[str]
+    kind: str
+    delta: Optional[Delta]
+    wall_time: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LineageError("a lineage record needs a non-empty name")
+        if self.sequence < 0:
+            raise LineageError(f"negative lineage sequence: {self.sequence}")
+        if self.kind not in LINEAGE_KINDS:
+            raise LineageError(
+                f"unknown lineage record kind {self.kind!r}; "
+                f"expected one of {LINEAGE_KINDS}"
+            )
+        if self.kind == "delta" and (self.delta is None or self.parent_digest is None):
+            raise LineageError("a delta record needs both a delta and a parent")
+        if self.kind != "delta" and self.delta is not None:
+            raise LineageError(f"a {self.kind!r} record must not carry a delta")
+
+    def to_json(self) -> Dict[str, object]:
+        """The record as a JSON-able dict (the CLI history line format)."""
+        payload: Dict[str, object] = {
+            "sequence": self.sequence,
+            "kind": self.kind,
+            "digest": self.digest,
+            "keys_digest": self.keys_digest,
+            "parent_digest": self.parent_digest,
+            "wall_time": self.wall_time,
+        }
+        if self.delta is not None:
+            payload["inserted"] = len(self.delta.inserted)
+            payload["deleted"] = len(self.delta.deleted)
+        return payload
+
+
+class Lineage:
+    """The ordered record chain of one registration name.
+
+    Immutable: :meth:`append` returns a new lineage.  The interesting
+    operations are :meth:`resolve` (turn an ``as_of`` reference into a
+    record) and :meth:`materialise` (reconstruct the database of a
+    recorded digest from any materialised snapshot on the chain).
+
+    >>> from repro.db import Database, Delta, fact
+    >>> root = Database([fact("R", 1, "a")]).freeze()
+    >>> delta = Delta(inserted=[fact("R", 2, "b")])
+    >>> head = root.apply_delta(delta)
+    >>> chain = Lineage("live").append(
+    ...     LineageRecord("live", 0, root.content_digest(), "k", None,
+    ...                   "register", None, 0.0)
+    ... ).append(
+    ...     LineageRecord("live", 1, head.content_digest(), "k",
+    ...                   root.content_digest(), "delta", delta, 0.0)
+    ... )
+    >>> chain.resolve(-1).digest == root.content_digest()  # one version ago
+    True
+    >>> chain.materialise(head, root.content_digest()) == root  # time travel
+    True
+    """
+
+    def __init__(self, name: str, records: Tuple[LineageRecord, ...] = ()) -> None:
+        if not name:
+            raise LineageError("a lineage needs a non-empty name")
+        for index, record in enumerate(records):
+            if record.name != name:
+                raise LineageError(
+                    f"record for {record.name!r} cannot join the lineage of {name!r}"
+                )
+            if record.sequence != index:
+                raise LineageError(
+                    f"lineage of {name!r} is not contiguous: record at position "
+                    f"{index} has sequence {record.sequence}"
+                )
+        self._name = name
+        self._records = tuple(records)
+
+    @property
+    def name(self) -> str:
+        """The registration name this chain belongs to."""
+        return self._name
+
+    @property
+    def records(self) -> Tuple[LineageRecord, ...]:
+        """The records, oldest first."""
+        return self._records
+
+    @property
+    def head(self) -> Optional[LineageRecord]:
+        """The newest record (the current snapshot), or ``None`` if empty."""
+        return self._records[-1] if self._records else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LineageRecord]:
+        return iter(self._records)
+
+    def append(self, record: LineageRecord) -> "Lineage":
+        """A new lineage extended by ``record`` (which must be next in line)."""
+        return Lineage(self._name, self._records + (record,))
+
+    def digests(self) -> Tuple[str, ...]:
+        """Every recorded digest, oldest first (duplicates preserved)."""
+        return tuple(record.digest for record in self._records)
+
+    # ------------------------------------------------------------------ #
+    # reference resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self, ref: SnapshotRef) -> LineageRecord:
+        """The record an ``as_of`` reference names.
+
+        ``ref`` is a digest, a unique digest prefix of at least 8
+        characters, or a non-positive int counting versions back from the
+        head (``0`` → head, ``-2`` → two versions ago).  When a digest
+        appears more than once (a rollback revisits states), the *latest*
+        record wins — the states are identical by content addressing.
+        """
+        if not self._records:
+            raise LineageError(f"the lineage of {self._name!r} is empty")
+        if isinstance(ref, bool) or not isinstance(ref, (str, int)):
+            raise LineageError(
+                f"a snapshot reference must be a digest or a chain index, "
+                f"got {ref!r}"
+            )
+        if isinstance(ref, int):
+            if ref > 0:
+                raise LineageError(
+                    f"chain indices count back from the head and must be <= 0, "
+                    f"got {ref}"
+                )
+            position = len(self._records) - 1 + ref
+            if position < 0:
+                raise LineageError(
+                    f"{self._name!r} has only {len(self._records)} recorded "
+                    f"version(s); cannot go back {-ref}"
+                )
+            return self._records[position]
+
+        prefix = ref.lower()
+        if len(prefix) < 8 or not set(prefix) <= _HEX:
+            raise LineageError(
+                f"a digest reference needs at least 8 hex characters, got {ref!r}"
+            )
+        matches = [
+            record for record in self._records if record.digest.startswith(prefix)
+        ]
+        if not matches:
+            raise LineageError(
+                f"no recorded snapshot of {self._name!r} matches digest {ref!r}"
+            )
+        distinct = {record.digest for record in matches}
+        if len(distinct) > 1:
+            raise LineageError(
+                f"digest prefix {ref!r} is ambiguous for {self._name!r}: "
+                f"{sorted(digest[:12] for digest in distinct)}"
+            )
+        return matches[-1]
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def materialise(self, database: Database, target_digest: str) -> Database:
+        """Reconstruct the snapshot ``target_digest`` from ``database``.
+
+        ``database`` may be *any* materialised snapshot whose digest
+        appears on (or connects to) the chain — in practice the head.  The
+        recorded delta records form a graph over digests; each edge can be
+        walked forwards (apply the delta) or backwards (apply its
+        inverse, exact because recorded deltas are effective).  The
+        shortest connecting path is replayed and the result's
+        ``content_digest`` is checked against ``target_digest`` — a
+        corrupt or incomplete history fails loudly instead of producing a
+        wrong database.
+        """
+        source_digest = database.content_digest()
+        if source_digest == target_digest:
+            return database
+
+        edges: Dict[str, List[Tuple[str, Delta, bool]]] = {}
+        for record in self._records:
+            if record.kind != "delta" or record.delta is None:
+                continue
+            assert record.parent_digest is not None  # enforced at construction
+            edges.setdefault(record.parent_digest, []).append(
+                (record.digest, record.delta, True)
+            )
+            edges.setdefault(record.digest, []).append(
+                (record.parent_digest, record.delta, False)
+            )
+
+        path = self._shortest_path(edges, source_digest, target_digest)
+        if path is None:
+            raise LineageError(
+                f"no recorded delta chain of {self._name!r} connects "
+                f"{source_digest[:12]} to {target_digest[:12]} (history may "
+                f"have been lost, or the snapshots belong to unrelated roots)"
+            )
+        current = database
+        for delta, forward in path:
+            current = current.apply_delta(delta if forward else delta.inverse())
+        if current.content_digest() != target_digest:
+            raise LineageError(
+                f"replaying the recorded chain of {self._name!r} produced "
+                f"{current.content_digest()[:12]} instead of "
+                f"{target_digest[:12]}; the lineage log is corrupt"
+            )
+        return current
+
+    @staticmethod
+    def _shortest_path(
+        edges: Dict[str, List[Tuple[str, Delta, bool]]],
+        source: str,
+        target: str,
+    ) -> Optional[Tuple[Tuple[Delta, bool], ...]]:
+        """Breadth-first search over the digest graph; ``None`` if unreachable."""
+        seen = {source}
+        queue: "deque[Tuple[str, Tuple[Tuple[Delta, bool], ...]]]" = deque(
+            [(source, ())]
+        )
+        while queue:
+            digest, path = queue.popleft()
+            for neighbour, delta, forward in edges.get(digest, ()):
+                if neighbour in seen:
+                    continue
+                extended = path + ((delta, forward),)
+                if neighbour == target:
+                    return extended
+                seen.add(neighbour)
+                queue.append((neighbour, extended))
+        return None
+
+    def __repr__(self) -> str:
+        head = self.head.digest[:12] if self.head else "<empty>"
+        return f"Lineage({self._name!r}, versions={len(self)}, head={head})"

@@ -29,8 +29,14 @@ The ``selectors`` layer is the expensive one and is shared by *four*
 consumers: the certificate/inclusion-exclusion/enumeration exact counters,
 the FPRAS membership test and the Karp–Luby estimator.  It can additionally
 be mirrored to a persistent, content-addressed on-disk cache
-(``persist_dir``; see :mod:`repro.engine.persist`) so process restarts
-serve an unchanged workload with zero selector recomputations.
+(``persist_dir``; see :mod:`repro.store`) so process restarts serve an
+unchanged workload with zero selector recomputations.  The same directory
+also holds the snapshot catalog: the pool records every
+``register``/``apply_delta`` as a lineage step, and a job carrying
+``as_of`` (an ancestor digest or a negative chain index) counts against
+that *historical* snapshot — served through the very same token-keyed
+caches, so a warm store answers time-travel queries without recomputing
+anything.
 
 Invalidation rules
 ------------------
@@ -59,6 +65,7 @@ processes.  The cross-method equivalence harness
 (``tests/test_engine_equivalence.py``) pins this contract.
 """
 
+from ..store import DecompositionDiskCache, SelectorDiskCache
 from .cache import LRUCache
 from .jobfile import load_job_file, parse_job_document, parse_stream_item
 from .jobs import (
@@ -71,7 +78,6 @@ from .jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
-from .persist import DecompositionDiskCache, SelectorDiskCache
 from .pool import SolverPool
 
 __all__ = [

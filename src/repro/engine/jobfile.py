@@ -12,6 +12,8 @@ A job file is one JSON document::
         {"update": "hr",
          "insert": [{"relation": "Employee", "arguments": [3, "Eve", "IT"]}],
          "delete": [{"relation": "Employee", "arguments": [1, "Ann", "HR"]}]},
+        {"database": "hr", "query": "EXISTS x. Employee(1, x, 'HR')",
+         "as_of": -1},
         {"database": "hr", "query": "Employee(1, x, y)",
          "answer_variables": ["x", "y"], "answer": ["Bob", "HR"],
          "method": "fpras", "epsilon": 0.1, "delta": 0.05, "seed": 7}
@@ -24,9 +26,12 @@ against the job file's directory) or an inline payload in the same format.
 Entries of the ``jobs`` array carrying an ``"update"`` field are *delta*
 entries (:class:`~repro.engine.jobs.UpdateJob`): they mutate the named
 snapshot in stream order, so later jobs count against the updated
-database.  Every malformed shape raises
-:class:`~repro.errors.BatchSpecError`, which the CLI maps to a nonzero
-exit status.
+database.  Count entries may carry ``"as_of"`` — an ancestor content
+digest (or unique ≥8-character prefix) or a non-positive chain index
+(``-1`` = one version ago) — to count against a *historical* snapshot of
+the name's recorded lineage instead of its head.  Every malformed shape
+raises :class:`~repro.errors.BatchSpecError`, which the CLI maps to a
+nonzero exit status.
 """
 
 from __future__ import annotations

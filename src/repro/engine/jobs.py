@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..db.delta import Delta
 from ..db.facts import Constant
@@ -83,6 +83,15 @@ class CountJob:
         per-job seed from the job's content and position, so batches are
         reproducible (and pooled runs bit-identical to sequential ones)
         even when no seed is given.
+    as_of:
+        Optional *time-travel* reference: count against a historical
+        snapshot of the database instead of its head.  Either a recorded
+        content digest (or a unique prefix of at least 8 hex characters)
+        or a non-positive chain index (``-2`` = two versions ago, ``0`` =
+        the head).  The pool materialises the ancestor by replaying the
+        recorded delta chain and serves it through the ordinary
+        snapshot-token caches; an unknown reference raises
+        :class:`~repro.errors.LineageError` at execution time.
     label:
         Free-form tag carried through to the result (e.g. a scenario name).
 
@@ -103,6 +112,7 @@ class CountJob:
     epsilon: float = 0.1
     delta: float = 0.05
     seed: Optional[int] = None
+    as_of: Optional[Union[str, int]] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -114,6 +124,22 @@ class CountJob:
             raise BatchSpecError(
                 f"unknown method {self.method!r}; expected one of {BATCH_METHODS}"
             )
+        if self.as_of is not None:
+            if isinstance(self.as_of, bool) or not isinstance(self.as_of, (str, int)):
+                raise BatchSpecError(
+                    f"as_of must be a digest string or a chain index, "
+                    f"got {self.as_of!r}"
+                )
+            if isinstance(self.as_of, int) and self.as_of > 0:
+                raise BatchSpecError(
+                    f"as_of chain indices count back from the head and must "
+                    f"be <= 0, got {self.as_of}"
+                )
+            if isinstance(self.as_of, str) and len(self.as_of) < 8:
+                raise BatchSpecError(
+                    f"as_of digest references need at least 8 characters, "
+                    f"got {self.as_of!r}"
+                )
         object.__setattr__(self, "answer_variables", tuple(self.answer_variables))
         object.__setattr__(self, "answer", tuple(self.answer))
 
@@ -144,6 +170,11 @@ class CountJob:
                 str(index),
             ]
         )
+        # ``as_of`` is deliberately *not* part of the seed material: a
+        # historical job must draw the same samples as the identical job
+        # served when its snapshot was the head, which is what makes
+        # time-travel estimates bit-identical to registering the ancestor
+        # fresh (asserted in benchmark E16).
         return zlib.crc32(token.encode("utf-8"))
 
     def to_json(self) -> Dict[str, object]:
@@ -162,6 +193,8 @@ class CountJob:
             payload["delta"] = self.delta
         if self.seed is not None:
             payload["seed"] = self.seed
+        if self.as_of is not None:
+            payload["as_of"] = self.as_of
         if self.label is not None:
             payload["label"] = self.label
         return payload
@@ -180,6 +213,7 @@ class CountJob:
             "epsilon",
             "delta",
             "seed",
+            "as_of",
             "label",
         }
         unknown = set(payload) - known
@@ -211,6 +245,7 @@ class CountJob:
             epsilon=epsilon,
             delta=delta,
             seed=seed,
+            as_of=payload.get("as_of"),  # type: ignore[arg-type]
             label=payload.get("label"),  # type: ignore[arg-type]
         )
 

@@ -1,438 +1,27 @@
-"""The persistent caches: content-addressed, versioned, crash-safe, GC'd.
+"""Deprecated: the persistent caches moved to :mod:`repro.store`.
 
-Two cache layers of the engine are pure functions of content-addressed
-inputs, which makes them safe to persist across process restarts:
+This module is a thin re-export shim so that existing imports
+(``from repro.engine.persist import SelectorDiskCache``) and pickled
+worker state written by older code keep working.  New code should import
+from :mod:`repro.store`, which additionally provides the pluggable
+:class:`~repro.store.backend.StoreBackend` protocol and the snapshot
+catalog (:class:`~repro.store.SnapshotCatalog`) this module never had.
 
-* the **selector** layer (:class:`SelectorDiskCache`) — the
-  :class:`~repro.repairs.counting.PreparedCertificates` of a
-  ``(database digest, keys digest, query text, answer)`` key, the most
-  expensive per-query state;
-* the **decomposition** layer (:class:`DecompositionDiskCache`) — the
-  block structure of a ``(database digest, keys digest)`` snapshot, which
-  dominates *cold registration* of huge databases.
-
-A pool pointed at the same cache directory answers an unchanged workload
-after a restart with **zero** selector *and* decomposition recomputations.
-
-Design notes
-------------
-* **Keying** — the file name is the SHA-256 of the full key material
-  (format version plus the content-addressed inputs).  Nothing is trusted
-  from the file name at load time beyond locating the entry; content
-  hashes do the addressing.
-* **Versioning** — every entry embeds a format version.  Entries written
-  by an incompatible version of the library are treated as misses, never
-  as errors.
-* **Corruption tolerance** — entries carry a checksum over the pickled
-  payload.  Truncated, bit-flipped or otherwise unreadable entries are
-  counted, deleted best-effort and reported as misses; a damaged cache
-  directory can never make a count wrong, only cold.
-* **Crash safety** — entries are written to a temporary file and published
-  with an atomic :func:`os.replace`, so a crash mid-write leaves either the
-  old entry or none, never a torn one.
-* **Garbage collection** — :meth:`collect_garbage` bounds the directory by
-  entry *age* and entry *count*.  Loading an entry refreshes its mtime, so
-  count-bounded eviction drops the least-recently-*used* entries, not
-  merely the least-recently-written ones.  Eviction only ever unlinks
-  whole entries (the atomic-write discipline means there is nothing
-  partial to corrupt), so surviving entries are untouched; an evicted
-  entry is a future miss, never an error.
+The internal base class kept its historical name here
+(``_ContentAddressedDiskCache``) and its public one in the new home
+(:class:`repro.store.ContentAddressedStore`).
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
-import tempfile
-import time
-from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from ..store import (
+    FORMAT_VERSION,
+    ContentAddressedStore,
+    DecompositionDiskCache,
+    SelectorDiskCache,
+)
 
-from ..db.blocks import Block, BlockDecomposition
-from ..db.constraints import PrimaryKeySet
-from ..db.database import Database
-from ..db.facts import Constant
-from ..repairs.counting import PreparedCertificates
+#: Historical (private) alias of :class:`repro.store.ContentAddressedStore`.
+_ContentAddressedDiskCache = ContentAddressedStore
 
-__all__ = ["SelectorDiskCache", "DecompositionDiskCache"]
-
-#: Bump when the entry layout or the pickled payload types change shape.
-FORMAT_VERSION = 1
-
-#: With GC bounds configured, re-check them after this many stores so a
-#: long-lived process cannot grow the directory unboundedly between
-#: explicit :meth:`collect_garbage` calls.
-_COLLECT_EVERY = 64
-
-
-def _type_tagged(values: Sequence[Constant]) -> str:
-    return "\x1e".join(f"{type(value).__name__}:{value!r}" for value in values)
-
-
-class _ContentAddressedDiskCache:
-    """Shared machinery of the on-disk caches (see the module docstring).
-
-    Subclasses fix the four-byte ``_MAGIC``, the entry ``_SUFFIX`` and the
-    payload validation hook; this base provides atomic stores, checksum
-    verification, lifetime counters and age/count-bounded garbage
-    collection.  Thread-unsafe by design (the pool is single-threaded per
-    process); multi-process safe in the usual "last atomic write wins"
-    sense, which is correct here because every writer computes the same
-    pure function.
-    """
-
-    _MAGIC: bytes = b"????"
-    _SUFFIX: str = ".bin"
-
-    def __init__(
-        self,
-        directory: Union[str, Path],
-        max_entries: Optional[int] = None,
-        max_age_seconds: Optional[float] = None,
-    ) -> None:
-        self._directory = Path(directory)
-        self._directory.mkdir(parents=True, exist_ok=True)
-        self._max_entries = max_entries
-        self._max_age_seconds = max_age_seconds
-        self._stores_since_collect = 0
-        self.loads = 0
-        self.misses = 0
-        self.stores = 0
-        self.corrupt = 0
-        self.gc_evictions = 0
-        if self._bounded:
-            self.collect_garbage()
-
-    @property
-    def directory(self) -> Path:
-        """The directory holding the cache entries."""
-        return self._directory
-
-    @property
-    def _bounded(self) -> bool:
-        return self._max_entries is not None or self._max_age_seconds is not None
-
-    # ------------------------------------------------------------------ #
-    # load / store primitives
-    # ------------------------------------------------------------------ #
-    def _validate_payload(self, value: object) -> bool:
-        """Subclass hook: is this unpickled payload of the expected shape?"""
-        raise NotImplementedError
-
-    def _load_path(self, path: Path) -> Optional[object]:
-        """Return the validated payload at ``path``, or ``None`` on miss."""
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            self.misses += 1
-            return None
-        value = self._decode(blob)
-        if value is None:
-            self.corrupt += 1
-            self.misses += 1
-            try:  # a corrupt entry is dead weight; removal is best-effort
-                path.unlink()
-            except OSError:  # pragma: no cover - unlink race / readonly dir
-                pass
-            return None
-        self.loads += 1
-        try:  # refresh recency so count-bounded GC evicts cold entries first
-            os.utime(path)
-        except OSError:  # pragma: no cover - concurrent unlink / readonly dir
-            pass
-        return value
-
-    def _store_path(self, path: Path, payload_value: object) -> bool:
-        """Atomically persist a payload; returns False on I/O failure.
-
-        Persistence failures are deliberately non-fatal: the cache is an
-        accelerator, and a full disk must not fail a counting job.
-        """
-        try:
-            payload = pickle.dumps(payload_value, protocol=pickle.HIGHEST_PROTOCOL)
-            blob = (
-                self._MAGIC
-                + FORMAT_VERSION.to_bytes(4, "big")
-                + hashlib.sha256(payload).digest()
-                + payload
-            )
-            handle = tempfile.NamedTemporaryFile(
-                dir=self._directory, prefix=".tmp-", delete=False
-            )
-            try:
-                with handle:
-                    handle.write(blob)
-                os.replace(handle.name, path)
-            except BaseException:
-                try:
-                    os.unlink(handle.name)
-                except OSError:
-                    pass
-                raise
-        except (OSError, pickle.PicklingError):
-            return False
-        self.stores += 1
-        self._stores_since_collect += 1
-        if self._bounded and self._stores_since_collect >= _COLLECT_EVERY:
-            self.collect_garbage()
-        return True
-
-    def _decode(self, blob: bytes) -> Optional[object]:
-        """Validate and unpickle an entry; ``None`` for anything unsound."""
-        header_length = len(self._MAGIC) + 4 + 32  # magic + version + checksum
-        if len(blob) < header_length or not blob.startswith(self._MAGIC):
-            return None
-        version = int.from_bytes(blob[4:8], "big")
-        if version != FORMAT_VERSION:
-            return None
-        checksum, payload = blob[8:40], blob[40:]
-        if hashlib.sha256(payload).digest() != checksum:
-            return None
-        try:
-            value = pickle.loads(payload)
-        except Exception:  # noqa: BLE001 - any unpickling failure is corruption
-            return None
-        if not self._validate_payload(value):
-            return None
-        return value
-
-    # ------------------------------------------------------------------ #
-    # garbage collection
-    # ------------------------------------------------------------------ #
-    def collect_garbage(
-        self,
-        max_entries: Optional[int] = None,
-        max_age_seconds: Optional[float] = None,
-    ) -> int:
-        """Evict entries beyond the age/count bounds; return how many.
-
-        ``max_entries`` keeps at most that many entries, evicting the
-        least recently used first (mtime order; loads refresh mtime).
-        ``max_age_seconds`` evicts every entry not stored or loaded within
-        that window.  Arguments override the bounds configured at
-        construction; with neither configured nor passed, nothing is
-        evicted.  Eviction unlinks whole entries only — surviving entries
-        are byte-for-byte untouched.
-        """
-        if max_entries is None:
-            max_entries = self._max_entries
-        if max_age_seconds is None:
-            max_age_seconds = self._max_age_seconds
-        self._stores_since_collect = 0
-        if max_entries is None and max_age_seconds is None:
-            return 0
-
-        entries: List[Tuple[float, Path]] = []
-        for path in self._directory.glob(f"*{self._SUFFIX}"):
-            try:
-                entries.append((path.stat().st_mtime, path))
-            except OSError:  # pragma: no cover - concurrent unlink
-                continue
-        entries.sort()  # oldest first
-
-        doomed: List[Path] = []
-        if max_age_seconds is not None:
-            horizon = time.time() - max_age_seconds
-            expired = [entry for entry in entries if entry[0] < horizon]
-            doomed.extend(path for _, path in expired)
-            entries = entries[len(expired):]
-        if max_entries is not None and len(entries) > max_entries:
-            excess = len(entries) - max_entries
-            doomed.extend(path for _, path in entries[:excess])
-
-        evicted = 0
-        for path in doomed:
-            try:
-                path.unlink()
-                evicted += 1
-            except OSError:  # pragma: no cover - unlink race / readonly dir
-                continue
-        self.gc_evictions += evicted
-        return evicted
-
-    # ------------------------------------------------------------------ #
-    # observability
-    # ------------------------------------------------------------------ #
-    def entry_count(self) -> int:
-        """Number of entries currently on disk."""
-        return sum(1 for _ in self._directory.glob(f"*{self._SUFFIX}"))
-
-    def stats(self) -> Dict[str, int]:
-        """Lifetime counters plus the current on-disk entry count.
-
-        ``hits`` counts successful loads (the key existed, decoded and
-        validated), ``misses`` everything else, ``corrupt`` the subset of
-        misses caused by undecodable entries, and ``gc_evictions`` the
-        entries removed by :meth:`collect_garbage`.
-        """
-        return {
-            "entries": self.entry_count(),
-            "hits": self.loads,
-            "misses": self.misses,
-            "stores": self.stores,
-            "corrupt": self.corrupt,
-            "gc_evictions": self.gc_evictions,
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"{type(self).__name__}({str(self._directory)!r}, "
-            f"loads={self.loads}, stores={self.stores})"
-        )
-
-
-class SelectorDiskCache(_ContentAddressedDiskCache):
-    """A directory of :class:`PreparedCertificates` entries keyed by content.
-
-    Example — a stored preparation survives a "restart" (a second cache
-    instance over the same directory):
-
-    >>> import tempfile
-    >>> from repro.db import Database, PrimaryKeySet, fact
-    >>> from repro.query import parse_query
-    >>> from repro.repairs import prepare_certificates
-    >>> db = Database([fact("R", 1, "a"), fact("R", 1, "b")])
-    >>> keys = PrimaryKeySet.from_dict({"R": [1]})
-    >>> prepared = prepare_certificates(
-    ...     db, keys, parse_query("EXISTS x. R(1, x)"), ())
-    >>> directory = tempfile.mkdtemp()
-    >>> token = (db.content_digest(), keys.content_digest())
-    >>> SelectorDiskCache(directory).store(
-    ...     token, "EXISTS x. R(1, x)", (), (), prepared)
-    True
-    >>> restarted = SelectorDiskCache(directory)
-    >>> restarted.load(
-    ...     token, "EXISTS x. R(1, x)", (), ()).certificate_count
-    2
-    """
-
-    _MAGIC = b"RSEL"
-    _SUFFIX = ".sel"
-
-    def _validate_payload(self, value: object) -> bool:
-        return isinstance(value, PreparedCertificates)
-
-    @staticmethod
-    def entry_name(
-        snapshot_token: Tuple[str, str],
-        query: str,
-        answer_variables: Sequence[str],
-        answer: Sequence[Constant],
-    ) -> str:
-        """The content-hash file name of one selector entry."""
-        database_digest, keys_digest = snapshot_token
-        material = "\x1f".join(
-            [
-                f"v{FORMAT_VERSION}",
-                database_digest,
-                keys_digest,
-                query,
-                ",".join(answer_variables),
-                _type_tagged(answer),
-            ]
-        )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest() + ".sel"
-
-    def _path_for(
-        self,
-        snapshot_token: Tuple[str, str],
-        query: str,
-        answer_variables: Sequence[str],
-        answer: Sequence[Constant],
-    ) -> Path:
-        return self._directory / self.entry_name(
-            snapshot_token, query, answer_variables, answer
-        )
-
-    def load(
-        self,
-        snapshot_token: Tuple[str, str],
-        query: str,
-        answer_variables: Sequence[str],
-        answer: Sequence[Constant],
-    ) -> Optional[PreparedCertificates]:
-        """Return the cached preparation, or ``None`` on miss/corruption."""
-        value = self._load_path(
-            self._path_for(snapshot_token, query, answer_variables, answer)
-        )
-        return value  # type: ignore[return-value]
-
-    def store(
-        self,
-        snapshot_token: Tuple[str, str],
-        query: str,
-        answer_variables: Sequence[str],
-        answer: Sequence[Constant],
-        prepared: PreparedCertificates,
-    ) -> bool:
-        """Persist one preparation atomically; returns False on I/O failure."""
-        return self._store_path(
-            self._path_for(snapshot_token, query, answer_variables, answer),
-            prepared,
-        )
-
-
-class DecompositionDiskCache(_ContentAddressedDiskCache):
-    """A directory of block-decomposition entries keyed by snapshot token.
-
-    Only the ordered :class:`~repro.db.blocks.Block` sequence is pickled —
-    the database itself is *not* stored.  At load time the caller passes
-    the registered (database, keys) pair, and the decomposition is
-    rehydrated around it via
-    :meth:`~repro.db.blocks.BlockDecomposition.from_blocks`; because the
-    entry is addressed by the snapshot token ``(database digest, keys
-    digest)``, the stored blocks are the blocks of exactly that pair.
-
-    Example — a decomposition stored once is rebuilt from disk, not
-    recomputed:
-
-    >>> import tempfile
-    >>> from repro.db import BlockDecomposition, Database, PrimaryKeySet, fact
-    >>> db = Database([fact("R", 1, "a"), fact("R", 1, "b"), fact("R", 2, "c")])
-    >>> keys = PrimaryKeySet.from_dict({"R": [1]})
-    >>> token = (db.content_digest(), keys.content_digest())
-    >>> cache = DecompositionDiskCache(tempfile.mkdtemp())
-    >>> cache.store(token, BlockDecomposition(db, keys))
-    True
-    >>> len(cache.load(token, db, keys))
-    2
-    """
-
-    _MAGIC = b"RDEC"
-    _SUFFIX = ".dec"
-
-    def _validate_payload(self, value: object) -> bool:
-        return isinstance(value, tuple) and all(
-            isinstance(item, Block) for item in value
-        )
-
-    @staticmethod
-    def entry_name(snapshot_token: Tuple[str, str]) -> str:
-        """The content-hash file name of one decomposition entry."""
-        database_digest, keys_digest = snapshot_token
-        material = "\x1f".join([f"v{FORMAT_VERSION}", database_digest, keys_digest])
-        return hashlib.sha256(material.encode("utf-8")).hexdigest() + ".dec"
-
-    def _path_for(self, snapshot_token: Tuple[str, str]) -> Path:
-        return self._directory / self.entry_name(snapshot_token)
-
-    def load(
-        self,
-        snapshot_token: Tuple[str, str],
-        database: Database,
-        keys: PrimaryKeySet,
-    ) -> Optional[BlockDecomposition]:
-        """Rehydrate the snapshot's decomposition, or ``None`` on miss."""
-        blocks = self._load_path(self._path_for(snapshot_token))
-        if blocks is None:
-            return None
-        return BlockDecomposition.from_blocks(
-            database, keys, blocks  # type: ignore[arg-type]
-        )
-
-    def store(
-        self, snapshot_token: Tuple[str, str], decomposition: BlockDecomposition
-    ) -> bool:
-        """Persist one decomposition's blocks; returns False on I/O failure."""
-        return self._store_path(self._path_for(snapshot_token), decomposition.blocks)
+__all__ = ["FORMAT_VERSION", "SelectorDiskCache", "DecompositionDiskCache"]

@@ -31,6 +31,21 @@ affected by the delta are *migrated* (their selector coordinates remapped
 to the new decomposition), and only entries the delta actually touches are
 dropped for recomputation.
 
+History and time travel: every ``register``/``apply_delta`` appends a
+:class:`~repro.db.lineage.LineageRecord` to the name's
+:class:`~repro.db.lineage.Lineage` — the chain of ``(digest, parent
+digest, effective delta)`` steps — persisted through the snapshot catalog
+(:class:`~repro.store.SnapshotCatalog`) whenever a ``persist_dir`` is
+configured.  A :class:`~repro.engine.jobs.CountJob` carrying ``as_of``
+(an ancestor digest, or a negative chain index such as ``-2`` for "two
+versions ago") is served against the *historical* snapshot: the pool
+replays the recorded delta chain backwards from the head (verified
+against the recorded content digest), caches the materialised ancestor,
+and — because every cache is keyed by snapshot token — serves it through
+the same selector/decomposition caches that were warm when that snapshot
+was live.  :meth:`SolverPool.rollback` re-registers an ancestor as the
+head.
+
 Parallelism: :meth:`SolverPool.run` optionally fans jobs out to a process
 pool.  Workers are primed once with the registered databases (via the pool
 initializer, so databases are pickled once per worker, not once per job)
@@ -60,13 +75,15 @@ from ..db.blocks import BlockDecomposition
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
-from ..errors import EngineError
+from ..db.lineage import Lineage, LineageRecord, SnapshotRef
+from ..errors import EngineError, LineageError
 from ..lams.selectors import Selector
 from ..query.ast import Query
 from ..query.classify import is_existential_positive
 from ..query.parser import parse_query
 from ..query.rewriting import UCQ
 from ..repairs.counting import PreparedCertificates, prepare_certificates
+from ..store import DecompositionDiskCache, SelectorDiskCache, SnapshotCatalog
 from .cache import LRUCache
 from .jobs import (
     BatchReport,
@@ -76,7 +93,6 @@ from .jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
-from .persist import DecompositionDiskCache, SelectorDiskCache
 
 __all__ = ["SolverPool"]
 
@@ -157,16 +173,31 @@ class SolverPool:
         self._decompositions: LRUCache[BlockDecomposition] = LRUCache(max_databases)
         self._queries: LRUCache[Query] = LRUCache(max_queries)
         self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
+        #: Materialised historical snapshots, keyed by snapshot token.
+        self._snapshots: LRUCache[Database] = LRUCache(max_databases)
+        self._lineage: Dict[str, Lineage] = {}
         self._workers = workers
         self._persist: Optional[SelectorDiskCache] = None
         self._persist_decompositions: Optional[DecompositionDiskCache] = None
+        self._catalog: Optional[SnapshotCatalog] = None
         if persist_dir is not None:
+            # Startup GC is deferred (collect_on_init=False) until the
+            # first job runs: by then every registered name has pinned its
+            # live token, so the startup collection — like every other one
+            # — can never evict active state.
             self._persist = SelectorDiskCache(
-                persist_dir, persist_max_entries, persist_max_age
+                persist_dir, persist_max_entries, persist_max_age,
+                collect_on_init=False,
             )
             self._persist_decompositions = DecompositionDiskCache(
-                persist_dir, persist_max_entries, persist_max_age
+                persist_dir, persist_max_entries, persist_max_age,
+                collect_on_init=False,
             )
+            self._catalog = SnapshotCatalog(persist_dir)
+        self._startup_gc_pending = (
+            persist_dir is not None
+            and (persist_max_entries is not None or persist_max_age is not None)
+        )
         self._selector_recomputations = 0
         self._decomposition_recomputations = 0
 
@@ -181,6 +212,12 @@ class SolverPool:
         :class:`~repro.errors.FrozenDatabaseError` instead of silently
         corrupting content-addressed cache entries.  Re-registering a name
         with different content drops the previous snapshot's cached state.
+
+        Registration is a lineage event: if the name's recorded chain (in
+        memory, or loaded from the snapshot catalog when a ``persist_dir``
+        is configured) already ends at this exact snapshot the chain is
+        adopted as-is — which is how a restarted pool regains its history;
+        otherwise a fresh ``"register"`` record is appended.
         """
         if not name:
             raise EngineError("a database registration needs a non-empty name")
@@ -190,6 +227,7 @@ class SolverPool:
             self.invalidate(name)
         self._databases[name] = (database, keys)
         self._tokens[name] = token
+        self._record_head(name, token, kind="register")
 
     def register_scenario(self, scenario) -> None:
         """Register a named :class:`~repro.workloads.scenarios.Scenario`."""
@@ -227,6 +265,145 @@ class SolverPool:
         """The content-addressed (database digest, keys digest) of ``name``."""
         self.lookup(name)
         return self._tokens[name]
+
+    # ------------------------------------------------------------------ #
+    # lineage and time travel
+    # ------------------------------------------------------------------ #
+    def lineage(self, name: str) -> Lineage:
+        """The recorded snapshot chain of ``name`` (head last)."""
+        self.lookup(name)
+        return self._lineage[name]
+
+    def _chain_for(self, name: str) -> Lineage:
+        """The in-memory chain of ``name``, loading the catalog on first use."""
+        chain = self._lineage.get(name)
+        if chain is None:
+            if self._catalog is not None:
+                chain = self._catalog.lineage(name)
+            else:
+                chain = Lineage(name)
+            self._lineage[name] = chain
+        return chain
+
+    def _record_head(
+        self,
+        name: str,
+        token: SnapshotToken,
+        kind: str,
+        delta: Optional[Delta] = None,
+    ) -> None:
+        """Append a lineage record for the new head (and persist it).
+
+        A no-op when the chain already ends at ``token`` — re-registering
+        identical content (including every restart against a persisted
+        catalog) extends nothing.
+        """
+        chain = self._chain_for(name)
+        head = chain.head
+        if head is not None and (head.digest, head.keys_digest) == token:
+            self._refresh_pins()
+            return
+        record = LineageRecord(
+            name=name,
+            sequence=len(chain),
+            digest=token[0],
+            keys_digest=token[1],
+            parent_digest=head.digest if head is not None else None,
+            kind=kind,
+            delta=delta,
+            wall_time=time.time(),
+        )
+        self._lineage[name] = chain.append(record)
+        if self._catalog is not None:
+            self._catalog.append(record)
+        self._refresh_pins()
+
+    def _refresh_pins(self) -> None:
+        """Pin the live snapshot tokens (the lineage heads) against GC.
+
+        Disk-cache garbage collection must never evict entries of the
+        *current* snapshot of a registered name — that would force
+        recomputation of active state on the next load.
+        """
+        live = set(self._tokens.values())
+        if self._persist is not None:
+            self._persist.set_pinned_tokens(live)
+        if self._persist_decompositions is not None:
+            self._persist_decompositions.set_pinned_tokens(live)
+
+    def _run_startup_gc(self) -> None:
+        """Run the deferred startup collection, once, pins in place."""
+        if self._startup_gc_pending:
+            self.collect_garbage()
+
+    def adopt_lineage(self, name: str, lineage: Lineage) -> None:
+        """Replace the recorded chain of ``name`` with a richer one.
+
+        Worker processes are primed with the parent pool's chains so that
+        ``as_of`` references resolve identically in fanned-out runs even
+        without a shared catalog.  The chain must belong to ``name`` and
+        end at the currently registered snapshot.
+        """
+        database, keys = self.lookup(name)
+        head = lineage.head
+        if lineage.name != name or head is None:
+            raise EngineError(
+                f"cannot adopt a lineage of {lineage.name!r} for {name!r}"
+            )
+        token = (database.content_digest(), keys.content_digest())
+        if (head.digest, head.keys_digest) != token:
+            raise EngineError(
+                f"adopted lineage of {name!r} ends at {head.digest[:12]}, "
+                f"but the registered snapshot is {token[0][:12]}"
+            )
+        self._lineage[name] = lineage
+
+    def materialise(
+        self, name: str, ref: SnapshotRef
+    ) -> Tuple[Database, PrimaryKeySet, SnapshotToken]:
+        """The (database, keys, token) of a recorded snapshot of ``name``.
+
+        ``ref`` is an ``as_of`` reference (digest, unique ≥8-hex-char
+        prefix, or non-positive chain index).  The head resolves without
+        work; an ancestor is reconstructed by replaying the recorded
+        effective-delta chain from the head (verified against the
+        recorded content digest — see
+        :meth:`~repro.db.lineage.Lineage.materialise`) and cached by
+        token, so repeated historical queries replay nothing.
+        """
+        database, keys = self.lookup(name)
+        chain = self.lineage(name)
+        record = chain.resolve(ref)
+        token = (record.digest, record.keys_digest)
+        if token == self._tokens[name]:
+            return database, keys, token
+        if record.keys_digest != keys.content_digest():
+            raise LineageError(
+                f"snapshot {record.digest[:12]} of {name!r} was recorded "
+                f"under different key constraints; its lineage cannot be "
+                f"replayed against the current keys"
+            )
+        snapshot, _ = self._snapshots.get_or_compute(
+            token, lambda: chain.materialise(database, record.digest).freeze()
+        )
+        return snapshot, keys, token
+
+    def rollback(self, name: str, ref: SnapshotRef) -> LineageRecord:
+        """Re-register a recorded ancestor of ``name`` as the head.
+
+        The ancestor is materialised (and digest-verified) through the
+        lineage, becomes the snapshot served for ``name``, and the move is
+        recorded as a ``"rollback"`` lineage record — history is appended
+        to, never rewritten, so the rolled-back-over states remain
+        reachable via ``as_of``.  Returns the new head record.  Rolling
+        back to the current head is a no-op.
+        """
+        snapshot, keys, token = self.materialise(name, ref)
+        if token != self._tokens[name]:
+            self._databases[name] = (snapshot, keys)
+            self._tokens[name] = token
+            self._record_head(name, token, kind="rollback")
+        return self._lineage[name].head  # type: ignore[return-value]
 
     def decomposition(self, name: str) -> BlockDecomposition:
         """The (cached) block decomposition of the database ``name``."""
@@ -294,9 +471,13 @@ class SolverPool:
 
         Arguments override the bounds configured at construction (see
         ``persist_max_entries`` / ``persist_max_age``).  A pool without a
-        ``persist_dir`` returns an empty mapping.  Evictions only make
-        future loads cold — they can never make a count wrong.
+        ``persist_dir`` returns an empty mapping.  Entries of the *live*
+        snapshots of the registered names (the lineage heads) are pinned
+        and never evicted, so GC cannot force recomputation of active
+        state; other evictions only make future loads cold — they can
+        never make a count wrong.
         """
+        self._startup_gc_pending = False
         evicted: Dict[str, int] = {}
         if self._persist is not None:
             evicted["selectors-disk"] = self._persist.collect_garbage(
@@ -355,6 +536,7 @@ class SolverPool:
         suite pins that equivalence.
         """
         started = time.perf_counter()
+        self._run_startup_gc()
         database, keys = self.lookup(name)
         old_token = self._tokens[name]
         old_decomposition = self.decomposition(name)
@@ -402,14 +584,26 @@ class SolverPool:
                     new_token, query_text, answer_variables, answer, remapped
                 )
 
-        self._decompositions.discard(old_token)
         self._decompositions.put(new_token, new_decomposition)
         if self._persist_decompositions is not None:
             # Persist the incrementally-derived decomposition so a restart
             # against the *new* snapshot is warm without ever rebuilding it.
             self._persist_decompositions.store(new_token, new_decomposition)
+        # The old snapshot stays materialised — and its decomposition stays
+        # in the (LRU-bounded) cache — for time travel: the head is about
+        # to move, making it an ``as_of``-reachable ancestor.
+        self._snapshots.put(old_token, database)
         self._databases[name] = (new_database, keys)
         self._tokens[name] = new_token
+        if new_token != old_token:
+            # Record the *effective* core, which is exactly invertible —
+            # the property lineage replay (both directions) relies on.
+            self._record_head(
+                name,
+                new_token,
+                kind="delta",
+                delta=Delta(inserted=really_inserted, deleted=really_deleted),
+            )
 
         return UpdateReport(
             database=name,
@@ -490,10 +684,20 @@ class SolverPool:
         ``component_executor`` optionally parallelises the decomposed
         union-of-boxes count across connected components (useful for one
         huge exact job; batches parallelise across jobs instead).
+
+        A job carrying ``as_of`` runs against the referenced *historical*
+        snapshot: the database is materialised through the lineage (cached
+        after the first replay) and, because every cache layer below is
+        keyed by snapshot token, the job hits whatever selector and
+        decomposition state — in memory or on disk — was built when that
+        snapshot was live.
         """
         started = time.perf_counter()
+        self._run_startup_gc()
         database, keys = self.lookup(job.database)
         token = self._tokens[job.database]
+        if job.as_of is not None:
+            database, keys, token = self.materialise(job.database, job.as_of)
         hits: List[str] = []
         misses: List[str] = []
 
@@ -694,7 +898,7 @@ class SolverPool:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_initialise_worker,
-            initargs=(dict(self._databases), persist_dir),
+            initargs=(dict(self._databases), persist_dir, dict(self._lineage)),
         ) as executor:
             results = list(
                 executor.map(
@@ -717,17 +921,22 @@ _WORKER_POOL: Optional[SolverPool] = None
 def _initialise_worker(
     databases: Dict[str, Tuple[Database, PrimaryKeySet]],
     persist_dir: Optional[Path] = None,
+    lineage: Optional[Dict[str, Lineage]] = None,
 ) -> None:
     """Prime a worker process: register every database once, build caches.
 
     Workers share the parent's persistent selector cache directory (safe:
     entries are pure functions of their content-hash key and writes are
-    atomic, so concurrent writers merely race to store the same bytes).
+    atomic, so concurrent writers merely race to store the same bytes)
+    and adopt the parent's lineage chains so ``as_of`` references resolve
+    in the worker exactly as they would sequentially.
     """
     global _WORKER_POOL
     pool = SolverPool(persist_dir=persist_dir)
     for name, (database, keys) in databases.items():
         pool.register(name, database, keys)
+    for name, chain in (lineage or {}).items():
+        pool.adopt_lineage(name, chain)
     _WORKER_POOL = pool
 
 

@@ -90,6 +90,27 @@ class CompactorError(ReproError):
     """A compactor produced or was asked to parse a malformed compact string."""
 
 
+class StoreError(ReproError):
+    """The persistence subsystem (:mod:`repro.store`) was misused.
+
+    Store *entries* can never raise — damaged or missing entries read as
+    cache misses by design — so this only covers genuine misuse, such as
+    appending a lineage record that does not extend its chain.
+    """
+
+
+class LineageError(ReproError):
+    """A snapshot lineage could not resolve or replay a reference.
+
+    Raised when an ``as_of`` reference names no recorded snapshot (unknown
+    digest, ambiguous prefix, out-of-range chain index), when no recorded
+    delta chain connects the materialised head to the requested snapshot,
+    or when replaying a chain fails to reproduce the recorded content
+    digest (a corrupt or incomplete history — the replay is *verified*, so
+    a damaged catalog can lose history but never fabricate a snapshot).
+    """
+
+
 class EngineError(ReproError):
     """The batch engine was misused (unknown database, bad worker count)."""
 

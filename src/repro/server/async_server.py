@@ -13,7 +13,12 @@ its own pool).  Ownership is assigned at registration time from the
 snapshot token: the token digest picks a preferred shard, demoted to the
 least-loaded shard when the preferred one is already above the minimum
 load, so shard assignment is deterministic for a given registration order
-and databases spread evenly.  Jobs and deltas route to the owning shard.
+and databases spread evenly.  Jobs and deltas route to the owning shard —
+including *time-travel* jobs (``CountJob.as_of``): a name's historical
+snapshots live in the lineage its owning shard recorded (and, with a
+persistent store, in the shared snapshot catalog), so routing by name is
+routing by historical token, and an ``as_of`` count hits whatever
+selector/decomposition state was warm when that snapshot was live.
 
 **Ordering** — a shard executes its queue FIFO, so all counts and updates
 of one database are serialised in submission order; a count therefore
@@ -50,6 +55,7 @@ from typing import (
 
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
+from ..db.lineage import Lineage
 from ..engine.jobs import (
     BatchReport,
     CountJob,
@@ -347,6 +353,19 @@ class AsyncServer:
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    async def history(self, name: str) -> Lineage:
+        """The recorded snapshot lineage of ``name``, from its owning shard.
+
+        The probe is a queued job on the owning shard, so the returned
+        chain reflects every registration and delta submitted before the
+        call — the server-side counterpart of
+        :meth:`~repro.engine.SolverPool.lineage`.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        shard = self._owner_of(name)
+        return await asyncio.wrap_future(shard.submit_history(name))
+
     async def stats(self) -> Dict[str, object]:
         """Aggregate live statistics: queue counters plus per-shard state.
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
+from ..db.lineage import Lineage
 from ..engine.jobs import CountJob, JobResult, UpdateJob, UpdateReport
 from ..engine.pool import SolverPool
 from ..errors import ServerError
@@ -179,6 +180,19 @@ class Shard:
         self._raise_failed_registrations()
         return executor.submit(_shard_stats)
 
+    def submit_history(self, name: str) -> "Future[Lineage]":
+        """Queue a lineage probe for one owned name.
+
+        The worker pool is the lineage authority: it observed every
+        registration and delta of its owned names in FIFO order (and, with
+        a persistent store, adopted the catalog's chains at registration),
+        so the returned :class:`~repro.db.lineage.Lineage` reflects every
+        update submitted before the probe.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_history, name)
+
     def __repr__(self) -> str:
         state = "running" if self.is_running else "stopped"
         return (
@@ -245,6 +259,11 @@ def _shard_update(
     """Apply one delta to the shard's snapshot of ``name``."""
     report = _require_pool().apply_delta(name, delta)
     return replace(report, index=index, label=label)
+
+
+def _shard_history(name: str) -> Lineage:
+    """The worker pool's recorded lineage of one owned name."""
+    return _require_pool().lineage(name)
 
 
 def _shard_stats() -> Dict[str, object]:

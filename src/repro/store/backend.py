@@ -1,0 +1,187 @@
+"""Storage backends: where store entries physically live.
+
+Everything above this module — the content-addressed caches, the snapshot
+catalog — manipulates *named immutable blobs* and nothing else.  A
+:class:`StoreBackend` supplies exactly that vocabulary:
+
+* ``read(name)`` / ``write(name, blob)`` / ``delete(name)`` — whole-entry
+  operations; ``write`` must publish atomically (a reader sees the old
+  blob or the new one, never a torn one);
+* ``entries(suffix)`` / ``touch(name)`` / ``set_mtime(name, stamp)`` —
+  the recency bookkeeping garbage collection runs on.
+
+Two implementations ship: :class:`FilesystemBackend`, the production
+backend (one file per entry, temp-file + :func:`os.replace` publication),
+and :class:`MemoryBackend`, a dict-backed backend with the same contract
+for tests and ephemeral stores.  :func:`as_backend` coerces the
+``Union[str, Path, StoreBackend]`` arguments the store classes accept.
+
+>>> backend = MemoryBackend()
+>>> backend.write("x.bin", b"blob")
+True
+>>> backend.read("x.bin")
+b'blob'
+>>> [name for _, name in backend.entries(".bin")]
+['x.bin']
+>>> backend.delete("x.bin"), backend.read("x.bin")
+(True, None)
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["StoreBackend", "FilesystemBackend", "MemoryBackend", "as_backend"]
+
+
+class StoreBackend(abc.ABC):
+    """The named-immutable-blob contract every store component builds on."""
+
+    @abc.abstractmethod
+    def read(self, name: str) -> Optional[bytes]:
+        """The blob stored under ``name``, or ``None`` if absent/unreadable."""
+
+    @abc.abstractmethod
+    def write(self, name: str, blob: bytes) -> bool:
+        """Atomically publish ``blob`` under ``name``; False on I/O failure.
+
+        Failures are non-fatal by contract: the store is an accelerator
+        plus a history log, and a full disk must never fail a counting job.
+        """
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> bool:
+        """Remove the entry ``name`` (best-effort); True iff it was removed."""
+
+    @abc.abstractmethod
+    def entries(self, suffix: str) -> List[Tuple[float, str]]:
+        """All ``(mtime, name)`` pairs whose name ends with ``suffix``."""
+
+    @abc.abstractmethod
+    def set_mtime(self, name: str, stamp: float) -> None:
+        """Force the recency stamp of an entry (GC tests and backdating)."""
+
+    def touch(self, name: str) -> None:
+        """Refresh the recency stamp of ``name`` to *now* (best-effort)."""
+        self.set_mtime(name, time.time())
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The backing directory, for backends that have one (else None).
+
+        Worker processes re-open filesystem stores through this path; a
+        memory backend returns ``None`` and is process-local by nature.
+        """
+        return None
+
+
+class FilesystemBackend(StoreBackend):
+    """One file per entry inside a directory; atomic temp-file publication."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def read(self, name: str) -> Optional[bytes]:
+        try:
+            return (self._directory / name).read_bytes()
+        except OSError:
+            return None
+
+    def write(self, name: str, blob: bytes) -> bool:
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                dir=self._directory, prefix=".tmp-", delete=False
+            )
+            try:
+                with handle:
+                    handle.write(blob)
+                os.replace(handle.name, self._directory / name)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def delete(self, name: str) -> bool:
+        try:
+            (self._directory / name).unlink()
+            return True
+        except OSError:  # pragma: no cover - unlink race / readonly dir
+            return False
+
+    def entries(self, suffix: str) -> List[Tuple[float, str]]:
+        collected: List[Tuple[float, str]] = []
+        for path in self._directory.glob(f"*{suffix}"):
+            try:
+                collected.append((path.stat().st_mtime, path.name))
+            except OSError:  # pragma: no cover - concurrent unlink
+                continue
+        return collected
+
+    def set_mtime(self, name: str, stamp: float) -> None:
+        try:
+            os.utime(self._directory / name, (stamp, stamp))
+        except OSError:  # pragma: no cover - concurrent unlink / readonly dir
+            pass
+
+    def __repr__(self) -> str:
+        return f"FilesystemBackend({str(self._directory)!r})"
+
+
+class MemoryBackend(StoreBackend):
+    """A process-local dict with the same contract, for tests and scratch.
+
+    Writes are trivially atomic (one dict assignment) and recency is kept
+    per entry, so garbage-collection semantics match the filesystem
+    backend exactly.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[bytes, float]] = {}
+
+    def read(self, name: str) -> Optional[bytes]:
+        entry = self._entries.get(name)
+        return entry[0] if entry is not None else None
+
+    def write(self, name: str, blob: bytes) -> bool:
+        self._entries[name] = (bytes(blob), time.time())
+        return True
+
+    def delete(self, name: str) -> bool:
+        return self._entries.pop(name, None) is not None
+
+    def entries(self, suffix: str) -> List[Tuple[float, str]]:
+        return [
+            (stamp, name)
+            for name, (_, stamp) in self._entries.items()
+            if name.endswith(suffix)
+        ]
+
+    def set_mtime(self, name: str, stamp: float) -> None:
+        entry = self._entries.get(name)
+        if entry is not None:
+            self._entries[name] = (entry[0], stamp)
+
+    def __repr__(self) -> str:
+        return f"MemoryBackend(<{len(self._entries)} entries>)"
+
+
+def as_backend(store: Union[str, Path, StoreBackend]) -> StoreBackend:
+    """Coerce a directory path (or an existing backend) into a backend."""
+    if isinstance(store, StoreBackend):
+        return store
+    return FilesystemBackend(store)

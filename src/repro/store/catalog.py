@@ -1,0 +1,162 @@
+"""The snapshot catalog: a persisted, append-only lineage log per name.
+
+The engine's in-memory :class:`~repro.db.lineage.Lineage` dies with the
+process; the catalog is its durable half.  Every
+:class:`~repro.db.lineage.LineageRecord` a pool appends — registrations,
+effective deltas, rollbacks — is written as its *own* immutable entry
+(``.rec``), named by ``(name, sequence)``, through the same framed,
+checksummed, atomically-published format as the cache entries.  Appending
+never rewrites history: a crash mid-append loses at most the newest
+record, and a corrupt record truncates the *loaded* chain at that point —
+its successors are purged along with it, so the truncation is permanent
+and a later append can never splice stale records back in.  Damaged
+history is lost history, never wrong data (replay is digest-verified on
+top).
+
+Catalog entries share the store directory with the caches but use their
+own suffix, so cache garbage collection never touches them; history is
+small (one record per update) and is deliberately never GC'd.
+
+>>> import tempfile
+>>> from repro.db import LineageRecord
+>>> catalog = SnapshotCatalog(tempfile.mkdtemp())
+>>> catalog.append(LineageRecord(
+...     "live", 0, "a" * 64, "b" * 64, None, "register", None, 0.0))
+True
+>>> chain = catalog.lineage("live")
+>>> (chain.name, len(chain), chain.head.kind)
+('live', 1, 'register')
+>>> len(catalog.lineage("never-registered"))
+0
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..db.lineage import Lineage, LineageRecord
+from ..errors import StoreError
+from .backend import StoreBackend, as_backend
+from .format import FORMAT_VERSION, decode_entry, encode_entry
+
+__all__ = ["SnapshotCatalog"]
+
+_MAGIC = b"RCAT"
+_SUFFIX = ".rec"
+
+
+class SnapshotCatalog:
+    """Append-only persisted lineage, one immutable entry per record.
+
+    Multi-process safe the same way the caches are: shards own disjoint
+    names (single writer per chain), and racing writers of the *same*
+    record — e.g. several workers registering identical content — publish
+    byte-equivalent history, so "last atomic write wins" is harmless.
+    """
+
+    def __init__(self, store: Union[str, Path, StoreBackend]) -> None:
+        self._backend = as_backend(store)
+        self.appends = 0
+        self.corrupt = 0
+        self.truncated = 0
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The backend holding the record entries."""
+        return self._backend
+
+    @staticmethod
+    def entry_name(name: str, sequence: int) -> str:
+        """The entry name of one ``(name, sequence)`` chain position."""
+        material = "\x1f".join([f"v{FORMAT_VERSION}", "catalog", name, str(sequence)])
+        return hashlib.sha256(material.encode("utf-8")).hexdigest() + _SUFFIX
+
+    # ------------------------------------------------------------------ #
+    # append / load
+    # ------------------------------------------------------------------ #
+    def append(self, record: LineageRecord) -> bool:
+        """Persist one record atomically; returns False on I/O failure.
+
+        Like cache stores, persistence failures are non-fatal: the live
+        process keeps its in-memory lineage, and a lost record only makes
+        *future* processes' history shorter (replay stays digest-verified
+        either way).  Appending a record that does not belong at its
+        sequence slot's chain is the caller's bug and raises
+        :class:`~repro.errors.StoreError`.
+        """
+        if not isinstance(record, LineageRecord):
+            raise StoreError(
+                f"the catalog stores LineageRecords, got {type(record).__name__}"
+            )
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        written = self._backend.write(
+            self.entry_name(record.name, record.sequence),
+            encode_entry(_MAGIC, payload),
+        )
+        if written:
+            self.appends += 1
+        return written
+
+    def lineage(self, name: str) -> Lineage:
+        """The persisted chain of ``name`` (empty if never recorded).
+
+        Records are read in sequence order until the first missing or
+        undecodable entry — a damaged record *truncates* the loaded
+        history there rather than erroring, mirroring the caches'
+        corruption tolerance.  Truncation is made permanent: the damaged
+        record's successors are purged too, so a later append (which
+        reuses the freed sequence slot) can never splice stale records
+        with broken parent links back into a loaded chain.
+        """
+        records = []
+        sequence = 0
+        while True:
+            record, damaged = self._load_record(name, sequence)
+            if record is None:
+                if damaged:
+                    self._purge_from(name, sequence + 1)
+                break
+            records.append(record)
+            sequence += 1
+        return Lineage(name, tuple(records))
+
+    def _load_record(
+        self, name: str, sequence: int
+    ) -> Tuple[Optional[LineageRecord], bool]:
+        """One ``(record, was_damaged)`` chain slot; (None, False) = end."""
+        entry_name = self.entry_name(name, sequence)
+        blob = self._backend.read(entry_name)
+        if blob is None:
+            return None, False
+        payload = decode_entry(_MAGIC, blob)
+        record: object = None
+        if payload is not None:
+            try:
+                record = pickle.loads(payload)
+            except Exception:  # noqa: BLE001 - unpickling failure is corruption
+                record = None
+        if (
+            not isinstance(record, LineageRecord)
+            or record.name != name
+            or record.sequence != sequence
+        ):
+            self.corrupt += 1
+            self._backend.delete(entry_name)
+            return None, True
+        return record, False
+
+    def _purge_from(self, name: str, sequence: int) -> None:
+        """Delete every stored record of ``name`` from ``sequence`` on."""
+        while self._backend.delete(self.entry_name(name, sequence)):
+            self.truncated += 1
+            sequence += 1
+
+    def entry_count(self) -> int:
+        """Number of record entries currently stored (across all names)."""
+        return len(self._backend.entries(_SUFFIX))
+
+    def __repr__(self) -> str:
+        return f"SnapshotCatalog({self._backend!r}, appends={self.appends})"

@@ -1,0 +1,87 @@
+"""The shared on-disk entry format of the store subsystem.
+
+Every persisted entry — cache payloads and snapshot-catalog records alike
+— is one self-validating blob::
+
+    magic (4 bytes) | format version (4 bytes, big-endian)
+    | SHA-256 checksum of the payload (32 bytes) | payload
+
+The four-byte magic identifies the entry *kind* (selector, decomposition,
+catalog record), the version gates compatibility (entries written by an
+incompatible library version are misses, never errors), and the checksum
+makes truncation and bit-flips detectable.  :func:`encode_entry` and
+:func:`decode_entry` are the only two functions that touch this layout,
+so every store component inherits the same crash-safety story.
+
+>>> blob = encode_entry(b"TEST", b"payload")
+>>> decode_entry(b"TEST", blob)
+b'payload'
+>>> decode_entry(b"TEST", blob[:-1]) is None  # truncated: checksum fails
+True
+>>> decode_entry(b"OTHR", blob) is None  # wrong kind: magic fails
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+__all__ = ["FORMAT_VERSION", "encode_entry", "decode_entry", "token_prefix"]
+
+#: Bump when the entry layout, the entry *naming* scheme or the pickled
+#: payload types change shape.  Version 2 moved the caches into
+#: :mod:`repro.store` and prefixed entry names with the snapshot-token
+#: hash (the hook garbage-collection pinning works through).
+FORMAT_VERSION = 2
+
+#: magic + version + checksum
+_HEADER_LENGTH = 4 + 4 + 32
+
+
+def encode_entry(magic: bytes, payload: bytes) -> bytes:
+    """Frame a payload with the magic/version/checksum header."""
+    if len(magic) != 4:
+        raise ValueError(f"entry magic must be 4 bytes, got {magic!r}")
+    return (
+        magic
+        + FORMAT_VERSION.to_bytes(4, "big")
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def decode_entry(magic: bytes, blob: bytes) -> Optional[bytes]:
+    """Return the validated payload, or ``None`` for anything unsound.
+
+    ``None`` covers every way an entry can be bad — wrong magic, version
+    skew, truncation, bit-flips — because a store entry is an accelerator,
+    and a damaged one must read as *cold*, never as an error.
+    """
+    if len(blob) < _HEADER_LENGTH or not blob.startswith(magic):
+        return None
+    version = int.from_bytes(blob[4:8], "big")
+    if version != FORMAT_VERSION:
+        return None
+    checksum, payload = blob[8:40], blob[40:]
+    if hashlib.sha256(payload).digest() != checksum:
+        return None
+    return payload
+
+
+def token_prefix(snapshot_token: Tuple[str, str]) -> str:
+    """The 16-hex-character entry-name prefix of a snapshot token.
+
+    Entry names start with this prefix so that everything derived from one
+    snapshot is recognisable *from the name alone* — which is what lets
+    garbage collection pin the entries of live snapshots without opening
+    (or even being able to decode) them.
+
+    >>> token_prefix(("a" * 64, "b" * 64)) == token_prefix(("a" * 64, "b" * 64))
+    True
+    >>> len(token_prefix(("a" * 64, "b" * 64)))
+    16
+    """
+    database_digest, keys_digest = snapshot_token
+    material = f"{database_digest}\x1f{keys_digest}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]

@@ -23,6 +23,7 @@ from .scenarios import (
     hr_analytics,
     sensor_fusion,
 )
+from .history import history_workload
 from .serving import serve_workload
 from .updates import update_stream
 
@@ -33,6 +34,7 @@ __all__ = [
     "election_registry",
     "employee_example",
     "employee_same_department_query",
+    "history_workload",
     "hr_analytics",
     "random_cnf",
     "random_conjunctive_query",

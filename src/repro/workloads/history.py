@@ -1,0 +1,163 @@
+"""History workloads: streams that query random ancestors via ``as_of``.
+
+:func:`~repro.workloads.updates.update_stream` models the write path and
+:func:`~repro.workloads.serving.serve_workload` the skewed read path; a
+lineage-recording engine sees a third pattern — **time travel**: updates
+keep arriving, but a fraction of the counts ask about *earlier* snapshots
+("count repairs as of yesterday's data").  :func:`history_workload`
+generates exactly that, deterministically from a seed: a count/update
+stream over one or more databases in which some counts carry an ``as_of``
+reference to a randomly chosen recorded ancestor — usually its content
+digest, occasionally a negative chain index — so every lineage feature
+the engine exposes is exercised by one reference input.
+
+Because the generator applies its own deltas while generating, it knows
+the full digest chain of every database; ``as_of`` digests are therefore
+*real* ancestor digests, and a consumer can rebuild the expected state of
+any of them by replaying the stream's deltas (benchmark E16 does exactly
+this to verify lineage replay bit for bit).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..engine.jobs import CountJob, UpdateJob
+from ..query.ast import Query
+from .generators import InconsistentDatabaseSpec, random_inconsistent_database
+from .queries import random_conjunctive_query
+from .updates import _random_delta
+
+__all__ = ["history_workload"]
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def history_workload(
+    jobs: int = 40,
+    update_every: int = 4,
+    history_fraction: float = 0.4,
+    seed: int = 0,
+    databases: int = 1,
+    queries_per_database: int = 3,
+    blocks_per_relation: Tuple[int, int] = (6, 12),
+    max_edits: int = 4,
+    methods: Sequence[str] = ("auto", "certificate", "fpras"),
+    epsilon: float = 0.25,
+    delta: float = 0.2,
+) -> Tuple[
+    Dict[str, Tuple[Database, PrimaryKeySet]],
+    List[Union[CountJob, UpdateJob]],
+]:
+    """Generate databases plus a count/update stream with time travel.
+
+    Returns ``(databases, stream)`` ready for
+    :meth:`~repro.engine.SolverPool.run_stream` (or the async server —
+    the two must agree bit for bit).  After every ``update_every`` counts
+    an :class:`UpdateJob` edits a rotating database (deltas are
+    cumulative, generated against the state the previous deltas
+    produced).  Once a database has ancestors, each of its counts is a
+    *historical* count with probability ``history_fraction``: its
+    ``as_of`` references a uniformly chosen recorded ancestor — by
+    content digest three times out of four, by negative chain index
+    otherwise, so both reference forms stay exercised.
+
+    Everything derives from ``seed``; per-count seeds come from
+    :meth:`~repro.engine.CountJob.effective_seed`, so replays are
+    bit-identical.
+
+    >>> registry, stream = history_workload(jobs=12, seed=1)
+    >>> sorted(registry)
+    ['versioned-0']
+    >>> historical = [item for item in stream
+    ...               if isinstance(item, CountJob) and item.as_of is not None]
+    >>> len(historical) > 0
+    True
+    >>> stream == history_workload(jobs=12, seed=1)[1]
+    True
+    """
+    if databases < 1:
+        raise ValueError(f"need at least one database, got {databases}")
+    if not 0.0 <= history_fraction <= 1.0:
+        raise ValueError(f"history_fraction must be in [0, 1], got {history_fraction}")
+    rng = random.Random(seed)
+
+    registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+    live: Dict[str, Database] = {}
+    chains: Dict[str, List[str]] = {}
+    catalogue: Dict[str, List[Query]] = {}
+    for index in range(databases):
+        spec = InconsistentDatabaseSpec(
+            relations=_RELATIONS,
+            blocks_per_relation=rng.randint(*blocks_per_relation),
+            conflict_rate=0.5,
+            max_block_size=3,
+            domain_size=10,
+        )
+        name = f"versioned-{index}"
+        database, keys = random_inconsistent_database(spec, seed=rng.randrange(2**16))
+        registry[name] = (database, keys)
+        live[name] = database
+        chains[name] = [database.content_digest()]
+        catalogue[name] = [
+            random_conjunctive_query(
+                _RELATIONS,
+                keys,
+                target_keywidth=rng.randint(1, 2),
+                seed=rng.randrange(2**16),
+            )
+            for _ in range(queries_per_database)
+        ]
+
+    names = sorted(registry)
+    stream: List[Union[CountJob, UpdateJob]] = []
+    emitted = 0
+    update_round = 0
+    while emitted < jobs:
+        if emitted and emitted % update_every == 0 and not isinstance(
+            stream[-1], UpdateJob
+        ):
+            name = names[update_round % len(names)]
+            update_round += 1
+            _, keys = registry[name]
+            relation = rng.choice(sorted(_RELATIONS))
+            change = _random_delta(
+                rng, live[name], keys, relation, _RELATIONS[relation], max_edits
+            )
+            if not change.is_empty():
+                stream.append(
+                    UpdateJob(database=name, delta=change, label=f"edit-{relation}")
+                )
+                live[name] = live[name].apply_delta(change)
+                chains[name].append(live[name].content_digest())
+        name = rng.choice(names)
+        query = rng.choice(catalogue[name])
+        as_of: Union[str, int, None] = None
+        label = query.name
+        if len(chains[name]) > 1 and rng.random() < history_fraction:
+            # A historical count against a uniformly chosen ancestor.  At
+            # this stream position the head is chains[name][-1], so the
+            # negative-index form is well defined too.
+            ancestor = rng.randrange(len(chains[name]) - 1)
+            if rng.random() < 0.75:
+                as_of = chains[name][ancestor]
+            else:
+                as_of = ancestor - (len(chains[name]) - 1)
+            label = f"{query.name}@v{ancestor}"
+        stream.append(
+            CountJob(
+                database=name,
+                query=str(query.formula),
+                answer_variables=tuple(v.name for v in query.answer_variables),
+                method=rng.choice(list(methods)),
+                epsilon=epsilon,
+                delta=delta,
+                as_of=as_of,
+                label=label,
+            )
+        )
+        emitted += 1
+    return registry, stream

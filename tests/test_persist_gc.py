@@ -7,6 +7,11 @@ What is pinned here:
   corrupts a surviving entry;
 * GC evictions surface in the cache's ``stats()`` and through
   :meth:`SolverPool.cache_stats` / :meth:`SolverPool.collect_garbage`;
+* **pinning** (regression): entries of the *live* snapshot of a
+  registered name — the lineage head — are never evicted, however
+  aggressive the bounds, so ``collect_garbage()`` can never force
+  recomputation of active state.  Entries of ancestors (pre-delta
+  snapshots) remain evictable;
 * block decompositions persist alongside selectors: a cold restart
   against a warm ``persist_dir`` re-registers databases with **zero**
   decomposition recomputations, including snapshots produced by deltas.
@@ -106,7 +111,8 @@ class TestGarbageCollection:
 
 
 class TestPoolGarbageCollection:
-    def test_pool_collect_garbage_reports_per_layer_evictions(self, tmp_path):
+    def test_pool_collect_garbage_evicts_only_stale_snapshots(self, tmp_path):
+        """Per-layer eviction counts cover ancestors, never the live head."""
         database, keys = _employee_state()
         pool = SolverPool(persist_dir=tmp_path)
         pool.register("emp", database, keys)
@@ -114,12 +120,19 @@ class TestPoolGarbageCollection:
         assert pool.cache_stats()["selectors-disk"]["entries"] == 3
         assert pool.cache_stats()["decomposition-disk"]["entries"] == 1
 
+        # Move the head: the old snapshot's entries become ancestors...
+        pool.apply_delta(
+            "emp", Delta(inserted=[Fact("Employee", (9, "Zoe", "HR"))])
+        )
+        pool.run([CountJob(database="emp", query=query) for query in _queries(3)])
+        # ...and only they are evictable; the new head's are pinned.
         evicted = pool.collect_garbage(max_entries=0)
         assert evicted == {"selectors-disk": 3, "decomposition-disk": 1}
         stats = pool.cache_stats()
         assert stats["selectors-disk"]["gc_evictions"] == 3
         assert stats["decomposition-disk"]["gc_evictions"] == 1
-        assert stats["selectors-disk"]["entries"] == 0
+        assert stats["selectors-disk"]["entries"] == 3  # the live head's
+        assert stats["decomposition-disk"]["entries"] == 1
 
     def test_pool_without_persist_dir_has_nothing_to_collect(self):
         assert SolverPool().collect_garbage(max_entries=0) == {}
@@ -130,13 +143,100 @@ class TestPoolGarbageCollection:
         first = SolverPool(persist_dir=tmp_path)
         first.register("emp", database, keys)
         baseline = first.run(jobs)
-        first.collect_garbage(max_entries=0)
+        # An outside force (a standalone cache over the same directory has
+        # no registered names, hence no pins) wipes every entry.
+        assert SelectorDiskCache(tmp_path).collect_garbage(max_entries=0) == 2
+        assert DecompositionDiskCache(tmp_path).collect_garbage(max_entries=0) == 1
 
         restarted = SolverPool(persist_dir=tmp_path)
         restarted.register("emp", database, keys)
         replay = restarted.run(jobs)
         assert replay.counts() == baseline.counts()  # cold, not wrong
         assert restarted.selector_recomputations == len(jobs)
+
+
+class TestGcPinningProtectsLiveSnapshots:
+    """Regression: GC used to evict entries of the *current* snapshot of a
+    registered name, forcing recomputation of active state on the next
+    load.  Live snapshot tokens (the lineage heads) are now pinned."""
+
+    def test_live_entries_survive_aggressive_gc(self, tmp_path):
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(3)]
+        pool = SolverPool(persist_dir=tmp_path)
+        pool.register("emp", database, keys)
+        baseline = pool.run(jobs)
+        assert pool.selector_recomputations == 3
+
+        evicted = pool.collect_garbage(max_entries=0, max_age_seconds=0)
+        assert evicted == {"selectors-disk": 0, "decomposition-disk": 0}
+        assert pool.cache_stats()["selectors-disk"]["entries"] == 3
+
+        # A restarted pool still serves the whole workload warm.
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("emp", database, keys)
+        replay = restarted.run(jobs)
+        assert replay.counts() == baseline.counts()
+        assert restarted.selector_recomputations == 0
+        assert restarted.decomposition_recomputations == 0
+
+    def test_restart_with_bounds_defers_startup_gc_until_pinned(self, tmp_path):
+        """Regression: a restarted pool's startup GC must not run before
+        registration pins the live tokens — an eager collection would
+        evict the very entries the restart is about to serve from."""
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(2)]
+        first = SolverPool(persist_dir=tmp_path)
+        first.register("emp", database, keys)
+        baseline = first.run(jobs)
+
+        restarted = SolverPool(
+            persist_dir=tmp_path, persist_max_entries=0, persist_max_age=0.0
+        )
+        restarted.register("emp", database, keys)
+        replay = restarted.run(jobs)
+        assert restarted.selector_recomputations == 0
+        assert restarted.decomposition_recomputations == 0
+        assert replay.counts() == baseline.counts()
+
+    def test_construction_bounds_respect_pins_once_registered(self, tmp_path):
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(3)]
+        pool = SolverPool(
+            persist_dir=tmp_path, persist_max_entries=1, persist_max_age=0.0
+        )
+        pool.register("emp", database, keys)
+        pool.run(jobs)
+        # The configured bounds would evict everything, but every entry
+        # belongs to the live snapshot.
+        assert pool.collect_garbage() == {
+            "selectors-disk": 0,
+            "decomposition-disk": 0,
+        }
+        assert pool.cache_stats()["selectors-disk"]["entries"] == 3
+
+    def test_delta_moves_the_pin_to_the_new_head(self, tmp_path):
+        database, keys = _employee_state()
+        jobs = [CountJob(database="emp", query=query) for query in _queries(2)]
+        pool = SolverPool(persist_dir=tmp_path)
+        pool.register("emp", database, keys)
+        pool.run(jobs)
+        pool.apply_delta(
+            "emp", Delta(inserted=[Fact("Employee", (8, "Kim", "IT"))])
+        )
+        replay = pool.run(jobs)
+
+        # Old-snapshot entries (2 selectors, 1 decomposition) are now
+        # evictable; the new head's entries survive the harshest bounds.
+        evicted = pool.collect_garbage(max_entries=0, max_age_seconds=0)
+        assert evicted == {"selectors-disk": 2, "decomposition-disk": 1}
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("emp", database.apply_delta(
+            Delta(inserted=[Fact("Employee", (8, "Kim", "IT"))])
+        ), keys)
+        assert restarted.run(jobs).counts() == replay.counts()
+        assert restarted.selector_recomputations == 0
+        assert restarted.decomposition_recomputations == 0
 
 
 class TestDecompositionPersistence:

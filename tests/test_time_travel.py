@@ -1,0 +1,476 @@
+"""Tests for time-travel queries across engine, server and CLI.
+
+What is pinned here:
+
+* a ``CountJob`` with ``as_of`` (ancestor digest, unique prefix or
+  negative chain index) is bit-identical to registering that ancestor
+  fresh — including randomised estimators, whose derived seeds ignore
+  ``as_of`` by design;
+* historical snapshots are served through the ordinary token-keyed
+  caches: with a warm persistent store, an ``as_of`` job recomputes zero
+  selectors and zero decompositions — sequentially, fanned out, and
+  through the sharded async server (the acceptance path);
+* ``SolverPool.rollback`` re-registers an ancestor as the head,
+  append-only: every pre-rollback state stays reachable via ``as_of``;
+* lineage survives restarts through the snapshot catalog, and bad
+  references fail loudly (:class:`LineageError`), never silently;
+* the ``repro history`` / ``repro rollback`` commands and ``as_of`` job
+  entries in ``repro batch`` round-trip through the CLI.
+"""
+
+import asyncio
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.db import Database, Delta, Fact, PrimaryKeySet, database_to_json, fact
+from repro.engine import CountJob, SolverPool, UpdateJob
+from repro.errors import BatchSpecError, LineageError
+from repro.server import AsyncServer, serve_stream
+from repro.workloads import history_workload
+
+_R_QUERY = "EXISTS x, y. R(x, 'v1', y)"
+
+
+def _versioned_instance():
+    """A small instance plus two deltas: three recorded versions."""
+    database = Database(
+        [
+            fact("R", 1, "v1", "a"),
+            fact("R", 1, "v2", "b"),
+            fact("R", 2, "v1", "c"),
+            fact("S", 1, "v1", "d"),
+        ]
+    )
+    keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+    first = Delta(inserted=[fact("R", 3, "v1", "e")])
+    second = Delta(deleted=[fact("R", 1, "v2", "b")])
+    return database, keys, first, second
+
+
+def _versioned_pool(**pool_kwargs):
+    database, keys, first, second = _versioned_instance()
+    pool = SolverPool(**pool_kwargs)
+    pool.register("live", database, keys)
+    pool.apply_delta("live", first)
+    pool.apply_delta("live", second)
+    return pool, database, keys
+
+
+class TestJobValidation:
+    def test_as_of_round_trips_through_json(self):
+        job = CountJob(database="live", query=_R_QUERY, as_of="a" * 64)
+        assert CountJob.from_json(job.to_json()) == job
+        relative = CountJob(database="live", query=_R_QUERY, as_of=-2)
+        assert CountJob.from_json(relative.to_json()) == relative
+        assert "as_of" not in CountJob(database="live", query=_R_QUERY).to_json()
+
+    def test_bad_as_of_is_rejected(self):
+        with pytest.raises(BatchSpecError, match="<= 0"):
+            CountJob(database="live", query=_R_QUERY, as_of=3)
+        with pytest.raises(BatchSpecError, match="at least 8"):
+            CountJob(database="live", query=_R_QUERY, as_of="abc")
+        with pytest.raises(BatchSpecError, match="digest string or a chain"):
+            CountJob(database="live", query=_R_QUERY, as_of=True)
+
+    def test_as_of_does_not_perturb_derived_seeds(self):
+        plain = CountJob(database="live", query=_R_QUERY, method="fpras")
+        historical = replace(plain, as_of="a" * 64)
+        assert plain.effective_seed(7) == historical.effective_seed(7)
+
+
+class TestPoolTimeTravel:
+    def test_every_recorded_version_counts_like_a_fresh_registration(self):
+        pool, database, keys = _versioned_pool()
+        chain = pool.lineage("live")
+        assert [record.kind for record in chain] == ["register", "delta", "delta"]
+
+        for record in chain:
+            snapshot, _, _ = pool.materialise("live", record.digest)
+            fresh = SolverPool()
+            fresh.register("live", Database(snapshot.facts()), keys)
+            for method in ("certificate", "fpras"):
+                job = CountJob(
+                    database="live", query=_R_QUERY, method=method,
+                    epsilon=0.3, delta=0.2,
+                )
+                historical = pool.run_job(replace(job, as_of=record.digest))
+                expected = fresh.run_job(job)
+                assert (historical.satisfying, historical.total) == (
+                    expected.satisfying,
+                    expected.total,
+                )
+
+    def test_reference_forms_agree(self):
+        pool, _, _ = _versioned_pool()
+        chain = pool.lineage("live")
+        root = chain.records[0].digest
+        by_digest = pool.run_job(
+            CountJob(database="live", query=_R_QUERY, as_of=root)
+        )
+        by_prefix = pool.run_job(
+            CountJob(database="live", query=_R_QUERY, as_of=root[:12])
+        )
+        by_index = pool.run_job(
+            CountJob(database="live", query=_R_QUERY, as_of=-2)
+        )
+        head_like = pool.run_job(
+            CountJob(database="live", query=_R_QUERY, as_of=0)
+        )
+        plain = pool.run_job(CountJob(database="live", query=_R_QUERY))
+        assert (
+            by_digest.count_fields()
+            == by_prefix.count_fields()
+            == by_index.count_fields()
+        )
+        assert head_like.count_fields() == plain.count_fields()
+
+    def test_unknown_and_out_of_range_references_fail_loudly(self):
+        pool, _, _ = _versioned_pool()
+        with pytest.raises(LineageError, match="no recorded snapshot"):
+            pool.run_job(
+                CountJob(database="live", query=_R_QUERY, as_of="f" * 64)
+            )
+        with pytest.raises(LineageError, match="cannot go back"):
+            pool.run_job(CountJob(database="live", query=_R_QUERY, as_of=-50))
+
+    def test_streams_interleave_updates_and_history(self):
+        database, keys, first, second = _versioned_instance()
+        pool = SolverPool()
+        pool.register("live", database, keys)
+        stream = [
+            CountJob(database="live", query=_R_QUERY),
+            UpdateJob(database="live", delta=first),
+            CountJob(database="live", query=_R_QUERY),
+            UpdateJob(database="live", delta=second),
+            CountJob(database="live", query=_R_QUERY, as_of=-2),
+        ]
+        report = pool.run_stream(stream)
+        # The final job counts "two versions ago" — the pre-update root.
+        assert report.results[-1].count_fields()[1:] == report.results[0].count_fields()[1:]
+
+    def test_pooled_runs_resolve_as_of_like_sequential_ones(self):
+        registry, stream = history_workload(jobs=12, update_every=3, seed=4)
+        updates = [item for item in stream if isinstance(item, UpdateJob)]
+        counts = [item for item in stream if isinstance(item, CountJob)]
+        assert any(job.as_of is not None for job in counts)
+
+        def build_pool():
+            pool = SolverPool()
+            for name, (database, keys) in registry.items():
+                pool.register(name, database, keys)
+            for update in updates:
+                pool.apply_delta(update.database, update.delta)
+            return pool
+
+        sequential = build_pool().run(counts, workers=1)
+        pooled = build_pool().run(counts, workers=2)
+        assert pooled.counts() == sequential.counts()
+
+    def test_warm_store_time_travel_recomputes_nothing(self, tmp_path):
+        database, keys, first, second = _versioned_instance()
+        jobs = [
+            CountJob(database="live", query=_R_QUERY, method="certificate"),
+            CountJob(
+                database="live",
+                query="EXISTS x, y. S(x, 'v1', y)",
+                method="certificate",
+            ),
+        ]
+        warm = SolverPool(persist_dir=tmp_path)
+        warm.register("live", database, keys)
+        baseline = warm.run(jobs)
+        warm.apply_delta("live", first)
+        warm.apply_delta("live", second)
+        root = warm.lineage("live").records[0].digest
+
+        # A *restarted* pool: only the head is registered, history comes
+        # from the catalog, entries from the store.
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("live", warm.lookup("live")[0], keys)
+        historical = restarted.run(
+            [replace(job, as_of=root) for job in jobs]
+        )
+        assert restarted.selector_recomputations == 0
+        assert restarted.decomposition_recomputations == 0
+        assert [r.count_fields()[1:] for r in historical.results] == [
+            r.count_fields()[1:] for r in baseline.results
+        ]
+        for result in historical.results:
+            assert "selectors-disk" in result.cache_hits
+            assert "decomposition" not in result.cache_misses
+        # The first job rehydrated the ancestor's decomposition from disk;
+        # the second found it already in memory.
+        assert "decomposition-disk" in historical.results[0].cache_hits
+
+
+class TestRollback:
+    def test_rollback_restores_ancestor_and_keeps_history(self):
+        pool, database, keys = _versioned_pool()
+        chain = pool.lineage("live")
+        old_head = chain.head.digest
+        root = chain.records[0].digest
+
+        record = pool.rollback("live", root)
+        assert record.kind == "rollback"
+        assert pool.snapshot_token("live")[0] == root
+        assert pool.lookup("live")[0] == database
+        # History is append-only: the rolled-over head stays reachable.
+        assert [r.kind for r in pool.lineage("live")] == [
+            "register", "delta", "delta", "rollback",
+        ]
+        onward = pool.run_job(
+            CountJob(database="live", query=_R_QUERY, as_of=old_head)
+        )
+        fresh = SolverPool()
+        fresh.register("live", pool.materialise("live", old_head)[0], keys)
+        assert (
+            onward.count_fields()[1:]
+            == fresh.run_job(CountJob(database="live", query=_R_QUERY)).count_fields()[1:]
+        )
+
+    def test_rollback_to_head_is_a_noop(self):
+        pool, _, _ = _versioned_pool()
+        before = pool.lineage("live").records
+        record = pool.rollback("live", 0)
+        assert pool.lineage("live").records == before
+        assert record == before[-1]
+
+    def test_rollback_is_recorded_in_the_catalog(self, tmp_path):
+        pool, database, keys = _versioned_pool(persist_dir=tmp_path)
+        root = pool.lineage("live").records[0].digest
+        pool.rollback("live", root)
+
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("live", database, keys)  # the rolled-back head
+        assert [r.kind for r in restarted.lineage("live")] == [
+            "register", "delta", "delta", "rollback",
+        ]
+        # ... and can still travel to the rolled-over head.
+        old_head = restarted.lineage("live").records[2].digest
+        result = restarted.run_job(
+            CountJob(database="live", query=_R_QUERY, as_of=old_head)
+        )
+        assert result.total > 0
+
+
+class TestLineageGuards:
+    def test_changed_keys_refuse_historical_replay(self):
+        pool, database, keys = _versioned_pool()
+        # A digest recorded only under the *old* keys (the intermediate
+        # version; the root's digest gets re-recorded by the
+        # re-registration below and resolves to the new-keys record).
+        middle = pool.lineage("live").records[1].digest
+        pool.register("live", database, PrimaryKeySet.from_dict({"R": [1]}))
+        with pytest.raises(LineageError, match="different key constraints"):
+            pool.materialise("live", middle)
+
+    def test_adopt_lineage_validates_the_head(self):
+        pool, _, keys = _versioned_pool()
+        other = SolverPool()
+        other.register("live", Database([fact("R", 9, "v9", "z")]), keys)
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError, match="ends at"):
+            other.adopt_lineage("live", pool.lineage("live"))
+
+
+class TestServerTimeTravel:
+    def test_served_history_stream_is_bit_identical(self):
+        registry, stream = history_workload(jobs=16, update_every=4, seed=9)
+        pool = SolverPool()
+        for name, (database, keys) in registry.items():
+            pool.register(name, database, keys)
+        sequential = pool.run_stream(stream)
+        served = serve_stream(registry, stream, shards=2, queue_limit=8)
+        assert served.counts() == sequential.counts()
+
+    def test_server_history_probe_reports_the_chain(self):
+        database, keys, first, _ = _versioned_instance()
+
+        async def run():
+            server = AsyncServer(shards=1, queue_limit=4)
+            server.register("live", database, keys)
+            async with server:
+                await server.submit(UpdateJob(database="live", delta=first), 0)
+                chain = await server.history("live")
+                return [record.kind for record in chain]
+
+        assert asyncio.run(run()) == ["register", "delta"]
+
+    def test_server_path_time_travel_recomputes_nothing(self, tmp_path):
+        """The acceptance path: as_of through the server, warm store."""
+        database, keys, first, second = _versioned_instance()
+        jobs = [
+            CountJob(database="live", query=_R_QUERY, method="certificate"),
+            CountJob(
+                database="live",
+                query="EXISTS x, y. S(x, 'v1', y)",
+                method="certificate",
+            ),
+        ]
+
+        async def warm_phase():
+            server = AsyncServer(shards=2, persist_dir=tmp_path / "store")
+            server.register("live", database, keys)
+            async with server:
+                report = await server.run_stream(jobs)
+                await server.submit(UpdateJob(database="live", delta=first), 0)
+                await server.submit(UpdateJob(database="live", delta=second), 1)
+                chain = await server.history("live")
+                head = await server.history("live")
+            return report, chain.records[0].digest, head.head
+
+        baseline, root, _ = asyncio.run(warm_phase())
+        head_database = database.apply_delta(first).apply_delta(second)
+
+        async def restarted_phase():
+            server = AsyncServer(shards=2, persist_dir=tmp_path / "store")
+            server.register("live", Database(head_database.facts()), keys)
+            async with server:
+                report = await server.run_stream(
+                    [replace(job, as_of=root) for job in jobs]
+                )
+                stats = await server.stats()
+            return report, stats
+
+        historical, stats = asyncio.run(restarted_phase())
+        assert [r.count_fields()[1:] for r in historical.results] == [
+            r.count_fields()[1:] for r in baseline.results
+        ]
+        for shard_stats in stats["shards"].values():
+            assert shard_stats["selector_recomputations"] == 0
+            assert shard_stats["decomposition_recomputations"] == 0
+        for result in historical.results:
+            assert "selectors" not in result.cache_misses
+            assert "decomposition" not in result.cache_misses
+
+
+class TestTimeTravelCLI:
+    @pytest.fixture
+    def instance_files(self, tmp_path):
+        database, keys, first, second = _versioned_instance()
+        db_path = tmp_path / "db.json"
+        db_path.write_text(json.dumps(database_to_json(database, keys)))
+        jobs = {
+            "databases": {"live": {"path": "db.json"}},
+            "jobs": [
+                {"database": "live", "query": _R_QUERY},
+                {"update": "live", **first.to_json()},
+                {"update": "live", **second.to_json()},
+                {"database": "live", "query": _R_QUERY},
+                {"database": "live", "query": _R_QUERY, "as_of": -2},
+            ],
+        }
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(json.dumps(jobs))
+        return tmp_path, db_path, jobs_path
+
+    def test_batch_as_of_and_history_command(self, instance_files, capsys):
+        tmp_path, _, jobs_path = instance_files
+        cache = tmp_path / "cache"
+        assert main(["batch", "--jobs", str(jobs_path),
+                     "--persist-cache", str(cache)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        results = {entry["index"]: entry for entry in report["jobs"]}
+        # The as_of=-2 job (index 4) sees the pre-update snapshot (index 0).
+        assert results[4]["satisfying"] == results[0]["satisfying"]
+        assert results[4]["job"]["as_of"] == -2
+
+        assert main(["history", "live", "--persist-cache", str(cache)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("delta") == 2
+        assert "register" in output and "head:" in output
+
+        assert main(["history", "live", "--persist-cache", str(cache),
+                     "--json-lines", "--limit", "1"]) == 0
+        (line, _head) = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(line)["kind"] == "delta"
+
+    def test_history_without_a_catalog_exits_2(self, tmp_path, capsys):
+        assert main(["history", "ghost", "--persist-cache", str(tmp_path)]) == 2
+        assert "no recorded lineage" in capsys.readouterr().err
+
+    def test_rollback_command_round_trip(self, instance_files, capsys):
+        tmp_path, db_path, jobs_path = instance_files
+        cache = tmp_path / "cache"
+        assert main(["batch", "--jobs", str(jobs_path),
+                     "--persist-cache", str(cache)]) == 0
+        capsys.readouterr()
+
+        # Materialise the post-update head on disk via `repro update`.
+        database, keys, first, second = _versioned_instance()
+        head = database.apply_delta(first).apply_delta(second)
+        head_path = tmp_path / "head.json"
+        head_path.write_text(json.dumps(database_to_json(head, keys)))
+        root_digest = database.content_digest()
+
+        rolled_path = tmp_path / "rolled.json"
+        assert main([
+            "rollback", "live", root_digest[:16],
+            "--json", str(head_path),
+            "--persist-cache", str(cache),
+            "--output", str(rolled_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert f"new head: {root_digest}" in output
+        assert "(rollback)" in output
+
+        from repro.db import load_json
+
+        rolled, _ = load_json(rolled_path)
+        assert rolled.content_digest() == root_digest
+
+        assert main(["history", "live", "--persist-cache", str(cache)]) == 0
+        assert "rollback" in capsys.readouterr().out
+
+    def test_rollback_with_unknown_digest_exits_2(self, instance_files, capsys):
+        tmp_path, db_path, jobs_path = instance_files
+        cache = tmp_path / "cache"
+        assert main(["batch", "--jobs", str(jobs_path),
+                     "--persist-cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert main([
+            "rollback", "live", "f" * 64,
+            "--json", str(db_path),
+            "--persist-cache", str(cache),
+            "--output", str(tmp_path / "out.json"),
+        ]) == 2
+        assert "no recorded snapshot" in capsys.readouterr().err
+
+    def test_failed_rollback_never_moves_the_catalog(self, instance_files, capsys):
+        """Regression: a rejected rollback (unknown reference, or a stale
+        input file that is not the recorded head) must leave the
+        persisted lineage byte-for-byte untouched."""
+        from repro.store import SnapshotCatalog
+
+        tmp_path, db_path, jobs_path = instance_files
+        cache = tmp_path / "cache"
+        assert main(["batch", "--jobs", str(jobs_path),
+                     "--persist-cache", str(cache)]) == 0
+        capsys.readouterr()
+        before = SnapshotCatalog(cache).lineage("live").digests()
+
+        # Unknown reference: rejected before the catalog is opened for
+        # writing.  db_path is also *not* the head — doubly invalid.
+        assert main([
+            "rollback", "live", "f" * 64,
+            "--json", str(db_path),
+            "--persist-cache", str(cache),
+            "--output", str(tmp_path / "out.json"),
+        ]) == 2
+        capsys.readouterr()
+        assert SnapshotCatalog(cache).lineage("live").digests() == before
+
+        # Valid reference but a stale (non-head) input file: same story.
+        root_digest = before[0]
+        assert main([
+            "rollback", "live", root_digest[:16],
+            "--json", str(db_path),
+            "--persist-cache", str(cache),
+            "--output", str(tmp_path / "out.json"),
+        ]) == 2
+        assert "not the recorded head" in capsys.readouterr().err
+        assert SnapshotCatalog(cache).lineage("live").digests() == before
