@@ -1,0 +1,200 @@
+"""E17 — checkpoint compaction: deep time travel in O(distance to checkpoint).
+
+PR 4 made any recorded ancestor reachable, but resolution replays the
+delta chain from whatever snapshot the engine holds — the live head — so
+a reference *deep* in a long chain costs O(chain length) delta
+applications.  Checkpoint compaction (this PR) persists full snapshots
+every K effective deltas; `Lineage.materialise` then replays from the
+**nearest** checkpoint instead, making deep references O(distance to the
+nearest checkpoint).
+
+Claims exercised:
+
+* **Compaction speedup** — on a chain of ≥64 deltas with checkpoints
+  every 8, resolving the deepest reference (the chain origin, the far
+  end from the live head) is **≥2×** faster than the pure replay a
+  checkpoint-free store performs, with **zero** selector and **zero**
+  decomposition recomputations on a warm store (the materialised
+  ancestor's token hits the same content-addressed entries either way).
+  The perf assertion self-skips when the pure-replay baseline is too
+  fast to time reliably; correctness and zero-recomputation are asserted
+  regardless.
+* **Bit-identical counts** — the checkpointed path and the pure-replay
+  path produce identical results (replay is digest-verified; a
+  checkpoint can change the cost of a count, never its value).
+* **Bounded replay** — the replay-distance cost model: with checkpoints
+  every 8 the promised replay never exceeds 8 edges wherever the
+  reference lands, while the checkpoint-free distance grows with depth.
+"""
+
+import time
+
+import pytest
+
+from repro.db import Database
+from repro.engine import CountJob, SolverPool
+from repro.workloads import InconsistentDatabaseSpec, random_inconsistent_database
+
+_RELATIONS = {"R": 3, "S": 3}
+
+#: Chain length (effective deltas) and compaction interval under test.
+_DELTAS = 64
+_EVERY = 8
+
+#: Below this pure-replay baseline the speedup ratio is timer noise, not
+#: signal; the perf assertion self-skips (correctness is still asserted).
+_MIN_MEASURABLE_BASELINE = 0.02
+
+
+def make_database(blocks=2000, seed=17, domain=1000):
+    spec = InconsistentDatabaseSpec(
+        relations=_RELATIONS,
+        blocks_per_relation=blocks,
+        conflict_rate=0.4,
+        max_block_size=4,
+        domain_size=domain,
+    )
+    return random_inconsistent_database(spec, seed=seed)
+
+
+def wide_delta(step, edits=12):
+    """An insert-only delta touching ``edits`` fresh R blocks.
+
+    Inserts use step-unique keys, so every delta is effective and the
+    chain's replay work grows linearly with its length — the regime
+    compaction is for.
+    """
+    from repro.db import Delta, Fact
+
+    return Delta(
+        inserted=[
+            Fact("R", (f"zz_step{step:03d}_{offset:02d}", f"step{step}", "p"))
+            for offset in range(edits)
+        ]
+    )
+
+
+def anchored_jobs(name, queries=6, as_of=None):
+    """Cheap-to-count, expensive-to-prepare certificate jobs (as in E16)."""
+    jobs = []
+    for index in range(queries):
+        relation = ("R", "S")[index % 2]
+        jobs.append(
+            CountJob(
+                database=name,
+                query=f"EXISTS x, y. {relation}(x, 'v{index}', y)",
+                method="certificate",
+                as_of=as_of,
+            )
+        )
+    return jobs
+
+
+def _build_history(directory, database, keys, checkpoint_every):
+    """Register, warm the origin's entries, then record the delta chain."""
+    pool = SolverPool(persist_dir=directory, checkpoint_every=checkpoint_every)
+    pool.register("live", database, keys)
+    pool.run(anchored_jobs("live"))  # origin selectors/decomposition -> disk
+    origin_digest = pool.snapshot_token("live")[0]
+    for step in range(_DELTAS):
+        pool.apply_delta("live", wide_delta(step))
+    return pool, origin_digest
+
+
+@pytest.mark.smoke
+def test_deep_as_of_with_checkpoints_beats_pure_origin_replay(tmp_path):
+    """≥2× over pure replay on a 64-delta chain; zero recomputations."""
+    database, keys = make_database()
+
+    plain_pool, origin = _build_history(
+        tmp_path / "plain", database, keys, checkpoint_every=None
+    )
+    ckpt_pool, ckpt_origin = _build_history(
+        tmp_path / "compacted", database, keys, checkpoint_every=_EVERY
+    )
+    assert origin == ckpt_origin  # same deterministic chain in both stores
+    assert len(ckpt_pool.checkpoints("live")) == _DELTAS // _EVERY
+
+    jobs = anchored_jobs("live", as_of=origin)
+
+    # Pure replay: a restarted checkpoint-free pool materialises the
+    # origin by walking all 64 deltas back from the head.
+    baseline = SolverPool(persist_dir=tmp_path / "plain")
+    baseline.register("live", plain_pool.lookup("live")[0], keys)
+    started = time.perf_counter()
+    pure_report = baseline.run(jobs)
+    pure_elapsed = time.perf_counter() - started
+
+    # Compacted replay: a restarted checkpointed pool loads the snapshot
+    # of the nearest checkpoint and replays at most 8 deltas.
+    compacted = SolverPool(persist_dir=tmp_path / "compacted")
+    compacted.register("live", ckpt_pool.lookup("live")[0], keys)
+    started = time.perf_counter()
+    ckpt_report = compacted.run(jobs)
+    ckpt_elapsed = time.perf_counter() - started
+
+    # Bit-identical counts and zero recomputation, on any machine.
+    assert [r.count_fields()[1:] for r in ckpt_report.results] == [
+        r.count_fields()[1:] for r in pure_report.results
+    ]
+    assert compacted.selector_recomputations == 0
+    assert compacted.decomposition_recomputations == 0
+    for result in ckpt_report.results:
+        assert "selectors" not in result.cache_misses
+        assert "decomposition" not in result.cache_misses
+
+    if pure_elapsed < _MIN_MEASURABLE_BASELINE:
+        pytest.skip(
+            f"pure origin replay took {pure_elapsed * 1000:.1f}ms — too fast "
+            f"to measure a reliable speedup on this machine"
+        )
+    speedup = pure_elapsed / ckpt_elapsed
+    assert speedup >= 2.0, (
+        f"expected checkpointed deep as_of to beat pure replay ≥2×, got "
+        f"{speedup:.2f}x (pure {pure_elapsed:.3f}s vs "
+        f"compacted {ckpt_elapsed:.3f}s)"
+    )
+
+
+@pytest.mark.smoke
+def test_promised_replay_is_bounded_by_the_compaction_interval(tmp_path):
+    """The cost model: replay distance ≤ K at every depth, vs O(depth)."""
+    database, keys = make_database(blocks=200, domain=100)
+    pool, _ = _build_history(
+        tmp_path / "store", database, keys, checkpoint_every=_EVERY
+    )
+    chain = pool.lineage("live")
+    head_digest = chain.head.digest
+    loaders = {record.digest: (lambda: None) for record in chain}
+    checkpointed = {record.digest for record in pool.checkpoints("live")}
+
+    for depth, record in enumerate(reversed(chain.records)):
+        plain = chain.replay_distance(head_digest, record.digest)
+        compacted = chain.replay_distance(
+            head_digest,
+            record.digest,
+            checkpoints={digest: loaders[digest] for digest in checkpointed},
+        )
+        assert plain == depth  # pure replay walks all the way back
+        assert compacted <= min(depth, _EVERY // 2 + _EVERY % 2 + _EVERY)
+        assert compacted <= _EVERY  # never further than one interval
+
+
+@pytest.mark.parametrize("compacted", [False, True])
+def test_deep_history_throughput(benchmark, tmp_path, compacted):
+    """Recorded cost of serving the deepest ancestor, by store layout."""
+    database, keys = make_database(blocks=400, seed=5, domain=200)
+    directory = tmp_path / ("compacted" if compacted else "plain")
+    pool, origin = _build_history(
+        directory, database, keys, checkpoint_every=_EVERY if compacted else None
+    )
+    jobs = anchored_jobs("live", queries=4, as_of=origin)
+
+    def serve_deep_history():
+        replay = SolverPool(persist_dir=directory)
+        replay.register("live", pool.lookup("live")[0], keys)
+        return replay.run(jobs)
+
+    report = benchmark.pedantic(serve_deep_history, rounds=3)
+    benchmark.extra_info["compacted_store"] = compacted
+    benchmark.extra_info["jobs_per_second"] = round(report.jobs_per_second, 1)

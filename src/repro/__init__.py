@@ -54,7 +54,7 @@ from .repairs import (
 )
 from .core import CQAResult, CQASolver
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Block",

@@ -17,9 +17,11 @@ be used from the shell on databases stored as JSON (see
         --output employees-v2.json
     python -m repro serve    --jobs jobs.json --shards 2 --queue-limit 16
     python -m repro serve    --jobs databases.json --stdin < jobs.jsonl
-    python -m repro history  employees --persist-cache cache/
+    python -m repro history  employees --persist-cache cache/ --limit 20
     python -m repro rollback employees 1a2b3c4d5e6f --json employees.json \
         --persist-cache cache/ --output employees-rolled-back.json
+    python -m repro checkpoint employees --json employees.json \
+        --persist-cache cache/
 
 Every command prints a small, line-oriented report to stdout (``batch``
 prints a JSON report, ``serve`` streams JSON-lines results, ``history``
@@ -156,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the persistent selector cache; re-running an "
         "unchanged job file against the same directory recomputes nothing",
     )
+    batch.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="cut a compaction checkpoint every K effective deltas "
+        "(requires --persist-cache); deep as_of replays then start at "
+        "the nearest checkpoint",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -213,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="GC bound: evict on-disk entries older than SECONDS",
     )
     serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="each shard cuts a compaction checkpoint every K effective "
+        "deltas of an owned name (requires --persist-cache)",
+    )
+    serve.add_argument(
         "--stats",
         action="store_true",
         help="print the server's aggregated stats JSON to stderr at the end",
@@ -235,7 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="print only the N newest records",
+        help="print only the N newest records (long chains stay readable; "
+        "the footer reports how many were elided)",
     )
     history.add_argument(
         "--json-lines",
@@ -266,6 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="FILE",
         help="where to write the rolled-back database JSON snapshot",
+    )
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="persist the current head snapshot as a compaction checkpoint",
+    )
+    checkpoint.add_argument("name", help="registration name to checkpoint")
+    _add_instance_arguments(checkpoint)
+    checkpoint.add_argument(
+        "--persist-cache",
+        required=True,
+        metavar="DIR",
+        help="store directory holding the name's snapshot catalog; the "
+        "full snapshot is persisted there and the chain position marked",
     )
 
     update = subparsers.add_parser(
@@ -309,8 +343,16 @@ def _run_batch(arguments: argparse.Namespace) -> int:
     from .engine import SolverPool, load_job_file
 
     try:
+        if arguments.checkpoint_every is not None:
+            if arguments.checkpoint_every < 1:
+                raise ReproError("--checkpoint-every must be >= 1")
+            if not arguments.persist_cache:
+                raise ReproError("--checkpoint-every requires --persist-cache")
         databases, jobs = load_job_file(arguments.jobs)
-        pool = SolverPool(persist_dir=arguments.persist_cache)
+        pool = SolverPool(
+            persist_dir=arguments.persist_cache,
+            checkpoint_every=arguments.checkpoint_every,
+        )
         for name, (database, keys) in databases.items():
             pool.register(name, database, keys)
         report = pool.run_stream(jobs, workers=arguments.workers)
@@ -336,6 +378,11 @@ def _run_serve(arguments: argparse.Namespace) -> int:
     from .server import AsyncServer
 
     try:
+        if arguments.checkpoint_every is not None:
+            if arguments.checkpoint_every < 1:
+                raise ReproError("--checkpoint-every must be >= 1")
+            if not arguments.persist_cache:
+                raise ReproError("--checkpoint-every requires --persist-cache")
         databases, file_jobs = load_job_file(
             arguments.jobs, require_jobs=not arguments.stdin
         )
@@ -367,6 +414,7 @@ def _run_serve(arguments: argparse.Namespace) -> int:
             persist_dir=arguments.persist_cache,
             persist_max_entries=arguments.cache_max_entries,
             persist_max_age=arguments.cache_max_age,
+            checkpoint_every=arguments.checkpoint_every,
         )
         for name, (database, keys) in databases.items():
             server.register(name, database, keys)
@@ -392,13 +440,24 @@ def _run_history(arguments: argparse.Namespace) -> int:
 
     Reads the snapshot catalog straight from the store directory — no
     databases are loaded and no engine is started, so history is
-    inspectable even while a server owns the data.
+    inspectable even while a server owns the data.  Checkpointed chain
+    positions (full snapshots persisted for fast replay) are marked with
+    ``*`` in the table (``"checkpoint": true`` in ``--json-lines``), and
+    ``--limit`` keeps long compacted chains readable instead of dumping
+    every record unconditionally.
     """
     from datetime import datetime, timezone
 
     from .store import SnapshotCatalog
 
-    lineage = SnapshotCatalog(arguments.persist_cache).lineage(arguments.name)
+    if arguments.limit < 0:
+        print(
+            f"history: --limit must be >= 0, got {arguments.limit}",
+            file=sys.stderr,
+        )
+        return 2
+    catalog = SnapshotCatalog(arguments.persist_cache)
+    lineage = catalog.lineage(arguments.name)
     if not len(lineage):
         print(
             f"history: no recorded lineage for {arguments.name!r} in "
@@ -406,12 +465,23 @@ def _run_history(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    checkpointed = {
+        record.sequence for record in catalog.checkpoints(arguments.name, lineage)
+    }
     records = list(lineage)
+    elided = 0
     if arguments.limit:
+        elided = max(0, len(records) - arguments.limit)
         records = records[-arguments.limit:]
+    if elided and not arguments.json_lines:
+        print(f"... ({elided} older record(s) elided; drop --limit to see all)")
     for record in records:
+        marker = record.sequence in checkpointed
         if arguments.json_lines:
-            print(json.dumps(record.to_json()))
+            payload = record.to_json()
+            if marker:
+                payload["checkpoint"] = True
+            print(json.dumps(payload))
             continue
         stamp = datetime.fromtimestamp(record.wall_time, timezone.utc)
         parent = record.parent_digest[:12] if record.parent_digest else "-"
@@ -421,12 +491,61 @@ def _run_history(arguments: argparse.Namespace) -> int:
             else "-"
         )
         print(
-            f"#{record.sequence}  {record.kind:<8}  {record.digest[:12]}  "
-            f"parent {parent:<12}  {change:<8}  "
+            f"#{record.sequence}{'*' if marker else ' '} {record.kind:<8}  "
+            f"{record.digest[:12]}  parent {parent:<12}  {change:<8}  "
             f"{stamp.strftime('%Y-%m-%dT%H:%M:%SZ')}"
         )
     head = lineage.head
-    print(f"head: {head.digest} ({len(lineage)} recorded version(s))")
+    print(
+        f"head: {head.digest} ({len(lineage)} recorded version(s), "
+        f"{len(checkpointed)} checkpoint(s))"
+    )
+    return 0
+
+
+def _run_checkpoint(arguments: argparse.Namespace) -> int:
+    """The ``checkpoint`` command: compact the chain at the current head.
+
+    Loads the head snapshot, verifies it against the recorded chain (a
+    stale input file must never checkpoint the wrong state), persists the
+    full database through the store's snapshot entries and marks the
+    chain position in the catalog.  Later deep ``as_of`` replays — by any
+    process sharing the store — start at this checkpoint.
+    """
+    from .engine import SolverPool
+    from .store import SnapshotCatalog
+
+    database, keys = _load_instance(arguments)
+    try:
+        chain = SnapshotCatalog(arguments.persist_cache).lineage(arguments.name)
+        head = chain.head
+        if head is None:
+            # A typo'd name must not pollute the catalog with a new chain.
+            raise ReproError(
+                f"no recorded lineage for {arguments.name!r} in "
+                f"{arguments.persist_cache}"
+            )
+        if (
+            database.content_digest(),
+            keys.content_digest(),
+        ) != (head.digest, head.keys_digest):
+            raise ReproError(
+                f"the provided snapshot ({database.content_digest()[:12]}) "
+                f"is not the recorded head of {arguments.name!r} "
+                f"({head.digest[:12]}); pass the current head database"
+            )
+        pool = SolverPool(persist_dir=arguments.persist_cache)
+        pool.register(arguments.name, database, keys)
+        record = pool.checkpoint(arguments.name)
+        if record is None:
+            raise ReproError(
+                f"the snapshot of {arguments.name!r} could not be persisted"
+            )
+    except ReproError as exc:
+        print(f"checkpoint: {exc}", file=sys.stderr)
+        return 2
+    print(f"checkpointed: #{record.sequence} {record.digest}")
+    print(f"checkpoints: {len(pool.checkpoints(arguments.name))}")
     return 0
 
 
@@ -551,6 +670,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "rollback":
         return _run_rollback(arguments)
+
+    if arguments.command == "checkpoint":
+        return _run_checkpoint(arguments)
 
     if arguments.command == "update":
         return _run_update(arguments)

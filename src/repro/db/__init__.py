@@ -11,7 +11,7 @@ from .constraints import KeyConstraint, KeyValue, PrimaryKeySet
 from .database import Database
 from .delta import Delta
 from .facts import Constant, Fact, fact
-from .lineage import LINEAGE_KINDS, Lineage, LineageRecord
+from .lineage import LINEAGE_KINDS, CheckpointRecord, Lineage, LineageRecord
 from .io import (
     database_from_json,
     database_to_json,
@@ -25,6 +25,7 @@ from .schema import RelationSchema, Schema
 __all__ = [
     "Block",
     "BlockDecomposition",
+    "CheckpointRecord",
     "Constant",
     "Database",
     "Delta",

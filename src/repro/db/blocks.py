@@ -133,7 +133,7 @@ class BlockDecomposition:
         """Rehydrate a decomposition from an already-ordered block sequence.
 
         This is the persistence hook: the on-disk decomposition cache
-        (:class:`~repro.engine.persist.DecompositionDiskCache`) stores only
+        (:class:`~repro.store.DecompositionDiskCache`) stores only
         the blocks and reattaches the caller's (database, keys) pair at
         load time.  The blocks must be exactly the blocks of ``(database,
         keys)`` in ``≺_{D,Σ}`` order — which content addressing guarantees

@@ -18,6 +18,14 @@ verification is what makes time travel safe on top of a merely
 corruption-*tolerant* store: a damaged history can refuse to replay, but
 it can never fabricate a snapshot.
 
+Long chains are compacted with **checkpoints**: a
+:class:`CheckpointRecord` marks a chain position whose full database
+snapshot has been persisted (through the store's snapshot entries), and
+:meth:`Lineage.materialise` accepts a mapping of checkpointed digests to
+lazy snapshot loaders — it then replays from the *closest* materialised
+source (the head or any loadable checkpoint), so resolution cost is
+``O(distance to the nearest checkpoint)`` instead of ``O(chain length)``.
+
 The engine records lineage on ``register``/``apply_delta``
 (:class:`~repro.engine.SolverPool`), persists it through the snapshot
 catalog (:class:`~repro.store.catalog.SnapshotCatalog`) and serves
@@ -29,13 +37,29 @@ from __future__ import annotations
 import string
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..errors import LineageError
 from .database import Database
 from .delta import Delta
 
-__all__ = ["LineageRecord", "Lineage", "LINEAGE_KINDS"]
+__all__ = ["CheckpointRecord", "LineageRecord", "Lineage", "LINEAGE_KINDS"]
+
+#: A lazy snapshot source for checkpoint-aware replay: digest -> loader.
+#: A loader returns the checkpointed database, or ``None`` when its stored
+#: entry is missing or damaged (the replay then falls back to the next
+#: closest source — a lost checkpoint makes resolution slower, never wrong).
+CheckpointLoaders = Mapping[str, Callable[[], Optional[Database]]]
 
 #: How a record entered the chain: a (re-)registration, an incremental
 #: delta, or a rollback re-registering an ancestor as the head.
@@ -116,6 +140,49 @@ class LineageRecord:
             payload["inserted"] = len(self.delta.inserted)
             payload["deleted"] = len(self.delta.deleted)
         return payload
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """A chain position whose full snapshot is persisted for fast replay.
+
+    A checkpoint does not move the head and is not part of the record
+    chain; it *annotates* an existing record (same ``name``/``sequence``/
+    ``digest``) and promises that the database of that digest can be
+    loaded whole from the store's snapshot entries, so replay can start
+    there instead of at the chain origin or the live head.
+
+    >>> CheckpointRecord("live", 2, "a" * 64, "b" * 64, 0.0).sequence
+    2
+    """
+
+    name: str
+    sequence: int
+    digest: str
+    keys_digest: str
+    wall_time: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LineageError("a checkpoint record needs a non-empty name")
+        if self.sequence < 0:
+            raise LineageError(f"negative checkpoint sequence: {self.sequence}")
+        if not self.digest or not self.keys_digest:
+            raise LineageError("a checkpoint record needs both digests")
+
+    @property
+    def token(self) -> Tuple[str, str]:
+        """The snapshot token of the checkpointed state."""
+        return (self.digest, self.keys_digest)
+
+    def to_json(self) -> Dict[str, object]:
+        """The record as a JSON-able dict (CLI and probe output)."""
+        return {
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "keys_digest": self.keys_digest,
+            "wall_time": self.wall_time,
+        }
 
 
 class Lineage:
@@ -244,23 +311,100 @@ class Lineage:
     # ------------------------------------------------------------------ #
     # replay
     # ------------------------------------------------------------------ #
-    def materialise(self, database: Database, target_digest: str) -> Database:
-        """Reconstruct the snapshot ``target_digest`` from ``database``.
+    def materialise(
+        self,
+        database: Database,
+        target_digest: str,
+        checkpoints: Optional[CheckpointLoaders] = None,
+    ) -> Database:
+        """Reconstruct the snapshot ``target_digest`` from the closest source.
 
         ``database`` may be *any* materialised snapshot whose digest
         appears on (or connects to) the chain — in practice the head.  The
         recorded delta records form a graph over digests; each edge can be
         walked forwards (apply the delta) or backwards (apply its
-        inverse, exact because recorded deltas are effective).  The
-        shortest connecting path is replayed and the result's
-        ``content_digest`` is checked against ``target_digest`` — a
-        corrupt or incomplete history fails loudly instead of producing a
-        wrong database.
+        inverse, exact because recorded deltas are effective).
+
+        ``checkpoints`` optionally maps checkpointed digests to lazy
+        snapshot loaders (see :data:`CheckpointLoaders`).  Replay then
+        starts from the **closest** available source — the provided
+        database or any loadable checkpoint — so resolving a deep
+        reference on a long, checkpointed chain replays
+        ``O(distance to the nearest checkpoint)`` deltas instead of the
+        whole chain.  A loader returning ``None`` (missing or damaged
+        snapshot entry) simply demotes that checkpoint; the next closest
+        source is used instead.
+
+        Whatever the source, the result's ``content_digest`` is checked
+        against ``target_digest`` — a corrupt or incomplete history fails
+        loudly instead of producing a wrong database.
         """
         source_digest = database.content_digest()
         if source_digest == target_digest:
             return database
 
+        edges = self._delta_edges()
+        # One BFS *from the target* ranks the possible sources by replay
+        # distance; it settles predecessor pointers (not whole paths) and
+        # stops as soon as every wanted source is found, so resolving a
+        # near ancestor of a long chain never walks the whole graph.
+        wanted = {source_digest, *(checkpoints or ())}
+        previous, distance = self._search_from(edges, target_digest, wanted)
+
+        candidates: List[Tuple[int, int, str]] = []
+        if source_digest in distance:
+            # Tie-break in favour of the already-materialised database
+            # (rank 0): equal distance, no snapshot entry to load.
+            candidates.append((distance[source_digest], 0, source_digest))
+        for digest in checkpoints or ():
+            if digest in distance and digest != source_digest:
+                candidates.append((distance[digest], 1, digest))
+
+        for _, rank, digest in sorted(candidates):
+            if rank == 0:
+                source: Optional[Database] = database
+            else:
+                source = checkpoints[digest]()  # type: ignore[index]
+                if source is None or source.content_digest() != digest:
+                    continue  # lost/damaged checkpoint: fall back, never fail
+            current = source
+            for delta, forward in self._replay_path(previous, digest):
+                current = current.apply_delta(delta if forward else delta.inverse())
+            if current.content_digest() != target_digest:
+                raise LineageError(
+                    f"replaying the recorded chain of {self._name!r} produced "
+                    f"{current.content_digest()[:12]} instead of "
+                    f"{target_digest[:12]}; the lineage log is corrupt"
+                )
+            return current
+        raise LineageError(
+            f"no recorded delta chain of {self._name!r} connects "
+            f"{source_digest[:12]} to {target_digest[:12]} (history may "
+            f"have been lost, or the snapshots belong to unrelated roots)"
+        )
+
+    def replay_distance(
+        self,
+        source_digest: str,
+        target_digest: str,
+        checkpoints: Optional[CheckpointLoaders] = None,
+    ) -> Optional[int]:
+        """How many deltas :meth:`materialise` would replay, or ``None``.
+
+        The cost model of checkpoint compaction, queryable without doing
+        the work: the shortest delta distance from ``target_digest`` to
+        ``source_digest`` or to any checkpointed digest (loaders are *not*
+        invoked — a lost snapshot entry may make the real replay longer).
+        """
+        if source_digest == target_digest:
+            return 0
+        wanted = {source_digest, *(checkpoints or ())}
+        _, distance = self._search_from(self._delta_edges(), target_digest, wanted)
+        found = [distance[digest] for digest in wanted if digest in distance]
+        return min(found) if found else None
+
+    def _delta_edges(self) -> Dict[str, List[Tuple[str, Delta, bool]]]:
+        """The bidirectional digest graph of the recorded delta records."""
         edges: Dict[str, List[Tuple[str, Delta, bool]]] = {}
         for record in self._records:
             if record.kind != "delta" or record.delta is None:
@@ -272,47 +416,58 @@ class Lineage:
             edges.setdefault(record.digest, []).append(
                 (record.parent_digest, record.delta, False)
             )
-
-        path = self._shortest_path(edges, source_digest, target_digest)
-        if path is None:
-            raise LineageError(
-                f"no recorded delta chain of {self._name!r} connects "
-                f"{source_digest[:12]} to {target_digest[:12]} (history may "
-                f"have been lost, or the snapshots belong to unrelated roots)"
-            )
-        current = database
-        for delta, forward in path:
-            current = current.apply_delta(delta if forward else delta.inverse())
-        if current.content_digest() != target_digest:
-            raise LineageError(
-                f"replaying the recorded chain of {self._name!r} produced "
-                f"{current.content_digest()[:12]} instead of "
-                f"{target_digest[:12]}; the lineage log is corrupt"
-            )
-        return current
+        return edges
 
     @staticmethod
-    def _shortest_path(
+    def _search_from(
         edges: Dict[str, List[Tuple[str, Delta, bool]]],
-        source: str,
-        target: str,
-    ) -> Optional[Tuple[Tuple[Delta, bool], ...]]:
-        """Breadth-first search over the digest graph; ``None`` if unreachable."""
-        seen = {source}
-        queue: "deque[Tuple[str, Tuple[Tuple[Delta, bool], ...]]]" = deque(
-            [(source, ())]
-        )
-        while queue:
-            digest, path = queue.popleft()
+        start: str,
+        wanted: Set[str],
+    ) -> Tuple[Dict[str, Tuple[str, Delta, bool]], Dict[str, int]]:
+        """BFS from ``start``: predecessor pointers and hop distances.
+
+        Stores O(1) per settled digest (parent pointer + distance), not a
+        path — paths are reconstructed on demand by :meth:`_replay_path`
+        for the one candidate actually replayed — and stops as soon as
+        every digest in ``wanted`` has been settled, so a near source on
+        a long chain costs its distance, not the chain length.
+        """
+        previous: Dict[str, Tuple[str, Delta, bool]] = {}
+        distance: Dict[str, int] = {start: 0}
+        remaining = set(wanted) - {start}
+        queue: "deque[str]" = deque([start])
+        while queue and remaining:
+            digest = queue.popleft()
             for neighbour, delta, forward in edges.get(digest, ()):
-                if neighbour in seen:
+                if neighbour in distance:
                     continue
-                extended = path + ((delta, forward),)
-                if neighbour == target:
-                    return extended
-                seen.add(neighbour)
-                queue.append((neighbour, extended))
-        return None
+                # In an unweighted BFS the distance is final at discovery.
+                distance[neighbour] = distance[digest] + 1
+                previous[neighbour] = (digest, delta, forward)
+                remaining.discard(neighbour)
+                queue.append(neighbour)
+        return previous, distance
+
+    @staticmethod
+    def _replay_path(
+        previous: Dict[str, Tuple[str, Delta, bool]],
+        source: str,
+    ) -> List[Tuple[Delta, bool]]:
+        """The edges to replay from ``source`` back to the BFS start.
+
+        ``previous[child] = (parent, delta, forward)`` records that BFS
+        reached ``child`` from ``parent`` by traversing the delta with
+        ``forward`` orientation; replaying source->start walks each edge
+        the *other* way, so every orientation flips — and because the
+        walk itself runs source->start, the flipped edges are already in
+        replay order.
+        """
+        steps: List[Tuple[Delta, bool]] = []
+        digest = source
+        while digest in previous:
+            digest, delta, forward = previous[digest]
+            steps.append((delta, not forward))
+        return steps
 
     def __repr__(self) -> str:
         head = self.head.digest[:12] if self.head else "<empty>"

@@ -8,6 +8,23 @@ a workload of J jobs over D databases and Q distinct queries pays
 ``O(J)`` preparations where ``O(D + D·Q)`` suffice.  This package provides
 the serving shape.
 
+Layering
+--------
+The engine core is four modules, stacked; :class:`SolverPool`
+(:mod:`repro.engine.pool`) is the thin public facade over all of them:
+
+================================  =========================================
+module                            owns
+================================  =========================================
+:mod:`repro.engine.registry`      name -> frozen snapshot state and tokens
+:mod:`repro.engine.cache_coordinator`  every cache layer (memory + disk),
+                                  GC, pinning, migration, statistics
+:mod:`repro.engine.lineage_service`  history recording, ``as_of``
+                                  materialisation, rollback, checkpoints
+:mod:`repro.engine.executor`      jobs, deltas, batch/stream scheduling,
+                                  worker fan-out
+================================  =========================================
+
 Caching model
 -------------
 :class:`SolverPool` keeps three bounded LRU layers, each memoising a pure
@@ -67,6 +84,8 @@ processes.  The cross-method equivalence harness
 
 from ..store import DecompositionDiskCache, SelectorDiskCache
 from .cache import LRUCache
+from .cache_coordinator import CacheCoordinator
+from .executor import JobExecutor
 from .jobfile import load_job_file, parse_job_document, parse_stream_item
 from .jobs import (
     BATCH_METHODS,
@@ -78,17 +97,23 @@ from .jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
+from .lineage_service import LineageService
 from .pool import SolverPool
+from .registry import SnapshotRegistry
 
 __all__ = [
     "BATCH_METHODS",
     "CACHE_LAYERS",
     "BatchReport",
+    "CacheCoordinator",
     "CountJob",
     "DecompositionDiskCache",
+    "JobExecutor",
     "JobResult",
     "LRUCache",
+    "LineageService",
     "SelectorDiskCache",
+    "SnapshotRegistry",
     "SolverPool",
     "UpdateJob",
     "UpdateReport",

@@ -1,0 +1,422 @@
+"""The cache coordinator: every cache layer of the engine, in one place.
+
+One :class:`CacheCoordinator` owns the engine's derived-state layers and
+nothing else — no registry, no history, no job execution:
+
+in-memory (bounded LRU)
+    ``query`` (parsed ASTs), ``decomposition`` (block decompositions by
+    snapshot token), ``selectors`` (prepared certificates by (token,
+    query, answer)), plus the materialised-ancestor cache time travel
+    fills;
+on disk (content-addressed, GC'd, pinned)
+    ``selectors-disk`` and ``decomposition-disk`` mirrors of the two
+    expensive layers, the checkpoint snapshot entries
+    (:class:`~repro.store.SnapshotStore`), and the snapshot catalog the
+    lineage service records history through — all sharing one
+    ``persist_dir``.
+
+The coordinator implements read-through/write-through between the memory
+and disk layers (with provenance labels so job results can report which
+layer actually served them), the selector **migration** walk that keeps
+entries warm across deltas, deferred-startup garbage collection, pinning
+of live snapshot tokens, and the recomputation counters the warm-restart
+guarantees are stated in terms of.
+
+>>> coordinator = CacheCoordinator(max_databases=4, max_queries=8, max_prepared=8)
+>>> query, hit = coordinator.query("EXISTS x. R(1, x)", ())
+>>> coordinator.query("EXISTS x. R(1, x)", ())[1]  # second parse is a hit
+True
+>>> sorted(coordinator.cache_stats())
+['decomposition', 'query', 'selectors']
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set, Tuple, Union
+
+from ..db.blocks import BlockDecomposition
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..lams.selectors import Selector
+from ..query.ast import Query
+from ..query.parser import parse_query
+from ..query.rewriting import UCQ
+from ..repairs.counting import PreparedCertificates, prepare_certificates
+from ..store import (
+    DecompositionDiskCache,
+    SelectorDiskCache,
+    SnapshotCatalog,
+    SnapshotStore,
+)
+from .cache import LRUCache
+from .registry import SnapshotToken
+
+__all__ = ["CacheCoordinator"]
+
+
+def _ucq_relations(ucq: UCQ) -> Set[str]:
+    """Every relation an atom of the UCQ may map into."""
+    return {
+        atom.relation for disjunct in ucq.disjuncts for atom in disjunct.atoms
+    }
+
+
+class CacheCoordinator:
+    """Owns the engine's cache layers; see the module docstring."""
+
+    def __init__(
+        self,
+        max_databases: int = 32,
+        max_queries: int = 256,
+        max_prepared: int = 1024,
+        persist_dir: Optional[Union[str, Path]] = None,
+        persist_max_entries: Optional[int] = None,
+        persist_max_age: Optional[float] = None,
+    ) -> None:
+        self._decompositions: LRUCache[BlockDecomposition] = LRUCache(max_databases)
+        self._queries: LRUCache[Query] = LRUCache(max_queries)
+        self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
+        #: Materialised historical snapshots, keyed by snapshot token.
+        self._snapshots: LRUCache[Database] = LRUCache(max_databases)
+        self._selector_store: Optional[SelectorDiskCache] = None
+        self._decomposition_store: Optional[DecompositionDiskCache] = None
+        self._snapshot_store: Optional[SnapshotStore] = None
+        self._catalog: Optional[SnapshotCatalog] = None
+        if persist_dir is not None:
+            # Startup GC is deferred (collect_on_init=False) until the
+            # first job runs: by then every registered name has pinned its
+            # live token, so the startup collection — like every other one
+            # — can never evict active state.
+            self._selector_store = SelectorDiskCache(
+                persist_dir, persist_max_entries, persist_max_age,
+                collect_on_init=False,
+            )
+            self._decomposition_store = DecompositionDiskCache(
+                persist_dir, persist_max_entries, persist_max_age,
+                collect_on_init=False,
+            )
+            self._snapshot_store = SnapshotStore(
+                persist_dir, persist_max_entries, persist_max_age,
+                collect_on_init=False,
+            )
+            self._catalog = SnapshotCatalog(persist_dir)
+        self._startup_gc_pending = (
+            persist_dir is not None
+            and (persist_max_entries is not None or persist_max_age is not None)
+        )
+        self.selector_recomputations = 0
+        self.decomposition_recomputations = 0
+
+    # ------------------------------------------------------------------ #
+    # the persistent substrate (shared with the lineage service)
+    # ------------------------------------------------------------------ #
+    @property
+    def catalog(self) -> Optional[SnapshotCatalog]:
+        """The snapshot catalog living in the same store, if persistent."""
+        return self._catalog
+
+    @property
+    def persist_directory(self) -> Optional[Path]:
+        """The store directory (worker processes re-open it), or ``None``."""
+        if self._selector_store is None:
+            return None
+        return self._selector_store.directory
+
+    @property
+    def has_snapshot_store(self) -> bool:
+        """True iff checkpoint snapshots can be persisted."""
+        return self._snapshot_store is not None
+
+    # ------------------------------------------------------------------ #
+    # the query layer
+    # ------------------------------------------------------------------ #
+    def query(
+        self, text: str, answer_variables: Tuple[str, ...]
+    ) -> Tuple[Query, bool]:
+        """The parsed AST of a textual query; ``(value, was_hit)``."""
+        return self._queries.get_or_compute(
+            (text, answer_variables),
+            lambda: parse_query(text, answer_variables=list(answer_variables)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # the decomposition layer
+    # ------------------------------------------------------------------ #
+    def decomposition(
+        self,
+        token: SnapshotToken,
+        database: Database,
+        keys: PrimaryKeySet,
+    ) -> Tuple[BlockDecomposition, str]:
+        """The snapshot's block decomposition, with provenance.
+
+        The provenance label is ``"memory"`` (LRU hit), ``"disk"``
+        (rehydrated from the persistent mirror) or ``"computed"``.
+        """
+        origin: Dict[str, str] = {}
+        value, hit = self._decompositions.get_or_compute(
+            token, lambda: self._build_decomposition(token, database, keys, origin)
+        )
+        return value, ("memory" if hit else origin["source"])
+
+    def _build_decomposition(
+        self,
+        token: SnapshotToken,
+        database: Database,
+        keys: PrimaryKeySet,
+        origin: Dict[str, str],
+    ) -> BlockDecomposition:
+        """Load the snapshot's decomposition from disk, or compute and store it."""
+        if self._decomposition_store is not None:
+            loaded = self._decomposition_store.load(token, database, keys)
+            if loaded is not None:
+                origin["source"] = "disk"
+                return loaded
+        origin["source"] = "computed"
+        self.decomposition_recomputations += 1
+        value = BlockDecomposition(database, keys)
+        if self._decomposition_store is not None:
+            self._decomposition_store.store(token, value)
+        return value
+
+    def put_decomposition(
+        self, token: SnapshotToken, decomposition: BlockDecomposition
+    ) -> None:
+        """Adopt an incrementally-derived decomposition (the delta path).
+
+        Persisted too, so a restart against the *new* snapshot is warm
+        without ever rebuilding it.
+        """
+        self._decompositions.put(token, decomposition)
+        if self._decomposition_store is not None:
+            self._decomposition_store.store(token, decomposition)
+
+    # ------------------------------------------------------------------ #
+    # the selector layer
+    # ------------------------------------------------------------------ #
+    def prepared(
+        self,
+        token: SnapshotToken,
+        query_text: str,
+        answer_variables: Tuple[str, ...],
+        answer: Tuple,
+        database: Database,
+        keys: PrimaryKeySet,
+        query: Query,
+        decomposition: BlockDecomposition,
+    ) -> Tuple[PreparedCertificates, str]:
+        """The (token, query, answer) selector preparation, with provenance."""
+        origin: Dict[str, str] = {}
+
+        def prepare_with_provenance() -> PreparedCertificates:
+            if self._selector_store is not None:
+                loaded = self._selector_store.load(
+                    token, query_text, answer_variables, answer
+                )
+                if loaded is not None:
+                    origin["source"] = "disk"
+                    return loaded
+            origin["source"] = "computed"
+            self.selector_recomputations += 1
+            value = prepare_certificates(
+                database, keys, query, answer, decomposition=decomposition
+            )
+            if self._selector_store is not None:
+                self._selector_store.store(
+                    token, query_text, answer_variables, answer, value
+                )
+            return value
+
+        value, hit = self._prepared.get_or_compute(
+            (token, query_text, answer_variables, answer), prepare_with_provenance
+        )
+        return value, ("memory" if hit else origin["source"])
+
+    def migrate_for_delta(
+        self,
+        old_token: SnapshotToken,
+        new_token: SnapshotToken,
+        old_decomposition: BlockDecomposition,
+        new_decomposition: BlockDecomposition,
+        inserted_relations: Set[str],
+        deleted_unkeyed_relations: Set[str],
+        deleted_keys: Set,
+    ) -> Tuple[int, int, int]:
+        """Walk the selector cache across a delta; (kept, migrated, dropped).
+
+        Entries of other snapshots are *kept* untouched; entries of the
+        old snapshot are *migrated* — remapped to the new decomposition's
+        coordinates and re-persisted under the new token — unless the
+        delta could actually change their certificates, in which case
+        they are *dropped* for recomputation.
+        """
+        kept = migrated = dropped = 0
+        for key, prepared in self._prepared.items():
+            if key[0] != old_token:
+                kept += 1
+                continue
+            remapped = self._migrate_prepared(
+                prepared,
+                old_decomposition,
+                new_decomposition,
+                inserted_relations,
+                deleted_unkeyed_relations,
+                deleted_keys,
+            )
+            self._prepared.discard(key)
+            if remapped is None:
+                dropped += 1
+                continue
+            migrated += 1
+            new_key = (new_token,) + key[1:]
+            self._prepared.put(new_key, remapped)
+            if self._selector_store is not None:
+                query_text, answer_variables, answer = key[1:]
+                self._selector_store.store(
+                    new_token, query_text, answer_variables, answer, remapped
+                )
+        return kept, migrated, dropped
+
+    @staticmethod
+    def _migrate_prepared(
+        prepared: PreparedCertificates,
+        old_decomposition: BlockDecomposition,
+        new_decomposition: BlockDecomposition,
+        inserted_relations: Set[str],
+        deleted_unkeyed_relations: Set[str],
+        deleted_keys: Set,
+    ) -> Optional[PreparedCertificates]:
+        """Remap one selector entry to the new snapshot, or None to drop it.
+
+        Soundness argument: certificates are homomorphisms into facts of the
+        UCQ's relations whose image is key-consistent, and their selectors
+        pin exactly the image facts of *keyed* relations.  If the delta
+        inserts nothing into the UCQ's relations, no new certificate can
+        appear; if it deletes nothing from a pinned block nor from an
+        un-keyed UCQ relation, no existing certificate can disappear and no
+        pinned fact can change its position inside its block.  The only
+        thing left to fix up is that block *indices* shift globally when
+        blocks are inserted or removed — hence the coordinate remap.
+        """
+        relations = _ucq_relations(prepared.ucq)
+        if inserted_relations & relations:
+            return None
+        if deleted_unkeyed_relations & relations:
+            return None
+        pinned_keys = {
+            old_decomposition[coordinate].key_value
+            for selector in prepared.selectors
+            for coordinate, _ in selector.pins
+        }
+        if pinned_keys & deleted_keys:
+            return None
+
+        remap: Dict[int, int] = {}
+        for key_value in pinned_keys:
+            old_index = old_decomposition.index_for_key(key_value)
+            new_index = new_decomposition.index_for_key(key_value)
+            if old_index is None or new_index is None:  # pragma: no cover
+                return None  # defensive: pinned block vanished unexpectedly
+            remap[old_index] = new_index
+        remapped_selectors = tuple(
+            Selector({remap[index]: element for index, element in selector.pins})
+            for selector in prepared.selectors
+        )
+        return PreparedCertificates(
+            prepared.ucq, remapped_selectors, prepared.certificate_count
+        )
+
+    # ------------------------------------------------------------------ #
+    # materialised ancestors and checkpoint snapshots
+    # ------------------------------------------------------------------ #
+    def remember_snapshot(self, token: SnapshotToken, database: Database) -> None:
+        """Keep a displaced head materialised for near-term time travel."""
+        self._snapshots.put(token, database)
+
+    def materialised(self, token: SnapshotToken, factory) -> Database:
+        """The cached materialisation of ``token``, computing on a miss."""
+        value, _ = self._snapshots.get_or_compute(token, factory)
+        return value
+
+    def store_checkpoint(self, token: SnapshotToken, database: Database) -> bool:
+        """Persist a full checkpoint snapshot; False without a store or on I/O."""
+        if self._snapshot_store is None:
+            return False
+        return self._snapshot_store.store(token, database)
+
+    def load_checkpoint(self, token: SnapshotToken) -> Optional[Database]:
+        """Load (and digest-verify) a checkpoint snapshot, or ``None``."""
+        if self._snapshot_store is None:
+            return None
+        return self._snapshot_store.load(token)
+
+    def has_checkpoint(self, token: SnapshotToken) -> bool:
+        """Cheap existence probe for a checkpoint snapshot entry."""
+        if self._snapshot_store is None:
+            return False
+        return self._snapshot_store.contains(token)
+
+    # ------------------------------------------------------------------ #
+    # invalidation, pinning, garbage collection
+    # ------------------------------------------------------------------ #
+    def drop_token(self, token: SnapshotToken) -> None:
+        """Drop all cached in-memory state derived from one snapshot."""
+        self._decompositions.discard(token)
+        self._prepared.discard_where(lambda key: key[0] == token)
+
+    def set_pinned_tokens(self, tokens: Iterable[SnapshotToken]) -> None:
+        """Pin the live snapshot tokens against disk-cache GC."""
+        live = set(tokens)
+        for store in self._disk_layers().values():
+            store.set_pinned_tokens(live)
+
+    def _disk_layers(self) -> Dict[str, object]:
+        layers: Dict[str, object] = {}
+        if self._selector_store is not None:
+            layers["selectors-disk"] = self._selector_store
+        if self._decomposition_store is not None:
+            layers["decomposition-disk"] = self._decomposition_store
+        if self._snapshot_store is not None:
+            layers["snapshots-disk"] = self._snapshot_store
+        return layers
+
+    def run_startup_gc(self) -> None:
+        """Run the deferred startup collection, once, pins in place."""
+        if self._startup_gc_pending:
+            self.collect_garbage()
+
+    def collect_garbage(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Run GC on every on-disk layer; per-layer eviction counts."""
+        self._startup_gc_pending = False
+        return {
+            layer: store.collect_garbage(max_entries, max_age_seconds)  # type: ignore[attr-defined]
+            for layer, store in self._disk_layers().items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Lifetime statistics of every layer, in-memory and on-disk."""
+        stats = {
+            "query": self._queries.stats(),
+            "decomposition": self._decompositions.stats(),
+            "selectors": self._prepared.stats(),
+        }
+        for layer, store in self._disk_layers().items():
+            stats[layer] = store.stats()  # type: ignore[attr-defined]
+        return stats
+
+    def __repr__(self) -> str:
+        persistent = self.persist_directory
+        return (
+            f"CacheCoordinator(queries={len(self._queries)}, "
+            f"decompositions={len(self._decompositions)}, "
+            f"selectors={len(self._prepared)}, "
+            f"persist={str(persistent) if persistent else None})"
+        )

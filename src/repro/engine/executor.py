@@ -1,0 +1,411 @@
+"""The job executor: running counts and deltas over the engine core.
+
+The top layer of the engine core.  A :class:`JobExecutor` turns the three
+state layers below it — the snapshot registry, the cache coordinator and
+the lineage service — into answered jobs:
+
+* :meth:`run_job` executes one :class:`~repro.engine.jobs.CountJob`
+  against the caches (resolving ``as_of`` references through the lineage
+  service, checkpoints included);
+* :meth:`apply_delta` derives the next snapshot incrementally, migrates
+  the selector cache across it and records the lineage step (cutting an
+  automatic checkpoint when the compaction interval is due);
+* :meth:`run` / :meth:`run_stream` schedule batches and interleaved
+  count/update streams — contiguous count segments may fan out to a
+  primed process pool, updates run in the parent in stream order, and
+  results are **bit-identical** to a sequential run either way.
+
+Worker plumbing lives here too: workers are primed once with the
+registered databases and the parent's lineage chains (via the pool
+initializer, so databases are pickled once per worker, not once per job)
+and rebuild their caches locally, sharing only the content-addressed
+persistent store.
+
+>>> from repro.db import Database, PrimaryKeySet, fact
+>>> from repro.engine.cache_coordinator import CacheCoordinator
+>>> from repro.engine.jobs import CountJob
+>>> from repro.engine.lineage_service import LineageService
+>>> from repro.engine.registry import SnapshotRegistry
+>>> registry, caches = SnapshotRegistry(), CacheCoordinator()
+>>> lineage = LineageService(registry, caches)
+>>> executor = JobExecutor(registry, caches, lineage)
+>>> token, _ = registry.register(
+...     "hr", Database([fact("R", 1, "a"), fact("R", 1, "b")]),
+...     PrimaryKeySet.from_dict({"R": [1]}))
+>>> lineage.record_head("hr", token, kind="register")
+>>> result = executor.run_job(CountJob(database="hr", query="EXISTS x. R(1, x)"))
+>>> (result.satisfying, result.total)
+(2, 2)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.solver import count_query
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.delta import Delta
+from ..db.lineage import Lineage
+from ..errors import EngineError
+from ..query.classify import is_existential_positive
+from ..repairs.counting import PreparedCertificates
+from .cache_coordinator import CacheCoordinator
+from .jobs import (
+    BatchReport,
+    CountJob,
+    JobResult,
+    UpdateJob,
+    UpdateReport,
+    aggregate_cache_stats,
+)
+from .lineage_service import LineageService
+from .registry import SnapshotRegistry, SnapshotToken
+
+__all__ = ["JobExecutor"]
+
+
+class JobExecutor:
+    """Executes jobs, deltas and streams over the engine's state layers."""
+
+    def __init__(
+        self,
+        registry: SnapshotRegistry,
+        caches: CacheCoordinator,
+        lineage: LineageService,
+        workers: Optional[int] = None,
+    ) -> None:
+        self._registry = registry
+        self._caches = caches
+        self._lineage = lineage
+        self._workers = workers
+
+    # ------------------------------------------------------------------ #
+    # single-job execution
+    # ------------------------------------------------------------------ #
+    def run_job(
+        self,
+        job: CountJob,
+        index: int = 0,
+        component_executor: Optional[Executor] = None,
+        worker_label: str = "sequential",
+    ) -> JobResult:
+        """Run one job against the caches and return its result.
+
+        ``component_executor`` optionally parallelises the decomposed
+        union-of-boxes count across connected components (useful for one
+        huge exact job; batches parallelise across jobs instead).  A job
+        carrying ``as_of`` runs against the referenced *historical*
+        snapshot, materialised through the lineage service (nearest
+        checkpoint or head) and served through the ordinary token-keyed
+        caches.
+        """
+        started = time.perf_counter()
+        self._caches.run_startup_gc()
+        database, keys = self._registry.lookup(job.database)
+        token = self._registry.token(job.database)
+        if job.as_of is not None:
+            database, keys, token = self._lineage.materialise(job.database, job.as_of)
+        hits: List[str] = []
+        misses: List[str] = []
+
+        query, query_hit = self._caches.query(job.query, job.answer_variables)
+        (hits if query_hit else misses).append("query")
+
+        decomposition, source = self._caches.decomposition(token, database, keys)
+        if source == "memory":
+            hits.append("decomposition")
+        elif source == "disk":
+            hits.append("decomposition-disk")
+        else:
+            misses.append("decomposition")
+
+        prepared: Optional[PreparedCertificates] = None
+        if job.method != "naive" and is_existential_positive(query):
+            prepared, source = self._caches.prepared(
+                token,
+                job.query,
+                job.answer_variables,
+                job.answer,
+                database,
+                keys,
+                query,
+                decomposition,
+            )
+            if source == "memory":
+                hits.append("selectors")
+            elif source == "disk":
+                hits.append("selectors-disk")
+            else:
+                misses.append("selectors")
+
+        map_fn = component_executor.map if component_executor is not None else None
+        result = count_query(
+            database,
+            keys,
+            query,
+            answer=job.answer,
+            method=job.method,
+            epsilon=job.epsilon,
+            delta=job.delta,
+            rng=job.effective_seed(index) if job.is_randomised else None,
+            decomposition=decomposition,
+            prepared=prepared,
+            map_fn=map_fn,
+        )
+        return JobResult(
+            index=index,
+            job=job,
+            satisfying=result.satisfying,
+            total=result.total,
+            method=result.method,
+            is_estimate=result.is_estimate,
+            elapsed=time.perf_counter() - started,
+            cache_hits=tuple(hits),
+            cache_misses=tuple(misses),
+            worker=worker_label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, name: str, delta: Delta) -> UpdateReport:
+        """Update the snapshot of ``name`` in place of a re-registration.
+
+        The database and its block decomposition are updated incrementally
+        (cost proportional to the touched blocks, not the database), the
+        selector cache is *walked, not dropped* (see
+        :meth:`CacheCoordinator.migrate_for_delta`), the effective delta
+        is recorded as a lineage step, and — when the pool was configured
+        with ``checkpoint_every`` — a compaction checkpoint is cut once
+        enough effective deltas have accumulated.
+        """
+        started = time.perf_counter()
+        self._caches.run_startup_gc()
+        database, keys = self._registry.lookup(name)
+        old_token = self._registry.token(name)
+        old_decomposition, _ = self._caches.decomposition(old_token, database, keys)
+
+        new_database = database.apply_delta(delta)
+        new_decomposition = old_decomposition.apply_delta(delta, database=new_database)
+        new_token: SnapshotToken = (
+            new_database.content_digest(),
+            keys.content_digest(),
+        )
+
+        really_inserted, really_deleted = delta.effective_against(database)
+        inserted_relations = {item.relation for item in really_inserted}
+        deleted_unkeyed_relations = {
+            item.relation for item in really_deleted if not keys.has_key(item.relation)
+        }
+        deleted_keys = {keys.key_value(item) for item in really_deleted}
+        touched_keys = {
+            keys.key_value(item) for item in really_inserted + really_deleted
+        }
+
+        kept, migrated, dropped = self._caches.migrate_for_delta(
+            old_token,
+            new_token,
+            old_decomposition,
+            new_decomposition,
+            inserted_relations,
+            deleted_unkeyed_relations,
+            deleted_keys,
+        )
+
+        self._caches.put_decomposition(new_token, new_decomposition)
+        # The old snapshot stays materialised — and its decomposition stays
+        # in the (LRU-bounded) cache — for time travel: the head is about
+        # to move, making it an ``as_of``-reachable ancestor.
+        self._caches.remember_snapshot(old_token, database)
+        self._registry.set_head(name, new_database, keys, new_token)
+        if new_token != old_token:
+            # Record the *effective* core, which is exactly invertible —
+            # the property lineage replay (both directions) relies on.
+            self._lineage.record_head(
+                name,
+                new_token,
+                kind="delta",
+                delta=Delta(inserted=really_inserted, deleted=really_deleted),
+            )
+            self._lineage.maybe_checkpoint(name)
+
+        return UpdateReport(
+            database=name,
+            old_digest=old_token[0],
+            new_digest=new_token[0],
+            inserted=len(really_inserted),
+            deleted=len(really_deleted),
+            touched_blocks=len(touched_keys),
+            blocks_before=len(old_decomposition),
+            blocks_after=len(new_decomposition),
+            selectors_kept=kept,
+            selectors_migrated=migrated,
+            selectors_dropped=dropped,
+            elapsed=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # batch and stream scheduling
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        jobs: Iterable[CountJob],
+        workers: Optional[int] = None,
+    ) -> BatchReport:
+        """Run a batch of jobs and return the aggregated report."""
+        job_list = list(jobs)
+        workers = self._resolve_workers(workers)
+        started = time.perf_counter()
+        results, workers = self._run_segment(job_list, workers, first_index=0)
+        elapsed = time.perf_counter() - started
+        return BatchReport(
+            results=tuple(results),
+            elapsed=elapsed,
+            workers=workers,
+            cache_stats=aggregate_cache_stats(results),
+        )
+
+    def run_stream(
+        self,
+        items: Iterable[Union[CountJob, UpdateJob]],
+        workers: Optional[int] = None,
+    ) -> BatchReport:
+        """Run a stream that interleaves count jobs with delta updates.
+
+        Stream order is the semantics: every count job observes exactly the
+        snapshots produced by the updates before it.  Contiguous runs of
+        count jobs form segments that may fan out to worker processes;
+        updates execute in the parent between segments via
+        :meth:`apply_delta`.  Indices in the returned report are positions
+        in the original stream (updates included).
+        """
+        item_list = list(items)
+        workers = self._resolve_workers(workers)
+        started = time.perf_counter()
+        results: List[JobResult] = []
+        updates: List[UpdateReport] = []
+        used_workers = 1
+
+        segment: List[Tuple[int, CountJob]] = []
+
+        def flush_segment() -> None:
+            nonlocal used_workers
+            if not segment:
+                return
+            jobs = [job for _, job in segment]
+            segment_results, segment_workers = self._run_segment(
+                jobs, workers, first_index=segment[0][0]
+            )
+            used_workers = max(used_workers, segment_workers)
+            results.extend(segment_results)
+            segment.clear()
+
+        for index, item in enumerate(item_list):
+            if isinstance(item, UpdateJob):
+                flush_segment()
+                report = self.apply_delta(item.database, item.delta)
+                updates.append(replace(report, index=index, label=item.label))
+            elif isinstance(item, CountJob):
+                segment.append((index, item))
+            else:
+                raise EngineError(
+                    f"stream items must be CountJob or UpdateJob, "
+                    f"got {type(item).__name__}"
+                )
+        flush_segment()
+
+        elapsed = time.perf_counter() - started
+        return BatchReport(
+            results=tuple(results),
+            elapsed=elapsed,
+            workers=used_workers,
+            cache_stats=aggregate_cache_stats(results),
+            updates=tuple(updates),
+        )
+
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            workers = self._workers or 1
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def _run_segment(
+        self, job_list: Sequence[CountJob], workers: int, first_index: int
+    ) -> Tuple[List[JobResult], int]:
+        """Run one contiguous run of count jobs, sequentially or fanned out.
+
+        ``first_index`` offsets the job indices so stream positions (and
+        hence derived per-job seeds) are identical between ``run`` and
+        ``run_stream``, sequential and pooled.
+        """
+        indices = range(first_index, first_index + len(job_list))
+        if workers == 1 or len(job_list) <= 1:
+            return (
+                [self.run_job(job, index) for index, job in zip(indices, job_list)],
+                1,
+            )
+        chunksize = max(1, len(job_list) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialise_worker,
+            initargs=(
+                self._registry.snapshot_map(),
+                self._caches.persist_directory,
+                self._lineage.chain_map(),
+            ),
+        ) as executor:
+            results = list(
+                executor.map(
+                    _run_job_in_worker,
+                    zip(indices, job_list),
+                    chunksize=chunksize,
+                )
+            )
+        return results, workers
+
+
+# ---------------------------------------------------------------------- #
+# worker-process plumbing
+# ---------------------------------------------------------------------- #
+#: The per-process pool a worker builds from the databases it was primed
+#: with.  Module-level so `executor.map` only ships (index, job) pairs.
+_WORKER_POOL = None
+
+
+def _initialise_worker(
+    databases: Dict[str, Tuple[Database, PrimaryKeySet]],
+    persist_dir: Optional[Path] = None,
+    lineage: Optional[Dict[str, Lineage]] = None,
+) -> None:
+    """Prime a worker process: register every database once, build caches.
+
+    Workers share the parent's persistent store directory (safe: entries
+    are pure functions of their content-hash key and writes are atomic,
+    so concurrent writers merely race to store the same bytes) and adopt
+    the parent's lineage chains so ``as_of`` references resolve in the
+    worker exactly as they would sequentially.
+    """
+    from .pool import SolverPool  # deferred: pool is the layer above us
+
+    global _WORKER_POOL
+    pool = SolverPool(persist_dir=persist_dir)
+    for name, (database, keys) in databases.items():
+        pool.register(name, database, keys)
+    for name, chain in (lineage or {}).items():
+        pool.adopt_lineage(name, chain)
+    _WORKER_POOL = pool
+
+
+def _run_job_in_worker(item: Tuple[int, CountJob]) -> JobResult:
+    """Run one job inside a primed worker process."""
+    index, job = item
+    if _WORKER_POOL is None:  # pragma: no cover - initializer always runs first
+        raise EngineError("worker used before initialisation")
+    return _WORKER_POOL.run_job(index=index, job=job, worker_label=f"pid-{os.getpid()}")

@@ -1,0 +1,322 @@
+"""The lineage service: history recording, time travel and compaction.
+
+Sits between the snapshot registry (which only knows the *heads*) and the
+cache coordinator (which only knows *derived state*): one
+:class:`LineageService` owns the in-memory
+:class:`~repro.db.lineage.Lineage` chains of every registered name,
+records every head move through the snapshot catalog, refreshes the GC
+pin set when heads move, materialises ``as_of`` references, performs
+rollbacks and adoption — and implements **checkpoint compaction**.
+
+Checkpoints bound the replay cost of deep time travel.  Without them,
+materialising an ancestor replays the delta chain all the way from the
+held head (or, offline, from the chain origin) — ``O(chain length)``.
+A checkpoint persists the *full database* of a chain position through the
+store (:class:`~repro.store.SnapshotStore`) and marks the position in the
+catalog; :meth:`LineageService.materialise` then hands those positions to
+:meth:`Lineage.materialise <repro.db.lineage.Lineage.materialise>`, which
+replays from the **closest** source — so resolution is ``O(distance to
+the nearest checkpoint)``.  Checkpoints are cut explicitly
+(:meth:`checkpoint`) or automatically every ``checkpoint_every``
+effective deltas, and a lost or damaged checkpoint entry only ever makes
+replay longer, never wrong (replay stays digest-verified).
+
+>>> from repro.db import Database, PrimaryKeySet, fact
+>>> from repro.engine.cache_coordinator import CacheCoordinator
+>>> from repro.engine.registry import SnapshotRegistry
+>>> registry = SnapshotRegistry()
+>>> service = LineageService(registry, CacheCoordinator())
+>>> db = Database([fact("R", 1, "a")])
+>>> keys = PrimaryKeySet.from_dict({"R": [1]})
+>>> token, _ = registry.register("live", db, keys)
+>>> service.record_head("live", token, kind="register")
+>>> [record.kind for record in service.chain("live")]
+['register']
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..db.delta import Delta
+from ..db.lineage import CheckpointRecord, Lineage, LineageRecord, SnapshotRef
+from ..errors import EngineError, LineageError
+from .cache_coordinator import CacheCoordinator
+from .registry import SnapshotRegistry, SnapshotToken
+
+__all__ = ["LineageService"]
+
+
+class LineageService:
+    """Owns the recorded chains and the checkpoint index of a pool."""
+
+    def __init__(
+        self,
+        registry: SnapshotRegistry,
+        caches: CacheCoordinator,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise EngineError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._registry = registry
+        self._caches = caches
+        self._catalog = caches.catalog
+        self._checkpoint_every = checkpoint_every
+        self._chains: Dict[str, Lineage] = {}
+        #: Per name: digest -> checkpoint record (loaded with the chain).
+        self._checkpoints: Dict[str, Dict[str, CheckpointRecord]] = {}
+
+    # ------------------------------------------------------------------ #
+    # chain access and recording
+    # ------------------------------------------------------------------ #
+    def chain(self, name: str) -> Lineage:
+        """The in-memory chain of ``name``, loading the catalog on first use."""
+        chain = self._chains.get(name)
+        if chain is None:
+            if self._catalog is not None:
+                chain = self._catalog.lineage(name)
+                self._checkpoints[name] = {
+                    record.digest: record
+                    for record in self._catalog.checkpoints(name, chain)
+                }
+            else:
+                chain = Lineage(name)
+            self._chains.setdefault(name, chain)
+        return self._chains[name]
+
+    def lineage(self, name: str) -> Lineage:
+        """The recorded chain of a *registered* name (head last)."""
+        self._registry.lookup(name)
+        return self._chains[name]
+
+    def chain_map(self) -> Dict[str, Lineage]:
+        """A shallow copy of the chains (worker-process priming)."""
+        return dict(self._chains)
+
+    def record_head(
+        self,
+        name: str,
+        token: SnapshotToken,
+        kind: str,
+        delta: Optional[Delta] = None,
+    ) -> None:
+        """Append a lineage record for the new head (and persist it).
+
+        A no-op when the chain already ends at ``token`` — re-registering
+        identical content (including every restart against a persisted
+        catalog) extends nothing.
+        """
+        chain = self.chain(name)
+        head = chain.head
+        if head is not None and (head.digest, head.keys_digest) == token:
+            self.refresh_pins()
+            return
+        record = LineageRecord(
+            name=name,
+            sequence=len(chain),
+            digest=token[0],
+            keys_digest=token[1],
+            parent_digest=head.digest if head is not None else None,
+            kind=kind,
+            delta=delta,
+            wall_time=time.time(),
+        )
+        self._chains[name] = chain.append(record)
+        if self._catalog is not None:
+            self._catalog.append(record)
+        self.refresh_pins()
+
+    def refresh_pins(self) -> None:
+        """Pin the live snapshot tokens (the lineage heads) against GC.
+
+        Disk-cache garbage collection must never evict entries of the
+        *current* snapshot of a registered name — that would force
+        recomputation of active state on the next load.
+        """
+        self._caches.set_pinned_tokens(self._registry.live_tokens())
+
+    def adopt(self, name: str, lineage: Lineage) -> None:
+        """Replace the recorded chain of ``name`` with a richer one.
+
+        Worker processes are primed with the parent pool's chains so that
+        ``as_of`` references resolve identically in fanned-out runs even
+        without a shared catalog.  The chain must belong to ``name`` and
+        end at the currently registered snapshot.
+        """
+        database, keys = self._registry.lookup(name)
+        head = lineage.head
+        if lineage.name != name or head is None:
+            raise EngineError(
+                f"cannot adopt a lineage of {lineage.name!r} for {name!r}"
+            )
+        token = (database.content_digest(), keys.content_digest())
+        if (head.digest, head.keys_digest) != token:
+            raise EngineError(
+                f"adopted lineage of {name!r} ends at {head.digest[:12]}, "
+                f"but the registered snapshot is {token[0][:12]}"
+            )
+        self._chains[name] = lineage
+
+    # ------------------------------------------------------------------ #
+    # time travel
+    # ------------------------------------------------------------------ #
+    def materialise(
+        self, name: str, ref: SnapshotRef
+    ) -> Tuple[Database, PrimaryKeySet, SnapshotToken]:
+        """The (database, keys, token) of a recorded snapshot of ``name``.
+
+        ``ref`` is an ``as_of`` reference (digest, unique ≥8-hex-char
+        prefix, or non-positive chain index).  The head resolves without
+        work; an ancestor is reconstructed by replaying the recorded
+        effective-delta chain from the **closest materialised source** —
+        the head or any checkpoint whose snapshot entry loads (see
+        :meth:`~repro.db.lineage.Lineage.materialise`) — verified against
+        the recorded content digest and cached by token, so repeated
+        historical queries replay nothing.
+        """
+        database, keys = self._registry.lookup(name)
+        chain = self.chain(name)
+        record = chain.resolve(ref)
+        token = (record.digest, record.keys_digest)
+        if token == self._registry.token(name):
+            return database, keys, token
+        if record.keys_digest != keys.content_digest():
+            raise LineageError(
+                f"snapshot {record.digest[:12]} of {name!r} was recorded "
+                f"under different key constraints; its lineage cannot be "
+                f"replayed against the current keys"
+            )
+        loaders = self.checkpoint_loaders(name)
+        snapshot = self._caches.materialised(
+            token,
+            lambda: chain.materialise(
+                database, record.digest, checkpoints=loaders
+            ).freeze(),
+        )
+        return snapshot, keys, token
+
+    def rollback(self, name: str, ref: SnapshotRef) -> LineageRecord:
+        """Re-register a recorded ancestor of ``name`` as the head.
+
+        Append-only: the move is recorded as a ``"rollback"`` record and
+        the rolled-back-over states remain reachable via ``as_of``.
+        Rolling back to the current head is a no-op.  Returns the head
+        record.
+        """
+        snapshot, keys, token = self.materialise(name, ref)
+        if token != self._registry.token(name):
+            self._registry.set_head(name, snapshot, keys, token)
+            self.record_head(name, token, kind="rollback")
+        return self._chains[name].head  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # checkpoint compaction
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+        """Persist the current head of ``name`` as a checkpoint.
+
+        Stores the full database through the snapshot store and marks the
+        chain position in the catalog; future deep ``as_of`` replays (in
+        this or any later process) start here instead of walking the whole
+        chain.  Idempotent on an already-checkpointed head.  Returns the
+        checkpoint record, or ``None`` when the snapshot could not be
+        persisted (store I/O failures are non-fatal by contract).
+        """
+        database, keys = self._registry.lookup(name)
+        if not self._caches.has_snapshot_store:
+            raise EngineError(
+                "checkpoints need a persistent store; construct the pool "
+                "with persist_dir=..."
+            )
+        token = self._registry.token(name)
+        chain = self.chain(name)
+        head = chain.head
+        if head is None or (head.digest, head.keys_digest) != token:
+            raise EngineError(
+                f"the chain of {name!r} does not end at the registered "
+                f"snapshot; cannot checkpoint"
+            )
+        existing = self._checkpoints.get(name, {}).get(head.digest)
+        if (
+            existing is not None
+            and existing.sequence == head.sequence
+            and self._caches.has_checkpoint(existing.token)
+        ):
+            # Idempotent only while the marker names the *current* head
+            # position (a rollback can revisit a checkpointed digest at a
+            # new sequence — that position gets its own marker) and the
+            # snapshot payload still exists — an entry GC'd while the
+            # head was elsewhere must be re-stored, not silently trusted.
+            # The existence probe is cheap (no load); a present-but-
+            # damaged entry is demoted at load time and re-storable then.
+            return existing
+        if not self._caches.store_checkpoint(token, database):
+            return None
+        record = CheckpointRecord(
+            name=name,
+            sequence=head.sequence,
+            digest=head.digest,
+            keys_digest=head.keys_digest,
+            wall_time=time.time(),
+        )
+        if self._catalog is not None:
+            self._catalog.record_checkpoint(record)
+        self._checkpoints.setdefault(name, {})[record.digest] = record
+        return record
+
+    def maybe_checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+        """Cut an automatic checkpoint when the compaction interval is due.
+
+        Called after every recorded delta: counts the *trailing run* of
+        effective-delta records — stopping at the newest checkpointed
+        position or at any non-delta record (a rollback or
+        re-registration restarts the count: its head is previously
+        recorded content, not ``K`` fresh deltas of drift) — and
+        checkpoints the new head once ``checkpoint_every`` of them have
+        accumulated.  Inert without a configured interval or a store.
+        """
+        if self._checkpoint_every is None or not self._caches.has_snapshot_store:
+            return None
+        chain = self.chain(name)
+        checkpointed = {
+            record.sequence for record in self._checkpoints.get(name, {}).values()
+        }
+        pending = 0
+        for record in reversed(chain.records):
+            if record.sequence in checkpointed or record.kind != "delta":
+                break
+            pending += 1
+        if pending >= self._checkpoint_every:
+            return self.checkpoint(name)
+        return None
+
+    def checkpoints(self, name: str) -> Tuple[CheckpointRecord, ...]:
+        """The known checkpoints of ``name``, oldest chain position first."""
+        self._registry.lookup(name)
+        self.chain(name)
+        return tuple(
+            sorted(
+                self._checkpoints.get(name, {}).values(),
+                key=lambda record: record.sequence,
+            )
+        )
+
+    def checkpoint_loaders(
+        self, name: str
+    ) -> Dict[str, Callable[[], Optional[Database]]]:
+        """Lazy digest -> database loaders for the name's checkpoints."""
+        return {
+            digest: (lambda token=record.token: self._caches.load_checkpoint(token))
+            for digest, record in self._checkpoints.get(name, {}).items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LineageService(chains={list(self._chains)!r}, "
+            f"checkpoint_every={self._checkpoint_every})"
+        )

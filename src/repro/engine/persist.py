@@ -14,11 +14,20 @@ The internal base class kept its historical name here
 
 from __future__ import annotations
 
+import warnings
+
 from ..store import (
     FORMAT_VERSION,
     ContentAddressedStore,
     DecompositionDiskCache,
     SelectorDiskCache,
+)
+
+warnings.warn(
+    "repro.engine.persist is deprecated; import SelectorDiskCache, "
+    "DecompositionDiskCache and FORMAT_VERSION from repro.store instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 #: Historical (private) alias of :class:`repro.store.ContentAddressedStore`.

@@ -1,161 +1,69 @@
-"""The batch counting engine: :class:`SolverPool`.
+"""The batch counting engine facade: :class:`SolverPool`.
 
 A :class:`SolverPool` answers streams of :class:`~repro.engine.jobs.CountJob`
-requests over one or more registered databases, amortising the state that a
-fresh :class:`~repro.core.CQASolver` would recompute per call:
+requests over one or more registered databases.  It is a thin facade over
+the four layers of the engine core, each usable (and tested) on its own:
+the :class:`~repro.engine.registry.SnapshotRegistry` (name -> frozen
+snapshot state), the
+:class:`~repro.engine.cache_coordinator.CacheCoordinator` (every cache
+layer, memory and disk, with GC and live-token pinning), the
+:class:`~repro.engine.lineage_service.LineageService` (history recording,
+``as_of`` materialisation, rollback and **checkpoint compaction**) and
+the :class:`~repro.engine.executor.JobExecutor` (jobs, deltas,
+batch/stream scheduling, worker fan-out).
 
-``query`` layer
-    parsed ASTs of the textual queries (keyed by formula text and answer
-    variables);
-``decomposition`` layer
-    the block decomposition ``B1 ≺ ... ≺ Bn`` of each database, keyed by
-    the snapshot token — the pair ``(database content digest, keys
-    digest)`` — so equal snapshots share one decomposition regardless of
-    the names they are registered under;
-``selectors`` layer
-    the :class:`~repro.repairs.counting.PreparedCertificates` of each
-    (snapshot, query, answer) triple — the UCQ rewriting, the valid
-    certificates and their selectors, shared by the certificate-family
-    exact counters, the FPRAS membership test and the Karp–Luby estimator.
-    Optionally mirrored to a persistent on-disk cache
-    (:class:`~repro.engine.persist.SelectorDiskCache`) so restarts stay
-    warm.
+The facade exists so the public API stays exactly what PR 1–4 shipped:
+callers (the server's shards, the CLI, job files) construct one object
+and never see the layering.  The caching model, invalidation rules and
+determinism contract are documented in :mod:`repro.engine`'s package
+docstring (and ``docs/architecture.md``); history, time travel and
+checkpoint semantics in :mod:`repro.engine.lineage_service` (and
+``docs/history.md``).
 
-Snapshot model: :meth:`SolverPool.register` freezes the database (further
-in-place mutation raises :class:`~repro.errors.FrozenDatabaseError`) and
-every cache key is rooted in the snapshot token, so a registered name can
-be *updated* without losing unrelated work: :meth:`SolverPool.apply_delta`
-derives the next snapshot, updates the block decomposition incrementally,
-and walks the selector cache — entries whose certificates cannot be
-affected by the delta are *migrated* (their selector coordinates remapped
-to the new decomposition), and only entries the delta actually touches are
-dropped for recomputation.
-
-History and time travel: every ``register``/``apply_delta`` appends a
-:class:`~repro.db.lineage.LineageRecord` to the name's
-:class:`~repro.db.lineage.Lineage` — the chain of ``(digest, parent
-digest, effective delta)`` steps — persisted through the snapshot catalog
-(:class:`~repro.store.SnapshotCatalog`) whenever a ``persist_dir`` is
-configured.  A :class:`~repro.engine.jobs.CountJob` carrying ``as_of``
-(an ancestor digest, or a negative chain index such as ``-2`` for "two
-versions ago") is served against the *historical* snapshot: the pool
-replays the recorded delta chain backwards from the head (verified
-against the recorded content digest), caches the materialised ancestor,
-and — because every cache is keyed by snapshot token — serves it through
-the same selector/decomposition caches that were warm when that snapshot
-was live.  :meth:`SolverPool.rollback` re-registers an ancestor as the
-head.
-
-Parallelism: :meth:`SolverPool.run` optionally fans jobs out to a process
-pool.  Workers are primed once with the registered databases (via the pool
-initializer, so databases are pickled once per worker, not once per job)
-and build their own caches.  Results are **bit-identical** to a sequential
-run: exact counts are deterministic, and randomised jobs derive their seed
-from the job itself (:meth:`CountJob.effective_seed`), never from shared
-mutable generator state.  Independent connected components inside one
-union-of-boxes count can likewise be mapped over an executor
-(``component_executor``), which helps single huge jobs rather than large
-batches.  :meth:`SolverPool.run_stream` extends batches with interleaved
-:class:`~repro.engine.jobs.UpdateJob` deltas; jobs between two updates form
-a segment that may fan out, while the updates themselves run in the parent
-process in stream order.
+>>> from repro.db import Database, PrimaryKeySet, fact
+>>> pool = SolverPool()
+>>> pool.register("hr", Database([fact("Employee", 1, "Bob", "HR"),
+...                               fact("Employee", 1, "Bob", "IT")]),
+...               PrimaryKeySet.from_dict({"Employee": [1]}))
+>>> report = pool.run([CountJob(database="hr",
+...                             query="EXISTS x. Employee(1, x, 'HR')")] * 2)
+>>> [(r.satisfying, r.total) for r in report.results]
+[(1, 2), (1, 2)]
+>>> report.results[1].cache_hits
+('query', 'decomposition', 'selectors')
 """
 
 from __future__ import annotations
 
-import os
-import time
-from concurrent.futures import Executor, ProcessPoolExecutor
-from dataclasses import replace
+from concurrent.futures import Executor
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
-from ..core.solver import count_query
 from ..db.blocks import BlockDecomposition
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
-from ..db.lineage import Lineage, LineageRecord, SnapshotRef
-from ..errors import EngineError, LineageError
-from ..lams.selectors import Selector
-from ..query.ast import Query
-from ..query.classify import is_existential_positive
-from ..query.parser import parse_query
-from ..query.rewriting import UCQ
-from ..repairs.counting import PreparedCertificates, prepare_certificates
-from ..store import DecompositionDiskCache, SelectorDiskCache, SnapshotCatalog
-from .cache import LRUCache
-from .jobs import (
-    BatchReport,
-    CountJob,
-    JobResult,
-    UpdateJob,
-    UpdateReport,
-    aggregate_cache_stats,
-)
+from ..db.lineage import CheckpointRecord, Lineage, LineageRecord, SnapshotRef
+from .cache_coordinator import CacheCoordinator
+from .executor import JobExecutor
+from .jobs import BatchReport, CountJob, JobResult, UpdateJob, UpdateReport
+from .lineage_service import LineageService
+from .registry import SnapshotRegistry, SnapshotToken
 
 __all__ = ["SolverPool"]
-
-#: The snapshot token every non-query cache key is rooted in.
-SnapshotToken = Tuple[str, str]
-
-
-def _ucq_relations(ucq: UCQ) -> Set[str]:
-    """Every relation an atom of the UCQ may map into."""
-    return {
-        atom.relation for disjunct in ucq.disjuncts for atom in disjunct.atoms
-    }
 
 
 class SolverPool:
     """A multi-database, multi-query counting engine with shared caches.
 
-    Parameters
-    ----------
-    max_databases:
-        Bound on cached block decompositions (one per distinct snapshot).
-    max_queries:
-        Bound on cached parsed queries.
-    max_prepared:
-        Bound on cached certificate/selector preparations (one per
-        (snapshot, query, answer) triple).
-    workers:
-        Default process count for :meth:`run`; ``None`` or ``1`` runs
-        sequentially in-process.
-    persist_dir:
-        Optional directory for the persistent caches.  When given, selector
-        preparations (``*.sel`` entries) and block decompositions (``*.dec``
-        entries) are mirrored to disk (content-hash keyed) and a freshly
-        constructed pool pointed at the same directory serves an unchanged
-        workload without recomputing a single selector or decomposition.
-    persist_max_entries, persist_max_age:
-        Optional garbage-collection bounds for each on-disk cache: keep at
-        most ``persist_max_entries`` entries per layer (least recently used
-        evicted first) and none older than ``persist_max_age`` seconds.
-        Bounds are enforced at construction, periodically during long runs,
-        and on explicit :meth:`collect_garbage` calls.
-
-    Example — the paper's running Employee instance, served twice so the
-    second job only touches warm caches:
-
-    >>> from repro.db import Database, PrimaryKeySet, fact
-    >>> pool = SolverPool()
-    >>> pool.register(
-    ...     "hr",
-    ...     Database([fact("Employee", 1, "Bob", "HR"),
-    ...               fact("Employee", 1, "Bob", "IT"),
-    ...               fact("Employee", 2, "Alice", "IT"),
-    ...               fact("Employee", 2, "Tim", "IT")]),
-    ...     PrimaryKeySet.from_dict({"Employee": [1]}),
-    ... )
-    >>> job = CountJob(
-    ...     database="hr",
-    ...     query="EXISTS x, y, z. (Employee(1, x, y) AND Employee(2, z, y))")
-    >>> report = pool.run([job, job])
-    >>> [(result.satisfying, result.total) for result in report.results]
-    [(2, 4), (2, 4)]
-    >>> report.results[1].cache_hits
-    ('query', 'decomposition', 'selectors')
+    ``max_databases``/``max_queries``/``max_prepared`` bound the in-memory
+    LRU layers; ``workers`` is the default fan-out of :meth:`run`;
+    ``persist_dir`` enables the persistent store (selector/decomposition
+    caches, checkpoint snapshots, the snapshot catalog) with optional GC
+    bounds ``persist_max_entries``/``persist_max_age``; ``checkpoint_every``
+    cuts an automatic compaction checkpoint every that-many effective
+    deltas of a name, so deep ``as_of`` replays stay O(distance to the
+    nearest checkpoint) — :meth:`checkpoint` cuts one on demand.
     """
 
     def __init__(
@@ -167,511 +75,153 @@ class SolverPool:
         persist_dir: Optional[Union[str, Path]] = None,
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
-        self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
-        self._tokens: Dict[str, SnapshotToken] = {}
-        self._decompositions: LRUCache[BlockDecomposition] = LRUCache(max_databases)
-        self._queries: LRUCache[Query] = LRUCache(max_queries)
-        self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
-        #: Materialised historical snapshots, keyed by snapshot token.
-        self._snapshots: LRUCache[Database] = LRUCache(max_databases)
-        self._lineage: Dict[str, Lineage] = {}
-        self._workers = workers
-        self._persist: Optional[SelectorDiskCache] = None
-        self._persist_decompositions: Optional[DecompositionDiskCache] = None
-        self._catalog: Optional[SnapshotCatalog] = None
-        if persist_dir is not None:
-            # Startup GC is deferred (collect_on_init=False) until the
-            # first job runs: by then every registered name has pinned its
-            # live token, so the startup collection — like every other one
-            # — can never evict active state.
-            self._persist = SelectorDiskCache(
-                persist_dir, persist_max_entries, persist_max_age,
-                collect_on_init=False,
-            )
-            self._persist_decompositions = DecompositionDiskCache(
-                persist_dir, persist_max_entries, persist_max_age,
-                collect_on_init=False,
-            )
-            self._catalog = SnapshotCatalog(persist_dir)
-        self._startup_gc_pending = (
-            persist_dir is not None
-            and (persist_max_entries is not None or persist_max_age is not None)
+        self._registry = SnapshotRegistry()
+        self._caches = CacheCoordinator(
+            max_databases=max_databases,
+            max_queries=max_queries,
+            max_prepared=max_prepared,
+            persist_dir=persist_dir,
+            persist_max_entries=persist_max_entries,
+            persist_max_age=persist_max_age,
         )
-        self._selector_recomputations = 0
-        self._decomposition_recomputations = 0
+        self._lineage = LineageService(
+            self._registry, self._caches, checkpoint_every=checkpoint_every
+        )
+        self._executor = JobExecutor(
+            self._registry, self._caches, self._lineage, workers=workers
+        )
 
     # ------------------------------------------------------------------ #
     # database registry
     # ------------------------------------------------------------------ #
     def register(self, name: str, database: Database, keys: PrimaryKeySet) -> None:
-        """Register (or replace) a database snapshot under ``name``.
+        """Register (or replace) a frozen database snapshot under ``name``.
 
-        The database is frozen in place: snapshots are immutable, and any
-        later in-place mutation attempt raises
-        :class:`~repro.errors.FrozenDatabaseError` instead of silently
-        corrupting content-addressed cache entries.  Re-registering a name
-        with different content drops the previous snapshot's cached state.
-
-        Registration is a lineage event: if the name's recorded chain (in
-        memory, or loaded from the snapshot catalog when a ``persist_dir``
-        is configured) already ends at this exact snapshot the chain is
-        adopted as-is — which is how a restarted pool regains its history;
-        otherwise a fresh ``"register"`` record is appended.
+        A lineage event: a recorded chain already ending at this snapshot
+        is adopted (how a restarted pool regains history), otherwise a
+        fresh ``"register"`` record is appended.  Re-registering different
+        content drops the previous snapshot's cached state.
         """
-        if not name:
-            raise EngineError("a database registration needs a non-empty name")
-        database.freeze()
-        token = (database.content_digest(), keys.content_digest())
-        if name in self._databases and self._tokens.get(name) != token:
-            self.invalidate(name)
-        self._databases[name] = (database, keys)
-        self._tokens[name] = token
-        self._record_head(name, token, kind="register")
+        token, displaced = self._registry.register(name, database, keys)
+        if displaced is not None:
+            self._caches.drop_token(displaced)
+        self._lineage.record_head(name, token, kind="register")
 
     def register_scenario(self, scenario) -> None:
-        """Register a named :class:`~repro.workloads.scenarios.Scenario`."""
+        """Register a named workload :class:`~repro.workloads.scenarios.Scenario`."""
         self.register(scenario.name, scenario.database, scenario.keys)
 
     def invalidate(self, name: str) -> None:
-        """Drop all cached in-memory state derived from the snapshot of ``name``.
+        """Drop the in-memory state of ``name``'s snapshot (perf-only).
 
-        When two names are registered to byte-identical snapshots they share
-        cache entries; invalidating either one drops the shared entries (a
-        perf-only effect — entries are pure and recomputable).  The
-        persistent disk cache is never invalidated: its entries are keyed by
-        content and can only ever be cold, not wrong.
+        The persistent store is content-addressed — it can only ever be
+        cold, not wrong — so it is never invalidated.
         """
-        token = self._tokens.get(name)
-        if token is None:
-            return
-        self._decompositions.discard(token)
-        self._prepared.discard_where(lambda key: key[0] == token)
+        token = self._registry.get_token(name)
+        if token is not None:
+            self._caches.drop_token(token)
 
     def database_names(self) -> Tuple[str, ...]:
         """The registered database names, in registration order."""
-        return tuple(self._databases)
+        return self._registry.names()
 
     def lookup(self, name: str) -> Tuple[Database, PrimaryKeySet]:
         """The registered (database, keys) pair for ``name``."""
-        try:
-            return self._databases[name]
-        except KeyError as exc:
-            raise EngineError(
-                f"unknown database {name!r}; registered: {sorted(self._databases)}"
-            ) from exc
+        return self._registry.lookup(name)
 
     def snapshot_token(self, name: str) -> SnapshotToken:
         """The content-addressed (database digest, keys digest) of ``name``."""
-        self.lookup(name)
-        return self._tokens[name]
+        return self._registry.token(name)
 
     # ------------------------------------------------------------------ #
-    # lineage and time travel
+    # lineage, time travel, checkpoints
     # ------------------------------------------------------------------ #
     def lineage(self, name: str) -> Lineage:
         """The recorded snapshot chain of ``name`` (head last)."""
-        self.lookup(name)
-        return self._lineage[name]
-
-    def _chain_for(self, name: str) -> Lineage:
-        """The in-memory chain of ``name``, loading the catalog on first use."""
-        chain = self._lineage.get(name)
-        if chain is None:
-            if self._catalog is not None:
-                chain = self._catalog.lineage(name)
-            else:
-                chain = Lineage(name)
-            self._lineage[name] = chain
-        return chain
-
-    def _record_head(
-        self,
-        name: str,
-        token: SnapshotToken,
-        kind: str,
-        delta: Optional[Delta] = None,
-    ) -> None:
-        """Append a lineage record for the new head (and persist it).
-
-        A no-op when the chain already ends at ``token`` — re-registering
-        identical content (including every restart against a persisted
-        catalog) extends nothing.
-        """
-        chain = self._chain_for(name)
-        head = chain.head
-        if head is not None and (head.digest, head.keys_digest) == token:
-            self._refresh_pins()
-            return
-        record = LineageRecord(
-            name=name,
-            sequence=len(chain),
-            digest=token[0],
-            keys_digest=token[1],
-            parent_digest=head.digest if head is not None else None,
-            kind=kind,
-            delta=delta,
-            wall_time=time.time(),
-        )
-        self._lineage[name] = chain.append(record)
-        if self._catalog is not None:
-            self._catalog.append(record)
-        self._refresh_pins()
-
-    def _refresh_pins(self) -> None:
-        """Pin the live snapshot tokens (the lineage heads) against GC.
-
-        Disk-cache garbage collection must never evict entries of the
-        *current* snapshot of a registered name — that would force
-        recomputation of active state on the next load.
-        """
-        live = set(self._tokens.values())
-        if self._persist is not None:
-            self._persist.set_pinned_tokens(live)
-        if self._persist_decompositions is not None:
-            self._persist_decompositions.set_pinned_tokens(live)
-
-    def _run_startup_gc(self) -> None:
-        """Run the deferred startup collection, once, pins in place."""
-        if self._startup_gc_pending:
-            self.collect_garbage()
+        return self._lineage.lineage(name)
 
     def adopt_lineage(self, name: str, lineage: Lineage) -> None:
-        """Replace the recorded chain of ``name`` with a richer one.
-
-        Worker processes are primed with the parent pool's chains so that
-        ``as_of`` references resolve identically in fanned-out runs even
-        without a shared catalog.  The chain must belong to ``name`` and
-        end at the currently registered snapshot.
-        """
-        database, keys = self.lookup(name)
-        head = lineage.head
-        if lineage.name != name or head is None:
-            raise EngineError(
-                f"cannot adopt a lineage of {lineage.name!r} for {name!r}"
-            )
-        token = (database.content_digest(), keys.content_digest())
-        if (head.digest, head.keys_digest) != token:
-            raise EngineError(
-                f"adopted lineage of {name!r} ends at {head.digest[:12]}, "
-                f"but the registered snapshot is {token[0][:12]}"
-            )
-        self._lineage[name] = lineage
+        """Replace the recorded chain of ``name`` with a richer one."""
+        self._lineage.adopt(name, lineage)
 
     def materialise(
         self, name: str, ref: SnapshotRef
     ) -> Tuple[Database, PrimaryKeySet, SnapshotToken]:
         """The (database, keys, token) of a recorded snapshot of ``name``.
 
-        ``ref`` is an ``as_of`` reference (digest, unique ≥8-hex-char
-        prefix, or non-positive chain index).  The head resolves without
-        work; an ancestor is reconstructed by replaying the recorded
-        effective-delta chain from the head (verified against the
-        recorded content digest — see
-        :meth:`~repro.db.lineage.Lineage.materialise`) and cached by
-        token, so repeated historical queries replay nothing.
+        Replayed (digest-verified) from the closest materialised source —
+        the head or the nearest loadable checkpoint — and cached by token.
         """
-        database, keys = self.lookup(name)
-        chain = self.lineage(name)
-        record = chain.resolve(ref)
-        token = (record.digest, record.keys_digest)
-        if token == self._tokens[name]:
-            return database, keys, token
-        if record.keys_digest != keys.content_digest():
-            raise LineageError(
-                f"snapshot {record.digest[:12]} of {name!r} was recorded "
-                f"under different key constraints; its lineage cannot be "
-                f"replayed against the current keys"
-            )
-        snapshot, _ = self._snapshots.get_or_compute(
-            token, lambda: chain.materialise(database, record.digest).freeze()
-        )
-        return snapshot, keys, token
+        return self._lineage.materialise(name, ref)
 
     def rollback(self, name: str, ref: SnapshotRef) -> LineageRecord:
-        """Re-register a recorded ancestor of ``name`` as the head.
+        """Re-register a recorded ancestor as the head (append-only)."""
+        return self._lineage.rollback(name, ref)
 
-        The ancestor is materialised (and digest-verified) through the
-        lineage, becomes the snapshot served for ``name``, and the move is
-        recorded as a ``"rollback"`` lineage record — history is appended
-        to, never rewritten, so the rolled-back-over states remain
-        reachable via ``as_of``.  Returns the new head record.  Rolling
-        back to the current head is a no-op.
+    def checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+        """Persist the current head of ``name`` as a compaction checkpoint.
+
+        Requires a ``persist_dir``; idempotent on an already-checkpointed
+        head; ``None`` if the snapshot could not be persisted.
         """
-        snapshot, keys, token = self.materialise(name, ref)
-        if token != self._tokens[name]:
-            self._databases[name] = (snapshot, keys)
-            self._tokens[name] = token
-            self._record_head(name, token, kind="rollback")
-        return self._lineage[name].head  # type: ignore[return-value]
+        return self._lineage.checkpoint(name)
 
+    def checkpoints(self, name: str) -> Tuple[CheckpointRecord, ...]:
+        """The known checkpoints of ``name``, oldest chain position first."""
+        return self._lineage.checkpoints(name)
+
+    # ------------------------------------------------------------------ #
+    # cached state and maintenance
+    # ------------------------------------------------------------------ #
     def decomposition(self, name: str) -> BlockDecomposition:
         """The (cached) block decomposition of the database ``name``."""
-        database, keys = self.lookup(name)
-        token = self._tokens[name]
-        value, _ = self._decompositions.get_or_compute(
-            token, lambda: self._build_decomposition(token, database, keys)
+        database, keys = self._registry.lookup(name)
+        value, _ = self._caches.decomposition(
+            self._registry.token(name), database, keys
         )
-        return value
-
-    def _build_decomposition(
-        self,
-        token: SnapshotToken,
-        database: Database,
-        keys: PrimaryKeySet,
-        origin: Optional[Dict[str, str]] = None,
-    ) -> BlockDecomposition:
-        """Load the snapshot's decomposition from disk, or compute and store it.
-
-        ``origin`` optionally receives ``{"source": "disk" | "computed"}``
-        so callers can report provenance (the ``decomposition-disk`` cache
-        layer in job results).
-        """
-        if self._persist_decompositions is not None:
-            loaded = self._persist_decompositions.load(token, database, keys)
-            if loaded is not None:
-                if origin is not None:
-                    origin["source"] = "disk"
-                return loaded
-        if origin is not None:
-            origin["source"] = "computed"
-        self._decomposition_recomputations += 1
-        value = BlockDecomposition(database, keys)
-        if self._persist_decompositions is not None:
-            self._persist_decompositions.store(token, value)
         return value
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Lifetime statistics of the pool's own cache layers.
-
-        In-memory layers (``query``, ``decomposition``, ``selectors``)
-        report LRU counters; when a ``persist_dir`` is configured the
-        on-disk layers (``selectors-disk``, ``decomposition-disk``) report
-        their hit/miss/store/corruption counters *and* garbage-collection
-        evictions, so aggregators (the async server's ``stats()``) never
-        have to hand-roll persist-layer accounting.
-        """
-        stats = {
-            "query": self._queries.stats(),
-            "decomposition": self._decompositions.stats(),
-            "selectors": self._prepared.stats(),
-        }
-        if self._persist is not None:
-            stats["selectors-disk"] = self._persist.stats()
-        if self._persist_decompositions is not None:
-            stats["decomposition-disk"] = self._persist_decompositions.stats()
-        return stats
+        """Lifetime statistics of every cache layer (memory and disk)."""
+        return self._caches.cache_stats()
 
     def collect_garbage(
         self,
         max_entries: Optional[int] = None,
         max_age_seconds: Optional[float] = None,
     ) -> Dict[str, int]:
-        """Run GC on the on-disk caches; return per-layer eviction counts.
-
-        Arguments override the bounds configured at construction (see
-        ``persist_max_entries`` / ``persist_max_age``).  A pool without a
-        ``persist_dir`` returns an empty mapping.  Entries of the *live*
-        snapshots of the registered names (the lineage heads) are pinned
-        and never evicted, so GC cannot force recomputation of active
-        state; other evictions only make future loads cold — they can
-        never make a count wrong.
-        """
-        self._startup_gc_pending = False
-        evicted: Dict[str, int] = {}
-        if self._persist is not None:
-            evicted["selectors-disk"] = self._persist.collect_garbage(
-                max_entries, max_age_seconds
-            )
-        if self._persist_decompositions is not None:
-            evicted["decomposition-disk"] = self._persist_decompositions.collect_garbage(
-                max_entries, max_age_seconds
-            )
-        return evicted
+        """Run GC on the on-disk layers (live tokens stay pinned)."""
+        return self._caches.collect_garbage(max_entries, max_age_seconds)
 
     @property
     def selector_recomputations(self) -> int:
         """How many selector preparations this pool actually computed.
 
-        Memory hits, disk hits and delta migrations all leave this counter
-        untouched — it counts real ``prepare_certificates`` work, which is
-        what the warm-restart guarantee of the persistent cache is stated
-        in terms of.
+        Memory hits, disk hits and delta migrations leave it untouched —
+        the warm-restart guarantee is stated in terms of this counter.
         """
-        return self._selector_recomputations
+        return self._caches.selector_recomputations
 
     @property
     def decomposition_recomputations(self) -> int:
-        """How many block decompositions this pool actually computed.
-
-        The decomposition analogue of :attr:`selector_recomputations`:
-        memory hits, disk hits and incremental delta updates leave it
-        untouched, so a restarted pool with a warm ``persist_dir`` serving
-        an unchanged workload keeps it at zero.
-        """
-        return self._decomposition_recomputations
+        """How many block decompositions this pool actually computed."""
+        return self._caches.decomposition_recomputations
 
     # ------------------------------------------------------------------ #
-    # incremental updates
+    # execution
     # ------------------------------------------------------------------ #
     def apply_delta(self, name: str, delta: Delta) -> UpdateReport:
-        """Update the snapshot of ``name`` in place of a re-registration.
+        """Update the snapshot of ``name`` incrementally (never drop-all).
 
-        The database and its block decomposition are updated incrementally
-        (cost proportional to the touched blocks, not the database), and the
-        selector cache is *walked, not dropped*: an entry for the old
-        snapshot survives — remapped to the new decomposition's coordinates
-        — unless the delta could actually change its certificates, i.e.
-
-        * a fact was inserted into a relation the entry's UCQ mentions
-          (inserts can create certificates anywhere in those relations), or
-        * a fact was deleted from a block one of the entry's selectors pins,
-          or from an un-keyed relation the UCQ mentions (either can destroy
-          a certificate).
-
-        Everything else — including deletes in blocks the entry never
-        looked at, and any change to relations outside the query — keeps
-        the entry warm.  Counts against the new snapshot remain
-        bit-identical to a cold rebuild; the randomized delta property
-        suite pins that equivalence.
+        Unaffected selector entries migrate to the new snapshot, the
+        effective delta is recorded as a lineage step, and an automatic
+        checkpoint is cut when the compaction interval is due.  Counts
+        against the new snapshot are bit-identical to a cold rebuild.
         """
-        started = time.perf_counter()
-        self._run_startup_gc()
-        database, keys = self.lookup(name)
-        old_token = self._tokens[name]
-        old_decomposition = self.decomposition(name)
+        return self._executor.apply_delta(name, delta)
 
-        new_database = database.apply_delta(delta)
-        new_decomposition = old_decomposition.apply_delta(delta, database=new_database)
-        new_token: SnapshotToken = (
-            new_database.content_digest(),
-            keys.content_digest(),
-        )
-
-        really_inserted, really_deleted = delta.effective_against(database)
-        inserted_relations = {item.relation for item in really_inserted}
-        deleted_unkeyed_relations = {
-            item.relation for item in really_deleted if not keys.has_key(item.relation)
-        }
-        deleted_keys = {keys.key_value(item) for item in really_deleted}
-        touched_keys = {
-            keys.key_value(item) for item in really_inserted + really_deleted
-        }
-
-        kept = migrated = dropped = 0
-        for key, prepared in self._prepared.items():
-            if key[0] != old_token:
-                kept += 1
-                continue
-            remapped = self._migrate_prepared(
-                prepared,
-                old_decomposition,
-                new_decomposition,
-                inserted_relations,
-                deleted_unkeyed_relations,
-                deleted_keys,
-            )
-            self._prepared.discard(key)
-            if remapped is None:
-                dropped += 1
-                continue
-            migrated += 1
-            new_key = (new_token,) + key[1:]
-            self._prepared.put(new_key, remapped)
-            if self._persist is not None:
-                query_text, answer_variables, answer = key[1:]
-                self._persist.store(
-                    new_token, query_text, answer_variables, answer, remapped
-                )
-
-        self._decompositions.put(new_token, new_decomposition)
-        if self._persist_decompositions is not None:
-            # Persist the incrementally-derived decomposition so a restart
-            # against the *new* snapshot is warm without ever rebuilding it.
-            self._persist_decompositions.store(new_token, new_decomposition)
-        # The old snapshot stays materialised — and its decomposition stays
-        # in the (LRU-bounded) cache — for time travel: the head is about
-        # to move, making it an ``as_of``-reachable ancestor.
-        self._snapshots.put(old_token, database)
-        self._databases[name] = (new_database, keys)
-        self._tokens[name] = new_token
-        if new_token != old_token:
-            # Record the *effective* core, which is exactly invertible —
-            # the property lineage replay (both directions) relies on.
-            self._record_head(
-                name,
-                new_token,
-                kind="delta",
-                delta=Delta(inserted=really_inserted, deleted=really_deleted),
-            )
-
-        return UpdateReport(
-            database=name,
-            old_digest=old_token[0],
-            new_digest=new_token[0],
-            inserted=len(really_inserted),
-            deleted=len(really_deleted),
-            touched_blocks=len(touched_keys),
-            blocks_before=len(old_decomposition),
-            blocks_after=len(new_decomposition),
-            selectors_kept=kept,
-            selectors_migrated=migrated,
-            selectors_dropped=dropped,
-            elapsed=time.perf_counter() - started,
-        )
-
-    @staticmethod
-    def _migrate_prepared(
-        prepared: PreparedCertificates,
-        old_decomposition: BlockDecomposition,
-        new_decomposition: BlockDecomposition,
-        inserted_relations: Set[str],
-        deleted_unkeyed_relations: Set[str],
-        deleted_keys: Set,
-    ) -> Optional[PreparedCertificates]:
-        """Remap one selector entry to the new snapshot, or None to drop it.
-
-        Soundness argument: certificates are homomorphisms into facts of the
-        UCQ's relations whose image is key-consistent, and their selectors
-        pin exactly the image facts of *keyed* relations.  If the delta
-        inserts nothing into the UCQ's relations, no new certificate can
-        appear; if it deletes nothing from a pinned block nor from an
-        un-keyed UCQ relation, no existing certificate can disappear and no
-        pinned fact can change its position inside its block.  The only
-        thing left to fix up is that block *indices* shift globally when
-        blocks are inserted or removed — hence the coordinate remap.
-        """
-        relations = _ucq_relations(prepared.ucq)
-        if inserted_relations & relations:
-            return None
-        if deleted_unkeyed_relations & relations:
-            return None
-        pinned_keys = {
-            old_decomposition[coordinate].key_value
-            for selector in prepared.selectors
-            for coordinate, _ in selector.pins
-        }
-        if pinned_keys & deleted_keys:
-            return None
-
-        remap: Dict[int, int] = {}
-        for key_value in pinned_keys:
-            old_index = old_decomposition.index_for_key(key_value)
-            new_index = new_decomposition.index_for_key(key_value)
-            if old_index is None or new_index is None:  # pragma: no cover
-                return None  # defensive: pinned block vanished unexpectedly
-            remap[old_index] = new_index
-        remapped_selectors = tuple(
-            Selector({remap[index]: element for index, element in selector.pins})
-            for selector in prepared.selectors
-        )
-        return PreparedCertificates(
-            prepared.ucq, remapped_selectors, prepared.certificate_count
-        )
-
-    # ------------------------------------------------------------------ #
-    # single-job execution
-    # ------------------------------------------------------------------ #
     def run_job(
         self,
         job: CountJob,
@@ -679,270 +229,22 @@ class SolverPool:
         component_executor: Optional[Executor] = None,
         worker_label: str = "sequential",
     ) -> JobResult:
-        """Run one job against the pool's caches and return its result.
+        """Run one job against the pool's caches and return its result."""
+        return self._executor.run_job(job, index, component_executor, worker_label)
 
-        ``component_executor`` optionally parallelises the decomposed
-        union-of-boxes count across connected components (useful for one
-        huge exact job; batches parallelise across jobs instead).
-
-        A job carrying ``as_of`` runs against the referenced *historical*
-        snapshot: the database is materialised through the lineage (cached
-        after the first replay) and, because every cache layer below is
-        keyed by snapshot token, the job hits whatever selector and
-        decomposition state — in memory or on disk — was built when that
-        snapshot was live.
-        """
-        started = time.perf_counter()
-        self._run_startup_gc()
-        database, keys = self.lookup(job.database)
-        token = self._tokens[job.database]
-        if job.as_of is not None:
-            database, keys, token = self.materialise(job.database, job.as_of)
-        hits: List[str] = []
-        misses: List[str] = []
-
-        query, query_hit = self._queries.get_or_compute(
-            (job.query, job.answer_variables),
-            lambda: parse_query(job.query, answer_variables=list(job.answer_variables)),
-        )
-        (hits if query_hit else misses).append("query")
-
-        decomposition_origin: Dict[str, str] = {}
-        decomposition, decomposition_hit = self._decompositions.get_or_compute(
-            token,
-            lambda: self._build_decomposition(
-                token, database, keys, decomposition_origin
-            ),
-        )
-        if decomposition_hit:
-            hits.append("decomposition")
-        elif decomposition_origin.get("source") == "disk":
-            hits.append("decomposition-disk")
-        else:
-            misses.append("decomposition")
-
-        prepared: Optional[PreparedCertificates] = None
-        if job.method != "naive" and is_existential_positive(query):
-            origin: Dict[str, str] = {}
-
-            def prepare_with_provenance() -> PreparedCertificates:
-                if self._persist is not None:
-                    loaded = self._persist.load(
-                        token, job.query, job.answer_variables, job.answer
-                    )
-                    if loaded is not None:
-                        origin["source"] = "disk"
-                        return loaded
-                origin["source"] = "computed"
-                self._selector_recomputations += 1
-                value = prepare_certificates(
-                    database, keys, query, job.answer, decomposition=decomposition
-                )
-                if self._persist is not None:
-                    self._persist.store(
-                        token, job.query, job.answer_variables, job.answer, value
-                    )
-                return value
-
-            prepared, prepared_hit = self._prepared.get_or_compute(
-                (token, job.query, job.answer_variables, job.answer),
-                prepare_with_provenance,
-            )
-            if prepared_hit:
-                hits.append("selectors")
-            elif origin.get("source") == "disk":
-                hits.append("selectors-disk")
-            else:
-                misses.append("selectors")
-
-        map_fn = component_executor.map if component_executor is not None else None
-        result = count_query(
-            database,
-            keys,
-            query,
-            answer=job.answer,
-            method=job.method,
-            epsilon=job.epsilon,
-            delta=job.delta,
-            rng=job.effective_seed(index) if job.is_randomised else None,
-            decomposition=decomposition,
-            prepared=prepared,
-            map_fn=map_fn,
-        )
-        return JobResult(
-            index=index,
-            job=job,
-            satisfying=result.satisfying,
-            total=result.total,
-            method=result.method,
-            is_estimate=result.is_estimate,
-            elapsed=time.perf_counter() - started,
-            cache_hits=tuple(hits),
-            cache_misses=tuple(misses),
-            worker=worker_label,
-        )
-
-    # ------------------------------------------------------------------ #
-    # batch execution
-    # ------------------------------------------------------------------ #
     def run(
-        self,
-        jobs: Iterable[CountJob],
-        workers: Optional[int] = None,
+        self, jobs: Iterable[CountJob], workers: Optional[int] = None
     ) -> BatchReport:
-        """Run a batch of jobs and return the aggregated report.
-
-        ``workers`` > 1 fans the jobs out to a process pool primed with the
-        registered databases; otherwise the batch runs sequentially against
-        this pool's caches.  Either way the per-job counts are
-        bit-identical (see the module docstring).
-        """
-        job_list = list(jobs)
-        workers = self._resolve_workers(workers)
-        started = time.perf_counter()
-        results, workers = self._run_segment(job_list, workers, first_index=0)
-        elapsed = time.perf_counter() - started
-        return BatchReport(
-            results=tuple(results),
-            elapsed=elapsed,
-            workers=workers,
-            cache_stats=aggregate_cache_stats(results),
-        )
+        """Run a batch of jobs (fanned out when ``workers`` > 1)."""
+        return self._executor.run(jobs, workers)
 
     def run_stream(
         self,
         items: Iterable[Union[CountJob, UpdateJob]],
         workers: Optional[int] = None,
     ) -> BatchReport:
-        """Run a stream that interleaves count jobs with delta updates.
+        """Run a stream interleaving count jobs with delta updates."""
+        return self._executor.run_stream(items, workers)
 
-        Stream order is the semantics: every count job observes exactly the
-        snapshots produced by the updates before it.  Contiguous runs of
-        count jobs form segments that may fan out to worker processes;
-        updates execute in the parent pool between segments via
-        :meth:`apply_delta`.  Indices in the returned report are positions
-        in the original stream (updates included), so results and update
-        reports interleave unambiguously.
-        """
-        item_list = list(items)
-        workers = self._resolve_workers(workers)
-        started = time.perf_counter()
-        results: List[JobResult] = []
-        updates: List[UpdateReport] = []
-        used_workers = 1
-
-        segment: List[Tuple[int, CountJob]] = []
-
-        def flush_segment() -> None:
-            nonlocal used_workers
-            if not segment:
-                return
-            jobs = [job for _, job in segment]
-            segment_results, segment_workers = self._run_segment(
-                jobs, workers, first_index=segment[0][0]
-            )
-            used_workers = max(used_workers, segment_workers)
-            results.extend(segment_results)
-            segment.clear()
-
-        for index, item in enumerate(item_list):
-            if isinstance(item, UpdateJob):
-                flush_segment()
-                report = self.apply_delta(item.database, item.delta)
-                updates.append(replace(report, index=index, label=item.label))
-            elif isinstance(item, CountJob):
-                segment.append((index, item))
-            else:
-                raise EngineError(
-                    f"stream items must be CountJob or UpdateJob, "
-                    f"got {type(item).__name__}"
-                )
-        flush_segment()
-
-        elapsed = time.perf_counter() - started
-        return BatchReport(
-            results=tuple(results),
-            elapsed=elapsed,
-            workers=used_workers,
-            cache_stats=aggregate_cache_stats(results),
-            updates=tuple(updates),
-        )
-
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
-    def _resolve_workers(self, workers: Optional[int]) -> int:
-        if workers is None:
-            workers = self._workers or 1
-        if workers < 1:
-            raise EngineError(f"workers must be >= 1, got {workers}")
-        return workers
-
-    def _run_segment(
-        self, job_list: Sequence[CountJob], workers: int, first_index: int
-    ) -> Tuple[List[JobResult], int]:
-        """Run one contiguous run of count jobs, sequentially or fanned out.
-
-        ``first_index`` offsets the job indices so stream positions (and
-        hence derived per-job seeds) are identical between ``run`` and
-        ``run_stream``, sequential and pooled.
-        """
-        indices = range(first_index, first_index + len(job_list))
-        if workers == 1 or len(job_list) <= 1:
-            return (
-                [self.run_job(job, index) for index, job in zip(indices, job_list)],
-                1,
-            )
-        chunksize = max(1, len(job_list) // (workers * 4))
-        persist_dir = self._persist.directory if self._persist is not None else None
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_initialise_worker,
-            initargs=(dict(self._databases), persist_dir, dict(self._lineage)),
-        ) as executor:
-            results = list(
-                executor.map(
-                    _run_job_in_worker,
-                    zip(indices, job_list),
-                    chunksize=chunksize,
-                )
-            )
-        return results, workers
-
-
-# ---------------------------------------------------------------------- #
-# worker-process plumbing
-# ---------------------------------------------------------------------- #
-#: The per-process pool a worker builds from the databases it was primed
-#: with.  Module-level so `executor.map` only ships (index, job) pairs.
-_WORKER_POOL: Optional[SolverPool] = None
-
-
-def _initialise_worker(
-    databases: Dict[str, Tuple[Database, PrimaryKeySet]],
-    persist_dir: Optional[Path] = None,
-    lineage: Optional[Dict[str, Lineage]] = None,
-) -> None:
-    """Prime a worker process: register every database once, build caches.
-
-    Workers share the parent's persistent selector cache directory (safe:
-    entries are pure functions of their content-hash key and writes are
-    atomic, so concurrent writers merely race to store the same bytes)
-    and adopt the parent's lineage chains so ``as_of`` references resolve
-    in the worker exactly as they would sequentially.
-    """
-    global _WORKER_POOL
-    pool = SolverPool(persist_dir=persist_dir)
-    for name, (database, keys) in databases.items():
-        pool.register(name, database, keys)
-    for name, chain in (lineage or {}).items():
-        pool.adopt_lineage(name, chain)
-    _WORKER_POOL = pool
-
-
-def _run_job_in_worker(item: Tuple[int, CountJob]) -> JobResult:
-    """Run one job inside a primed worker process."""
-    index, job = item
-    if _WORKER_POOL is None:  # pragma: no cover - initializer always runs first
-        raise EngineError("worker used before initialisation")
-    return _WORKER_POOL.run_job(index=index, job=job, worker_label=f"pid-{os.getpid()}")
+    def __repr__(self) -> str:
+        return f"SolverPool(databases={list(self._registry.names())!r})"

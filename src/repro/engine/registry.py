@@ -1,0 +1,115 @@
+"""The snapshot registry: which frozen snapshot each name points at.
+
+The lowest layer of the engine core.  A :class:`SnapshotRegistry` is a
+plain name -> ``(database, keys)`` map with one invariant: every
+registered database is **frozen** (immutable, content-addressed) and its
+snapshot token — the ``(database digest, keys digest)`` pair every cache
+key is rooted in — is computed exactly once per head move and kept
+alongside.  Nothing here records history, caches derived state or runs
+jobs; those belong to the lineage service, the cache coordinator and the
+executor stacked above.
+
+>>> from repro.db import Database, PrimaryKeySet, fact
+>>> registry = SnapshotRegistry()
+>>> db = Database([fact("R", 1, "a")])
+>>> keys = PrimaryKeySet.from_dict({"R": [1]})
+>>> token, displaced = registry.register("live", db, keys)
+>>> (registry.token("live") == token, displaced, registry.names())
+(True, None, ('live',))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..errors import EngineError
+
+__all__ = ["SnapshotRegistry", "SnapshotToken"]
+
+#: The snapshot token every non-query cache key is rooted in.
+SnapshotToken = Tuple[str, str]
+
+
+class SnapshotRegistry:
+    """Name -> frozen ``(database, keys)`` state, with token bookkeeping."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+        self._tokens: Dict[str, SnapshotToken] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._databases
+
+    def register(
+        self, name: str, database: Database, keys: PrimaryKeySet
+    ) -> Tuple[SnapshotToken, Optional[SnapshotToken]]:
+        """Register (or replace) the snapshot of ``name``; freeze it.
+
+        Returns ``(token, displaced_token)`` where ``displaced_token`` is
+        the previous token when the name was registered to *different*
+        content (the caller drops that token's cached state) and ``None``
+        otherwise.
+        """
+        if not name:
+            raise EngineError("a database registration needs a non-empty name")
+        database.freeze()
+        token: SnapshotToken = (database.content_digest(), keys.content_digest())
+        displaced = None
+        previous = self._tokens.get(name)
+        if name in self._databases and previous != token:
+            displaced = previous
+        self._databases[name] = (database, keys)
+        self._tokens[name] = token
+        return token, displaced
+
+    def set_head(
+        self,
+        name: str,
+        database: Database,
+        keys: PrimaryKeySet,
+        token: SnapshotToken,
+    ) -> None:
+        """Move a registered name to an already-frozen snapshot.
+
+        The delta and rollback paths derive (or materialise) the new
+        snapshot themselves and already hold its token; this is the raw
+        head move without re-hashing.
+        """
+        self.lookup(name)
+        self._databases[name] = (database, keys)
+        self._tokens[name] = token
+
+    def lookup(self, name: str) -> Tuple[Database, PrimaryKeySet]:
+        """The registered (database, keys) pair for ``name``."""
+        try:
+            return self._databases[name]
+        except KeyError as exc:
+            raise EngineError(
+                f"unknown database {name!r}; registered: {sorted(self._databases)}"
+            ) from exc
+
+    def token(self, name: str) -> SnapshotToken:
+        """The content-addressed (database digest, keys digest) of ``name``."""
+        self.lookup(name)
+        return self._tokens[name]
+
+    def get_token(self, name: str) -> Optional[SnapshotToken]:
+        """Like :meth:`token`, but ``None`` for unregistered names."""
+        return self._tokens.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered names, in registration order."""
+        return tuple(self._databases)
+
+    def live_tokens(self) -> Tuple[SnapshotToken, ...]:
+        """The tokens of every registered head (the GC pin set)."""
+        return tuple(self._tokens.values())
+
+    def snapshot_map(self) -> Dict[str, Tuple[Database, PrimaryKeySet]]:
+        """A shallow copy of the registry (worker-process priming)."""
+        return dict(self._databases)
+
+    def __repr__(self) -> str:
+        return f"SnapshotRegistry({list(self._databases)!r})"

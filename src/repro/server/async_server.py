@@ -55,7 +55,7 @@ from typing import (
 
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
-from ..db.lineage import Lineage
+from ..db.lineage import CheckpointRecord, Lineage
 from ..engine.jobs import (
     BatchReport,
     CountJob,
@@ -92,9 +92,10 @@ class AsyncServer:
     policy:
         What a full queue does to a submitter: ``"wait"`` suspends it,
         ``"reject"`` raises :class:`~repro.errors.ServerOverloadedError`.
-    persist_dir, persist_max_entries, persist_max_age:
+    persist_dir, persist_max_entries, persist_max_age, checkpoint_every:
         Forwarded to every shard's pool (see :class:`SolverPool`); shards
-        share one persistent cache directory.
+        share one persistent cache directory, and ``checkpoint_every``
+        makes each shard cut compaction checkpoints for its owned names.
 
     Example — three jobs through a one-shard server (the synchronous
     :func:`serve_stream` wrapper drives exactly this API):
@@ -123,6 +124,7 @@ class AsyncServer:
         persist_dir: Optional[Union[str, Path]] = None,
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ServerError(f"shards must be >= 1, got {shards}")
@@ -133,12 +135,19 @@ class AsyncServer:
                 f"unknown backpressure policy {policy!r}; "
                 f"expected one of {BACKPRESSURE_POLICIES}"
             )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            # Validate in the parent: a bad interval must fail here, not
+            # as a BrokenProcessPool from the shard worker's initializer.
+            raise ServerError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self._shards = [
             Shard(
                 shard_id,
                 persist_dir=persist_dir,
                 persist_max_entries=persist_max_entries,
                 persist_max_age=persist_max_age,
+                checkpoint_every=checkpoint_every,
             )
             for shard_id in range(shards)
         ]
@@ -366,6 +375,31 @@ class AsyncServer:
         shard = self._owner_of(name)
         return await asyncio.wrap_future(shard.submit_history(name))
 
+    async def checkpoints(self, name: str) -> Tuple[CheckpointRecord, ...]:
+        """The known compaction checkpoints of ``name``, oldest first.
+
+        The checkpoint-aware companion of :meth:`history`: also a queued
+        probe on the owning shard, so it reflects every delta — and every
+        automatic ``checkpoint_every`` checkpoint those deltas cut —
+        submitted before the call.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        shard = self._owner_of(name)
+        return await asyncio.wrap_future(shard.submit_checkpoints(name))
+
+    async def checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+        """Cut an explicit compaction checkpoint of ``name`` on its shard.
+
+        FIFO with the name's jobs: the checkpoint captures exactly the
+        snapshot produced by the deltas submitted before the call.
+        Returns the record, or ``None`` if the snapshot store refused it.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        shard = self._owner_of(name)
+        return await asyncio.wrap_future(shard.submit_checkpoint(name))
+
     async def stats(self) -> Dict[str, object]:
         """Aggregate live statistics: queue counters plus per-shard state.
 
@@ -423,6 +457,7 @@ def serve_stream(
     persist_dir: Optional[Union[str, Path]] = None,
     persist_max_entries: Optional[int] = None,
     persist_max_age: Optional[float] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> BatchReport:
     """Serve one stream through a temporary :class:`AsyncServer`.
 
@@ -452,6 +487,7 @@ def serve_stream(
             persist_dir=persist_dir,
             persist_max_entries=persist_max_entries,
             persist_max_age=persist_max_age,
+            checkpoint_every=checkpoint_every,
         )
         for name, (database, keys) in databases.items():
             server.register(name, database, keys)

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
-from ..db.lineage import Lineage
+from ..db.lineage import CheckpointRecord, Lineage
 from ..engine.jobs import CountJob, JobResult, UpdateJob, UpdateReport
 from ..engine.pool import SolverPool
 from ..errors import ServerError
@@ -60,11 +60,13 @@ class Shard:
         persist_dir: Optional[Union[str, Path]] = None,
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         self.shard_id = shard_id
         self._persist_dir = persist_dir
         self._persist_max_entries = persist_max_entries
         self._persist_max_age = persist_max_age
+        self._checkpoint_every = checkpoint_every
         self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._pending_registrations: List["Future[None]"] = []
@@ -127,6 +129,7 @@ class Shard:
                 self._persist_dir,
                 self._persist_max_entries,
                 self._persist_max_age,
+                self._checkpoint_every,
             ),
         )
 
@@ -193,6 +196,24 @@ class Shard:
         self._raise_failed_registrations()
         return executor.submit(_shard_history, name)
 
+    def submit_checkpoints(
+        self, name: str
+    ) -> "Future[Tuple[CheckpointRecord, ...]]":
+        """Queue a checkpoint probe for one owned name (FIFO like history)."""
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_checkpoints, name)
+
+    def submit_checkpoint(self, name: str) -> "Future[Optional[CheckpointRecord]]":
+        """Queue an explicit compaction checkpoint of one owned name.
+
+        FIFO with the shard's jobs, so the checkpoint captures exactly the
+        snapshot produced by the deltas submitted before it.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_checkpoint, name)
+
     def __repr__(self) -> str:
         state = "running" if self.is_running else "stopped"
         return (
@@ -216,6 +237,7 @@ def _initialise_shard(
     persist_dir: Optional[Union[str, Path]],
     persist_max_entries: Optional[int],
     persist_max_age: Optional[float],
+    checkpoint_every: Optional[int] = None,
 ) -> None:
     """Prime the shard worker: build its pool, register its snapshots.
 
@@ -228,6 +250,7 @@ def _initialise_shard(
         persist_dir=persist_dir,
         persist_max_entries=persist_max_entries,
         persist_max_age=persist_max_age,
+        checkpoint_every=checkpoint_every,
     )
     for name, (database, keys) in databases.items():
         pool.register(name, database, keys)
@@ -264,6 +287,16 @@ def _shard_update(
 def _shard_history(name: str) -> Lineage:
     """The worker pool's recorded lineage of one owned name."""
     return _require_pool().lineage(name)
+
+
+def _shard_checkpoints(name: str) -> Tuple[CheckpointRecord, ...]:
+    """The worker pool's known checkpoints of one owned name."""
+    return _require_pool().checkpoints(name)
+
+
+def _shard_checkpoint(name: str) -> Optional[CheckpointRecord]:
+    """Cut an explicit compaction checkpoint inside the shard worker."""
+    return _require_pool().checkpoint(name)
 
 
 def _shard_stats() -> Dict[str, object]:

@@ -22,8 +22,14 @@ with three kinds of state:
     :class:`SnapshotCatalog` persists each name's
     :class:`~repro.db.lineage.Lineage` — the append-only chain of
     ``(digest, parent digest, effective delta, wall time)`` records that
-    ``register``/``apply_delta`` produce.  Replaying the chain is what
-    powers time-travel (``as_of``) queries and ``repro rollback``.
+    ``register``/``apply_delta`` produce — plus the **checkpoint markers**
+    of compacted chains.  Replaying the chain is what powers time-travel
+    (``as_of``) queries and ``repro rollback``.
+
+**Snapshots** (:mod:`repro.store.snapshots`)
+    :class:`SnapshotStore` persists whole databases at checkpointed chain
+    positions, so deep ``as_of`` replays start at the nearest checkpoint
+    instead of the live head or the chain origin.
 
 Example — the catalog records a chain that replays to any ancestor:
 
@@ -48,6 +54,7 @@ from .backend import FilesystemBackend, MemoryBackend, StoreBackend, as_backend
 from .caches import ContentAddressedStore, DecompositionDiskCache, SelectorDiskCache
 from .catalog import SnapshotCatalog
 from .format import FORMAT_VERSION, decode_entry, encode_entry, token_prefix
+from .snapshots import SnapshotStore
 
 __all__ = [
     "FORMAT_VERSION",
@@ -57,6 +64,7 @@ __all__ = [
     "MemoryBackend",
     "SelectorDiskCache",
     "SnapshotCatalog",
+    "SnapshotStore",
     "StoreBackend",
     "as_backend",
     "decode_entry",

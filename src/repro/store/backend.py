@@ -58,6 +58,15 @@ class StoreBackend(abc.ABC):
     def delete(self, name: str) -> bool:
         """Remove the entry ``name`` (best-effort); True iff it was removed."""
 
+    def exists(self, name: str) -> bool:
+        """Whether an entry ``name`` is present, without reading its blob.
+
+        The default reads and discards; backends override with a cheap
+        probe (a stat, a dict lookup).  Presence says nothing about
+        soundness — decoding still validates.
+        """
+        return self.read(name) is not None
+
     @abc.abstractmethod
     def entries(self, suffix: str) -> List[Tuple[float, str]]:
         """All ``(mtime, name)`` pairs whose name ends with ``suffix``."""
@@ -123,6 +132,9 @@ class FilesystemBackend(StoreBackend):
         except OSError:  # pragma: no cover - unlink race / readonly dir
             return False
 
+    def exists(self, name: str) -> bool:
+        return (self._directory / name).is_file()
+
     def entries(self, suffix: str) -> List[Tuple[float, str]]:
         collected: List[Tuple[float, str]] = []
         for path in self._directory.glob(f"*{suffix}"):
@@ -163,6 +175,9 @@ class MemoryBackend(StoreBackend):
 
     def delete(self, name: str) -> bool:
         return self._entries.pop(name, None) is not None
+
+    def exists(self, name: str) -> bool:
+        return name in self._entries
 
     def entries(self, suffix: str) -> List[Tuple[float, str]]:
         return [

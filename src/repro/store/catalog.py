@@ -17,6 +17,14 @@ Catalog entries share the store directory with the caches but use their
 own suffix, so cache garbage collection never touches them; history is
 small (one record per update) and is deliberately never GC'd.
 
+The catalog also records **checkpoints** — chain positions whose full
+database snapshot has been persisted (see
+:mod:`repro.store.snapshots`) so deep replays can start nearby.  A
+:class:`~repro.db.lineage.CheckpointRecord` is its own immutable ``.ckp``
+entry keyed by ``(name, sequence)``; loading validates each one against
+the loaded chain (same sequence, same digest), so a checkpoint of a
+truncated-and-rewritten slot can never annotate the wrong record.
+
 >>> import tempfile
 >>> from repro.db import LineageRecord
 >>> catalog = SnapshotCatalog(tempfile.mkdtemp())
@@ -37,7 +45,7 @@ import pickle
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
-from ..db.lineage import Lineage, LineageRecord
+from ..db.lineage import CheckpointRecord, Lineage, LineageRecord
 from ..errors import StoreError
 from .backend import StoreBackend, as_backend
 from .format import FORMAT_VERSION, decode_entry, encode_entry
@@ -46,6 +54,8 @@ __all__ = ["SnapshotCatalog"]
 
 _MAGIC = b"RCAT"
 _SUFFIX = ".rec"
+_CHECKPOINT_MAGIC = b"RCKP"
+_CHECKPOINT_SUFFIX = ".ckp"
 
 
 class SnapshotCatalog:
@@ -117,7 +127,7 @@ class SnapshotCatalog:
             record, damaged = self._load_record(name, sequence)
             if record is None:
                 if damaged:
-                    self._purge_from(name, sequence + 1)
+                    self._purge_from(name, sequence)
                 break
             records.append(record)
             sequence += 1
@@ -149,10 +159,90 @@ class SnapshotCatalog:
         return record, False
 
     def _purge_from(self, name: str, sequence: int) -> None:
-        """Delete every stored record of ``name`` from ``sequence`` on."""
+        """Delete the stored records of ``name`` from ``sequence`` on.
+
+        ``sequence`` is the damaged slot: its record entry was already
+        deleted by the loader, so deletion of record entries starts one
+        past it — but its checkpoint marker (and those of every purged
+        successor) is swept here, so truncation never strands orphan
+        ``.ckp`` entries in the store.
+        """
+        self._backend.delete(self.checkpoint_entry_name(name, sequence))
+        sequence += 1
         while self._backend.delete(self.entry_name(name, sequence)):
             self.truncated += 1
+            self._backend.delete(self.checkpoint_entry_name(name, sequence))
             sequence += 1
+
+    # ------------------------------------------------------------------ #
+    # checkpoints
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def checkpoint_entry_name(name: str, sequence: int) -> str:
+        """The entry name of one ``(name, sequence)`` checkpoint marker."""
+        material = "\x1f".join(
+            [f"v{FORMAT_VERSION}", "checkpoint", name, str(sequence)]
+        )
+        return (
+            hashlib.sha256(material.encode("utf-8")).hexdigest()
+            + _CHECKPOINT_SUFFIX
+        )
+
+    def record_checkpoint(self, record: CheckpointRecord) -> bool:
+        """Persist one checkpoint marker atomically; False on I/O failure.
+
+        Like lineage appends, persistence failures are non-fatal — a lost
+        marker only means future processes replay further.
+        """
+        if not isinstance(record, CheckpointRecord):
+            raise StoreError(
+                f"the catalog records CheckpointRecords here, "
+                f"got {type(record).__name__}"
+            )
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._backend.write(
+            self.checkpoint_entry_name(record.name, record.sequence),
+            encode_entry(_CHECKPOINT_MAGIC, payload),
+        )
+
+    def checkpoints(
+        self, name: str, chain: Optional[Lineage] = None
+    ) -> Tuple[CheckpointRecord, ...]:
+        """The persisted checkpoint markers of ``name``, oldest first.
+
+        Each marker is validated against the loaded chain: it must
+        annotate a record with the *same* sequence and digest.  A marker
+        left over from a truncated-and-rewritten slot (or otherwise
+        damaged) is deleted best-effort and skipped — so a returned
+        checkpoint always names a real, replay-reachable chain position.
+        """
+        if chain is None:
+            chain = self.lineage(name)
+        found = []
+        for record in chain:
+            entry_name = self.checkpoint_entry_name(name, record.sequence)
+            blob = self._backend.read(entry_name)
+            if blob is None:
+                continue
+            payload = decode_entry(_CHECKPOINT_MAGIC, blob)
+            marker: object = None
+            if payload is not None:
+                try:
+                    marker = pickle.loads(payload)
+                except Exception:  # noqa: BLE001 - unpickling failure is corruption
+                    marker = None
+            if (
+                not isinstance(marker, CheckpointRecord)
+                or marker.name != name
+                or marker.sequence != record.sequence
+                or marker.digest != record.digest
+                or marker.keys_digest != record.keys_digest
+            ):
+                self.corrupt += 1
+                self._backend.delete(entry_name)
+                continue
+            found.append(marker)
+        return tuple(found)
 
     def entry_count(self) -> int:
         """Number of record entries currently stored (across all names)."""

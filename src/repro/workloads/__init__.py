@@ -23,11 +23,12 @@ from .scenarios import (
     hr_analytics,
     sensor_fusion,
 )
-from .history import history_workload
+from .history import ANCESTOR_BIASES, history_workload
 from .serving import serve_workload
 from .updates import update_stream
 
 __all__ = [
+    "ANCESTOR_BIASES",
     "InconsistentDatabaseSpec",
     "Scenario",
     "batch_workload",

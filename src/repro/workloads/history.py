@@ -36,6 +36,13 @@ __all__ = ["history_workload"]
 _RELATIONS = {"R": 3, "S": 3}
 
 
+#: How historical counts pick their ancestor: uniformly over the chain,
+#: biased to the newest versions ("yesterday's data"), or biased to the
+#: oldest ("the original import") — the deep-replay regime checkpoint
+#: compaction is for.
+ANCESTOR_BIASES = ("uniform", "recent", "deep")
+
+
 def history_workload(
     jobs: int = 40,
     update_every: int = 4,
@@ -48,6 +55,7 @@ def history_workload(
     methods: Sequence[str] = ("auto", "certificate", "fpras"),
     epsilon: float = 0.25,
     delta: float = 0.2,
+    ancestor_bias: str = "uniform",
 ) -> Tuple[
     Dict[str, Tuple[Database, PrimaryKeySet]],
     List[Union[CountJob, UpdateJob]],
@@ -61,8 +69,12 @@ def history_workload(
     cumulative, generated against the state the previous deltas
     produced).  Once a database has ancestors, each of its counts is a
     *historical* count with probability ``history_fraction``: its
-    ``as_of`` references a uniformly chosen recorded ancestor — by
-    content digest three times out of four, by negative chain index
+    ``as_of`` references a recorded ancestor — chosen uniformly by
+    default, or per ``ancestor_bias`` (one of :data:`ANCESTOR_BIASES`):
+    ``"recent"`` picks among the four newest ancestors, ``"deep"`` among
+    the four oldest, which on a long chain is exactly the replay-heavy
+    regime checkpoint compaction (benchmark E17) targets.  References are
+    by content digest three times out of four, by negative chain index
     otherwise, so both reference forms stay exercised.
 
     Everything derives from ``seed``; per-count seeds come from
@@ -83,6 +95,11 @@ def history_workload(
         raise ValueError(f"need at least one database, got {databases}")
     if not 0.0 <= history_fraction <= 1.0:
         raise ValueError(f"history_fraction must be in [0, 1], got {history_fraction}")
+    if ancestor_bias not in ANCESTOR_BIASES:
+        raise ValueError(
+            f"unknown ancestor_bias {ancestor_bias!r}; "
+            f"expected one of {ANCESTOR_BIASES}"
+        )
     rng = random.Random(seed)
 
     registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
@@ -138,10 +155,18 @@ def history_workload(
         as_of: Union[str, int, None] = None
         label = query.name
         if len(chains[name]) > 1 and rng.random() < history_fraction:
-            # A historical count against a uniformly chosen ancestor.  At
-            # this stream position the head is chains[name][-1], so the
-            # negative-index form is well defined too.
-            ancestor = rng.randrange(len(chains[name]) - 1)
+            # A historical count against a recorded ancestor.  At this
+            # stream position the head is chains[name][-1], so the
+            # negative-index form is well defined too.  The rng call
+            # sequence for "uniform" is unchanged from earlier releases,
+            # so seeded streams stay bit-identical.
+            choices = len(chains[name]) - 1
+            if ancestor_bias == "recent":
+                ancestor = choices - 1 - rng.randrange(min(4, choices))
+            elif ancestor_bias == "deep":
+                ancestor = rng.randrange(min(4, choices))
+            else:
+                ancestor = rng.randrange(choices)
             if rng.random() < 0.75:
                 as_of = chains[name][ancestor]
             else:

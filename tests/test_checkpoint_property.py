@@ -1,0 +1,140 @@
+"""Randomized property suite: checkpointed replay ≡ pure delta replay.
+
+Satellite of the checkpoint-compaction PR: over ≥50 randomly generated
+lineage chains — random effective deltas, interspersed rollback records,
+random checkpoint placements, randomly *missing* checkpoint snapshots —
+:meth:`Lineage.materialise` with checkpoint loaders must be
+**bit-identical** to the pure delta replay from the chain origin, for
+
+* **forward** resolution (materialising from the *origin* database —
+  every target is downstream), and
+* **backward** resolution (materialising from the *head* database —
+  every target is upstream, replayed via exact delta inverses),
+
+including chains whose head moved backwards through ``"rollback"``
+records.  Every target digest of every chain is checked, so a wrong
+shortest-path inversion, a stale checkpoint loader or a bad fallback
+would show up as a digest mismatch or an inequality here.
+"""
+
+import random
+
+import pytest
+
+from repro.db import Database, Delta, Lineage, LineageRecord, fact
+
+_RELATIONS = ("R", "S")
+_CHAINS = 60
+_KEYS_DIGEST = "k" * 64
+
+
+def _random_fact(rng):
+    relation = rng.choice(_RELATIONS)
+    return fact(relation, rng.randrange(12), f"v{rng.randrange(6)}")
+
+
+def _random_effective_delta(rng, database):
+    """A non-empty delta whose inserted/deleted sets are exactly effective."""
+    for _ in range(32):
+        present = sorted(database.facts())
+        inserted = {
+            item
+            for item in (_random_fact(rng) for _ in range(rng.randint(1, 4)))
+            if item not in database.facts()
+        }
+        deleted = set()
+        if present and rng.random() < 0.6:
+            deleted = set(rng.sample(present, k=rng.randint(1, min(3, len(present)))))
+        if inserted or deleted:
+            return Delta(inserted=sorted(inserted), deleted=sorted(deleted))
+    raise AssertionError("could not generate an effective delta")
+
+
+def _random_chain(seed):
+    """A random lineage with deltas and rollbacks, plus its state table."""
+    rng = random.Random(seed)
+    database = Database(
+        [_random_fact(rng) for _ in range(rng.randint(2, 8))]
+    ).freeze()
+    states = {database.content_digest(): database}
+    chain = Lineage("live").append(
+        LineageRecord(
+            "live", 0, database.content_digest(), _KEYS_DIGEST, None,
+            "register", None, 0.0,
+        )
+    )
+    head = database
+    for _ in range(rng.randint(4, 14)):
+        if len(chain) > 2 and rng.random() < 0.15:
+            # A rollback: the head jumps to a random earlier digest.
+            target = rng.choice(chain.records[:-1]).digest
+            head = states[target]
+            chain = chain.append(
+                LineageRecord(
+                    "live", len(chain), target, _KEYS_DIGEST,
+                    chain.head.digest, "rollback", None, 0.0,
+                )
+            )
+            continue
+        delta = _random_effective_delta(rng, head)
+        previous = head
+        head = head.apply_delta(delta).freeze()
+        chain = chain.append(
+            LineageRecord(
+                "live", len(chain), head.content_digest(), _KEYS_DIGEST,
+                previous.content_digest(), "delta", delta, 0.0,
+            )
+        )
+        states[head.content_digest()] = head
+    return chain, states, head, rng
+
+
+def _random_loaders(rng, states):
+    """Checkpoint loaders over a random subset of states; some are 'lost'."""
+    digests = sorted(states)
+    chosen = rng.sample(digests, k=rng.randint(0, len(digests)))
+    loaders = {}
+    for digest in chosen:
+        if rng.random() < 0.25:
+            # A checkpoint whose snapshot entry is missing/corrupt: the
+            # loader yields None and replay must fall back gracefully.
+            loaders[digest] = lambda: None
+        else:
+            snapshot = states[digest]
+            loaders[digest] = lambda snapshot=snapshot: Database(snapshot.facts())
+    return loaders
+
+
+@pytest.mark.parametrize("seed", range(_CHAINS))
+def test_checkpointed_materialise_is_bit_identical_to_pure_replay(seed):
+    chain, states, head, rng = _random_chain(seed)
+    origin = states[chain.records[0].digest]
+    loaders = _random_loaders(rng, states)
+
+    for target_digest, expected in states.items():
+        # Forward resolution: from the chain origin, downstream replay.
+        forward_pure = chain.materialise(origin, target_digest)
+        forward_ckpt = chain.materialise(origin, target_digest, checkpoints=loaders)
+        # Backward resolution: from the head, upstream via exact inverses.
+        backward_pure = chain.materialise(head, target_digest)
+        backward_ckpt = chain.materialise(head, target_digest, checkpoints=loaders)
+
+        for produced in (forward_pure, forward_ckpt, backward_pure, backward_ckpt):
+            assert produced.content_digest() == target_digest
+            assert produced == expected
+        assert forward_ckpt == forward_pure == backward_ckpt == backward_pure
+
+
+@pytest.mark.parametrize("seed", range(0, _CHAINS, 7))
+def test_replay_distance_never_exceeds_the_checkpoint_free_distance(seed):
+    """The cost model: checkpoints can only shorten the promised replay."""
+    chain, states, head, rng = _random_chain(seed)
+    loaders = _random_loaders(rng, states)
+    head_digest = head.content_digest()
+    for target_digest in states:
+        plain = chain.replay_distance(head_digest, target_digest)
+        compacted = chain.replay_distance(
+            head_digest, target_digest, checkpoints=loaders
+        )
+        assert plain is not None and compacted is not None
+        assert compacted <= plain

@@ -1,0 +1,141 @@
+"""Tests for the layered engine core behind the :class:`SolverPool` facade.
+
+The decomposition contract: ``repro.engine`` is four stacked modules —
+registry, cache coordinator, lineage service, executor — and each layer
+is usable on its own, without the facade.  These tests drive the layers
+directly (the facade's behaviour is pinned by the pre-existing
+``test_engine_*`` / ``test_time_travel`` / ``test_server`` suites, which
+this PR keeps passing unmodified) and pin the facade's delegation
+boundaries: the pool holds *no* engine state of its own.
+"""
+
+import pytest
+
+from repro.db import Database, Delta, PrimaryKeySet, fact
+from repro.engine import (
+    CacheCoordinator,
+    CountJob,
+    JobExecutor,
+    LineageService,
+    SnapshotRegistry,
+    SolverPool,
+)
+from repro.errors import EngineError, FrozenDatabaseError
+
+
+def _instance():
+    database = Database(
+        [fact("R", 1, "a", "x"), fact("R", 1, "b", "x"), fact("R", 2, "a", "y")]
+    )
+    return database, PrimaryKeySet.from_dict({"R": [1]})
+
+
+def _stack(**coordinator_kwargs):
+    registry = SnapshotRegistry()
+    caches = CacheCoordinator(**coordinator_kwargs)
+    lineage = LineageService(registry, caches)
+    executor = JobExecutor(registry, caches, lineage)
+    return registry, caches, lineage, executor
+
+
+class TestSnapshotRegistry:
+    def test_register_freezes_and_reports_displacement(self):
+        database, keys = _instance()
+        registry = SnapshotRegistry()
+        token, displaced = registry.register("live", database, keys)
+        assert displaced is None
+        assert registry.token("live") == token
+        with pytest.raises(FrozenDatabaseError):
+            database.add(fact("R", 9, "q", "q"))
+
+        other = Database([fact("R", 5, "c", "z")])
+        _, displaced = registry.register("live", other, keys)
+        assert displaced == token  # content changed: old token handed back
+        _, displaced = registry.register("live", other, keys)
+        assert displaced is None  # identical content displaces nothing
+
+    def test_unknown_names_fail_loudly(self):
+        registry = SnapshotRegistry()
+        with pytest.raises(EngineError, match="unknown database"):
+            registry.lookup("ghost")
+        with pytest.raises(EngineError, match="non-empty name"):
+            registry.register("", *_instance())
+
+    def test_live_tokens_cover_every_head(self):
+        database, keys = _instance()
+        registry = SnapshotRegistry()
+        registry.register("a", database, keys)
+        registry.register("b", Database(database.facts()), keys)
+        assert len(registry.names()) == 2
+        assert set(registry.live_tokens()) == {registry.token("a")}  # shared
+
+
+class TestLayeredExecution:
+    def test_the_stack_answers_jobs_without_the_facade(self):
+        database, keys = _instance()
+        registry, caches, lineage, executor = _stack()
+        token, _ = registry.register("live", database, keys)
+        lineage.record_head("live", token, kind="register")
+
+        job = CountJob(database="live", query="EXISTS x, y. R(x, 'a', y)")
+        first = executor.run_job(job)
+        second = executor.run_job(job)
+        assert first.count_fields()[1:] == second.count_fields()[1:]
+        assert "selectors" in second.cache_hits
+
+        # ...bit-identically to the facade over the same instance.
+        pool = SolverPool()
+        pool.register("live", Database(database.facts()), keys)
+        assert pool.run_job(job).count_fields() == first.count_fields()
+
+    def test_apply_delta_records_history_through_the_lineage_layer(self):
+        database, keys = _instance()
+        registry, caches, lineage, executor = _stack()
+        token, _ = registry.register("live", database, keys)
+        lineage.record_head("live", token, kind="register")
+
+        report = executor.apply_delta(
+            "live", Delta(inserted=[fact("R", 7, "a", "w")])
+        )
+        assert report.inserted == 1
+        chain = lineage.lineage("live")
+        assert [record.kind for record in chain] == ["register", "delta"]
+        assert registry.token("live")[0] == chain.head.digest
+
+    def test_facade_delegates_instead_of_owning_state(self):
+        """The pool is a facade: its engine state lives in the four layers."""
+        pool = SolverPool()
+        component_types = (
+            SnapshotRegistry, CacheCoordinator, LineageService, JobExecutor,
+        )
+        components = {
+            name: value
+            for name, value in vars(pool).items()
+            if isinstance(value, component_types)
+        }
+        assert len(components) == 4
+        # Nothing but the four layer objects hangs off the facade.
+        assert set(vars(pool)) == set(components)
+
+
+class TestCacheCoordinatorStandalone:
+    def test_decomposition_provenance_labels(self, tmp_path):
+        database, keys = _instance()
+        database.freeze()
+        token = (database.content_digest(), keys.content_digest())
+        caches = CacheCoordinator(persist_dir=tmp_path)
+        assert caches.decomposition(token, database, keys)[1] == "computed"
+        assert caches.decomposition(token, database, keys)[1] == "memory"
+        # A second coordinator over the same store loads from disk.
+        fresh = CacheCoordinator(persist_dir=tmp_path)
+        assert fresh.decomposition(token, database, keys)[1] == "disk"
+        assert fresh.decomposition_recomputations == 0
+
+    def test_checkpoint_snapshots_round_trip(self, tmp_path):
+        database, keys = _instance()
+        database.freeze()
+        token = (database.content_digest(), keys.content_digest())
+        caches = CacheCoordinator(persist_dir=tmp_path)
+        assert caches.store_checkpoint(token, database)
+        assert caches.load_checkpoint(token) == database
+        assert CacheCoordinator().store_checkpoint(token, database) is False

@@ -30,7 +30,7 @@ from repro.engine import (
     load_job_file,
     parse_job_document,
 )
-from repro.engine.persist import FORMAT_VERSION, SelectorDiskCache
+from repro.store import FORMAT_VERSION, SelectorDiskCache
 from repro.errors import BatchSpecError, EngineError, FrozenDatabaseError
 from repro.query import parse_query
 from repro.workloads import update_stream

@@ -125,9 +125,14 @@ class TestPoolGarbageCollection:
             "emp", Delta(inserted=[Fact("Employee", (9, "Zoe", "HR"))])
         )
         pool.run([CountJob(database="emp", query=query) for query in _queries(3)])
-        # ...and only they are evictable; the new head's are pinned.
+        # ...and only they are evictable; the new head's are pinned.  The
+        # checkpoint-snapshot layer exists (and is GC'd) but is empty here.
         evicted = pool.collect_garbage(max_entries=0)
-        assert evicted == {"selectors-disk": 3, "decomposition-disk": 1}
+        assert evicted == {
+            "selectors-disk": 3,
+            "decomposition-disk": 1,
+            "snapshots-disk": 0,
+        }
         stats = pool.cache_stats()
         assert stats["selectors-disk"]["gc_evictions"] == 3
         assert stats["decomposition-disk"]["gc_evictions"] == 1
@@ -169,7 +174,11 @@ class TestGcPinningProtectsLiveSnapshots:
         assert pool.selector_recomputations == 3
 
         evicted = pool.collect_garbage(max_entries=0, max_age_seconds=0)
-        assert evicted == {"selectors-disk": 0, "decomposition-disk": 0}
+        assert evicted == {
+            "selectors-disk": 0,
+            "decomposition-disk": 0,
+            "snapshots-disk": 0,
+        }
         assert pool.cache_stats()["selectors-disk"]["entries"] == 3
 
         # A restarted pool still serves the whole workload warm.
@@ -212,6 +221,7 @@ class TestGcPinningProtectsLiveSnapshots:
         assert pool.collect_garbage() == {
             "selectors-disk": 0,
             "decomposition-disk": 0,
+            "snapshots-disk": 0,
         }
         assert pool.cache_stats()["selectors-disk"]["entries"] == 3
 
@@ -229,7 +239,11 @@ class TestGcPinningProtectsLiveSnapshots:
         # Old-snapshot entries (2 selectors, 1 decomposition) are now
         # evictable; the new head's entries survive the harshest bounds.
         evicted = pool.collect_garbage(max_entries=0, max_age_seconds=0)
-        assert evicted == {"selectors-disk": 2, "decomposition-disk": 1}
+        assert evicted == {
+            "selectors-disk": 2,
+            "decomposition-disk": 1,
+            "snapshots-disk": 0,
+        }
         restarted = SolverPool(persist_dir=tmp_path)
         restarted.register("emp", database.apply_delta(
             Delta(inserted=[Fact("Employee", (8, "Kim", "IT"))])

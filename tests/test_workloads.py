@@ -142,3 +142,79 @@ class TestServeWorkload:
         for name, (database, keys) in registry2.items():
             replay_pool.register(name, database, keys)
         assert replay_pool.run_stream(stream2).counts() == first.counts()
+
+
+class TestHistoryWorkloadAncestorBias:
+    def test_uniform_bias_is_the_backward_compatible_default(self):
+        from repro.workloads import history_workload
+
+        plain = history_workload(jobs=16, update_every=3, seed=2)[1]
+        explicit = history_workload(
+            jobs=16, update_every=3, seed=2, ancestor_bias="uniform"
+        )[1]
+        assert plain == explicit  # same rng consumption, bit-identical
+
+    def test_biases_pick_the_intended_end_of_the_chain(self):
+        from repro.engine import CountJob, SolverPool, UpdateJob
+        from repro.workloads import history_workload
+
+        def ancestor_picks(bias):
+            """(depth from root, distance from head) of historical counts."""
+            registry, stream = history_workload(
+                jobs=40, update_every=2, seed=3, history_fraction=0.9,
+                ancestor_bias=bias,
+            )
+            digests = {
+                name: [database.content_digest()]
+                for name, (database, _) in registry.items()
+            }
+            live = {name: database for name, (database, _) in registry.items()}
+            picks = []
+            for item in stream:
+                if isinstance(item, UpdateJob):
+                    live[item.database] = live[item.database].apply_delta(item.delta)
+                    digests[item.database].append(live[item.database].content_digest())
+                elif isinstance(item, CountJob) and item.as_of is not None:
+                    chain = digests[item.database]
+                    if isinstance(item.as_of, int):
+                        depth = len(chain) - 1 + item.as_of
+                    else:
+                        depth = chain.index(item.as_of)
+                    picks.append((depth, len(chain) - 1 - depth))
+            return picks
+
+        deep = ancestor_picks("deep")
+        recent = ancestor_picks("recent")
+        assert deep and recent
+        # "deep" always lands among the four oldest versions...
+        assert max(depth for depth, _ in deep) <= 3
+        # ...and "recent" within four versions of the then-current head.
+        assert max(distance for _, distance in recent) <= 4
+        # On a long chain the two regimes actually diverge.
+        assert max(distance for _, distance in deep) > 4
+
+    def test_unknown_bias_fails_loudly(self):
+        from repro.workloads import history_workload
+
+        with pytest.raises(ValueError, match="ancestor_bias"):
+            history_workload(jobs=4, ancestor_bias="sideways")
+
+    def test_biased_streams_replay_identically_through_a_pool(self):
+        from repro.engine import SolverPool
+        from repro.workloads import history_workload
+
+        registry, stream = history_workload(
+            jobs=14, update_every=3, seed=6, ancestor_bias="deep"
+        )
+        pool = SolverPool()
+        for name, (database, keys) in registry.items():
+            pool.register(name, database, keys)
+        first = pool.run_stream(stream)
+
+        replay = SolverPool()
+        registry2, stream2 = history_workload(
+            jobs=14, update_every=3, seed=6, ancestor_bias="deep"
+        )
+        for name, (database, keys) in registry2.items():
+            replay.register(name, database, keys)
+        assert replay.run_stream(stream2).counts() == first.counts()
