@@ -1,0 +1,193 @@
+"""E18 — the HTTP network front under concurrent load.
+
+Claims exercised:
+
+* **Sustained concurrent throughput** — a 2-shard
+  :class:`~repro.server.AsyncServer` behind the zero-dependency
+  :class:`~repro.server.HttpServer` serves a cheap certificate workload
+  driven by **200 concurrent keep-alive connections**
+  (:func:`~repro.workloads.drive_http_load`) with every request answered
+  (zero drops), bounded p99 latency, and a second measured wave that
+  sustains the first wave's throughput — the front does not degrade as
+  connections stay open.
+* **Overload is loud, never silent** — under the ``"reject"`` policy
+  with a tiny queue, a burst of one-shot clients (no retry budget) ends
+  with every request either completed or holding a 429/503-mapped
+  exception; ``completed + rejected == requests`` exactly, at least one
+  rejection is observed, and the server keeps serving afterwards.  No
+  request is dropped, no connection hangs (the whole burst runs under a
+  hard timeout).
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.engine import CountJob
+from repro.errors import ServerOverloadedError
+from repro.server import AsyncServer, HttpServer, ServeClient
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    drive_http_load,
+    random_inconsistent_database,
+)
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def make_databases(count=2, blocks=8):
+    """Small databases: the wire and the event loop dominate, not solving."""
+    registry = {}
+    for index in range(count):
+        spec = InconsistentDatabaseSpec(
+            relations=_RELATIONS,
+            blocks_per_relation=blocks,
+            conflict_rate=0.4,
+            max_block_size=3,
+            domain_size=50,
+        )
+        registry[f"db-{index}"] = random_inconsistent_database(spec, seed=index)
+    return registry
+
+
+def cheap_jobs(jobs, databases=2):
+    """Cheap certificate counts alternating over the databases."""
+    return [
+        CountJob(
+            database=f"db-{index % databases}",
+            query=f"EXISTS x, y. R(x, 'v{index % 5}', y)",
+            method="certificate",
+        )
+        for index in range(jobs)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# sustained throughput at 200 concurrent connections
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_http_front_sustains_200_connections():
+    """200 keep-alive connections: zero drops, bounded p99, sustained rate."""
+    registry = make_databases(count=2)
+    wave = cheap_jobs(jobs=400)
+
+    async def run():
+        server = AsyncServer(shards=2, queue_limit=64)
+        for name, (database, keys) in registry.items():
+            server.register(name, database, keys)
+        async with server:
+            async with HttpServer(server) as front:
+                # Warm wave: shard caches and the interpreter settle.
+                await drive_http_load(
+                    front.host, front.port, cheap_jobs(jobs=100), connections=50
+                )
+                first = await drive_http_load(
+                    front.host, front.port, wave, connections=200
+                )
+                second = await drive_http_load(
+                    front.host, front.port, wave, connections=200
+                )
+                return first, second, front.requests
+
+    first, second, http_requests = asyncio.run(asyncio.wait_for(run(), 300))
+
+    # Total accounting: every request of both waves was answered.
+    for report in (first, second):
+        assert report.completed == report.requests, report
+        assert report.rejected == 0 and report.errors == 0, report
+    assert http_requests >= first.requests + second.requests
+
+    assert first.throughput >= 20.0, f"throughput collapsed: {first}"
+    assert first.latency_p99 <= 10.0, f"p99 unbounded: {first}"
+    # Sustained: the second wave keeps at least 60% of the first wave's
+    # rate (generous: CI machines jitter, but a leak or a connection
+    # pile-up shows up far below this line).
+    assert second.throughput >= 0.6 * first.throughput, (first, second)
+
+
+# --------------------------------------------------------------------- #
+# overload: 429/503, never a silent drop or a hung connection
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_http_overload_answers_loudly():
+    """A tiny reject-policy queue under a burst: every request accounted."""
+    registry = make_databases(count=2, blocks=10)
+    burst = cheap_jobs(jobs=250)
+
+    async def run():
+        server = AsyncServer(shards=2, queue_limit=2, policy="reject")
+        for name, (database, keys) in registry.items():
+            server.register(name, database, keys)
+        async with server:
+            async with HttpServer(server) as front:
+                completed = rejected = 0
+
+                async def one_shot(index, item):
+                    nonlocal completed, rejected
+                    # retries=0: the server's answer, not the backoff,
+                    # is under test.
+                    client = ServeClient(front.host, front.port, retries=0)
+                    try:
+                        await client.count(item.to_json(), index=index)
+                    except ServerOverloadedError:
+                        rejected += 1
+                    else:
+                        completed += 1
+                    finally:
+                        await client.close()
+
+                await asyncio.gather(
+                    *(one_shot(i, item) for i, item in enumerate(burst))
+                )
+
+                # The server survived the burst and still answers.
+                async with ServeClient(front.host, front.port) as client:
+                    result = await client.count(burst[0].to_json())
+                assert result["satisfying"] >= 0
+
+                return completed, rejected, front.rejected, server.rejected
+
+    completed, rejected, http_rejected, server_rejected = asyncio.run(
+        asyncio.wait_for(run(), 300)  # a hung connection fails, loudly
+    )
+
+    assert completed + rejected == len(burst), (completed, rejected)
+    assert rejected >= 1, "a queue of 2 under a 250-burst must reject"
+    assert completed >= 1, "some of the burst must get through"
+    assert http_rejected >= rejected  # every client-seen 429 was counted
+    assert server_rejected >= rejected
+
+
+# --------------------------------------------------------------------- #
+# recorded numbers (full tier only)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("connections", [50, 200])
+def test_http_throughput(benchmark, connections):
+    """Recorded HTTP throughput at 50 and 200 concurrent connections."""
+    registry = make_databases(count=2)
+    wave = cheap_jobs(jobs=200)
+
+    async def serve_wave():
+        server = AsyncServer(shards=2, queue_limit=64)
+        for name, (database, keys) in registry.items():
+            server.register(name, database, keys)
+        async with server:
+            async with HttpServer(server) as front:
+                return await drive_http_load(
+                    front.host, front.port, wave, connections=connections
+                )
+
+    report = benchmark.pedantic(lambda: asyncio.run(serve_wave()), rounds=2)
+    benchmark.extra_info["connections"] = connections
+    benchmark.extra_info["cores"] = _available_cores()
+    benchmark.extra_info["throughput"] = round(report.throughput, 1)
+    benchmark.extra_info["latency_p99_ms"] = round(report.latency_p99 * 1000, 1)
+    assert report.completed == report.requests

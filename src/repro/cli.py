@@ -236,6 +236,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the server's aggregated stats JSON to stderr at the end",
     )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the HTTP network front on PORT instead of streaming "
+        "results to stdout (0 picks a free port; the bound address is "
+        "printed as a JSON ready line); the job file then only declares "
+        "databases",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --http (default 127.0.0.1)",
+    )
 
     history = subparsers.add_parser(
         "history",
@@ -371,6 +386,12 @@ def _run_serve(arguments: argparse.Namespace) -> int:
     reports) — the streaming shape a service client consumes.  With
     ``--stdin``, jobs are read lazily line by line after the job file's own
     jobs, so queue backpressure propagates to the input reader.
+
+    With ``--http PORT`` the command becomes a network service instead:
+    the job file only declares databases, the HTTP front binds to
+    ``--host``/PORT (0 picks a free port), a single JSON ready line with
+    the bound address is printed to stdout, and the process serves until
+    interrupted.
     """
     import asyncio
 
@@ -383,9 +404,17 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                 raise ReproError("--checkpoint-every must be >= 1")
             if not arguments.persist_cache:
                 raise ReproError("--checkpoint-every requires --persist-cache")
+        if arguments.http is not None and arguments.stdin:
+            raise ReproError("--http and --stdin are mutually exclusive")
         databases, file_jobs = load_job_file(
-            arguments.jobs, require_jobs=not arguments.stdin
+            arguments.jobs,
+            require_jobs=not (arguments.stdin or arguments.http is not None),
         )
+        if arguments.http is not None and file_jobs:
+            raise ReproError(
+                "--http serves jobs over the network; the job file must "
+                f"only declare databases (found {len(file_jobs)} jobs)"
+            )
     except ReproError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
@@ -419,6 +448,22 @@ def _run_serve(arguments: argparse.Namespace) -> int:
         for name, (database, keys) in databases.items():
             server.register(name, database, keys)
         async with server:
+            if arguments.http is not None:
+                from .server import HttpServer
+
+                async with HttpServer(
+                    server, host=arguments.host, port=arguments.http
+                ) as front:
+                    # The ready line: the one stdout line a launcher
+                    # needs to find the (possibly OS-assigned) port.
+                    print(
+                        json.dumps(
+                            {"http": {"host": front.host, "port": front.port}}
+                        ),
+                        flush=True,
+                    )
+                    await front.serve_forever()
+                return 0
             async for result in server.results(stream_items()):
                 payload = result.to_json()
                 if isinstance(result, UpdateReport):
@@ -430,6 +475,10 @@ def _run_serve(arguments: argparse.Namespace) -> int:
 
     try:
         return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        # The expected way to stop `serve --http`: a clean exit, with the
+        # asyncio.run teardown having stopped shards and connections.
+        return 0
     except (ReproError, json.JSONDecodeError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2

@@ -128,6 +128,17 @@ class ServerError(EngineError):
     """
 
 
+class WireError(ServerError):
+    """An HTTP wire-protocol exchange was malformed or truncated.
+
+    Raised by the zero-dependency HTTP front (:mod:`repro.server.wire`)
+    for unparseable request lines, oversized headers/bodies, truncated
+    chunked streams and the like.  Server-side it maps to a ``400``
+    response; client-side it means the transport broke mid-exchange —
+    never that a job failed silently.
+    """
+
+
 class ServerOverloadedError(ServerError):
     """A job was rejected because the bounded queue is full.
 

@@ -17,16 +17,37 @@ This package is the service-shaped front of the repository (see
     The synchronous convenience wrapper: one call, one temporary server,
     one report.
 
+:class:`HttpServer` / :class:`ServeClient`
+    The network front and its client: a zero-dependency HTTP/1.1 layer
+    (framing in :mod:`repro.server.wire`) over a running ``AsyncServer``.
+    Backpressure surfaces as status codes (429 for a rejected job, 503
+    for an unavailable server, both with ``Retry-After``), streams are
+    chunked JSON-lines with failures reported in band
+    (:class:`StreamFailure` on the asyncio side), and the client brings
+    retry budgets with exponential backoff plus streaming result
+    iterators.
+
 The CLI surface is ``python -m repro serve`` (job files or stdin
-JSON-lines in, JSON-lines results out).
+JSON-lines in, JSON-lines results out; ``--http PORT`` serves the HTTP
+front instead).
 """
 
-from .async_server import BACKPRESSURE_POLICIES, AsyncServer, serve_stream
+from .async_server import (
+    BACKPRESSURE_POLICIES,
+    AsyncServer,
+    StreamFailure,
+    serve_stream,
+)
+from .client import ServeClient
+from .http import HttpServer
 from .shards import Shard
 
 __all__ = [
     "AsyncServer",
     "BACKPRESSURE_POLICIES",
+    "HttpServer",
+    "ServeClient",
     "Shard",
+    "StreamFailure",
     "serve_stream",
 ]

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     AsyncIterator,
@@ -49,13 +50,14 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Set,
     Tuple,
     Union,
 )
 
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
-from ..db.lineage import CheckpointRecord, Lineage
+from ..db.lineage import CheckpointRecord, Lineage, LineageRecord
 from ..engine.jobs import (
     BatchReport,
     CountJob,
@@ -67,7 +69,12 @@ from ..engine.jobs import (
 from ..errors import EngineError, ServerError, ServerOverloadedError
 from .shards import Shard
 
-__all__ = ["AsyncServer", "BACKPRESSURE_POLICIES", "serve_stream"]
+__all__ = [
+    "AsyncServer",
+    "BACKPRESSURE_POLICIES",
+    "StreamFailure",
+    "serve_stream",
+]
 
 #: The supported reactions to a full job queue.
 BACKPRESSURE_POLICIES = ("wait", "reject")
@@ -76,6 +83,26 @@ BACKPRESSURE_POLICIES = ("wait", "reject")
 StreamItem = Union[CountJob, UpdateJob]
 #: What one stream element resolves to.
 StreamResult = Union[JobResult, UpdateReport]
+
+
+@dataclass(frozen=True)
+class StreamFailure:
+    """One stream element that produced an error instead of a result.
+
+    Yielded by :meth:`AsyncServer.results` under ``on_error="yield"`` so a
+    streaming consumer (the HTTP front, the CLI) can report the failure in
+    band and keep draining the remaining results — a failed job must never
+    take the rest of the stream down with it, and must never be silently
+    dropped either.
+
+    ``index`` is the element's stream position (the same index a
+    successful result would carry); ``error`` is the exception the element
+    produced, either at dispatch time (overload, unknown database) or at
+    execution time (bad query, unknown ``as_of`` reference).
+    """
+
+    index: int
+    error: BaseException
 
 
 class AsyncServer:
@@ -155,6 +182,7 @@ class AsyncServer:
         self._queue_limit = queue_limit
         self._policy = policy
         self._slots: Optional[asyncio.Semaphore] = None
+        self._outstanding: Set["asyncio.Future[StreamResult]"] = set()
         self._running = False
         self.submitted = 0
         self.completed = 0
@@ -201,6 +229,11 @@ class AsyncServer:
         """All registered names, in registration order."""
         return tuple(self._owner)
 
+    @property
+    def shard_count(self) -> int:
+        """The number of worker shards this server fans out over."""
+        return len(self._shards)
+
     def _owner_of(self, name: str) -> Shard:
         try:
             return self._owner[name]
@@ -222,15 +255,33 @@ class AsyncServer:
         self._running = True
 
     async def stop(self) -> None:
-        """Drain and stop every shard (waits for in-flight jobs)."""
+        """Drain and stop every shard (waits for in-flight jobs).
+
+        Teardown is a two-phase drain: first every shard worker is shut
+        down (which waits for its queued jobs), then the loop is yielded
+        to until every completion callback has run.  Only then is the
+        semaphore dropped — a callback must never find ``_slots`` already
+        gone, or the ``in_flight``/``completed`` counters would still be
+        mid-flight when ``stop`` returns (and would never settle at all if
+        the event loop exits right after).
+        """
         if not self._running:
             return
         self._running = False
         loop = asyncio.get_running_loop()
-        await asyncio.gather(
-            *(loop.run_in_executor(None, shard.stop) for shard in self._shards)
+        outcomes = await asyncio.gather(
+            *(loop.run_in_executor(None, shard.stop) for shard in self._shards),
+            return_exceptions=True,
         )
+        # Every inner future is done now (shutdown waited), but the
+        # asyncio-side completion callbacks are delivered via call_soon
+        # and may still be queued; yield until they have all run.
+        while self._outstanding:
+            await asyncio.sleep(0)
         self._slots = None
+        errors = [error for error in outcomes if isinstance(error, BaseException)]
+        if errors:
+            raise errors[0]
 
     async def __aenter__(self) -> "AsyncServer":
         await self.start()
@@ -283,15 +334,35 @@ class AsyncServer:
             self._slots.release()
             raise
         future = asyncio.wrap_future(inner)
+        self._outstanding.add(future)
         future.add_done_callback(self._on_done)
         return future
 
     def _on_done(self, future: "asyncio.Future[StreamResult]") -> None:
+        self._outstanding.discard(future)
         self.in_flight -= 1
         if not future.cancelled() and future.exception() is None:
             self.completed += 1
         if self._slots is not None:
             self._slots.release()
+
+    async def _drain(
+        self, futures: Iterable["asyncio.Future[StreamResult]"]
+    ) -> None:
+        """Cancel-or-drain dispatched futures that will not be consumed.
+
+        Queued jobs that have not started are cancelled; running ones are
+        awaited.  Either way every future is *retrieved* — its completion
+        callback runs (releasing the queue slot and settling the
+        counters) and its exception, if any, is observed rather than left
+        to die as "exception was never retrieved".
+        """
+        futures = list(futures)
+        for future in futures:
+            if not future.done():
+                future.cancel()
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
 
     async def submit(self, item: StreamItem, index: int = 0) -> StreamResult:
         """Accept one stream element and await its result."""
@@ -307,13 +378,28 @@ class AsyncServer:
         bit-identical to :meth:`SolverPool.run_stream` on the same stream.
         Backpressure applies per element: the stream submitter itself
         waits (or, under ``"reject"``, the overload error propagates out).
+
+        Failure handling is drain-first: if a mid-stream ``dispatch``
+        raises (overload under ``"reject"``, unknown database), the
+        already-dispatched futures are cancelled-or-drained before the
+        error propagates, and if any *job* fails, every other job is
+        still run to completion and the failure of the lowest stream
+        index is raised — deterministically, with no in-flight result
+        abandoned and no exception left unretrieved.
         """
         started = time.perf_counter()
         futures: List["asyncio.Future[StreamResult]"] = []
-        for index, item in enumerate(items):
-            futures.append(await self.dispatch(item, index))
-        outcomes = await asyncio.gather(*futures)
+        try:
+            for index, item in enumerate(items):
+                futures.append(await self.dispatch(item, index))
+        except BaseException:
+            await self._drain(futures)
+            raise
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
         elapsed = time.perf_counter() - started
+        for outcome in outcomes:  # futures order == stream order
+            if isinstance(outcome, BaseException):
+                raise outcome
 
         results = sorted(
             (outcome for outcome in outcomes if isinstance(outcome, JobResult)),
@@ -321,7 +407,7 @@ class AsyncServer:
         )
         updates = sorted(
             (outcome for outcome in outcomes if isinstance(outcome, UpdateReport)),
-            key=lambda report: report.index or 0,
+            key=lambda report: -1 if report.index is None else report.index,
         )
         return BatchReport(
             results=tuple(results),
@@ -332,32 +418,81 @@ class AsyncServer:
         )
 
     async def results(
-        self, items: Iterable[StreamItem]
-    ) -> AsyncIterator[StreamResult]:
+        self, items: Iterable[StreamItem], on_error: str = "raise"
+    ) -> AsyncIterator[Union[StreamResult, StreamFailure]]:
         """Serve a stream, yielding each result as soon as it is ready.
 
         Completion order, not stream order — every yielded result carries
         its stream ``index`` so consumers can reorder if they need to.
         This is the CLI's streaming mode; ``run_stream`` is the batch
         shape of the same computation.
+
+        ``on_error`` picks the failure semantics:
+
+        * ``"raise"`` (default) — the first failing element raises out of
+          the iterator; every still-pending future is cancelled-or-drained
+          first, so no in-flight result is abandoned and no exception goes
+          unretrieved.  The same drain runs if the consumer abandons the
+          iterator early.
+        * ``"yield"`` — a failing element (at dispatch time *or* at
+          execution time) is yielded in band as a :class:`StreamFailure`
+          and the remaining results keep flowing.  This is the HTTP
+          front's mode: one bad job must not tear down the response
+          stream.
         """
-        pending: set = set()
-        for index, item in enumerate(items):
-            pending.add(asyncio.ensure_future(await self.dispatch(item, index)))
-            # Drain whatever already finished so results flow while the
-            # submitter is still reading input.
-            while pending:
-                done, pending = await asyncio.wait(pending, timeout=0)
-                for future in done:
-                    yield future.result()
-                if not done:
-                    break
-        while pending:
-            done, pending = await asyncio.wait(
-                pending, return_when=asyncio.FIRST_COMPLETED
+        if on_error not in ("raise", "yield"):
+            raise ServerError(
+                f"on_error must be 'raise' or 'yield', got {on_error!r}"
             )
-            for future in done:
-                yield future.result()
+        pending: Dict["asyncio.Future[StreamResult]", int] = {}
+
+        def settle(
+            done: "Iterable[asyncio.Future[StreamResult]]",
+        ) -> List[Union[StreamResult, StreamFailure]]:
+            # Completion sets are unordered; settle by stream index so
+            # simultaneous completions are reported deterministically.
+            settled: List[Union[StreamResult, StreamFailure]] = []
+            for future in sorted(done, key=pending.__getitem__):
+                index = pending.pop(future)
+                error = (
+                    asyncio.CancelledError()
+                    if future.cancelled()
+                    else future.exception()
+                )
+                if error is None:
+                    settled.append(future.result())
+                elif on_error == "yield":
+                    settled.append(StreamFailure(index=index, error=error))
+                else:
+                    raise error
+            return settled
+
+        try:
+            for index, item in enumerate(items):
+                try:
+                    pending[await self.dispatch(item, index)] = index
+                except (EngineError, ServerError) as exc:
+                    if on_error != "yield":
+                        raise
+                    yield StreamFailure(index=index, error=exc)
+                # Drain whatever already finished so results flow while
+                # the submitter is still reading input.
+                while pending:
+                    done, _ = await asyncio.wait(set(pending), timeout=0)
+                    if not done:
+                        break
+                    for outcome in settle(done):
+                        yield outcome
+            while pending:
+                done, _ = await asyncio.wait(
+                    set(pending), return_when=asyncio.FIRST_COMPLETED
+                )
+                for outcome in settle(done):
+                    yield outcome
+        finally:
+            if pending:
+                await self._drain(list(pending))
+                pending.clear()
 
     # ------------------------------------------------------------------ #
     # observability
@@ -399,6 +534,22 @@ class AsyncServer:
             raise ServerError("the server is not running; use 'async with server'")
         shard = self._owner_of(name)
         return await asyncio.wrap_future(shard.submit_checkpoint(name))
+
+    async def rollback(
+        self, name: str, ref: Union[str, int]
+    ) -> LineageRecord:
+        """Re-register a recorded ancestor of ``name`` as its head.
+
+        Routed to the owning shard and FIFO with the name's jobs, so the
+        rollback observes every delta submitted before it and every job
+        submitted after it counts against the rolled-back snapshot.
+        ``ref`` is an ``as_of``-style reference: a recorded content digest
+        (or unique >=8-character prefix) or a non-positive chain index.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        shard = self._owner_of(name)
+        return await asyncio.wrap_future(shard.submit_rollback(name, ref))
 
     async def stats(self) -> Dict[str, object]:
         """Aggregate live statistics: queue counters plus per-shard state.

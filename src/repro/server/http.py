@@ -1,0 +1,424 @@
+"""The HTTP network front: :class:`HttpServer` over :class:`AsyncServer`.
+
+This is the first layer of the system an *external* client can hit: a
+zero-dependency ``asyncio`` HTTP/1.1 server (framing in
+:mod:`repro.server.wire`) exposing the full serving surface of
+:class:`~repro.server.AsyncServer` — counting (including ``as_of`` time
+travel), deltas, streamed mixed job stacks, history, checkpoints,
+rollback and statistics — while preserving the two disciplines the
+in-process server already enforces:
+
+**Backpressure becomes status codes.**  A full queue under the
+``"reject"`` policy answers **429 Too Many Requests**, a stopped (or
+stopping) server answers **503 Service Unavailable**, and both carry a
+``Retry-After`` hint; under the ``"wait"`` policy the handler coroutine
+simply suspends in ``dispatch``, so the connection itself is the queue
+and flow control reaches all the way back to the client's socket.  A
+request is never silently dropped: it is answered with a result, or with
+a structured error body saying exactly why not.
+
+**Streams fail in band.**  ``POST /stream`` serves a JSON-lines body of
+mixed count/update jobs and streams results back in completion order as
+chunked JSON-lines.  A failing element is emitted as an in-band
+``{"index": …, "error": …}`` line (via
+:meth:`AsyncServer.results` with ``on_error="yield"``) and the remaining
+results keep flowing; the stream always terminates with an ``{"end": …}``
+summary line, so a client can distinguish "done" from "connection died".
+
+Endpoints (all request/response bodies are JSON):
+
+====== ========================== ==========================================
+method path                       meaning
+====== ========================== ==========================================
+GET    ``/health``                liveness + shard/database counts
+GET    ``/stats``                 queue + per-shard counters (+ HTTP front)
+GET    ``/databases``             registered names
+POST   ``/count``                 one :class:`CountJob` body -> result
+POST   ``/update``                one update body -> delta report
+POST   ``/stream``                JSON-lines of jobs -> chunked JSON-lines
+GET    ``/history/{name}``        recorded lineage (``?limit=N`` trims)
+GET    ``/checkpoints/{name}``    known compaction checkpoints
+POST   ``/checkpoint/{name}``     cut a checkpoint now
+POST   ``/rollback/{name}``       body ``{"to": ref}`` -> new head record
+====== ========================== ==========================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Set, Tuple
+
+from ..engine.jobs import CountJob, UpdateJob, UpdateReport
+from ..engine.jobfile import parse_stream_item
+from ..errors import ReproError, WireError
+from .async_server import AsyncServer, StreamFailure
+from .wire import HttpRequest
+from . import wire
+
+__all__ = ["HttpServer"]
+
+#: The Retry-After hint (seconds) sent with 429/503 responses.  The server
+#: cannot know when a slot frees, so this is a pacing hint for the
+#: client's backoff, not a promise.
+DEFAULT_RETRY_AFTER = 0.05
+
+
+def _parse_stream_line(line: bytes) -> object:
+    """Parse one JSON-lines request line (:class:`WireError` on junk)."""
+    try:
+        return json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireError(f"malformed stream line {line!r}: {exc}") from exc
+
+
+class HttpServer:
+    """Serve an (already running) :class:`AsyncServer` over HTTP.
+
+    The two lifecycles are deliberately separate: the ``AsyncServer`` owns
+    shard processes and is usually started first and stopped last, while
+    the ``HttpServer`` owns listening sockets and connections.  Requests
+    that arrive while the engine side is stopped are answered ``503`` —
+    the wire stays polite even when the engine is mid-restart.
+
+    Parameters
+    ----------
+    server:
+        The engine-side server; must be started separately.
+    host, port:
+        Bind address.  ``port=0`` asks the OS for a free port; the bound
+        address is available as :attr:`host`/:attr:`port` after ``start``.
+    retry_after:
+        The ``Retry-After`` hint (seconds) attached to 429/503 responses.
+
+    Usage::
+
+        server = AsyncServer(shards=4)
+        ...register...
+        async with server:
+            async with HttpServer(server, port=8080) as front:
+                await front.serve_forever()   # until cancelled
+    """
+
+    def __init__(
+        self,
+        server: AsyncServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        self._server = server
+        self.host = host
+        self.port = port
+        self.retry_after = retry_after
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self.requests = 0
+        self.rejected = 0  # 429 responses
+        self.unavailable = 0  # 503 responses
+        self.errors = 0  # 4xx/5xx other than 429/503
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._listener is not None:
+            raise WireError("the HTTP front is already started")
+        self._listener = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        address = self._listener.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, then close every open connection."""
+        if self._listener is None:
+            return
+        self._listener.close()
+        await self._listener.wait_closed()
+        self._listener = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's ``--http`` mode)."""
+        if self._listener is None:
+            raise WireError("start the HTTP front before serve_forever")
+        await self._listener.serve_forever()
+
+    async def __aenter__(self) -> "HttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # connection loop
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await wire.read_request(reader)
+                except WireError as exc:
+                    writer.write(
+                        wire.json_response(400, wire.payload_for_error(exc))
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._serve_request(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away or the front is stopping: nothing to save
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _serve_request(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; return whether to keep the connection."""
+        self.requests += 1
+        try:
+            return await self._route(request, writer)
+        except ReproError as exc:
+            status = wire.status_for_error(exc)
+            headers: Dict[str, str] = {}
+            if status in wire.RETRYABLE_STATUSES:
+                headers["Retry-After"] = f"{self.retry_after:g}"
+                if status == 429:
+                    self.rejected += 1
+                else:
+                    self.unavailable += 1
+            else:
+                self.errors += 1
+            writer.write(
+                wire.json_response(status, wire.payload_for_error(exc), headers)
+            )
+            await writer.drain()
+            return True
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # a bug, but the wire still answers
+            self.errors += 1
+            writer.write(wire.json_response(500, wire.payload_for_error(exc)))
+            await writer.drain()
+            return False
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _route(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        segments = [piece for piece in request.path.split("/") if piece]
+        route = (request.method, segments[0] if segments else "")
+        if len(segments) <= 1:
+            if route == ("GET", "health"):
+                return await self._respond(writer, self._health())
+            if route == ("GET", "stats"):
+                return await self._respond(writer, await self._stats())
+            if route == ("GET", "databases"):
+                payload = {"databases": list(self._server.database_names())}
+                return await self._respond(writer, payload)
+            if route == ("POST", "count"):
+                return await self._count(request, writer)
+            if route == ("POST", "update"):
+                return await self._update(request, writer)
+            if route == ("POST", "stream"):
+                return await self._stream(request, writer)
+        elif len(segments) == 2:
+            name = segments[1]
+            if route == ("GET", "history"):
+                return await self._history(request, writer, name)
+            if route == ("GET", "checkpoints"):
+                records = await self._server.checkpoints(name)
+                payload = {
+                    "name": name,
+                    "checkpoints": [record.to_json() for record in records],
+                }
+                return await self._respond(writer, payload)
+            if route == ("POST", "checkpoint"):
+                record = await self._server.checkpoint(name)
+                payload = {
+                    "name": name,
+                    "checkpoint": None if record is None else record.to_json(),
+                }
+                return await self._respond(writer, payload)
+            if route == ("POST", "rollback"):
+                return await self._rollback(request, writer, name)
+        known = {
+            "health", "stats", "databases", "count", "update", "stream",
+            "history", "checkpoints", "checkpoint", "rollback",
+        }
+        if segments and segments[0] in known:
+            self.errors += 1
+            writer.write(
+                wire.json_response(
+                    405,
+                    {"error": {"type": "MethodNotAllowed",
+                               "message": f"{request.method} {request.path}"}},
+                )
+            )
+        else:
+            self.errors += 1
+            writer.write(
+                wire.json_response(
+                    404,
+                    {"error": {"type": "NotFound",
+                               "message": f"no route for {request.path!r}"}},
+                )
+            )
+        await writer.drain()
+        return True
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, payload: object, status: int = 200
+    ) -> bool:
+        writer.write(wire.json_response(status, payload))
+        await writer.drain()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # endpoint bodies
+    # ------------------------------------------------------------------ #
+    def _health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "shards": self._server.shard_count,
+            "databases": len(self._server.database_names()),
+        }
+
+    async def _stats(self) -> Dict[str, object]:
+        stats = await self._server.stats()
+        stats["http"] = {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "unavailable": self.unavailable,
+            "errors": self.errors,
+        }
+        return stats
+
+    @staticmethod
+    def _payload_and_index(request: HttpRequest) -> Tuple[Dict[str, object], int]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise WireError(
+                f"expected a JSON object body, got {type(payload).__name__}"
+            )
+        index = payload.pop("index", 0)
+        if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+            raise WireError(f"index must be a non-negative integer, got {index!r}")
+        return payload, index
+
+    async def _count(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        payload, index = self._payload_and_index(request)
+        job = CountJob.from_json(payload)
+        result = await self._server.submit(job, index)
+        return await self._respond(writer, result.to_json())
+
+    async def _update(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        payload, index = self._payload_and_index(request)
+        job = UpdateJob.from_json(payload)
+        report = await self._server.submit(job, index)
+        return await self._respond(writer, report.to_json())
+
+    async def _stream(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Chunked JSON-lines of results, completion order, errors in band."""
+        lines = request.body.split(b"\n")
+        items = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            items.append(parse_stream_item(_parse_stream_line(line)))
+        writer.write(wire.render_response(200, chunked=True))
+        delivered = failures = 0
+        async for outcome in self._server.results(items, on_error="yield"):
+            if isinstance(outcome, StreamFailure):
+                failures += 1
+                status = wire.status_for_error(outcome.error)
+                line_payload: Dict[str, object] = {
+                    "index": outcome.index,
+                    "status": status,
+                    **wire.payload_for_error(outcome.error),
+                }
+                if status == 429:
+                    self.rejected += 1
+                    line_payload["retry_after"] = self.retry_after
+            else:
+                delivered += 1
+                line_payload = outcome.to_json()
+                if isinstance(outcome, UpdateReport):
+                    line_payload["type"] = "update"
+            wire.write_chunk(writer, line_payload)
+            await writer.drain()
+        wire.write_chunk(
+            writer, {"end": {"results": delivered, "failures": failures}}
+        )
+        wire.end_chunks(writer)
+        await writer.drain()
+        return True
+
+    async def _history(
+        self, request: HttpRequest, writer: asyncio.StreamWriter, name: str
+    ) -> bool:
+        lineage = await self._server.history(name)
+        records = list(lineage)
+        elided = 0
+        limit_text = request.query_parameters().get("limit")
+        if limit_text is not None:
+            try:
+                limit = int(limit_text)
+            except ValueError as exc:
+                raise WireError(f"limit must be an integer, got {limit_text!r}") from exc
+            if limit < 0:
+                raise WireError(f"limit must be >= 0, got {limit}")
+            if limit:
+                elided = max(0, len(records) - limit)
+                records = records[-limit:]
+        head = lineage.head
+        payload = {
+            "name": name,
+            "records": [record.to_json() for record in records],
+            "elided": elided,
+            "head": None if head is None else head.digest,
+        }
+        return await self._respond(writer, payload)
+
+    async def _rollback(
+        self, request: HttpRequest, writer: asyncio.StreamWriter, name: str
+    ) -> bool:
+        payload = request.json()
+        if not isinstance(payload, dict) or "to" not in payload:
+            raise WireError('rollback expects a body like {"to": <ref>}')
+        reference = payload["to"]
+        if not isinstance(reference, (str, int)) or isinstance(reference, bool):
+            raise WireError(f"rollback ref must be a digest or index, got {reference!r}")
+        record = await self._server.rollback(name, reference)
+        return await self._respond(writer, {"name": name, "record": record.to_json()})
+

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
-from ..db.lineage import CheckpointRecord, Lineage
+from ..db.lineage import CheckpointRecord, Lineage, LineageRecord
 from ..engine.jobs import CountJob, JobResult, UpdateJob, UpdateReport
 from ..engine.pool import SolverPool
 from ..errors import ServerError
@@ -104,9 +104,18 @@ class Shard:
             )
 
     def _raise_failed_registrations(self) -> None:
-        """Surface any completed-and-failed late registration, loudly."""
-        while self._pending_registrations and self._pending_registrations[0].done():
-            future = self._pending_registrations.pop(0)
+        """Surface any completed-and-failed late registration, loudly.
+
+        The whole pending list is scanned, not just its head: a failed
+        registration must surface even while an earlier one is still in
+        flight.  Completed futures are removed as they are inspected, so
+        an error is raised exactly once — callers that clean up afterwards
+        (``stop``) never see it again on a retry.
+        """
+        for future in list(self._pending_registrations):
+            if not future.done():
+                continue
+            self._pending_registrations.remove(future)
             error = future.exception()
             if error is not None:
                 raise ServerError(
@@ -143,8 +152,13 @@ class Shard:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        self._raise_failed_registrations()
-        self._pending_registrations.clear()
+        try:
+            self._raise_failed_registrations()
+        finally:
+            # Raised or not, a stopped shard holds no pending state: a
+            # second stop() must be clean, never a re-raise of the same
+            # stale registration error.
+            self._pending_registrations.clear()
 
     @property
     def is_running(self) -> bool:
@@ -213,6 +227,19 @@ class Shard:
         executor = self._require_executor()
         self._raise_failed_registrations()
         return executor.submit(_shard_checkpoint, name)
+
+    def submit_rollback(
+        self, name: str, ref: Union[str, int]
+    ) -> "Future[LineageRecord]":
+        """Queue a rollback of one owned name to a recorded ancestor.
+
+        FIFO with the shard's jobs: the rollback observes every delta
+        submitted before it, and jobs submitted after it count against
+        the rolled-back head.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_rollback, name, ref)
 
     def __repr__(self) -> str:
         state = "running" if self.is_running else "stopped"
@@ -297,6 +324,11 @@ def _shard_checkpoints(name: str) -> Tuple[CheckpointRecord, ...]:
 def _shard_checkpoint(name: str) -> Optional[CheckpointRecord]:
     """Cut an explicit compaction checkpoint inside the shard worker."""
     return _require_pool().checkpoint(name)
+
+
+def _shard_rollback(name: str, ref: Union[str, int]) -> LineageRecord:
+    """Re-register a recorded ancestor as the head, inside the worker."""
+    return _require_pool().rollback(name, ref)
 
 
 def _shard_stats() -> Dict[str, object]:

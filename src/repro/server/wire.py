@@ -1,0 +1,432 @@
+"""The HTTP wire protocol of the serving front: framing and status maps.
+
+The network boundary is deliberately **zero-dependency**: requests and
+responses are parsed and rendered here over raw ``asyncio`` streams, with
+just enough HTTP/1.1 for the serving front — request lines, headers,
+``Content-Length`` bodies, chunked transfer encoding for streamed
+JSON-lines responses, and keep-alive connections.  Both ends of the wire
+(:mod:`repro.server.http` and :mod:`repro.server.client`) share this
+module, so a framing rule only ever exists once.
+
+The second half of the module is the **failure vocabulary**: a total
+mapping from the library's exception hierarchy onto HTTP status codes and
+back.  The serving discipline is the same as everywhere else in the
+repository — a job is finished, or the caller holds an error saying it is
+not — so every error becomes a structured JSON body plus a status code,
+and overload (:class:`~repro.errors.ServerOverloadedError`, HTTP 429, and
+server-unavailable :class:`~repro.errors.ServerError`, HTTP 503) carries a
+``Retry-After`` hint the client's backoff honours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Mapping, Optional
+
+from ..errors import (
+    BatchSpecError,
+    EngineError,
+    LineageError,
+    ReproError,
+    ServerError,
+    ServerOverloadedError,
+    WireError,
+)
+
+__all__ = [
+    "HTTP_VERSION",
+    "MAX_BODY_BYTES",
+    "RETRYABLE_STATUSES",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "read_response",
+    "render_response",
+    "render_request",
+    "json_response",
+    "write_chunk",
+    "end_chunks",
+    "iter_chunked_lines",
+    "status_for_error",
+    "payload_for_error",
+    "error_from_status",
+    "parse_retry_after",
+]
+
+HTTP_VERSION = "HTTP/1.1"
+
+#: Hard bound on a request/response body; a counting job is a few hundred
+#: bytes of JSON, so anything near this size is a protocol error, not data.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Header block bound (request line + headers).
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Statuses a client may retry after backing off: overload and
+#: server-unavailable.  Everything else is the caller's bug or the job's
+#: genuine outcome and retrying would not change it.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, split target, headers, body bytes.
+
+    Header names are lower-cased at parse time (HTTP headers are
+    case-insensitive); ``query`` holds the raw query string (after ``?``)
+    and :meth:`query_parameters` splits it on demand.
+    """
+
+    method: str
+    path: str
+    query: str = ""
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def query_parameters(self) -> Dict[str, str]:
+        """The query string as a flat dict (last value wins).
+
+        >>> HttpRequest("GET", "/history", "limit=3&x=1").query_parameters()
+        {'limit': '3', 'x': '1'}
+        """
+        parameters: Dict[str, str] = {}
+        for piece in self.query.split("&"):
+            if not piece:
+                continue
+            key, _, value = piece.partition("=")
+            parameters[key] = value
+        return parameters
+
+    def json(self) -> object:
+        """The body decoded as JSON (:class:`WireError` on junk)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One parsed response: status, headers (lower-cased), body bytes."""
+
+    status: int
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def chunked(self) -> bool:
+        """True iff the body arrives chunked (and ``body`` is empty here)."""
+        return self.headers.get("transfer-encoding", "").lower() == "chunked"
+
+    def json(self) -> object:
+        """The body decoded as JSON (:class:`WireError` on junk)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"response body is not valid JSON: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# framing: read one request / response off a stream
+# --------------------------------------------------------------------- #
+async def _read_header_block(reader: "asyncio.StreamReader") -> Optional[bytes]:
+    """The raw header block, or ``None`` on a clean EOF before any byte."""
+    try:
+        return await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # connection closed between requests: normal
+        raise WireError(
+            f"connection closed mid-header ({len(exc.partial)} bytes read)"
+        ) from exc
+    except asyncio.LimitOverrunError as exc:
+        raise WireError(f"header block exceeds the stream limit: {exc}") from exc
+
+
+def _parse_headers(lines: List[str]) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise WireError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def _read_body(
+    reader: "asyncio.StreamReader", headers: Mapping[str, str]
+) -> bytes:
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise WireError(f"bad Content-Length {length_text!r}") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise WireError(f"refusing a {length}-byte body (cap {MAX_BODY_BYTES})")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"connection closed mid-body ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+
+
+async def read_request(reader: "asyncio.StreamReader") -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean end-of-stream.
+
+    Anything malformed — a bad request line, a torn header block, a body
+    shorter than its ``Content-Length`` — raises :class:`WireError`; the
+    server maps that to a 400 and closes the connection.
+    """
+    block = await _read_header_block(reader)
+    if block is None:
+        return None
+    if len(block) > MAX_HEADER_BYTES:
+        raise WireError(f"header block of {len(block)} bytes exceeds the cap")
+    lines = block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise WireError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+    headers = _parse_headers(lines[1:])
+    body = await _read_body(reader, headers)
+    return HttpRequest(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+async def read_response(reader: "asyncio.StreamReader") -> HttpResponse:
+    """Parse one response head (plus body, unless chunked) off the stream.
+
+    For chunked responses the body is left on the stream for
+    :func:`iter_chunked_lines`; for everything else the body is read to
+    its ``Content-Length`` before returning.
+    """
+    block = await _read_header_block(reader)
+    if block is None:
+        raise WireError("connection closed before a response arrived")
+    lines = block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise WireError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise WireError(f"malformed status code {parts[1]!r}") from exc
+    headers = _parse_headers(lines[1:])
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        return HttpResponse(status=status, headers=headers)
+    body = await _read_body(reader, headers)
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+# --------------------------------------------------------------------- #
+# framing: render requests / responses / chunks
+# --------------------------------------------------------------------- #
+def render_request(
+    method: str,
+    target: str,
+    host: str,
+    body: bytes = b"",
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialise one client request (keep-alive, explicit length)."""
+    lines = [f"{method} {target} {HTTP_VERSION}", f"Host: {host}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if body:
+        lines.append("Content-Type: application/json")
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    headers: Optional[Mapping[str, str]] = None,
+    chunked: bool = False,
+) -> bytes:
+    """Serialise a response head (and body, unless ``chunked``).
+
+    >>> render_response(200, b'{}').splitlines()[0]
+    b'HTTP/1.1 200 OK'
+    """
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"{HTTP_VERSION} {status} {reason}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append("Content-Type: application/json")
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {len(body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head if chunked else head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """A complete JSON response in one buffer."""
+    body = json.dumps(payload).encode("utf-8")
+    return render_response(status, body, headers=headers)
+
+
+def write_chunk(writer: "asyncio.StreamWriter", payload: object) -> None:
+    """Queue one JSON-lines chunk (one JSON document plus newline)."""
+    data = json.dumps(payload).encode("utf-8") + b"\n"
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+
+
+def end_chunks(writer: "asyncio.StreamWriter") -> None:
+    """Queue the terminating zero-length chunk."""
+    writer.write(b"0\r\n\r\n")
+
+
+async def iter_chunked_lines(
+    reader: "asyncio.StreamReader",
+) -> AsyncIterator[object]:
+    """Decode a chunked JSON-lines body, one parsed document at a time.
+
+    A connection that dies before the terminating chunk raises
+    :class:`WireError` — a truncated stream must look like a failure, not
+    like a short result set.
+    """
+    buffer = b""
+    while True:
+        try:
+            size_line = await reader.readuntil(b"\r\n")
+        except asyncio.IncompleteReadError as exc:
+            raise WireError("connection closed mid-stream (no final chunk)") from exc
+        try:
+            size = int(size_line.strip(), 16)
+        except ValueError as exc:
+            raise WireError(f"malformed chunk size {size_line!r}") from exc
+        if size == 0:
+            try:
+                await reader.readexactly(2)  # trailing CRLF
+            except asyncio.IncompleteReadError:
+                pass  # the stream ended with the final chunk: fine
+            if buffer.strip():
+                raise WireError(f"stream ended mid-line: {buffer!r}")
+            return
+        if size > MAX_BODY_BYTES:
+            raise WireError(f"refusing a {size}-byte chunk")
+        try:
+            data = await reader.readexactly(size + 2)  # chunk + CRLF
+        except asyncio.IncompleteReadError as exc:
+            raise WireError("connection closed mid-chunk") from exc
+        buffer += data[:-2]
+        while b"\n" in buffer:
+            line, _, buffer = buffer.partition(b"\n")
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WireError(f"malformed stream line {line!r}: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# the failure vocabulary: exceptions <-> statuses
+# --------------------------------------------------------------------- #
+def status_for_error(error: BaseException) -> int:
+    """The HTTP status an exception maps to (total: anything maps).
+
+    The order follows the exception hierarchy, most specific first:
+    overload is 429 (retryable), malformed payloads are 400, a stopped or
+    misused server is 503 (retryable — it may be mid-restart), unknown
+    databases and unresolvable lineage references are 404, every other
+    library error is the caller's 400, and anything non-library is a 500.
+
+    >>> status_for_error(ServerOverloadedError("queue full"))
+    429
+    >>> status_for_error(EngineError("unknown database 'ghost'"))
+    404
+    """
+    if isinstance(error, ServerOverloadedError):
+        return 429
+    if isinstance(error, (BatchSpecError, WireError)):
+        return 400
+    if isinstance(error, ServerError):
+        return 503
+    if isinstance(error, (LineageError, EngineError)):
+        return 404
+    if isinstance(error, ReproError):
+        return 400
+    return 500
+
+
+def payload_for_error(error: BaseException) -> Dict[str, object]:
+    """The structured JSON body of an error response.
+
+    >>> payload_for_error(EngineError("unknown database 'ghost'"))
+    {'error': {'type': 'EngineError', 'message': "unknown database 'ghost'"}}
+    """
+    return {
+        "error": {"type": type(error).__name__, "message": str(error)}
+    }
+
+
+def error_from_status(status: int, payload: object) -> ReproError:
+    """Reconstruct a library exception from an error response.
+
+    The inverse of :func:`status_for_error` as far as the hierarchy
+    allows: clients get the same exception *types* for the same failures
+    whether they drive :class:`~repro.server.AsyncServer` in process or
+    over the wire.
+    """
+    message = "unknown server error"
+    if isinstance(payload, Mapping):
+        error_section = payload.get("error")
+        if isinstance(error_section, Mapping):
+            message = str(error_section.get("message", message))
+    if status == 429:
+        return ServerOverloadedError(message)
+    if status == 404:
+        return EngineError(message)
+    if status == 400:
+        return BatchSpecError(message)
+    if status == 503:
+        return ServerError(message)
+    return ServerError(f"HTTP {status}: {message}")
+
+
+def parse_retry_after(headers: Mapping[str, str]) -> Optional[float]:
+    """The ``Retry-After`` hint in seconds, if present and sane.
+
+    Both ends of this wire are ours, so fractional seconds are accepted
+    alongside the RFC's integer form.
+
+    >>> parse_retry_after({"retry-after": "0.05"})
+    0.05
+    >>> parse_retry_after({}) is None
+    True
+    """
+    text = headers.get("retry-after")
+    if text is None:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    return value if value >= 0 else None

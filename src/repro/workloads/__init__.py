@@ -24,14 +24,17 @@ from .scenarios import (
     sensor_fusion,
 )
 from .history import ANCESTOR_BIASES, history_workload
-from .serving import serve_workload
+from .serving import LoadReport, drive_http_load, http_load, serve_workload
 from .updates import update_stream
 
 __all__ = [
     "ANCESTOR_BIASES",
     "InconsistentDatabaseSpec",
+    "LoadReport",
     "Scenario",
     "batch_workload",
+    "drive_http_load",
+    "http_load",
     "election_registry",
     "employee_example",
     "employee_same_department_query",

@@ -14,7 +14,10 @@ stresses a routing policy.
 
 from __future__ import annotations
 
+import asyncio
 import random
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
 
 from ..db.constraints import PrimaryKeySet
@@ -25,7 +28,7 @@ from .generators import InconsistentDatabaseSpec, random_inconsistent_database
 from .queries import random_conjunctive_query
 from .updates import _random_delta
 
-__all__ = ["serve_workload"]
+__all__ = ["LoadReport", "drive_http_load", "http_load", "serve_workload"]
 
 _RELATIONS = {"R": 3, "S": 3}
 
@@ -143,3 +146,144 @@ def serve_workload(
         )
         emitted += 1
     return registry, stream
+
+
+# --------------------------------------------------------------------- #
+# HTTP load generation
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LoadReport:
+    """What one :func:`drive_http_load` run did, with latency percentiles.
+
+    The accounting is total: every stream element ends up in exactly one
+    of ``completed`` (a result came back), ``rejected`` (the retry budget
+    ran out on 429/503) or ``errors`` (any other failure) — the HTTP
+    front never silently drops a request, and neither does the harness.
+    ``retries`` counts retry attempts across all connections (a request
+    that eventually completed after backing off is ``completed`` *and*
+    contributes here).  Latencies are per request, measured around the
+    whole exchange including backoff sleeps — the latency a real caller
+    would see.
+    """
+
+    requests: int
+    completed: int
+    rejected: int
+    errors: int
+    retries: int
+    elapsed: float
+    latency_p50: float
+    latency_p99: float
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall-clock time."""
+        return self.completed / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    position = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[position]
+
+
+async def drive_http_load(
+    host: str,
+    port: int,
+    stream: Sequence[Union[CountJob, UpdateJob]],
+    connections: int = 200,
+    retries: int = 6,
+    backoff: float = 0.02,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Drive a job stream through the HTTP front over many connections.
+
+    The stream is partitioned round-robin over ``connections`` concurrent
+    :class:`~repro.server.ServeClient` connections (each a keep-alive
+    socket of its own, so the server really holds ``connections`` open
+    sockets at once).  Every element keeps its stream position as its
+    ``index``, so per-job seeds — and therefore results — match a
+    sequential replay of the same stream.  Count jobs go to ``/count``
+    and updates to ``/update``; dispatch order within a connection
+    preserves stream order, which keeps each database's count/update
+    interleaving intact as long as updates and the counts they affect
+    share a connection (round-robin with ``connections=1`` reproduces the
+    sequential stream exactly; larger fan-outs trade that total order for
+    concurrency, exactly like the asyncio server itself).
+    """
+    from ..server.client import ServeClient  # lazy: workloads stay import-light
+
+    latencies: List[float] = []
+    completed = rejected = errors = retried = 0
+
+    async def drive(offset: int) -> None:
+        nonlocal completed, rejected, errors, retried
+        from ..errors import ReproError, ServerOverloadedError
+
+        client = ServeClient(
+            host, port, retries=retries, backoff=backoff, timeout=timeout
+        )
+        try:
+            for index in range(offset, len(stream), connections):
+                item = stream[index]
+                payload = item.to_json()
+                began = time.perf_counter()
+                try:
+                    if isinstance(item, UpdateJob):
+                        await client.update(payload, index=index)
+                    else:
+                        await client.count(payload, index=index)
+                except ServerOverloadedError:
+                    rejected += 1
+                except ReproError:
+                    errors += 1
+                else:
+                    completed += 1
+                latencies.append(time.perf_counter() - began)
+            retried += client.retries_used
+        finally:
+            await client.close()
+
+    began = time.perf_counter()
+    await asyncio.gather(*(drive(offset) for offset in range(connections)))
+    elapsed = time.perf_counter() - began
+    return LoadReport(
+        requests=len(stream),
+        completed=completed,
+        rejected=rejected,
+        errors=errors,
+        retries=retried,
+        elapsed=elapsed,
+        latency_p50=_percentile(latencies, 0.50),
+        latency_p99=_percentile(latencies, 0.99),
+    )
+
+
+def http_load(
+    host: str,
+    port: int,
+    stream: Sequence[Union[CountJob, UpdateJob]],
+    connections: int = 200,
+    retries: int = 6,
+    backoff: float = 0.02,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """The synchronous wrapper around :func:`drive_http_load`.
+
+    For benchmarks and scripts without their own event loop; drives the
+    load from a fresh ``asyncio.run`` loop against an HTTP front that is
+    already listening (typically in another process or thread).
+    """
+    return asyncio.run(
+        drive_http_load(
+            host,
+            port,
+            stream,
+            connections=connections,
+            retries=retries,
+            backoff=backoff,
+            timeout=timeout,
+        )
+    )
