@@ -232,6 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
         "deltas of an owned name (requires --persist-cache)",
     )
     serve.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the load rebalancer every SECONDS, moving hot database "
+        "names to cold shards with a warm cache handoff (default: off)",
+    )
+    serve.add_argument(
+        "--max-imbalance",
+        type=float,
+        default=2.0,
+        metavar="RATIO",
+        help="rebalance only while the hottest shard carries more than "
+        "RATIO times the mean shard load (default 2.0)",
+    )
+    serve.add_argument(
         "--stats",
         action="store_true",
         help="print the server's aggregated stats JSON to stderr at the end",
@@ -444,6 +460,8 @@ def _run_serve(arguments: argparse.Namespace) -> int:
             persist_max_entries=arguments.cache_max_entries,
             persist_max_age=arguments.cache_max_age,
             checkpoint_every=arguments.checkpoint_every,
+            rebalance_interval=arguments.rebalance_interval,
+            max_imbalance=arguments.max_imbalance,
         )
         for name, (database, keys) in databases.items():
             server.register(name, database, keys)

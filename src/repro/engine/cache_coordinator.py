@@ -107,6 +107,9 @@ class CacheCoordinator:
         )
         self.selector_recomputations = 0
         self.decomposition_recomputations = 0
+        self.handoffs = 0
+        self.handoff_warm_decompositions = 0
+        self.handoff_selector_entries = 0
 
     # ------------------------------------------------------------------ #
     # the persistent substrate (shared with the lineage service)
@@ -358,6 +361,46 @@ class CacheCoordinator:
         return self._snapshot_store.contains(token)
 
     # ------------------------------------------------------------------ #
+    # warm ownership handoff
+    # ------------------------------------------------------------------ #
+    def prime_for_handoff(
+        self,
+        token: SnapshotToken,
+        database: Database,
+        keys: PrimaryKeySet,
+    ) -> Dict[str, object]:
+        """Warm this coordinator for a snapshot arriving via handoff.
+
+        The destination side of an elastic-sharding move: the source has
+        been serving the snapshot, so on a shared persistent store its
+        decomposition (``*.dec``) and selector (``*.sel``) entries are
+        already written.  The decomposition is pulled through the normal
+        read-through path — a warm store loads it without touching
+        ``decomposition_recomputations`` — while selector entries stay
+        lazy (their cache keys carry query/answer material the entry
+        names do not expose) and are served by the ``selectors-disk``
+        read-through on first use, again without recomputation.  Without
+        a store the decomposition is computed here, once, and the single
+        recomputation is counted like any other cold build.
+
+        Returns what the handoff found: the decomposition's provenance
+        (``"memory"``/``"disk"``/``"computed"``) and how many selector
+        entries of the token are already waiting on disk.
+        """
+        self.handoffs += 1
+        _, provenance = self.decomposition(token, database, keys)
+        if provenance != "computed":
+            self.handoff_warm_decompositions += 1
+        selector_entries = 0
+        if self._selector_store is not None:
+            selector_entries = self._selector_store.token_entry_count(token)
+            self.handoff_selector_entries += selector_entries
+        return {
+            "decomposition": provenance,
+            "selector_entries": selector_entries,
+        }
+
+    # ------------------------------------------------------------------ #
     # invalidation, pinning, garbage collection
     # ------------------------------------------------------------------ #
     def drop_token(self, token: SnapshotToken) -> None:
@@ -410,6 +453,14 @@ class CacheCoordinator:
         }
         for layer, store in self._disk_layers().items():
             stats[layer] = store.stats()  # type: ignore[attr-defined]
+        if self.handoffs:
+            # Present only once a handoff happened, so coordinators that
+            # never migrate ownership keep their original stats shape.
+            stats["handoff"] = {
+                "handoffs": self.handoffs,
+                "warm_decompositions": self.handoff_warm_decompositions,
+                "selector_entries": self.handoff_selector_entries,
+            }
         return stats
 
     def __repr__(self) -> str:

@@ -140,6 +140,19 @@ class LineageService:
         """
         self._caches.set_pinned_tokens(self._registry.live_tokens())
 
+    def forget(self, name: str) -> None:
+        """Release the in-memory chain state of a name that left this pool.
+
+        The source side of an ownership handoff, called after the
+        registry entry is gone: the catalog (when persistent) keeps the
+        full durable history — the destination, or a later
+        re-registration here, reloads it via :meth:`chain` — and the GC
+        pin set shrinks to the remaining registered heads.
+        """
+        self._chains.pop(name, None)
+        self._checkpoints.pop(name, None)
+        self.refresh_pins()
+
     def adopt(self, name: str, lineage: Lineage) -> None:
         """Replace the recorded chain of ``name`` with a richer one.
 

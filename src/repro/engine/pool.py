@@ -109,6 +109,33 @@ class SolverPool:
             self._caches.drop_token(displaced)
         self._lineage.record_head(name, token, kind="register")
 
+    def forget(self, name: str) -> None:
+        """Drop a registration entirely (the ownership-handoff path).
+
+        The inverse of :meth:`register` for elastic sharding: the name
+        leaves the registry, its in-memory derived state is dropped
+        unless another name still points at the same content, and its
+        lineage chain is released — the persistent catalog, when
+        configured, keeps the durable history for the destination pool
+        (or a later re-registration here) to reload.
+        """
+        token = self._registry.forget(name)
+        if token not in self._registry.live_tokens():
+            self._caches.drop_token(token)
+        self._lineage.forget(name)
+
+    def prime_handoff(self, name: str) -> Dict[str, object]:
+        """Warm the caches for a snapshot that just arrived via handoff.
+
+        Call after :meth:`register` (and :meth:`adopt_lineage`) on the
+        destination of an ownership move; see
+        :meth:`CacheCoordinator.prime_for_handoff` for the cost model.
+        """
+        database, keys = self._registry.lookup(name)
+        return self._caches.prime_for_handoff(
+            self._registry.token(name), database, keys
+        )
+
     def register_scenario(self, scenario) -> None:
         """Register a named workload :class:`~repro.workloads.scenarios.Scenario`."""
         self.register(scenario.name, scenario.database, scenario.keys)

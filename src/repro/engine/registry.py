@@ -99,6 +99,18 @@ class SnapshotRegistry:
         """Like :meth:`token`, but ``None`` for unregistered names."""
         return self._tokens.get(name)
 
+    def forget(self, name: str) -> SnapshotToken:
+        """Drop a registration entirely; returns its (former) token.
+
+        The source side of an ownership handoff: the name leaves this
+        registry so its token stops pinning disk-cache entries here and
+        the destination registry becomes the sole owner.  Unknown names
+        raise :class:`~repro.errors.EngineError`.
+        """
+        self.lookup(name)
+        del self._databases[name]
+        return self._tokens.pop(name)
+
     def names(self) -> Tuple[str, ...]:
         """The registered names, in registration order."""
         return tuple(self._databases)

@@ -147,3 +147,14 @@ class ServerOverloadedError(ServerError):
     job is either accepted (and will produce a result or an error) or the
     caller is told immediately, never silently dropped.
     """
+
+
+class RebalanceError(ServerError):
+    """An elastic-sharding operation could not be performed.
+
+    Raised for conflicting ownership moves (the same name is already
+    mid-handoff), unknown shard ids, or removing the last shard.  Over
+    HTTP it maps to ``409 Conflict`` — not retryable by blind resend: the
+    caller must change the request or wait for the conflicting operation
+    to finish.
+    """

@@ -27,9 +27,19 @@ This package is the service-shaped front of the repository (see
     retry budgets with exponential backoff plus streaming result
     iterators.
 
+:class:`GreedyRebalancer` / :class:`RebalancePolicy`
+    Elastic shard ownership (:mod:`repro.server.rebalance`): the server
+    keeps per-shard and per-name load accounting, policies turn an
+    immutable :class:`LoadSnapshot` into :class:`Move` proposals, and
+    :meth:`AsyncServer.move` executes each one — quiescing the name,
+    exporting its live head, warming the destination through the shared
+    persistent store — without stalling other names or perturbing the
+    bit-identical ordering guarantee.
+
 The CLI surface is ``python -m repro serve`` (job files or stdin
 JSON-lines in, JSON-lines results out; ``--http PORT`` serves the HTTP
-front instead).
+front instead; ``--rebalance-interval`` turns on background
+rebalancing).
 """
 
 from .async_server import (
@@ -40,14 +50,28 @@ from .async_server import (
 )
 from .client import ServeClient
 from .http import HttpServer
+from .rebalance import (
+    GreedyRebalancer,
+    LoadSnapshot,
+    Move,
+    NameLoad,
+    RebalancePolicy,
+    ShardLoad,
+)
 from .shards import Shard
 
 __all__ = [
     "AsyncServer",
     "BACKPRESSURE_POLICIES",
+    "GreedyRebalancer",
     "HttpServer",
+    "LoadSnapshot",
+    "Move",
+    "NameLoad",
+    "RebalancePolicy",
     "ServeClient",
     "Shard",
+    "ShardLoad",
     "StreamFailure",
     "serve_stream",
 ]

@@ -36,6 +36,20 @@ policy suspends the submitter until a slot frees and the ``"reject"``
 policy raises :class:`~repro.errors.ServerOverloadedError` immediately.
 Either way a job is never silently dropped: it is finished, or the caller
 holds an exception saying it was not.
+
+**Elasticity** — ownership is not fixed for life.  The server keeps
+per-shard and per-name load accounting (dispatched, completed, in-flight,
+queue depth, cumulative busy seconds), and :meth:`AsyncServer.move`
+transfers a name to another shard mid-serve: new dispatches of the name
+park on a gate, its in-flight jobs drain on the old shard (FIFO, so
+bit-identical ordering survives), the *worker-side* head and lineage are
+exported and adopted by the destination (whose caches are primed through
+the shared store — a warm handoff ships zero recomputations), and the
+routing table flips in one step.  Jobs for other names never stall.
+:meth:`add_shard`/:meth:`remove_shard` grow and shrink the fleet at
+runtime, and a :class:`~repro.server.rebalance.RebalancePolicy` (default
+:class:`~repro.server.rebalance.GreedyRebalancer`) can run those moves on
+a timer via ``rebalance_interval``.
 """
 
 from __future__ import annotations
@@ -50,7 +64,6 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Set,
     Tuple,
     Union,
 )
@@ -66,7 +79,20 @@ from ..engine.jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
-from ..errors import EngineError, ServerError, ServerOverloadedError
+from ..errors import (
+    EngineError,
+    RebalanceError,
+    ServerError,
+    ServerOverloadedError,
+)
+from .rebalance import (
+    GreedyRebalancer,
+    LoadSnapshot,
+    Move,
+    NameLoad,
+    RebalancePolicy,
+    ShardLoad,
+)
 from .shards import Shard
 
 __all__ = [
@@ -123,6 +149,17 @@ class AsyncServer:
         Forwarded to every shard's pool (see :class:`SolverPool`); shards
         share one persistent cache directory, and ``checkpoint_every``
         makes each shard cut compaction checkpoints for its owned names.
+        A shared ``persist_dir`` is also what makes ownership handoffs
+        *warm*: the destination reads the migrated name's selector and
+        decomposition entries through the store instead of recomputing.
+    rebalance_interval, max_imbalance, rebalancer:
+        Automatic rebalancing: every ``rebalance_interval`` seconds the
+        server asks its policy for moves and executes them.  The default
+        policy is :class:`~repro.server.rebalance.GreedyRebalancer`
+        with threshold ``max_imbalance`` (hottest shard over mean shard
+        load); pass ``rebalancer`` to override it.  Leave the interval
+        ``None`` (default) for on-demand rebalancing via
+        :meth:`rebalance`.
 
     Example — three jobs through a one-shard server (the synchronous
     :func:`serve_stream` wrapper drives exactly this API):
@@ -152,6 +189,9 @@ class AsyncServer:
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
+        rebalance_interval: Optional[float] = None,
+        max_imbalance: float = 2.0,
+        rebalancer: Optional[RebalancePolicy] = None,
     ) -> None:
         if shards < 1:
             raise ServerError(f"shards must be >= 1, got {shards}")
@@ -168,27 +208,48 @@ class AsyncServer:
             raise ServerError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
-        self._shards = [
-            Shard(
-                shard_id,
-                persist_dir=persist_dir,
-                persist_max_entries=persist_max_entries,
-                persist_max_age=persist_max_age,
-                checkpoint_every=checkpoint_every,
+        if rebalance_interval is not None and rebalance_interval <= 0:
+            raise ServerError(
+                f"rebalance_interval must be > 0, got {rebalance_interval}"
             )
-            for shard_id in range(shards)
+        self._shard_options = {
+            "persist_dir": persist_dir,
+            "persist_max_entries": persist_max_entries,
+            "persist_max_age": persist_max_age,
+            "checkpoint_every": checkpoint_every,
+        }
+        self._shards = [
+            Shard(shard_id, **self._shard_options) for shard_id in range(shards)
         ]
+        self._next_shard_id = shards
         self._owner: Dict[str, Shard] = {}
+        self._routing_version = 0
         self._queue_limit = queue_limit
         self._policy = policy
         self._slots: Optional[asyncio.Semaphore] = None
-        self._outstanding: Set["asyncio.Future[StreamResult]"] = set()
+        #: future -> (database name, shard id) of every in-flight job.
+        self._outstanding: Dict[
+            "asyncio.Future[StreamResult]", Tuple[str, int]
+        ] = {}
+        #: name -> gate event while that name is mid-handoff.
+        self._moving: Dict[str, asyncio.Event] = {}
+        self._shard_load: Dict[int, Dict[str, float]] = {}
+        self._name_load: Dict[str, Dict[str, float]] = {}
+        self._rebalance_interval = rebalance_interval
+        self._rebalancer = (
+            rebalancer
+            if rebalancer is not None
+            else GreedyRebalancer(max_imbalance=max_imbalance)
+        )
+        self._rebalance_task: Optional["asyncio.Task[None]"] = None
         self._running = False
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
         self.in_flight = 0
         self.peak_in_flight = 0
+        self.moves_completed = 0
+        self.rebalance_rounds = 0
 
     # ------------------------------------------------------------------ #
     # registration and routing
@@ -210,9 +271,17 @@ class AsyncServer:
         shard = self._assign_shard(token)
         shard.own(name, database, keys)
         self._owner[name] = shard
+        self._routing_version += 1
 
     def _assign_shard(self, token: Tuple[str, str]) -> Shard:
-        """Token-preferred, load-balanced shard choice (deterministic)."""
+        """Token-preferred, load-balanced *initial* shard choice.
+
+        Deterministic for a given registration order and shard set —
+        but only the initial placement: ownership may move later, so
+        every routing decision must read :meth:`shard_of` (or the
+        internal :meth:`_owner_of`) at dispatch time, never cache a
+        shard reference across an await.
+        """
         preferred = int(token[0][:16], 16) % len(self._shards)
         least_loaded = min(len(shard) for shard in self._shards)
         for offset in range(len(self._shards)):
@@ -222,8 +291,23 @@ class AsyncServer:
         raise AssertionError("unreachable: some shard has the minimum load")
 
     def shard_of(self, name: str) -> int:
-        """The shard id owning the registration ``name``."""
+        """The shard id *currently* owning the registration ``name``.
+
+        The single routing lookup: valid only until the next ownership
+        change (watch :attr:`routing_version`), so callers must resolve
+        it per dispatch rather than caching the result.
+        """
         return self._owner_of(name).shard_id
+
+    @property
+    def routing_version(self) -> int:
+        """Monotonic counter, bumped on every ownership/topology change.
+
+        Increments on registration, on every completed :meth:`move`, and
+        on :meth:`add_shard`/:meth:`remove_shard` — a cheap staleness
+        probe for anything that snapshots the routing table.
+        """
+        return self._routing_version
 
     def database_names(self) -> Tuple[str, ...]:
         """All registered names, in registration order."""
@@ -233,6 +317,20 @@ class AsyncServer:
     def shard_count(self) -> int:
         """The number of worker shards this server fans out over."""
         return len(self._shards)
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """The live shard ids (stable ids, not indices: they survive
+        removals and keep growing across :meth:`add_shard`)."""
+        return tuple(shard.shard_id for shard in self._shards)
+
+    def _shard_by_id(self, shard_id: int) -> Shard:
+        for shard in self._shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise RebalanceError(
+            f"unknown shard {shard_id}; live shards: {list(self.shard_ids)}"
+        )
 
     def _owner_of(self, name: str) -> Shard:
         try:
@@ -253,6 +351,10 @@ class AsyncServer:
         for shard in self._shards:
             shard.start()
         self._running = True
+        if self._rebalance_interval is not None:
+            self._rebalance_task = asyncio.get_running_loop().create_task(
+                self._rebalance_loop()
+            )
 
     async def stop(self) -> None:
         """Drain and stop every shard (waits for in-flight jobs).
@@ -268,6 +370,15 @@ class AsyncServer:
         if not self._running:
             return
         self._running = False
+        if self._rebalance_task is not None:
+            # Stop the timer before draining shards: a rebalance firing
+            # mid-teardown would race the executors it moves names over.
+            self._rebalance_task.cancel()
+            try:
+                await self._rebalance_task
+            except asyncio.CancelledError:
+                pass
+            self._rebalance_task = None
         loop = asyncio.get_running_loop()
         outcomes = await asyncio.gather(
             *(loop.run_in_executor(None, shard.stop) for shard in self._shards),
@@ -308,18 +419,26 @@ class AsyncServer:
         """
         if not self._running or self._slots is None:
             raise ServerError("the server is not running; use 'async with server'")
-        shard = self._owner_of(item.database)  # validate before taking a slot
+        name = item.database
+        self._owner_of(name)  # validate before taking a slot
         if self._policy == "reject" and self._slots.locked():
             self.rejected += 1
             raise ServerOverloadedError(
                 f"queue full ({self._queue_limit} jobs in flight); "
-                f"job for {item.database!r} rejected"
+                f"job for {name!r} rejected"
             )
         await self._slots.acquire()
-        self.submitted += 1
-        self.in_flight += 1
-        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
         try:
+            # Routing resolves *after* the slot wait and after any
+            # in-flight handoff of this name: a shard reference taken
+            # before either await could be stale by the time the job is
+            # queued.  One shard_of lookup, at the last possible moment.
+            while True:
+                gate = self._moving.get(name)
+                if gate is None:
+                    break
+                await gate.wait()
+            shard = self._owner_of(name)
             if isinstance(item, UpdateJob):
                 inner = shard.submit_update(index, item)
             elif isinstance(item, CountJob):
@@ -330,19 +449,49 @@ class AsyncServer:
                     f"got {type(item).__name__}"
                 )
         except BaseException:
-            self.in_flight -= 1
             self._slots.release()
             raise
+        self.submitted += 1
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        for load in (
+            self._shard_load.setdefault(shard.shard_id, self._new_load()),
+            self._name_load.setdefault(name, self._new_load()),
+        ):
+            load["dispatched"] += 1
+            load["in_flight"] += 1
         future = asyncio.wrap_future(inner)
-        self._outstanding.add(future)
+        self._outstanding[future] = (name, shard.shard_id)
         future.add_done_callback(self._on_done)
         return future
 
+    @staticmethod
+    def _new_load() -> Dict[str, float]:
+        return {
+            "dispatched": 0,
+            "completed": 0,
+            "in_flight": 0,
+            "busy_time": 0.0,
+        }
+
     def _on_done(self, future: "asyncio.Future[StreamResult]") -> None:
-        self._outstanding.discard(future)
+        name, shard_id = self._outstanding.pop(future, (None, None))
         self.in_flight -= 1
-        if not future.cancelled() and future.exception() is None:
+        failed = future.cancelled() or future.exception() is not None
+        elapsed = 0.0
+        if not failed:
             self.completed += 1
+            elapsed = float(getattr(future.result(), "elapsed", 0.0) or 0.0)
+        loads = []
+        if shard_id in self._shard_load:
+            loads.append(self._shard_load[shard_id])
+        if name in self._name_load:
+            loads.append(self._name_load[name])
+        for load in loads:
+            load["in_flight"] -= 1
+            if not failed:
+                load["completed"] += 1
+                load["busy_time"] += elapsed
         if self._slots is not None:
             self._slots.release()
 
@@ -495,6 +644,195 @@ class AsyncServer:
                 pending.clear()
 
     # ------------------------------------------------------------------ #
+    # elastic sharding: load accounting, handoff, topology
+    # ------------------------------------------------------------------ #
+    def load_snapshot(self) -> LoadSnapshot:
+        """An immutable view of the per-shard/per-name load accounting.
+
+        The input to a :class:`~repro.server.rebalance.RebalancePolicy`;
+        also serves ``GET /shards``.  Pure parent-side state — no worker
+        round-trip, callable whether or not the server is running.
+        """
+        names = []
+        for name, shard in self._owner.items():
+            counters = self._name_load.get(name) or self._new_load()
+            names.append(
+                NameLoad(
+                    name=name,
+                    shard=shard.shard_id,
+                    dispatched=int(counters["dispatched"]),
+                    completed=int(counters["completed"]),
+                    in_flight=int(counters["in_flight"]),
+                    busy_time=counters["busy_time"],
+                )
+            )
+        shards = []
+        for shard in self._shards:
+            counters = self._shard_load.get(shard.shard_id) or self._new_load()
+            in_flight = int(counters["in_flight"])
+            shards.append(
+                ShardLoad(
+                    shard=shard.shard_id,
+                    names=shard.owned_names(),
+                    dispatched=int(counters["dispatched"]),
+                    completed=int(counters["completed"]),
+                    in_flight=in_flight,
+                    queue_depth=max(0, in_flight - 1),
+                    busy_time=counters["busy_time"],
+                )
+            )
+        return LoadSnapshot(shards=tuple(shards), names=tuple(names))
+
+    async def move(self, name: str, shard: int) -> bool:
+        """Transfer ownership of ``name`` to the shard with id ``shard``.
+
+        Returns ``False`` when the name already lives there, ``True``
+        after a completed transfer.  On a running server the move is a
+        live handoff in five steps, none of which stalls other names:
+
+        1. **Gate** — new dispatches of ``name`` park on an event (other
+           names route freely; :class:`RebalanceError` if the name is
+           already mid-move).
+        2. **Quiesce** — the name's in-flight jobs drain on the source
+           shard, preserving the per-database FIFO order that makes
+           results bit-identical to a sequential replay.
+        3. **Export** — the source *worker* ships its current head and
+           recorded lineage (the post-delta truth, not the registration-
+           time priming copy).
+        4. **Adopt** — the destination worker registers the head, adopts
+           the lineage, and primes its caches through the shared store
+           (zero recomputations when the store is warm); the source
+           worker then forgets the name.
+        5. **Flip** — the routing table points at the destination,
+           :attr:`routing_version` bumps, and the gate opens.
+
+        On a stopped server the move is a plain re-homing of the priming
+        set.  Unknown names raise :class:`~repro.errors.EngineError`,
+        unknown shards :class:`~repro.errors.RebalanceError`.
+        """
+        destination = self._shard_by_id(shard)
+        source = self._owner_of(name)
+        if source is destination:
+            return False
+        if name in self._moving:
+            raise RebalanceError(
+                f"{name!r} is already mid-handoff; retry after it completes"
+            )
+        if not self._running:
+            database, keys = source.release(name)
+            destination.own(name, database, keys)
+            self._owner[name] = destination
+            self._routing_version += 1
+            self.moves_completed += 1
+            return True
+        gate = asyncio.Event()
+        self._moving[name] = gate
+        try:
+            pending = [
+                future
+                for future, (owner, _) in self._outstanding.items()
+                if owner == name
+            ]
+            if pending:
+                # Quiesce without consuming outcomes: the original
+                # dispatchers still own these futures' results/errors.
+                await asyncio.wait(pending)
+            database, keys, lineage = await asyncio.wrap_future(
+                source.submit_export(name)
+            )
+            await asyncio.wrap_future(
+                destination.submit_handoff(name, database, keys, lineage)
+            )
+            source.release(name)
+            await asyncio.wrap_future(source.submit_forget(name))
+            self._owner[name] = destination
+            self._routing_version += 1
+            self.moves_completed += 1
+        finally:
+            del self._moving[name]
+            gate.set()
+        return True
+
+    def add_shard(self) -> int:
+        """Grow the fleet by one shard; returns the new shard's id.
+
+        The shard starts empty (ownership only moves via :meth:`move` or
+        the rebalancer) and, on a running server, its worker process
+        starts immediately.  Ids are never reused: a server that grew and
+        shrank keeps monotonically increasing ids.
+        """
+        shard = Shard(self._next_shard_id, **self._shard_options)
+        self._next_shard_id += 1
+        if self._running:
+            shard.start()
+        self._shards.append(shard)
+        self._routing_version += 1
+        return shard.shard_id
+
+    async def remove_shard(self, shard: int) -> Tuple[str, ...]:
+        """Drain one shard and retire it; returns the names it gave up.
+
+        Every owned name is moved (full live handoff, ordering and warm
+        caches preserved) to the survivor with the fewest names, then the
+        worker is shut down off-loop.  Removing the last shard — or an
+        unknown id — raises :class:`~repro.errors.RebalanceError`.
+        """
+        doomed = self._shard_by_id(shard)
+        if len(self._shards) <= 1:
+            raise RebalanceError("cannot remove the only shard")
+        moved = []
+        for name in doomed.owned_names():
+            survivors = [s for s in self._shards if s is not doomed]
+            target = min(survivors, key=lambda s: (len(s), s.shard_id))
+            await self.move(name, target.shard_id)
+            moved.append(name)
+        self._shards.remove(doomed)
+        self._shard_load.pop(doomed.shard_id, None)
+        if self._running:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, doomed.stop)
+        else:
+            doomed.stop()
+        self._routing_version += 1
+        return tuple(moved)
+
+    async def rebalance(
+        self, policy: Optional[RebalancePolicy] = None
+    ) -> Tuple[Move, ...]:
+        """Run one rebalancing round; returns the moves actually executed.
+
+        Asks ``policy`` (default: the server's configured rebalancer) for
+        proposals against the current :meth:`load_snapshot` and executes
+        them in order.  Proposals that went stale between snapshot and
+        execution — the name re-homed, the destination shard removed —
+        are skipped, not errors: the policy is advisory, the routing
+        table is the truth.
+        """
+        active = policy if policy is not None else self._rebalancer
+        self.rebalance_rounds += 1
+        executed = []
+        for proposal in active.propose(self.load_snapshot()):
+            owner = self._owner.get(proposal.name)
+            if owner is None or owner.shard_id != proposal.source:
+                continue
+            if proposal.destination not in self.shard_ids:
+                continue
+            if await self.move(proposal.name, proposal.destination):
+                executed.append(proposal)
+        return tuple(executed)
+
+    async def _rebalance_loop(self) -> None:
+        """The timer behind ``rebalance_interval`` (cancelled by stop)."""
+        while True:
+            await asyncio.sleep(self._rebalance_interval or 0)
+            try:
+                await self.rebalance()
+            except RebalanceError:
+                # A concurrent admin action (manual move, shard removal)
+                # won this round; the next tick sees the settled state.
+                continue
+
+    # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
     async def history(self, name: str) -> Lineage:
@@ -556,10 +894,15 @@ class AsyncServer:
 
         Per-shard entries come straight from each worker pool's
         :meth:`SolverPool.cache_stats` (including the persist layers and
-        their GC evictions) plus its recomputation counters; the ``queue``
+        their GC evictions) plus its recomputation counters, merged with
+        the parent-side load accounting (dispatched, completed,
+        in-flight, queue depth, cumulative busy seconds); the ``queue``
         section reports the backpressure configuration and lifetime
-        submission counters.  The probe is itself a queued job, so the
-        numbers reflect every job submitted before the call.
+        submission counters; ``names`` is the per-name load map;
+        ``routing`` the ownership table and its version; ``rebalance``
+        the policy configuration and its lifetime move counters.  The
+        probe is itself a queued job, so the numbers reflect every job
+        submitted before the call.
         """
         if not self._running:
             raise ServerError("the server is not running; use 'async with server'")
@@ -567,6 +910,8 @@ class AsyncServer:
             asyncio.wrap_future(shard.submit_stats()) for shard in self._shards
         ]
         shard_stats = await asyncio.gather(*probes)
+        snapshot = self.load_snapshot()
+        shard_loads = {load.shard: load for load in snapshot.shards}
         return {
             "queue": {
                 "limit": self._queue_limit,
@@ -584,9 +929,40 @@ class AsyncServer:
                 str(shard.shard_id): {
                     "jobs_submitted": shard.jobs_submitted,
                     "updates_submitted": shard.updates_submitted,
+                    "dispatched": shard_loads[shard.shard_id].dispatched,
+                    "completed": shard_loads[shard.shard_id].completed,
+                    "in_flight": shard_loads[shard.shard_id].in_flight,
+                    "queue_depth": shard_loads[shard.shard_id].queue_depth,
+                    "busy_time": shard_loads[shard.shard_id].busy_time,
                     **stats,
                 }
                 for shard, stats in zip(self._shards, shard_stats)
+            },
+            "names": {
+                load.name: {
+                    "shard": load.shard,
+                    "dispatched": load.dispatched,
+                    "completed": load.completed,
+                    "in_flight": load.in_flight,
+                    "busy_time": load.busy_time,
+                }
+                for load in snapshot.names
+            },
+            "routing": {
+                "version": self._routing_version,
+                "owners": {
+                    name: shard.shard_id for name, shard in self._owner.items()
+                },
+            },
+            "rebalance": {
+                "interval": self._rebalance_interval,
+                "policy": type(self._rebalancer).__name__,
+                "max_imbalance": getattr(
+                    self._rebalancer, "max_imbalance", None
+                ),
+                "imbalance": snapshot.imbalance(),
+                "rounds": self.rebalance_rounds,
+                "moves": self.moves_completed,
             },
         }
 

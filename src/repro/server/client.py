@@ -276,6 +276,38 @@ class ServeClient:
             if self.last_stream_summary is None:
                 raise WireError("stream ended without a summary line")
 
+    async def shards(self) -> Dict[str, object]:
+        """``GET /shards`` — routing table, version, per-shard load.
+
+        The returned assignment is valid only at the returned
+        ``version``; never cache it across requests (ownership moves).
+        """
+        return await self._call("GET", "/shards")
+
+    async def add_shard(self) -> Dict[str, object]:
+        """``POST /shards`` ``{"action": "add"}`` — grow the fleet."""
+        return await self._call("POST", "/shards", {"action": "add"})
+
+    async def remove_shard(self, shard: int) -> Dict[str, object]:
+        """``POST /shards`` remove — drain and retire one shard.
+
+        Raises :class:`~repro.errors.RebalanceError` (HTTP 409) for an
+        unknown id or when the shard is the last one.
+        """
+        return await self._call(
+            "POST", "/shards", {"action": "remove", "shard": shard}
+        )
+
+    async def move(self, name: str, shard: int) -> Dict[str, object]:
+        """``POST /shards`` move — hand one name off to another shard."""
+        return await self._call(
+            "POST", "/shards", {"action": "move", "name": name, "shard": shard}
+        )
+
+    async def rebalance(self) -> Dict[str, object]:
+        """``POST /shards`` rebalance — run one policy round now."""
+        return await self._call("POST", "/shards", {"action": "rebalance"})
+
     async def history(
         self, name: str, limit: Optional[int] = None
     ) -> Dict[str, object]:

@@ -33,6 +33,9 @@ method path                       meaning
 GET    ``/health``                liveness + shard/database counts
 GET    ``/stats``                 queue + per-shard counters (+ HTTP front)
 GET    ``/databases``             registered names
+GET    ``/shards``                routing table + per-shard load snapshot
+POST   ``/shards``                admin: ``{"action": "add" | "remove" |
+                                  "move" | "rebalance", ...}``
 POST   ``/count``                 one :class:`CountJob` body -> result
 POST   ``/update``                one update body -> delta report
 POST   ``/stream``                JSON-lines of jobs -> chunked JSON-lines
@@ -41,6 +44,16 @@ GET    ``/checkpoints/{name}``    known compaction checkpoints
 POST   ``/checkpoint/{name}``     cut a checkpoint now
 POST   ``/rollback/{name}``       body ``{"to": ref}`` -> new head record
 ====== ========================== ==========================================
+
+The ``/shards`` admin surface drives elastic sharding over the wire:
+``add`` grows the fleet, ``remove`` (body ``{"shard": id}``) drains and
+retires a shard, ``move`` (body ``{"name": …, "shard": id}``) hands one
+name off, and ``rebalance`` runs one policy round.  A refused operation —
+conflicting handoff, unknown shard, removing the last shard — answers
+**409 Conflict** (:class:`~repro.errors.RebalanceError` client-side),
+which is deliberately *not* retryable-by-resend.  Responses carry the
+server's ``routing_version`` so callers can invalidate cached views; no
+HTTP consumer may cache a shard assignment across requests.
 """
 
 from __future__ import annotations
@@ -239,6 +252,10 @@ class HttpServer:
             if route == ("GET", "databases"):
                 payload = {"databases": list(self._server.database_names())}
                 return await self._respond(writer, payload)
+            if route == ("GET", "shards"):
+                return await self._respond(writer, self._shards_view())
+            if route == ("POST", "shards"):
+                return await self._shards_admin(request, writer)
             if route == ("POST", "count"):
                 return await self._count(request, writer)
             if route == ("POST", "update"):
@@ -266,8 +283,8 @@ class HttpServer:
             if route == ("POST", "rollback"):
                 return await self._rollback(request, writer, name)
         known = {
-            "health", "stats", "databases", "count", "update", "stream",
-            "history", "checkpoints", "checkpoint", "rollback",
+            "health", "stats", "databases", "shards", "count", "update",
+            "stream", "history", "checkpoints", "checkpoint", "rollback",
         }
         if segments and segments[0] in known:
             self.errors += 1
@@ -316,6 +333,78 @@ class HttpServer:
             "errors": self.errors,
         }
         return stats
+
+    def _shards_view(self) -> Dict[str, object]:
+        """``GET /shards``: the routing table plus the live load snapshot."""
+        snapshot = self._server.load_snapshot()
+        return {
+            "version": self._server.routing_version,
+            "imbalance": snapshot.imbalance(),
+            "shards": {
+                str(load.shard): {
+                    "names": list(load.names),
+                    "dispatched": load.dispatched,
+                    "completed": load.completed,
+                    "in_flight": load.in_flight,
+                    "queue_depth": load.queue_depth,
+                    "busy_time": load.busy_time,
+                }
+                for load in snapshot.shards
+            },
+        }
+
+    async def _shards_admin(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /shards``: add/remove/move/rebalance, routed by action."""
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise WireError(
+                'shards admin expects a body like {"action": "add"}'
+            )
+        action = payload.get("action")
+        if action == "add":
+            shard_id = self._server.add_shard()
+            document: Dict[str, object] = {"added": shard_id}
+        elif action == "remove":
+            shard_id = payload.get("shard")
+            if not isinstance(shard_id, int) or isinstance(shard_id, bool):
+                raise WireError(
+                    f"remove expects an integer 'shard', got {shard_id!r}"
+                )
+            moved = await self._server.remove_shard(shard_id)
+            document = {"removed": shard_id, "moved": list(moved)}
+        elif action == "move":
+            name = payload.get("name")
+            shard_id = payload.get("shard")
+            if not isinstance(name, str) or not name:
+                raise WireError(f"move expects a 'name', got {name!r}")
+            if not isinstance(shard_id, int) or isinstance(shard_id, bool):
+                raise WireError(
+                    f"move expects an integer 'shard', got {shard_id!r}"
+                )
+            changed = await self._server.move(name, shard_id)
+            document = {"name": name, "shard": shard_id, "moved": changed}
+        elif action == "rebalance":
+            moves = await self._server.rebalance()
+            document = {
+                "moves": [
+                    {
+                        "name": move.name,
+                        "from": move.source,
+                        "to": move.destination,
+                    }
+                    for move in moves
+                ]
+            }
+        else:
+            raise WireError(
+                f"unknown shards action {action!r}; expected one of "
+                f"'add', 'remove', 'move', 'rebalance'"
+            )
+        document["shards"] = self._server.shard_count
+        document["version"] = self._server.routing_version
+        return await self._respond(writer, document)
 
     @staticmethod
     def _payload_and_index(request: HttpRequest) -> Tuple[Dict[str, object], int]:

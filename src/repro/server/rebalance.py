@@ -1,0 +1,215 @@
+"""Load snapshots and rebalancing policies for elastic shard ownership.
+
+The async server routes each registered name to a fixed shard at
+registration time; under the skewed popularity that
+:func:`~repro.workloads.serving.serve_workload` models, that static
+placement pins one shard at 100% while the rest idle.  This module holds
+the *decision* side of the fix: immutable :class:`LoadSnapshot` views of
+the server's per-shard/per-name accounting, and pluggable
+:class:`RebalancePolicy` objects that turn a snapshot into a list of
+:class:`Move` proposals.  The *mechanism* — quiescing a name, exporting
+its head, warming the destination — lives in
+:meth:`~repro.server.AsyncServer.move`; policies never touch shards.
+
+The default policy is :class:`GreedyRebalancer`: when the hottest shard
+carries more than ``max_imbalance`` times the mean load, move its
+hottest movable name to the coldest shard, provided the move strictly
+narrows the gap.  Load is measured in cumulative busy seconds when any
+have been observed (the truthful unit: a thousand cheap jobs may cost
+less than one sampling-heavy job) and falls back to dispatch counts on a
+server that has not completed work yet.
+
+>>> snapshot = LoadSnapshot(
+...     shards=(
+...         ShardLoad(shard=0, names=("hot", "warm"), dispatched=9,
+...                   completed=9, in_flight=0, queue_depth=0, busy_time=9.0),
+...         ShardLoad(shard=1, names=("cold",), dispatched=1,
+...                   completed=1, in_flight=0, queue_depth=0, busy_time=1.0),
+...     ),
+...     names=(
+...         NameLoad(name="hot", shard=0, dispatched=6, completed=6,
+...                  in_flight=0, busy_time=6.0),
+...         NameLoad(name="warm", shard=0, dispatched=3, completed=3,
+...                  in_flight=0, busy_time=3.0),
+...         NameLoad(name="cold", shard=1, dispatched=1, completed=1,
+...                  in_flight=0, busy_time=1.0),
+...     ),
+... )
+>>> GreedyRebalancer(max_imbalance=1.5).propose(snapshot)
+(Move(name='hot', source=0, destination=1),)
+>>> GreedyRebalancer(max_imbalance=2.0).propose(snapshot)
+()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import RebalanceError
+
+__all__ = [
+    "GreedyRebalancer",
+    "LoadSnapshot",
+    "Move",
+    "NameLoad",
+    "RebalancePolicy",
+    "ShardLoad",
+]
+
+
+@dataclass(frozen=True)
+class NameLoad:
+    """The lifetime load one registered name has put on the server.
+
+    ``busy_time`` is cumulative worker seconds of its completed jobs;
+    ``in_flight`` counts dispatched-but-unfinished jobs at snapshot time.
+    """
+
+    name: str
+    shard: int
+    dispatched: int
+    completed: int
+    in_flight: int
+    busy_time: float
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's aggregate load plus its current ownership set.
+
+    ``queue_depth`` is the number of accepted jobs waiting behind the one
+    the single-worker shard is executing (``max(0, in_flight - 1)``).
+    """
+
+    shard: int
+    names: Tuple[str, ...]
+    dispatched: int
+    completed: int
+    in_flight: int
+    queue_depth: int
+    busy_time: float
+
+
+@dataclass(frozen=True)
+class LoadSnapshot:
+    """An immutable view of the server's load accounting at one instant."""
+
+    shards: Tuple[ShardLoad, ...]
+    names: Tuple[NameLoad, ...]
+
+    def uses_busy_time(self) -> bool:
+        """Whether busy seconds are available as the load metric yet."""
+        return any(shard.busy_time > 0 for shard in self.shards)
+
+    def _measure(self, item) -> float:
+        if self.uses_busy_time():
+            return item.busy_time
+        return float(item.dispatched)
+
+    def shard_loads(self) -> Dict[int, float]:
+        """Shard id -> load, in one consistent unit across the snapshot."""
+        return {shard.shard: self._measure(shard) for shard in self.shards}
+
+    def name_loads(self) -> Dict[str, float]:
+        """Name -> load, in the same unit as :meth:`shard_loads`."""
+        return {name.name: self._measure(name) for name in self.names}
+
+    def imbalance(self) -> float:
+        """Hottest-shard load over the mean (1.0 = perfectly balanced)."""
+        loads = list(self.shard_loads().values())
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        if mean <= 0:
+            return 1.0
+        return max(loads) / mean
+
+
+@dataclass(frozen=True)
+class Move:
+    """One proposed ownership transfer: ``name`` from ``source`` shard
+    to ``destination`` shard."""
+
+    name: str
+    source: int
+    destination: int
+
+
+class RebalancePolicy:
+    """The policy interface: a pure function from snapshot to moves.
+
+    Implementations must be deterministic in the snapshot (the server
+    may re-evaluate them on a timer) and must never mutate server state;
+    a proposal that has gone stale by execution time — the name moved,
+    the shard was removed — is simply skipped by the executor.
+    """
+
+    def propose(self, snapshot: LoadSnapshot) -> Tuple[Move, ...]:
+        """Moves that would improve balance, best first; may be empty."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GreedyRebalancer(RebalancePolicy):
+    """Move the hottest name off the hottest shard onto the coldest.
+
+    Triggers only while the hottest shard's load exceeds
+    ``max_imbalance`` times the mean shard load, proposes at most
+    ``moves_per_round`` moves per snapshot, and only proposes a move
+    that strictly narrows the hot/cold gap — a shard made hot by one
+    monolithic name is left alone, since moving it would just relocate
+    the hotspot.  Ties (equal loads, equal names) break deterministically
+    toward smaller shard ids and lexicographically smaller names.
+    """
+
+    max_imbalance: float = 2.0
+    moves_per_round: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_imbalance < 1.0:
+            raise RebalanceError(
+                f"max_imbalance must be >= 1.0, got {self.max_imbalance}"
+            )
+        if self.moves_per_round < 1:
+            raise RebalanceError(
+                f"moves_per_round must be >= 1, got {self.moves_per_round}"
+            )
+
+    def propose(self, snapshot: LoadSnapshot) -> Tuple[Move, ...]:
+        if len(snapshot.shards) < 2:
+            return ()
+        loads = snapshot.shard_loads()
+        name_loads = snapshot.name_loads()
+        placement = {load.name: load.shard for load in snapshot.names}
+        moves = []
+        for _ in range(self.moves_per_round):
+            total = sum(loads.values())
+            if total <= 0:
+                break
+            mean = total / len(loads)
+            ordered = sorted(loads)  # deterministic tie-breaks by shard id
+            hottest = max(ordered, key=loads.__getitem__)
+            coldest = min(ordered, key=loads.__getitem__)
+            if loads[hottest] <= self.max_imbalance * mean:
+                break
+            candidates = sorted(
+                (name for name, shard in placement.items() if shard == hottest),
+                key=lambda name: (-name_loads.get(name, 0.0), name),
+            )
+            chosen = None
+            for name in candidates:
+                weight = name_loads.get(name, 0.0)
+                if weight <= 0:
+                    break  # descending order: no load left to shed
+                if loads[coldest] + weight < loads[hottest]:
+                    chosen = name
+                    break
+            if chosen is None:
+                break
+            weight = name_loads[chosen]
+            moves.append(Move(name=chosen, source=hottest, destination=coldest))
+            loads[hottest] -= weight
+            loads[coldest] += weight
+            placement[chosen] = coldest
+        return tuple(moves)

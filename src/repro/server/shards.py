@@ -103,6 +103,18 @@ class Shard:
                 self._executor.submit(_shard_register, name, database, keys)
             )
 
+    def release(self, name: str) -> Tuple[Database, PrimaryKeySet]:
+        """Drop parent-side ownership of ``name``; returns the priming pair.
+
+        The bookkeeping half of a handoff: the caller re-owns the
+        snapshot on the destination shard (and, for a live source worker,
+        additionally queues :meth:`submit_forget`).  A stopped shard
+        restarted later will no longer prime the released name.
+        """
+        if name not in self._databases:
+            raise ServerError(f"shard {self.shard_id} does not own {name!r}")
+        return self._databases.pop(name)
+
     def _raise_failed_registrations(self) -> None:
         """Surface any completed-and-failed late registration, loudly.
 
@@ -241,6 +253,58 @@ class Shard:
         self._raise_failed_registrations()
         return executor.submit(_shard_rollback, name, ref)
 
+    # ------------------------------------------------------------------ #
+    # ownership handoff (elastic sharding)
+    # ------------------------------------------------------------------ #
+    def submit_export(
+        self, name: str
+    ) -> "Future[Tuple[Database, PrimaryKeySet, Lineage]]":
+        """Queue an export of the name's *current* head (FIFO after its jobs).
+
+        The source half of a live handoff.  The worker pool — not the
+        parent-side priming copy — is the authority: it holds the
+        post-delta head and the recorded lineage, and because the export
+        is a queued job it observes every delta submitted before the
+        move started.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_export, name)
+
+    def submit_handoff(
+        self,
+        name: str,
+        database: Database,
+        keys: PrimaryKeySet,
+        lineage: Lineage,
+    ) -> "Future[Dict[str, object]]":
+        """Queue adoption of a snapshot exported from another shard.
+
+        The destination half: the worker registers the exported head,
+        adopts its lineage chain, and primes its caches through the
+        shared store (:meth:`SolverPool.prime_handoff`) so a warm-store
+        handoff serves without recomputation.  The parent-side priming
+        set is updated too, so a restart re-registers the name here.
+        Resolves to the priming report (decomposition provenance plus
+        available selector entries).
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        self._databases[name] = (database, keys)
+        return executor.submit(_shard_handoff, name, database, keys, lineage)
+
+    def submit_forget(self, name: str) -> "Future[None]":
+        """Queue removal of a name from the worker pool (post-export).
+
+        Completes the source half of a live handoff: the worker drops
+        the head, its unshared in-memory derived state and its chain;
+        the shared store keeps the durable entries the destination now
+        reads through.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_forget, name)
+
     def __repr__(self) -> str:
         state = "running" if self.is_running else "stopped"
         return (
@@ -329,6 +393,28 @@ def _shard_checkpoint(name: str) -> Optional[CheckpointRecord]:
 def _shard_rollback(name: str, ref: Union[str, int]) -> LineageRecord:
     """Re-register a recorded ancestor as the head, inside the worker."""
     return _require_pool().rollback(name, ref)
+
+
+def _shard_export(name: str) -> Tuple[Database, PrimaryKeySet, Lineage]:
+    """Export the current head and lineage of one owned name."""
+    pool = _require_pool()
+    database, keys = pool.lookup(name)
+    return database, keys, pool.lineage(name)
+
+
+def _shard_handoff(
+    name: str, database: Database, keys: PrimaryKeySet, lineage: Lineage
+) -> Dict[str, object]:
+    """Adopt an exported snapshot: register, adopt lineage, prime caches."""
+    pool = _require_pool()
+    pool.register(name, database, keys)
+    pool.adopt_lineage(name, lineage)
+    return pool.prime_handoff(name)
+
+
+def _shard_forget(name: str) -> None:
+    """Drop one owned name from the worker pool after its export."""
+    _require_pool().forget(name)
 
 
 def _shard_stats() -> Dict[str, object]:

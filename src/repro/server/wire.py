@@ -29,6 +29,7 @@ from ..errors import (
     BatchSpecError,
     EngineError,
     LineageError,
+    RebalanceError,
     ReproError,
     ServerError,
     ServerOverloadedError,
@@ -74,6 +75,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -353,13 +355,18 @@ def status_for_error(error: BaseException) -> int:
     """The HTTP status an exception maps to (total: anything maps).
 
     The order follows the exception hierarchy, most specific first:
-    overload is 429 (retryable), malformed payloads are 400, a stopped or
-    misused server is 503 (retryable — it may be mid-restart), unknown
-    databases and unresolvable lineage references are 404, every other
-    library error is the caller's 400, and anything non-library is a 500.
+    overload is 429 (retryable), malformed payloads are 400, a refused
+    elastic-sharding operation (conflicting handoff, unknown shard,
+    removing the last shard) is 409 (not retryable by blind resend), a
+    stopped or misused server is 503 (retryable — it may be mid-restart),
+    unknown databases and unresolvable lineage references are 404, every
+    other library error is the caller's 400, and anything non-library is
+    a 500.
 
     >>> status_for_error(ServerOverloadedError("queue full"))
     429
+    >>> status_for_error(RebalanceError("'emp' is already mid-handoff"))
+    409
     >>> status_for_error(EngineError("unknown database 'ghost'"))
     404
     """
@@ -367,6 +374,8 @@ def status_for_error(error: BaseException) -> int:
         return 429
     if isinstance(error, (BatchSpecError, WireError)):
         return 400
+    if isinstance(error, RebalanceError):
+        return 409
     if isinstance(error, ServerError):
         return 503
     if isinstance(error, (LineageError, EngineError)):
@@ -402,6 +411,8 @@ def error_from_status(status: int, payload: object) -> ReproError:
             message = str(error_section.get("message", message))
     if status == 429:
         return ServerOverloadedError(message)
+    if status == 409:
+        return RebalanceError(message)
     if status == 404:
         return EngineError(message)
     if status == 400:

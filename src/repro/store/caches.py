@@ -280,6 +280,21 @@ class ContentAddressedStore:
         """Number of entries currently stored."""
         return len(self._backend.entries(self._SUFFIX))
 
+    def token_entry_count(self, token: SnapshotToken) -> int:
+        """How many stored entries belong to one snapshot token.
+
+        A prefix scan over entry names (every name leads with the token
+        prefix, see :meth:`entry_name`); the warm-handoff probe uses it
+        to report how much of a migrating snapshot's derived state is
+        already on the shared store.
+        """
+        prefix = f"{token_prefix(token)}-"
+        return sum(
+            1
+            for _, name in self._backend.entries(self._SUFFIX)
+            if name.startswith(prefix)
+        )
+
     def stats(self) -> Dict[str, int]:
         """Lifetime counters plus the current entry count.
 

@@ -45,6 +45,7 @@ def serve_workload(
     methods: Sequence[str] = ("auto", "certificate", "fpras"),
     epsilon: float = 0.25,
     delta: float = 0.2,
+    zipf: Union[float, None] = None,
 ) -> Tuple[
     Dict[str, Tuple[Database, PrimaryKeySet]],
     List[Union[CountJob, UpdateJob]],
@@ -56,7 +57,12 @@ def serve_workload(
     sequential :meth:`~repro.engine.SolverPool.run_stream` — the two must
     agree bit for bit).  ``databases`` synthetic inconsistent databases
     are generated; the first two are "hot" and together receive
-    ``hot_fraction`` of the counting jobs, the rest share the tail.  After
+    ``hot_fraction`` of the counting jobs, the rest share the tail.
+    Passing ``zipf`` replaces that two-tier split with a Zipf popularity
+    law: the database at rank ``r`` (0-based, by sorted name) is drawn
+    with probability proportional to ``1 / (r + 1) ** zipf`` — the
+    canonical skew for exercising load rebalancing, with larger exponents
+    concentrating more of the stream on ``served-0``.  After
     every ``update_every`` counts an :class:`UpdateJob` edits a rotating
     database; deltas are cumulative, generated against the state the
     previous deltas produced, exactly as a live feed would emit them.
@@ -73,9 +79,14 @@ def serve_workload(
     6
     >>> stream == serve_workload(jobs=6, databases=2, seed=1)[1]
     True
+    >>> _, skewed = serve_workload(jobs=6, databases=3, seed=1, zipf=1.2)
+    >>> skewed == serve_workload(jobs=6, databases=3, seed=1, zipf=1.2)[1]
+    True
     """
     if databases < 1:
         raise ValueError(f"need at least one database, got {databases}")
+    if zipf is not None and zipf <= 0:
+        raise ValueError(f"zipf exponent must be > 0, got {zipf}")
     rng = random.Random(seed)
 
     registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
@@ -107,10 +118,29 @@ def serve_workload(
     hot = names[: max(1, min(2, len(names)))]
     cold = names[len(hot):]
 
-    def pick_database() -> str:
-        if cold and rng.random() >= hot_fraction:
-            return rng.choice(cold)
-        return rng.choice(hot)
+    if zipf is not None:
+        weights = [1.0 / (rank + 1) ** zipf for rank in range(len(names))]
+        total_weight = sum(weights)
+        cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total_weight
+            cumulative.append(running)
+        cumulative[-1] = 1.0  # guard against float round-down at the tail
+
+        def pick_database() -> str:
+            draw = rng.random()
+            for rank, bound in enumerate(cumulative):
+                if draw < bound:
+                    return names[rank]
+            return names[-1]
+
+    else:
+
+        def pick_database() -> str:
+            if cold and rng.random() >= hot_fraction:
+                return rng.choice(cold)
+            return rng.choice(hot)
 
     stream: List[Union[CountJob, UpdateJob]] = []
     emitted = 0

@@ -314,6 +314,45 @@ class TestServe:
         stats = json.loads(captured.err)
         assert stats["queue"]["submitted"] == 3
         assert set(stats["shards"]) == {"0", "1"}
+        # The elastic-sharding surface: per-shard load accounting, the
+        # per-name load map, the routing table, and the rebalancer state
+        # are all part of the printed report.
+        for shard in stats["shards"].values():
+            assert shard["in_flight"] == 0 and shard["queue_depth"] == 0
+            assert shard["dispatched"] == shard["completed"]
+        assert set(stats["routing"]["owners"]) == set(stats["names"])
+        assert stats["rebalance"]["moves"] == 0
+        assert stats["rebalance"]["interval"] is None
+
+    def test_serve_accepts_rebalance_flags(self, batch_jobs_file, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--jobs",
+                    batch_jobs_file,
+                    "--stats",
+                    "--rebalance-interval",
+                    "30",
+                    "--max-imbalance",
+                    "1.5",
+                ]
+            )
+            == 0
+        )
+        stats = json.loads(capsys.readouterr().err)
+        assert stats["rebalance"]["interval"] == 30.0
+        assert stats["rebalance"]["max_imbalance"] == 1.5
+        assert stats["rebalance"]["policy"] == "GreedyRebalancer"
+
+    def test_serve_rejects_a_bad_imbalance_threshold(
+        self, batch_jobs_file, capsys
+    ):
+        code = main(
+            ["serve", "--jobs", batch_jobs_file, "--max-imbalance", "0.5"]
+        )
+        assert code == 2
+        assert "max_imbalance" in capsys.readouterr().err
 
     def test_serve_reads_jobs_from_stdin(
         self, tmp_path, employee_db, employee_keys, capsys, monkeypatch

@@ -34,6 +34,7 @@ from repro.engine import CountJob
 from repro.errors import (
     BatchSpecError,
     EngineError,
+    RebalanceError,
     ServerError,
     ServerOverloadedError,
     WireError,
@@ -157,6 +158,56 @@ class TestEndpoints:
 
                         with pytest.raises(BatchSpecError, match="rollback"):
                             await client._call("POST", "/rollback/emp", {})
+
+        asyncio.run(run())
+
+    def test_shards_admin_surface_over_http(self):
+        async def run():
+            server = _employee_server(shards=2, queue_limit=8)
+            async with server:
+                async with HttpServer(server) as front:
+                    async with ServeClient(front.host, front.port) as client:
+                        view = await client.shards()
+                        assert view["version"] == server.routing_version
+                        assert sorted(view["shards"]) == ["0", "1"]
+                        owner = server.shard_of("emp")
+                        assert "emp" in view["shards"][str(owner)]["names"]
+                        for load in view["shards"].values():
+                            assert load["queue_depth"] == 0
+                            assert load["in_flight"] == 0
+
+                        grown = await client.add_shard()
+                        new_id = grown["added"]
+                        assert grown["shards"] == 3
+                        assert grown["version"] == server.routing_version
+
+                        moved = await client.move("emp", new_id)
+                        assert moved["moved"] is True
+                        assert server.shard_of("emp") == new_id
+                        result = await client.count(_count_doc())
+                        assert (result["satisfying"], result["total"]) == (2, 4)
+
+                        balanced = await client.rebalance()
+                        assert balanced["moves"] == []  # nothing hot enough
+
+                        shrunk = await client.remove_shard(new_id)
+                        assert shrunk["removed"] == new_id
+                        assert "emp" in shrunk["moved"]
+                        assert shrunk["shards"] == 2
+
+                        # Misuse is loud and maps to the right statuses.
+                        with pytest.raises(RebalanceError, match="unknown"):
+                            await client.move("emp", 99)
+                        with pytest.raises(BatchSpecError, match="action"):
+                            await client._call(
+                                "POST", "/shards", {"action": "explode"}
+                            )
+                        with pytest.raises(BatchSpecError, match="shard"):
+                            await client._call(
+                                "POST", "/shards", {"action": "remove"}
+                            )
+                        # The connection survived the 409/400 answers.
+                        assert (await client.health())["status"] == "ok"
 
         asyncio.run(run())
 

@@ -127,6 +127,57 @@ class TestServeWorkload:
         )
         assert hot > 60  # the two hot names take well over half the counts
 
+    def test_zipf_stream_is_deterministic_under_a_fixed_seed(self):
+        from repro.workloads import serve_workload
+
+        registry, stream = serve_workload(
+            jobs=30, databases=4, seed=6, zipf=1.3
+        )
+        assert sorted(registry) == [f"served-{index}" for index in range(4)]
+        assert stream == serve_workload(
+            jobs=30, databases=4, seed=6, zipf=1.3
+        )[1]
+        # A different exponent is a genuinely different stream.
+        assert stream != serve_workload(
+            jobs=30, databases=4, seed=6, zipf=3.0
+        )[1]
+
+    def test_zipf_mass_follows_the_requested_exponent(self):
+        from collections import Counter
+
+        from repro.engine import CountJob
+        from repro.workloads import serve_workload
+
+        def mass(zipf):
+            _, stream = serve_workload(
+                jobs=400, databases=4, update_every=10_000, seed=1, zipf=zipf
+            )
+            counts = Counter(
+                item.database
+                for item in stream
+                if isinstance(item, CountJob)
+            )
+            return [counts[f"served-{rank}"] for rank in range(4)]
+
+        gentle, steep = mass(1.0), mass(2.5)
+        # Popularity decreases with rank under either exponent...
+        assert gentle == sorted(gentle, reverse=True)
+        assert steep == sorted(steep, reverse=True)
+        # ...the head mass tracks the analytic Zipf share (±10 points)...
+        for observed, exponent in ((gentle, 1.0), (steep, 2.5)):
+            share = sum(1 / (r + 1) ** exponent for r in range(1)) / sum(
+                1 / (r + 1) ** exponent for r in range(4)
+            )
+            assert abs(observed[0] / 400 - share) < 0.10
+        # ...and a steeper exponent concentrates more mass on rank 0.
+        assert steep[0] > gentle[0]
+
+    def test_zipf_exponent_must_be_positive(self):
+        from repro.workloads import serve_workload
+
+        with pytest.raises(ValueError, match="zipf"):
+            serve_workload(jobs=2, databases=2, zipf=0.0)
+
     def test_stream_replays_identically_through_a_pool(self):
         from repro.engine import SolverPool
         from repro.workloads import serve_workload
