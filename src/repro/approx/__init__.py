@@ -6,31 +6,48 @@ Theorem 6.2 for every function in Λ[k], its specialisation to #CQA
 space that the paper inherits from Dalvi–Suciu and compares against.
 """
 
+from .anytime import (
+    AnytimeResult,
+    IntervalSnapshot,
+    SamplingPlan,
+    hoeffding_half_width,
+    run_plan,
+)
+from .calibration import ConformalCalibrator, conformal_quantile
 from .cqa_fpras import CQAFpras, CQAFprasResult
 from .fpras import FPRASResult, LambdaFPRAS, sample_size
 from .karp_luby import (
     KarpLubyEstimator,
     KarpLubyResult,
     estimate_union_karp_luby,
+    karp_luby_plan,
     karp_luby_sample_size,
 )
 from .sample import Sampler, draw_point, point_in_union
 from .statistics import TrialSummary, empirical_error_rate, summarise_trials, wilson_interval
 
 __all__ = [
+    "AnytimeResult",
     "CQAFpras",
     "CQAFprasResult",
+    "ConformalCalibrator",
     "FPRASResult",
+    "IntervalSnapshot",
     "KarpLubyEstimator",
     "KarpLubyResult",
     "LambdaFPRAS",
     "Sampler",
+    "SamplingPlan",
     "TrialSummary",
+    "conformal_quantile",
     "draw_point",
     "empirical_error_rate",
     "estimate_union_karp_luby",
+    "hoeffding_half_width",
+    "karp_luby_plan",
     "karp_luby_sample_size",
     "point_in_union",
+    "run_plan",
     "sample_size",
     "summarise_trials",
     "wilson_interval",

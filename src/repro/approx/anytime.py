@@ -1,0 +1,284 @@
+"""Anytime drivers over the sampling estimators.
+
+Both estimator families (the Λ[k] FPRAS of Theorem 6.2 and the
+Karp–Luby-style estimator) share the same inner shape: a precomputation
+phase that fixes the sample space, followed by a loop of independent
+Bernoulli draws whose empirical mean — scaled by the sample-space mass —
+is the estimate.  That loop is naturally *anytime*: stopping after ``n``
+of the prescribed ``t`` samples still yields an unbiased estimate, just a
+looser one.
+
+This module makes that structural fact an API.  A
+:class:`SamplingPlan` packages the precomputed draw closure together
+with the prescribed sample budget and the scaling constant;
+:func:`run_plan` consumes a plan in chunks, emitting a progressively
+tightening :class:`IntervalSnapshot` stream and stopping on whichever of
+``max_latency`` / ``max_error`` / the sample budget fires first.
+
+Because the plan's ``draw`` closure consumes the *same* random stream in
+the *same* order as the estimator's own ``estimate()`` loop, running a
+plan to its full budget is bit-identical to the fixed-(ε, δ) path with
+the same seed — the property ``tests/test_anytime_property.py`` pins.
+
+Interval construction
+---------------------
+
+Each snapshot's interval is the running intersection of two per-chunk
+intervals, so the stream is monotonically non-widening by construction:
+
+* a **statistical** interval ``estimate ± hw`` with the Hoeffding-style
+  half-width ``hw = scale · sqrt(ln(2/δ_c) / (2n))`` where
+  ``δ_c = δ / (2c²)`` splits the confidence budget over chunks
+  (``Σ 1/(2c²) < 1``, so the whole stream is a valid ``1−δ`` confidence
+  sequence, not just each snapshot in isolation);
+* a **deterministic feasibility band**: with ``s`` successes after ``n``
+  of ``N`` budgeted samples, every future estimate lies in
+  ``[scale·s/N, scale·(s+N−n)/N]`` — the bands are nested and always
+  contain the final estimate, whatever the remaining draws do.
+
+A :class:`~repro.approx.calibration.ConformalCalibrator` can rescale the
+statistical half-width by its conformal quantile, replacing the loose
+distribution-free Hoeffding radius with one tuned to the estimator's
+observed residuals (see :mod:`repro.approx.calibration`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..errors import ApproximationError
+
+__all__ = [
+    "SamplingPlan",
+    "IntervalSnapshot",
+    "AnytimeResult",
+    "hoeffding_half_width",
+    "run_plan",
+]
+
+
+@dataclass
+class SamplingPlan:
+    """A prepared estimator: everything but the sampling loop.
+
+    Attributes
+    ----------
+    draw:
+        One Bernoulli draw; consumes the random stream exactly as the
+        owning estimator's ``estimate()`` loop does.
+    samples:
+        The prescribed (possibly capped) sample budget ``t``.
+    requested_samples:
+        The uncapped theorem prescription.
+    scale:
+        The sample-space mass: ``estimate = scale · successes/samples``.
+    epsilon, delta:
+        The accuracy/confidence parameters the plan was built for.
+    estimate_of:
+        ``(successes, samples) -> estimate`` using the owning
+        estimator's exact float expression (bit-identity matters).
+    finalise:
+        ``(successes, samples) -> result record`` of the owning
+        estimator's native result type.
+    """
+
+    draw: Callable[[], bool]
+    samples: int
+    requested_samples: int
+    scale: float
+    epsilon: float
+    delta: float
+    estimate_of: Callable[[int, int], float]
+    finalise: Callable[[int, int], object]
+
+
+@dataclass(frozen=True)
+class IntervalSnapshot:
+    """One emission of the anytime stream."""
+
+    estimate: float
+    lo: float
+    hi: float
+    samples: int
+    elapsed: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def to_json(self) -> dict:
+        return {
+            "estimate": self.estimate,
+            "lo": self.lo,
+            "hi": self.hi,
+            "samples": self.samples,
+            "elapsed": self.elapsed,
+        }
+
+
+#: Stop reasons :func:`run_plan` can report.
+STOP_REASONS = ("budget", "latency", "error")
+
+
+@dataclass(frozen=True)
+class AnytimeResult:
+    """The full trace of one anytime run.
+
+    ``raw_half_width`` is the *uncalibrated* statistical half-width at
+    the final sample count — the residual scale a
+    :class:`~repro.approx.calibration.ConformalCalibrator` should
+    normalise by, even when the served interval was calibrated.
+    """
+
+    snapshots: Tuple[IntervalSnapshot, ...]
+    stop_reason: str
+    result: object
+    calibrated: bool = False
+    raw_half_width: float = 0.0
+
+    @property
+    def final(self) -> IntervalSnapshot:
+        return self.snapshots[-1]
+
+    @property
+    def estimate(self) -> float:
+        return self.final.estimate
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.final.lo, self.final.hi)
+
+    @property
+    def samples(self) -> int:
+        return self.final.samples
+
+    @property
+    def elapsed(self) -> float:
+        return self.final.elapsed
+
+
+def hoeffding_half_width(
+    scale: float, delta: float, samples: int, chunk_index: int = 1
+) -> float:
+    """Half-width ``scale · sqrt(ln(2/δ_c)/(2n))`` with ``δ_c = δ/(2c²)``.
+
+    The per-chunk confidence split keeps the whole snapshot stream a
+    valid ``1−δ`` confidence sequence (``Σ_c 1/(2c²) = π²/12 < 1``).
+    """
+    if samples <= 0:
+        return math.inf
+    split = delta / (2.0 * chunk_index * chunk_index)
+    return scale * math.sqrt(math.log(2.0 / split) / (2.0 * samples))
+
+
+def run_plan(
+    plan: SamplingPlan,
+    max_latency: Optional[float] = None,
+    max_error: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+    calibrator=None,
+    alpha: float = 0.1,
+    clock: Callable[[], float] = time.monotonic,
+) -> AnytimeResult:
+    """Run a plan in chunks until a stopping condition fires.
+
+    Parameters
+    ----------
+    plan:
+        The prepared estimator (see the estimator ``plan()`` methods).
+    max_latency:
+        Wall-clock budget in seconds (checked after each chunk; at least
+        one chunk always runs so there is always an estimate to serve).
+    max_error:
+        Relative-error target: stop once the interval satisfies
+        ``hi − lo ≤ 2 · max_error · max(|estimate|, 1)``.
+    chunk_size:
+        Samples per chunk; defaults to ``⌈samples/32⌉``.
+    calibrator:
+        Optional :class:`~repro.approx.calibration.ConformalCalibrator`;
+        when it holds observations, the statistical half-width is
+        rescaled by its ``quantile(alpha)``.
+    alpha:
+        Miscoverage level for the calibrated interval.
+    clock:
+        Injectable monotonic clock (the latency SLA tests fake it).
+    """
+    if max_latency is not None and max_latency <= 0:
+        raise ApproximationError(
+            f"max_latency must be positive, got {max_latency}"
+        )
+    if max_error is not None and max_error <= 0:
+        raise ApproximationError(f"max_error must be positive, got {max_error}")
+    start = clock()
+    total = plan.samples
+    quantile: Optional[float] = None
+    if calibrator is not None and len(calibrator):
+        quantile = calibrator.quantile(alpha)
+    if total <= 0:
+        # Degenerate plan (e.g. a union with no boxes): the estimate is
+        # an exact 0 and there is nothing to sample.
+        snapshot = IntervalSnapshot(0.0, 0.0, 0.0, 0, clock() - start)
+        return AnytimeResult(
+            (snapshot,), "budget", plan.finalise(0, 0), quantile is not None
+        )
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(total / 32))
+    elif chunk_size < 1:
+        raise ApproximationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    snapshots = []
+    lo_run, hi_run = -math.inf, math.inf
+    done = 0
+    successes = 0
+    chunk_index = 0
+    stop = "budget"
+    while True:
+        chunk_index += 1
+        step = min(chunk_size, total - done)
+        for _ in range(step):
+            if plan.draw():
+                successes += 1
+        done += step
+        elapsed = clock() - start
+        estimate = plan.estimate_of(successes, done)
+        raw_half_width = hoeffding_half_width(
+            plan.scale, plan.delta, done, chunk_index
+        )
+        half_width = raw_half_width
+        if quantile is not None:
+            half_width = quantile * half_width
+        # Deterministic feasibility band: whatever the remaining draws
+        # do, every future estimate lies between "no more successes"
+        # and "all remaining samples succeed".
+        feasible_lo = plan.estimate_of(successes, total)
+        feasible_hi = plan.estimate_of(successes + (total - done), total)
+        lo = max(estimate - half_width, feasible_lo, 0.0)
+        hi = min(estimate + half_width, feasible_hi)
+        lo_run = max(lo_run, lo)
+        hi_run = min(hi_run, hi)
+        if hi_run < lo_run:  # statistical failure event; keep the stream sane
+            hi_run = lo_run
+        snapshots.append(
+            IntervalSnapshot(estimate, lo_run, hi_run, done, elapsed)
+        )
+        if done >= total:
+            stop = "budget"
+            break
+        if max_error is not None and hi_run - lo_run <= (
+            2.0 * max_error * max(abs(estimate), 1.0)
+        ):
+            stop = "error"
+            break
+        if max_latency is not None and elapsed >= max_latency:
+            stop = "latency"
+            break
+    return AnytimeResult(
+        tuple(snapshots),
+        stop,
+        plan.finalise(successes, done),
+        quantile is not None,
+        raw_half_width,
+    )

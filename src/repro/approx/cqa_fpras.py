@@ -41,6 +41,7 @@ from ..query.rewriting import UCQ, to_ucq, ucq_to_query
 from ..query.substitution import bind_answer
 from ..repairs.certificates import certificate_selectors, iter_certificates
 from ..repairs.counting import PreparedCertificates
+from .anytime import SamplingPlan
 from .fpras import FPRASResult, sample_size
 from .sample import point_in_union
 
@@ -117,7 +118,7 @@ class CQAFpras:
             raise FragmentError("a Boolean query takes no answer tuple")
         return to_ucq(query)
 
-    def estimate(
+    def plan(
         self,
         database: Database,
         epsilon: float,
@@ -126,8 +127,13 @@ class CQAFpras:
         rng: Optional[Union[random.Random, int]] = None,
         decomposition: Optional[BlockDecomposition] = None,
         prepared: Optional[PreparedCertificates] = None,
-    ) -> CQAFprasResult:
-        """Run the FPRAS and return the full result record.
+    ) -> SamplingPlan:
+        """Prepare the FPRAS up to (but not including) the sampling loop.
+
+        The returned :class:`~repro.approx.anytime.SamplingPlan` draws
+        from the supplied ``rng`` in exactly the order the fixed
+        ``estimate()`` loop would, so running it to its full budget is
+        bit-identical to ``estimate()`` with the same seed.
 
         ``prepared`` optionally supplies a cached
         :class:`~repro.repairs.counting.PreparedCertificates` for the
@@ -180,26 +186,66 @@ class CQAFpras:
                 repair = decomposition.repair_from_choices(choices)
                 return holds(bound_query, repair)
 
-        successes = 0
-        for _ in range(samples):
+        def draw() -> bool:
             choices = tuple(rng.randrange(size) for size in block_sizes)
-            if hit(choices):
-                successes += 1
+            return hit(choices)
 
-        frequency = successes / samples if samples else 0.0
-        return CQAFprasResult(
-            estimate=total_repairs * frequency,
-            frequency_estimate=frequency,
-            total_repairs=total_repairs,
+        def estimate_of(successes: int, samples_done: int) -> float:
+            frequency = successes / samples_done if samples_done else 0.0
+            return total_repairs * frequency
+
+        def finalise(successes: int, samples_done: int) -> CQAFprasResult:
+            frequency = successes / samples_done if samples_done else 0.0
+            return CQAFprasResult(
+                estimate=total_repairs * frequency,
+                frequency_estimate=frequency,
+                total_repairs=total_repairs,
+                samples=samples_done,
+                requested_samples=requested,
+                successes=successes,
+                epsilon=epsilon,
+                delta=delta,
+                keywidth=k,
+                max_block_size=max_block,
+                capped=capped,
+            )
+
+        return SamplingPlan(
+            draw=draw,
             samples=samples,
             requested_samples=requested,
-            successes=successes,
+            scale=float(total_repairs),
             epsilon=epsilon,
             delta=delta,
-            keywidth=k,
-            max_block_size=max_block,
-            capped=capped,
+            estimate_of=estimate_of,
+            finalise=finalise,
         )
+
+    def estimate(
+        self,
+        database: Database,
+        epsilon: float,
+        delta: float,
+        answer: Sequence[Constant] = (),
+        rng: Optional[Union[random.Random, int]] = None,
+        decomposition: Optional[BlockDecomposition] = None,
+        prepared: Optional[PreparedCertificates] = None,
+    ) -> CQAFprasResult:
+        """Run the FPRAS to its full budget and return the result record."""
+        plan = self.plan(
+            database,
+            epsilon,
+            delta,
+            answer=answer,
+            rng=rng,
+            decomposition=decomposition,
+            prepared=prepared,
+        )
+        successes = 0
+        for _ in range(plan.samples):
+            if plan.draw():
+                successes += 1
+        return plan.finalise(successes, plan.samples)
 
     def estimate_count(
         self,

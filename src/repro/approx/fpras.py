@@ -30,6 +30,7 @@ from typing import Callable, Optional, Union
 
 from ..errors import ApproximationError
 from ..lams.compactor import Compactor
+from .anytime import SamplingPlan
 from .sample import Sampler
 
 __all__ = ["FPRASResult", "sample_size", "LambdaFPRAS"]
@@ -133,15 +134,20 @@ class LambdaFPRAS:
         """The selector bound used in the sample-size formula."""
         return self._k
 
-    def estimate(
+    def plan(
         self,
         instance,
         epsilon: float,
         delta: float,
         rng: Optional[Union[random.Random, int]] = None,
         membership: Optional[Callable] = None,
-    ) -> FPRASResult:
-        """Run ``Apx_f(instance, ε, δ)`` and return the full result record."""
+    ) -> SamplingPlan:
+        """Prepare ``Apx_f`` up to (but not including) the sampling loop.
+
+        The plan draws through the same :class:`Sampler` the fixed
+        ``estimate()`` path uses, in the same order, so a full-budget run
+        is bit-identical to ``estimate()`` with the same seed.
+        """
         sampler = Sampler(self._compactor, instance, rng=rng, membership=membership)
         domain_sizes = sampler.domain_sizes
         max_domain = max(domain_sizes) if domain_sizes else 0
@@ -151,19 +157,51 @@ class LambdaFPRAS:
         if self._max_samples is not None and requested > self._max_samples:
             samples = self._max_samples
             capped = True
-        successes = sampler.sample_many(samples)
         space = sampler.sample_space_size
-        estimate = space * successes / samples if samples else 0.0
-        return FPRASResult(
-            estimate=estimate,
+
+        def estimate_of(successes: int, samples_done: int) -> float:
+            return space * successes / samples_done if samples_done else 0.0
+
+        def finalise(successes: int, samples_done: int) -> FPRASResult:
+            return FPRASResult(
+                estimate=estimate_of(successes, samples_done),
+                samples=samples_done,
+                requested_samples=requested,
+                successes=successes,
+                sample_space_size=space,
+                epsilon=epsilon,
+                delta=delta,
+                capped=capped,
+            )
+
+        return SamplingPlan(
+            draw=lambda: sampler.sample() == 1,
             samples=samples,
             requested_samples=requested,
-            successes=successes,
-            sample_space_size=space,
+            scale=float(space),
             epsilon=epsilon,
             delta=delta,
-            capped=capped,
+            estimate_of=estimate_of,
+            finalise=finalise,
         )
+
+    def estimate(
+        self,
+        instance,
+        epsilon: float,
+        delta: float,
+        rng: Optional[Union[random.Random, int]] = None,
+        membership: Optional[Callable] = None,
+    ) -> FPRASResult:
+        """Run ``Apx_f(instance, ε, δ)`` and return the full result record."""
+        plan = self.plan(
+            instance, epsilon, delta, rng=rng, membership=membership
+        )
+        successes = 0
+        for _ in range(plan.samples):
+            if plan.draw():
+                successes += 1
+        return plan.finalise(successes, plan.samples)
 
     def __call__(
         self,

@@ -36,8 +36,15 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..errors import ApproximationError
 from ..lams.compactor import Compactor
 from ..lams.selectors import Selector
+from .anytime import SamplingPlan
 
-__all__ = ["KarpLubyResult", "karp_luby_sample_size", "KarpLubyEstimator", "estimate_union_karp_luby"]
+__all__ = [
+    "KarpLubyResult",
+    "karp_luby_sample_size",
+    "KarpLubyEstimator",
+    "estimate_union_karp_luby",
+    "karp_luby_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +92,97 @@ def _box_size(domain_sizes: Sequence[int], selector: Selector) -> int:
     return size
 
 
+def karp_luby_plan(
+    domain_sizes: Sequence[int],
+    selectors: Sequence[Selector],
+    epsilon: float,
+    delta: float,
+    rng: Optional[Union[random.Random, int]] = None,
+    max_samples: Optional[int] = None,
+) -> SamplingPlan:
+    """Prepare the Karp–Luby estimator up to the sampling loop.
+
+    The plan draws from ``rng`` in exactly the order
+    :func:`estimate_union_karp_luby` would, so a full-budget run is
+    bit-identical to the fixed path with the same seed.  A union with no
+    boxes yields a degenerate plan with a zero sample budget.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    elif rng is None:
+        rng = random.Random()
+
+    sizes = tuple(domain_sizes)
+    boxes = list(selectors)
+    if not boxes:
+        def finalise_empty(successes: int, samples_done: int) -> KarpLubyResult:
+            return KarpLubyResult(0.0, 0, 0, 0, 0, epsilon, delta)
+
+        return SamplingPlan(
+            draw=lambda: False,
+            samples=0,
+            requested_samples=0,
+            scale=0.0,
+            epsilon=epsilon,
+            delta=delta,
+            estimate_of=lambda successes, samples_done: 0.0,
+            finalise=finalise_empty,
+        )
+
+    box_sizes = [_box_size(sizes, selector) for selector in boxes]
+    total_mass = sum(box_sizes)
+    requested = karp_luby_sample_size(epsilon, delta, len(boxes))
+    samples = requested
+    if max_samples is not None:
+        samples = min(samples, max_samples)
+
+    # Cumulative distribution for box selection proportional to box size.
+    cumulative: List[int] = []
+    running = 0
+    for size in box_sizes:
+        running += size
+        cumulative.append(running)
+
+    def draw() -> bool:
+        # Pick the box.
+        target = rng.randrange(total_mass)
+        box_index = _bisect(cumulative, target)
+        selector = boxes[box_index]
+        pinned = selector.as_dict()
+        # Pick a uniform point inside the box.
+        point = tuple(
+            pinned[index] if index in pinned else rng.randrange(size)
+            for index, size in enumerate(sizes)
+        )
+        # Indicator: is the chosen box the first one containing the point?
+        return _first_containing(boxes, point) == box_index
+
+    def estimate_of(successes: int, samples_done: int) -> float:
+        return total_mass * successes / samples_done if samples_done else 0.0
+
+    def finalise(successes: int, samples_done: int) -> KarpLubyResult:
+        return KarpLubyResult(
+            estimate=estimate_of(successes, samples_done),
+            samples=samples_done,
+            successes=successes,
+            total_box_mass=total_mass,
+            boxes=len(boxes),
+            epsilon=epsilon,
+            delta=delta,
+        )
+
+    return SamplingPlan(
+        draw=draw,
+        samples=samples,
+        requested_samples=requested,
+        scale=float(total_mass),
+        epsilon=epsilon,
+        delta=delta,
+        estimate_of=estimate_of,
+        finalise=finalise,
+    )
+
+
 def estimate_union_karp_luby(
     domain_sizes: Sequence[int],
     selectors: Sequence[Selector],
@@ -100,56 +198,14 @@ def estimate_union_karp_luby(
     quantity that :func:`~repro.lams.union_of_boxes.count_union_of_boxes`
     computes exactly.
     """
-    if isinstance(rng, int):
-        rng = random.Random(rng)
-    elif rng is None:
-        rng = random.Random()
-
-    sizes = tuple(domain_sizes)
-    boxes = list(selectors)
-    if not boxes:
-        return KarpLubyResult(0.0, 0, 0, 0, 0, epsilon, delta)
-
-    box_sizes = [_box_size(sizes, selector) for selector in boxes]
-    total_mass = sum(box_sizes)
-    samples = karp_luby_sample_size(epsilon, delta, len(boxes))
-    if max_samples is not None:
-        samples = min(samples, max_samples)
-
-    # Cumulative distribution for box selection proportional to box size.
-    cumulative: List[int] = []
-    running = 0
-    for size in box_sizes:
-        running += size
-        cumulative.append(running)
-
-    successes = 0
-    for _ in range(samples):
-        # Pick the box.
-        target = rng.randrange(total_mass)
-        box_index = _bisect(cumulative, target)
-        selector = boxes[box_index]
-        pinned = selector.as_dict()
-        # Pick a uniform point inside the box.
-        point = tuple(
-            pinned[index] if index in pinned else rng.randrange(size)
-            for index, size in enumerate(sizes)
-        )
-        # Indicator: is the chosen box the first one containing the point?
-        first = _first_containing(boxes, point)
-        if first == box_index:
-            successes += 1
-
-    estimate = total_mass * successes / samples if samples else 0.0
-    return KarpLubyResult(
-        estimate=estimate,
-        samples=samples,
-        successes=successes,
-        total_box_mass=total_mass,
-        boxes=len(boxes),
-        epsilon=epsilon,
-        delta=delta,
+    plan = karp_luby_plan(
+        domain_sizes, selectors, epsilon, delta, rng=rng, max_samples=max_samples
     )
+    successes = 0
+    for _ in range(plan.samples):
+        if plan.draw():
+            successes += 1
+    return plan.finalise(successes, plan.samples)
 
 
 def _bisect(cumulative: Sequence[int], target: int) -> int:
@@ -177,6 +233,23 @@ class KarpLubyEstimator:
     def __init__(self, compactor: Compactor, max_samples: Optional[int] = None) -> None:
         self._compactor = compactor
         self._max_samples = max_samples
+
+    def plan(
+        self,
+        instance,
+        epsilon: float,
+        delta: float,
+        rng: Optional[Union[random.Random, int]] = None,
+    ) -> SamplingPlan:
+        """Prepare an anytime plan over the compactor's boxes."""
+        return karp_luby_plan(
+            self._compactor.domain_sizes(instance),
+            self._compactor.selectors(instance),
+            epsilon,
+            delta,
+            rng=rng,
+            max_samples=self._max_samples,
+        )
 
     def estimate(
         self,

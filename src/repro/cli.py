@@ -167,6 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(requires --persist-cache); deep as_of replays then start at "
         "the nearest checkpoint",
     )
+    batch.add_argument(
+        "--max-latency",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anytime SLA for the randomised jobs: stop sampling after "
+        "SECONDS and report the running estimate with its interval",
+    )
+    batch.add_argument(
+        "--max-error",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="anytime SLA for the randomised jobs: stop sampling once the "
+        "interval is relatively tighter than FRACTION",
+    )
+    batch.add_argument(
+        "--calibrate-from",
+        metavar="FILE",
+        default=None,
+        help="job file of held-out calibration jobs; every randomised one "
+        "is run both sampled and exactly, and the residuals conformally "
+        "calibrate the intervals of the batch's anytime jobs",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -266,6 +290,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--host",
         default="127.0.0.1",
         help="bind address for --http (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--max-latency",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anytime SLA applied to every randomised count job: stop "
+        "sampling after SECONDS and serve the interval",
+    )
+    serve.add_argument(
+        "--max-error",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="anytime SLA applied to every randomised count job: refine "
+        "until the interval is relatively tighter than FRACTION",
+    )
+    serve.add_argument(
+        "--calibrate-from",
+        metavar="FILE",
+        default=None,
+        help="job file of held-out calibration jobs run at startup; the "
+        "residuals conformally calibrate served anytime intervals",
     )
 
     history = subparsers.add_parser(
@@ -367,11 +414,39 @@ def _parse_answer(text: Optional[str]) -> tuple:
     return tuple(values)
 
 
+def _check_sla_flags(arguments: argparse.Namespace) -> None:
+    """Shared validation of the anytime SLA flags (batch and serve)."""
+    if arguments.max_latency is not None and arguments.max_latency <= 0:
+        raise ReproError(f"--max-latency must be > 0, got {arguments.max_latency}")
+    if arguments.max_error is not None and arguments.max_error <= 0:
+        raise ReproError(f"--max-error must be > 0, got {arguments.max_error}")
+
+
+def _with_sla(item, max_latency, max_error):
+    """Apply the CLI's SLA knobs to one stream item.
+
+    Only randomised count jobs are touched (exact methods reject the
+    knobs by contract); jobs carrying their own knobs keep them.
+    """
+    from dataclasses import replace
+
+    from .engine import CountJob
+
+    if not isinstance(item, CountJob) or not item.is_randomised:
+        return item
+    knobs = {}
+    if max_latency is not None and item.max_latency is None:
+        knobs["max_latency"] = max_latency
+    if max_error is not None and item.max_error is None:
+        knobs["max_error"] = max_error
+    return replace(item, **knobs) if knobs else item
+
+
 def _run_batch(arguments: argparse.Namespace) -> int:
     """The ``batch`` command: load a job file, run it, print a JSON report."""
     # Imported lazily: the engine pulls in the process-pool machinery, which
     # the single-query commands never need.
-    from .engine import SolverPool, load_job_file
+    from .engine import CountJob, SolverPool, load_job_file
 
     try:
         if arguments.checkpoint_every is not None:
@@ -379,18 +454,36 @@ def _run_batch(arguments: argparse.Namespace) -> int:
                 raise ReproError("--checkpoint-every must be >= 1")
             if not arguments.persist_cache:
                 raise ReproError("--checkpoint-every requires --persist-cache")
+        _check_sla_flags(arguments)
         databases, jobs = load_job_file(arguments.jobs)
+        if arguments.max_latency is not None or arguments.max_error is not None:
+            jobs = [
+                _with_sla(item, arguments.max_latency, arguments.max_error)
+                for item in jobs
+            ]
         pool = SolverPool(
             persist_dir=arguments.persist_cache,
             checkpoint_every=arguments.checkpoint_every,
         )
         for name, (database, keys) in databases.items():
             pool.register(name, database, keys)
+        calibration = None
+        if arguments.calibrate_from:
+            held_out_databases, held_out = load_job_file(arguments.calibrate_from)
+            for name, (database, keys) in held_out_databases.items():
+                if name not in databases:
+                    pool.register(name, database, keys)
+            calibration = pool.calibrate_from(
+                [item for item in held_out if isinstance(item, CountJob)]
+            )
         report = pool.run_stream(jobs, workers=arguments.workers)
     except ReproError as exc:
         print(f"batch: {exc}", file=sys.stderr)
         return 2
-    print(json.dumps(report.to_json(), indent=arguments.indent))
+    document = report.to_json()
+    if calibration is not None:
+        document["calibration"] = calibration
+    print(json.dumps(document, indent=arguments.indent))
     return 0
 
 
@@ -411,7 +504,7 @@ def _run_serve(arguments: argparse.Namespace) -> int:
     """
     import asyncio
 
-    from .engine import UpdateReport, load_job_file, parse_stream_item
+    from .engine import CountJob, UpdateReport, load_job_file, parse_stream_item
     from .server import AsyncServer
 
     try:
@@ -420,6 +513,7 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                 raise ReproError("--checkpoint-every must be >= 1")
             if not arguments.persist_cache:
                 raise ReproError("--checkpoint-every requires --persist-cache")
+        _check_sla_flags(arguments)
         if arguments.http is not None and arguments.stdin:
             raise ReproError("--http and --stdin are mutually exclusive")
         databases, file_jobs = load_job_file(
@@ -431,12 +525,21 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                 "--http serves jobs over the network; the job file must "
                 f"only declare databases (found {len(file_jobs)} jobs)"
             )
+        held_out_jobs = []
+        if arguments.calibrate_from:
+            held_out_databases, held_out = load_job_file(arguments.calibrate_from)
+            for name, pair in held_out_databases.items():
+                databases.setdefault(name, pair)
+            held_out_jobs = [
+                item for item in held_out if isinstance(item, CountJob)
+            ]
     except ReproError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
 
     def stream_items():
-        yield from file_jobs
+        for item in file_jobs:
+            yield _with_sla(item, arguments.max_latency, arguments.max_error)
         if arguments.stdin:
             for line in sys.stdin:
                 line = line.strip()
@@ -449,7 +552,7 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                         f"job references unknown database {item.database!r}; "
                         f"declared: {sorted(databases)}"
                     )
-                yield item
+                yield _with_sla(item, arguments.max_latency, arguments.max_error)
 
     async def _serve() -> int:
         server = AsyncServer(
@@ -466,6 +569,11 @@ def _run_serve(arguments: argparse.Namespace) -> int:
         for name, (database, keys) in databases.items():
             server.register(name, database, keys)
         async with server:
+            if held_out_jobs:
+                calibration = await server.calibrate_from(held_out_jobs)
+                print(
+                    json.dumps({"calibration": calibration}), file=sys.stderr
+                )
             if arguments.http is not None:
                 from .server import HttpServer
 

@@ -4,6 +4,20 @@
 batch engine in :mod:`repro.engine`) delegates to.
 """
 
-from .solver import CQAResult, CQASolver, QueryDiagnostics, count_query
+from .solver import (
+    CQAResult,
+    CQASolver,
+    QueryDiagnostics,
+    build_sampling_plan,
+    count_query,
+    count_query_anytime,
+)
 
-__all__ = ["CQAResult", "CQASolver", "QueryDiagnostics", "count_query"]
+__all__ = [
+    "CQAResult",
+    "CQASolver",
+    "QueryDiagnostics",
+    "build_sampling_plan",
+    "count_query",
+    "count_query_anytime",
+]

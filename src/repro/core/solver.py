@@ -31,8 +31,9 @@ from ..query.keywidth import keywidth, max_disjunct_keywidth
 from ..query.parser import parse_query
 from ..query.rewriting import UCQ, to_ucq
 from ..query.substitution import bind_answer
+from ..approx.anytime import AnytimeResult, SamplingPlan, run_plan
 from ..approx.cqa_fpras import CQAFpras, CQAFprasResult
-from ..approx.karp_luby import estimate_union_karp_luby
+from ..approx.karp_luby import estimate_union_karp_luby, karp_luby_plan
 from ..repairs.counting import (
     CountReport,
     PreparedCertificates,
@@ -43,7 +44,14 @@ from ..repairs.decision import decide
 from ..repairs.enumeration import count_total_repairs, enumerate_repairs, sample_repair
 from ..repairs.frequency import AnswerFrequency, answer_frequencies
 
-__all__ = ["CQAResult", "QueryDiagnostics", "CQASolver", "count_query"]
+__all__ = [
+    "CQAResult",
+    "QueryDiagnostics",
+    "CQASolver",
+    "build_sampling_plan",
+    "count_query",
+    "count_query_anytime",
+]
 
 #: Methods handled by the randomised estimators rather than the exact counters.
 RANDOMISED_METHODS = ("fpras", "karp-luby")
@@ -231,6 +239,159 @@ def count_query(
         answer=answer,
         details=result,
     )
+
+
+def build_sampling_plan(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, str],
+    answer: Sequence[Constant] = (),
+    method: str = "fpras",
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    max_samples: Optional[int] = None,
+    rng: Optional[Union[random.Random, int]] = None,
+    decomposition: Optional[BlockDecomposition] = None,
+    prepared: Optional[PreparedCertificates] = None,
+) -> Tuple[SamplingPlan, BlockDecomposition]:
+    """Prepare (but do not run) a randomised method's sampling plan.
+
+    The plan draws from ``rng`` in exactly the order the fixed
+    :func:`count_query` path would, so running it to its full budget is
+    bit-identical to the fixed-(ε, δ) result for the same seed.  Only the
+    randomised methods have plans; exact methods raise.
+    """
+    if method not in RANDOMISED_METHODS:
+        raise FragmentError(
+            f"only the randomised methods {RANDOMISED_METHODS} have sampling "
+            f"plans, got {method!r}"
+        )
+    if isinstance(query, str):
+        query = parse_query(query)
+    answer = tuple(answer)
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    elif rng is None:
+        rng = random.Random()
+    if decomposition is None:
+        decomposition = BlockDecomposition(database, keys)
+
+    if method == "fpras":
+        if prepared is not None:
+            scheme = CQAFpras(prepared.ucq, keys, max_samples=max_samples)
+            plan = scheme.plan(
+                database,
+                epsilon,
+                delta,
+                answer=(),
+                rng=rng,
+                decomposition=decomposition,
+                prepared=prepared,
+            )
+        else:
+            scheme = CQAFpras(query, keys, max_samples=max_samples)
+            plan = scheme.plan(
+                database,
+                epsilon,
+                delta,
+                answer=answer,
+                rng=rng,
+                decomposition=decomposition,
+            )
+        return plan, decomposition
+
+    if prepared is None:
+        bound = bind_answer(query, answer) if query.arity else query
+        if answer and not query.arity:
+            raise FragmentError("a Boolean query takes no answer tuple")
+        if not is_existential_positive(bound):
+            raise FragmentError(
+                "randomised estimation requires an existential positive query"
+            )
+        prepared = prepare_certificates(
+            database, keys, bound, decomposition=decomposition
+        )
+    plan = karp_luby_plan(
+        decomposition.block_sizes(),
+        prepared.selectors,
+        epsilon,
+        delta,
+        rng=rng,
+        max_samples=max_samples,
+    )
+    return plan, decomposition
+
+
+def count_query_anytime(
+    database: Database,
+    keys: PrimaryKeySet,
+    query: Union[Query, str],
+    answer: Sequence[Constant] = (),
+    method: str = "fpras",
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    max_samples: Optional[int] = None,
+    rng: Optional[Union[random.Random, int]] = None,
+    decomposition: Optional[BlockDecomposition] = None,
+    prepared: Optional[PreparedCertificates] = None,
+    max_latency: Optional[float] = None,
+    max_error: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+    calibrator=None,
+    alpha: float = 0.1,
+    clock=None,
+) -> Tuple[CQAResult, AnytimeResult]:
+    """The anytime counterpart of :func:`count_query`.
+
+    Runs the randomised method through the chunked anytime driver,
+    stopping on whichever of ``max_latency`` / ``max_error`` / the
+    sample budget fires first, and returns the counting result together
+    with the full :class:`~repro.approx.anytime.AnytimeResult` trace
+    (snapshots, stop reason, native estimator record).  With no latency
+    or error cap, the result is bit-identical to :func:`count_query`
+    under the same seed.
+    """
+    answer = tuple(answer)
+    plan, decomposition = build_sampling_plan(
+        database,
+        keys,
+        query,
+        answer=answer,
+        method=method,
+        epsilon=epsilon,
+        delta=delta,
+        max_samples=max_samples,
+        rng=rng,
+        decomposition=decomposition,
+        prepared=prepared,
+    )
+    driver_kwargs = {}
+    if clock is not None:
+        driver_kwargs["clock"] = clock
+    anytime = run_plan(
+        plan,
+        max_latency=max_latency,
+        max_error=max_error,
+        chunk_size=chunk_size,
+        calibrator=calibrator,
+        alpha=alpha,
+        **driver_kwargs,
+    )
+    record = anytime.result
+    total = (
+        record.total_repairs
+        if isinstance(record, CQAFprasResult)
+        else decomposition.total_repairs()
+    )
+    result = CQAResult(
+        satisfying=record.estimate,
+        total=total,
+        method=method,
+        is_estimate=True,
+        answer=answer,
+        details=record,
+    )
+    return result, anytime
 
 
 class CQASolver:

@@ -11,7 +11,9 @@ in-memory (bounded LRU)
 on disk (content-addressed, GC'd, pinned)
     ``selectors-disk`` and ``decomposition-disk`` mirrors of the two
     expensive layers, the checkpoint snapshot entries
-    (:class:`~repro.store.SnapshotStore`), and the snapshot catalog the
+    (:class:`~repro.store.SnapshotStore`), the ``calibration-disk``
+    conformal-calibration tables (``*.cal``, see
+    :mod:`repro.approx.calibration`), and the snapshot catalog the
     lineage service records history through — all sharing one
     ``persist_dir``.
 
@@ -42,8 +44,10 @@ from ..lams.selectors import Selector
 from ..query.ast import Query
 from ..query.parser import parse_query
 from ..query.rewriting import UCQ
+from ..approx.calibration import ConformalCalibrator
 from ..repairs.counting import PreparedCertificates, prepare_certificates
 from ..store import (
+    CalibrationDiskCache,
     DecompositionDiskCache,
     SelectorDiskCache,
     SnapshotCatalog,
@@ -79,9 +83,13 @@ class CacheCoordinator:
         self._prepared: LRUCache[PreparedCertificates] = LRUCache(max_prepared)
         #: Materialised historical snapshots, keyed by snapshot token.
         self._snapshots: LRUCache[Database] = LRUCache(max_databases)
+        #: Conformal calibration tables by (token, method); read-through
+        #: to the ``calibration-disk`` layer when persistent.
+        self._calibrators: Dict[Tuple[SnapshotToken, str], ConformalCalibrator] = {}
         self._selector_store: Optional[SelectorDiskCache] = None
         self._decomposition_store: Optional[DecompositionDiskCache] = None
         self._snapshot_store: Optional[SnapshotStore] = None
+        self._calibration_store: Optional[CalibrationDiskCache] = None
         self._catalog: Optional[SnapshotCatalog] = None
         if persist_dir is not None:
             # Startup GC is deferred (collect_on_init=False) until the
@@ -100,6 +108,10 @@ class CacheCoordinator:
                 persist_dir, persist_max_entries, persist_max_age,
                 collect_on_init=False,
             )
+            self._calibration_store = CalibrationDiskCache(
+                persist_dir, persist_max_entries, persist_max_age,
+                collect_on_init=False,
+            )
             self._catalog = SnapshotCatalog(persist_dir)
         self._startup_gc_pending = (
             persist_dir is not None
@@ -110,6 +122,7 @@ class CacheCoordinator:
         self.handoffs = 0
         self.handoff_warm_decompositions = 0
         self.handoff_selector_entries = 0
+        self.calibration_records = 0
 
     # ------------------------------------------------------------------ #
     # the persistent substrate (shared with the lineage service)
@@ -331,6 +344,86 @@ class CacheCoordinator:
         )
 
     # ------------------------------------------------------------------ #
+    # the calibration layer
+    # ------------------------------------------------------------------ #
+    def calibrator(self, token: SnapshotToken, method: str) -> ConformalCalibrator:
+        """The (token, method) calibration table, read-through from disk.
+
+        Always returns a calibrator — an empty one when neither memory
+        nor the ``calibration-disk`` layer holds observations yet (an
+        empty calibrator simply leaves anytime intervals uncalibrated).
+        """
+        key = (token, method)
+        calibrator = self._calibrators.get(key)
+        if calibrator is not None:
+            return calibrator
+        if self._calibration_store is not None:
+            payload = self._calibration_store.load(token, method)
+            if payload is not None:
+                calibrator = ConformalCalibrator.from_payload(payload)
+        if calibrator is None:
+            calibrator = ConformalCalibrator()
+        self._calibrators[key] = calibrator
+        return calibrator
+
+    def record_calibration(
+        self,
+        token: SnapshotToken,
+        method: str,
+        estimate: float,
+        uncertainty: float,
+        exact: float,
+    ) -> ConformalCalibrator:
+        """Add one held-out (estimate, exact) pair and persist the table."""
+        calibrator = self.calibrator(token, method)
+        calibrator.observe(estimate, uncertainty, exact)
+        self.calibration_records += 1
+        if self._calibration_store is not None:
+            self._calibration_store.store(token, method, calibrator.to_payload())
+        return calibrator
+
+    def adopt_calibration(
+        self, old_token: SnapshotToken, new_token: SnapshotToken
+    ) -> int:
+        """Carry calibration tables across a delta; returns tables moved.
+
+        Residual scores are a property of the estimator family on the
+        workload, not of one snapshot's exact block structure, so a
+        delta-adjacent snapshot inherits them rather than restarting the
+        calibration from scratch.  The old token's tables stay stored
+        (time-travel queries against the ancestor reuse them) but leave
+        the in-memory map.
+        """
+        moved = 0
+        for (token, method), calibrator in list(self._calibrators.items()):
+            if token != old_token:
+                continue
+            del self._calibrators[(token, method)]
+            if not len(calibrator):
+                continue
+            self._calibrators[(new_token, method)] = calibrator
+            if self._calibration_store is not None:
+                self._calibration_store.store(
+                    new_token, method, calibrator.to_payload()
+                )
+            moved += 1
+        return moved
+
+    def calibration_stats(self) -> Dict[str, object]:
+        """Tables held in memory, observations per method, disk counters."""
+        per_method: Dict[str, int] = {}
+        for (_, method), calibrator in self._calibrators.items():
+            per_method[method] = per_method.get(method, 0) + len(calibrator)
+        stats: Dict[str, object] = {
+            "tables": len(self._calibrators),
+            "observations": per_method,
+            "records": self.calibration_records,
+        }
+        if self._calibration_store is not None:
+            stats["disk"] = self._calibration_store.stats()
+        return stats
+
+    # ------------------------------------------------------------------ #
     # materialised ancestors and checkpoint snapshots
     # ------------------------------------------------------------------ #
     def remember_snapshot(self, token: SnapshotToken, database: Database) -> None:
@@ -422,6 +515,8 @@ class CacheCoordinator:
             layers["decomposition-disk"] = self._decomposition_store
         if self._snapshot_store is not None:
             layers["snapshots-disk"] = self._snapshot_store
+        if self._calibration_store is not None:
+            layers["calibration-disk"] = self._calibration_store
         return layers
 
     def run_startup_gc(self) -> None:
@@ -461,6 +556,9 @@ class CacheCoordinator:
                 "warm_decompositions": self.handoff_warm_decompositions,
                 "selector_entries": self.handoff_selector_entries,
             }
+        if self.calibration_records or self._calibrators:
+            # Same shape-preserving rule as the handoff section.
+            stats["calibration"] = self.calibration_stats()
         return stats
 
     def __repr__(self) -> str:

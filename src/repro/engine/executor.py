@@ -40,19 +40,22 @@ persistent store.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.solver import count_query
+from ..core.solver import count_query, count_query_anytime
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
+from ..db.facts import Constant
 from ..db.lineage import Lineage
 from ..errors import EngineError
+from ..query.ast import Query
 from ..query.classify import is_existential_positive
 from ..repairs.counting import PreparedCertificates
 from .cache_coordinator import CacheCoordinator
@@ -69,6 +72,25 @@ from .registry import SnapshotRegistry, SnapshotToken
 
 __all__ = ["JobExecutor"]
 
+#: Key of the refine-to-exact cache: the snapshot token plus everything
+#: that identifies the count (the exact answer is method-independent, so
+#: ``method`` is deliberately absent — one refinement serves both
+#: estimator families).
+ExactKey = Tuple[SnapshotToken, str, Tuple[str, ...], Tuple[Constant, ...]]
+
+
+@dataclass(frozen=True)
+class _PendingRefinement:
+    """One queued refine-to-exact continuation of an anytime job."""
+
+    key: ExactKey
+    database: Database
+    keys: PrimaryKeySet
+    token: SnapshotToken
+    job: CountJob
+    estimate: float
+    raw_half_width: float
+
 
 class JobExecutor:
     """Executes jobs, deltas and streams over the engine's state layers."""
@@ -84,6 +106,12 @@ class JobExecutor:
         self._caches = caches
         self._lineage = lineage
         self._workers = workers
+        #: Exact counts published by completed refine-to-exact
+        #: continuations, consulted only for anytime jobs (plain jobs
+        #: keep their exact bit-for-bit report shape).
+        self._exact_cache: Dict[ExactKey, Tuple[float, int]] = {}
+        self._pending_refinements: List[_PendingRefinement] = []
+        self._refined = 0
 
     # ------------------------------------------------------------------ #
     # single-job execution
@@ -107,6 +135,115 @@ class JobExecutor:
         """
         started = time.perf_counter()
         self._caches.run_startup_gc()
+        database, keys, token, query, decomposition, prepared, hits, misses = (
+            self._resolve_inputs(job)
+        )
+
+        if job.is_randomised and job.has_sla:
+            exact_key: ExactKey = (
+                token,
+                job.query,
+                job.answer_variables,
+                job.answer,
+            )
+            cached = self._exact_cache.get(exact_key)
+            if cached is not None:
+                satisfying, total = cached
+                hits.append("exact")
+                return JobResult(
+                    index=index,
+                    job=job,
+                    satisfying=satisfying,
+                    total=total,
+                    method=job.method,
+                    is_estimate=False,
+                    elapsed=time.perf_counter() - started,
+                    cache_hits=tuple(hits),
+                    cache_misses=tuple(misses),
+                    worker=worker_label,
+                    interval_low=float(satisfying),
+                    interval_high=float(satisfying),
+                    samples=0,
+                    stop_reason="exact",
+                )
+            misses.append("exact")
+            result, trace = count_query_anytime(
+                database,
+                keys,
+                query,
+                answer=job.answer,
+                method=job.method,
+                epsilon=job.epsilon,
+                delta=job.delta,
+                rng=job.effective_seed(index),
+                decomposition=decomposition,
+                prepared=prepared,
+                max_latency=job.max_latency,
+                max_error=job.max_error,
+                calibrator=self._caches.calibrator(token, job.method),
+            )
+            self._schedule_refinement(
+                exact_key, database, keys, token, job, trace
+            )
+            final = trace.final
+            return JobResult(
+                index=index,
+                job=job,
+                satisfying=result.satisfying,
+                total=result.total,
+                method=result.method,
+                is_estimate=result.is_estimate,
+                elapsed=time.perf_counter() - started,
+                cache_hits=tuple(hits),
+                cache_misses=tuple(misses),
+                worker=worker_label,
+                interval_low=final.lo,
+                interval_high=final.hi,
+                samples=final.samples,
+                stop_reason=trace.stop_reason,
+                calibrated=trace.calibrated,
+            )
+
+        map_fn = component_executor.map if component_executor is not None else None
+        result = count_query(
+            database,
+            keys,
+            query,
+            answer=job.answer,
+            method=job.method,
+            epsilon=job.epsilon,
+            delta=job.delta,
+            rng=job.effective_seed(index) if job.is_randomised else None,
+            decomposition=decomposition,
+            prepared=prepared,
+            map_fn=map_fn,
+        )
+        return JobResult(
+            index=index,
+            job=job,
+            satisfying=result.satisfying,
+            total=result.total,
+            method=result.method,
+            is_estimate=result.is_estimate,
+            elapsed=time.perf_counter() - started,
+            cache_hits=tuple(hits),
+            cache_misses=tuple(misses),
+            worker=worker_label,
+        )
+
+    def _resolve_inputs(
+        self, job: CountJob
+    ) -> Tuple[
+        Database,
+        PrimaryKeySet,
+        SnapshotToken,
+        Query,
+        object,
+        Optional[PreparedCertificates],
+        List[str],
+        List[str],
+    ]:
+        """Resolve a job's snapshot and warm the cache layers it needs."""
         database, keys = self._registry.lookup(job.database)
         token = self._registry.token(job.database)
         if job.as_of is not None:
@@ -143,33 +280,159 @@ class JobExecutor:
                 hits.append("selectors-disk")
             else:
                 misses.append("selectors")
+        return database, keys, token, query, decomposition, prepared, hits, misses
 
-        map_fn = component_executor.map if component_executor is not None else None
-        result = count_query(
-            database,
-            keys,
-            query,
-            answer=job.answer,
-            method=job.method,
-            epsilon=job.epsilon,
-            delta=job.delta,
-            rng=job.effective_seed(index) if job.is_randomised else None,
-            decomposition=decomposition,
-            prepared=prepared,
-            map_fn=map_fn,
+    # ------------------------------------------------------------------ #
+    # refine-to-exact continuations and calibration
+    # ------------------------------------------------------------------ #
+    def _schedule_refinement(
+        self,
+        key: ExactKey,
+        database: Database,
+        keys: PrimaryKeySet,
+        token: SnapshotToken,
+        job: CountJob,
+        trace,
+    ) -> None:
+        """Queue a background refine-to-exact continuation for ``key``.
+
+        The continuation is deduplicated per key: one exact count serves
+        every later anytime job on the same snapshot/query, whichever
+        estimator asked first.
+        """
+        if key in self._exact_cache:
+            return
+        if any(pending.key == key for pending in self._pending_refinements):
+            return
+        self._pending_refinements.append(
+            _PendingRefinement(
+                key=key,
+                database=database,
+                keys=keys,
+                token=token,
+                job=job,
+                estimate=trace.estimate,
+                raw_half_width=trace.raw_half_width,
+            )
         )
-        return JobResult(
-            index=index,
-            job=job,
-            satisfying=result.satisfying,
-            total=result.total,
-            method=result.method,
-            is_estimate=result.is_estimate,
-            elapsed=time.perf_counter() - started,
-            cache_hits=tuple(hits),
-            cache_misses=tuple(misses),
-            worker=worker_label,
-        )
+
+    @property
+    def pending_refinements(self) -> int:
+        """Number of queued refine-to-exact continuations."""
+        return len(self._pending_refinements)
+
+    @property
+    def refinements_completed(self) -> int:
+        """Number of refine-to-exact continuations run so far."""
+        return self._refined
+
+    def drain_refinements(self, limit: Optional[int] = None) -> int:
+        """Run queued refine-to-exact continuations (all, or up to ``limit``).
+
+        Each continuation computes the exact count for its snapshot/query,
+        publishes it in the lineage-keyed exact cache (so later anytime
+        jobs are answered exactly with zero sampling) and feeds the
+        (estimate, uncertainty, exact) triple to the conformal calibrator
+        of its ``(token, method)`` pair.  Returns the number of
+        continuations actually computed.
+        """
+        if limit is not None and limit < 0:
+            raise EngineError(f"limit must be >= 0, got {limit}")
+        drained = 0
+        while self._pending_refinements and (limit is None or drained < limit):
+            pending = self._pending_refinements.pop(0)
+            if pending.key in self._exact_cache:
+                continue
+            query, _ = self._caches.query(
+                pending.job.query, pending.job.answer_variables
+            )
+            decomposition, _ = self._caches.decomposition(
+                pending.token, pending.database, pending.keys
+            )
+            prepared: Optional[PreparedCertificates] = None
+            if is_existential_positive(query):
+                prepared, _ = self._caches.prepared(
+                    pending.token,
+                    pending.job.query,
+                    pending.job.answer_variables,
+                    pending.job.answer,
+                    pending.database,
+                    pending.keys,
+                    query,
+                    decomposition,
+                )
+            exact = count_query(
+                pending.database,
+                pending.keys,
+                query,
+                answer=pending.job.answer,
+                method="auto",
+                decomposition=decomposition,
+                prepared=prepared,
+            )
+            self._exact_cache[pending.key] = (exact.satisfying, exact.total)
+            raw = pending.raw_half_width
+            if math.isfinite(raw) and raw > 0.0:
+                self._caches.record_calibration(
+                    pending.token,
+                    pending.job.method,
+                    pending.estimate,
+                    raw,
+                    float(exact.satisfying),
+                )
+            self._refined += 1
+            drained += 1
+        return drained
+
+    def calibrate_from(self, jobs: Iterable[CountJob]) -> Dict[str, int]:
+        """Hold out (estimate, exact) pairs from ``jobs`` for calibration.
+
+        Every randomised job is run twice against its snapshot — once
+        through the full-budget sampling plan and once exactly — and the
+        (estimate, raw half-width, exact) triple is recorded with the
+        conformal calibrator of its ``(token, method)`` pair.  Exact jobs
+        (and degenerate plans with no usable uncertainty) are skipped.
+        Returns ``{"pairs": ..., "skipped": ...}``.
+        """
+        pairs = 0
+        skipped = 0
+        for index, job in enumerate(list(jobs)):
+            if not job.is_randomised:
+                skipped += 1
+                continue
+            database, keys, token, query, decomposition, prepared, _, _ = (
+                self._resolve_inputs(job)
+            )
+            _, trace = count_query_anytime(
+                database,
+                keys,
+                query,
+                answer=job.answer,
+                method=job.method,
+                epsilon=job.epsilon,
+                delta=job.delta,
+                rng=job.effective_seed(index),
+                decomposition=decomposition,
+                prepared=prepared,
+            )
+            exact = count_query(
+                database,
+                keys,
+                query,
+                answer=job.answer,
+                method="auto",
+                decomposition=decomposition,
+                prepared=prepared,
+            )
+            raw = trace.raw_half_width
+            if not math.isfinite(raw) or raw <= 0.0:
+                skipped += 1
+                continue
+            self._caches.record_calibration(
+                token, job.method, trace.estimate, raw, float(exact.satisfying)
+            )
+            pairs += 1
+        return {"pairs": pairs, "skipped": skipped}
 
     # ------------------------------------------------------------------ #
     # incremental updates
@@ -225,6 +488,10 @@ class JobExecutor:
         self._caches.remember_snapshot(old_token, database)
         self._registry.set_head(name, new_database, keys, new_token)
         if new_token != old_token:
+            # Calibration residuals describe the estimator, not the data,
+            # so the tables follow the head across the delta (the old
+            # token's persisted entries stay for time travel).
+            self._caches.adopt_calibration(old_token, new_token)
             # Record the *effective* core, which is exactly invertible —
             # the property lineage replay (both directions) relies on.
             self._lineage.record_head(

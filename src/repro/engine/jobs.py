@@ -49,13 +49,16 @@ BATCH_METHODS = (
 
 #: The cache layers a job may hit, in report order.  ``selectors-disk`` and
 #: ``decomposition-disk`` record hits served from the persistent on-disk
-#: caches (no in-memory entry, but no recomputation either).
+#: caches (no in-memory entry, but no recomputation either); ``exact``
+#: records anytime jobs answered from a completed refine-to-exact
+#: continuation (the served count is exact, with zero sampling).
 CACHE_LAYERS = (
     "query",
     "decomposition",
     "decomposition-disk",
     "selectors",
     "selectors-disk",
+    "exact",
 )
 
 
@@ -94,6 +97,16 @@ class CountJob:
         :class:`~repro.errors.LineageError` at execution time.
     label:
         Free-form tag carried through to the result (e.g. a scenario name).
+    max_latency, max_error, anytime:
+        The accuracy–latency SLA knobs of the randomised methods (a
+        :class:`~repro.errors.BatchSpecError` on exact ones).  Any of
+        them routes the job through the chunked anytime estimator:
+        ``max_latency`` bounds the sampling wall-clock (seconds),
+        ``max_error`` stops once the calibrated interval is relatively
+        tight enough, and ``anytime=True`` alone runs the full budget
+        while still reporting the interval trace.  None of the three
+        enters the derived seed, so an anytime job running to full
+        budget is bit-identical to the plain job.
 
     >>> job = CountJob(database="hr", query="EXISTS x. R(1, x)", method="fpras")
     >>> job.is_randomised
@@ -114,6 +127,9 @@ class CountJob:
     seed: Optional[int] = None
     as_of: Optional[Union[str, int]] = None
     label: Optional[str] = None
+    max_latency: Optional[float] = None
+    max_error: Optional[float] = None
+    anytime: bool = False
 
     def __post_init__(self) -> None:
         if not self.database or not isinstance(self.database, str):
@@ -140,6 +156,25 @@ class CountJob:
                     f"as_of digest references need at least 8 characters, "
                     f"got {self.as_of!r}"
                 )
+        for knob, value in (
+            ("max_latency", self.max_latency),
+            ("max_error", self.max_error),
+        ):
+            if value is not None:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise BatchSpecError(f"{knob} must be a number, got {value!r}")
+                if value <= 0:
+                    raise BatchSpecError(f"{knob} must be positive, got {value}")
+        if not isinstance(self.anytime, bool):
+            raise BatchSpecError(
+                f"anytime must be a boolean, got {self.anytime!r}"
+            )
+        if self.has_sla and not self.is_randomised:
+            raise BatchSpecError(
+                f"max_latency/max_error/anytime only apply to the "
+                f"randomised methods ('fpras', 'karp-luby'), "
+                f"got method {self.method!r}"
+            )
         object.__setattr__(self, "answer_variables", tuple(self.answer_variables))
         object.__setattr__(self, "answer", tuple(self.answer))
 
@@ -147,6 +182,15 @@ class CountJob:
     def is_randomised(self) -> bool:
         """True iff the job runs an estimator rather than an exact counter."""
         return self.method in ("fpras", "karp-luby")
+
+    @property
+    def has_sla(self) -> bool:
+        """True iff any anytime knob routes this job through the driver."""
+        return (
+            self.anytime
+            or self.max_latency is not None
+            or self.max_error is not None
+        )
 
     def effective_seed(self, index: int) -> int:
         """The seed actually used for this job at position ``index``.
@@ -197,6 +241,12 @@ class CountJob:
             payload["as_of"] = self.as_of
         if self.label is not None:
             payload["label"] = self.label
+        if self.max_latency is not None:
+            payload["max_latency"] = self.max_latency
+        if self.max_error is not None:
+            payload["max_error"] = self.max_error
+        if self.anytime:
+            payload["anytime"] = self.anytime
         return payload
 
     @classmethod
@@ -215,6 +265,9 @@ class CountJob:
             "seed",
             "as_of",
             "label",
+            "max_latency",
+            "max_error",
+            "anytime",
         }
         unknown = set(payload) - known
         if unknown:
@@ -236,6 +289,17 @@ class CountJob:
         seed = payload.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise BatchSpecError(f"seed must be an integer, got {seed!r}")
+        sla: Dict[str, object] = {}
+        for knob in ("max_latency", "max_error"):
+            value = payload.get(knob)
+            if value is not None:
+                try:
+                    sla[knob] = float(value)  # type: ignore[arg-type]
+                except (TypeError, ValueError) as exc:
+                    raise BatchSpecError(f"{knob} must be a number: {exc}") from exc
+        anytime = payload.get("anytime", False)
+        if not isinstance(anytime, bool):
+            raise BatchSpecError(f"anytime must be a boolean, got {anytime!r}")
         return cls(
             database=payload["database"],  # type: ignore[arg-type]
             query=payload["query"],  # type: ignore[arg-type]
@@ -247,6 +311,9 @@ class CountJob:
             seed=seed,
             as_of=payload.get("as_of"),  # type: ignore[arg-type]
             label=payload.get("label"),  # type: ignore[arg-type]
+            max_latency=sla.get("max_latency"),  # type: ignore[arg-type]
+            max_error=sla.get("max_error"),  # type: ignore[arg-type]
+            anytime=anytime,
         )
 
 
@@ -368,6 +435,14 @@ class JobResult:
     bit-identical between sequential and pooled runs); ``elapsed``,
     ``cache_hits``/``cache_misses`` and ``worker`` are provenance and may
     legitimately differ between runs.
+
+    Anytime jobs additionally carry their confidence interval
+    (``interval_low``/``interval_high``), the number of samples actually
+    drawn, the ``stop_reason`` (one of ``"budget"``, ``"latency"``,
+    ``"error"`` — or ``"exact"`` when a refine-to-exact continuation
+    served the count) and whether the interval was conformally
+    ``calibrated``.  All five stay ``None``/``False`` for plain jobs so
+    existing report shapes are untouched.
     """
 
     index: int
@@ -380,6 +455,11 @@ class JobResult:
     cache_hits: Tuple[str, ...] = ()
     cache_misses: Tuple[str, ...] = ()
     worker: str = "sequential"
+    interval_low: Optional[float] = None
+    interval_high: Optional[float] = None
+    samples: Optional[int] = None
+    stop_reason: Optional[str] = None
+    calibrated: bool = False
 
     def count_fields(self) -> Tuple[int, float, int, str, bool]:
         """The deterministic part of the result, for equivalence checks."""
@@ -394,7 +474,7 @@ class JobResult:
 
     def to_json(self) -> Dict[str, object]:
         """The result as a JSON-able dict (counts, provenance and the job)."""
-        return {
+        payload: Dict[str, object] = {
             "index": self.index,
             "job": self.job.to_json(),
             "satisfying": self.satisfying,
@@ -407,6 +487,17 @@ class JobResult:
             "cache_misses": list(self.cache_misses),
             "worker": self.worker,
         }
+        if self.interval_low is not None and self.interval_high is not None:
+            payload["interval"] = {
+                "low": self.interval_low,
+                "high": self.interval_high,
+                "calibrated": self.calibrated,
+            }
+        if self.samples is not None:
+            payload["samples"] = self.samples
+        if self.stop_reason is not None:
+            payload["stop_reason"] = self.stop_reason
+        return payload
 
 
 @dataclass(frozen=True)

@@ -237,6 +237,36 @@ class SolverPool:
         return self._caches.decomposition_recomputations
 
     # ------------------------------------------------------------------ #
+    # anytime refinement and calibration
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_refinements(self) -> int:
+        """Queued refine-to-exact continuations of served anytime jobs."""
+        return self._executor.pending_refinements
+
+    @property
+    def refinements_completed(self) -> int:
+        """Refine-to-exact continuations this pool has completed."""
+        return self._executor.refinements_completed
+
+    def drain_refinements(self, limit: Optional[int] = None) -> int:
+        """Run queued refine-to-exact continuations (all, or ``limit``).
+
+        Each computes the exact count of one served anytime job,
+        publishes it through the lineage-keyed exact cache and feeds the
+        conformal calibrator of its ``(token, method)`` pair.
+        """
+        return self._executor.drain_refinements(limit)
+
+    def calibrate_from(self, jobs: Iterable[CountJob]) -> Dict[str, int]:
+        """Record (estimate, exact) calibration pairs from a held-out batch."""
+        return self._executor.calibrate_from(jobs)
+
+    def calibration_stats(self) -> Dict[str, object]:
+        """Statistics of the conformal calibration tables (and their store)."""
+        return self._caches.calibration_stats()
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def apply_delta(self, name: str, delta: Delta) -> UpdateReport:

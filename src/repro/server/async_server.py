@@ -889,6 +889,89 @@ class AsyncServer:
         shard = self._owner_of(name)
         return await asyncio.wrap_future(shard.submit_rollback(name, ref))
 
+    async def calibration(self) -> Dict[str, object]:
+        """Per-shard conformal calibration state (the admin probe).
+
+        Each shard worker reports its calibration tables (observation
+        counts per method, persisted-store statistics when configured)
+        plus its refine-to-exact queue counters; totals are aggregated
+        parent-side.  Served by ``GET /calibration`` on the HTTP front.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        probes = [
+            asyncio.wrap_future(shard.submit_calibration_stats())
+            for shard in self._shards
+        ]
+        shard_stats = await asyncio.gather(*probes)
+        return {
+            "shards": {
+                str(shard.shard_id): stats
+                for shard, stats in zip(self._shards, shard_stats)
+            },
+            "totals": {
+                "observations": sum(
+                    int(stats.get("records", 0)) for stats in shard_stats
+                ),
+                "pending_refinements": sum(
+                    int(stats.get("pending_refinements", 0))
+                    for stats in shard_stats
+                ),
+                "refinements_completed": sum(
+                    int(stats.get("refinements_completed", 0))
+                    for stats in shard_stats
+                ),
+            },
+        }
+
+    async def refine(self, limit: Optional[int] = None) -> Dict[str, int]:
+        """Drain queued refine-to-exact continuations on every shard.
+
+        ``limit`` bounds the continuations per shard (``None`` drains
+        everything).  FIFO with each shard's jobs, so the drain observes
+        exactly the anytime jobs submitted before the call; later anytime
+        jobs on the refined snapshots/queries are answered exactly from
+        the shard's cache with zero sampling.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        probes = [
+            asyncio.wrap_future(shard.submit_refine(limit))
+            for shard in self._shards
+        ]
+        reports = await asyncio.gather(*probes)
+        return {
+            "refined": sum(report["refined"] for report in reports),
+            "pending": sum(report["pending"] for report in reports),
+            "completed": sum(report["completed"] for report in reports),
+        }
+
+    async def calibrate_from(self, jobs: Iterable[CountJob]) -> Dict[str, int]:
+        """Record calibration pairs from a held-out batch, shard-routed.
+
+        Every randomised job runs twice on the shard owning its database
+        (full-budget estimate plus exact count) and feeds that shard's
+        conformal calibrator; exact jobs are skipped.  Returns aggregate
+        ``{"pairs": ..., "skipped": ...}`` counts.
+        """
+        if not self._running:
+            raise ServerError("the server is not running; use 'async with server'")
+        batches: Dict[int, List[CountJob]] = {}
+        for job in jobs:
+            shard = self._owner_of(job.database)
+            batches.setdefault(shard.shard_id, []).append(job)
+        probes = [
+            asyncio.wrap_future(
+                self._shard_by_id(shard_id).submit_calibrate(batch)
+            )
+            for shard_id, batch in batches.items()
+        ]
+        reports = await asyncio.gather(*probes)
+        return {
+            "pairs": sum(report["pairs"] for report in reports),
+            "skipped": sum(report["skipped"] for report in reports),
+        }
+
     async def stats(self) -> Dict[str, object]:
         """Aggregate live statistics: queue counters plus per-shard state.
 

@@ -308,6 +308,33 @@ class ServeClient:
         """``POST /shards`` rebalance — run one policy round now."""
         return await self._call("POST", "/shards", {"action": "rebalance"})
 
+    async def calibration(self) -> Dict[str, object]:
+        """``GET /calibration`` — calibration tables + refinement state."""
+        return await self._call("GET", "/calibration")
+
+    async def refine(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """``POST /calibration`` refine — drain refine-to-exact queues.
+
+        ``limit`` bounds the continuations per shard; ``None`` drains
+        everything queued at the time of the call.
+        """
+        payload: Dict[str, object] = {"action": "refine"}
+        if limit is not None:
+            payload["limit"] = limit
+        return await self._call("POST", "/calibration", payload)
+
+    async def calibrate(
+        self, jobs: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """``POST /calibration`` observe — run a held-out calibration batch.
+
+        ``jobs`` are count-job documents; every randomised one contributes
+        an (estimate, exact) residual pair to its shard's calibrator.
+        """
+        return await self._call(
+            "POST", "/calibration", {"action": "observe", "jobs": jobs}
+        )
+
     async def history(
         self, name: str, limit: Optional[int] = None
     ) -> Dict[str, object]:

@@ -36,6 +36,9 @@ GET    ``/databases``             registered names
 GET    ``/shards``                routing table + per-shard load snapshot
 POST   ``/shards``                admin: ``{"action": "add" | "remove" |
                                   "move" | "rebalance", ...}``
+GET    ``/calibration``           conformal calibration + refinement state
+POST   ``/calibration``           admin: ``{"action": "refine" |
+                                  "observe", ...}``
 POST   ``/count``                 one :class:`CountJob` body -> result
 POST   ``/update``                one update body -> delta report
 POST   ``/stream``                JSON-lines of jobs -> chunked JSON-lines
@@ -256,6 +259,12 @@ class HttpServer:
                 return await self._respond(writer, self._shards_view())
             if route == ("POST", "shards"):
                 return await self._shards_admin(request, writer)
+            if route == ("GET", "calibration"):
+                return await self._respond(
+                    writer, await self._server.calibration()
+                )
+            if route == ("POST", "calibration"):
+                return await self._calibration_admin(request, writer)
             if route == ("POST", "count"):
                 return await self._count(request, writer)
             if route == ("POST", "update"):
@@ -285,6 +294,7 @@ class HttpServer:
         known = {
             "health", "stats", "databases", "shards", "count", "update",
             "stream", "history", "checkpoints", "checkpoint", "rollback",
+            "calibration",
         }
         if segments and segments[0] in known:
             self.errors += 1
@@ -404,6 +414,47 @@ class HttpServer:
             )
         document["shards"] = self._server.shard_count
         document["version"] = self._server.routing_version
+        return await self._respond(writer, document)
+
+    async def _calibration_admin(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /calibration``: refine-to-exact drain or calibration batch.
+
+        ``{"action": "refine"}`` (optional integer ``"limit"`` per shard)
+        drains queued refine-to-exact continuations;
+        ``{"action": "observe", "jobs": [...]}`` runs a held-out batch of
+        count-job bodies through :meth:`AsyncServer.calibrate_from`.
+        """
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise WireError(
+                'calibration admin expects a body like {"action": "refine"}'
+            )
+        action = payload.get("action")
+        if action == "refine":
+            limit = payload.get("limit")
+            if limit is not None and (
+                not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+            ):
+                raise WireError(
+                    f"refine expects a non-negative integer 'limit', got {limit!r}"
+                )
+            document: Dict[str, object] = dict(await self._server.refine(limit))
+        elif action == "observe":
+            jobs = payload.get("jobs")
+            if not isinstance(jobs, list):
+                raise WireError(
+                    f"observe expects a 'jobs' list of count-job bodies, "
+                    f"got {type(jobs).__name__}"
+                )
+            batch = [CountJob.from_json(body) for body in jobs]
+            document = dict(await self._server.calibrate_from(batch))
+        else:
+            raise WireError(
+                f"unknown calibration action {action!r}; expected one of "
+                f"'refine', 'observe'"
+            )
         return await self._respond(writer, document)
 
     @staticmethod

@@ -293,6 +293,34 @@ class Shard:
         self._databases[name] = (database, keys)
         return executor.submit(_shard_handoff, name, database, keys, lineage)
 
+    # ------------------------------------------------------------------ #
+    # anytime refinement and calibration
+    # ------------------------------------------------------------------ #
+    def submit_refine(self, limit: Optional[int] = None) -> "Future[Dict[str, int]]":
+        """Queue a drain of the worker's refine-to-exact continuations.
+
+        FIFO with the shard's jobs, so the drain observes exactly the
+        anytime jobs submitted before it; later anytime jobs on the same
+        snapshot/query are answered exactly from the worker's cache.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_refine, limit)
+
+    def submit_calibrate(
+        self, jobs: List[CountJob]
+    ) -> "Future[Dict[str, int]]":
+        """Queue a calibration batch (estimate + exact per randomised job)."""
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_calibrate, jobs)
+
+    def submit_calibration_stats(self) -> "Future[Dict[str, object]]":
+        """Queue a probe of the worker's calibration tables."""
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        return executor.submit(_shard_calibration_stats)
+
     def submit_forget(self, name: str) -> "Future[None]":
         """Queue removal of a name from the worker pool (post-export).
 
@@ -415,6 +443,31 @@ def _shard_handoff(
 def _shard_forget(name: str) -> None:
     """Drop one owned name from the worker pool after its export."""
     _require_pool().forget(name)
+
+
+def _shard_refine(limit: Optional[int]) -> Dict[str, int]:
+    """Drain refine-to-exact continuations inside the shard worker."""
+    pool = _require_pool()
+    drained = pool.drain_refinements(limit)
+    return {
+        "refined": drained,
+        "pending": pool.pending_refinements,
+        "completed": pool.refinements_completed,
+    }
+
+
+def _shard_calibrate(jobs: List[CountJob]) -> Dict[str, int]:
+    """Record calibration pairs from a held-out batch, inside the worker."""
+    return _require_pool().calibrate_from(jobs)
+
+
+def _shard_calibration_stats() -> Dict[str, object]:
+    """The worker pool's conformal calibration statistics."""
+    pool = _require_pool()
+    stats = dict(pool.calibration_stats())
+    stats["pending_refinements"] = pool.pending_refinements
+    stats["refinements_completed"] = pool.refinements_completed
+    return stats
 
 
 def _shard_stats() -> Dict[str, object]:

@@ -51,13 +51,19 @@ Example — the catalog records a chain that replays to any ancestor:
 """
 
 from .backend import FilesystemBackend, MemoryBackend, StoreBackend, as_backend
-from .caches import ContentAddressedStore, DecompositionDiskCache, SelectorDiskCache
+from .caches import (
+    CalibrationDiskCache,
+    ContentAddressedStore,
+    DecompositionDiskCache,
+    SelectorDiskCache,
+)
 from .catalog import SnapshotCatalog
 from .format import FORMAT_VERSION, decode_entry, encode_entry, token_prefix
 from .snapshots import SnapshotStore
 
 __all__ = [
     "FORMAT_VERSION",
+    "CalibrationDiskCache",
     "ContentAddressedStore",
     "DecompositionDiskCache",
     "FilesystemBackend",

@@ -63,7 +63,12 @@ from ..repairs.counting import PreparedCertificates
 from .backend import StoreBackend, as_backend
 from .format import FORMAT_VERSION, decode_entry, encode_entry, token_prefix
 
-__all__ = ["ContentAddressedStore", "SelectorDiskCache", "DecompositionDiskCache"]
+__all__ = [
+    "ContentAddressedStore",
+    "SelectorDiskCache",
+    "DecompositionDiskCache",
+    "CalibrationDiskCache",
+]
 
 #: The snapshot token entry names are rooted in.
 SnapshotToken = Tuple[str, str]
@@ -451,3 +456,58 @@ class DecompositionDiskCache(ContentAddressedStore):
         return self._store_entry(
             self.entry_name(snapshot_token), decomposition.blocks
         )
+
+
+class CalibrationDiskCache(ContentAddressedStore):
+    """A store of conformal-calibration tables keyed by (token, method).
+
+    The payload is the JSON-friendly
+    :meth:`~repro.approx.calibration.ConformalCalibrator.to_payload`
+    document — a list of held-out (estimate, uncertainty, exact) triples.
+    Entries are keyed by the snapshot token and the estimator method
+    (``fpras`` / ``karp-luby``) whose residuals they hold: calibration is
+    a property of *that estimator on that snapshot's sampling geometry*.
+    Because the entry name leads with the token prefix, calibration
+    tables of live (registered) snapshots are pinned through the same
+    :meth:`set_pinned_tokens` mechanism as every other entry kind — GC
+    exempt while referenced.
+
+    Example — a table stored once survives a restart:
+
+    >>> import tempfile
+    >>> directory = tempfile.mkdtemp()
+    >>> token = ("a" * 64, "b" * 64)
+    >>> payload = {"observations": [[10.0, 2.0, 10.4], [7.0, 1.5, 6.6]]}
+    >>> CalibrationDiskCache(directory).store(token, "fpras", payload)
+    True
+    >>> restarted = CalibrationDiskCache(directory)
+    >>> len(restarted.load(token, "fpras")["observations"])
+    2
+    """
+
+    _MAGIC = b"RCAL"
+    _SUFFIX = ".cal"
+
+    def _validate_payload(self, value: object) -> bool:
+        return isinstance(value, dict) and isinstance(
+            value.get("observations"), (list, tuple)
+        )
+
+    @classmethod
+    def _key_material(cls, *key: object) -> Tuple[str, ...]:
+        snapshot_token, method = key
+        database_digest, keys_digest = snapshot_token  # type: ignore[misc]
+        return (database_digest, keys_digest, str(method))
+
+    def load(
+        self, snapshot_token: SnapshotToken, method: str
+    ) -> Optional[Dict[str, object]]:
+        """Return the cached calibration payload, or ``None`` on miss."""
+        value = self._load_entry(self.entry_name(snapshot_token, method))
+        return value  # type: ignore[return-value]
+
+    def store(
+        self, snapshot_token: SnapshotToken, method: str, payload: Dict[str, object]
+    ) -> bool:
+        """Persist one calibration table; returns False on I/O failure."""
+        return self._store_entry(self.entry_name(snapshot_token, method), payload)

@@ -46,6 +46,9 @@ def serve_workload(
     epsilon: float = 0.25,
     delta: float = 0.2,
     zipf: Union[float, None] = None,
+    anytime_fraction: float = 0.0,
+    max_latency: Union[float, None] = None,
+    max_error: Union[float, None] = None,
 ) -> Tuple[
     Dict[str, Tuple[Database, PrimaryKeySet]],
     List[Union[CountJob, UpdateJob]],
@@ -72,6 +75,12 @@ def serve_workload(
     :meth:`~repro.engine.CountJob.effective_seed`, so replays are
     bit-identical.
 
+    With ``anytime_fraction`` > 0, that fraction of the *randomised*
+    count jobs carry the anytime SLA knobs (``anytime=True`` plus any of
+    ``max_latency``/``max_error`` given); the default of 0 draws no extra
+    randomness, keeping the stream bit-identical to pre-anytime
+    workloads.
+
     >>> registry, stream = serve_workload(jobs=6, databases=2, seed=1)
     >>> sorted(registry)
     ['served-0', 'served-1']
@@ -87,6 +96,10 @@ def serve_workload(
         raise ValueError(f"need at least one database, got {databases}")
     if zipf is not None and zipf <= 0:
         raise ValueError(f"zipf exponent must be > 0, got {zipf}")
+    if not 0.0 <= anytime_fraction <= 1.0:
+        raise ValueError(
+            f"anytime_fraction must be in [0, 1], got {anytime_fraction}"
+        )
     rng = random.Random(seed)
 
     registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
@@ -163,15 +176,31 @@ def serve_workload(
                 live[name] = live[name].apply_delta(change)
         name = pick_database()
         query = rng.choice(catalogue[name])
+        method = rng.choice(list(methods))
+        # SLA knobs ride only on randomised jobs, and the extra random
+        # draw happens only when the feature is on, so the default stream
+        # stays bit-identical to pre-anytime workloads.
+        sla: Dict[str, object] = {}
+        if (
+            anytime_fraction
+            and method in ("fpras", "karp-luby")
+            and rng.random() < anytime_fraction
+        ):
+            sla["anytime"] = True
+            if max_latency is not None:
+                sla["max_latency"] = max_latency
+            if max_error is not None:
+                sla["max_error"] = max_error
         stream.append(
             CountJob(
                 database=name,
                 query=str(query.formula),
                 answer_variables=tuple(v.name for v in query.answer_variables),
-                method=rng.choice(list(methods)),
+                method=method,
                 epsilon=epsilon,
                 delta=delta,
                 label=query.name,
+                **sla,  # type: ignore[arg-type]
             )
         )
         emitted += 1

@@ -1,0 +1,212 @@
+"""Property tests for the anytime drivers (``repro.approx.anytime``).
+
+Over ≥ 50 random seeded instances — Karp–Luby unions of boxes and CQA
+FPRAS runs on random inconsistent databases — three structural
+properties of :func:`~repro.approx.run_plan` are pinned:
+
+* **monotonicity**: the snapshot stream never widens — each interval is
+  contained in the previous one (``lo`` non-decreasing, ``hi``
+  non-increasing);
+* **consistency**: every snapshot's interval contains the *final*
+  estimate, whatever the remaining draws did — the deterministic
+  feasibility band guarantees this unconditionally, not just with
+  probability ``1 − δ``;
+* **bit-identity**: running a plan to its full sample budget consumes
+  the random stream exactly as the fixed-(ε, δ) ``estimate()`` loop
+  does, so the full-budget anytime result equals the fixed result *bit
+  for bit* with the same seed.
+
+Stopping-rule behaviour (latency via an injectable fake clock, the
+relative-error target, chunking edge cases) is covered here too, since
+this is the only file that owns the anytime driver.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.approx import (
+    CQAFpras,
+    IntervalSnapshot,
+    SamplingPlan,
+    estimate_union_karp_luby,
+    hoeffding_half_width,
+    karp_luby_plan,
+    run_plan,
+)
+from repro.errors import ApproximationError
+from repro.lams import Selector
+from repro.workloads import (
+    InconsistentDatabaseSpec,
+    random_conjunctive_query,
+    random_inconsistent_database,
+)
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def _random_union(rng: random.Random):
+    """A random (domain sizes, selectors) union-of-boxes instance."""
+    dims = rng.randint(3, 5)
+    sizes = tuple(rng.randint(2, 6) for _ in range(dims))
+    boxes = []
+    for _ in range(rng.randint(1, 4)):
+        pinned = rng.sample(range(dims), rng.randint(1, min(3, dims)))
+        boxes.append(Selector({dim: rng.randrange(sizes[dim]) for dim in pinned}))
+    return sizes, boxes
+
+
+def _assert_monotone_and_consistent(snapshots, final_estimate):
+    previous = None
+    for snapshot in snapshots:
+        assert isinstance(snapshot, IntervalSnapshot)
+        assert snapshot.lo <= snapshot.hi
+        if previous is not None:
+            assert snapshot.lo >= previous.lo  # never widens downward
+            assert snapshot.hi <= previous.hi  # never widens upward
+            assert snapshot.samples > previous.samples
+        previous = snapshot
+        # The feasibility band makes this a sure statement, not a
+        # probabilistic one: the final estimate lies in every interval.
+        assert snapshot.lo <= final_estimate <= snapshot.hi
+
+
+class TestKarpLubyInstances:
+    """40 random unions: the workhorse family (cheap exact counts)."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_stream_properties_and_full_budget_bit_identity(self, seed):
+        rng = random.Random(seed)
+        sizes, boxes = _random_union(rng)
+        plan_seed = rng.randrange(2**32)
+        chunk = rng.choice([1, 3, 7, None])
+
+        plan = karp_luby_plan(
+            sizes, boxes, epsilon=0.4, delta=0.2, rng=plan_seed, max_samples=96
+        )
+        trace = run_plan(plan, chunk_size=chunk)
+        assert trace.stop_reason == "budget"
+        assert trace.samples == plan.samples
+
+        fixed = estimate_union_karp_luby(
+            sizes, boxes, epsilon=0.4, delta=0.2, rng=plan_seed, max_samples=96
+        )
+        # Bit-identical, not approximately equal: same draws, same
+        # float expression, same result record.
+        assert trace.result == fixed
+        assert trace.estimate == fixed.estimate
+
+        _assert_monotone_and_consistent(trace.snapshots, trace.estimate)
+
+    @pytest.mark.parametrize("seed", range(40, 50))
+    def test_chunk_size_does_not_change_the_final_result(self, seed):
+        rng = random.Random(seed)
+        sizes, boxes = _random_union(rng)
+        plan_seed = rng.randrange(2**32)
+
+        def full_run(chunk):
+            plan = karp_luby_plan(
+                sizes, boxes, epsilon=0.5, delta=0.2, rng=plan_seed, max_samples=64
+            )
+            return run_plan(plan, chunk_size=chunk)
+
+        results = [full_run(chunk) for chunk in (1, 5, None)]
+        estimates = {trace.estimate for trace in results}
+        assert len(estimates) == 1  # chunking only changes the snapshots
+        for trace in results:
+            _assert_monotone_and_consistent(trace.snapshots, trace.estimate)
+
+
+class TestCQAFprasInstances:
+    """A dozen random inconsistent databases through the Corollary 6.4 plan."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_stream_properties_and_full_budget_bit_identity(self, seed):
+        rng = random.Random(1000 + seed)
+        spec = InconsistentDatabaseSpec(
+            relations=_RELATIONS,
+            blocks_per_relation=rng.randint(4, 8),
+            conflict_rate=0.5,
+            max_block_size=3,
+            domain_size=8,
+        )
+        database, keys = random_inconsistent_database(spec, seed=rng.randrange(2**16))
+        query = random_conjunctive_query(
+            _RELATIONS, keys, target_keywidth=1, seed=rng.randrange(2**16)
+        )
+        scheme = CQAFpras(query, keys, max_samples=128)
+        plan_seed = rng.randrange(2**32)
+
+        plan = scheme.plan(database, epsilon=0.4, delta=0.2, rng=plan_seed)
+        trace = run_plan(plan, chunk_size=rng.choice([1, 4, None]))
+        fixed = scheme.estimate(database, epsilon=0.4, delta=0.2, rng=plan_seed)
+
+        assert trace.stop_reason == "budget"
+        assert trace.result == fixed
+        assert trace.estimate == fixed.estimate
+        _assert_monotone_and_consistent(trace.snapshots, trace.estimate)
+
+
+def _constant_plan(samples: int, scale: float = 100.0) -> SamplingPlan:
+    """A deterministic always-hit plan for stopping-rule tests."""
+    return SamplingPlan(
+        draw=lambda: True,
+        samples=samples,
+        requested_samples=samples,
+        scale=scale,
+        epsilon=0.1,
+        delta=0.1,
+        estimate_of=lambda s, n: scale * s / n if n else 0.0,
+        finalise=lambda s, n: (s, n),
+    )
+
+
+class TestStoppingRules:
+    def test_latency_budget_stops_early_but_serves_at_least_one_chunk(self):
+        ticks = iter(float(i) for i in range(100))
+        trace = run_plan(
+            _constant_plan(1000),
+            max_latency=0.5,
+            chunk_size=10,
+            clock=lambda: next(ticks),
+        )
+        assert trace.stop_reason == "latency"
+        assert 0 < trace.samples < 1000
+        assert len(trace.snapshots) == 1  # first chunk already over budget
+
+    def test_error_target_stops_once_the_interval_is_tight(self):
+        # An always-hit plan collapses the feasibility band towards the
+        # scale; a loose 20% target fires well before the full budget.
+        trace = run_plan(_constant_plan(10_000), max_error=0.2, chunk_size=50)
+        assert trace.stop_reason == "error"
+        assert trace.samples < 10_000
+        lo, hi = trace.interval
+        assert hi - lo <= 2 * 0.2 * max(abs(trace.estimate), 1.0)
+
+    def test_full_budget_reports_budget(self):
+        trace = run_plan(_constant_plan(40), chunk_size=8)
+        assert trace.stop_reason == "budget"
+        assert trace.samples == 40
+        assert len(trace.snapshots) == 5
+
+    def test_degenerate_plan_returns_an_exact_zero(self):
+        trace = run_plan(_constant_plan(0))
+        assert trace.estimate == 0.0
+        assert trace.interval == (0.0, 0.0)
+        assert trace.samples == 0 and trace.stop_reason == "budget"
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ApproximationError, match="max_latency"):
+            run_plan(_constant_plan(10), max_latency=0.0)
+        with pytest.raises(ApproximationError, match="max_error"):
+            run_plan(_constant_plan(10), max_error=-0.1)
+        with pytest.raises(ApproximationError, match="chunk_size"):
+            run_plan(_constant_plan(10), chunk_size=0)
+
+    def test_raw_half_width_matches_the_hoeffding_formula(self):
+        trace = run_plan(_constant_plan(40), chunk_size=8)
+        assert trace.raw_half_width == hoeffding_half_width(100.0, 0.1, 40, 5)
+        assert math.isfinite(trace.raw_half_width)

@@ -169,6 +169,7 @@ class TestBatch:
             "decomposition-disk",
             "selectors",
             "selectors-disk",
+            "exact",
         }
         first, second, estimate = report["jobs"]
         assert (first["satisfying"], first["total"]) == (2, 4)

@@ -219,6 +219,7 @@ class TestSolverPool:
             "decomposition-disk",
             "selectors",
             "selectors-disk",
+            "exact",
         }
         json.dumps(payload)  # must be JSON-serialisable as-is
         stats = aggregate_cache_stats(report.results)

@@ -486,3 +486,99 @@ class TestServeHttpCli:
         assert main(
             ["serve", "--jobs", str(jobfile), "--http", "0", "--stdin"]
         ) == 2
+
+
+class TestCalibrationOverTheWire:
+    """SLA intervals and the ``/calibration`` admin surface over HTTP."""
+
+    def test_anytime_sla_refinement_and_calibration(self):
+        async def run():
+            server = _employee_server(shards=1, queue_limit=8)
+            async with server:
+                async with HttpServer(server) as front:
+                    async with ServeClient(front.host, front.port) as client:
+                        doc = _count_doc(
+                            method="fpras",
+                            epsilon=0.05,
+                            delta=0.05,
+                            anytime=True,
+                            max_latency=1e-6,
+                        )
+                        result = await client.count(doc)
+                        # The latency budget cut the run short; the body
+                        # carries the interval payload.
+                        assert result["stop_reason"] == "latency"
+                        assert result["is_estimate"] is True
+                        assert result["samples"] > 0
+                        interval = result["interval"]
+                        assert (
+                            interval["low"]
+                            <= result["satisfying"]
+                            <= interval["high"]
+                        )
+                        assert interval["calibrated"] is False
+
+                        # Drain the refine-to-exact continuation, then
+                        # re-ask: exact from cache, zero samples drawn.
+                        report = await client.refine()
+                        assert report["refined"] == 1
+                        again = await client.count(doc, index=1)
+                        assert again["stop_reason"] == "exact"
+                        assert again["is_estimate"] is False
+                        assert "samples" not in again or again["samples"] == 0
+                        assert again["satisfying"] == 2
+                        assert "exact" in again["cache_hits"]
+                        assert again["interval"] == {
+                            "low": 2.0,
+                            "high": 2.0,
+                            "calibrated": False,
+                        }
+
+                        view = await client.calibration()
+                        assert view["totals"]["refinements_completed"] == 1
+                        assert view["totals"]["observations"] >= 1
+                        assert "0" in view["shards"]
+
+                        # A held-out batch over the wire: randomised jobs
+                        # contribute pairs, exact jobs are skipped.
+                        held_out = [
+                            _count_doc(
+                                method="fpras", epsilon=0.3, delta=0.2
+                            ),
+                            _count_doc(),
+                        ]
+                        observed = await client.calibrate(held_out)
+                        assert observed == {"pairs": 1, "skipped": 1}
+
+                        # Misuse maps to loud 400s, connection survives.
+                        with pytest.raises(BatchSpecError, match="action"):
+                            await client._call(
+                                "POST", "/calibration", {"action": "explode"}
+                            )
+                        with pytest.raises(BatchSpecError, match="limit"):
+                            await client.refine(limit=-1)
+                        with pytest.raises(BatchSpecError, match="jobs"):
+                            await client._call(
+                                "POST",
+                                "/calibration",
+                                {"action": "observe", "jobs": "nope"},
+                            )
+                        assert (await client.health())["status"] == "ok"
+
+        asyncio.run(run())
+
+    def test_sla_flags_round_trip_through_the_job_document(self):
+        # The wire representation keeps the SLA knobs: a document with
+        # max_latency/max_error/anytime parses back to an identical job.
+        job = CountJob(
+            database="emp",
+            query=_EMPLOYEE_QUERY,
+            method="fpras",
+            epsilon=0.2,
+            delta=0.1,
+            anytime=True,
+            max_latency=0.5,
+            max_error=0.1,
+        )
+        assert CountJob.from_json(job.to_json()) == job
+        assert job.to_json()["anytime"] is True

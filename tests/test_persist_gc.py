@@ -132,6 +132,7 @@ class TestPoolGarbageCollection:
             "selectors-disk": 3,
             "decomposition-disk": 1,
             "snapshots-disk": 0,
+            "calibration-disk": 0,
         }
         stats = pool.cache_stats()
         assert stats["selectors-disk"]["gc_evictions"] == 3
@@ -178,6 +179,7 @@ class TestGcPinningProtectsLiveSnapshots:
             "selectors-disk": 0,
             "decomposition-disk": 0,
             "snapshots-disk": 0,
+            "calibration-disk": 0,
         }
         assert pool.cache_stats()["selectors-disk"]["entries"] == 3
 
@@ -222,6 +224,7 @@ class TestGcPinningProtectsLiveSnapshots:
             "selectors-disk": 0,
             "decomposition-disk": 0,
             "snapshots-disk": 0,
+            "calibration-disk": 0,
         }
         assert pool.cache_stats()["selectors-disk"]["entries"] == 3
 
@@ -243,6 +246,7 @@ class TestGcPinningProtectsLiveSnapshots:
             "selectors-disk": 2,
             "decomposition-disk": 1,
             "snapshots-disk": 0,
+            "calibration-disk": 0,
         }
         restarted = SolverPool(persist_dir=tmp_path)
         restarted.register("emp", database.apply_delta(

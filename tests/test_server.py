@@ -274,3 +274,95 @@ class TestStatsAndLifecycle:
             await server.stop()  # idempotent
 
         asyncio.run(run())
+
+
+class TestAnytimeSla:
+    """Accuracy–latency SLAs on the serving path (the anytime stack)."""
+
+    def _anytime_job(self, **knobs) -> CountJob:
+        return CountJob(
+            database="emp",
+            query=_EMPLOYEE_QUERY,
+            method="fpras",
+            epsilon=0.05,
+            delta=0.05,
+            anytime=True,
+            **knobs,
+        )
+
+    def test_max_latency_jobs_stop_early_with_an_interval(self):
+        from repro.approx import sample_size
+
+        async def run():
+            async with _employee_server(shards=1) as server:
+                return await server.submit(self._anytime_job(max_latency=1e-6))
+
+        result = asyncio.run(run())
+        assert result.stop_reason == "latency"
+        assert result.is_estimate
+        # The ε = 0.05 prescription was cut short by the latency budget.
+        assert 0 < result.samples < sample_size(0.05, 0.05, 2, 2)
+        assert result.interval_low <= result.satisfying <= result.interval_high
+
+    def test_max_error_jobs_refine_until_tight_enough(self):
+        async def run():
+            async with _employee_server(shards=1) as server:
+                return await server.submit(self._anytime_job(max_error=0.5))
+
+        result = asyncio.run(run())
+        assert result.stop_reason == "error"
+        width = result.interval_high - result.interval_low
+        assert width <= 2 * 0.5 * max(abs(result.satisfying), 1.0)
+
+    def test_refinement_serves_exact_counts_with_zero_recomputation(self):
+        async def run():
+            async with _employee_server(shards=1) as server:
+                first = await server.submit(self._anytime_job(max_latency=1e-6))
+                report = await server.refine()
+                again = await server.submit(self._anytime_job(max_latency=1e-6), 1)
+                view = await server.calibration()
+                return first, report, again, view
+
+        first, report, again, view = asyncio.run(run())
+        assert first.is_estimate and "exact" in first.cache_misses
+        assert report == {"refined": 1, "pending": 0, "completed": 1}
+        # The continuation published the exact count: the re-submitted
+        # anytime job is answered exactly, without a single sample drawn.
+        assert not again.is_estimate
+        assert again.stop_reason == "exact"
+        assert again.samples == 0
+        assert again.cache_misses == ()
+        assert "exact" in again.cache_hits
+        assert (again.satisfying, again.total) == (2, 4)
+        assert (again.interval_low, again.interval_high) == (2.0, 2.0)
+        # The refinement also fed the shard's conformal calibrator.
+        assert view["totals"]["refinements_completed"] == 1
+        assert view["totals"]["observations"] >= 1
+        assert view["totals"]["pending_refinements"] == 0
+
+    def test_calibrate_from_routes_held_out_jobs_to_their_shards(self):
+        async def run():
+            async with _employee_server(shards=2) as server:
+                held_out = [
+                    CountJob(
+                        database="emp",
+                        query=_EMPLOYEE_QUERY,
+                        method="fpras",
+                        epsilon=0.3,
+                        delta=0.2,
+                    ),
+                    CountJob(database="emp", query=_EMPLOYEE_QUERY),  # exact
+                ]
+                report = await server.calibrate_from(held_out)
+                view = await server.calibration()
+                return report, view
+
+        report, view = asyncio.run(run())
+        assert report == {"pairs": 1, "skipped": 1}
+        assert view["totals"]["observations"] == 1
+
+    def test_admin_probes_require_a_running_server(self):
+        server = _employee_server(shards=1)
+        for probe in (server.calibration(), server.refine()):
+            with pytest.raises(ServerError, match="not running"):
+                asyncio.run(probe)
