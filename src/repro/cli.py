@@ -22,6 +22,8 @@ be used from the shell on databases stored as JSON (see
         --persist-cache cache/ --output employees-rolled-back.json
     python -m repro checkpoint employees --json employees.json \
         --persist-cache cache/
+    python -m repro gc --persist-cache cache/ --max-bytes 50000000 \
+        --pin employees
 
 Every command prints a small, line-oriented report to stdout (``batch``
 prints a JSON report, ``serve`` streams JSON-lines results, ``history``
@@ -256,6 +258,22 @@ def build_parser() -> argparse.ArgumentParser:
         "deltas of an owned name (requires --persist-cache)",
     )
     serve.add_argument(
+        "--auto-checkpoint",
+        action="store_true",
+        help="adaptive checkpoint placement instead of a fixed interval: "
+        "each shard observes its as_of replays and checkpoints hot deep "
+        "chain positions where the modeled replay saving pays (requires "
+        "--persist-cache; mutually exclusive with --checkpoint-every)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="GC bound: one global byte budget for the shared store, "
+        "split between the entry kinds by observed hit-rate-per-byte",
+    )
+    serve.add_argument(
         "--rebalance-interval",
         type=float,
         default=None,
@@ -378,6 +396,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="store directory holding the name's snapshot catalog; the "
         "full snapshot is persisted there and the chain position marked",
+    )
+
+    gc = subparsers.add_parser(
+        "gc",
+        help="garbage-collect a persistent store directory offline",
+    )
+    gc.add_argument(
+        "--persist-cache",
+        required=True,
+        metavar="DIR",
+        help="store directory to collect (the same directory batch/serve "
+        "persist into)",
+    )
+    gc.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N entries per on-disk cache layer",
+    )
+    gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict entries older than SECONDS",
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="one global byte budget across the entry kinds "
+        "(*.sel/*.dec/*.snp/*.cal), split by observed hit-rate-per-byte",
+    )
+    gc.add_argument(
+        "--pin",
+        action="append",
+        metavar="NAME",
+        help="exempt the recorded head snapshot of NAME (its catalog "
+        "lineage must exist in the store directory; repeatable)",
+    )
+    gc.add_argument(
+        "--indent", type=int, default=None, help="indent the JSON report"
     )
 
     update = subparsers.add_parser(
@@ -513,6 +575,19 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                 raise ReproError("--checkpoint-every must be >= 1")
             if not arguments.persist_cache:
                 raise ReproError("--checkpoint-every requires --persist-cache")
+        if arguments.auto_checkpoint:
+            if arguments.checkpoint_every is not None:
+                raise ReproError(
+                    "--auto-checkpoint and --checkpoint-every are "
+                    "mutually exclusive"
+                )
+            if not arguments.persist_cache:
+                raise ReproError("--auto-checkpoint requires --persist-cache")
+        if arguments.cache_max_bytes is not None:
+            if arguments.cache_max_bytes < 0:
+                raise ReproError("--cache-max-bytes must be >= 0")
+            if not arguments.persist_cache:
+                raise ReproError("--cache-max-bytes requires --persist-cache")
         _check_sla_flags(arguments)
         if arguments.http is not None and arguments.stdin:
             raise ReproError("--http and --stdin are mutually exclusive")
@@ -554,6 +629,12 @@ def _run_serve(arguments: argparse.Namespace) -> int:
                     )
                 yield _with_sla(item, arguments.max_latency, arguments.max_error)
 
+    checkpoint_policy = None
+    if arguments.auto_checkpoint:
+        from .store import AdaptiveCheckpointPolicy
+
+        checkpoint_policy = AdaptiveCheckpointPolicy()
+
     async def _serve() -> int:
         server = AsyncServer(
             shards=arguments.shards,
@@ -562,7 +643,9 @@ def _run_serve(arguments: argparse.Namespace) -> int:
             persist_dir=arguments.persist_cache,
             persist_max_entries=arguments.cache_max_entries,
             persist_max_age=arguments.cache_max_age,
+            persist_max_bytes=arguments.cache_max_bytes,
             checkpoint_every=arguments.checkpoint_every,
+            checkpoint_policy=checkpoint_policy,
             rebalance_interval=arguments.rebalance_interval,
             max_imbalance=arguments.max_imbalance,
         )
@@ -660,21 +743,34 @@ def _run_history(arguments: argparse.Namespace) -> int:
             continue
         stamp = datetime.fromtimestamp(record.wall_time, timezone.utc)
         parent = record.parent_digest[:12] if record.parent_digest else "-"
-        change = (
-            f"+{len(record.delta.inserted)}/-{len(record.delta.deleted)}"
-            if record.delta is not None
-            else "-"
-        )
+        compacted = getattr(record, "compacted", None)
+        if record.delta is not None:
+            change = f"+{len(record.delta.inserted)}/-{len(record.delta.deleted)}"
+        elif compacted is not None:
+            # Payload released by compaction; the recorded fact counts
+            # remain — parentheses mark "counts only, not replayable".
+            change = f"(+{compacted[0]}/-{compacted[1]})"
+        else:
+            change = "-"
         print(
             f"#{record.sequence}{'*' if marker else ' '} {record.kind:<8}  "
             f"{record.digest[:12]}  parent {parent:<12}  {change:<8}  "
             f"{stamp.strftime('%Y-%m-%dT%H:%M:%SZ')}"
         )
     head = lineage.head
+    compacted_total = sum(
+        1 for record in lineage if getattr(record, "compacted", None) is not None
+    )
     print(
         f"head: {head.digest} ({len(lineage)} recorded version(s), "
         f"{len(checkpointed)} checkpoint(s))"
     )
+    if compacted_total:
+        print(
+            f"compacted: {compacted_total} record(s) hold counts only "
+            f"(in parentheses); their delta payloads were released and "
+            f"non-checkpointed ancestors below them cannot be replayed"
+        )
     return 0
 
 
@@ -790,6 +886,71 @@ def _run_rollback(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _run_gc(arguments: argparse.Namespace) -> int:
+    """The ``gc`` command: bound a store directory offline, report as JSON.
+
+    Builds a cache coordinator over the store directory (no databases
+    loaded, no engine started), pins the recorded head snapshots of the
+    ``--pin`` names so live state survives any bound, and runs one GC
+    pass.  The report shows, per on-disk layer, the current bytes, the
+    observed decayed hit rate, the byte budget the hit-rate-per-byte
+    split granted it (``--max-bytes``), and how many entries were
+    evicted.  Catalog history (``*.rec``/``*.ckp``) is never collected.
+    """
+    from .engine.cache_coordinator import CacheCoordinator
+    from .store import SnapshotCatalog
+
+    try:
+        if (
+            arguments.max_entries is None
+            and arguments.max_age is None
+            and arguments.max_bytes is None
+        ):
+            raise ReproError(
+                "pass at least one bound: --max-entries, --max-age "
+                "or --max-bytes"
+            )
+        if arguments.max_entries is not None and arguments.max_entries < 0:
+            raise ReproError("--max-entries must be >= 0")
+        if arguments.max_age is not None and arguments.max_age < 0:
+            raise ReproError("--max-age must be >= 0")
+        if arguments.max_bytes is not None and arguments.max_bytes < 0:
+            raise ReproError("--max-bytes must be >= 0")
+        caches = CacheCoordinator(persist_dir=arguments.persist_cache)
+        catalog = SnapshotCatalog(arguments.persist_cache)
+        pinned = []
+        for name in arguments.pin or []:
+            head = catalog.lineage(name).head
+            if head is None:
+                raise ReproError(
+                    f"cannot pin {name!r}: no recorded lineage in "
+                    f"{arguments.persist_cache}"
+                )
+            pinned.append((head.digest, head.keys_digest))
+        caches.set_pinned_tokens(pinned)
+        plan = caches.plan_byte_budget(arguments.max_bytes)
+        evictions = caches.collect_garbage(
+            arguments.max_entries, arguments.max_age, arguments.max_bytes
+        )
+    except ReproError as exc:
+        print(f"gc: {exc}", file=sys.stderr)
+        return 2
+    document = {
+        "store": str(arguments.persist_cache),
+        "pinned": list(arguments.pin or []),
+        "max_entries": arguments.max_entries,
+        "max_age": arguments.max_age,
+        "max_bytes": arguments.max_bytes,
+        "layers": {
+            layer: {**plan[layer], "evicted": evictions[layer]}
+            for layer in plan
+        },
+        "evicted": sum(evictions.values()),
+    }
+    print(json.dumps(document, indent=arguments.indent))
+    return 0
+
+
 def _run_update(arguments: argparse.Namespace) -> int:
     """The ``update`` command: database + delta -> next snapshot on disk."""
     from .db import Delta, save_json
@@ -848,6 +1009,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "checkpoint":
         return _run_checkpoint(arguments)
+
+    if arguments.command == "gc":
+        return _run_gc(arguments)
 
     if arguments.command == "update":
         return _run_update(arguments)

@@ -96,10 +96,19 @@ class LineageRecord:
         records' deltas (or not at all, for unrelated re-registrations).
     delta:
         For ``"delta"`` records, the **effective** delta from parent to
-        child (exactly invertible); ``None`` otherwise.
+        child (exactly invertible); ``None`` otherwise — including for
+        compacted delta records, whose payload has been released.
     wall_time:
         Seconds since the epoch when the step was recorded (provenance
         only — replay never consults it).
+    compacted:
+        ``None`` for ordinary records.  For a ``"delta"`` record whose
+        payload was **compacted** (released once a checkpoint covered
+        it), the preserved ``(inserted, deleted)`` fact counts of the
+        dropped delta — the audit trail keeps *that* the step happened
+        and its magnitude, but the step can no longer be replayed
+        through, so ancestors reachable only through it become
+        unmaterialisable (loudly, via :class:`~repro.errors.LineageError`).
     """
 
     name: str
@@ -110,6 +119,7 @@ class LineageRecord:
     kind: str
     delta: Optional[Delta]
     wall_time: float
+    compacted: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -121,10 +131,57 @@ class LineageRecord:
                 f"unknown lineage record kind {self.kind!r}; "
                 f"expected one of {LINEAGE_KINDS}"
             )
-        if self.kind == "delta" and (self.delta is None or self.parent_digest is None):
+        if self.compacted is not None:
+            if self.kind != "delta":
+                raise LineageError(
+                    f"only delta records compact; a {self.kind!r} record "
+                    f"has no delta payload to release"
+                )
+            if self.delta is not None:
+                raise LineageError(
+                    "a compacted record must have released its delta payload"
+                )
+            if self.parent_digest is None:
+                raise LineageError("a delta record needs both a delta and a parent")
+        elif self.kind == "delta" and (
+            self.delta is None or self.parent_digest is None
+        ):
             raise LineageError("a delta record needs both a delta and a parent")
         if self.kind != "delta" and self.delta is not None:
             raise LineageError(f"a {self.kind!r} record must not carry a delta")
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # Records pickled before the ``compacted`` field existed restore
+        # without it; default it so old catalogs keep loading.
+        state.setdefault("compacted", None)
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+    def compact(self) -> "LineageRecord":
+        """This record with its delta payload released (counts preserved).
+
+        Raises :class:`~repro.errors.LineageError` for records that are
+        not replayable delta steps; compacting an already-compacted
+        record is the identity.
+        """
+        if self.compacted is not None:
+            return self
+        if self.kind != "delta" or self.delta is None:
+            raise LineageError(
+                f"record {self.sequence} of {self.name!r} is a "
+                f"{self.kind!r} record; only delta payloads compact"
+            )
+        return LineageRecord(
+            name=self.name,
+            sequence=self.sequence,
+            digest=self.digest,
+            keys_digest=self.keys_digest,
+            parent_digest=self.parent_digest,
+            kind=self.kind,
+            delta=None,
+            wall_time=self.wall_time,
+            compacted=(len(self.delta.inserted), len(self.delta.deleted)),
+        )
 
     def to_json(self) -> Dict[str, object]:
         """The record as a JSON-able dict (the CLI history line format)."""
@@ -139,6 +196,9 @@ class LineageRecord:
         if self.delta is not None:
             payload["inserted"] = len(self.delta.inserted)
             payload["deleted"] = len(self.delta.deleted)
+        elif self.compacted is not None:
+            payload["inserted"], payload["deleted"] = self.compacted
+            payload["compacted"] = True
         return payload
 
 

@@ -34,8 +34,9 @@ True
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple, Union
 
 from ..db.blocks import BlockDecomposition
 from ..db.constraints import PrimaryKeySet
@@ -52,6 +53,7 @@ from ..store import (
     SelectorDiskCache,
     SnapshotCatalog,
     SnapshotStore,
+    split_byte_budget,
 )
 from .cache import LRUCache
 from .registry import SnapshotToken
@@ -77,6 +79,8 @@ class CacheCoordinator:
         persist_dir: Optional[Union[str, Path]] = None,
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
+        persist_max_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self._decompositions: LRUCache[BlockDecomposition] = LRUCache(max_databases)
         self._queries: LRUCache[Query] = LRUCache(max_queries)
@@ -91,6 +95,7 @@ class CacheCoordinator:
         self._snapshot_store: Optional[SnapshotStore] = None
         self._calibration_store: Optional[CalibrationDiskCache] = None
         self._catalog: Optional[SnapshotCatalog] = None
+        self._persist_max_bytes = persist_max_bytes
         if persist_dir is not None:
             # Startup GC is deferred (collect_on_init=False) until the
             # first job runs: by then every registered name has pinned its
@@ -98,24 +103,28 @@ class CacheCoordinator:
             # — can never evict active state.
             self._selector_store = SelectorDiskCache(
                 persist_dir, persist_max_entries, persist_max_age,
-                collect_on_init=False,
+                collect_on_init=False, clock=clock,
             )
             self._decomposition_store = DecompositionDiskCache(
                 persist_dir, persist_max_entries, persist_max_age,
-                collect_on_init=False,
+                collect_on_init=False, clock=clock,
             )
             self._snapshot_store = SnapshotStore(
                 persist_dir, persist_max_entries, persist_max_age,
-                collect_on_init=False,
+                collect_on_init=False, clock=clock,
             )
             self._calibration_store = CalibrationDiskCache(
                 persist_dir, persist_max_entries, persist_max_age,
-                collect_on_init=False,
+                collect_on_init=False, clock=clock,
             )
             self._catalog = SnapshotCatalog(persist_dir)
         self._startup_gc_pending = (
             persist_dir is not None
-            and (persist_max_entries is not None or persist_max_age is not None)
+            and (
+                persist_max_entries is not None
+                or persist_max_age is not None
+                or persist_max_bytes is not None
+            )
         )
         self.selector_recomputations = 0
         self.decomposition_recomputations = 0
@@ -453,6 +462,18 @@ class CacheCoordinator:
             return False
         return self._snapshot_store.contains(token)
 
+    def drop_checkpoint(self, token: SnapshotToken) -> bool:
+        """Delete a checkpoint snapshot entry (demotion); True iff removed."""
+        if self._snapshot_store is None:
+            return False
+        return self._snapshot_store.discard(token)
+
+    def checkpoint_bytes(self, token: SnapshotToken) -> Optional[int]:
+        """The stored byte size of one checkpoint entry, or ``None``."""
+        if self._snapshot_store is None:
+            return None
+        return self._snapshot_store.entry_bytes(token)
+
     # ------------------------------------------------------------------ #
     # warm ownership handoff
     # ------------------------------------------------------------------ #
@@ -528,12 +549,59 @@ class CacheCoordinator:
         self,
         max_entries: Optional[int] = None,
         max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
     ) -> Dict[str, int]:
-        """Run GC on every on-disk layer; per-layer eviction counts."""
+        """Run GC on every on-disk layer; per-layer eviction counts.
+
+        Count/age bounds run per layer exactly as before.  A byte budget
+        (``max_bytes``, or the ``persist_max_bytes`` configured at
+        construction) is **global**: it is split across the entry kinds
+        proportional to each kind's observed hit-rate-per-byte (see
+        :func:`~repro.store.split_byte_budget`) and each layer then
+        evicts, least recently used first, down to its share.  Pinned
+        (live-head) entries are never evicted by either pass.
+        """
         self._startup_gc_pending = False
-        return {
+        layers = self._disk_layers()
+        evictions = {
             layer: store.collect_garbage(max_entries, max_age_seconds)  # type: ignore[attr-defined]
-            for layer, store in self._disk_layers().items()
+            for layer, store in layers.items()
+        }
+        budget = max_bytes if max_bytes is not None else self._persist_max_bytes
+        if budget is not None:
+            for layer, share in self.plan_byte_budget(budget).items():
+                evictions[layer] += layers[layer].collect_bytes(  # type: ignore[attr-defined]
+                    share["budget"]
+                )
+        return evictions
+
+    def plan_byte_budget(
+        self, max_bytes: Optional[int] = None
+    ) -> Dict[str, Dict[str, object]]:
+        """How a global byte budget would split across the disk layers.
+
+        Per layer: the current ``bytes``, the decayed ``hit_rate`` and
+        the ``budget`` share the layer would be held to.  Purely
+        observational — call :meth:`collect_garbage` to act on it.
+        """
+        budget = max_bytes if max_bytes is not None else self._persist_max_bytes
+        layers = self._disk_layers()
+        usage = {
+            layer: (store.decayed_hit_rate(), store.total_bytes())  # type: ignore[attr-defined]
+            for layer, store in layers.items()
+        }
+        shares = (
+            split_byte_budget(budget, usage)
+            if budget is not None
+            else {layer: size for layer, (_, size) in usage.items()}
+        )
+        return {
+            layer: {
+                "bytes": usage[layer][1],
+                "hit_rate": usage[layer][0],
+                "budget": shares[layer],
+            }
+            for layer in layers
         }
 
     # ------------------------------------------------------------------ #

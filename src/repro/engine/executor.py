@@ -8,8 +8,9 @@ the lineage service — into answered jobs:
   against the caches (resolving ``as_of`` references through the lineage
   service, checkpoints included);
 * :meth:`apply_delta` derives the next snapshot incrementally, migrates
-  the selector cache across it and records the lineage step (cutting an
-  automatic checkpoint when the compaction interval is due);
+  the selector cache across it and records the lineage step (consulting
+  the pool's checkpoint policy — a fixed interval or an adaptive
+  cost-model placement — for an automatic checkpoint);
 * :meth:`run` / :meth:`run_stream` schedule batches and interleaved
   count/update streams — contiguous count segments may fan out to a
   primed process pool, updates run in the parent in stream order, and
@@ -444,9 +445,11 @@ class JobExecutor:
         (cost proportional to the touched blocks, not the database), the
         selector cache is *walked, not dropped* (see
         :meth:`CacheCoordinator.migrate_for_delta`), the effective delta
-        is recorded as a lineage step, and — when the pool was configured
-        with ``checkpoint_every`` — a compaction checkpoint is cut once
-        enough effective deltas have accumulated.
+        is recorded as a lineage step, and the pool's checkpoint policy
+        is consulted: ``checkpoint_every`` cuts a compaction checkpoint
+        once enough effective deltas have accumulated, an adaptive policy
+        may demote decayed checkpoints here (its placement is driven by
+        observed ``as_of`` reads).
         """
         started = time.perf_counter()
         self._caches.run_startup_gc()

@@ -37,6 +37,7 @@ replay longer, never wrong (replay stays digest-verified).
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 from ..db.constraints import PrimaryKeySet
@@ -44,6 +45,7 @@ from ..db.database import Database
 from ..db.delta import Delta
 from ..db.lineage import CheckpointRecord, Lineage, LineageRecord, SnapshotRef
 from ..errors import EngineError, LineageError
+from ..store.tuning import CheckpointDecision, CheckpointPolicy, FixedIntervalPolicy
 from .cache_coordinator import CacheCoordinator
 from .registry import SnapshotRegistry, SnapshotToken
 
@@ -58,15 +60,24 @@ class LineageService:
         registry: SnapshotRegistry,
         caches: CacheCoordinator,
         checkpoint_every: Optional[int] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise EngineError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if checkpoint_every is not None and checkpoint_policy is not None:
+            raise EngineError(
+                "pass checkpoint_every or checkpoint_policy, not both; "
+                "checkpoint_every=K is FixedIntervalPolicy(K)"
+            )
         self._registry = registry
         self._caches = caches
         self._catalog = caches.catalog
         self._checkpoint_every = checkpoint_every
+        self._policy: Optional[CheckpointPolicy] = checkpoint_policy
+        if checkpoint_every is not None:
+            self._policy = FixedIntervalPolicy(checkpoint_every)
         self._chains: Dict[str, Lineage] = {}
         #: Per name: digest -> checkpoint record (loaded with the chain).
         self._checkpoints: Dict[str, Dict[str, CheckpointRecord]] = {}
@@ -205,13 +216,64 @@ class LineageService:
                 f"replayed against the current keys"
             )
         loaders = self.checkpoint_loaders(name)
-        snapshot = self._caches.materialised(
-            token,
-            lambda: chain.materialise(
+        replay: Dict[str, float] = {}
+
+        def factory() -> Database:
+            started = time.perf_counter()
+            snapshot = chain.materialise(
                 database, record.digest, checkpoints=loaders
-            ).freeze(),
-        )
+            ).freeze()
+            replay["elapsed"] = time.perf_counter() - started
+            return snapshot
+
+        snapshot = self._caches.materialised(token, factory)
+        if self._policy is not None:
+            self._observe_read(
+                name, chain, record, snapshot, replay.get("elapsed")
+            )
         return snapshot, keys, token
+
+    def _observe_read(
+        self,
+        name: str,
+        chain: Lineage,
+        record: LineageRecord,
+        snapshot: Database,
+        elapsed: Optional[float],
+    ) -> None:
+        """Feed one resolved ``as_of`` read to the checkpoint policy.
+
+        ``elapsed`` is ``None`` when the materialised-ancestor cache
+        served the read without replaying; the read still counts (a hot
+        digest is hot however it was served) with distance/cost zero.
+        The policy's decision is executed immediately: promotions are
+        honoured only for the digest just materialised (the one database
+        this service holds without extra work), demotions for any
+        checkpointed digest except the live head.
+        """
+        head = chain.head
+        head_digest = head.digest if head is not None else ""
+        distance = 0
+        if elapsed is not None:
+            distance = (
+                chain.replay_distance(
+                    head_digest,
+                    record.digest,
+                    checkpoints=self.checkpoint_loaders(name),
+                )
+                or 0
+            )
+        decision = self._policy.after_read(  # type: ignore[union-attr]
+            name,
+            head_digest,
+            record.digest,
+            set(self._checkpoints.get(name, {})),
+            distance,
+            elapsed if elapsed is not None else 0.0,
+        )
+        if record.digest in decision.promote:
+            self.checkpoint_at(name, record, snapshot)
+        self._apply_demotions(name, decision)
 
     def rollback(self, name: str, ref: SnapshotRef) -> LineageRecord:
         """Re-register a recorded ancestor of ``name`` as the head.
@@ -230,7 +292,9 @@ class LineageService:
     # ------------------------------------------------------------------ #
     # checkpoint compaction
     # ------------------------------------------------------------------ #
-    def checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+    def checkpoint(
+        self, name: str, compact: bool = False
+    ) -> Optional[CheckpointRecord]:
         """Persist the current head of ``name`` as a checkpoint.
 
         Stores the full database through the snapshot store and marks the
@@ -239,6 +303,11 @@ class LineageService:
         chain.  Idempotent on an already-checkpointed head.  Returns the
         checkpoint record, or ``None`` when the snapshot could not be
         persisted (store I/O failures are non-fatal by contract).
+
+        ``compact=True`` additionally **releases the delta payloads** of
+        every record at or below the newest checkpointed position (see
+        :meth:`compact`).  Off by default and loud when used: compaction
+        trades time-travel reach for space.
         """
         database, keys = self._registry.lookup(name)
         if not self._caches.has_snapshot_store:
@@ -267,6 +336,8 @@ class LineageService:
             # head was elsewhere must be re-stored, not silently trusted.
             # The existence probe is cheap (no load); a present-but-
             # damaged entry is demoted at load time and re-storable then.
+            if compact:
+                self.compact(name)
             return existing
         if not self._caches.store_checkpoint(token, database):
             return None
@@ -280,31 +351,150 @@ class LineageService:
         if self._catalog is not None:
             self._catalog.record_checkpoint(record)
         self._checkpoints.setdefault(name, {})[record.digest] = record
+        self._observe_checkpoint_bytes(name, record)
+        if compact:
+            self.compact(name)
         return record
 
-    def maybe_checkpoint(self, name: str) -> Optional[CheckpointRecord]:
-        """Cut an automatic checkpoint when the compaction interval is due.
+    def checkpoint_at(
+        self, name: str, record: LineageRecord, database: Database
+    ) -> Optional[CheckpointRecord]:
+        """Persist a *non-head* chain position as a checkpoint.
 
-        Called after every recorded delta: counts the *trailing run* of
-        effective-delta records — stopping at the newest checkpointed
-        position or at any non-delta record (a rollback or
-        re-registration restarts the count: its head is previously
-        recorded content, not ``K`` fresh deltas of drift) — and
-        checkpoints the new head once ``checkpoint_every`` of them have
-        accumulated.  Inert without a configured interval or a store.
+        The adaptive-placement path: the lineage service just replayed
+        ``record``'s snapshot for an ``as_of`` read and the policy judged
+        the position worth keeping materialised, so the database is in
+        hand and checkpointing it costs one store, no replay.  Same
+        idempotency and failure contract as :meth:`checkpoint`.
         """
-        if self._checkpoint_every is None or not self._caches.has_snapshot_store:
+        if not self._caches.has_snapshot_store:
+            return None
+        token = (record.digest, record.keys_digest)
+        existing = self._checkpoints.get(name, {}).get(record.digest)
+        if (
+            existing is not None
+            and existing.sequence == record.sequence
+            and self._caches.has_checkpoint(existing.token)
+        ):
+            return existing
+        if not self._caches.store_checkpoint(token, database):
+            return None
+        marker = CheckpointRecord(
+            name=name,
+            sequence=record.sequence,
+            digest=record.digest,
+            keys_digest=record.keys_digest,
+            wall_time=time.time(),
+        )
+        if self._catalog is not None:
+            self._catalog.record_checkpoint(marker)
+        self._checkpoints.setdefault(name, {})[marker.digest] = marker
+        self._observe_checkpoint_bytes(name, marker)
+        return marker
+
+    def demote_checkpoint(self, name: str, digest: str) -> bool:
+        """Drop one checkpoint: snapshot entry, catalog marker, index entry.
+
+        The inverse of :meth:`checkpoint_at`, used when a checkpoint's
+        observed read rate no longer earns its bytes.  The live head is
+        never demoted (its entries are pinned anyway), and lineage
+        records are untouched — replays of the digest fall back to the
+        next closest source, slower but still digest-verified.
+        """
+        chain = self.chain(name)
+        head = chain.head
+        if head is not None and head.digest == digest:
+            return False
+        marker = self._checkpoints.get(name, {}).pop(digest, None)
+        if marker is None:
+            return False
+        if self._catalog is not None:
+            self._catalog.remove_checkpoint(name, marker.sequence)
+        self._caches.drop_checkpoint(marker.token)
+        return True
+
+    def _apply_demotions(self, name: str, decision: CheckpointDecision) -> None:
+        for digest in decision.demote:
+            self.demote_checkpoint(name, digest)
+
+    def _observe_checkpoint_bytes(
+        self, name: str, record: CheckpointRecord
+    ) -> None:
+        """Feed the stored entry size back to a byte-aware policy."""
+        observe = getattr(self._policy, "observe_snapshot_bytes", None)
+        if observe is None:
+            return
+        size = self._caches.checkpoint_bytes(record.token)
+        if size is not None:
+            observe(name, size)
+
+    def compact(self, name: str) -> int:
+        """Release the delta payloads covered by the newest checkpoint.
+
+        Every ``"delta"`` record at or below the newest checkpointed
+        sequence has its payload dropped — rewritten in place (in memory
+        and, when persistent, in the catalog) as a *compacted* record
+        that keeps the digests, the kind and the inserted/deleted fact
+        counts, but can no longer be replayed through.  Checkpointed
+        digests stay materialisable from their snapshot entries; every
+        other digest below the checkpoint becomes unreachable and a
+        later ``as_of`` against it fails loudly.  Returns how many
+        records were compacted, warning (loudly, once per call) when any
+        were — compaction is an explicit space-for-auditability trade.
+        """
+        chain = self.chain(name)
+        markers = self._checkpoints.get(name, {})
+        if not markers:
+            return 0
+        horizon = max(marker.sequence for marker in markers.values())
+        compacted = []
+        records = list(chain.records)
+        for index, record in enumerate(records):
+            if (
+                record.sequence <= horizon
+                and record.kind == "delta"
+                and record.delta is not None
+            ):
+                records[index] = record.compact()
+                compacted.append(records[index])
+        if not compacted:
+            return 0
+        self._chains[name] = Lineage(name, tuple(records))
+        if self._catalog is not None:
+            for record in compacted:
+                self._catalog.append(record)
+        warnings.warn(
+            f"compacted {len(compacted)} delta record(s) of {name!r} at or "
+            f"below sequence {horizon}; ancestors reachable only through "
+            f"them can no longer be materialised",
+            stacklevel=2,
+        )
+        return len(compacted)
+
+    def maybe_checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+        """Consult the checkpoint policy after one recorded delta.
+
+        With ``checkpoint_every=K`` (i.e. a
+        :class:`~repro.store.FixedIntervalPolicy`) this cuts a head
+        checkpoint once ``K`` effective deltas have accumulated past the
+        newest checkpointed position — the behaviour the interval always
+        had.  An adaptive policy typically declines here (placement is
+        read-driven) but may demote decayed checkpoints.  Inert without
+        a policy or a store.
+        """
+        if self._policy is None or not self._caches.has_snapshot_store:
             return None
         chain = self.chain(name)
         checkpointed = {
             record.sequence for record in self._checkpoints.get(name, {}).values()
         }
-        pending = 0
-        for record in reversed(chain.records):
-            if record.sequence in checkpointed or record.kind != "delta":
-                break
-            pending += 1
-        if pending >= self._checkpoint_every:
+        decision = self._policy.after_delta(
+            name,
+            tuple(record.kind for record in chain.records),
+            checkpointed,
+        )
+        self._apply_demotions(name, decision)
+        if decision.checkpoint_head:
             return self.checkpoint(name)
         return None
 

@@ -44,6 +44,7 @@ from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
 from ..db.lineage import CheckpointRecord, Lineage, LineageRecord, SnapshotRef
+from ..store.tuning import CheckpointPolicy
 from .cache_coordinator import CacheCoordinator
 from .executor import JobExecutor
 from .jobs import BatchReport, CountJob, JobResult, UpdateJob, UpdateReport
@@ -60,10 +61,16 @@ class SolverPool:
     LRU layers; ``workers`` is the default fan-out of :meth:`run`;
     ``persist_dir`` enables the persistent store (selector/decomposition
     caches, checkpoint snapshots, the snapshot catalog) with optional GC
-    bounds ``persist_max_entries``/``persist_max_age``; ``checkpoint_every``
-    cuts an automatic compaction checkpoint every that-many effective
-    deltas of a name, so deep ``as_of`` replays stay O(distance to the
-    nearest checkpoint) — :meth:`checkpoint` cuts one on demand.
+    bounds ``persist_max_entries``/``persist_max_age``/``persist_max_bytes``
+    (the byte budget is split between the entry kinds by observed
+    hit-rate-per-byte — see :func:`repro.store.split_byte_budget`);
+    ``checkpoint_every`` cuts an automatic compaction checkpoint every
+    that-many effective deltas of a name, so deep ``as_of`` replays stay
+    O(distance to the nearest checkpoint) — :meth:`checkpoint` cuts one
+    on demand.  ``checkpoint_policy`` replaces the fixed interval with a
+    cost-model-driven :class:`~repro.store.CheckpointPolicy` (e.g.
+    :class:`~repro.store.AdaptiveCheckpointPolicy`) that places
+    checkpoints where observed reads earn them.
     """
 
     def __init__(
@@ -76,6 +83,8 @@ class SolverPool:
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        persist_max_bytes: Optional[int] = None,
     ) -> None:
         self._registry = SnapshotRegistry()
         self._caches = CacheCoordinator(
@@ -85,9 +94,13 @@ class SolverPool:
             persist_dir=persist_dir,
             persist_max_entries=persist_max_entries,
             persist_max_age=persist_max_age,
+            persist_max_bytes=persist_max_bytes,
         )
         self._lineage = LineageService(
-            self._registry, self._caches, checkpoint_every=checkpoint_every
+            self._registry,
+            self._caches,
+            checkpoint_every=checkpoint_every,
+            checkpoint_policy=checkpoint_policy,
         )
         self._executor = JobExecutor(
             self._registry, self._caches, self._lineage, workers=workers
@@ -187,13 +200,20 @@ class SolverPool:
         """Re-register a recorded ancestor as the head (append-only)."""
         return self._lineage.rollback(name, ref)
 
-    def checkpoint(self, name: str) -> Optional[CheckpointRecord]:
+    def checkpoint(
+        self, name: str, compact: bool = False
+    ) -> Optional[CheckpointRecord]:
         """Persist the current head of ``name`` as a compaction checkpoint.
 
         Requires a ``persist_dir``; idempotent on an already-checkpointed
         head; ``None`` if the snapshot could not be persisted.
+        ``compact=True`` additionally releases the delta payloads covered
+        by the newest checkpoint — an explicit, loudly-warned trade of
+        time-travel reach for space (see
+        :meth:`LineageService.compact
+        <repro.engine.lineage_service.LineageService.compact>`).
         """
-        return self._lineage.checkpoint(name)
+        return self._lineage.checkpoint(name, compact=compact)
 
     def checkpoints(self, name: str) -> Tuple[CheckpointRecord, ...]:
         """The known checkpoints of ``name``, oldest chain position first."""
@@ -218,9 +238,21 @@ class SolverPool:
         self,
         max_entries: Optional[int] = None,
         max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
     ) -> Dict[str, int]:
-        """Run GC on the on-disk layers (live tokens stay pinned)."""
-        return self._caches.collect_garbage(max_entries, max_age_seconds)
+        """Run GC on the on-disk layers (live tokens stay pinned).
+
+        ``max_bytes`` bounds the *total* on-disk footprint: the budget is
+        split between the entry kinds proportional to observed
+        hit-rate-per-byte before each layer evicts down to its share.
+        """
+        return self._caches.collect_garbage(max_entries, max_age_seconds, max_bytes)
+
+    def plan_byte_budget(
+        self, max_bytes: Optional[int] = None
+    ) -> Dict[str, Dict[str, object]]:
+        """The per-layer byte-budget split GC would apply (no eviction)."""
+        return self._caches.plan_byte_budget(max_bytes)
 
     @property
     def selector_recomputations(self) -> int:

@@ -85,6 +85,7 @@ from ..errors import (
     ServerError,
     ServerOverloadedError,
 )
+from ..store.tuning import CheckpointPolicy
 from .rebalance import (
     GreedyRebalancer,
     LoadSnapshot,
@@ -145,10 +146,17 @@ class AsyncServer:
     policy:
         What a full queue does to a submitter: ``"wait"`` suspends it,
         ``"reject"`` raises :class:`~repro.errors.ServerOverloadedError`.
-    persist_dir, persist_max_entries, persist_max_age, checkpoint_every:
+    persist_dir, persist_max_entries, persist_max_age, persist_max_bytes, \
+checkpoint_every, checkpoint_policy:
         Forwarded to every shard's pool (see :class:`SolverPool`); shards
-        share one persistent cache directory, and ``checkpoint_every``
-        makes each shard cut compaction checkpoints for its owned names.
+        share one persistent cache directory, ``checkpoint_every`` makes
+        each shard cut compaction checkpoints for its owned names, and
+        ``checkpoint_policy`` replaces the fixed interval with a
+        cost-model-driven placement policy (e.g.
+        :class:`~repro.store.AdaptiveCheckpointPolicy`) — each shard
+        worker unpickles its own instance and observes its own reads.
+        ``persist_max_bytes`` bounds the shared store's total footprint,
+        split between entry kinds by observed hit-rate-per-byte.
         A shared ``persist_dir`` is also what makes ownership handoffs
         *warm*: the destination reads the migrated name's selector and
         decomposition entries through the store instead of recomputing.
@@ -189,6 +197,8 @@ class AsyncServer:
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        persist_max_bytes: Optional[int] = None,
         rebalance_interval: Optional[float] = None,
         max_imbalance: float = 2.0,
         rebalancer: Optional[RebalancePolicy] = None,
@@ -208,6 +218,15 @@ class AsyncServer:
             raise ServerError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if checkpoint_every is not None and checkpoint_policy is not None:
+            raise ServerError(
+                "pass checkpoint_every or checkpoint_policy, not both; "
+                "checkpoint_every=K is FixedIntervalPolicy(K)"
+            )
+        if persist_max_bytes is not None and persist_max_bytes < 0:
+            raise ServerError(
+                f"persist_max_bytes must be >= 0, got {persist_max_bytes}"
+            )
         if rebalance_interval is not None and rebalance_interval <= 0:
             raise ServerError(
                 f"rebalance_interval must be > 0, got {rebalance_interval}"
@@ -217,6 +236,8 @@ class AsyncServer:
             "persist_max_entries": persist_max_entries,
             "persist_max_age": persist_max_age,
             "checkpoint_every": checkpoint_every,
+            "checkpoint_policy": checkpoint_policy,
+            "persist_max_bytes": persist_max_bytes,
         }
         self._shards = [
             Shard(shard_id, **self._shard_options) for shard_id in range(shards)
@@ -1068,6 +1089,8 @@ def serve_stream(
     persist_max_entries: Optional[int] = None,
     persist_max_age: Optional[float] = None,
     checkpoint_every: Optional[int] = None,
+    checkpoint_policy: Optional[CheckpointPolicy] = None,
+    persist_max_bytes: Optional[int] = None,
 ) -> BatchReport:
     """Serve one stream through a temporary :class:`AsyncServer`.
 
@@ -1098,6 +1121,8 @@ def serve_stream(
             persist_max_entries=persist_max_entries,
             persist_max_age=persist_max_age,
             checkpoint_every=checkpoint_every,
+            checkpoint_policy=checkpoint_policy,
+            persist_max_bytes=persist_max_bytes,
         )
         for name, (database, keys) in databases.items():
             server.register(name, database, keys)

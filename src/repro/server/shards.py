@@ -36,6 +36,7 @@ from ..db.lineage import CheckpointRecord, Lineage, LineageRecord
 from ..engine.jobs import CountJob, JobResult, UpdateJob, UpdateReport
 from ..engine.pool import SolverPool
 from ..errors import ServerError
+from ..store.tuning import CheckpointPolicy
 
 __all__ = ["Shard"]
 
@@ -61,12 +62,16 @@ class Shard:
         persist_max_entries: Optional[int] = None,
         persist_max_age: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        persist_max_bytes: Optional[int] = None,
     ) -> None:
         self.shard_id = shard_id
         self._persist_dir = persist_dir
         self._persist_max_entries = persist_max_entries
         self._persist_max_age = persist_max_age
         self._checkpoint_every = checkpoint_every
+        self._checkpoint_policy = checkpoint_policy
+        self._persist_max_bytes = persist_max_bytes
         self._databases: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._pending_registrations: List["Future[None]"] = []
@@ -151,6 +156,8 @@ class Shard:
                 self._persist_max_entries,
                 self._persist_max_age,
                 self._checkpoint_every,
+                self._checkpoint_policy,
+                self._persist_max_bytes,
             ),
         )
 
@@ -357,12 +364,16 @@ def _initialise_shard(
     persist_max_entries: Optional[int],
     persist_max_age: Optional[float],
     checkpoint_every: Optional[int] = None,
+    checkpoint_policy: Optional[CheckpointPolicy] = None,
+    persist_max_bytes: Optional[int] = None,
 ) -> None:
     """Prime the shard worker: build its pool, register its snapshots.
 
     Shards share one persistent cache directory (safe: entries are pure
     functions of their content-hash key and writes are atomic, so
-    concurrent writers merely race to store the same bytes).
+    concurrent writers merely race to store the same bytes).  Checkpoint
+    policies travel here pickled inside the initargs — each worker gets
+    its own instance, observing its own shard's reads.
     """
     global _SHARD_POOL, _SHARD_ID
     pool = SolverPool(
@@ -370,6 +381,8 @@ def _initialise_shard(
         persist_max_entries=persist_max_entries,
         persist_max_age=persist_max_age,
         checkpoint_every=checkpoint_every,
+        checkpoint_policy=checkpoint_policy,
+        persist_max_bytes=persist_max_bytes,
     )
     for name, (database, keys) in databases.items():
         pool.register(name, database, keys)

@@ -31,6 +31,15 @@ with three kinds of state:
     positions, so deep ``as_of`` replays start at the nearest checkpoint
     instead of the live head or the chain origin.
 
+**Tuning** (:mod:`repro.store.tuning`)
+    The self-tuning loop over all of the above: :class:`AccessLog`
+    observes replay cost, read frequency and entry bytes with decayed
+    counters; a :class:`CheckpointPolicy`
+    (:class:`FixedIntervalPolicy` / :class:`AdaptiveCheckpointPolicy`)
+    decides where checkpoints appear and disappear; and
+    :func:`split_byte_budget` divides one global GC byte budget across
+    entry kinds by observed hit-rate-per-byte.
+
 Example — the catalog records a chain that replays to any ancestor:
 
 >>> import tempfile
@@ -60,13 +69,30 @@ from .caches import (
 from .catalog import SnapshotCatalog
 from .format import FORMAT_VERSION, decode_entry, encode_entry, token_prefix
 from .snapshots import SnapshotStore
+from .tuning import (
+    AccessLog,
+    AdaptiveCheckpointPolicy,
+    CheckpointDecision,
+    CheckpointPolicy,
+    DecayedCounter,
+    FixedIntervalPolicy,
+    ManualClock,
+    split_byte_budget,
+)
 
 __all__ = [
     "FORMAT_VERSION",
+    "AccessLog",
+    "AdaptiveCheckpointPolicy",
     "CalibrationDiskCache",
+    "CheckpointDecision",
+    "CheckpointPolicy",
     "ContentAddressedStore",
+    "DecayedCounter",
     "DecompositionDiskCache",
     "FilesystemBackend",
+    "FixedIntervalPolicy",
+    "ManualClock",
     "MemoryBackend",
     "SelectorDiskCache",
     "SnapshotCatalog",
@@ -75,5 +101,6 @@ __all__ = [
     "as_backend",
     "decode_entry",
     "encode_entry",
+    "split_byte_budget",
     "token_prefix",
 ]

@@ -71,6 +71,16 @@ class StoreBackend(abc.ABC):
     def entries(self, suffix: str) -> List[Tuple[float, str]]:
         """All ``(mtime, name)`` pairs whose name ends with ``suffix``."""
 
+    def size(self, name: str) -> Optional[int]:
+        """The stored byte size of ``name``, or ``None`` if absent.
+
+        The default reads and measures; backends override with a cheap
+        probe (a stat, a dict lookup).  Byte-budgeted garbage collection
+        and the per-layer ``bytes`` statistics are built on this.
+        """
+        blob = self.read(name)
+        return len(blob) if blob is not None else None
+
     @abc.abstractmethod
     def set_mtime(self, name: str, stamp: float) -> None:
         """Force the recency stamp of an entry (GC tests and backdating)."""
@@ -144,6 +154,12 @@ class FilesystemBackend(StoreBackend):
                 continue
         return collected
 
+    def size(self, name: str) -> Optional[int]:
+        try:
+            return (self._directory / name).stat().st_size
+        except OSError:
+            return None
+
     def set_mtime(self, name: str, stamp: float) -> None:
         try:
             os.utime(self._directory / name, (stamp, stamp))
@@ -185,6 +201,10 @@ class MemoryBackend(StoreBackend):
             for name, (_, stamp) in self._entries.items()
             if name.endswith(suffix)
         ]
+
+    def size(self, name: str) -> Optional[int]:
+        entry = self._entries.get(name)
+        return len(entry[0]) if entry is not None else None
 
     def set_mtime(self, name: str, stamp: float) -> None:
         entry = self._entries.get(name)

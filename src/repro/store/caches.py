@@ -53,7 +53,17 @@ import hashlib
 import pickle
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..db.blocks import Block, BlockDecomposition
 from ..db.constraints import PrimaryKeySet
@@ -62,6 +72,7 @@ from ..db.facts import Constant
 from ..repairs.counting import PreparedCertificates
 from .backend import StoreBackend, as_backend
 from .format import FORMAT_VERSION, decode_entry, encode_entry, token_prefix
+from .tuning import DecayedCounter
 
 __all__ = [
     "ContentAddressedStore",
@@ -104,12 +115,18 @@ class ContentAddressedStore:
         max_entries: Optional[int] = None,
         max_age_seconds: Optional[float] = None,
         collect_on_init: bool = True,
+        clock: Callable[[], float] = time.time,
+        hit_half_life: float = 600.0,
     ) -> None:
         self._backend = as_backend(store)
         self._max_entries = max_entries
         self._max_age_seconds = max_age_seconds
         self._stores_since_collect = 0
         self._pinned: Set[str] = set()
+        #: The clock every age/recency decision reads — injectable so GC
+        #: horizons and decayed hit rates are deterministically testable.
+        self._clock = clock
+        self._decayed_hits = DecayedCounter(half_life=hit_half_life, clock=clock)
         self.loads = 0
         self.misses = 0
         self.stores = 0
@@ -175,8 +192,10 @@ class ContentAddressedStore:
             self._backend.delete(name)  # a corrupt entry is dead weight
             return None
         self.loads += 1
-        # Refresh recency so count-bounded GC evicts cold entries first.
-        self._backend.touch(name)
+        self._decayed_hits.add()
+        # Refresh recency (through the injectable clock) so count- and
+        # byte-bounded GC evict cold entries first.
+        self._backend.set_mtime(name, self._clock())
         return value
 
     def _store_entry(self, name: str, payload_value: object) -> bool:
@@ -262,7 +281,7 @@ class ContentAddressedStore:
 
         doomed: List[str] = []
         if max_age_seconds is not None:
-            horizon = time.time() - max_age_seconds
+            horizon = self._clock() - max_age_seconds
             expired = [entry for entry in candidates if entry[0] < horizon]
             doomed.extend(name for _, name in expired)
             candidates = candidates[len(expired):]
@@ -278,12 +297,53 @@ class ContentAddressedStore:
         self.gc_evictions += evicted
         return evicted
 
+    def collect_bytes(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until at most ``max_bytes`` remain.
+
+        The byte-budget half of garbage collection: entries are dropped
+        oldest recency stamp first (loads refresh recency, so survivors
+        are the entries actually being hit) until the layer's total byte
+        size fits the budget.  Pinned entries are never evicted — and
+        still count against the budget, so a budget smaller than the
+        pinned footprint simply evicts everything unpinned.  Returns the
+        eviction count.
+        """
+        if max_bytes < 0:
+            max_bytes = 0
+        entries = sorted(self._backend.entries(self._SUFFIX))  # oldest first
+        sizes = {
+            name: self._backend.size(name) or 0 for _, name in entries
+        }
+        total = sum(sizes.values())
+        evicted = 0
+        for _, name in entries:
+            if total <= max_bytes:
+                break
+            if self._is_pinned(name):
+                continue
+            if self._backend.delete(name):
+                total -= sizes[name]
+                evicted += 1
+        self.gc_evictions += evicted
+        return evicted
+
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
     def entry_count(self) -> int:
         """Number of entries currently stored."""
         return len(self._backend.entries(self._SUFFIX))
+
+    def total_bytes(self) -> int:
+        """The summed stored byte size of every entry of this kind."""
+        return sum(
+            self._backend.size(name) or 0
+            for _, name in self._backend.entries(self._SUFFIX)
+        )
+
+    def decayed_hit_rate(self) -> float:
+        """The exponentially decayed hit count (the GC tuner's demand signal)."""
+        return self._decayed_hits.value()
 
     def token_entry_count(self, token: SnapshotToken) -> int:
         """How many stored entries belong to one snapshot token.
@@ -305,11 +365,13 @@ class ContentAddressedStore:
 
         ``hits`` counts successful loads (the key existed, decoded and
         validated), ``misses`` everything else, ``corrupt`` the subset of
-        misses caused by undecodable entries, and ``gc_evictions`` the
-        entries removed by :meth:`collect_garbage`.
+        misses caused by undecodable entries, ``gc_evictions`` the
+        entries removed by :meth:`collect_garbage`/:meth:`collect_bytes`,
+        and ``bytes`` the current stored footprint of this entry kind.
         """
         return {
             "entries": self.entry_count(),
+            "bytes": self.total_bytes(),
             "hits": self.loads,
             "misses": self.misses,
             "stores": self.stores,

@@ -244,6 +244,17 @@ class SnapshotCatalog:
             found.append(marker)
         return tuple(found)
 
+    def remove_checkpoint(self, name: str, sequence: int) -> bool:
+        """Delete one checkpoint marker (demotion); True iff it was removed.
+
+        The catalog half of checkpoint demotion: the snapshot entry is
+        dropped by the caller through the snapshot store, and the marker
+        goes here so a later process never advertises a checkpoint whose
+        payload was deliberately released.  Lineage records are untouched
+        — demotion changes replay *cost*, never history.
+        """
+        return self._backend.delete(self.checkpoint_entry_name(name, sequence))
+
     def entry_count(self) -> int:
         """Number of record entries currently stored (across all names)."""
         return len(self._backend.entries(_SUFFIX))

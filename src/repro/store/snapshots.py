@@ -100,3 +100,21 @@ class SnapshotStore(ContentAddressedStore):
         return self._store_entry(
             self.entry_name(snapshot_token), tuple(sorted(database.facts()))
         )
+
+    def entry_bytes(self, snapshot_token: SnapshotToken) -> Optional[int]:
+        """The stored byte size of one snapshot entry (``None`` if absent).
+
+        Feeds the adaptive checkpoint policy's byte estimates: pricing a
+        prospective checkpoint needs to know what comparable snapshots of
+        the same name actually cost on disk.
+        """
+        return self._backend.size(self.entry_name(snapshot_token))
+
+    def discard(self, snapshot_token: SnapshotToken) -> bool:
+        """Delete one snapshot entry (checkpoint demotion); True iff removed.
+
+        Dropping an entry can only lengthen future replays, never break
+        them: replay falls back to the next closest source exactly as it
+        does for an entry lost to GC or corruption.
+        """
+        return self._backend.delete(self.entry_name(snapshot_token))
