@@ -1,0 +1,172 @@
+"""E22 — range materialisation: one shared walk vs N independent replays.
+
+Claims exercised:
+
+* **Shared-walk speedup** — on a 200-version chain with no persistent
+  store, answering a 32-version ``as_of_range`` through
+  :meth:`~repro.engine.SolverPool.run_range` is **≥3× faster** than the
+  old way (32 independent ``as_of`` jobs, each paying its own BFS and
+  its own head-to-target replay), because the range replays the chain
+  segment **once** and yields every version as the walk passes it.
+* **Bit-identical** — the range's per-version results carry exactly the
+  counts, methods and resolved digests of the independent jobs; the
+  shared walk must not perturb replay order, derived seeds or snapshot
+  identity.
+* **Warm ranges recompute nothing** — with a persistent store, a
+  restarted pool answering the same range performs **zero** selector and
+  **zero** decomposition recomputations: every version's prepared state
+  comes from the token-keyed caches the first pass fed.
+
+The speedup assertion self-skips when the independent baseline is too
+fast to time reliably; both correctness claims are asserted regardless.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from bench_e16_history import _MIN_MEASURABLE_BASELINE, make_database
+from repro.db import Database, Delta, fact
+from repro.engine import CountJob, RangeFailure, SolverPool
+
+_CHAIN_VERSIONS = 200
+_WINDOW = 32
+#: First chain position of the measured window: deep enough that every
+#: independent replay walks most of the chain, exactly the regime the
+#: shared walk amortises.
+_WINDOW_START = 20
+
+_RANGE_QUERY = "EXISTS x, y. R(x, 'v3', y)"
+
+
+def _grow_chain(pool, name, versions=_CHAIN_VERSIONS):
+    """Append effective single-fact deltas until ``name`` has ``versions``."""
+    for step in range(versions - 1):
+        pool.apply_delta(
+            name, Delta(inserted=[fact("S", f"s_grown{step}", f"w{step}", "x")])
+        )
+
+
+def _versioned_pool(database, keys, **pool_kwargs):
+    pool = SolverPool(**pool_kwargs)
+    pool.register("live", Database(database.facts()), keys)
+    _grow_chain(pool, "live")
+    return pool
+
+
+def _range_job(ref_lo, ref_hi):
+    return CountJob(
+        database="live",
+        query=_RANGE_QUERY,
+        method="certificate",
+        as_of_range=(ref_lo, ref_hi),
+    )
+
+
+# --------------------------------------------------------------------- #
+# shared walk vs independent replays (the headline claim)
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_range_beats_independent_as_of_jobs():
+    """A 32-version range ≥3× over 32 independent as_of jobs, cold."""
+    database, keys = make_database(blocks=150, seed=22, domain=400)
+
+    # The old way: one job per version, each resolved and replayed on its
+    # own.  ``run_job`` (not ``run``) keeps the jobs genuinely
+    # independent — the batch path would share the walk itself.
+    independent_pool = _versioned_pool(database, keys)
+    digests = [record.digest for record in independent_pool.lineage("live")]
+    window = digests[_WINDOW_START:_WINDOW_START + _WINDOW]
+    assert len(window) == _WINDOW
+    template = CountJob(
+        database="live", query=_RANGE_QUERY, method="certificate"
+    )
+    started = time.perf_counter()
+    independent = [
+        independent_pool.run_job(replace(template, as_of=digest), index=index)
+        for index, digest in enumerate(window)
+    ]
+    independent_elapsed = time.perf_counter() - started
+
+    # The new way: the same window as one range through a fresh pool.
+    range_pool = _versioned_pool(database, keys)
+    started = time.perf_counter()
+    outcomes = range_pool.run_range(_range_job(window[0], window[-1]))
+    range_elapsed = time.perf_counter() - started
+
+    assert not any(isinstance(outcome, RangeFailure) for outcome in outcomes)
+    assert [outcome.job.as_of for outcome in outcomes] == window
+    assert [outcome.count_fields() for outcome in outcomes] == [
+        result.count_fields() for result in independent
+    ]
+
+    if independent_elapsed < _MIN_MEASURABLE_BASELINE:
+        pytest.skip(
+            f"independent replays took {independent_elapsed * 1000:.1f}ms — "
+            f"too fast to measure a reliable speedup on this machine"
+        )
+    speedup = independent_elapsed / range_elapsed
+    assert speedup >= 3.0, (
+        f"expected the shared walk to beat {_WINDOW} independent as_of "
+        f"jobs ≥3×, got {speedup:.2f}x (independent "
+        f"{independent_elapsed:.3f}s vs range {range_elapsed:.3f}s)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# warm store: a restarted pool recomputes nothing for the same range
+# --------------------------------------------------------------------- #
+@pytest.mark.smoke
+def test_warm_range_recomputes_nothing(tmp_path):
+    database, keys = make_database(blocks=100, seed=23, domain=300)
+    pool = SolverPool(persist_dir=tmp_path / "store")
+    pool.register("live", Database(database.facts()), keys)
+    _grow_chain(pool, "live", versions=60)
+    digests = [record.digest for record in pool.lineage("live")]
+    window = digests[10:26]
+    cold = pool.run_range(_range_job(window[0], window[-1]))
+    assert not any(isinstance(outcome, RangeFailure) for outcome in cold)
+
+    # A restarted service: only the head is registered, history comes
+    # from the catalog, prepared state from the store.
+    restarted = SolverPool(persist_dir=tmp_path / "store")
+    restarted.register("live", pool.lookup("live")[0], keys)
+    warm = restarted.run_range(_range_job(window[0], window[-1]))
+    assert restarted.selector_recomputations == 0
+    assert restarted.decomposition_recomputations == 0
+    assert [outcome.count_fields() for outcome in warm] == [
+        outcome.count_fields() for outcome in cold
+    ]
+    assert [outcome.job.as_of for outcome in warm] == window
+
+
+# --------------------------------------------------------------------- #
+# recorded throughput, independent vs shared walk
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("mode", ["independent", "range"])
+def test_range_throughput(benchmark, mode):
+    """Recorded cost of a 16-version window, both strategies."""
+    database, keys = make_database(blocks=120, seed=24, domain=300)
+    pool = _versioned_pool(database, keys)
+    digests = [record.digest for record in pool.lineage("live")]
+    window = digests[30:46]
+    template = CountJob(
+        database="live", query=_RANGE_QUERY, method="certificate"
+    )
+
+    def independent():
+        return [
+            pool.run_job(replace(template, as_of=digest), index=index)
+            for index, digest in enumerate(window)
+        ]
+
+    def shared():
+        return pool.run_range(_range_job(window[0], window[-1]))
+
+    run = independent if mode == "independent" else shared
+    # One round only: repeated rounds would coalesce onto the snapshots
+    # the first round materialised and stop measuring the replay.
+    results = benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["versions"] = len(results)

@@ -18,6 +18,8 @@ be used from the shell on databases stored as JSON (see
     python -m repro serve    --jobs jobs.json --shards 2 --queue-limit 16
     python -m repro serve    --jobs databases.json --stdin < jobs.jsonl
     python -m repro history  employees --persist-cache cache/ --limit 20
+    python -m repro range    employees --from -5 --to 0 --json employees.json \
+        --query "Employee(1, x, 'HR')" --persist-cache cache/
     python -m repro rollback employees 1a2b3c4d5e6f --json employees.json \
         --persist-cache cache/ --output employees-rolled-back.json
     python -m repro checkpoint employees --json employees.json \
@@ -333,6 +335,53 @@ def build_parser() -> argparse.ArgumentParser:
         "residuals conformally calibrate served anytime intervals",
     )
 
+    range_command = subparsers.add_parser(
+        "range",
+        help="count one query against every recorded version in a range",
+    )
+    range_command.add_argument(
+        "name", help="registration name whose recorded versions to query"
+    )
+    range_command.add_argument(
+        "--from",
+        dest="ref_lo",
+        required=True,
+        metavar="REF",
+        help="first version: a recorded content digest (or unique "
+        ">=8-character prefix), or a non-positive chain index like -5",
+    )
+    range_command.add_argument(
+        "--to",
+        dest="ref_hi",
+        required=True,
+        metavar="REF",
+        help="last version (inclusive; same reference syntax as --from); "
+        "swap the endpoints for newest-first output",
+    )
+    _add_instance_arguments(range_command)
+    _add_query_arguments(range_command)
+    range_command.add_argument(
+        "--answer", help="comma-separated answer tuple for non-Boolean queries"
+    )
+    range_command.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "naive", "certificate", "inclusion-exclusion",
+                 "enumeration", "fpras", "karp-luby"],
+    )
+    range_command.add_argument("--epsilon", type=float, default=0.1)
+    range_command.add_argument("--delta", type=float, default=0.05)
+    range_command.add_argument(
+        "--seed", type=int, default=None, help="seed for the randomised methods"
+    )
+    range_command.add_argument(
+        "--persist-cache",
+        required=True,
+        metavar="DIR",
+        help="store directory whose snapshot catalog holds the lineage "
+        "(the same directory batch/serve persist into)",
+    )
+
     history = subparsers.add_parser(
         "history",
         help="show the recorded snapshot lineage of a database name",
@@ -357,6 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-lines",
         action="store_true",
         help="emit one JSON object per record instead of the table",
+    )
+    history.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document (records, head, "
+        "checkpoints, elided/compacted counts) instead of the table",
     )
 
     rollback = subparsers.add_parser(
@@ -714,6 +769,9 @@ def _run_history(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if arguments.json and arguments.json_lines:
+        print("history: pass --json or --json-lines, not both", file=sys.stderr)
+        return 2
     catalog = SnapshotCatalog(arguments.persist_cache)
     lineage = catalog.lineage(arguments.name)
     if not len(lineage):
@@ -731,6 +789,29 @@ def _run_history(arguments: argparse.Namespace) -> int:
     if arguments.limit:
         elided = max(0, len(records) - arguments.limit)
         records = records[-arguments.limit:]
+    if arguments.json:
+        head = lineage.head
+        document = {
+            "name": arguments.name,
+            "records": [
+                {
+                    **record.to_json(),
+                    "checkpoint": record.sequence in checkpointed,
+                }
+                for record in records
+            ],
+            "head": head.digest,
+            "versions": len(lineage),
+            "checkpoints": sorted(checkpointed),
+            "elided": elided,
+            "compacted": sum(
+                1
+                for record in lineage
+                if getattr(record, "compacted", None) is not None
+            ),
+        }
+        print(json.dumps(document))
+        return 0
     if elided and not arguments.json_lines:
         print(f"... ({elided} older record(s) elided; drop --limit to see all)")
     for record in records:
@@ -772,6 +853,102 @@ def _run_history(arguments: argparse.Namespace) -> int:
             f"non-checkpointed ancestors below them cannot be replayed"
         )
     return 0
+
+
+def _parse_snapshot_ref(text: str) -> object:
+    """Parse one CLI snapshot reference (rollback/range share the rule).
+
+    Non-positive integers are chain indices ("-2" = two versions ago);
+    anything else — including all-digit digest prefixes, which are
+    necessarily positive — stays a digest string.
+    """
+    try:
+        if int(text) <= 0:
+            return int(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _run_range(arguments: argparse.Namespace) -> int:
+    """The ``range`` command: one query against every version in a range.
+
+    Loads the current head snapshot, verifies it against the recorded
+    chain (a stale input file must never count against the wrong
+    history), and runs one :class:`CountJob` carrying ``as_of_range``
+    through :meth:`SolverPool.run_range` — the engine materialises the
+    whole range via a single shared replay walk, so an N-version range
+    costs one chain traversal, not N.  Output is JSON-lines: one result
+    document per version in range order, failed versions in band as
+    ``{"index": …, "error": …}``, then a summary line on stderr.
+    """
+    from .engine import CountJob, SolverPool
+    from .engine.executor import RangeFailure
+    from .store import SnapshotCatalog
+
+    database, keys = _load_instance(arguments)
+    try:
+        chain = SnapshotCatalog(arguments.persist_cache).lineage(arguments.name)
+        head = chain.head
+        if head is None:
+            raise ReproError(
+                f"no recorded lineage for {arguments.name!r} in "
+                f"{arguments.persist_cache}"
+            )
+        if (
+            database.content_digest(),
+            keys.content_digest(),
+        ) != (head.digest, head.keys_digest):
+            raise ReproError(
+                f"the provided snapshot ({database.content_digest()[:12]}) "
+                f"is not the recorded head of {arguments.name!r} "
+                f"({head.digest[:12]}); pass the current head database"
+            )
+        answer = _parse_answer(arguments.answer)
+        job = CountJob(
+            database=arguments.name,
+            query=arguments.query,
+            answer=answer,
+            answer_variables=tuple(
+                name.strip()
+                for name in (arguments.answer_vars or "").split(",")
+                if name.strip()
+            ),
+            method=arguments.method,
+            epsilon=arguments.epsilon,
+            delta=arguments.delta,
+            seed=arguments.seed,
+            as_of_range=(
+                _parse_snapshot_ref(arguments.ref_lo),
+                _parse_snapshot_ref(arguments.ref_hi),
+            ),
+        )
+        pool = SolverPool(persist_dir=arguments.persist_cache)
+        pool.register(arguments.name, database, keys)
+        outcomes = pool.run_range(job)
+    except ReproError as exc:
+        print(f"range: {exc}", file=sys.stderr)
+        return 2
+    failures = 0
+    for outcome in outcomes:
+        if isinstance(outcome, RangeFailure):
+            failures += 1
+            payload = {
+                "index": outcome.index,
+                "error": {
+                    "type": type(outcome.error).__name__,
+                    "message": str(outcome.error),
+                },
+            }
+        else:
+            payload = outcome.to_json()
+        print(json.dumps(payload), flush=True)
+    print(
+        f"range: {len(outcomes) - failures} result(s), {failures} failure(s) "
+        f"over {len(outcomes)} version(s)",
+        file=sys.stderr,
+    )
+    return 0 if failures == 0 else 1
 
 
 def _run_checkpoint(arguments: argparse.Namespace) -> int:
@@ -839,15 +1016,7 @@ def _run_rollback(arguments: argparse.Namespace) -> int:
     from .store import SnapshotCatalog
 
     database, keys = _load_instance(arguments)
-    reference: object = arguments.digest
-    try:
-        # Non-positive integers are chain indices ("-2" = two versions
-        # ago); anything else — including all-digit digest prefixes,
-        # which are necessarily positive — stays a digest string.
-        if int(arguments.digest) <= 0:
-            reference = int(arguments.digest)
-    except ValueError:
-        pass
+    reference = _parse_snapshot_ref(arguments.digest)
     try:
         chain = SnapshotCatalog(arguments.persist_cache).lineage(arguments.name)
         if not len(chain):
@@ -1000,6 +1169,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "serve":
         return _run_serve(arguments)
+
+    if arguments.command == "range":
+        return _run_range(arguments)
 
     if arguments.command == "history":
         return _run_history(arguments)

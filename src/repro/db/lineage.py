@@ -44,6 +44,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Set,
     Tuple,
     Union,
@@ -250,8 +251,10 @@ class Lineage:
 
     Immutable: :meth:`append` returns a new lineage.  The interesting
     operations are :meth:`resolve` (turn an ``as_of`` reference into a
-    record) and :meth:`materialise` (reconstruct the database of a
-    recorded digest from any materialised snapshot on the chain).
+    record), :meth:`materialise` (reconstruct the database of a recorded
+    digest from any materialised snapshot on the chain) and
+    :meth:`materialise_range` (reconstruct many digests in one shared
+    replay walk).
 
     >>> from repro.db import Database, Delta, fact
     >>> root = Database([fact("R", 1, "a")]).freeze()
@@ -285,6 +288,10 @@ class Lineage:
                 )
         self._name = name
         self._records = tuple(records)
+        # The delta adjacency map is derived from the (immutable) records
+        # tuple, so it is built at most once per instance; ``append``
+        # returns a *new* lineage and never mutates this one.
+        self._edges: Optional[Dict[str, List[Tuple[str, Delta, bool]]]] = None
 
     @property
     def name(self) -> str:
@@ -443,6 +450,157 @@ class Lineage:
             f"have been lost, or the snapshots belong to unrelated roots)"
         )
 
+    def materialise_range(
+        self,
+        database: Database,
+        target_digests: Sequence[str],
+        checkpoints: Optional[CheckpointLoaders] = None,
+    ) -> Iterator[Tuple[str, Database]]:
+        """Reconstruct *many* recorded snapshots in one shared replay walk.
+
+        The amortised sibling of :meth:`materialise`: instead of one BFS
+        and one replay per target, a single multi-source BFS (seeded with
+        the provided ``database`` and every checkpointed digest, exactly
+        the entry points :meth:`materialise` ranks) settles **all**
+        targets at once, the per-target shortest paths are unioned into a
+        replay tree, and the chain is walked once — each requested
+        ``(digest, Database)`` pair is yielded as the walk passes it, so
+        N versions of one chain segment cost ``O(chain length)`` delta
+        applications instead of ``O(N × chain length)``.
+
+        Every yielded snapshot is digest-verified exactly like
+        :meth:`materialise`, and a checkpoint whose loader returns
+        ``None`` (or a damaged snapshot) demotes silently: its targets
+        are re-planned against the remaining entry points.  Duplicate
+        target digests are collapsed; each distinct digest is yielded
+        once.  Snapshots materialised early in the walk join the entry
+        points for the rest of it, so later targets never replay further
+        than they would have independently.
+
+        >>> from repro.db import Database, Delta, fact
+        >>> root = Database([fact("R", 1, "a")]).freeze()
+        >>> delta = Delta(inserted=[fact("R", 2, "b")])
+        >>> head = root.apply_delta(delta)
+        >>> chain = Lineage("live").append(
+        ...     LineageRecord("live", 0, root.content_digest(), "k", None,
+        ...                   "register", None, 0.0)
+        ... ).append(
+        ...     LineageRecord("live", 1, head.content_digest(), "k",
+        ...                   root.content_digest(), "delta", delta, 0.0)
+        ... )
+        >>> resolved = dict(chain.materialise_range(
+        ...     head, [root.content_digest(), head.content_digest()]
+        ... ))
+        >>> resolved[root.content_digest()] == root
+        True
+        >>> resolved[head.content_digest()] == head
+        True
+        """
+        targets = list(dict.fromkeys(target_digests))
+        if not targets:
+            return
+        source_digest = database.content_digest()
+        loaders = dict(checkpoints or {})
+
+        # In-memory entry points, in acquisition order: the provided
+        # database first (materialise's rank-0 tie-break), then every
+        # target materialised earlier in this very walk.
+        in_memory: Dict[str, Database] = {source_digest: database}
+        pending: List[str] = []
+        for digest in targets:
+            if digest == source_digest:
+                yield (digest, database)
+            else:
+                pending.append(digest)
+
+        edges = self._delta_edges()
+        while pending:
+            # Seed order fixes the tie-break among equal-distance entry
+            # points: in-memory snapshots outrank checkpoints (nothing to
+            # load), checkpoints tie-break deterministically by digest.
+            seeds = list(in_memory) + sorted(
+                digest for digest in loaders if digest not in in_memory
+            )
+            previous, origin, distance = self._search_from_seeds(
+                edges, seeds, set(pending)
+            )
+            unreachable = [digest for digest in pending if digest not in distance]
+            if unreachable:
+                # Entry points are only ever *removed* on a lost
+                # checkpoint and *added* on a successful materialisation,
+                # so a target unreachable now can never become reachable.
+                raise LineageError(
+                    f"no recorded delta chain of {self._name!r} connects "
+                    f"{source_digest[:12]} to {unreachable[0][:12]} "
+                    f"(history may have been lost, or the snapshots belong "
+                    f"to unrelated roots)"
+                )
+            groups: Dict[str, List[str]] = {}
+            for digest in pending:
+                groups.setdefault(origin[digest], []).append(digest)
+            entry = next(seed for seed in seeds if seed in groups)
+            if entry in in_memory:
+                base = in_memory[entry]
+            else:
+                loaded = loaders[entry]()
+                if loaded is None or loaded.content_digest() != entry:
+                    # Lost/damaged checkpoint: demote silently and
+                    # re-plan its targets from the remaining entries.
+                    del loaders[entry]
+                    continue
+                base = loaded
+
+            wanted = set(groups[entry])
+            if entry in wanted:
+                # A target that is itself a checkpoint: loaded and
+                # digest-verified above, zero deltas to replay.
+                yield (entry, base)
+                in_memory[entry] = base
+
+            # Union the BFS-tree paths entry -> target into a replay
+            # tree.  BFS parents are unique, so walking each target back
+            # until a node already in the tree yields a well-formed tree
+            # whose edge count is at most the sum of the path lengths.
+            children: Dict[str, List[Tuple[str, Delta, bool]]] = {}
+            in_tree = {entry}
+            for target in groups[entry]:
+                if target == entry:
+                    continue
+                path: List[Tuple[str, str, Delta, bool]] = []
+                node = target
+                while node not in in_tree:
+                    parent, delta, forward = previous[node]
+                    path.append((parent, node, delta, forward))
+                    node = parent
+                for parent, child, delta, forward in reversed(path):
+                    children.setdefault(parent, []).append(
+                        (child, delta, forward)
+                    )
+                    in_tree.add(child)
+
+            # Walk the tree once.  Edges were traversed entry -> target,
+            # so each is applied in its *stored* orientation (the
+            # opposite of _replay_path, which walks target -> source).
+            stack: List[Tuple[str, Database]] = [(entry, base)]
+            while stack:
+                node, state = stack.pop()
+                for child, delta, forward in children.get(node, ()):
+                    branch = state.apply_delta(
+                        delta if forward else delta.inverse()
+                    )
+                    if child in wanted:
+                        if branch.content_digest() != child:
+                            raise LineageError(
+                                f"replaying the recorded chain of "
+                                f"{self._name!r} produced "
+                                f"{branch.content_digest()[:12]} instead of "
+                                f"{child[:12]}; the lineage log is corrupt"
+                            )
+                        yield (child, branch)
+                        in_memory[child] = branch
+                    stack.append((child, branch))
+            pending = [digest for digest in pending if digest not in wanted]
+
     def replay_distance(
         self,
         source_digest: str,
@@ -464,19 +622,27 @@ class Lineage:
         return min(found) if found else None
 
     def _delta_edges(self) -> Dict[str, List[Tuple[str, Delta, bool]]]:
-        """The bidirectional digest graph of the recorded delta records."""
-        edges: Dict[str, List[Tuple[str, Delta, bool]]] = {}
-        for record in self._records:
-            if record.kind != "delta" or record.delta is None:
-                continue
-            assert record.parent_digest is not None  # enforced at construction
-            edges.setdefault(record.parent_digest, []).append(
-                (record.digest, record.delta, True)
-            )
-            edges.setdefault(record.digest, []).append(
-                (record.parent_digest, record.delta, False)
-            )
-        return edges
+        """The bidirectional digest graph of the recorded delta records.
+
+        Memoised on the instance: the records tuple is immutable, so the
+        adjacency map never changes — and the adaptive checkpoint policy
+        probes :meth:`replay_distance` after every read, which made the
+        per-call rebuild a measurable hot spot on long chains.
+        """
+        if self._edges is None:
+            edges: Dict[str, List[Tuple[str, Delta, bool]]] = {}
+            for record in self._records:
+                if record.kind != "delta" or record.delta is None:
+                    continue
+                assert record.parent_digest is not None  # enforced at construction
+                edges.setdefault(record.parent_digest, []).append(
+                    (record.digest, record.delta, True)
+                )
+                edges.setdefault(record.digest, []).append(
+                    (record.parent_digest, record.delta, False)
+                )
+            self._edges = edges
+        return self._edges
 
     @staticmethod
     def _search_from(
@@ -507,6 +673,52 @@ class Lineage:
                 remaining.discard(neighbour)
                 queue.append(neighbour)
         return previous, distance
+
+    @staticmethod
+    def _search_from_seeds(
+        edges: Dict[str, List[Tuple[str, Delta, bool]]],
+        seeds: Sequence[str],
+        wanted: Set[str],
+    ) -> Tuple[
+        Dict[str, Tuple[str, Delta, bool]],
+        Dict[str, str],
+        Dict[str, int],
+    ]:
+        """Multi-source BFS: predecessor pointers, origin seed, distances.
+
+        All seeds start at distance 0, so every settled digest records
+        the *nearest* seed (``origin``) — exactly the candidate ranking
+        :meth:`materialise` computes one target at a time.  Because the
+        queue is seeded in order, equal-distance ties break towards the
+        earlier seed (FIFO keeps each depth level in seed order), and the
+        search stops once every digest in ``wanted`` has been settled.
+
+        Unlike :meth:`_search_from`, the traversal runs *from* the entry
+        points *towards* the targets, so each predecessor edge is already
+        in replay orientation — no flip on walk-back.
+        """
+        previous: Dict[str, Tuple[str, Delta, bool]] = {}
+        origin: Dict[str, str] = {}
+        distance: Dict[str, int] = {}
+        queue: "deque[str]" = deque()
+        for seed in seeds:
+            if seed in distance:
+                continue
+            distance[seed] = 0
+            origin[seed] = seed
+            queue.append(seed)
+        remaining = set(wanted) - set(distance)
+        while queue and remaining:
+            digest = queue.popleft()
+            for neighbour, delta, forward in edges.get(digest, ()):
+                if neighbour in distance:
+                    continue
+                distance[neighbour] = distance[digest] + 1
+                previous[neighbour] = (digest, delta, forward)
+                origin[neighbour] = origin[digest]
+                remaining.discard(neighbour)
+                queue.append(neighbour)
+        return previous, origin, distance
 
     @staticmethod
     def _replay_path(

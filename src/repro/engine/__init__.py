@@ -85,7 +85,7 @@ processes.  The cross-method equivalence harness
 from ..store import DecompositionDiskCache, SelectorDiskCache
 from .cache import LRUCache
 from .cache_coordinator import CacheCoordinator
-from .executor import JobExecutor
+from .executor import JobExecutor, RangeFailure
 from .jobfile import load_job_file, parse_job_document, parse_stream_item
 from .jobs import (
     BATCH_METHODS,
@@ -112,6 +112,7 @@ __all__ = [
     "JobResult",
     "LRUCache",
     "LineageService",
+    "RangeFailure",
     "SelectorDiskCache",
     "SnapshotRegistry",
     "SolverPool",

@@ -34,6 +34,7 @@ True
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Optional, Set, Tuple, Union
@@ -132,6 +133,12 @@ class CacheCoordinator:
         self.handoff_warm_decompositions = 0
         self.handoff_selector_entries = 0
         self.calibration_records = 0
+        #: Materialise requests served without a replay because an
+        #: identical materialisation was in flight or already completed
+        #: (the single-flight path of :meth:`materialised`).
+        self.coalesced_materialisations = 0
+        self._materialise_lock = threading.Lock()
+        self._inflight_snapshots: Dict[SnapshotToken, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------ #
     # the persistent substrate (shared with the lineage service)
@@ -439,10 +446,48 @@ class CacheCoordinator:
         """Keep a displaced head materialised for near-term time travel."""
         self._snapshots.put(token, database)
 
+    def has_materialised(self, token: SnapshotToken) -> bool:
+        """Membership probe for the materialised-ancestor cache (no stats)."""
+        return token in self._snapshots
+
     def materialised(self, token: SnapshotToken, factory) -> Database:
-        """The cached materialisation of ``token``, computing on a miss."""
-        value, _ = self._snapshots.get_or_compute(token, factory)
-        return value
+        """The cached materialisation of ``token``, computing on a miss.
+
+        Single-flight: identical ``token`` requests coalesce, so a burst
+        of jobs asking for the same ``as_of`` snapshot replays the chain
+        once — concurrent callers wait for the leader's replay, and
+        callers arriving after it hit the cache.  Either way the avoided
+        replay is counted in :attr:`coalesced_materialisations`.
+        """
+        while True:
+            with self._materialise_lock:
+                if token in self._snapshots:
+                    value, _ = self._snapshots.get_or_compute(token, factory)
+                    self.coalesced_materialisations += 1
+                    return value
+                flight = self._inflight_snapshots.get(token)
+                if flight is None:
+                    flight = {"done": threading.Event(), "value": None}
+                    self._inflight_snapshots[token] = flight
+                    break  # this caller leads the replay
+            flight["done"].wait()  # type: ignore[union-attr]
+            leader_value = flight["value"]
+            if leader_value is not None:
+                with self._materialise_lock:
+                    value, _ = self._snapshots.get_or_compute(
+                        token, lambda: leader_value
+                    )
+                    self.coalesced_materialisations += 1
+                return value
+            # The leader failed; loop and race to lead the retry.
+        try:
+            value, _ = self._snapshots.get_or_compute(token, factory)
+            flight["value"] = value
+            return value
+        finally:
+            with self._materialise_lock:
+                self._inflight_snapshots.pop(token, None)
+            flight["done"].set()  # type: ignore[union-attr]
 
     def store_checkpoint(self, token: SnapshotToken, database: Database) -> bool:
         """Persist a full checkpoint snapshot; False without a store or on I/O."""
@@ -627,6 +672,12 @@ class CacheCoordinator:
         if self.calibration_records or self._calibrators:
             # Same shape-preserving rule as the handoff section.
             stats["calibration"] = self.calibration_stats()
+        if self.coalesced_materialisations:
+            # Same shape-preserving rule: only coordinators that actually
+            # coalesced identical as_of materialisations grow the key.
+            stats["coalesced_materialisations"] = (
+                self.coalesced_materialisations
+            )
         return stats
 
     def __repr__(self) -> str:

@@ -55,7 +55,7 @@ from ..db.database import Database
 from ..db.delta import Delta
 from ..db.facts import Constant
 from ..db.lineage import Lineage
-from ..errors import EngineError
+from ..errors import EngineError, ReproError
 from ..query.ast import Query
 from ..query.classify import is_existential_positive
 from ..repairs.counting import PreparedCertificates
@@ -71,13 +71,28 @@ from .jobs import (
 from .lineage_service import LineageService
 from .registry import SnapshotRegistry, SnapshotToken
 
-__all__ = ["JobExecutor"]
+__all__ = ["JobExecutor", "RangeFailure"]
 
 #: Key of the refine-to-exact cache: the snapshot token plus everything
 #: that identifies the count (the exact answer is method-independent, so
 #: ``method`` is deliberately absent — one refinement serves both
 #: estimator families).
 ExactKey = Tuple[SnapshotToken, str, Tuple[str, ...], Tuple[Constant, ...]]
+
+
+@dataclass(frozen=True)
+class RangeFailure:
+    """In-band failure of one version of an expanded range job.
+
+    ``run_range`` answers every version of the range it can and carries
+    the versions it cannot (an unmaterialisable ancestor behind a
+    compacted record, say) as in-band failures, so one broken version
+    never voids the rest of the range.  ``index`` is the version's
+    position in the range expansion.
+    """
+
+    index: int
+    error: Exception
 
 
 @dataclass(frozen=True)
@@ -245,6 +260,11 @@ class JobExecutor:
         List[str],
     ]:
         """Resolve a job's snapshot and warm the cache layers it needs."""
+        if job.as_of_range is not None:
+            raise EngineError(
+                "a range job cannot run directly; submit it through "
+                "run_range (or run/run_stream, which expand it in place)"
+            )
         database, keys = self._registry.lookup(job.database)
         token = self._registry.token(job.database)
         if job.as_of is not None:
@@ -528,8 +548,14 @@ class JobExecutor:
         jobs: Iterable[CountJob],
         workers: Optional[int] = None,
     ) -> BatchReport:
-        """Run a batch of jobs and return the aggregated report."""
-        job_list = list(jobs)
+        """Run a batch of jobs and return the aggregated report.
+
+        Jobs carrying ``as_of_range`` are expanded in place into one
+        per-version ``as_of`` job each (report indices are positions in
+        the *expanded* batch — exactly the batch a caller writing the
+        per-version jobs by hand would have submitted).
+        """
+        job_list = self._expand_ranges(list(jobs))
         workers = self._resolve_workers(workers)
         started = time.perf_counter()
         results, workers = self._run_segment(job_list, workers, first_index=0)
@@ -553,14 +579,18 @@ class JobExecutor:
         count jobs form segments that may fan out to worker processes;
         updates execute in the parent between segments via
         :meth:`apply_delta`.  Indices in the returned report are positions
-        in the original stream (updates included).
+        in the original stream (updates included) with ``as_of_range``
+        jobs expanded in place — each expands *when the stream reaches
+        it*, so a range may reference versions recorded by updates
+        earlier in the same stream, and indices match the hand-expanded
+        stream exactly.
         """
-        item_list = list(items)
         workers = self._resolve_workers(workers)
         started = time.perf_counter()
         results: List[JobResult] = []
         updates: List[UpdateReport] = []
         used_workers = 1
+        next_index = 0
 
         segment: List[Tuple[int, CountJob]] = []
 
@@ -576,13 +606,26 @@ class JobExecutor:
             results.extend(segment_results)
             segment.clear()
 
-        for index, item in enumerate(item_list):
+        for item in list(items):
             if isinstance(item, UpdateJob):
                 flush_segment()
                 report = self.apply_delta(item.database, item.delta)
-                updates.append(replace(report, index=index, label=item.label))
+                updates.append(
+                    replace(report, index=next_index, label=item.label)
+                )
+                next_index += 1
             elif isinstance(item, CountJob):
-                segment.append((index, item))
+                # Ranges expand here — after every update before them has
+                # applied — so their endpoints resolve against the chain
+                # state a per-version ``as_of`` job at this stream
+                # position would see.
+                if item.as_of_range is not None:
+                    expanded_jobs = self.expand_range(item)
+                else:
+                    expanded_jobs = [item]
+                for expanded_job in expanded_jobs:
+                    segment.append((next_index, expanded_job))
+                    next_index += 1
             else:
                 raise EngineError(
                     f"stream items must be CountJob or UpdateJob, "
@@ -598,6 +641,114 @@ class JobExecutor:
             cache_stats=aggregate_cache_stats(results),
             updates=tuple(updates),
         )
+
+    # ------------------------------------------------------------------ #
+    # shared-replay range resolution
+    # ------------------------------------------------------------------ #
+    def expand_range(self, job: CountJob) -> List[CountJob]:
+        """The per-version ``as_of`` jobs a range job stands for.
+
+        One job per recorded version from ``ref_lo`` to ``ref_hi``
+        inclusive (in chain order between the endpoints), each pinned to
+        its version's digest.  Because ``as_of`` never enters the derived
+        seed, the expansion is bit-identical to a caller writing the
+        per-version jobs by hand.
+        """
+        if job.as_of_range is None:
+            raise EngineError("expand_range needs a job carrying as_of_range")
+        ref_lo, ref_hi = job.as_of_range
+        records = self._lineage.resolve_range(job.database, ref_lo, ref_hi)
+        return [
+            replace(job, as_of=record.digest, as_of_range=None)
+            for record in records
+        ]
+
+    def run_range(
+        self,
+        job: CountJob,
+        first_index: int = 0,
+        worker_label: str = "sequential",
+    ) -> List[Union[JobResult, RangeFailure]]:
+        """Run one ``as_of_range`` job: expand, share the walk, answer.
+
+        The range's versions are resolved via **one** shared replay walk
+        (the per-version jobs then hit the warmed token-keyed caches),
+        and each version is answered independently: a version that fails
+        to materialise or count becomes an in-band :class:`RangeFailure`
+        instead of voiding the range.  Outcomes are returned in version
+        order, indexed from ``first_index``.
+        """
+        expanded = self.expand_range(job)
+        self._prewarm_as_of_groups(expanded)
+        outcomes: List[Union[JobResult, RangeFailure]] = []
+        for offset, item in enumerate(expanded):
+            index = first_index + offset
+            try:
+                outcomes.append(
+                    self.run_job(item, index=index, worker_label=worker_label)
+                )
+            except ReproError as exc:
+                outcomes.append(RangeFailure(index=index, error=exc))
+        return outcomes
+
+    def _expand_ranges(self, items: List) -> List:
+        """Replace every ``as_of_range`` job in ``items`` by its expansion."""
+        if not any(
+            isinstance(item, CountJob) and item.as_of_range is not None
+            for item in items
+        ):
+            return items
+        expanded: List = []
+        for item in items:
+            if isinstance(item, CountJob) and item.as_of_range is not None:
+                expanded.extend(self.expand_range(item))
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _prewarm_as_of_groups(self, job_list: Sequence[CountJob]) -> None:
+        """One shared replay walk per same-name ``as_of`` group.
+
+        Groups the segment's time-travel jobs by database name, and
+        resolves each group's distinct references through
+        :meth:`LineageService.materialise_range
+        <repro.engine.lineage_service.LineageService.materialise_range>`
+        (which sorts them by lineage position and replays the chain
+        once).  Purely a cache warmer: the per-job path then serves the
+        very same digest-verified snapshots from the token-keyed caches,
+        so results and ordering are bit-identical to the unwarmed path —
+        and references that fail to resolve here are simply skipped, so
+        the per-job path surfaces their errors unchanged.
+        """
+        groups: Dict[str, List[Union[str, int]]] = {}
+        for item in job_list:
+            if isinstance(item, CountJob) and item.as_of is not None:
+                groups.setdefault(item.database, []).append(item.as_of)
+        for name, refs in groups.items():
+            distinct = list(dict.fromkeys(refs))
+            if len(distinct) < 2:
+                continue  # nothing to amortise
+            try:
+                self._registry.lookup(name)
+                chain = self._lineage.chain(name)
+            except ReproError:
+                continue
+            resolvable = []
+            for ref in distinct:
+                try:
+                    chain.resolve(ref)
+                except ReproError:
+                    continue
+                resolvable.append(ref)
+            if not resolvable:
+                continue
+            try:
+                self._lineage.materialise_range(name, resolvable)
+            except ReproError:
+                # Fall back to the per-job path (e.g. an ancestor behind
+                # a compacted record): the failing job raises there with
+                # its ordinary error, the rest replay independently.
+                pass
 
     def _resolve_workers(self, workers: Optional[int]) -> int:
         if workers is None:
@@ -617,6 +768,7 @@ class JobExecutor:
         """
         indices = range(first_index, first_index + len(job_list))
         if workers == 1 or len(job_list) <= 1:
+            self._prewarm_as_of_groups(job_list)
             return (
                 [self.run_job(job, index) for index, job in zip(indices, job_list)],
                 1,

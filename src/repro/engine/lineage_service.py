@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
@@ -232,6 +232,98 @@ class LineageService:
                 name, chain, record, snapshot, replay.get("elapsed")
             )
         return snapshot, keys, token
+
+    def materialise_range(
+        self, name: str, refs: Sequence[SnapshotRef]
+    ) -> List[Tuple[Database, PrimaryKeySet, SnapshotToken]]:
+        """Resolve many ``as_of`` references of ``name`` in one shared walk.
+
+        The amortised sibling of :meth:`materialise`, same per-reference
+        contract (resolution, key-constraint check, digest-verified
+        replay, token-keyed caching, tuning-policy observation) but one
+        planned route: references the materialised-ancestor cache cannot
+        serve are sorted by chain position and handed to
+        :meth:`Lineage.materialise_range
+        <repro.db.lineage.Lineage.materialise_range>`, which replays the
+        chain **once** for all of them.  Each yielded snapshot is fed
+        through the cache coordinator (so the token-keyed selector and
+        decomposition caches warm exactly as if :meth:`materialise` had
+        run) and reported to the checkpoint policy with its marginal
+        share of the walk.  Returns ``(database, keys, token)`` triples
+        in the order of ``refs``.
+        """
+        database, keys = self._registry.lookup(name)
+        chain = self.chain(name)
+        records = [chain.resolve(ref) for ref in refs]
+        keys_digest = keys.content_digest()
+        head_token = self._registry.token(name)
+        resolved: Dict[str, Database] = {}
+        missing: Dict[str, LineageRecord] = {}
+        for record in records:
+            token = (record.digest, record.keys_digest)
+            if token == head_token:
+                resolved[record.digest] = database
+                continue
+            if record.keys_digest != keys_digest:
+                raise LineageError(
+                    f"snapshot {record.digest[:12]} of {name!r} was recorded "
+                    f"under different key constraints; its lineage cannot be "
+                    f"replayed against the current keys"
+                )
+            if record.digest in resolved or record.digest in missing:
+                continue
+            if self._caches.has_materialised(token):
+                snapshot = self._caches.materialised(
+                    token, lambda: database  # never runs: probed above
+                )
+                resolved[record.digest] = snapshot
+                if self._policy is not None:
+                    self._observe_read(name, chain, record, snapshot, None)
+            else:
+                missing[record.digest] = record
+        if missing:
+            ordered = sorted(missing.values(), key=lambda record: record.sequence)
+            loaders = self.checkpoint_loaders(name)
+            started = time.perf_counter()
+            for digest, snapshot in chain.materialise_range(
+                database,
+                [record.digest for record in ordered],
+                checkpoints=loaders,
+            ):
+                snapshot = snapshot.freeze()
+                record = missing[digest]
+                token = (digest, record.keys_digest)
+                snapshot = self._caches.materialised(token, lambda: snapshot)
+                resolved[digest] = snapshot
+                elapsed = time.perf_counter() - started
+                if self._policy is not None:
+                    self._observe_read(name, chain, record, snapshot, elapsed)
+                started = time.perf_counter()
+        return [
+            (resolved[record.digest], keys, (record.digest, record.keys_digest))
+            for record in records
+        ]
+
+    def resolve_range(
+        self, name: str, ref_lo: SnapshotRef, ref_hi: SnapshotRef
+    ) -> List[LineageRecord]:
+        """Every recorded version from ``ref_lo`` to ``ref_hi`` inclusive.
+
+        Both endpoints are ordinary ``as_of`` references; the result
+        walks the chain from the first endpoint's position to the
+        second's (ascending or descending with the endpoints' order), one
+        record per recorded version — the expansion order of
+        ``CountJob.as_of_range``.
+        """
+        self._registry.lookup(name)
+        chain = self.chain(name)
+        start = chain.resolve(ref_lo)
+        end = chain.resolve(ref_hi)
+        step = 1 if start.sequence <= end.sequence else -1
+        return [
+            chain.records[sequence]
+            for sequence in range(start.sequence, end.sequence + step, step)
+        ]
 
     def _observe_read(
         self,

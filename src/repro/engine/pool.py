@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from concurrent.futures import Executor
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..db.blocks import BlockDecomposition
 from ..db.constraints import PrimaryKeySet
@@ -46,7 +46,7 @@ from ..db.delta import Delta
 from ..db.lineage import CheckpointRecord, Lineage, LineageRecord, SnapshotRef
 from ..store.tuning import CheckpointPolicy
 from .cache_coordinator import CacheCoordinator
-from .executor import JobExecutor
+from .executor import JobExecutor, RangeFailure
 from .jobs import BatchReport, CountJob, JobResult, UpdateJob, UpdateReport
 from .lineage_service import LineageService
 from .registry import SnapshotRegistry, SnapshotToken
@@ -196,6 +196,29 @@ class SolverPool:
         """
         return self._lineage.materialise(name, ref)
 
+    def materialise_range(
+        self, name: str, refs: Iterable[SnapshotRef]
+    ) -> List[Tuple[Database, PrimaryKeySet, SnapshotToken]]:
+        """Materialise several recorded snapshots of ``name`` in one walk.
+
+        A shared-replay :meth:`materialise`: the refs are settled by one
+        breadth-first route over the delta chain (checkpoints as extra
+        entry points), the chain is replayed once, and every resolved
+        snapshot is digest-verified and cached exactly as if requested
+        alone.  Results come back in ``refs`` order.
+        """
+        return self._lineage.materialise_range(name, list(refs))
+
+    def resolve_range(
+        self, name: str, ref_lo: SnapshotRef, ref_hi: SnapshotRef
+    ) -> Tuple[LineageRecord, ...]:
+        """The recorded snapshots of ``name`` between two refs, inclusive.
+
+        Endpoint order is preserved: a descending pair yields the records
+        newest-first.
+        """
+        return tuple(self._lineage.resolve_range(name, ref_lo, ref_hi))
+
     def rollback(self, name: str, ref: SnapshotRef) -> LineageRecord:
         """Re-register a recorded ancestor as the head (append-only)."""
         return self._lineage.rollback(name, ref)
@@ -326,6 +349,29 @@ class SolverPool:
     ) -> BatchReport:
         """Run a batch of jobs (fanned out when ``workers`` > 1)."""
         return self._executor.run(jobs, workers)
+
+    def expand_range(self, job: CountJob) -> List[CountJob]:
+        """Expand an ``as_of_range`` job into its per-version ``as_of`` jobs."""
+        return self._executor.expand_range(job)
+
+    def run_range(
+        self,
+        job: CountJob,
+        first_index: int = 0,
+        worker_label: str = "sequential",
+    ) -> List[Union[JobResult, RangeFailure]]:
+        """Run an ``as_of_range`` job, one outcome per version, in order.
+
+        The range is expanded (:meth:`expand_range`), the underlying
+        snapshots are pre-materialised through one shared replay walk,
+        and each version's job runs exactly as an independent ``as_of``
+        job would — bit-identical results.  A version that fails yields
+        an in-band :class:`~repro.engine.executor.RangeFailure` instead
+        of aborting the rest of the range.
+        """
+        return self._executor.run_range(
+            job, first_index=first_index, worker_label=worker_label
+        )
 
     def run_stream(
         self,

@@ -79,6 +79,7 @@ from ..engine.jobs import (
     UpdateReport,
     aggregate_cache_stats,
 )
+from ..engine.executor import RangeFailure
 from ..errors import (
     EngineError,
     RebalanceError,
@@ -486,6 +487,68 @@ checkpoint_every, checkpoint_policy:
         future.add_done_callback(self._on_done)
         return future
 
+    async def run_range(
+        self, job: CountJob, first_index: int = 0
+    ) -> List[Union[JobResult, RangeFailure]]:
+        """Serve one ``as_of_range`` job as a single unit of shard work.
+
+        The whole range routes to the one shard owning ``job.database``
+        and occupies exactly one backpressure slot and one FIFO queue
+        position: every version counts against the same lineage state
+        (no delta submitted afterwards can interleave), and the shard
+        worker resolves all versions through one shared replay walk
+        (:meth:`SolverPool.run_range
+        <repro.engine.pool.SolverPool.run_range>`).  Returns one outcome
+        per version, oldest-endpoint first (or newest first for a
+        descending range), failures in band as
+        :class:`~repro.engine.RangeFailure` — bit-identical, version for
+        version, to submitting the expanded ``as_of`` jobs one by one.
+
+        Backpressure applies exactly as in :meth:`dispatch`: a full
+        queue suspends the submitter under ``"wait"`` and raises
+        :class:`~repro.errors.ServerOverloadedError` under ``"reject"``.
+        """
+        if not self._running or self._slots is None:
+            raise ServerError("the server is not running; use 'async with server'")
+        if job.as_of_range is None:
+            raise EngineError(
+                "run_range needs a job with as_of_range; "
+                "plain jobs go through dispatch/submit"
+            )
+        name = job.database
+        self._owner_of(name)  # validate before taking a slot
+        if self._policy == "reject" and self._slots.locked():
+            self.rejected += 1
+            raise ServerOverloadedError(
+                f"queue full ({self._queue_limit} jobs in flight); "
+                f"range job for {name!r} rejected"
+            )
+        await self._slots.acquire()
+        try:
+            while True:
+                gate = self._moving.get(name)
+                if gate is None:
+                    break
+                await gate.wait()
+            shard = self._owner_of(name)
+            inner = shard.submit_range(first_index, job)
+        except BaseException:
+            self._slots.release()
+            raise
+        self.submitted += 1
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        for load in (
+            self._shard_load.setdefault(shard.shard_id, self._new_load()),
+            self._name_load.setdefault(name, self._new_load()),
+        ):
+            load["dispatched"] += 1
+            load["in_flight"] += 1
+        future = asyncio.wrap_future(inner)
+        self._outstanding[future] = (name, shard.shard_id)
+        future.add_done_callback(self._on_done)
+        return await future
+
     @staticmethod
     def _new_load() -> Dict[str, float]:
         return {
@@ -502,7 +565,16 @@ checkpoint_every, checkpoint_policy:
         elapsed = 0.0
         if not failed:
             self.completed += 1
-            elapsed = float(getattr(future.result(), "elapsed", 0.0) or 0.0)
+            result = future.result()
+            if isinstance(result, list):
+                # A range resolves to one outcome per version; its busy
+                # time is the sum of the versions that produced results.
+                elapsed = sum(
+                    float(getattr(item, "elapsed", 0.0) or 0.0)
+                    for item in result
+                )
+            else:
+                elapsed = float(getattr(result, "elapsed", 0.0) or 0.0)
         loads = []
         if shard_id in self._shard_load:
             loads.append(self._shard_load[shard_id])

@@ -276,6 +276,42 @@ class ServeClient:
             if self.last_stream_summary is None:
                 raise WireError("stream ended without a summary line")
 
+    async def range(
+        self, job: Dict[str, object], index: int = 0
+    ) -> AsyncIterator[Dict[str, object]]:
+        """``POST /range`` — yield one result document per range version.
+
+        ``job`` is a count-job document carrying ``as_of_range`` (a
+        two-element ``[lo, hi]`` list of snapshot refs); ``index`` is the
+        stream position of the first version.  Results arrive in range
+        order.  A version that failed appears in band as an
+        ``{"index": …, "status": …, "error": …}`` document and the
+        remaining versions still arrive; a whole-range rejection (full
+        queue under the ``"reject"`` policy) retries on the client's
+        budget and then raises, exactly like every other call.  The
+        terminating summary is stored in :attr:`last_stream_summary`,
+        and a stream that dies before it raises :class:`WireError`.
+        """
+        body = json.dumps({**job, "index": index}).encode("utf-8")
+        async with self._lock:
+            response, reader = await self._exchange("POST", "/range", body)
+            if not response.chunked:
+                raise WireError(
+                    f"expected a chunked stream, got status {response.status}"
+                )
+            self.last_stream_summary = None
+            async for document in wire.iter_chunked_lines(reader):
+                if isinstance(document, dict) and "end" in document:
+                    # Keep draining (see stream()): the zero-chunk is still
+                    # on the wire of this keep-alive connection.
+                    end = document["end"]
+                    self.last_stream_summary = end if isinstance(end, dict) else {}
+                    continue
+                if isinstance(document, dict):
+                    yield document
+            if self.last_stream_summary is None:
+                raise WireError("range stream ended without a summary line")
+
     async def shards(self) -> Dict[str, object]:
         """``GET /shards`` — routing table, version, per-shard load.
 

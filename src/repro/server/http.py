@@ -42,6 +42,8 @@ POST   ``/calibration``           admin: ``{"action": "refine" |
 POST   ``/count``                 one :class:`CountJob` body -> result
 POST   ``/update``                one update body -> delta report
 POST   ``/stream``                JSON-lines of jobs -> chunked JSON-lines
+POST   ``/range``                 one ``as_of_range`` job -> chunked
+                                  JSON-lines, one result per version
 GET    ``/history/{name}``        recorded lineage (``?limit=N`` trims)
 GET    ``/checkpoints/{name}``    known compaction checkpoints
 POST   ``/checkpoint/{name}``     cut a checkpoint now
@@ -65,6 +67,7 @@ import asyncio
 import json
 from typing import Dict, Optional, Set, Tuple
 
+from ..engine.executor import RangeFailure
 from ..engine.jobs import CountJob, UpdateJob, UpdateReport
 from ..engine.jobfile import parse_stream_item
 from ..errors import ReproError, WireError
@@ -271,6 +274,8 @@ class HttpServer:
                 return await self._update(request, writer)
             if route == ("POST", "stream"):
                 return await self._stream(request, writer)
+            if route == ("POST", "range"):
+                return await self._range(request, writer)
         elif len(segments) == 2:
             name = segments[1]
             if route == ("GET", "history"):
@@ -293,8 +298,8 @@ class HttpServer:
                 return await self._rollback(request, writer, name)
         known = {
             "health", "stats", "databases", "shards", "count", "update",
-            "stream", "history", "checkpoints", "checkpoint", "rollback",
-            "calibration",
+            "stream", "range", "history", "checkpoints", "checkpoint",
+            "rollback", "calibration",
         }
         if segments and segments[0] in known:
             self.errors += 1
@@ -515,6 +520,54 @@ class HttpServer:
                 line_payload = outcome.to_json()
                 if isinstance(outcome, UpdateReport):
                     line_payload["type"] = "update"
+            wire.write_chunk(writer, line_payload)
+            await writer.drain()
+        wire.write_chunk(
+            writer, {"end": {"results": delivered, "failures": failures}}
+        )
+        wire.end_chunks(writer)
+        await writer.drain()
+        return True
+
+    async def _range(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /range``: one ``as_of_range`` job, chunked results.
+
+        The body is a single count-job document carrying ``as_of_range``
+        (plus an optional ``index`` for the first version's stream
+        position).  The whole range runs as one unit of shard work
+        (:meth:`AsyncServer.run_range`), so backpressure applies to the
+        range, not per version: a full queue under the ``"reject"``
+        policy answers **429** for the whole request (with
+        ``Retry-After``), a stopped server **503** — exactly like
+        ``/stream``'s dispatch errors, but before any chunk is written.
+        The response streams one chunked JSON line per version in range
+        order; a version that fails is reported in band as
+        ``{"index": …, "status": …, "error": …}`` and the remaining
+        versions still arrive.  The stream terminates with an
+        ``{"end": …}`` summary line.
+        """
+        payload, first_index = self._payload_and_index(request)
+        job = CountJob.from_json(payload)
+        outcomes = await self._server.run_range(job, first_index)
+        writer.write(wire.render_response(200, chunked=True))
+        delivered = failures = 0
+        for outcome in outcomes:
+            if isinstance(outcome, RangeFailure):
+                failures += 1
+                status = wire.status_for_error(outcome.error)
+                line_payload: Dict[str, object] = {
+                    "index": outcome.index,
+                    "status": status,
+                    **wire.payload_for_error(outcome.error),
+                }
+                if status == 429:
+                    self.rejected += 1
+                    line_payload["retry_after"] = self.retry_after
+            else:
+                delivered += 1
+                line_payload = outcome.to_json()
             wire.write_chunk(writer, line_payload)
             await writer.drain()
         wire.write_chunk(

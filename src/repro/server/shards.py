@@ -33,6 +33,7 @@ from ..db.constraints import PrimaryKeySet
 from ..db.database import Database
 from ..db.delta import Delta
 from ..db.lineage import CheckpointRecord, Lineage, LineageRecord
+from ..engine.executor import RangeFailure
 from ..engine.jobs import CountJob, JobResult, UpdateJob, UpdateReport
 from ..engine.pool import SolverPool
 from ..errors import ServerError
@@ -200,6 +201,24 @@ class Shard:
         self._raise_failed_registrations()
         self.jobs_submitted += 1
         return executor.submit(_shard_count, index, job)
+
+    def submit_range(
+        self, first_index: int, job: CountJob
+    ) -> "Future[List[Union[JobResult, RangeFailure]]]":
+        """Queue a whole ``as_of_range`` job as one unit of work.
+
+        The range rides the shard's FIFO queue as a single submission, so
+        every version it expands to counts against the same lineage state
+        — no delta submitted after the range can interleave with it.  The
+        worker resolves all versions through one shared replay walk
+        (:meth:`SolverPool.run_range`) and returns one in-order outcome
+        per version, failures in-band as
+        :class:`~repro.engine.executor.RangeFailure`.
+        """
+        executor = self._require_executor()
+        self._raise_failed_registrations()
+        self.jobs_submitted += 1
+        return executor.submit(_shard_range, first_index, job)
 
     def submit_update(self, index: int, job: UpdateJob) -> "Future[UpdateReport]":
         """Queue one delta on the shard's worker (FIFO after prior jobs)."""
@@ -405,6 +424,17 @@ def _shard_count(index: int, job: CountJob) -> JobResult:
     """Run one counting job; ``index`` is the position in the client stream."""
     return _require_pool().run_job(
         job, index=index, worker_label=f"shard-{_SHARD_ID}:pid-{os.getpid()}"
+    )
+
+
+def _shard_range(
+    first_index: int, job: CountJob
+) -> List[Union[JobResult, RangeFailure]]:
+    """Run one ``as_of_range`` job; outcomes are indexed from ``first_index``."""
+    return _require_pool().run_range(
+        job,
+        first_index=first_index,
+        worker_label=f"shard-{_SHARD_ID}:pid-{os.getpid()}",
     )
 
 

@@ -24,6 +24,7 @@ from .scenarios import (
     sensor_fusion,
 )
 from .history import ANCESTOR_BIASES, history_workload
+from .ranges import range_workload
 from .serving import LoadReport, drive_http_load, http_load, serve_workload
 from .updates import update_stream
 
@@ -48,6 +49,7 @@ __all__ = [
     "random_inconsistent_database",
     "random_positive_dnf",
     "random_ucq",
+    "range_workload",
     "sensor_fusion",
     "serve_workload",
     "star_join_query",

@@ -1,0 +1,178 @@
+"""Range workloads: streams that sweep windows of recorded versions.
+
+:func:`~repro.workloads.history.history_workload` models point-in-time
+reads — every historical count asks about one ancestor.  A dashboard or
+audit workload asks a different question: "how did this count evolve over
+the last K versions?"  That is a *range* read: one query swept across a
+contiguous window of recorded snapshots, which the engine answers through
+a single shared replay walk (:meth:`~repro.engine.SolverPool.run_range`)
+instead of K independent ``as_of`` materialisations.
+
+:func:`range_workload` generates exactly that pattern, deterministically
+from a seed: a count/update stream in which some counts carry
+``as_of_range`` — a two-endpoint window over the database's recorded
+chain, referenced by content digest three times out of four and by
+negative chain index otherwise, occasionally descending so the
+newest-first orientation stays exercised.  Because the generator applies
+its own deltas while generating, every endpoint is a *real* recorded
+digest, and a consumer can rebuild the expected state of any version by
+replaying the stream's deltas (benchmark E22 verifies the shared walk
+against independent ``as_of`` jobs bit for bit).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..db.constraints import PrimaryKeySet
+from ..db.database import Database
+from ..engine.jobs import CountJob, UpdateJob
+from ..query.ast import Query
+from .generators import InconsistentDatabaseSpec, random_inconsistent_database
+from .queries import random_conjunctive_query
+from .updates import _random_delta
+
+__all__ = ["range_workload"]
+
+_RELATIONS = {"R": 3, "S": 3}
+
+
+def range_workload(
+    jobs: int = 30,
+    update_every: int = 3,
+    range_fraction: float = 0.35,
+    seed: int = 0,
+    databases: int = 1,
+    queries_per_database: int = 3,
+    blocks_per_relation: Tuple[int, int] = (6, 12),
+    max_edits: int = 4,
+    max_span: int = 8,
+    methods: Sequence[str] = ("auto", "certificate"),
+    epsilon: float = 0.25,
+    delta: float = 0.2,
+) -> Tuple[
+    Dict[str, Tuple[Database, PrimaryKeySet]],
+    List[Union[CountJob, UpdateJob]],
+]:
+    """Generate databases plus a count/update stream with range reads.
+
+    Returns ``(databases, stream)`` ready for
+    :meth:`~repro.engine.SolverPool.run_stream` (which expands each
+    ``as_of_range`` job in place, so indices and seeds match the
+    hand-expanded stream) or for feeding
+    :meth:`~repro.engine.SolverPool.run_range` job by job.  After every
+    ``update_every`` counts an :class:`UpdateJob` edits a rotating
+    database (deltas are cumulative, generated against the state the
+    previous deltas produced).  Once a database has at least two recorded
+    versions, each of its counts becomes a *range* count with probability
+    ``range_fraction``: its ``as_of_range`` spans up to ``max_span``
+    consecutive recorded versions, ascending four times out of five and
+    descending otherwise, each endpoint referenced by content digest
+    three times out of four and by negative chain index otherwise.
+
+    Everything derives from ``seed``; per-version seeds come from
+    :meth:`~repro.engine.CountJob.effective_seed` after expansion, so
+    replays are bit-identical.
+
+    >>> registry, stream = range_workload(jobs=12, seed=1)
+    >>> sorted(registry)
+    ['windowed-0']
+    >>> ranged = [item for item in stream
+    ...           if isinstance(item, CountJob) and item.as_of_range is not None]
+    >>> len(ranged) > 0
+    True
+    >>> stream == range_workload(jobs=12, seed=1)[1]
+    True
+    """
+    if databases < 1:
+        raise ValueError(f"need at least one database, got {databases}")
+    if not 0.0 <= range_fraction <= 1.0:
+        raise ValueError(f"range_fraction must be in [0, 1], got {range_fraction}")
+    if max_span < 2:
+        raise ValueError(f"max_span must be >= 2, got {max_span}")
+    rng = random.Random(seed)
+
+    registry: Dict[str, Tuple[Database, PrimaryKeySet]] = {}
+    live: Dict[str, Database] = {}
+    chains: Dict[str, List[str]] = {}
+    catalogue: Dict[str, List[Query]] = {}
+    for index in range(databases):
+        spec = InconsistentDatabaseSpec(
+            relations=_RELATIONS,
+            blocks_per_relation=rng.randint(*blocks_per_relation),
+            conflict_rate=0.5,
+            max_block_size=3,
+            domain_size=10,
+        )
+        name = f"windowed-{index}"
+        database, keys = random_inconsistent_database(spec, seed=rng.randrange(2**16))
+        registry[name] = (database, keys)
+        live[name] = database
+        chains[name] = [database.content_digest()]
+        catalogue[name] = [
+            random_conjunctive_query(
+                _RELATIONS,
+                keys,
+                target_keywidth=rng.randint(1, 2),
+                seed=rng.randrange(2**16),
+            )
+            for _ in range(queries_per_database)
+        ]
+
+    def reference(name: str, position: int) -> Union[str, int]:
+        """One chain endpoint, as a digest (75%) or a negative index."""
+        if rng.random() < 0.75:
+            return chains[name][position]
+        return position - (len(chains[name]) - 1)
+
+    names = sorted(registry)
+    stream: List[Union[CountJob, UpdateJob]] = []
+    emitted = 0
+    update_round = 0
+    while emitted < jobs:
+        if emitted and emitted % update_every == 0 and not isinstance(
+            stream[-1], UpdateJob
+        ):
+            name = names[update_round % len(names)]
+            update_round += 1
+            _, keys = registry[name]
+            relation = rng.choice(sorted(_RELATIONS))
+            change = _random_delta(
+                rng, live[name], keys, relation, _RELATIONS[relation], max_edits
+            )
+            if not change.is_empty():
+                stream.append(
+                    UpdateJob(database=name, delta=change, label=f"edit-{relation}")
+                )
+                live[name] = live[name].apply_delta(change)
+                chains[name].append(live[name].content_digest())
+        name = rng.choice(names)
+        query = rng.choice(catalogue[name])
+        as_of_range: Union[Tuple[Union[str, int], Union[str, int]], None] = None
+        label = query.name
+        if len(chains[name]) > 1 and rng.random() < range_fraction:
+            # A range count over a contiguous window of the chain.  At
+            # this stream position the head is chains[name][-1], so the
+            # negative-index form is well defined for both endpoints.
+            span = rng.randint(2, min(max_span, len(chains[name])))
+            start = rng.randrange(len(chains[name]) - span + 1)
+            low, high = start, start + span - 1
+            if rng.random() < 0.2:
+                low, high = high, low
+            as_of_range = (reference(name, low), reference(name, high))
+            label = f"{query.name}@v{low}..v{high}"
+        stream.append(
+            CountJob(
+                database=name,
+                query=str(query.formula),
+                answer_variables=tuple(v.name for v in query.answer_variables),
+                method=rng.choice(list(methods)),
+                epsilon=epsilon,
+                delta=delta,
+                as_of_range=as_of_range,
+                label=label,
+            )
+        )
+        emitted += 1
+    return registry, stream

@@ -1,0 +1,457 @@
+"""Tests for range queries across engine, server, HTTP and CLI.
+
+What is pinned here:
+
+* a ``CountJob`` with ``as_of_range`` round-trips through JSON, rejects
+  malformed pairs loudly, and expands to per-version ``as_of`` jobs whose
+  derived seeds are untouched — expansion is bit-identical to writing the
+  N jobs by hand;
+* ``SolverPool.run`` expands ranges in place (indices shift exactly as a
+  hand-expanded batch would) and ``run_stream`` expands each range at its
+  stream position, so endpoints resolve against the chain state created
+  by updates *earlier in the same stream*;
+* ``run_range`` answers one version per outcome in range order, respects
+  ``first_index``, and reports a version whose snapshot cannot be
+  materialised (compacted ancestors) **in band** as a
+  :class:`RangeFailure` instead of poisoning the rest of the range;
+* the shared walk feeds the ordinary token-keyed caches: a warm store
+  recomputes nothing and repeated-version ranges coalesce
+  (``coalesced_materialisations`` in ``cache_stats()``);
+* the served path: ``AsyncServer.run_range`` is bit-identical to the
+  in-process pool, ``POST /range`` streams chunked JSON-lines with
+  failures in band and a terminating summary, whole-range backpressure
+  answers **429 with Retry-After** exactly like ``/stream``, and the
+  keep-alive connection survives the exchange;
+* the ``repro range`` command and ``repro history --json`` round-trip
+  through the CLI.
+"""
+
+import asyncio
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.db import Database, Delta, PrimaryKeySet, database_to_json, fact
+from repro.engine import CountJob, RangeFailure, SolverPool, UpdateJob
+from repro.errors import BatchSpecError, EngineError, LineageError
+from repro.server import AsyncServer, HttpServer, ServeClient
+from repro.server import wire
+from repro.workloads import range_workload
+
+_R_QUERY = "EXISTS x, y. R(x, 'v1', y)"
+
+
+def _versioned_instance():
+    """A small instance plus two deltas: three recorded versions."""
+    database = Database(
+        [
+            fact("R", 1, "v1", "a"),
+            fact("R", 1, "v2", "b"),
+            fact("R", 2, "v1", "c"),
+            fact("S", 1, "v1", "d"),
+        ]
+    )
+    keys = PrimaryKeySet.from_dict({"R": [1], "S": [1]})
+    first = Delta(inserted=[fact("R", 3, "v1", "e")])
+    second = Delta(deleted=[fact("R", 1, "v2", "b")])
+    return database, keys, first, second
+
+
+def _versioned_pool(**pool_kwargs):
+    database, keys, first, second = _versioned_instance()
+    pool = SolverPool(**pool_kwargs)
+    pool.register("live", database, keys)
+    pool.apply_delta("live", first)
+    pool.apply_delta("live", second)
+    return pool, database, keys
+
+
+def _range_job(**extra):
+    return CountJob(database="live", query=_R_QUERY, **extra)
+
+
+class TestJobValidation:
+    def test_as_of_range_round_trips_through_json(self):
+        by_digest = _range_job(as_of_range=("a" * 64, "b" * 64))
+        assert CountJob.from_json(by_digest.to_json()) == by_digest
+        assert by_digest.to_json()["as_of_range"] == ["a" * 64, "b" * 64]
+        mixed = _range_job(as_of_range=(-4, "a" * 64))
+        assert CountJob.from_json(mixed.to_json()) == mixed
+        # JSON lists normalise back to the tuple form on the way in.
+        assert CountJob.from_json(
+            {**mixed.to_json(), "as_of_range": [-4, "a" * 64]}
+        ) == mixed
+        assert "as_of_range" not in _range_job().to_json()
+
+    def test_bad_ranges_are_rejected(self):
+        with pytest.raises(BatchSpecError, match="mutually exclusive"):
+            _range_job(as_of="a" * 64, as_of_range=(-1, 0))
+        with pytest.raises(BatchSpecError, match="pair"):
+            _range_job(as_of_range=(-1, 0, 1))
+        with pytest.raises(BatchSpecError, match="pair"):
+            _range_job(as_of_range="aa..bb")
+        with pytest.raises(BatchSpecError, match="<= 0"):
+            _range_job(as_of_range=(1, 2))
+        with pytest.raises(BatchSpecError, match="at least 8"):
+            _range_job(as_of_range=("abc", 0))
+
+    def test_expansion_does_not_perturb_derived_seeds(self):
+        pool, _, _ = _versioned_pool()
+        ranged = _range_job(method="fpras", as_of_range=(-2, 0))
+        for expanded in pool.expand_range(ranged):
+            assert expanded.as_of_range is None
+            assert expanded.effective_seed(7) == _range_job(
+                method="fpras"
+            ).effective_seed(7)
+
+
+class TestPoolRange:
+    def test_expansion_matches_the_recorded_chain_both_directions(self):
+        pool, _, _ = _versioned_pool()
+        digests = [record.digest for record in pool.lineage("live")]
+        ascending = pool.expand_range(_range_job(as_of_range=(-2, 0)))
+        assert [job.as_of for job in ascending] == digests
+        descending = pool.expand_range(_range_job(as_of_range=(0, -2)))
+        assert [job.as_of for job in descending] == digests[::-1]
+        by_digest = pool.expand_range(
+            _range_job(as_of_range=(digests[0], digests[1]))
+        )
+        assert [job.as_of for job in by_digest] == digests[:2]
+
+    def test_run_range_is_bit_identical_to_independent_as_of_jobs(self):
+        pool, database, keys = _versioned_pool()
+        ranged = _range_job(method="certificate", as_of_range=(-2, 0))
+        outcomes = pool.run_range(ranged, first_index=5)
+        assert [outcome.index for outcome in outcomes] == [5, 6, 7]
+
+        fresh, _, _ = _versioned_pool()
+        for offset, expanded in enumerate(fresh.expand_range(ranged)):
+            independent = fresh.run_job(expanded, index=5 + offset)
+            assert outcomes[offset].count_fields() == independent.count_fields()
+            assert outcomes[offset].job.as_of == independent.job.as_of
+
+    def test_batch_runs_expand_ranges_in_place(self):
+        pool, _, _ = _versioned_pool()
+        jobs = [
+            _range_job(method="certificate"),
+            _range_job(method="certificate", as_of_range=(-2, 0)),
+            _range_job(method="certificate", label="after"),
+        ]
+        report = pool.run(jobs)
+        # One range over three versions: indices shift by two.
+        assert [result.index for result in report.results] == [0, 1, 2, 3, 4]
+        assert report.results[4].job.label == "after"
+
+        hand = _versioned_pool()[0]
+        expanded = [jobs[0], *hand.expand_range(jobs[1]), jobs[2]]
+        hand_report = hand.run(expanded)
+        assert [r.count_fields() for r in report.results] == [
+            r.count_fields() for r in hand_report.results
+        ]
+        assert [r.job.as_of for r in report.results] == [
+            r.job.as_of for r in hand_report.results
+        ]
+
+    def test_direct_run_of_a_range_job_is_rejected(self):
+        pool, _, _ = _versioned_pool()
+        with pytest.raises(EngineError, match="cannot run directly"):
+            pool.run_job(_range_job(as_of_range=(-1, 0)))
+
+    def test_streams_expand_ranges_against_their_position(self):
+        """A range can reference versions created earlier in the stream."""
+        database, keys, first, second = _versioned_instance()
+        stream = [
+            _range_job(method="certificate"),
+            UpdateJob(database="live", delta=first),
+            UpdateJob(database="live", delta=second),
+            # At this position the chain has three versions; up front it
+            # had one — expansion must happen at the stream position.
+            _range_job(method="certificate", as_of_range=(-2, 0)),
+        ]
+        pool = SolverPool()
+        pool.register("live", database, keys)
+        report = pool.run_stream(stream)
+        assert [result.index for result in report.results] == [0, 3, 4, 5]
+        assert [update.index for update in report.updates] == [1, 2]
+
+        # Hand-expanded equivalent: replay the updates on a scratch pool
+        # to resolve the range, then run the flat stream.
+        scratch = SolverPool()
+        scratch.register("live", Database(database.facts()), keys)
+        scratch.apply_delta("live", first)
+        scratch.apply_delta("live", second)
+        flat = [
+            stream[0], stream[1], stream[2],
+            *scratch.expand_range(stream[3]),
+        ]
+        fresh = SolverPool()
+        fresh.register("live", Database(database.facts()), keys)
+        hand_report = fresh.run_stream(flat)
+        assert [r.count_fields() for r in report.results] == [
+            r.count_fields() for r in hand_report.results
+        ]
+        assert [r.job.as_of for r in report.results] == [
+            r.job.as_of for r in hand_report.results
+        ]
+
+    def test_compacted_ancestors_fail_in_band(self, tmp_path):
+        pool, _, keys = _versioned_pool(persist_dir=tmp_path)
+        with pytest.warns(UserWarning, match="compacted"):
+            assert pool.checkpoint("live", compact=True) is not None
+        head, _ = pool.lookup("live")
+        # A *restarted* pool: the pre-checkpoint snapshots exist neither
+        # in memory nor in the store, and their deltas were released.
+        restarted = SolverPool(persist_dir=tmp_path)
+        restarted.register("live", Database(head.facts()), keys)
+        outcomes = restarted.run_range(_range_job(as_of_range=(-2, 0)))
+        assert [type(outcome) for outcome in outcomes] == [
+            RangeFailure, RangeFailure, type(outcomes[2])
+        ]
+        for index, outcome in enumerate(outcomes[:2]):
+            assert outcome.index == index
+            assert isinstance(outcome.error, LineageError)
+        assert outcomes[2].index == 2
+        assert outcomes[2].total > 0
+
+    def test_shared_walk_feeds_the_caches_and_coalesces(self, tmp_path):
+        pool, _, _ = _versioned_pool(persist_dir=tmp_path)
+        first_pass = pool.run_range(
+            _range_job(method="certificate", as_of_range=(-2, 0))
+        )
+        assert all(not isinstance(o, RangeFailure) for o in first_pass)
+        # The same range again: every materialisation coalesces onto the
+        # already-resolved snapshots and the warm pass recomputes nothing.
+        before = pool.selector_recomputations
+        second_pass = pool.run_range(
+            _range_job(method="certificate", as_of_range=(-2, 0))
+        )
+        assert pool.selector_recomputations == before
+        assert pool.cache_stats().get("coalesced_materialisations", 0) > 0
+        assert [r.count_fields() for r in first_pass] == [
+            r.count_fields() for r in second_pass
+        ]
+
+
+class TestRangeWorkload:
+    def test_streamed_ranges_are_bit_identical_to_hand_expansion(self):
+        registry, stream = range_workload(jobs=14, seed=2)
+        ranged = [
+            item
+            for item in stream
+            if isinstance(item, CountJob) and item.as_of_range is not None
+        ]
+        assert ranged, "the workload must emit range reads"
+
+        def build_pool():
+            pool = SolverPool()
+            for name, (database, keys) in registry.items():
+                pool.register(name, Database(database.facts()), keys)
+            return pool
+
+        report = build_pool().run_stream(stream)
+
+        # Hand expansion: replay the stream's updates on a scratch pool,
+        # resolving each range at its own position.
+        scratch = build_pool()
+        flat = []
+        for item in stream:
+            if isinstance(item, UpdateJob):
+                scratch.apply_delta(item.database, item.delta)
+                flat.append(item)
+            elif item.as_of_range is not None:
+                flat.extend(scratch.expand_range(item))
+            else:
+                flat.append(item)
+        hand_report = build_pool().run_stream(flat)
+
+        assert [r.count_fields() for r in report.results] == [
+            r.count_fields() for r in hand_report.results
+        ]
+        assert [r.job.as_of for r in report.results] == [
+            r.job.as_of for r in hand_report.results
+        ]
+        assert [u.index for u in report.updates] == [
+            u.index for u in hand_report.updates
+        ]
+
+
+class TestServedRange:
+    def test_server_range_is_bit_identical_to_the_pool(self):
+        database, keys, first, second = _versioned_instance()
+        ranged = _range_job(method="certificate", as_of_range=(-2, 0))
+
+        async def run():
+            server = AsyncServer(shards=1, queue_limit=8)
+            server.register("live", database, keys)
+            async with server:
+                await server.submit(UpdateJob(database="live", delta=first), 0)
+                await server.submit(UpdateJob(database="live", delta=second), 1)
+                return await server.run_range(ranged, 2)
+
+        served = asyncio.run(run())
+        pool, _, _ = _versioned_pool()
+        direct = pool.run_range(ranged, first_index=2)
+        assert [r.index for r in served] == [2, 3, 4]
+        assert [r.count_fields() for r in served] == [
+            r.count_fields() for r in direct
+        ]
+        assert [r.job.as_of for r in served] == [r.job.as_of for r in direct]
+
+    def test_plain_jobs_are_rejected_by_run_range(self):
+        database, keys, _, _ = _versioned_instance()
+
+        async def run():
+            server = AsyncServer(shards=1, queue_limit=8)
+            server.register("live", database, keys)
+            async with server:
+                with pytest.raises(EngineError, match="as_of_range"):
+                    await server.run_range(_range_job(), 0)
+
+        asyncio.run(run())
+
+    def test_http_range_streams_results_with_failures_in_band(self, tmp_path):
+        # A compacted store: the two pre-checkpoint versions are
+        # unreachable, the head still answers — in band, over the wire.
+        pool, database, keys = _versioned_pool(persist_dir=tmp_path)
+        with pytest.warns(UserWarning, match="compacted"):
+            pool.checkpoint("live", compact=True)
+        head, _ = pool.lookup("live")
+
+        async def run():
+            server = AsyncServer(shards=1, persist_dir=tmp_path)
+            server.register("live", Database(head.facts()), keys)
+            async with server:
+                async with HttpServer(server) as front:
+                    async with ServeClient(front.host, front.port) as client:
+                        job = _range_job(as_of_range=(-2, 0)).to_json()
+                        documents = [doc async for doc in client.range(job)]
+                        summary = client.last_stream_summary
+                        # The keep-alive connection survived the
+                        # chunked exchange.
+                        health = await client.health()
+            return documents, summary, health
+
+        documents, summary, health = asyncio.run(run())
+        assert summary == {"results": 1, "failures": 2}
+        assert health["status"] == "ok"
+        failures = [doc for doc in documents if "error" in doc]
+        results = [doc for doc in documents if "error" not in doc]
+        assert [f["index"] for f in failures] == [0, 1]
+        assert all(f["status"] == 404 for f in failures)
+        assert all(f["error"]["type"] == "LineageError" for f in failures)
+        assert [r["index"] for r in results] == [2]
+        assert results[0]["total"] > 0
+
+    def test_full_queue_answers_429_for_the_whole_range(self):
+        database, keys, first, _ = _versioned_instance()
+
+        async def run():
+            server = AsyncServer(shards=1, queue_limit=1, policy="reject")
+            server.register("live", database, keys)
+            async with server:
+                await server.submit(UpdateJob(database="live", delta=first), 0)
+                async with HttpServer(server) as front:
+                    await server._slots.acquire()
+                    try:
+                        reader, writer = await asyncio.open_connection(
+                            front.host, front.port
+                        )
+                        body = json.dumps(
+                            _range_job(as_of_range=(-1, 0)).to_json()
+                        ).encode()
+                        writer.write(
+                            wire.render_request(
+                                "POST", "/range",
+                                f"{front.host}:{front.port}", body,
+                            )
+                        )
+                        await writer.drain()
+                        response = await wire.read_response(reader)
+                        writer.close()
+                        await writer.wait_closed()
+                    finally:
+                        server._slots.release()
+                    assert response.status == 429
+                    assert wire.parse_retry_after(response.headers) is not None
+                    assert response.json()["error"]["type"] == (
+                        "ServerOverloadedError"
+                    )
+                    assert front.rejected == 1
+
+        asyncio.run(run())
+
+
+class TestRangeCLI:
+    @pytest.fixture
+    def instance_files(self, tmp_path):
+        database, keys, first, second = _versioned_instance()
+        db_path = tmp_path / "db.json"
+        db_path.write_text(json.dumps(database_to_json(database, keys)))
+        jobs = {
+            "databases": {"live": {"path": "db.json"}},
+            "jobs": [
+                {"database": "live", "query": _R_QUERY},
+                {"update": "live", **first.to_json()},
+                {"update": "live", **second.to_json()},
+            ],
+        }
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(json.dumps(jobs))
+        head = database.apply_delta(first).apply_delta(second)
+        head_path = tmp_path / "head.json"
+        head_path.write_text(json.dumps(database_to_json(head, keys)))
+        return tmp_path, head_path, jobs_path
+
+    def test_range_command_round_trip(self, instance_files, capsys):
+        tmp_path, head_path, jobs_path = instance_files
+        cache = tmp_path / "cache"
+        assert main(["batch", "--jobs", str(jobs_path),
+                     "--persist-cache", str(cache)]) == 0
+        baseline = json.loads(capsys.readouterr().out)["jobs"][0]
+
+        assert main([
+            "range", "live", "--from", "-2", "--to", "0",
+            "--json", str(head_path), "--query", _R_QUERY,
+            "--persist-cache", str(cache),
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [line["index"] for line in lines] == [0, 1, 2]
+        digests = [line["job"]["as_of"] for line in lines]
+        assert len(set(digests)) == 3
+        # The oldest version in the range is the pre-update root.
+        assert lines[0]["satisfying"] == baseline["satisfying"]
+        assert "3 result(s), 0 failure(s) over 3 version(s)" in captured.err
+
+    def test_range_without_a_catalog_exits_2(self, instance_files, capsys):
+        tmp_path, head_path, _ = instance_files
+        assert main([
+            "range", "ghost", "--from", "-1", "--to", "0",
+            "--json", str(head_path), "--query", _R_QUERY,
+            "--persist-cache", str(tmp_path / "empty"),
+        ]) == 2
+        assert "no recorded lineage" in capsys.readouterr().err
+
+    def test_history_json_document(self, instance_files, capsys):
+        tmp_path, _, jobs_path = instance_files
+        cache = tmp_path / "cache"
+        assert main(["batch", "--jobs", str(jobs_path),
+                     "--persist-cache", str(cache)]) == 0
+        capsys.readouterr()
+
+        assert main(["history", "live", "--persist-cache", str(cache),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "live"
+        assert document["versions"] == 3
+        assert [record["kind"] for record in document["records"]] == [
+            "register", "delta", "delta",
+        ]
+        assert document["head"] == document["records"][-1]["digest"]
+        assert document["elided"] == 0 and document["compacted"] == 0
+
+        assert main(["history", "live", "--persist-cache", str(cache),
+                     "--json", "--json-lines"]) == 2
+        assert "not both" in capsys.readouterr().err
